@@ -1,0 +1,41 @@
+"""Shared benchmark-harness helpers (imported by the bench modules).
+
+Reproduced paper tables are registered here; ``conftest.py`` prints them in
+the terminal summary and they are persisted under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List
+
+RESULTS_DIR = Path(__file__).parent / "results"
+TABLES: Dict[str, str] = {}
+
+
+def report_table(experiment_id: str, title: str, text: str) -> None:
+    """Register one reproduced table (also persisted under results/)."""
+    block = f"== {experiment_id}: {title} ==\n{text.rstrip()}\n"
+    TABLES[experiment_id] = block
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    safe = experiment_id.lower().replace(" ", "_").replace("/", "-")
+    (RESULTS_DIR / f"{safe}.txt").write_text(block, encoding="utf-8")
+
+
+def format_rows(rows: List[dict]) -> str:
+    """Align a list of dict rows as a text table."""
+    if not rows:
+        return "(no rows)"
+    header = list(rows[0])
+    cells = [[str(row.get(col, "")) for col in header] for row in rows]
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in cells))
+        for i in range(len(header))
+    ]
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(header, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

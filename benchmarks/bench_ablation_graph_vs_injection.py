@@ -1,0 +1,76 @@
+"""Ablation A1 — graph-based FMEA (Algorithm 1) vs injection-based FMEA.
+
+The paper offers two automated FMEA pathways: simulation fault injection
+for Simulink models and static path analysis for SSAM models.  On the
+case study they must agree — same safety-related set, same SPFM — while
+the graph method runs orders of magnitude faster (no circuit solves).
+Both are benchmarked.
+"""
+
+import pytest
+
+from _harness import format_rows, report_table
+from repro.casestudies.power_supply import (
+    ASSUMED_STABLE,
+    build_power_supply_simulink,
+    build_power_supply_ssam,
+    power_supply_reliability,
+)
+from repro.safety import run_simulink_fmea, run_ssam_fmea, spfm
+
+_STATS = {}
+
+
+def test_a1_injection_fmea(benchmark):
+    simulink = build_power_supply_simulink()
+    reliability = power_supply_reliability()
+    result = benchmark(
+        run_simulink_fmea,
+        simulink,
+        reliability,
+        ["CS1"],
+        0.2,
+        ASSUMED_STABLE,
+    )
+    _STATS["injection"] = (
+        sorted(result.safety_related_components()),
+        spfm(result),
+        benchmark.stats.stats.mean,
+    )
+
+
+def test_a1_graph_fmea(benchmark):
+    model = build_power_supply_ssam()
+    composite = model.top_components()[0]
+    reliability = power_supply_reliability()
+    result = benchmark(run_ssam_fmea, composite, reliability, False)
+    _STATS["graph"] = (
+        sorted(result.safety_related_components()),
+        spfm(result),
+        benchmark.stats.stats.mean,
+    )
+
+    injection_sr, injection_spfm, injection_mean = _STATS["injection"]
+    graph_sr, graph_spfm, graph_mean = _STATS["graph"]
+
+    rows = [
+        {
+            "Method": "injection (Simulink)",
+            "SR components": ", ".join(injection_sr),
+            "SPFM": f"{injection_spfm * 100:.2f}%",
+            "Mean runtime": f"{injection_mean * 1e3:.2f} ms",
+        },
+        {
+            "Method": "graph / Algorithm 1 (SSAM)",
+            "SR components": ", ".join(graph_sr),
+            "SPFM": f"{graph_spfm * 100:.2f}%",
+            "Mean runtime": f"{graph_mean * 1e3:.2f} ms",
+        },
+    ]
+    report_table(
+        "Ablation A1", "graph FMEA vs injection FMEA", format_rows(rows)
+    )
+
+    assert injection_sr == graph_sr == ["D1", "L1", "MC1"]
+    assert injection_spfm == pytest.approx(graph_spfm, abs=1e-9)
+    assert graph_mean < injection_mean  # no circuit solves on the graph path

@@ -1,0 +1,75 @@
+"""Ablation A3 — sensitivity of the injection FMEA to the sensor threshold.
+
+Step 2b of the automated FME(D)A marks a failure mode safety-related when
+the sensor reading "differs by a threshold".  This ablation sweeps the
+threshold and reports how the safety-related set changes: the paper's
+outcome (D1/L1 opens + MC1 RAM failure, and *not* D1's short) holds across
+a wide plateau around the default 20 %, because the deviations cluster —
+~14.5 % for D1-short vs ≥ 99 % for the true single points.
+"""
+
+import pytest
+
+from _harness import format_rows, report_table
+from repro.casestudies.power_supply import (
+    ASSUMED_STABLE,
+    build_power_supply_simulink,
+    power_supply_reliability,
+)
+from repro.safety import run_simulink_fmea
+
+THRESHOLDS = [0.01, 0.05, 0.10, 0.15, 0.20, 0.50, 0.95]
+
+
+def sweep():
+    model = build_power_supply_simulink()
+    reliability = power_supply_reliability()
+    results = {}
+    for threshold in THRESHOLDS:
+        fmea = run_simulink_fmea(
+            model,
+            reliability,
+            sensors=["CS1"],
+            threshold=threshold,
+            assume_stable=ASSUMED_STABLE,
+        )
+        results[threshold] = {
+            (row.component, row.failure_mode)
+            for row in fmea.safety_related_rows()
+        }
+    return results
+
+
+def test_a3_threshold_sensitivity(benchmark):
+    results = benchmark(sweep)
+
+    paper_set = {("D1", "Open"), ("L1", "Open"), ("MC1", "RAM Failure")}
+    rows = []
+    for threshold in THRESHOLDS:
+        related = results[threshold]
+        rows.append(
+            {
+                "Threshold": f"{threshold * 100:g}%",
+                "SR modes": len(related),
+                "Matches paper": related == paper_set,
+                "Extra vs paper": ", ".join(
+                    f"{c}/{m}" for c, m in sorted(related - paper_set)
+                )
+                or "-",
+            }
+        )
+    report_table(
+        "Ablation A3", "sensor-threshold sensitivity", format_rows(rows)
+    )
+
+    # Shape: the SR set shrinks monotonically as the threshold rises.
+    sizes = [len(results[t]) for t in THRESHOLDS]
+    assert sizes == sorted(sizes, reverse=True)
+    # The paper's set holds on the plateau from ~15% up to ~95%.
+    for threshold in (0.15, 0.20, 0.50, 0.95):
+        assert results[threshold] == paper_set, threshold
+    # Below D1-short's ~14.5% deviation, the short joins the set.
+    assert ("D1", "Short") in results[0.10]
+    # The true single points never leave the set.
+    for threshold in THRESHOLDS:
+        assert paper_set <= results[threshold]

@@ -1,0 +1,56 @@
+"""Extension X1 — FTA federated with FMEA (the paper's future work §VIII.1).
+
+Synthesises fault trees from the SSAM path model, extracts minimal cut
+sets, quantifies the top event from FIT data and cross-checks the FMEA:
+single-point components must equal singleton cut sets on both the power
+supply and System B.  The benchmark times the full federation.
+"""
+
+import pytest
+
+from _harness import format_rows, report_table
+from repro.casestudies.power_supply import (
+    build_power_supply_ssam,
+    power_supply_reliability,
+)
+from repro.casestudies.systems import build_system_b
+from repro.fta import federate_fta_fmea
+from repro.safety import run_ssam_fmea
+
+
+def federate_power_supply():
+    model = build_power_supply_ssam()
+    composite = model.top_components()[0]
+    fmea = run_ssam_fmea(composite, power_supply_reliability())
+    return federate_fta_fmea(composite, fmea)
+
+
+def test_x1_fta_fmea_federation(benchmark):
+    federated = benchmark(federate_power_supply)
+
+    model_b = build_system_b()
+    composite_b = model_b.top_components()[0]
+    fmea_b = run_ssam_fmea(composite_b)
+    federated_b = federate_fta_fmea(composite_b, fmea_b)
+
+    rows = []
+    for label, fed in (("power supply", federated), ("System B", federated_b)):
+        rows.append(
+            {
+                "System": label,
+                "Min cut sets": len(fed.cut_sets),
+                "Singletons (FTA)": ", ".join(fed.fta_single_points),
+                "Single points (FMEA)": ", ".join(fed.fmea_single_points),
+                "Consistent": fed.consistent,
+                "P(top, 1y)": f"{fed.top_probability:.3e}",
+            }
+        )
+    report_table("Ext X1", "FTA federated with FMEA", format_rows(rows))
+
+    assert federated.consistent
+    assert federated_b.consistent
+    assert federated.fta_single_points == ["D1", "L1", "MC1"]
+    assert 0.0 < federated.top_probability < 0.01
+    # MC1 dominates the importance ranking (300 FIT vs 10/15).
+    top_event = max(federated.importance, key=federated.importance.get)
+    assert top_event == "MC1:RAM Failure"

@@ -1,0 +1,90 @@
+"""Extension X3 — scalable model indexing (the paper's future work §VIII.3).
+
+The paper attributes Table VI's Set5 failure to EMF's eager whole-model
+loading and plans a Hawk-style model index as the fix.  This bench measures
+the fix: answering SAME's bread-and-butter queries (elements of a kind,
+lookup by name) from the sidecar index versus from a full model load, on a
+Set3-sized model — and demonstrates the budget scenario: the index still
+answers when the eager load is refused outright.
+"""
+
+import time
+
+import pytest
+
+from _harness import format_rows, report_table
+from repro.casestudies.generators import build_scalability_model
+from repro.metamodel import (
+    MemoryOverflowError,
+    ModelIndex,
+    index_model_file,
+)
+from repro.ssam import SSAMModel
+
+_STATS = {}
+
+
+@pytest.fixture(scope="module")
+def model_file(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("index_bench")
+    model = build_scalability_model(5_689, name="set3")
+    path = model.save(tmp / "set3.json")
+    index_model_file(path)
+    return path
+
+
+def query_via_full_load(path):
+    model = SSAMModel.load(path)
+    components = model.elements_of_kind("Component")
+    return len(components), model.find_by_name("C0") is not None
+
+
+def query_via_index(path):
+    index = ModelIndex.for_model_file(path)
+    return index.count("Component"), index.find_one(
+        "Component", name="C0"
+    ) is not None
+
+
+def test_x3_query_via_full_load(benchmark, model_file):
+    count, found = benchmark(query_via_full_load, model_file)
+    assert found and count > 900
+    _STATS["full"] = benchmark.stats.stats.mean
+
+
+def test_x3_query_via_index(benchmark, model_file):
+    count, found = benchmark(query_via_index, model_file)
+    assert found and count > 900
+    _STATS["index"] = benchmark.stats.stats.mean
+
+    # The Set5-style scenario: eager load refused, index still answers.
+    start = time.perf_counter()
+    with pytest.raises(MemoryOverflowError):
+        SSAMModel.load(model_file, memory_budget_bytes=100 * 480)
+    refused = time.perf_counter() - start
+    index = ModelIndex.for_model_file(model_file)
+    assert index.element_count == 5_689
+
+    speedup = _STATS["full"] / _STATS["index"]
+    rows = [
+        {
+            "Access path": "eager full load + traverse",
+            "Mean query time": f"{_STATS['full'] * 1e3:.2f} ms",
+            "Works under tight memory budget": "no (MemoryOverflowError)",
+        },
+        {
+            "Access path": "sidecar model index",
+            "Mean query time": f"{_STATS['index'] * 1e3:.2f} ms",
+            "Works under tight memory budget": "yes",
+        },
+        {
+            "Access path": "speed-up",
+            "Mean query time": f"{speedup:.1f}x",
+            "Works under tight memory budget": "",
+        },
+    ]
+    report_table(
+        "Ext X3", "scalable model indexing (Set3-sized model)",
+        format_rows(rows),
+    )
+    assert speedup > 3  # the index must decisively beat re-loading

@@ -1,0 +1,39 @@
+"""Table I — FMEDA on a Phase Locked Loop.
+
+Reproduces the illustrative FMEDA of Section II-B: three failure modes with
+their DVF/IVF impacts, distributions, mechanisms and coverages; benchmarks
+the FMEDA derivation itself.
+"""
+
+import pytest
+
+from _harness import format_rows, report_table
+from repro.casestudies.pll import PLL_TABLE_I, pll_deployments, pll_fmea_result, pll_fmeda
+from repro.safety import run_fmeda
+
+
+def test_table1_pll_fmeda(benchmark):
+    result = benchmark(lambda: run_fmeda(pll_fmea_result(), pll_deployments()))
+
+    rows = []
+    by_mode = {row.failure_mode: row for row in result.rows}
+    for mode, impact, dist, mechanism, coverage in PLL_TABLE_I:
+        measured = by_mode[mode]
+        rows.append(
+            {
+                "FM": mode,
+                "Impact": impact,
+                "Dist(paper)": f"{dist * 100:.1f}%",
+                "Dist(ours)": f"{measured.distribution * 100:.1f}%",
+                "SM": mechanism or "N/A",
+                "Cov(paper)": f"{coverage * 100:.0f}%",
+                "Cov(ours)": f"{measured.sm_coverage * 100:.0f}%",
+            }
+        )
+    report_table("Table I", "FMEDA on PLL", format_rows(rows))
+
+    # Shape assertions: distributions and coverages match the paper exactly.
+    for mode, impact, dist, _, coverage in PLL_TABLE_I:
+        assert by_mode[mode].distribution == pytest.approx(dist)
+        assert by_mode[mode].sm_coverage == pytest.approx(coverage)
+        assert by_mode[mode].safety_related == (impact == "DVF")

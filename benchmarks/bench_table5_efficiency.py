@@ -1,0 +1,98 @@
+"""Table V — efficiency: manual vs DECISIVE+SAME design campaigns.
+
+Replays the paper's protocol with the calibrated analyst simulator (see
+DESIGN.md substitutions): two participants × two settings × Systems A and B
+with the paper's iteration counts pinned.  The published *shape* must hold:
+automation wins by roughly an order of magnitude on both systems, and
+manual effort scales with system size.  The benchmark times the automated
+tool run the simulator charges to each campaign (a full DECISIVE loop on
+System A).
+"""
+
+import numpy as np
+import pytest
+
+from _harness import format_rows, report_table
+from repro.casestudies.systems import (
+    build_system_a,
+    build_system_b,
+    system_mechanisms,
+)
+from repro.decisive import DecisiveProcess, simulate_process
+from repro.reliability import standard_reliability_model
+
+#: (system, participant, mode, iterations, paper minutes) — Table V rows.
+TABLE_V = [
+    ("A", "A", "manual", 5, 505),
+    ("A", "B", "auto", 2, 62),
+    ("B", "A", "manual", 6, 1143),
+    ("B", "B", "auto", 3, 105),
+    ("A", "A", "auto", 6, 57),
+    ("A", "B", "manual", 3, 497),
+    ("B", "A", "auto", 4, 110),
+    ("B", "B", "manual", 2, 1166),
+]
+
+SIZES = {"A": (102, 7), "B": (230, 8)}
+
+
+def run_decisive_on_a():
+    process = DecisiveProcess(
+        build_system_a(),
+        standard_reliability_model(),
+        system_mechanisms(),
+        target_asil="ASIL-B",
+    )
+    return process.run()
+
+
+def test_table5_efficiency(benchmark):
+    # Time the actual automated pipeline (what Participant B's minutes hide).
+    log = benchmark(run_decisive_on_a)
+    assert log.met_target
+
+    rng = np.random.default_rng(26262)
+    rows = []
+    measured = {}
+    for system, participant, mode, iterations, paper_minutes in TABLE_V:
+        elements, safety_related = SIZES[system]
+        outcome = simulate_process(
+            system,
+            elements,
+            safety_related,
+            participant,
+            mode,
+            rng,
+            iterations=iterations,
+        )
+        measured[(system, participant, mode)] = outcome.minutes
+        rows.append(
+            {
+                "System": system,
+                "Participant": f"{participant}({'Man.' if mode == 'manual' else 'Auto.'})",
+                "Minutes(paper)": paper_minutes,
+                "Minutes(ours)": round(outcome.minutes),
+                "Iterations": iterations,
+            }
+        )
+    report_table(
+        "Table V", "efficiency: manual vs DECISIVE+SAME", format_rows(rows)
+    )
+
+    # Shape: ~10x speed-up per system, both settings.
+    speedup_a = measured[("A", "A", "manual")] / measured[("A", "B", "auto")]
+    speedup_b = measured[("B", "A", "manual")] / measured[("B", "B", "auto")]
+    assert 4 <= speedup_a <= 20
+    assert 4 <= speedup_b <= 20
+    # Shape: manual effort scales with system size (230 vs 102 elements).
+    assert measured[("B", "A", "manual")] > 1.5 * measured[("A", "A", "manual")]
+    # Magnitudes within participant noise of the published numbers.
+    for (system, participant, mode, iterations, paper_minutes) in TABLE_V:
+        ours = measured[(system, participant, mode)]
+        assert 0.5 * paper_minutes <= ours <= 1.7 * paper_minutes, (
+            system,
+            participant,
+            mode,
+            ours,
+            paper_minutes,
+        )

@@ -1,0 +1,102 @@
+"""Table VI — scalability of SAME over growing model sets.
+
+Set0–Set3 are materialised and their automated evaluation (graph FMEA over
+the whole model) is timed with pytest-benchmark.  Set4 (5.689e6 elements,
+the paper's duplicated models) is evaluated once in streamed batches — no
+machine can materialise it under eager EMF-style loading, which is the
+paper's own finding.  Set5 must fail the eager-load memory pre-flight
+(the paper's "N/A: memory overflow"), reproduced against a 32 GiB budget.
+
+The published shape: evaluation time grows roughly linearly with element
+count, and Set5 does not load.
+"""
+
+import time
+
+import pytest
+
+from _harness import format_rows, report_table
+from repro.casestudies.generators import (
+    SCALABILITY_SETS,
+    build_scalability_model,
+    check_eager_load,
+    streamed_evaluation_seconds,
+)
+from repro.metamodel import MemoryOverflowError
+from repro.safety import run_ssam_fmea
+
+PAPER_SECONDS = {
+    "Set0": 0.1,
+    "Set1": 0.2,
+    "Set2": 0.8,
+    "Set3": 4.1,
+    "Set4": 48.3,
+    "Set5": None,
+}
+
+HEAP_BUDGET_BYTES = 32 * 1024**3  # a generous 32 GiB JVM-style heap
+
+_RESULTS = {}
+
+
+@pytest.mark.parametrize("set_name", ["Set0", "Set1", "Set2", "Set3"])
+def test_table6_materialised_sets(benchmark, set_name):
+    count = SCALABILITY_SETS[set_name]
+    model = build_scalability_model(count, name=set_name.lower())
+    composite = model.top_components()[0]
+    check_eager_load(count, HEAP_BUDGET_BYTES)  # all of these fit
+
+    result = benchmark(run_ssam_fmea, composite, None, False)
+    assert result.rows
+    _RESULTS[set_name] = benchmark.stats.stats.mean
+
+
+def test_table6_set4_streamed(benchmark):
+    # One full streamed evaluation of all 5.689e6 elements (rounds=1: the
+    # run takes minutes, and the streamed pathway is itself the measurement).
+    elapsed = benchmark.pedantic(
+        streamed_evaluation_seconds,
+        args=(SCALABILITY_SETS["Set4"],),
+        kwargs={"batch_elements": 100_000},
+        rounds=1,
+        iterations=1,
+    )
+    _RESULTS["Set4"] = elapsed
+    check_eager_load(SCALABILITY_SETS["Set4"], HEAP_BUDGET_BYTES)
+    assert elapsed > _RESULTS.get("Set3", 0.0)
+
+
+def test_table6_set5_memory_overflow(benchmark):
+    def preflight():
+        with pytest.raises(MemoryOverflowError):
+            check_eager_load(SCALABILITY_SETS["Set5"], HEAP_BUDGET_BYTES)
+
+    benchmark.pedantic(preflight, rounds=1, iterations=1)
+    _RESULTS["Set5"] = None
+
+    rows = []
+    for set_name, count in SCALABILITY_SETS.items():
+        ours = _RESULTS.get(set_name)
+        rows.append(
+            {
+                "Model": set_name,
+                "Elements": count,
+                "Seconds(paper)": PAPER_SECONDS[set_name]
+                if PAPER_SECONDS[set_name] is not None
+                else "N/A",
+                "Seconds(ours)": f"{ours:.3f}" if ours is not None else "N/A (overflow)",
+            }
+        )
+    report_table("Table VI", "scalability of SAME", format_rows(rows))
+
+    # Shape: roughly linear growth across the materialised sets.
+    measured = [
+        _RESULTS[name] for name in ("Set0", "Set1", "Set2", "Set3")
+        if name in _RESULTS
+    ]
+    if len(measured) == 4:
+        assert measured[0] < measured[2] < measured[3]
+        ratio = measured[3] / max(measured[0], 1e-9)
+        count_ratio = SCALABILITY_SETS["Set3"] / SCALABILITY_SETS["Set0"]
+        # Within an order of magnitude of linear scaling.
+        assert ratio < count_ratio * 10

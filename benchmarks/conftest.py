@@ -1,0 +1,24 @@
+"""Benchmark harness support.
+
+Every benchmark reproduces one table or figure of the paper (see DESIGN.md's
+experiment index).  Bench modules register their reproduced rows via
+``_harness.report_table``; the terminal-summary hook below prints them after
+pytest-benchmark's timing table — terminal summaries are not captured, so
+the paper-vs-measured comparison is always visible — and each table is also
+persisted under ``benchmarks/results/`` for EXPERIMENTS.md.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from _harness import TABLES  # noqa: E402
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not TABLES:
+        return
+    terminalreporter.section("reproduced paper tables")
+    for experiment_id in sorted(TABLES):
+        terminalreporter.write(TABLES[experiment_id] + "\n")

@@ -1,0 +1,98 @@
+"""Assurance-case integration (paper Section V-C).
+
+Builds a GSN assurance case whose evidence is the *generated* FMEDA
+workbook: an SACM-style artifact stores the query that computes the SPFM
+and the acceptance expression checking it against the ASIL-B target.  The
+case is then evaluated automatically — once against the refined design
+(supported) and once against a regression where ECC was dropped (the same
+query now fails, so the case flags itself without human review).
+
+Run:  python examples/assurance_case.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.assurance import (
+    ArtifactReference,
+    Context,
+    Goal,
+    Solution,
+    Strategy,
+    evaluate_case,
+    render_goal_structure,
+)
+from repro.casestudies.power_supply import (
+    ASSUMED_STABLE,
+    build_power_supply_simulink,
+    power_supply_mechanisms,
+    power_supply_reliability,
+)
+from repro.safety import run_fmeda, run_simulink_fmea, save_fmeda_workbook
+
+
+def build_case(workdir: Path) -> Goal:
+    artifact = ArtifactReference(
+        name="generated FMEDA",
+        location="fmeda",
+        driver_type="table",
+        metadata="Summary",
+        query="rows('Summary')[0]['SPFM']",
+        acceptance="result >= 0.90",  # the ASIL-B SPFM target
+        description="SPFM computed from the FMEDA the tool generated",
+    )
+    top = Goal("G1", "The power-supply design is acceptably safe for H1")
+    top.add_context(
+        Context("C1", "H1: the power supply fails unexpectedly; target ASIL-B")
+    )
+    strategy = top.add_support(
+        Strategy("S1", "Argument over ISO 26262 architectural metrics")
+    )
+    goal = strategy.add_goal(
+        Goal("G2", "The single point fault metric meets the ASIL-B target")
+    )
+    goal.add_support(Solution("Sn1", "FMEDA result", artifact=artifact))
+    return top
+
+
+def run_design(workdir: Path, with_ecc: bool) -> None:
+    fmea = run_simulink_fmea(
+        build_power_supply_simulink(),
+        power_supply_reliability(),
+        sensors=["CS1"],
+        assume_stable=ASSUMED_STABLE,
+    )
+    deployments = []
+    if with_ecc:
+        deployments.append(
+            power_supply_mechanisms().deploy("MC1", "MCU", "RAM Failure")
+        )
+    fmeda = run_fmeda(fmea, deployments)
+    save_fmeda_workbook(fmeda, workdir / "fmeda")
+    print(
+        f"  design {'with' if with_ecc else 'WITHOUT'} ECC: "
+        f"SPFM {fmeda.spfm * 100:.2f}% ({fmeda.asil})"
+    )
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="same_case_"))
+    case = build_case(workdir)
+    print(render_goal_structure(case))
+
+    print("\n1) refined design (ECC on MC1):")
+    run_design(workdir, with_ecc=True)
+    evaluation = evaluate_case(case, base_dir=workdir)
+    print(f"  case evaluation: {'SUPPORTED' if evaluation.ok else 'FAILED'}")
+
+    print("\n2) regression: ECC dropped from the design:")
+    run_design(workdir, with_ecc=False)
+    evaluation = evaluate_case(case, base_dir=workdir)
+    print(f"  case evaluation: {'SUPPORTED' if evaluation.ok else 'FAILED'}")
+    for identifier in evaluation.failures():
+        message = evaluation.messages.get(identifier, "")
+        print(f"    {identifier}: {evaluation.status(identifier).value}  {message}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Iterative design of the AUV main control unit (System B).
+
+Runs the full DECISIVE loop on the paper's second evaluation subject: the
+process iterates — evaluate (Step 4a), refine with safety mechanisms
+(Step 4b) — until the design reaches ASIL-B, then synthesises the safety
+concept (Step 5).  Also shows the Pareto front of (cost, SPFM) trade-offs
+SAME can search when several mechanisms compete.
+
+Run:  python examples/auv_design_iteration.py
+"""
+
+from repro.casestudies.systems import build_system_b, system_mechanisms
+from repro.decisive import DecisiveProcess
+from repro.reliability import standard_reliability_model
+from repro.safety import pareto_front, run_ssam_fmea
+
+
+def main() -> None:
+    model = build_system_b()
+    print(f"System B: {model.element_count()} model elements")
+
+    process = DecisiveProcess(
+        model,
+        reliability=standard_reliability_model(),
+        mechanisms=system_mechanisms(),
+        target_asil="ASIL-B",
+    )
+    log = process.run()
+
+    print(f"\nDECISIVE iterations (target {log.target_asil}):")
+    for record in log.iterations:
+        deployed = (
+            ", ".join(
+                f"{d.mechanism} on {d.component}" for d in record.deployments
+            )
+            or "-"
+        )
+        print(
+            f"  iter {record.index}: SPFM {record.spfm * 100:6.2f}%  "
+            f"{record.asil:7}  new mechanisms: {deployed}"
+        )
+    print(f"target met: {log.met_target}")
+
+    concept = log.concept
+    print("\nSafety concept (DECISIVE Step 5):")
+    print(f"  system         : {concept.system}")
+    print(f"  achieved       : {concept.achieved_asil} (SPFM {concept.spfm * 100:.2f}%)")
+    print(f"  requirements   : {concept.safety_requirements}")
+    print(f"  hazards        : {concept.hazards}")
+    print(f"  SM cost        : {concept.fmeda.total_cost:g} h")
+    for deployment in concept.deployments:
+        print(
+            f"    {deployment.mechanism:22} on {deployment.component:8} "
+            f"/{deployment.failure_mode:12} cov {deployment.coverage:.0%} "
+            f"cost {deployment.cost:g}h"
+        )
+
+    # The Pareto front over the full catalogue: cheapest designs first.
+    fmea = run_ssam_fmea(
+        model.top_components()[0], standard_reliability_model()
+    )
+    front = pareto_front(fmea, system_mechanisms())
+    print(f"\nPareto front ({len(front)} non-dominated plans):")
+    for plan in front[:12]:
+        print(
+            f"  cost {plan.cost:6.1f} h  SPFM {plan.spfm * 100:6.2f}%  "
+            f"{plan.asil}"
+        )
+    if len(front) > 12:
+        print(f"  ... and {len(front) - 12} more")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,153 @@
+"""From a blank page to a safety concept — every DECISIVE step, explicitly.
+
+This example starts where real projects start (nothing but a system idea),
+and walks all five steps with the library's full feature set:
+
+1. HARA: hazardous events with S/E/C classes -> hazard log + ASIL targets
+   + top-level safety requirements (Step 1);
+2. architecture design with the fluent builder (Step 2);
+3. reliability aggregation from the built-in catalogue (Step 3);
+4. automated FMEA, metrics (SPFM / PMHF), mechanism search (Steps 4a/4b);
+5. derived safety requirements, the safety concept, and a change-impact
+   check on a later design edit (Step 5 + the iterative loop's entry
+   condition).
+
+Run:  python examples/hara_to_safety_concept.py
+"""
+
+from repro.decisive import (
+    DecisiveProcess,
+    HazardousEventSpec,
+    HazardSpec,
+    assess_impact,
+)
+from repro.reliability import standard_reliability_model
+from repro.safety import (
+    derive_safety_requirements,
+    pmhf,
+    pmhf_meets,
+    run_ssam_fmea,
+)
+from repro.casestudies.systems import system_mechanisms
+from repro.same import render_architecture_mermaid, render_hazard_log
+from repro.ssam import ArchitectureBuilder, SSAMModel
+from repro.ssam.architecture import component_package
+
+
+def step1_hara(model: SSAMModel) -> None:
+    from repro.decisive import perform_hara
+
+    perform_hara(
+        model,
+        [
+            HazardSpec(
+                "H1",
+                "The actuator moves without a command",
+                [
+                    HazardousEventSpec(
+                        "operator nearby",
+                        "S3",
+                        "E3",
+                        "C2",
+                        causes=["controller output stuck high"],
+                        control_measures=["hardware interlock"],
+                    )
+                ],
+            ),
+            HazardSpec(
+                "H2",
+                "Loss of actuation on demand",
+                [HazardousEventSpec("emergency stop", "S2", "E2", "C2")],
+            ),
+        ],
+    )
+    print("Step 1 — hazard log:")
+    print(render_hazard_log(model))
+    for hazard in model.hazards():
+        from repro.ssam.base import text_of
+
+        print(f"  target for {text_of(hazard)}: {hazard.get('integrityTarget')}")
+
+
+def step2_design(model: SSAMModel):
+    catalogue = standard_reliability_model()
+    builder = ArchitectureBuilder("ActuatorChannel", component_type="system")
+
+    def part(name, klass, **kwargs):
+        handle = builder.component(name, component_class=klass, **kwargs)
+        entry = catalogue.lookup(klass)
+        handle.element.set("fit", float(entry.fit))
+        for mode in entry.failure_modes:
+            handle.failure_mode(mode.name, mode.nature, mode.distribution)
+        return handle
+
+    supply = part("PSU", "PowerRegulator")
+    controller = part("CTL", "MCU")
+    driver = part("DRV", "Relay")
+    motor = part("MOT", "Motor")
+    sensor = part("FB", "Sensor")
+
+    builder.entry(supply)
+    builder.chain(supply, controller, driver, motor)
+    builder.exit(motor)
+    builder.wire(sensor, controller, kind="data")
+
+    package = component_package("ActuatorArchitecture")
+    package.add("components", builder.build())
+    model.add_component_package(package)
+    print("\nStep 2 — architecture (Mermaid):")
+    print(render_architecture_mermaid(model))
+
+
+def main() -> None:
+    model = SSAMModel("actuator_channel")
+    step1_hara(model)
+    step2_design(model)
+
+    # Steps 3-4 via the process loop (target from H1's HARA outcome).
+    target = max(
+        (h.get("integrityTarget") for h in model.hazards()),
+        key=["QM", "ASIL-A", "ASIL-B", "ASIL-C", "ASIL-D"].index,
+    )
+    process = DecisiveProcess(
+        model, standard_reliability_model(), system_mechanisms(), target
+    )
+    log = process.run()
+    print(f"\nSteps 3-4 — iterations toward {target}:")
+    for record in log.iterations:
+        print(
+            f"  iter {record.index}: SPFM {record.spfm * 100:6.2f}% "
+            f"({record.asil})"
+        )
+    print(f"  target met: {log.met_target}")
+
+    fmea, _, _ = process.step4a_evaluate()
+    value = pmhf(fmea, process.deployments)
+    print(
+        f"  PMHF {value:.2e}/h — meets {target}: "
+        f"{pmhf_meets(value, target)}"
+    )
+
+    # Step 5: derived requirements + the concept.
+    derived = derive_safety_requirements(
+        model, fmea, process.deployments, integrity_level=target
+    )
+    print(f"\nStep 5 — {len(derived)} derived safety requirements, e.g.:")
+    print(f"  {derived[0].get('text')}")
+    concept = log.concept
+    print(
+        f"  safety concept: {concept.achieved_asil}, "
+        f"{len(concept.deployments)} mechanisms, "
+        f"cost {concept.fmeda.total_cost:g} h"
+    )
+
+    # The iterative loop: a design change triggers impact analysis.
+    before = model.clone()
+    model.find_by_name("DRV").set("fit", 40.0)  # supplier revises the relay
+    report = assess_impact(before, model, fmea)
+    print("\nChange: relay FIT 25 -> 40. Impact analysis:")
+    print(report.summary())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Quickstart — the paper's case study in ~40 lines.
+
+Runs DECISIVE Steps 3-4 on the sensor power-supply system (Fig. 11):
+automated FMEA by fault injection, SPFM, ECC deployment, FMEDA — ending at
+the paper's Table IV numbers (SPFM 5.38 % -> 96.77 %, ASIL-B).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.casestudies.power_supply import (
+    ASSUMED_STABLE,
+    build_power_supply_simulink,
+    power_supply_mechanisms,
+    power_supply_reliability,
+)
+from repro.safety.report import fmea_to_sheet, fmeda_to_sheet, render_text_table
+from repro.same import SAME
+
+
+def main() -> None:
+    same = SAME()
+
+    # DECISIVE Step 2 artefact: the system design (a block diagram).
+    same.open_simulink(build_power_supply_simulink())
+
+    # Step 3: aggregate the component reliability model (Table II).
+    same.load_reliability(power_supply_reliability())
+
+    # Step 4a: automated FMEA by fault injection; the safety goal is
+    # judged at current sensor CS1, and DC1 is assumed stable.
+    fmea = same.run_fmea_simulink(sensors=["CS1"], assume_stable=ASSUMED_STABLE)
+    print("Automated FMEA (DECISIVE Step 4a)")
+    print(render_text_table(fmea_to_sheet(fmea)))
+
+    value, asil = same.calculate_spfm()
+    print(f"\nSPFM = {value * 100:.2f}%  -> {asil};  ASIL-B needs >= 90%")
+
+    # Step 4b: deploy ECC (99 % coverage of MCU RAM failures, Table III).
+    same.load_mechanisms(power_supply_mechanisms())
+    same.deploy("MC1", "RAM Failure", "ECC")
+    fmeda = same.run_fmeda()
+    print("\nFMEDA after deploying ECC on MC1 (DECISIVE Step 4b)")
+    print(render_text_table(fmeda_to_sheet(fmeda)))
+    print(
+        f"\nSPFM = {fmeda.spfm * 100:.2f}%  -> {fmeda.asil}  "
+        f"(paper: 5.38% -> 96.77%, ASIL-B)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,25 @@
+"""DECISIVE — DEsigning CrItical Systems with IteratiVe automated safEty analysis.
+
+A reproduction of the DAC 2022 paper "DECISIVE: Designing Critical Systems
+with Iterative Automated Safety Analysis" (Wei et al.).  The package provides:
+
+- :mod:`repro.metamodel` — a small metamodelling kernel (EMF/Ecore substitute);
+- :mod:`repro.ssam` — the Structured System Architecture Metamodel (SSAM);
+- :mod:`repro.drivers` — Epsilon-style model drivers and a query language;
+- :mod:`repro.simulink` — a Simulink/Simscape-like block-diagram substrate;
+- :mod:`repro.circuit` — an MNA-based analogue circuit simulator;
+- :mod:`repro.reliability` — component reliability modelling (FIT, failure modes);
+- :mod:`repro.safety` — automated FMEA / FMEDA, metrics (SPFM), ASIL, optimiser;
+- :mod:`repro.transform` — model-to-model transformation (Simulink → SSAM);
+- :mod:`repro.federation` — heterogeneous model federation;
+- :mod:`repro.assurance` — SACM/GSN assurance cases with executable queries;
+- :mod:`repro.fta` — fault tree analysis (future-work extension);
+- :mod:`repro.monitor` — runtime monitor generation (future-work extension);
+- :mod:`repro.decisive` — the five-step DECISIVE process orchestration;
+- :mod:`repro.same` — the SAME tool facade;
+- :mod:`repro.casestudies` — the paper's case studies and dataset generators.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,57 @@
+"""Model-based assurance cases (the ACME substitute; paper Section V-C).
+
+The paper integrates DECISIVE's artefacts into a model-based assurance case
+(ACME, built on the Structured Assurance Case Metamodel): an ``Artifact``
+element traces to the generated FMEDA result and stores a query computing
+the SPFM, so the case is *automatically re-evaluated* when the design — and
+hence the FMEDA — changes.
+
+- :mod:`repro.assurance.gsn` — Goal Structuring Notation elements (goals,
+  strategies, solutions, context) with artifact-backed solutions;
+- :mod:`repro.assurance.sacm` — the SACM-facing artifact layer: an
+  ``ArtifactReference`` names an external artefact, an extraction query and
+  a machine-checkable acceptance expression;
+- :mod:`repro.assurance.evaluation` — automated case evaluation: execute
+  every solution's query, check its acceptance expression, propagate
+  support up the goal structure.
+"""
+
+from repro.assurance.gsn import (
+    Assumption,
+    Context,
+    Goal,
+    GsnError,
+    Justification,
+    Solution,
+    Strategy,
+    render_goal_structure,
+)
+from repro.assurance.sacm import ArtifactReference
+from repro.assurance.evaluation import (
+    CaseEvaluation,
+    NodeStatus,
+    evaluate_case,
+)
+from repro.assurance.patterns import (
+    case_from_safety_concept,
+    mechanism_artifact,
+    spfm_artifact,
+)
+
+__all__ = [
+    "Goal",
+    "Strategy",
+    "Solution",
+    "Context",
+    "Assumption",
+    "Justification",
+    "GsnError",
+    "render_goal_structure",
+    "ArtifactReference",
+    "NodeStatus",
+    "CaseEvaluation",
+    "evaluate_case",
+    "case_from_safety_concept",
+    "spfm_artifact",
+    "mechanism_artifact",
+]

@@ -1,0 +1,131 @@
+"""Automated assurance-case evaluation.
+
+Support propagates bottom-up through the goal structure:
+
+- a **Solution** is SUPPORTED when its artifact's acceptance check passes
+  (a solution without an artifact is UNDEVELOPED — evidence was promised
+  but nothing machine-checkable backs it);
+- a **Strategy** is SUPPORTED when it has subgoals and all are supported;
+- a **Goal** is SUPPORTED when it has support and all of it is supported;
+  goals explicitly flagged ``undeveloped`` are UNDEVELOPED.
+
+Re-running :func:`evaluate_case` after the design (and hence the generated
+FMEDA artefacts) changed is exactly the paper's "automated validation of
+system assurance cases".
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.assurance.gsn import Goal, Solution, Strategy
+from repro.assurance.sacm import ArtifactError
+
+
+class NodeStatus(enum.Enum):
+    SUPPORTED = "supported"
+    UNSUPPORTED = "unsupported"
+    UNDEVELOPED = "undeveloped"
+    ERROR = "error"
+
+
+@dataclass
+class CaseEvaluation:
+    """Per-node statuses plus an overall verdict."""
+
+    statuses: Dict[str, NodeStatus] = field(default_factory=dict)
+    messages: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return all(
+            status == NodeStatus.SUPPORTED for status in self.statuses.values()
+        )
+
+    def status(self, identifier: str) -> NodeStatus:
+        return self.statuses[identifier]
+
+    def failures(self) -> List[str]:
+        return [
+            identifier
+            for identifier, status in self.statuses.items()
+            if status != NodeStatus.SUPPORTED
+        ]
+
+
+def evaluate_case(
+    root: Goal, base_dir: Optional[Path] = None
+) -> CaseEvaluation:
+    """Evaluate the case rooted at ``root`` (executing artifact queries)."""
+    evaluation = CaseEvaluation()
+    _evaluate(root, base_dir, evaluation, set())
+    return evaluation
+
+
+def _evaluate(node, base_dir, evaluation: CaseEvaluation, visiting: set) -> NodeStatus:
+    if node.identifier in evaluation.statuses:
+        return evaluation.statuses[node.identifier]
+    if id(node) in visiting:
+        evaluation.statuses[node.identifier] = NodeStatus.ERROR
+        evaluation.messages[node.identifier] = "cycle in goal structure"
+        return NodeStatus.ERROR
+    visiting.add(id(node))
+    try:
+        status = _evaluate_inner(node, base_dir, evaluation, visiting)
+    finally:
+        visiting.discard(id(node))
+    evaluation.statuses[node.identifier] = status
+    return status
+
+
+def _evaluate_inner(node, base_dir, evaluation, visiting) -> NodeStatus:
+    if isinstance(node, Solution):
+        if node.artifact is None:
+            evaluation.messages[node.identifier] = "no artifact attached"
+            return NodeStatus.UNDEVELOPED
+        try:
+            passed = node.artifact.check(base_dir)
+        except ArtifactError as exc:
+            evaluation.messages[node.identifier] = str(exc)
+            return NodeStatus.ERROR
+        if passed:
+            return NodeStatus.SUPPORTED
+        evaluation.messages[node.identifier] = (
+            f"acceptance expression {node.artifact.acceptance!r} is false"
+        )
+        return NodeStatus.UNSUPPORTED
+    if isinstance(node, Strategy):
+        if not node.supported_by:
+            evaluation.messages[node.identifier] = "strategy has no subgoals"
+            return NodeStatus.UNDEVELOPED
+        children = [
+            _evaluate(child, base_dir, evaluation, visiting)
+            for child in node.supported_by
+        ]
+        return _combine(children)
+    if isinstance(node, Goal):
+        if node.undeveloped:
+            return NodeStatus.UNDEVELOPED
+        if not node.supported_by:
+            evaluation.messages[node.identifier] = "goal has no support"
+            return NodeStatus.UNDEVELOPED
+        children = [
+            _evaluate(child, base_dir, evaluation, visiting)
+            for child in node.supported_by
+        ]
+        return _combine(children)
+    # Context / assumption / justification do not gate support.
+    return NodeStatus.SUPPORTED
+
+
+def _combine(children: List[NodeStatus]) -> NodeStatus:
+    if any(status == NodeStatus.ERROR for status in children):
+        return NodeStatus.ERROR
+    if any(status == NodeStatus.UNSUPPORTED for status in children):
+        return NodeStatus.UNSUPPORTED
+    if any(status == NodeStatus.UNDEVELOPED for status in children):
+        return NodeStatus.UNDEVELOPED
+    return NodeStatus.SUPPORTED

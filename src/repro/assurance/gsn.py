@@ -1,0 +1,156 @@
+"""Goal Structuring Notation elements.
+
+The node kinds follow the GSN standard (whose founding authors include the
+paper's last author): goals are claims, strategies decompose goals,
+solutions are evidence (here: artifact-backed, machine-checkable), and
+context / assumption / justification annotate the argument.
+
+Structure rules enforced on linking:
+
+- ``supportedBy``: Goal → {Goal, Strategy, Solution}; Strategy → {Goal};
+- ``inContextOf``: Goal/Strategy → {Context, Assumption, Justification}.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+from repro.assurance.sacm import ArtifactReference
+
+
+class GsnError(Exception):
+    """Raised for malformed goal structures."""
+
+
+@dataclass
+class _Node:
+    identifier: str
+    text: str
+
+    @property
+    def kind(self) -> str:
+        return type(self).__name__
+
+
+@dataclass
+class Context(_Node):
+    """Contextual information scoping a goal or strategy."""
+
+
+@dataclass
+class Assumption(_Node):
+    """An assumption the argument rests on."""
+
+
+@dataclass
+class Justification(_Node):
+    """A rationale for an argument step."""
+
+
+@dataclass
+class Solution(_Node):
+    """Evidence: optionally backed by a machine-checkable artifact."""
+
+    artifact: Optional[ArtifactReference] = None
+
+
+@dataclass
+class Strategy(_Node):
+    """An argument step decomposing a goal into subgoals."""
+
+    supported_by: List["Goal"] = field(default_factory=list)
+    in_context_of: List[Union[Context, Assumption, Justification]] = field(
+        default_factory=list
+    )
+
+    def add_goal(self, goal: "Goal") -> "Goal":
+        self.supported_by.append(goal)
+        return goal
+
+    def add_context(
+        self, node: Union[Context, Assumption, Justification]
+    ) -> Union[Context, Assumption, Justification]:
+        self.in_context_of.append(node)
+        return node
+
+
+@dataclass
+class Goal(_Node):
+    """A claim, supported by subgoals, strategies or solutions."""
+
+    undeveloped: bool = False
+    supported_by: List[Union["Goal", Strategy, Solution]] = field(
+        default_factory=list
+    )
+    in_context_of: List[Union[Context, Assumption, Justification]] = field(
+        default_factory=list
+    )
+
+    def add_support(
+        self, node: Union["Goal", Strategy, Solution]
+    ) -> Union["Goal", Strategy, Solution]:
+        if not isinstance(node, (Goal, Strategy, Solution)):
+            raise GsnError(
+                f"a Goal may only be supported by Goal/Strategy/Solution, "
+                f"got {type(node).__name__}"
+            )
+        self.supported_by.append(node)
+        return node
+
+    def add_context(
+        self, node: Union[Context, Assumption, Justification]
+    ) -> Union[Context, Assumption, Justification]:
+        if not isinstance(node, (Context, Assumption, Justification)):
+            raise GsnError(
+                f"context links accept Context/Assumption/Justification, "
+                f"got {type(node).__name__}"
+            )
+        self.in_context_of.append(node)
+        return node
+
+
+def _walk(node, depth: int, lines: List[str], seen: set) -> None:
+    marker = {
+        "Goal": "G",
+        "Strategy": "S",
+        "Solution": "Sn",
+        "Context": "C",
+        "Assumption": "A",
+        "Justification": "J",
+    }[node.kind]
+    suffix = ""
+    if isinstance(node, Goal) and node.undeveloped:
+        suffix = " [undeveloped]"
+    if isinstance(node, Solution) and node.artifact is not None:
+        suffix = f" [artifact: {node.artifact.name}]"
+    lines.append(f"{'  ' * depth}{marker} {node.identifier}: {node.text}{suffix}")
+    if id(node) in seen:
+        lines.append(f"{'  ' * (depth + 1)}(shared subtree, already shown)")
+        return
+    seen.add(id(node))
+    for context in getattr(node, "in_context_of", []):
+        _walk(context, depth + 1, lines, seen)
+    for child in getattr(node, "supported_by", []):
+        _walk(child, depth + 1, lines, seen)
+
+
+def render_goal_structure(root: Goal) -> str:
+    """An indented text rendering of the goal structure."""
+    lines: List[str] = []
+    _walk(root, 0, lines, set())
+    return "\n".join(lines)
+
+
+def iter_nodes(root: Goal):
+    """All nodes of the structure, depth-first, each once."""
+    seen = set()
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if id(node) in seen:
+            continue
+        seen.add(id(node))
+        yield node
+        stack.extend(getattr(node, "in_context_of", []))
+        stack.extend(getattr(node, "supported_by", []))

@@ -1,0 +1,173 @@
+"""GSN pattern instantiation — from a safety concept to an assurance case.
+
+Section V-C integrates DECISIVE's artefacts into an assurance case by hand;
+this module automates the construction using the classic *hazard-directed
+breakdown* pattern (from the GSN community's pattern catalogue):
+
+    G1  system acceptably safe
+      S1  argue over all identified hazards
+        G-H<i>  hazard H<i> mitigated to its target ASIL
+          S-H<i> argue over the architectural metrics + allocated
+                 safety requirements
+            G-M<i>  SPFM meets the target      <- Sn: FMEDA artifact query
+            G-R<i>  mechanisms implemented     <- Sn: deployment records
+
+Every leaf solution is machine-checkable (an
+:class:`~repro.assurance.sacm.ArtifactReference` over the generated FMEDA
+workbook), so the produced case re-validates itself whenever the design —
+and hence the FMEDA — changes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.assurance.gsn import Context, Goal, Solution, Strategy
+from repro.assurance.sacm import ArtifactReference
+from repro.decisive.process import SafetyConcept
+from repro.safety.metrics import ASIL_SPFM_TARGETS
+
+
+def spfm_artifact(
+    fmeda_location: str,
+    target_asil: str,
+    name: str = "generated FMEDA",
+) -> ArtifactReference:
+    """The SPFM acceptance artifact over a saved FMEDA workbook."""
+    target = ASIL_SPFM_TARGETS.get(target_asil, 0.0)
+    return ArtifactReference(
+        name=name,
+        location=fmeda_location,
+        driver_type="table",
+        metadata="Summary",
+        query="rows('Summary')[0]['SPFM']",
+        acceptance=f"result >= {target}",
+        description=(
+            f"SPFM from the generated FMEDA must meet the {target_asil} "
+            f"target ({target:.0%})"
+        ),
+    )
+
+
+def mechanism_artifact(
+    fmeda_location: str,
+    component: str,
+    failure_mode: str,
+    mechanism: str,
+    coverage: float,
+) -> ArtifactReference:
+    """Checks that the FMEDA records the mechanism on the failure mode with
+    at least the claimed coverage."""
+    query = (
+        "[prop(r, 'SM_Coverage') for r in rows('FMEDA') "
+        f"if prop(r, 'Failure_Mode') == '{failure_mode}']"
+    )
+    return ArtifactReference(
+        name=f"{mechanism} on {component}",
+        location=fmeda_location,
+        driver_type="table",
+        metadata="FMEDA",
+        query=query,
+        acceptance=(
+            f"len(result) > 0 and max(v or 0 for v in result) >= {coverage}"
+        ),
+        description=(
+            f"the FMEDA must record {mechanism} covering {component}/"
+            f"{failure_mode} at >= {coverage:.0%}"
+        ),
+    )
+
+
+def case_from_safety_concept(
+    concept: SafetyConcept,
+    fmeda_location: str,
+) -> Goal:
+    """Instantiate the hazard-directed breakdown over a safety concept.
+
+    ``fmeda_location`` is the path (relative to the evaluation base dir) of
+    the FMEDA workbook saved with
+    :func:`~repro.safety.report.save_fmeda_workbook`.
+    """
+    top = Goal(
+        "G1",
+        f"{concept.system} is acceptably safe to operate "
+        f"(target {concept.target_asil})",
+    )
+    top.add_context(
+        Context(
+            "C1",
+            f"safety requirements: {', '.join(concept.safety_requirements) or '-'}",
+        )
+    )
+    hazard_strategy = top.add_support(
+        Strategy("S1", "Argument over all identified hazards")
+    )
+    hazards = concept.hazards or ["(unnamed hazard)"]
+    for index, hazard in enumerate(hazards, start=1):
+        hazard_goal = hazard_strategy.add_goal(
+            Goal(
+                f"G-H{index}",
+                f"Hazard {hazard} is mitigated to {concept.target_asil}",
+            )
+        )
+        metric_strategy = hazard_goal.add_support(
+            Strategy(
+                f"S-H{index}",
+                "Argument over architectural metrics and allocated "
+                "safety mechanisms",
+            )
+        )
+        metric_goal = metric_strategy.add_goal(
+            Goal(
+                f"G-M{index}",
+                f"The single point fault metric meets the "
+                f"{concept.target_asil} target",
+            )
+        )
+        metric_goal.add_support(
+            Solution(
+                f"Sn-M{index}",
+                "Generated FMEDA (SPFM summary)",
+                artifact=spfm_artifact(fmeda_location, concept.target_asil),
+            )
+        )
+        if concept.deployments:
+            mech_goal = metric_strategy.add_goal(
+                Goal(
+                    f"G-R{index}",
+                    "Every allocated safety mechanism is recorded with its "
+                    "claimed coverage",
+                )
+            )
+            for d_index, deployment in enumerate(concept.deployments, start=1):
+                mech_goal.add_support(
+                    Solution(
+                        f"Sn-R{index}.{d_index}",
+                        f"{deployment.mechanism} on {deployment.component}",
+                        artifact=mechanism_artifact(
+                            fmeda_location,
+                            deployment.component,
+                            deployment.failure_mode,
+                            deployment.mechanism,
+                            deployment.coverage,
+                        ),
+                    )
+                )
+        else:
+            metric_strategy.add_goal(
+                Goal(
+                    f"G-R{index}",
+                    "No safety mechanisms were required",
+                    undeveloped=False,
+                )
+            ).add_support(
+                Solution(
+                    f"Sn-R{index}",
+                    "FMEDA shows the bare design meets the target",
+                    artifact=spfm_artifact(
+                        fmeda_location, concept.target_asil,
+                        name="bare-design FMEDA",
+                    ),
+                )
+            )
+    return top

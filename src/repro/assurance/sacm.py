@@ -1,0 +1,81 @@
+"""SACM-facing artifact layer.
+
+An :class:`ArtifactReference` is the reproduction of ACME's ``Artifact``
+class instance (Structured Assurance Case Metamodel): it names an external
+artefact (by location / driver type / metadata), an extraction query, and a
+machine-checkable *acceptance expression* evaluated over the query result.
+
+In the paper's example the artefact is the generated FMEDA workbook, the
+query computes the SPFM and the acceptance expression checks it against the
+target ASIL's threshold — re-running the evaluation after a design change
+re-validates the assurance case automatically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Optional
+
+from repro.drivers import QueryError, evaluate_query, open_model
+from repro.drivers.base import DriverError
+
+
+class ArtifactError(Exception):
+    """Raised when an artifact cannot be opened, queried or checked."""
+
+
+@dataclass
+class ArtifactReference:
+    """An external artefact with an extraction query and acceptance check.
+
+    ``query`` is an RQL expression over the opened artefact (``rows()``
+    etc.); ``acceptance`` is an RQL expression over ``result`` (the query's
+    value) that must evaluate truthy for the artifact to support its claim.
+    """
+
+    name: str
+    location: str
+    driver_type: str = "table"
+    metadata: str = ""
+    query: str = ""
+    acceptance: str = ""
+    description: str = ""
+
+    def fetch(self, base_dir: Optional[Path] = None) -> Any:
+        """Open the artefact and run the extraction query."""
+        path = Path(self.location)
+        if base_dir is not None and not path.is_absolute():
+            path = Path(base_dir) / path
+        try:
+            driver = open_model(path, self.driver_type, self.metadata)
+        except DriverError as exc:
+            raise ArtifactError(
+                f"artifact {self.name!r}: cannot open {path}: {exc}"
+            ) from exc
+        if not self.query.strip():
+            return driver
+        try:
+            return evaluate_query(self.query, driver)
+        except QueryError as exc:
+            raise ArtifactError(
+                f"artifact {self.name!r}: query failed: {exc}"
+            ) from exc
+
+    def check(self, base_dir: Optional[Path] = None) -> bool:
+        """Fetch and evaluate the acceptance expression.
+
+        An artifact without an acceptance expression supports its claim by
+        mere existence (the fetch must succeed).
+        """
+        result = self.fetch(base_dir)
+        if not self.acceptance.strip():
+            return True
+        try:
+            return bool(
+                evaluate_query(self.acceptance, variables={"result": result})
+            )
+        except QueryError as exc:
+            raise ArtifactError(
+                f"artifact {self.name!r}: acceptance check failed: {exc}"
+            ) from exc

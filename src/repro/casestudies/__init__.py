@@ -1,0 +1,39 @@
+"""The paper's case studies and evaluation dataset generators.
+
+- :mod:`repro.casestudies.power_supply` — the sensor power-supply system of
+  Section V (Fig. 11/12, Tables II–IV);
+- :mod:`repro.casestudies.pll` — the PLL FMEDA of Table I;
+- :mod:`repro.casestudies.systems` — the evaluation subjects: *System A*
+  (sensor power supply, 102 design elements) and *System B* (AUV main
+  control unit, 230 elements), rebuilt synthetically per DESIGN.md;
+- :mod:`repro.casestudies.generators` — scalable SSAM model sets
+  (Set0–Set5 of Table VI).
+"""
+
+from repro.casestudies.power_supply import (
+    build_power_supply_simulink,
+    build_power_supply_ssam,
+    power_supply_mechanisms,
+    power_supply_reliability,
+)
+from repro.casestudies.pll import pll_fmeda, pll_fmea_result
+from repro.casestudies.systems import build_system_a, build_system_b
+from repro.casestudies.generators import (
+    SCALABILITY_SETS,
+    build_scalability_model,
+    scalability_element_counts,
+)
+
+__all__ = [
+    "build_power_supply_simulink",
+    "build_power_supply_ssam",
+    "power_supply_reliability",
+    "power_supply_mechanisms",
+    "pll_fmeda",
+    "pll_fmea_result",
+    "build_system_a",
+    "build_system_b",
+    "SCALABILITY_SETS",
+    "build_scalability_model",
+    "scalability_element_counts",
+]

@@ -1,0 +1,185 @@
+"""Scalable SSAM model generators — the Table VI data sets.
+
+Table VI evaluates SAME on model sets of growing size::
+
+    Set0       109 elements
+    Set1       269 elements
+    Set2     1 369 elements
+    Set3     5 689 elements
+    Set4 5 689 000 elements   (the paper's models duplicated)
+    Set5 568 990 000 elements (would not load: memory overflow)
+
+:func:`build_scalability_model` builds an SSAM model with an exact element
+count: a repeating "cell" of components with failure modes and wiring,
+mirroring how the paper formed Set4/Set5 by duplicating its real models.
+
+Materialising half a billion Python objects is no more possible here than
+materialising them in EMF was for the paper — that is Table VI's finding.
+For sizes above :data:`MATERIALIZATION_CAP` the benchmark harness evaluates
+the analysis in *streamed batches* (building, analysing and discarding one
+duplicate at a time) while the eager-loading resource's memory model
+(:func:`repro.metamodel.estimate_element_bytes`) reproduces the Set5
+``N/A`` outcome deterministically.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterator, List, Tuple
+
+from repro.metamodel import MemoryOverflowError, ModelResource
+from repro.ssam import ArchitectureBuilder, SSAMModel
+from repro.ssam.architecture import component, component_package
+
+#: Table VI data sets: name -> element count.
+SCALABILITY_SETS: Dict[str, int] = {
+    "Set0": 109,
+    "Set1": 269,
+    "Set2": 1_369,
+    "Set3": 5_689,
+    "Set4": 5_689_000,
+    "Set5": 568_990_000,
+}
+
+#: Largest model the harness will materialise as one object graph.
+MATERIALIZATION_CAP = 200_000
+
+#: Elements contributed by one generator cell:
+#:   Component + LangString + 2 x (FailureMode + LangString) = 6.
+_CELL_ELEMENTS = 6
+
+#: Fixed overhead: SSAMModelRoot + LangString, package + LangString,
+#: composite + LangString = 6.
+_BASE_ELEMENTS = 6
+
+
+def scalability_element_counts() -> List[Tuple[str, int]]:
+    return list(SCALABILITY_SETS.items())
+
+
+def build_scalability_model(element_count: int, name: str = "scal") -> SSAMModel:
+    """An SSAM model with exactly ``element_count`` elements.
+
+    The architecture is a serial chain of two-failure-mode components under
+    one composite — structurally the shape Algorithm 1 analyses — padded
+    with unnamed test points for exact remainders.
+    """
+    if element_count < _BASE_ELEMENTS + _CELL_ELEMENTS:
+        raise ValueError(
+            f"element_count must be >= {_BASE_ELEMENTS + _CELL_ELEMENTS}"
+        )
+    if element_count > MATERIALIZATION_CAP:
+        raise MemoryOverflowError(
+            element_count * 480, MATERIALIZATION_CAP * 480
+        )
+    model = SSAMModel(name)
+    builder = ArchitectureBuilder(f"{name}_system", component_type="system")
+    cells = (element_count - _BASE_ELEMENTS) // _CELL_ELEMENTS
+    previous = None
+    for index in range(cells):
+        handle = builder.component(
+            f"C{index}", fit=10.0, component_class="Diode"
+        )
+        handle.failure_mode("Open", "open", 0.3)
+        handle.failure_mode("Short", "short", 0.7)
+        if previous is None:
+            builder.entry(handle)
+        else:
+            builder.wire(previous, handle)
+        previous = handle
+    if previous is not None:
+        builder.exit(previous)
+    # Relationships are contained, 1 element each: cells+1 of them
+    # (entry + cells-1 wires + exit).  Account for them before padding.
+    package = component_package(f"{name}_arch")
+    package.add("components", builder.build())
+    model.add_component_package(package)
+
+    current = model.element_count()
+    index = 0
+    while current < element_count:  # each unnamed test point adds 1 element
+        index += 1
+        package.add("components", _unnamed_testpoint(f"{name}_tp{index}"))
+        current += 1
+    if current != element_count:
+        # Overshot by containment bookkeeping: rebuild with one less cell.
+        return _rebuild_exact(element_count, name)
+    return model
+
+
+def _unnamed_testpoint(comp_id: str):
+    from repro.ssam.architecture import ARCHITECTURE
+
+    return ARCHITECTURE.get("Component").create(
+        id=comp_id, componentClass="Connector"
+    )
+
+
+def _rebuild_exact(element_count: int, name: str) -> SSAMModel:
+    """Fallback exact construction: fewer cells, more 1-element padding."""
+    model = SSAMModel(name)
+    builder = ArchitectureBuilder(f"{name}_system", component_type="system")
+    budget = element_count - _BASE_ELEMENTS
+    cells = max(1, budget // (_CELL_ELEMENTS + 2) - 1)
+    previous = None
+    for index in range(cells):
+        handle = builder.component(
+            f"C{index}", fit=10.0, component_class="Diode"
+        )
+        handle.failure_mode("Open", "open", 0.3)
+        handle.failure_mode("Short", "short", 0.7)
+        if previous is None:
+            builder.entry(handle)
+        else:
+            builder.wire(previous, handle)
+        previous = handle
+    builder.exit(previous)
+    package = component_package(f"{name}_arch")
+    package.add("components", builder.build())
+    model.add_component_package(package)
+    current = model.element_count()
+    index = 0
+    while current < element_count:
+        index += 1
+        package.add("components", _unnamed_testpoint(f"{name}_xtp{index}"))
+        current += 1
+    assert model.element_count() == element_count, (
+        model.element_count(),
+        element_count,
+    )
+    return model
+
+
+def streamed_evaluation_seconds(
+    element_count: int,
+    batch_elements: int = 50_000,
+) -> float:
+    """Analysis wall-time for ``element_count`` elements, evaluated in
+    streamed duplicate batches (the harness's Set4 pathway).
+
+    Builds one batch model, then times the graph FMEA over as many duplicate
+    batches as the target size requires, re-running the analysis each time
+    (construction time is excluded — Table VI times *evaluation*).
+    """
+    from repro.safety.graph_analysis import run_ssam_fmea
+
+    batch_elements = min(batch_elements, element_count)
+    batch = build_scalability_model(batch_elements, name="batch")
+    composite = batch.top_components()[0]
+    duplicates, remainder = divmod(element_count, batch_elements)
+    total = 0.0
+    for _ in range(duplicates):
+        start = time.perf_counter()
+        run_ssam_fmea(composite, mark_model=False)
+        total += time.perf_counter() - start
+    if remainder:
+        total += (remainder / batch_elements) * (
+            total / duplicates if duplicates else 0.0
+        )
+    return total
+
+
+def check_eager_load(element_count: int, memory_budget_bytes: int) -> None:
+    """Pre-flight the eager EMF-style load (raises for Set5-scale models)."""
+    resource = ModelResource(memory_budget_bytes=memory_budget_bytes)
+    resource.check_loadable(element_count)

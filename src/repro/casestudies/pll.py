@@ -1,0 +1,76 @@
+"""The PLL FMEDA example (paper Table I).
+
+Table I illustrates FMEDA on a Phase Locked Loop: a safety-critical
+characteristic with three failure modes — *lower frequency* (DVF, 40.1 %,
+covered 70 % by a time-out watchdog), *higher frequency* (IVF, 28.7 %, no
+mechanism) and *jitter* (DVF, 31.2 %, covered 99 % by dual-core lockstep).
+
+Table I gives no FIT; we use the built-in catalogue's PLL rate (50 FIT),
+which scales the residual rates but not the coverage percentages the table
+reports.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.safety.fmea import FmeaResult, FmeaRow
+from repro.safety.fmeda import FmedaResult, run_fmeda
+from repro.safety.mechanisms import Deployment
+
+#: (failure mode, impact, distribution, mechanism, coverage) — Table I rows.
+PLL_TABLE_I: List[Tuple[str, str, float, str, float]] = [
+    ("Lower Frequency", "DVF", 0.401, "time-out watchdog", 0.70),
+    ("Higher Frequency", "IVF", 0.287, "", 0.0),
+    ("Jitter", "DVF", 0.312, "dual-core lockstep", 0.99),
+]
+
+PLL_FIT = 50.0
+
+
+def pll_fmea_result() -> FmeaResult:
+    """Table I as an FMEA result (before mechanisms).
+
+    DVF modes directly violate the safety goal and are single-point
+    (safety-related); the IVF mode violates it only indirectly and does not
+    contribute to the single-point metric.
+    """
+    result = FmeaResult(system="PLL", method="manual")
+    for mode, impact, distribution, _, _ in PLL_TABLE_I:
+        result.rows.append(
+            FmeaRow(
+                component="PLL1",
+                component_class="PLL",
+                fit=PLL_FIT,
+                failure_mode=mode,
+                nature="degraded" if mode == "Lower Frequency" else "erroneous",
+                distribution=distribution,
+                safety_related=(impact == "DVF"),
+                impact=impact,
+                effect=(
+                    "directly violates safety goal"
+                    if impact == "DVF"
+                    else "indirectly violates safety goal"
+                ),
+            )
+        )
+    return result
+
+
+def pll_deployments() -> List[Deployment]:
+    """Table I's safety mechanisms as deployments."""
+    return [
+        Deployment(
+            component="PLL1",
+            failure_mode=mode,
+            mechanism=mechanism,
+            coverage=coverage,
+        )
+        for mode, _, _, mechanism, coverage in PLL_TABLE_I
+        if mechanism
+    ]
+
+
+def pll_fmeda() -> FmedaResult:
+    """The complete Table I FMEDA (modes, mechanisms, coverages)."""
+    return run_fmeda(pll_fmea_result(), pll_deployments())

@@ -1,0 +1,235 @@
+"""The sensor power-supply case study (paper Section V).
+
+Reconstructs, from the paper's description of Fig. 11:
+
+- the Simulink model — ``DC1`` (5 V source), ``D1`` (diode), ``L1``
+  (inductor), ``C1``/``C2`` (capacitors), ``GND1``, ``MC1``
+  (microcontroller, modelled as an annotated subsystem — the RQ2
+  workaround), ``CS1`` (current sensor), plus the simulation-support blocks
+  ``S1`` (solver configuration), ``Scope1`` and ``Out1``;
+- the 1-to-1 SSAM mapping of Fig. 12 (requirements package, hazard log with
+  H1, architecture with IO nodes, failure modes and boundary wiring);
+- the Table II reliability model and Table III safety-mechanism model.
+
+The safety goal is hazard *H1: the power supply fails unexpectedly*, judged
+by correct readings at ``CS1``; ``DC1`` is assumed stable.
+"""
+
+from __future__ import annotations
+
+from repro.metamodel import ModelObject
+from repro.reliability import (
+    ComponentReliability,
+    FailureModeSpec,
+    ReliabilityModel,
+)
+from repro.safety.mechanisms import MechanismSpec, SafetyMechanismModel
+from repro.simulink import SimulinkModel
+from repro.ssam import ArchitectureBuilder, SSAMModel
+from repro.ssam.architecture import component_package
+from repro.ssam.hazard import hazard, hazard_package
+from repro.ssam.requirements import (
+    requirement_package,
+    relate,
+    requirement,
+    safety_requirement,
+)
+
+#: Block names the case study assumes stable (excluded from injection).
+ASSUMED_STABLE = ("DC1",)
+
+#: Directory with the shipped case-study workbooks (Tables II and III as
+#: CSV files, the offline stand-ins for the paper's Excel spreadsheets).
+from pathlib import Path as _Path
+
+DATA_DIR = _Path(__file__).parent / "data"
+
+
+def data_path(name: str) -> _Path:
+    """Path of a shipped workbook: ``reliability_table_ii.csv`` or
+    ``mechanisms_table_iii.csv``."""
+    path = DATA_DIR / name
+    if not path.exists():
+        raise FileNotFoundError(
+            f"no shipped workbook {name!r}; available: "
+            f"{sorted(p.name for p in DATA_DIR.glob('*.csv'))}"
+        )
+    return path
+
+#: The sensor whose readings define the safety goal for H1.
+SAFETY_SENSOR = "CS1"
+
+
+def build_power_supply_simulink(name: str = "sensor_power_supply") -> SimulinkModel:
+    """The Fig. 11 Simulink model."""
+    model = SimulinkModel(name)
+    model.add_block("DC1", "DCVoltageSource", voltage=5.0)
+    model.add_block("D1", "Diode")
+    model.add_block(
+        "L1", "Inductor", inductance=1e-3, series_resistance=0.1
+    )
+    model.add_block("C1", "Capacitor", capacitance=10e-6)
+    model.add_block("C2", "Capacitor", capacitance=10e-6)
+    model.add_block("CS1", "CurrentSensor")
+    model.add_block(
+        "MC1",
+        "Subsystem",
+        annotated_type="MCU",
+        load_resistance=100.0,
+        standby_resistance=10000.0,
+    )
+    model.add_block("GND1", "Ground")
+    model.add_block("S1", "SolverConfiguration")
+    model.add_block("Scope1", "Scope")
+    model.add_block("Out1", "Outport")
+
+    model.connect("DC1", "p", "D1", "p")
+    model.connect("D1", "n", "L1", "p")
+    model.connect("L1", "n", "C1", "p")
+    model.connect("L1", "n", "C2", "p")
+    model.connect("L1", "n", "CS1", "p")
+    model.connect("CS1", "n", "MC1", "p")
+    model.connect("MC1", "n", "GND1", "p")
+    model.connect("C1", "n", "GND1", "p")
+    model.connect("C2", "n", "GND1", "p")
+    model.connect("DC1", "n", "GND1", "p")
+    model.connect("S1", "p", "GND1", "p")
+    model.connect("CS1", "I", "Scope1", "in")
+    model.connect("CS1", "I", "Out1", "in")
+    return model
+
+
+def power_supply_reliability() -> ReliabilityModel:
+    """The Table II component reliability model, verbatim."""
+    return ReliabilityModel(
+        [
+            ComponentReliability(
+                "Diode",
+                10,
+                [
+                    FailureModeSpec("Open", 0.30, "open"),
+                    FailureModeSpec("Short", 0.70, "short"),
+                ],
+            ),
+            ComponentReliability(
+                "Capacitor",
+                2,
+                [
+                    FailureModeSpec("Open", 0.30, "open"),
+                    FailureModeSpec("Short", 0.70, "short"),
+                ],
+            ),
+            ComponentReliability(
+                "Inductor",
+                15,
+                [
+                    FailureModeSpec("Open", 0.30, "open"),
+                    FailureModeSpec("Short", 0.70, "short"),
+                ],
+            ),
+            ComponentReliability(
+                "MC",
+                300,
+                [FailureModeSpec("RAM Failure", 1.0, "loss_of_function")],
+            ),
+        ]
+    )
+
+
+def power_supply_mechanisms() -> SafetyMechanismModel:
+    """The Table III safety-mechanism model, verbatim."""
+    return SafetyMechanismModel(
+        [
+            MechanismSpec(
+                component_class="MCU",
+                failure_mode="RAM Failure",
+                name="ECC",
+                coverage=0.99,
+                cost=2.0,
+            )
+        ]
+    )
+
+
+def build_power_supply_ssam(name: str = "sensor_power_supply") -> SSAMModel:
+    """The Fig. 12 SSAM model: requirements + hazard log + architecture,
+    mapped 1-to-1 from the Simulink design."""
+    model = SSAMModel(name)
+
+    # DECISIVE Step 1: requirements and the hazard log.
+    reqs = requirement_package("PowerSupplyRequirements")
+    r1 = requirement(
+        "R1", "The power supply shall provide 5 V DC to the proximity sensor."
+    )
+    sr1 = safety_requirement(
+        "SR1",
+        "The power supply shall not fail unexpectedly "
+        "(mitigation of hazard H1).",
+        integrity_level="ASIL-B",
+    )
+    reqs.add("elements", r1)
+    reqs.add("elements", sr1)
+    reqs.add("elements", relate(sr1, r1, kind="derives"))
+    model.add_requirement_package(reqs)
+
+    hazards = hazard_package("PowerSupplyHazardLog")
+    h1 = hazard(
+        "H1",
+        "The power supply fails unexpectedly",
+        integrity_target="ASIL-B",
+    )
+    hazards.add("elements", h1)
+    model.add_hazard_package(hazards)
+    sr1.add("cites", h1)
+
+    # DECISIVE Step 2: the architecture (1-to-1 with Fig. 11).
+    builder = ArchitectureBuilder(name, component_type="system")
+    dc1 = builder.component("DC1", fit=0.0, component_class="DCSource")
+    d1 = builder.component("D1", fit=10, component_class="Diode")
+    d1.failure_mode("Open", "open", 0.30)
+    d1.failure_mode("Short", "short", 0.70)
+    l1 = builder.component("L1", fit=15, component_class="Inductor")
+    l1.failure_mode("Open", "open", 0.30)
+    l1.failure_mode("Short", "short", 0.70)
+    c1 = builder.component("C1", fit=2, component_class="Capacitor")
+    c1.failure_mode("Open", "open", 0.30)
+    c1.failure_mode("Short", "short", 0.70)
+    c2 = builder.component("C2", fit=2, component_class="Capacitor")
+    c2.failure_mode("Open", "open", 0.30)
+    c2.failure_mode("Short", "short", 0.70)
+    cs1 = builder.component("CS1", fit=0.0, component_class="CurrentSensor")
+    cs1.output("I", value=0.0436, lower=0.030, upper=0.060, unit="A")
+    mc1 = builder.component("MC1", fit=300, component_class="MCU")
+    mc1.failure_mode("RAM Failure", "loss_of_function", 1.0)
+    gnd1 = builder.component("GND1", fit=0.0, component_class="Ground")
+
+    # Main power path: in -> DC1 -> D1 -> L1 -> CS1 -> MC1 -> out.
+    builder.entry(dc1)
+    builder.chain(dc1, d1, l1, cs1, mc1, kind="power")
+    builder.exit(mc1)
+    # Shunt branches: the capacitors decouple the node after L1 to ground —
+    # parallel branches, not on the input->output path.
+    builder.wire(l1, c1, kind="power")
+    builder.wire(c1, gnd1, kind="power")
+    builder.wire(l1, c2, kind="power")
+    builder.wire(c2, gnd1, kind="power")
+
+    system = builder.build()
+    for mode in _failure_modes_of(system, "D1") + _failure_modes_of(system, "L1"):
+        mode.add("hazards", h1)
+    for mode in _failure_modes_of(system, "MC1"):
+        mode.add("hazards", h1)
+
+    arch = component_package("PowerSupplyArchitecture")
+    arch.add("components", system)
+    model.add_component_package(arch)
+    return model
+
+
+def _failure_modes_of(system: ModelObject, component_name: str):
+    from repro.ssam.base import text_of
+
+    for sub in system.get("subcomponents"):
+        if text_of(sub) == component_name:
+            return list(sub.get("failureModes"))
+    raise KeyError(component_name)

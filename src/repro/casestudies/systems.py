@@ -1,0 +1,269 @@
+"""The evaluation subjects — *System A* and *System B* (paper Section VI).
+
+The paper could not disclose its subjects (intellectual property); per the
+reproduction's substitution rule we rebuild them to the published
+specification:
+
+- **System A** — a sensor power-supply system with **102** model elements:
+  input protection, regulation, LC filtering, monitoring and the sensor
+  load;
+- **System B** — the main control unit (hardware *and* software) of an
+  Autonomous Underwater Vehicle with **230** model elements: power module,
+  CPU board, redundant sensor suite, actuation interface and the software
+  stack.
+
+Element counts are exact: each builder finishes by padding the architecture
+with unconnected test-point components (class ``Connector``, no failure
+modes — provably neutral for Algorithm 1, since an unconnected component is
+on no input→output path) until ``SSAMModel.element_count()`` matches the
+published figure.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.reliability import ReliabilityModel, standard_reliability_model
+from repro.safety.mechanisms import MechanismSpec, SafetyMechanismModel
+from repro.ssam import ArchitectureBuilder, SSAMModel
+from repro.ssam.architecture import component, component_package
+from repro.ssam.hazard import hazard, hazard_package
+from repro.ssam.requirements import requirement_package, safety_requirement
+
+SYSTEM_A_ELEMENTS = 102
+SYSTEM_B_ELEMENTS = 230
+
+
+class CaseStudyError(Exception):
+    """Raised when a generated subject misses its published element count."""
+
+
+def _pad_to(model: SSAMModel, target: int, label: str) -> None:
+    """Pad the first component package with neutral test points to ``target``."""
+    current = model.element_count()
+    if current > target:
+        raise CaseStudyError(
+            f"{label}: base structure already has {current} elements "
+            f"(> target {target}); adjust the builder"
+        )
+    package = model.component_packages[0]
+    index = 0
+    # Each named component contributes 2 elements (Component + LangString).
+    while model.element_count() + 2 <= target:
+        index += 1
+        package.add(
+            "components",
+            component(f"TP{index}", fit=0.0, component_class="Connector"),
+        )
+    while model.element_count() < target:
+        # Odd remainder: one unnamed component contributes exactly 1 element.
+        package.add("components", _unnamed_component(f"tp_extra_{index}"))
+        index += 1
+    if model.element_count() != target:
+        raise CaseStudyError(
+            f"{label}: padded to {model.element_count()} instead of {target}"
+        )
+
+
+def _unnamed_component(comp_id: str):
+    from repro.ssam.architecture import ARCHITECTURE
+
+    return ARCHITECTURE.get("Component").create(
+        id=comp_id, componentClass="Connector"
+    )
+
+
+def _add_modes_from_catalogue(
+    handle, catalogue: ReliabilityModel, component_class: str
+) -> None:
+    entry = catalogue.lookup(component_class)
+    handle.element.set("fit", float(entry.fit))
+    for mode in entry.failure_modes:
+        handle.failure_mode(mode.name, mode.nature, mode.distribution)
+
+
+def build_system_a() -> SSAMModel:
+    """System A: sensor power supply, exactly 102 model elements."""
+    catalogue = standard_reliability_model()
+    model = SSAMModel("SystemA")
+
+    reqs = requirement_package("SystemA_Requirements")
+    reqs.add(
+        "elements",
+        safety_requirement(
+            "SA-SR1",
+            "The sensor supply shall not fail unexpectedly.",
+            integrity_level="ASIL-B",
+        ),
+    )
+    model.add_requirement_package(reqs)
+
+    hazards = hazard_package("SystemA_Hazards")
+    hazards.add(
+        "elements",
+        hazard("HA1", "Sensor power supply fails unexpectedly", "ASIL-B"),
+    )
+    model.add_hazard_package(hazards)
+
+    builder = ArchitectureBuilder("SystemA_PSU", component_type="system")
+    source = builder.component("VBAT", component_class="Battery")
+    _add_modes_from_catalogue(source, catalogue, "Battery")
+    protection = builder.component("PROT_D1", component_class="Diode")
+    _add_modes_from_catalogue(protection, catalogue, "Diode")
+    regulator = builder.component("REG1", component_class="PowerRegulator")
+    _add_modes_from_catalogue(regulator, catalogue, "PowerRegulator")
+    filt_l = builder.component("FL1", component_class="Inductor")
+    _add_modes_from_catalogue(filt_l, catalogue, "Inductor")
+    filt_c1 = builder.component("FC1", component_class="Capacitor")
+    _add_modes_from_catalogue(filt_c1, catalogue, "Capacitor")
+    filt_c2 = builder.component("FC2", component_class="Capacitor")
+    _add_modes_from_catalogue(filt_c2, catalogue, "Capacitor")
+    sense = builder.component("CSEN1", component_class="CurrentSensor")
+    _add_modes_from_catalogue(sense, catalogue, "CurrentSensor")
+    mcu = builder.component("MCU1", component_class="MCU")
+    _add_modes_from_catalogue(mcu, catalogue, "MCU")
+    load = builder.component("SENSE_LOAD", component_class="Sensor")
+    _add_modes_from_catalogue(load, catalogue, "Sensor")
+    gnd = builder.component("GNDA", component_class="Connector")
+
+    builder.entry(source)
+    builder.chain(source, protection, regulator, filt_l, sense, mcu, load, kind="power")
+    builder.exit(load)
+    builder.wire(filt_l, filt_c1, kind="power")
+    builder.wire(filt_c1, gnd, kind="power")
+    builder.wire(filt_l, filt_c2, kind="power")
+    builder.wire(filt_c2, gnd, kind="power")
+
+    arch = component_package("SystemA_Architecture")
+    arch.add("components", builder.build())
+    model.add_component_package(arch)
+
+    _pad_to(model, SYSTEM_A_ELEMENTS, "System A")
+    return model
+
+
+def build_system_b() -> SSAMModel:
+    """System B: AUV main control unit (HW + SW), exactly 230 elements."""
+    catalogue = standard_reliability_model()
+    model = SSAMModel("SystemB")
+
+    reqs = requirement_package("SystemB_Requirements")
+    reqs.add(
+        "elements",
+        safety_requirement(
+            "SB-SR1",
+            "The AUV main control unit shall maintain commanded depth "
+            "control or fail safe to surface.",
+            integrity_level="ASIL-B",
+        ),
+    )
+    model.add_requirement_package(reqs)
+
+    hazards = hazard_package("SystemB_Hazards")
+    hazards.add(
+        "elements",
+        hazard("HB1", "Loss of AUV attitude/depth control", "ASIL-B"),
+    )
+    hazards.add(
+        "elements",
+        hazard("HB2", "Uncommanded thruster actuation", "ASIL-B"),
+    )
+    model.add_hazard_package(hazards)
+
+    builder = ArchitectureBuilder("SystemB_MCU", component_type="system")
+
+    # Power module.
+    battery = builder.component("BAT1", component_class="Battery")
+    _add_modes_from_catalogue(battery, catalogue, "Battery")
+    regulator = builder.component("PWR1", component_class="PowerRegulator")
+    _add_modes_from_catalogue(regulator, catalogue, "PowerRegulator")
+
+    # CPU board (hardware).
+    cpu = builder.component("CPU1", component_class="CPU")
+    _add_modes_from_catalogue(cpu, catalogue, "CPU")
+    memory = builder.component("MEM1", component_class="MemoryModule")
+    _add_modes_from_catalogue(memory, catalogue, "MemoryModule")
+    oscillator = builder.component("OSC1", component_class="Oscillator")
+    _add_modes_from_catalogue(oscillator, catalogue, "Oscillator")
+    bus = builder.component("BUS1", component_class="BusController")
+    _add_modes_from_catalogue(bus, catalogue, "BusController")
+
+    # Redundant sensor suite (1oo2 — exercised by Algorithm 1's redundancy
+    # exemption: neither IMU alone is a single point of failure).
+    imu_a = builder.component("IMU_A", component_class="Sensor")
+    _add_modes_from_catalogue(imu_a, catalogue, "Sensor")
+    imu_a.function("attitude_sensing", tolerance="1oo2", safety_related=True)
+    imu_b = builder.component("IMU_B", component_class="Sensor")
+    _add_modes_from_catalogue(imu_b, catalogue, "Sensor")
+    imu_b.function("attitude_sensing", tolerance="1oo2", safety_related=True)
+    depth = builder.component("DEPTH1", component_class="Sensor")
+    _add_modes_from_catalogue(depth, catalogue, "Sensor")
+
+    # Actuation interface.
+    driver_1 = builder.component("DRV1", component_class="Relay")
+    _add_modes_from_catalogue(driver_1, catalogue, "Relay")
+    thruster = builder.component("THR1", component_class="Motor")
+    _add_modes_from_catalogue(thruster, catalogue, "Motor")
+
+    # Software stack.
+    nav_task = builder.component(
+        "SW_NAV", component_class="SoftwareTask", component_type="software"
+    )
+    _add_modes_from_catalogue(nav_task, catalogue, "SoftwareTask")
+    ctl_task = builder.component(
+        "SW_CTL", component_class="SoftwareTask", component_type="software"
+    )
+    _add_modes_from_catalogue(ctl_task, catalogue, "SoftwareTask")
+    wdg_task = builder.component(
+        "SW_WDG", component_class="SoftwareTask", component_type="software"
+    )
+    _add_modes_from_catalogue(wdg_task, catalogue, "SoftwareTask")
+
+    # Control path: power -> CPU complex -> software -> actuation.
+    builder.entry(battery)
+    builder.chain(battery, regulator, cpu, kind="power")
+    builder.wire(oscillator, cpu)
+    builder.wire(memory, cpu)
+    builder.chain(cpu, nav_task, ctl_task, kind="data")
+    builder.chain(ctl_task, bus, driver_1, thruster, kind="data")
+    builder.exit(thruster)
+    # Sensors feed the CPU redundantly (parallel edges into the path).
+    builder.wire(imu_a, cpu, kind="data")
+    builder.wire(imu_b, cpu, kind="data")
+    builder.wire(depth, cpu, kind="data")
+    builder.wire(wdg_task, ctl_task, kind="data")
+
+    arch = component_package("SystemB_Architecture")
+    arch.add("components", builder.build())
+    model.add_component_package(arch)
+
+    _pad_to(model, SYSTEM_B_ELEMENTS, "System B")
+    return model
+
+
+def system_mechanisms() -> SafetyMechanismModel:
+    """A safety-mechanism catalogue for the classes Systems A/B use."""
+    return SafetyMechanismModel(
+        [
+            MechanismSpec("MCU", "RAM Failure", "ECC", 0.99, 2.0),
+            MechanismSpec("CPU", "Crash", "dual-core lockstep", 0.99, 8.0),
+            MechanismSpec("CPU", "Crash", "time-out watchdog", 0.70, 1.0),
+            MechanismSpec("CPU", "Wrong Value", "dual-core lockstep", 0.99, 8.0),
+            MechanismSpec("MemoryModule", "Bit Flip", "ECC", 0.99, 2.0),
+            MechanismSpec("MemoryModule", "Bank Failure", "scrubbing", 0.90, 3.0),
+            MechanismSpec("Diode", "Open", "parallel diode", 0.90, 1.5),
+            MechanismSpec("Inductor", "Open", "redundant winding", 0.90, 4.0),
+            MechanismSpec("PowerRegulator", "No Output", "backup regulator", 0.95, 6.0),
+            MechanismSpec("Battery", "No Output", "backup battery", 0.95, 10.0),
+            MechanismSpec("Sensor", "No Reading", "plausibility check", 0.90, 1.0),
+            MechanismSpec("Sensor", "Wrong Value", "plausibility check", 0.90, 1.0),
+            MechanismSpec("SoftwareTask", "Crash", "task watchdog", 0.90, 1.0),
+            MechanismSpec("SoftwareTask", "Hang", "task watchdog", 0.90, 1.0),
+            MechanismSpec("SoftwareTask", "Wrong Value", "n-version voting", 0.95, 12.0),
+            MechanismSpec("BusController", "Omission", "message CRC+timeout", 0.95, 2.0),
+            MechanismSpec("Oscillator", "No Output", "clock monitor", 0.95, 1.0),
+            MechanismSpec("Relay", "Stuck Open", "readback monitor", 0.90, 1.5),
+            MechanismSpec("Motor", "Winding Open", "current monitor", 0.85, 2.0),
+            MechanismSpec("CurrentSensor", "No Reading", "range check", 0.90, 0.5),
+        ]
+    )

@@ -1,0 +1,266 @@
+"""Modified Nodal Analysis — DC operating point.
+
+Unknowns are the non-ground node voltages plus one branch current per
+voltage-like element (voltage sources, ammeters and — at DC — inductors,
+which behave as 0 V branches in series with their parasitic resistance).
+Nonlinear diodes are solved by damped Newton iteration with pn-junction
+voltage limiting.  A small ``gmin`` conductance from every node to ground
+keeps matrices regular when fault injection leaves nodes floating (an *open*
+failure must still produce a solution: the sensors simply read ~0).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.circuit.netlist import (
+    Ammeter,
+    Capacitor,
+    CircuitError,
+    CurrentSource,
+    Diode,
+    Element,
+    GROUND,
+    Inductor,
+    Netlist,
+    Resistor,
+    Switch,
+    VoltageSource,
+)
+
+#: Ground aliases accepted in netlists.
+GROUND_NAMES = (GROUND, "GND", "gnd", "ground")
+
+_MAX_NEWTON_ITERATIONS = 200
+_NEWTON_TOLERANCE = 1e-9
+_DEFAULT_GMIN = 1e-12
+_MAX_DIODE_STEP = 0.5  # volts per Newton step, for convergence
+
+
+def _is_ground(node: str) -> bool:
+    return node in GROUND_NAMES
+
+
+@dataclass
+class DCSolution:
+    """DC operating point: node voltages and branch currents."""
+
+    node_voltages: Dict[str, float]
+    branch_currents: Dict[str, float]
+    iterations: int = 1
+
+    def voltage(self, node: str) -> float:
+        if _is_ground(node):
+            return 0.0
+        try:
+            return self.node_voltages[node]
+        except KeyError:
+            raise CircuitError(f"no node named {node!r}") from None
+
+    def voltage_across(self, node_pos: str, node_neg: str) -> float:
+        return self.voltage(node_pos) - self.voltage(node_neg)
+
+    def current(self, element_name: str) -> float:
+        """Branch current of a voltage source, ammeter or inductor."""
+        try:
+            return self.branch_currents[element_name]
+        except KeyError:
+            raise CircuitError(
+                f"element {element_name!r} has no tracked branch current "
+                f"(tracked: {sorted(self.branch_currents)})"
+            ) from None
+
+
+class _System:
+    """Index assignment and matrix assembly for one netlist."""
+
+    def __init__(self, netlist: Netlist, gmin: float) -> None:
+        self.netlist = netlist
+        self.gmin = gmin
+        self.node_index: Dict[str, int] = {}
+        for node in netlist.nodes():
+            if not _is_ground(node) and node not in self.node_index:
+                self.node_index[node] = len(self.node_index)
+        self.branch_elements: List[Element] = [
+            e
+            for e in netlist.elements()
+            if isinstance(e, (VoltageSource, Ammeter, Inductor))
+        ]
+        self.branch_index: Dict[str, int] = {
+            e.name: len(self.node_index) + i
+            for i, e in enumerate(self.branch_elements)
+        }
+        self.size = len(self.node_index) + len(self.branch_elements)
+        self.diodes: List[Diode] = [
+            e for e in netlist.elements() if isinstance(e, Diode)
+        ]
+
+    def _idx(self, node: str) -> Optional[int]:
+        if _is_ground(node):
+            return None
+        return self.node_index[node]
+
+    def _stamp_conductance(
+        self, matrix: np.ndarray, n1: str, n2: str, conductance: float
+    ) -> None:
+        i, j = self._idx(n1), self._idx(n2)
+        if i is not None:
+            matrix[i, i] += conductance
+        if j is not None:
+            matrix[j, j] += conductance
+        if i is not None and j is not None:
+            matrix[i, j] -= conductance
+            matrix[j, i] -= conductance
+
+    def _stamp_current(
+        self, rhs: np.ndarray, n_from: str, n_to: str, current: float
+    ) -> None:
+        """Current ``current`` flows out of ``n_from`` into ``n_to``."""
+        i, j = self._idx(n_from), self._idx(n_to)
+        if i is not None:
+            rhs[i] -= current
+        if j is not None:
+            rhs[j] += current
+
+    def assemble(
+        self, diode_voltages: Dict[str, float]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        matrix = np.zeros((self.size, self.size))
+        rhs = np.zeros(self.size)
+
+        for node_idx in self.node_index.values():
+            matrix[node_idx, node_idx] += self.gmin
+
+        for element in self.netlist.elements():
+            if isinstance(element, Resistor):
+                self._stamp_conductance(
+                    matrix, element.node_pos, element.node_neg,
+                    1.0 / element.resistance,
+                )
+            elif isinstance(element, Switch):
+                resistance = (
+                    element.on_resistance if element.closed else element.off_resistance
+                )
+                self._stamp_conductance(
+                    matrix, element.node_pos, element.node_neg, 1.0 / resistance
+                )
+            elif isinstance(element, CurrentSource):
+                self._stamp_current(
+                    rhs, element.node_pos, element.node_neg, element.current
+                )
+            elif isinstance(element, Capacitor):
+                continue  # open at DC
+            elif isinstance(element, Diode):
+                g, ieq = self._diode_companion(
+                    element, diode_voltages.get(element.name, 0.6)
+                )
+                self._stamp_conductance(
+                    matrix, element.node_pos, element.node_neg, g
+                )
+                self._stamp_current(
+                    rhs, element.node_pos, element.node_neg, ieq
+                )
+            elif isinstance(element, (VoltageSource, Ammeter, Inductor)):
+                k = self.branch_index[element.name]
+                i, j = self._idx(element.node_pos), self._idx(element.node_neg)
+                if i is not None:
+                    matrix[i, k] += 1.0
+                    matrix[k, i] += 1.0
+                if j is not None:
+                    matrix[j, k] -= 1.0
+                    matrix[k, j] -= 1.0
+                if isinstance(element, VoltageSource):
+                    rhs[k] += element.voltage
+                elif isinstance(element, Inductor):
+                    # DC: v = i * R_series (0 V branch when R_series == 0)
+                    matrix[k, k] -= element.series_resistance
+            else:  # pragma: no cover - guarded by Netlist.add
+                raise CircuitError(
+                    f"unsupported element type {type(element).__name__}"
+                )
+        return matrix, rhs
+
+    @staticmethod
+    def _diode_companion(diode: Diode, vd: float) -> Tuple[float, float]:
+        """Linearised (conductance, equivalent current) at bias ``vd``."""
+        n_vt = diode.ideality * diode.thermal_voltage
+        vd = min(vd, 2.0)  # clamp: exp() overflow guard
+        exp_term = math.exp(vd / n_vt)
+        current = diode.saturation_current * (exp_term - 1.0)
+        conductance = diode.saturation_current * exp_term / n_vt
+        conductance = max(conductance, 1e-12)
+        ieq = current - conductance * vd
+        return conductance, ieq
+
+    def diode_voltage(
+        self, solution: np.ndarray, diode: Diode
+    ) -> float:
+        def node_voltage(node: str) -> float:
+            idx = self._idx(node)
+            return 0.0 if idx is None else float(solution[idx])
+
+        return node_voltage(diode.node_pos) - node_voltage(diode.node_neg)
+
+
+def dc_operating_point(
+    netlist: Netlist, gmin: float = _DEFAULT_GMIN
+) -> DCSolution:
+    """Solve the DC operating point of ``netlist``.
+
+    Raises :class:`CircuitError` if Newton iteration fails to converge or the
+    system matrix is singular even with ``gmin``.
+    """
+    if len(netlist) == 0:
+        raise CircuitError("cannot solve an empty netlist")
+    system = _System(netlist, gmin)
+    if system.size == 0:
+        raise CircuitError("netlist has no unknowns (everything grounded?)")
+
+    diode_voltages: Dict[str, float] = {d.name: 0.6 for d in system.diodes}
+    solution = np.zeros(system.size)
+    iterations = 0
+    for iterations in range(1, _MAX_NEWTON_ITERATIONS + 1):
+        matrix, rhs = system.assemble(diode_voltages)
+        try:
+            new_solution = np.linalg.solve(matrix, rhs)
+        except np.linalg.LinAlgError:
+            # Retry once with a stronger gmin before giving up.
+            if gmin < 1e-9:
+                return dc_operating_point(netlist, gmin=1e-9)
+            raise CircuitError(
+                f"singular MNA matrix for netlist {netlist.name!r}"
+            ) from None
+        if not system.diodes:
+            solution = new_solution
+            break
+        converged = True
+        for diode in system.diodes:
+            old_vd = diode_voltages[diode.name]
+            new_vd = system.diode_voltage(new_solution, diode)
+            step = new_vd - old_vd
+            if abs(step) > _MAX_DIODE_STEP:
+                new_vd = old_vd + math.copysign(_MAX_DIODE_STEP, step)
+                converged = False
+            elif abs(step) > _NEWTON_TOLERANCE:
+                converged = False
+            diode_voltages[diode.name] = new_vd
+        solution = new_solution
+        if converged:
+            break
+    else:
+        raise CircuitError(
+            f"Newton iteration did not converge for netlist {netlist.name!r}"
+        )
+
+    node_voltages = {
+        node: float(solution[idx]) for node, idx in system.node_index.items()
+    }
+    branch_currents = {
+        element.name: float(solution[system.branch_index[element.name]])
+        for element in system.branch_elements
+    }
+    return DCSolution(node_voltages, branch_currents, iterations)

@@ -1,0 +1,222 @@
+"""Netlist data model: nodes and two-terminal elements.
+
+Elements are small dataclasses; the MNA assembly logic lives in
+:mod:`repro.circuit.mna` so new element kinds only need stamps there.
+Element names are unique within a netlist, which is what fault injection
+uses to find and replace elements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Optional, Tuple
+
+#: Canonical name of the reference node.
+GROUND = "0"
+
+
+class CircuitError(Exception):
+    """Raised for malformed netlists or non-convergent solves."""
+
+
+@dataclass(frozen=True)
+class Element:
+    """Base of all two-terminal elements."""
+
+    name: str
+    node_pos: str
+    node_neg: str
+
+    @property
+    def nodes(self) -> Tuple[str, str]:
+        return (self.node_pos, self.node_neg)
+
+
+@dataclass(frozen=True)
+class Resistor(Element):
+    resistance: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.resistance <= 0:
+            raise CircuitError(
+                f"resistor {self.name!r}: resistance must be > 0, "
+                f"got {self.resistance}"
+            )
+
+
+@dataclass(frozen=True)
+class Capacitor(Element):
+    capacitance: float = 1e-6
+
+    def __post_init__(self) -> None:
+        if self.capacitance <= 0:
+            raise CircuitError(
+                f"capacitor {self.name!r}: capacitance must be > 0"
+            )
+
+
+@dataclass(frozen=True)
+class Inductor(Element):
+    inductance: float = 1e-3
+    series_resistance: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.inductance <= 0:
+            raise CircuitError(
+                f"inductor {self.name!r}: inductance must be > 0"
+            )
+        if self.series_resistance < 0:
+            raise CircuitError(
+                f"inductor {self.name!r}: series resistance must be >= 0"
+            )
+
+
+@dataclass(frozen=True)
+class Diode(Element):
+    """Shockley diode; ``node_pos`` is the anode."""
+
+    saturation_current: float = 1e-12
+    thermal_voltage: float = 0.02585
+    ideality: float = 1.0
+
+
+@dataclass(frozen=True)
+class VoltageSource(Element):
+    voltage: float = 0.0
+
+
+@dataclass(frozen=True)
+class CurrentSource(Element):
+    """Current flows from ``node_pos`` through the source to ``node_neg``."""
+
+    current: float = 0.0
+
+
+@dataclass(frozen=True)
+class Switch(Element):
+    closed: bool = True
+    on_resistance: float = 1e-3
+    off_resistance: float = 1e9
+
+
+@dataclass(frozen=True)
+class Ammeter(Element):
+    """A 0 V source used as a current sensor (positive current flows
+    into ``node_pos`` and out of ``node_neg``)."""
+
+
+class Netlist:
+    """A named collection of elements over named nodes.
+
+    The class is a plain container; it enforces unique element names and
+    offers the copy-with-replacement operations fault injection relies on.
+    """
+
+    def __init__(self, name: str = "circuit") -> None:
+        self.name = name
+        self._elements: Dict[str, Element] = {}
+
+    # -- construction -----------------------------------------------------
+
+    def add(self, element: Element) -> Element:
+        if element.name in self._elements:
+            raise CircuitError(f"duplicate element name {element.name!r}")
+        if element.node_pos == element.node_neg:
+            raise CircuitError(
+                f"element {element.name!r} connects node "
+                f"{element.node_pos!r} to itself"
+            )
+        self._elements[element.name] = element
+        return element
+
+    def resistor(self, name: str, n1: str, n2: str, resistance: float) -> Resistor:
+        return self.add(Resistor(name, n1, n2, resistance))  # type: ignore[return-value]
+
+    def capacitor(self, name: str, n1: str, n2: str, capacitance: float) -> Capacitor:
+        return self.add(Capacitor(name, n1, n2, capacitance))  # type: ignore[return-value]
+
+    def inductor(
+        self,
+        name: str,
+        n1: str,
+        n2: str,
+        inductance: float,
+        series_resistance: float = 0.0,
+    ) -> Inductor:
+        return self.add(
+            Inductor(name, n1, n2, inductance, series_resistance)
+        )  # type: ignore[return-value]
+
+    def diode(self, name: str, anode: str, cathode: str, **params: float) -> Diode:
+        return self.add(Diode(name, anode, cathode, **params))  # type: ignore[return-value]
+
+    def voltage_source(self, name: str, npos: str, nneg: str, voltage: float) -> VoltageSource:
+        return self.add(VoltageSource(name, npos, nneg, voltage))  # type: ignore[return-value]
+
+    def current_source(self, name: str, npos: str, nneg: str, current: float) -> CurrentSource:
+        return self.add(CurrentSource(name, npos, nneg, current))  # type: ignore[return-value]
+
+    def switch(self, name: str, n1: str, n2: str, closed: bool = True) -> Switch:
+        return self.add(Switch(name, n1, n2, closed))  # type: ignore[return-value]
+
+    def ammeter(self, name: str, npos: str, nneg: str) -> Ammeter:
+        return self.add(Ammeter(name, npos, nneg))  # type: ignore[return-value]
+
+    # -- access ----------------------------------------------------------------
+
+    def elements(self) -> List[Element]:
+        return list(self._elements.values())
+
+    def element(self, name: str) -> Element:
+        try:
+            return self._elements[name]
+        except KeyError:
+            raise CircuitError(f"no element named {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._elements
+
+    def __len__(self) -> int:
+        return len(self._elements)
+
+    def nodes(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for element in self._elements.values():
+            seen.setdefault(element.node_pos)
+            seen.setdefault(element.node_neg)
+        return list(seen)
+
+    # -- fault-injection support ---------------------------------------------
+
+    def copy(self) -> "Netlist":
+        clone = Netlist(self.name)
+        clone._elements = dict(self._elements)
+        return clone
+
+    def without(self, name: str) -> "Netlist":
+        """A copy with element ``name`` removed (an *open* failure)."""
+        self.element(name)  # raise early if missing
+        clone = self.copy()
+        del clone._elements[name]
+        return clone
+
+    def with_replacement(self, name: str, replacement: Element) -> "Netlist":
+        """A copy with element ``name`` replaced (keeping its name slot)."""
+        original = self.element(name)
+        if replacement.name != name:
+            replacement = replace(replacement, name=name)
+        clone = self.copy()
+        clone._elements[name] = replacement
+        return clone
+
+    def with_short(self, name: str, short_resistance: float = 1e-3) -> "Netlist":
+        """A copy with element ``name`` replaced by a low resistance
+        (a *short* failure)."""
+        original = self.element(name)
+        return self.with_replacement(
+            name,
+            Resistor(name, original.node_pos, original.node_neg, short_resistance),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"<Netlist {self.name!r} ({len(self)} elements)>"

@@ -1,0 +1,206 @@
+"""Transient analysis — backward Euler on the MNA system.
+
+Capacitors and inductors are replaced each step by their backward-Euler
+companion models:
+
+- capacitor: conductance ``C/dt`` in parallel with current source
+  ``(C/dt) * v_prev``;
+- inductor: handled as a branch with constraint
+  ``v = R_s*i + (L/dt)*(i - i_prev)``.
+
+Backward Euler is A-stable, which keeps fault-injected circuits (sudden
+opens/shorts) well behaved; accuracy is adequate for the sensor-comparison
+use the FMEA engine makes of it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.circuit.mna import _System, _is_ground
+from repro.circuit.netlist import (
+    Capacitor,
+    CircuitError,
+    Inductor,
+    Netlist,
+    VoltageSource,
+)
+
+
+@dataclass
+class TransientResult:
+    """Time series of node voltages and tracked branch currents."""
+
+    times: List[float]
+    node_voltages: Dict[str, List[float]]
+    branch_currents: Dict[str, List[float]]
+
+    def voltage(self, node: str) -> List[float]:
+        if _is_ground(node):
+            return [0.0] * len(self.times)
+        try:
+            return self.node_voltages[node]
+        except KeyError:
+            raise CircuitError(f"no node named {node!r}") from None
+
+    def current(self, element_name: str) -> List[float]:
+        try:
+            return self.branch_currents[element_name]
+        except KeyError:
+            raise CircuitError(
+                f"element {element_name!r} has no tracked branch current"
+            ) from None
+
+    def final_voltage(self, node: str) -> float:
+        return self.voltage(node)[-1]
+
+    def final_current(self, element_name: str) -> float:
+        return self.current(element_name)[-1]
+
+
+def transient(
+    netlist: Netlist,
+    t_stop: float,
+    dt: float,
+    sources: Optional[Dict[str, Callable[[float], float]]] = None,
+    gmin: float = 1e-12,
+) -> TransientResult:
+    """Integrate the netlist from 0 to ``t_stop`` with fixed step ``dt``.
+
+    ``sources`` optionally maps voltage-source names to ``v(t)`` waveforms;
+    unlisted sources keep their DC value.  Initial conditions are zero state
+    (capacitors discharged, inductors currentless).
+    """
+    if dt <= 0 or t_stop <= 0:
+        raise CircuitError("t_stop and dt must be positive")
+    if len(netlist) == 0:
+        raise CircuitError("cannot simulate an empty netlist")
+    sources = sources or {}
+    system = _System(netlist, gmin)
+    capacitors = [e for e in netlist.elements() if isinstance(e, Capacitor)]
+    inductors = [e for e in netlist.elements() if isinstance(e, Inductor)]
+
+    cap_voltage = {c.name: 0.0 for c in capacitors}
+    ind_current = {l.name: 0.0 for l in inductors}
+
+    times: List[float] = []
+    node_series: Dict[str, List[float]] = {n: [] for n in system.node_index}
+    branch_series: Dict[str, List[float]] = {
+        e.name: [] for e in system.branch_elements
+    }
+
+    steps = int(round(t_stop / dt))
+    solution = np.zeros(system.size)
+    for step in range(1, steps + 1):
+        t = step * dt
+        matrix, rhs = system.assemble(
+            {d.name: 0.6 for d in system.diodes}
+        )
+        # Override: time-varying sources.
+        for element in system.branch_elements:
+            if isinstance(element, VoltageSource) and element.name in sources:
+                k = system.branch_index[element.name]
+                rhs[k] = sources[element.name](t)
+        # Companion models replace the static treatment of C (open) and
+        # L (0 V branch): re-stamp their dynamic contributions.
+        for cap in capacitors:
+            g = cap.capacitance / dt
+            system._stamp_conductance(matrix, cap.node_pos, cap.node_neg, g)
+            system._stamp_current(
+                rhs, cap.node_neg, cap.node_pos, g * cap_voltage[cap.name]
+            )
+        for ind in inductors:
+            k = system.branch_index[ind.name]
+            # assemble() contributed v - R_s*i = 0; extend to
+            # v - R_s*i - (L/dt)*i = -(L/dt)*i_prev
+            matrix[k, k] -= ind.inductance / dt
+            rhs[k] -= (ind.inductance / dt) * ind_current[ind.name]
+
+        # Newton loop for diodes within the step.
+        if system.diodes:
+            diode_voltages = {
+                d.name: system.diode_voltage(solution, d) or 0.6
+                for d in system.diodes
+            }
+            for _ in range(100):
+                step_matrix = matrix.copy()
+                step_rhs = rhs.copy()
+                # assemble() stamped diodes at 0.6 V; re-linearise at the
+                # current estimate by removing the old stamp and adding the new.
+                # Simpler and robust: rebuild from scratch each inner iteration.
+                step_matrix, step_rhs = system.assemble(diode_voltages)
+                for element in system.branch_elements:
+                    if isinstance(element, VoltageSource) and element.name in sources:
+                        k = system.branch_index[element.name]
+                        step_rhs[k] = sources[element.name](t)
+                for cap in capacitors:
+                    g = cap.capacitance / dt
+                    system._stamp_conductance(
+                        step_matrix, cap.node_pos, cap.node_neg, g
+                    )
+                    system._stamp_current(
+                        step_rhs, cap.node_neg, cap.node_pos,
+                        g * cap_voltage[cap.name],
+                    )
+                for ind in inductors:
+                    k = system.branch_index[ind.name]
+                    step_matrix[k, k] -= ind.inductance / dt
+                    step_rhs[k] -= (ind.inductance / dt) * ind_current[ind.name]
+                try:
+                    candidate = np.linalg.solve(step_matrix, step_rhs)
+                except np.linalg.LinAlgError:
+                    raise CircuitError(
+                        f"singular transient matrix at t={t:.3e}"
+                    ) from None
+                converged = True
+                for diode in system.diodes:
+                    new_vd = system.diode_voltage(candidate, diode)
+                    old_vd = diode_voltages[diode.name]
+                    delta = new_vd - old_vd
+                    if abs(delta) > 0.5:
+                        new_vd = old_vd + (0.5 if delta > 0 else -0.5)
+                        converged = False
+                    elif abs(delta) > 1e-9:
+                        converged = False
+                    diode_voltages[diode.name] = new_vd
+                solution = candidate
+                if converged:
+                    break
+            else:
+                raise CircuitError(
+                    f"transient Newton did not converge at t={t:.3e}"
+                )
+        else:
+            try:
+                solution = np.linalg.solve(matrix, rhs)
+            except np.linalg.LinAlgError:
+                raise CircuitError(
+                    f"singular transient matrix at t={t:.3e}"
+                ) from None
+
+        # Update state.
+        def node_voltage(node: str) -> float:
+            idx = system._idx(node)
+            return 0.0 if idx is None else float(solution[idx])
+
+        for cap in capacitors:
+            cap_voltage[cap.name] = node_voltage(cap.node_pos) - node_voltage(
+                cap.node_neg
+            )
+        for ind in inductors:
+            ind_current[ind.name] = float(
+                solution[system.branch_index[ind.name]]
+            )
+
+        times.append(t)
+        for node, idx in system.node_index.items():
+            node_series[node].append(float(solution[idx]))
+        for element in system.branch_elements:
+            branch_series[element.name].append(
+                float(solution[system.branch_index[element.name]])
+            )
+
+    return TransientResult(times, node_series, branch_series)

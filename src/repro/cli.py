@@ -1,0 +1,304 @@
+"""``same`` — the command-line interface to the SAME tool.
+
+Subcommands::
+
+    same fmea      --model m.slx.json --reliability rel.csv [--sensor CS1 ...]
+    same fmeda     ... --mechanisms sm.csv --target ASIL-B
+    same transform --model m.slx.json --out m.ssam.json
+    same validate  --ssam m.ssam.json
+    same demo      [--out DIR]      # the paper's power-supply case study
+    same monitor   --ssam m.ssam.json --out monitor.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.safety.report import fmea_to_sheet, fmeda_to_sheet, render_text_table
+
+
+def _cmd_fmea(args: argparse.Namespace) -> int:
+    from repro.same import SAME
+
+    same = SAME()
+    same.open_simulink(args.model)
+    same.load_reliability(args.reliability)
+    result = same.run_fmea_simulink(
+        sensors=args.sensor or None,
+        threshold=args.threshold,
+        assume_stable=args.assume_stable or (),
+    )
+    print(render_text_table(fmea_to_sheet(result)))
+    value, asil = same.calculate_spfm()
+    print(f"\nSPFM = {value * 100:.2f}%  (achieves {asil})")
+    if args.out:
+        path = same.export_fmea(args.out)
+        print(f"FMEA workbook written to {path}")
+    return 0
+
+
+def _cmd_fmeda(args: argparse.Namespace) -> int:
+    from repro.same import SAME
+
+    same = SAME()
+    same.open_simulink(args.model)
+    same.load_reliability(args.reliability)
+    same.load_mechanisms(args.mechanisms)
+    same.run_fmea_simulink(
+        sensors=args.sensor or None,
+        threshold=args.threshold,
+        assume_stable=args.assume_stable or (),
+    )
+    plan = same.search_deployment(args.target)
+    if plan is None:
+        print(f"no deployment in the catalogue reaches {args.target}")
+        return 1
+    result = same.run_fmeda()
+    print(render_text_table(fmeda_to_sheet(result)))
+    print(
+        f"\nSPFM = {result.spfm * 100:.2f}%  achieves {result.asil}  "
+        f"(target {args.target}, SM cost {result.total_cost:g})"
+    )
+    if args.out:
+        path = same.export_fmeda(args.out)
+        print(f"FMEDA workbook written to {path}")
+    return 0
+
+
+def _cmd_transform(args: argparse.Namespace) -> int:
+    from repro.same import SAME
+
+    same = SAME()
+    same.open_simulink(args.model)
+    if args.reliability:
+        same.load_reliability(args.reliability)
+    ssam = same.import_simulink(anchor_boundaries=args.anchor)
+    ssam.save(args.out)
+    print(
+        f"transformed {args.model} -> {args.out} "
+        f"({ssam.element_count()} SSAM elements)"
+    )
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.ssam import SSAMModel, validate_ssam
+
+    model = SSAMModel.load(args.ssam)
+    report = validate_ssam(model)
+    for diagnostic in report.diagnostics:
+        print(diagnostic)
+    print(
+        f"{len(report)} finding(s); "
+        f"{'OK' if report.ok else 'ERRORS present'}"
+    )
+    return 0 if report.ok else 1
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro.casestudies.power_supply import (
+        ASSUMED_STABLE,
+        build_power_supply_simulink,
+        power_supply_mechanisms,
+        power_supply_reliability,
+    )
+    from repro.same import SAME
+
+    same = SAME()
+    same.open_simulink(build_power_supply_simulink())
+    same.load_reliability(power_supply_reliability())
+    same.load_mechanisms(power_supply_mechanisms())
+    fmea = same.run_fmea_simulink(sensors=["CS1"], assume_stable=ASSUMED_STABLE)
+    value, asil = same.calculate_spfm()
+    print("== DECISIVE Step 4a: automated FMEA (injection) ==")
+    print(render_text_table(fmea_to_sheet(fmea)))
+    print(f"\nSPFM = {value * 100:.2f}%  ({asil}); target is ASIL-B (>= 90%)")
+    print("\n== DECISIVE Step 4b: deploy ECC on MC1 ==")
+    same.deploy("MC1", "RAM Failure", "ECC")
+    result = same.run_fmeda()
+    print(render_text_table(fmeda_to_sheet(result)))
+    print(
+        f"\nSPFM = {result.spfm * 100:.2f}%  achieves {result.asil} "
+        f"(Table IV reproduced)"
+    )
+    if args.out:
+        out = Path(args.out)
+        out.mkdir(parents=True, exist_ok=True)
+        same.export_fmea(out / "fmea")
+        same.export_fmeda(out / "fmeda")
+        print(f"workbooks written under {out}")
+    return 0
+
+
+def _cmd_fta(args: argparse.Namespace) -> int:
+    from repro.fta import federate_fta_fmea
+    from repro.reliability import load_reliability_table
+    from repro.safety import run_ssam_fmea
+    from repro.ssam import SSAMModel
+
+    model = SSAMModel.load(args.ssam)
+    tops = model.top_components()
+    if not tops:
+        print("SSAM model has no top-level component")
+        return 1
+    reliability = (
+        load_reliability_table(args.reliability) if args.reliability else None
+    )
+    fmea = run_ssam_fmea(tops[0], reliability)
+    federated = federate_fta_fmea(
+        tops[0], fmea, mission_hours=args.mission_hours
+    )
+    print(federated.tree.render())
+    print(f"\nminimal cut sets ({len(federated.cut_sets)}):")
+    for cutset in federated.cut_sets:
+        print(f"  {{{', '.join(sorted(cutset))}}}")
+    print(f"P(top, {args.mission_hours:g} h) = {federated.top_probability:.3e}")
+    print(
+        f"FTA single points : {federated.fta_single_points}\n"
+        f"FMEA single points: {federated.fmea_single_points}\n"
+        f"consistent        : {federated.consistent}"
+    )
+    return 0 if federated.consistent else 1
+
+
+def _cmd_decisive(args: argparse.Namespace) -> int:
+    from repro.same import SAME
+
+    same = SAME()
+    same.open_ssam(args.ssam)
+    same.load_reliability(args.reliability)
+    same.load_mechanisms(args.mechanisms)
+    log = same.run_decisive(args.target, args.max_iterations)
+    for record in log.iterations:
+        deployed = ", ".join(
+            f"{d.mechanism} on {d.component}" for d in record.deployments
+        )
+        print(
+            f"iter {record.index}: SPFM {record.spfm * 100:6.2f}% "
+            f"({record.asil})" + (f"  + {deployed}" if deployed else "")
+        )
+    concept = log.concept
+    print(
+        f"\n{'TARGET MET' if log.met_target else 'TARGET NOT MET'}: "
+        f"{concept.achieved_asil} (SPFM {concept.spfm * 100:.2f}%), "
+        f"SM cost {concept.fmeda.total_cost:g}"
+    )
+    return 0 if log.met_target else 1
+
+
+def _cmd_render(args: argparse.Namespace) -> int:
+    from repro.same import (
+        render_architecture,
+        render_architecture_mermaid,
+        render_hazard_log,
+        render_requirements,
+    )
+    from repro.ssam import SSAMModel
+
+    model = SSAMModel.load(args.ssam)
+    views = {
+        "architecture": render_architecture,
+        "mermaid": render_architecture_mermaid,
+        "hazards": render_hazard_log,
+        "requirements": render_requirements,
+    }
+    print(views[args.view](model))
+    return 0
+
+
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    from repro.monitor import generate_monitor_source
+    from repro.ssam import SSAMModel
+
+    model = SSAMModel.load(args.ssam)
+    source = generate_monitor_source(model, debounce=args.debounce)
+    Path(args.out).write_text(source, encoding="utf-8")
+    print(f"monitor module written to {args.out}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="same",
+        description="SAME - Safety Analysis Management Environment (DECISIVE)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fmea = sub.add_parser("fmea", help="automated FMEA on a Simulink model")
+    fmea.add_argument("--model", required=True)
+    fmea.add_argument("--reliability", required=True)
+    fmea.add_argument("--sensor", action="append")
+    fmea.add_argument("--threshold", type=float, default=0.2)
+    fmea.add_argument("--assume-stable", action="append", dest="assume_stable")
+    fmea.add_argument("--out")
+    fmea.set_defaults(func=_cmd_fmea)
+
+    fmeda = sub.add_parser("fmeda", help="FMEDA with mechanism search")
+    fmeda.add_argument("--model", required=True)
+    fmeda.add_argument("--reliability", required=True)
+    fmeda.add_argument("--mechanisms", required=True)
+    fmeda.add_argument("--target", default="ASIL-B")
+    fmeda.add_argument("--sensor", action="append")
+    fmeda.add_argument("--threshold", type=float, default=0.2)
+    fmeda.add_argument("--assume-stable", action="append", dest="assume_stable")
+    fmeda.add_argument("--out")
+    fmeda.set_defaults(func=_cmd_fmeda)
+
+    transform = sub.add_parser("transform", help="Simulink -> SSAM")
+    transform.add_argument("--model", required=True)
+    transform.add_argument("--out", required=True)
+    transform.add_argument("--reliability")
+    transform.add_argument("--anchor", action="store_true")
+    transform.set_defaults(func=_cmd_transform)
+
+    validate_cmd = sub.add_parser("validate", help="validate a SSAM model")
+    validate_cmd.add_argument("--ssam", required=True)
+    validate_cmd.set_defaults(func=_cmd_validate)
+
+    demo = sub.add_parser("demo", help="run the paper's case study")
+    demo.add_argument("--out")
+    demo.set_defaults(func=_cmd_demo)
+
+    fta = sub.add_parser("fta", help="fault-tree analysis federated with FMEA")
+    fta.add_argument("--ssam", required=True)
+    fta.add_argument("--reliability")
+    fta.add_argument("--mission-hours", type=float, default=8760.0)
+    fta.set_defaults(func=_cmd_fta)
+
+    decisive = sub.add_parser("decisive", help="run the full DECISIVE loop")
+    decisive.add_argument("--ssam", required=True)
+    decisive.add_argument("--reliability", required=True)
+    decisive.add_argument("--mechanisms", required=True)
+    decisive.add_argument("--target", default="ASIL-B")
+    decisive.add_argument("--max-iterations", type=int, default=10)
+    decisive.set_defaults(func=_cmd_decisive)
+
+    render = sub.add_parser("render", help="render SSAM model views")
+    render.add_argument("--ssam", required=True)
+    render.add_argument(
+        "--view",
+        choices=["architecture", "mermaid", "hazards", "requirements"],
+        default="architecture",
+    )
+    render.set_defaults(func=_cmd_render)
+
+    monitor = sub.add_parser("monitor", help="generate a runtime monitor")
+    monitor.add_argument("--ssam", required=True)
+    monitor.add_argument("--out", required=True)
+    monitor.add_argument("--debounce", type=int, default=1)
+    monitor.set_defaults(func=_cmd_monitor)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

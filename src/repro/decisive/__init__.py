@@ -1,0 +1,48 @@
+"""The DECISIVE process — orchestration of the five-step methodology.
+
+- :mod:`repro.decisive.process` — the iterative design loop (Fig. 1):
+  requirements/hazards in, reliability aggregation (Step 3), automated
+  evaluation (Step 4a), safety-mechanism refinement (Step 4b), safety
+  concept out (Step 5), iterating until the target integrity level holds;
+- :mod:`repro.decisive.analyst` — a calibrated simulator of the manual
+  safety process, standing in for the paper's human participants in the
+  efficiency (Table V) and correctness (RQ1) experiments.
+"""
+
+from repro.decisive.process import (
+    DecisiveProcess,
+    IterationRecord,
+    ProcessLog,
+    SafetyConcept,
+)
+from repro.decisive.analyst import (
+    AnalystConfig,
+    ProcessOutcome,
+    simulate_process,
+    simulate_manual_fmea,
+)
+from repro.decisive.hara import HazardousEventSpec, HazardSpec, perform_hara
+from repro.decisive.impact import (
+    ImpactReport,
+    ModelDiff,
+    assess_impact,
+    diff_models,
+)
+
+__all__ = [
+    "DecisiveProcess",
+    "ProcessLog",
+    "IterationRecord",
+    "SafetyConcept",
+    "AnalystConfig",
+    "ProcessOutcome",
+    "simulate_process",
+    "simulate_manual_fmea",
+    "HazardSpec",
+    "HazardousEventSpec",
+    "perform_hara",
+    "ModelDiff",
+    "ImpactReport",
+    "diff_models",
+    "assess_impact",
+]

@@ -1,0 +1,213 @@
+"""A calibrated simulator of the manual safety-analysis process.
+
+The paper's efficiency (Table V) and correctness (RQ1) experiments used two
+human safety professionals; offline we substitute a stochastic analyst
+model (see DESIGN.md) whose parameters are calibrated to the published
+figures:
+
+- **time model** — a manual iteration costs ``elements × minutes_per_element``
+  plus mechanism-search and change-management overheads; a tool-supported
+  iteration costs a short review pass plus change management (the analysis
+  itself runs in seconds);
+- **error model** — FMEA is "a highly subjective analysis technique": each
+  manually-produced row disagrees with the algorithmic result with a small
+  probability, *but never on rows whose flip would change the set of
+  safety-related components* (the paper observed 1.5 % / 2.67 % row-level
+  disagreement while all safety-related components were identified by both
+  participants — the error model reproduces exactly that regime);
+- **iteration model** — how many design iterations a participant takes is
+  participant- and complexity-dependent (2–6 in the paper), drawn from the
+  seeded RNG.
+"""
+
+from __future__ import annotations
+
+import copy
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.safety.fmea import FmeaResult
+
+
+@dataclass
+class AnalystConfig:
+    """Calibration constants for the analyst simulator.
+
+    The structure follows what Table V shows: total time tracks *system
+    size*, not iteration count (Participant A spent 505 min on System A
+    over 5 iterations and 497 min over 3) — so the first full analysis pass
+    dominates and later iterations are incremental.  Defaults reproduce the
+    published magnitudes: System A (102 elements) ~500 manual / ~60
+    tool-supported minutes; System B (230 elements) ~1150 / ~105.
+    """
+
+    #: Manual minutes per design element for the initial full FMEA pass
+    #: (reading the design, filling rows, tracing effects).
+    manual_minutes_per_element: float = 3.5
+    #: Manual minutes per safety-related component for mechanism search.
+    manual_minutes_per_sm_search: float = 6.0
+    #: Manual incremental re-analysis minutes per element per iteration.
+    manual_incremental_per_element: float = 0.15
+    #: Manual change-management minutes per iteration.
+    manual_change_management: float = 12.0
+    #: Tool-supported one-off review minutes per design element (checking
+    #: the generated FMEA once).
+    auto_review_minutes_per_element: float = 0.45
+    #: Tool-supported minutes per iteration (invoke analysis, inspect).
+    auto_minutes_per_iteration: float = 2.0
+    #: One-off tool setup minutes (importing models, wiring references).
+    auto_setup_minutes: float = 8.0
+    #: Relative jitter on every time term (within-task variability).
+    time_jitter: float = 0.08
+    #: Participant-level speed factor spread (between-participant).
+    participant_spread: float = 0.12
+    #: Probability that a manual FMEA row disagrees with the algorithm,
+    #: *conditional on the row being non-pivotal* (pivotal rows — those
+    #: whose flip would change the safety-related component set — are the
+    #: clear-cut calls both the paper's participants got right).  With
+    #: roughly a third of rows non-pivotal on the evaluation subjects, this
+    #: lands the overall row-level disagreement in the paper's 1.5–2.7 %
+    #: band.
+    manual_disagreement_rate: float = 0.06
+
+
+@dataclass
+class ProcessOutcome:
+    """Result of one simulated design campaign (one Table V cell)."""
+
+    system: str
+    participant: str
+    mode: str  # 'manual' | 'auto'
+    minutes: float
+    iterations: int
+    tool_seconds: float = 0.0
+
+    def as_row(self) -> dict:
+        return {
+            "System": self.system,
+            "Participant": f"{self.participant}({'Man.' if self.mode == 'manual' else 'Auto.'})",
+            "Time spent (minutes)": round(self.minutes),
+            "No. Iterations": self.iterations,
+        }
+
+
+def _jitter(rng: np.random.Generator, value: float, config: AnalystConfig) -> float:
+    return value * float(rng.normal(1.0, config.time_jitter))
+
+
+def simulate_manual_fmea(
+    truth: FmeaResult,
+    rng: np.random.Generator,
+    config: Optional[AnalystConfig] = None,
+) -> Tuple[FmeaResult, float]:
+    """Produce a manual analyst's FMEA: the algorithmic truth perturbed by
+    subjective row-level disagreement, plus the minutes it took.
+
+    Returns ``(manual_result, disagreement_fraction)``.
+    """
+    config = config or AnalystConfig()
+    manual = FmeaResult(
+        system=truth.system,
+        method="manual",
+        baseline_readings=dict(truth.baseline_readings),
+        uncovered=list(truth.uncovered),
+    )
+    sr_components = set(truth.safety_related_components())
+    # Rows whose flip would alter the safety-related component set are the
+    # clear-cut ones both participants get right: a row is *pivotal* when it
+    # is its component's only safety-related row, or when flipping a
+    # non-related row would newly mark a non-SR component.
+    remaining_sr: dict = {}
+    for row in truth.rows:
+        if row.safety_related:
+            remaining_sr[row.component] = remaining_sr.get(row.component, 0) + 1
+    disagreements = 0
+    for row in truth.rows:
+        flipped = copy.copy(row)
+        flipped.sensor_deltas = dict(row.sensor_deltas)
+        # A flip is pivotal (never made) when it would change the
+        # safety-related component set: un-marking a component's *last*
+        # remaining SR row, or newly marking a non-SR component.
+        pivotal = (
+            (row.safety_related and remaining_sr[row.component] == 1)
+            or (not row.safety_related and row.component not in sr_components)
+        )
+        if not pivotal and rng.random() < config.manual_disagreement_rate:
+            flipped.safety_related = not row.safety_related
+            flipped.effect = "analyst judgement differs from algorithm"
+            disagreements += 1
+            if row.safety_related:
+                remaining_sr[row.component] -= 1
+            else:
+                remaining_sr[row.component] = (
+                    remaining_sr.get(row.component, 0) + 1
+                )
+        manual.rows.append(flipped)
+    fraction = disagreements / len(truth.rows) if truth.rows else 0.0
+    return manual, fraction
+
+
+def simulate_process(
+    system: str,
+    element_count: int,
+    safety_related_count: int,
+    participant: str,
+    mode: str,
+    rng: np.random.Generator,
+    config: Optional[AnalystConfig] = None,
+    iterations: Optional[int] = None,
+    tool_seconds_per_run: float = 2.0,
+) -> ProcessOutcome:
+    """Simulate one design campaign and return its Table V cell.
+
+    ``iterations`` may be pinned (to replay the paper's exact counts);
+    otherwise it is drawn from 2–6 as observed in the paper.
+    """
+    config = config or AnalystConfig()
+    if mode not in ("manual", "auto"):
+        raise ValueError(f"mode must be 'manual' or 'auto', got {mode!r}")
+    if iterations is None:
+        iterations = int(rng.integers(2, 7))
+    skill = float(rng.normal(1.0, config.participant_spread))
+    skill = max(skill, 0.5)
+    minutes = 0.0
+    tool_seconds = 0.0
+    if mode == "manual":
+        # One dominant full pass…
+        minutes += _jitter(
+            rng, element_count * config.manual_minutes_per_element, config
+        )
+        minutes += _jitter(
+            rng,
+            safety_related_count * config.manual_minutes_per_sm_search,
+            config,
+        )
+        # …then incremental re-analysis + change management per iteration.
+        for _ in range(iterations):
+            minutes += _jitter(
+                rng,
+                element_count * config.manual_incremental_per_element,
+                config,
+            )
+            minutes += _jitter(rng, config.manual_change_management, config)
+    else:
+        minutes += _jitter(rng, config.auto_setup_minutes, config)
+        minutes += _jitter(
+            rng, element_count * config.auto_review_minutes_per_element, config
+        )
+        for _ in range(iterations):
+            minutes += _jitter(rng, config.auto_minutes_per_iteration, config)
+            tool_seconds += tool_seconds_per_run
+        minutes += tool_seconds / 60.0
+    minutes *= skill
+    return ProcessOutcome(
+        system=system,
+        participant=participant,
+        mode=mode,
+        minutes=minutes,
+        iterations=iterations,
+        tool_seconds=tool_seconds,
+    )

@@ -1,0 +1,116 @@
+"""HARA — Hazard Analysis and Risk Assessment (DECISIVE Step 1).
+
+Builds a SSAM hazard log from declarative hazardous-event specifications
+and determines each hazard's target integrity level from the ISO 26262
+risk graph (S/E/C), as Section II-A describes: HARA precedes everything,
+and safety requirements with integrity levels are derived from its
+findings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.metamodel import ModelObject
+from repro.safety.asil import risk_graph
+from repro.ssam import SSAMModel
+from repro.ssam.hazard import (
+    cause,
+    control_measure,
+    hazard,
+    hazard_package,
+    hazardous_situation,
+)
+from repro.ssam.requirements import requirement_package, safety_requirement
+
+#: Ordering used to take the worst-case ASIL across situations.
+_ASIL_ORDER = ["QM", "ASIL-A", "ASIL-B", "ASIL-C", "ASIL-D"]
+
+
+@dataclass
+class HazardousEventSpec:
+    """One hazardous event: situation + S/E/C classes + causes/measures."""
+
+    situation: str
+    severity: str
+    exposure: str
+    controllability: str
+    causes: List[str] = field(default_factory=list)
+    control_measures: List[str] = field(default_factory=list)
+
+    @property
+    def asil(self) -> str:
+        return risk_graph(self.severity, self.exposure, self.controllability)
+
+
+@dataclass
+class HazardSpec:
+    """One hazard-log entry with its hazardous events."""
+
+    identifier: str
+    text: str
+    events: List[HazardousEventSpec] = field(default_factory=list)
+
+    @property
+    def target_asil(self) -> str:
+        """Worst-case ASIL over the hazard's events (QM when none)."""
+        if not self.events:
+            return "QM"
+        return max(
+            (event.asil for event in self.events),
+            key=_ASIL_ORDER.index,
+        )
+
+
+def perform_hara(
+    model: SSAMModel,
+    hazards: List[HazardSpec],
+    package_name: str = "HazardLog",
+    derive_requirements: bool = True,
+) -> ModelObject:
+    """Build the hazard log (and optionally top-level safety requirements).
+
+    For each hazard the worst-case ASIL across its hazardous events becomes
+    the hazard's ``integrityTarget``; when ``derive_requirements`` is set, a
+    top-level safety requirement at that integrity level is created and
+    linked to the hazard via the ``cites`` facility.
+
+    Returns the created hazard package.
+    """
+    package = hazard_package(package_name)
+    requirements = (
+        requirement_package(f"{package_name}_SafetyRequirements")
+        if derive_requirements
+        else None
+    )
+    for spec in hazards:
+        element = hazard(spec.identifier, spec.text, spec.target_asil)
+        for event in spec.events:
+            situation = hazardous_situation(
+                f"{spec.identifier}/{event.situation}",
+                severity=event.severity,
+                exposure=event.exposure,
+                controllability=event.controllability,
+            )
+            for cause_text in event.causes:
+                situation.add("causes", cause(cause_text))
+            for measure_name in event.control_measures:
+                situation.add(
+                    "controlMeasures", control_measure(measure_name)
+                )
+            element.add("situations", situation)
+        package.add("elements", element)
+        if requirements is not None and spec.target_asil != "QM":
+            requirement = safety_requirement(
+                f"SR-{spec.identifier}",
+                f"The system shall mitigate hazard {spec.identifier}: "
+                f"{spec.text}",
+                integrity_level=spec.target_asil,
+            )
+            requirement.add("cites", element)
+            requirements.add("elements", requirement)
+    model.add_hazard_package(package)
+    if requirements is not None and requirements.get("elements"):
+        model.add_requirement_package(requirements)
+    return package

@@ -1,0 +1,185 @@
+"""Change-impact analysis across DECISIVE artefacts.
+
+SCSE "is incremental and iterative: when new hazards are identified, or
+system requirements are changed, every artefact along the process shall be
+updated and re-validated to analyse the impact of all changes" (Section
+II-A).  This module automates the first half of that loop:
+
+- :func:`diff_models` — a structural diff of two SSAM models (added /
+  removed / modified components, failure modes, mechanisms);
+- :func:`assess_impact` — maps the diff onto the downstream artefacts that
+  must be re-validated: affected FMEA rows, requirements citing changed
+  components, hazards cited by changed failure modes, and whether the
+  architectural metrics must be recomputed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.metamodel import ModelObject
+from repro.safety.fmea import FmeaResult
+from repro.ssam import SSAMModel
+from repro.ssam.base import text_of
+
+
+@dataclass
+class ModelDiff:
+    """Structural differences between two SSAM models (by component name)."""
+
+    added_components: List[str] = field(default_factory=list)
+    removed_components: List[str] = field(default_factory=list)
+    modified_components: List[str] = field(default_factory=list)
+    #: component -> human-readable list of what changed
+    details: Dict[str, List[str]] = field(default_factory=dict)
+
+    @property
+    def empty(self) -> bool:
+        return not (
+            self.added_components
+            or self.removed_components
+            or self.modified_components
+        )
+
+    def changed(self) -> Set[str]:
+        return set(
+            self.added_components
+            + self.removed_components
+            + self.modified_components
+        )
+
+
+def _component_signature(component: ModelObject) -> Dict[str, object]:
+    return {
+        "fit": component.get("fit"),
+        "class": component.get("componentClass"),
+        "type": component.get("componentType"),
+        "dynamic": component.get("dynamic"),
+        "failure_modes": tuple(
+            sorted(
+                (
+                    text_of(m) or m.get("id"),
+                    m.get("nature"),
+                    round(float(m.get("distribution") or 0.0), 9),
+                )
+                for m in component.get("failureModes")
+            )
+        ),
+        "mechanisms": tuple(
+            sorted(
+                (
+                    text_of(m) or m.get("id"),
+                    round(float(m.get("coverage") or 0.0), 9),
+                )
+                for m in component.get("safetyMechanisms")
+            )
+        ),
+    }
+
+
+def diff_models(old: SSAMModel, new: SSAMModel) -> ModelDiff:
+    """Structural component-level diff keyed by component name."""
+    old_components = {
+        (text_of(c) or c.get("id")): c for c in old.elements_of_kind("Component")
+    }
+    new_components = {
+        (text_of(c) or c.get("id")): c for c in new.elements_of_kind("Component")
+    }
+    diff = ModelDiff()
+    for name in sorted(new_components.keys() - old_components.keys()):
+        diff.added_components.append(name)
+        diff.details[name] = ["component added"]
+    for name in sorted(old_components.keys() - new_components.keys()):
+        diff.removed_components.append(name)
+        diff.details[name] = ["component removed"]
+    for name in sorted(old_components.keys() & new_components.keys()):
+        before = _component_signature(old_components[name])
+        after = _component_signature(new_components[name])
+        if before == after:
+            continue
+        changes = [
+            f"{key}: {before[key]!r} -> {after[key]!r}"
+            for key in before
+            if before[key] != after[key]
+        ]
+        diff.modified_components.append(name)
+        diff.details[name] = changes
+    return diff
+
+
+@dataclass
+class ImpactReport:
+    """Artefacts a change invalidates."""
+
+    diff: ModelDiff
+    affected_fmea_rows: List[Tuple[str, str]] = field(default_factory=list)
+    affected_requirements: List[str] = field(default_factory=list)
+    affected_hazards: List[str] = field(default_factory=list)
+    metrics_stale: bool = False
+    reanalysis_required: bool = False
+
+    def summary(self) -> str:
+        lines = [
+            f"changed components : {sorted(self.diff.changed()) or '-'}",
+            f"stale FMEA rows    : {self.affected_fmea_rows or '-'}",
+            f"requirements       : {self.affected_requirements or '-'}",
+            f"hazards            : {self.affected_hazards or '-'}",
+            f"metrics stale      : {self.metrics_stale}",
+            f"re-analysis needed : {self.reanalysis_required}",
+        ]
+        return "\n".join(lines)
+
+
+def assess_impact(
+    old: SSAMModel,
+    new: SSAMModel,
+    fmea: Optional[FmeaResult] = None,
+) -> ImpactReport:
+    """Map a model change onto the artefacts that must be re-validated.
+
+    ``fmea`` is the analysis performed on ``old``; its rows touching
+    changed components are stale.  Requirements and hazards are affected
+    when they cite (or are cited by) a changed component or its failure
+    modes.
+    """
+    diff = diff_models(old, new)
+    report = ImpactReport(diff=diff)
+    if diff.empty:
+        return report
+    changed = diff.changed()
+    report.reanalysis_required = True
+    report.metrics_stale = True
+
+    if fmea is not None:
+        report.affected_fmea_rows = [
+            (row.component, row.failure_mode)
+            for row in fmea.rows
+            if row.component in changed
+        ]
+
+    # Requirements citing changed components (check both models: a removed
+    # component's requirements live only in the old model).
+    for model in (old, new):
+        for requirement in model.elements_of_kind("Requirement"):
+            name = text_of(requirement) or requirement.get("id")
+            if name in report.affected_requirements:
+                continue
+            for cited in requirement.get("cites"):
+                cited_name = text_of(cited) or cited.get("id")
+                if cited.is_kind_of("Component") and cited_name in changed:
+                    report.affected_requirements.append(name)
+                    break
+
+    # Hazards cited by the failure modes of changed components.
+    for model in (old, new):
+        for component in model.elements_of_kind("Component"):
+            name = text_of(component) or component.get("id")
+            if name not in changed:
+                continue
+            for mode in component.get("failureModes"):
+                for hazard in mode.get("hazards"):
+                    hazard_name = text_of(hazard) or hazard.get("id")
+                    if hazard_name not in report.affected_hazards:
+                        report.affected_hazards.append(hazard_name)
+    return report

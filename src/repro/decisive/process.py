@@ -1,0 +1,210 @@
+"""The five-step DECISIVE loop over a SSAM model.
+
+The class drives exactly the methodology of Fig. 1: given the Step 1/2
+artefacts (a SSAM model carrying requirements, a hazard log and an
+architecture), each iteration aggregates reliability data (Step 3),
+evaluates the design (Step 4a: graph FMEA + SPFM/ASIL), and — when the
+target is unmet — searches and deploys safety mechanisms (Step 4b).  When
+the design is acceptably safe a *safety concept* (Step 5) is synthesised:
+the safety requirements, hazard targets, analysis results and the chosen
+mechanism allocations, with traceability into the model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.federation import FederationReport, aggregate_reliability
+from repro.reliability import ReliabilityModel
+from repro.safety import (
+    FmeaResult,
+    FmedaResult,
+    run_fmeda,
+    run_ssam_fmea,
+    search_for_target,
+)
+from repro.safety.mechanisms import Deployment, SafetyMechanismModel
+from repro.safety.metrics import asil_from_spfm, spfm
+from repro.ssam import SSAMModel
+from repro.ssam.architecture import safety_mechanism
+from repro.ssam.base import text_of
+
+
+class ProcessError(Exception):
+    """Raised when the process cannot run (no architecture, no target…)."""
+
+
+@dataclass
+class IterationRecord:
+    """What one DECISIVE iteration did and found."""
+
+    index: int
+    spfm: float
+    asil: str
+    safety_related: List[str]
+    deployments: List[Deployment] = field(default_factory=list)
+    met_target: bool = False
+
+
+@dataclass
+class SafetyConcept:
+    """The Step 5 artefact: requirements, allocations and evidence."""
+
+    system: str
+    target_asil: str
+    achieved_asil: str
+    spfm: float
+    safety_requirements: List[str]
+    hazards: List[str]
+    deployments: List[Deployment]
+    fmeda: FmedaResult
+
+
+@dataclass
+class ProcessLog:
+    """Full record of one DECISIVE run."""
+
+    system: str
+    target_asil: str
+    iterations: List[IterationRecord] = field(default_factory=list)
+    concept: Optional[SafetyConcept] = None
+
+    @property
+    def met_target(self) -> bool:
+        return bool(self.iterations) and self.iterations[-1].met_target
+
+    @property
+    def final_spfm(self) -> float:
+        if not self.iterations:
+            raise ProcessError("process has not run")
+        return self.iterations[-1].spfm
+
+
+class DecisiveProcess:
+    """Drives DECISIVE Steps 3–5 over a SSAM model."""
+
+    def __init__(
+        self,
+        model: SSAMModel,
+        reliability: ReliabilityModel,
+        mechanisms: SafetyMechanismModel,
+        target_asil: str = "ASIL-B",
+        overwrite_reliability: bool = False,
+    ) -> None:
+        if not model.component_packages or not model.top_components():
+            raise ProcessError("model has no architecture (Step 2 missing)")
+        self.model = model
+        self.reliability = reliability
+        self.mechanisms = mechanisms
+        self.target_asil = target_asil
+        #: When set, Step 3 replaces hand-modelled failure data with the
+        #: catalogue's — the right mode when re-running the process against
+        #: revised reliability data (e.g. an environmental derating).
+        self.overwrite_reliability = overwrite_reliability
+        self.deployments: List[Deployment] = []
+        self._system = model.top_components()[0]
+
+    # -- steps ------------------------------------------------------------
+
+    def step3_aggregate(self) -> FederationReport:
+        """Aggregate reliability data into the design (Step 3)."""
+        return aggregate_reliability(
+            self.model, self.reliability, overwrite=self.overwrite_reliability
+        )
+
+    def step4a_evaluate(self) -> Tuple[FmeaResult, float, str]:
+        """Automated FMEA + architectural metrics (Step 4a)."""
+        fmea = run_ssam_fmea(self._system, self.reliability)
+        value = spfm(fmea, self.deployments)
+        return fmea, value, asil_from_spfm(value)
+
+    def step4b_refine(self, fmea: FmeaResult) -> List[Deployment]:
+        """Search the mechanism catalogue for a deployment meeting the
+        target (Step 4b); returns the *new* deployments (possibly empty)."""
+        plan = search_for_target(fmea, self.mechanisms, self.target_asil)
+        if plan is None:
+            return []
+        existing = {(d.component, d.failure_mode) for d in self.deployments}
+        fresh = [
+            d
+            for d in plan.deployments
+            if (d.component, d.failure_mode) not in existing
+        ]
+        self.deployments = list(plan.deployments)
+        return fresh
+
+    def apply_deployments_to_model(self) -> int:
+        """Write the chosen mechanisms into the SSAM model (the change that
+        the next process iteration would formalise via change management)."""
+        applied = 0
+        components = {
+            (text_of(c) or c.get("id")): c
+            for c in self.model.elements_of_kind("Component")
+        }
+        for deployment in self.deployments:
+            component = components.get(deployment.component)
+            if component is None:
+                continue
+            mech = safety_mechanism(
+                deployment.mechanism, deployment.coverage, deployment.cost
+            )
+            covered = [
+                mode
+                for mode in component.get("failureModes")
+                if (text_of(mode) or mode.get("id")) == deployment.failure_mode
+            ]
+            mech.set("covers", covered)
+            component.add("safetyMechanisms", mech)
+            applied += 1
+        return applied
+
+    def step5_safety_concept(self, fmeda: FmedaResult) -> SafetyConcept:
+        """Synthesise the safety concept (Step 5)."""
+        return SafetyConcept(
+            system=self.model.name,
+            target_asil=self.target_asil,
+            achieved_asil=fmeda.asil,
+            spfm=fmeda.spfm,
+            safety_requirements=[
+                text_of(r) or r.get("id")
+                for r in self.model.safety_requirements()
+            ],
+            hazards=[text_of(h) or h.get("id") for h in self.model.hazards()],
+            deployments=list(self.deployments),
+            fmeda=fmeda,
+        )
+
+    # -- the loop -----------------------------------------------------------
+
+    def run(self, max_iterations: int = 10) -> ProcessLog:
+        """Iterate Steps 3–4 until the target holds (or iterations run out),
+        then synthesise the safety concept."""
+        log = ProcessLog(system=self.model.name, target_asil=self.target_asil)
+        self.step3_aggregate()
+        for index in range(1, max_iterations + 1):
+            fmea, value, asil = self.step4a_evaluate()
+            record = IterationRecord(
+                index=index,
+                spfm=value,
+                asil=asil,
+                safety_related=fmea.safety_related_components(),
+                met_target=_meets(value, self.target_asil),
+            )
+            log.iterations.append(record)
+            if record.met_target:
+                break
+            fresh = self.step4b_refine(fmea)
+            record.deployments = fresh
+            if not fresh:
+                break  # catalogue exhausted; target unreachable
+        fmea, _, _ = self.step4a_evaluate()
+        fmeda = run_fmeda(fmea, self.deployments)
+        log.concept = self.step5_safety_concept(fmeda)
+        return log
+
+
+def _meets(value: float, target_asil: str) -> bool:
+    from repro.safety.metrics import spfm_meets
+
+    return spfm_meets(value, target_asil)

@@ -1,0 +1,48 @@
+"""Model drivers — uniform access to heterogeneous models (Epsilon EMC substitute).
+
+The paper federates information across models defined in different
+technologies (Excel, CSV, JSON, XML, Simulink, EMF) through Epsilon's
+extensible model connectivity layer and EOL scripts.  This package supplies
+the equivalent:
+
+- :class:`ModelDriver` — the uniform interface (named element collections,
+  property access);
+- concrete drivers: :class:`TableDriver` (CSV/"Excel" workbooks),
+  :class:`JsonDriver`, :class:`XmlDriver`, :class:`SsamDriver`,
+  :class:`SimulinkDriver`;
+- :func:`open_model` — resolves an ``ExternalReference``-style
+  (location, type, metadata) triple to a driver via the driver registry;
+- :mod:`repro.drivers.query` — RQL, a small, safe expression language used
+  as the machine-executable constraint / extraction-rule language.
+"""
+
+from repro.drivers.base import (
+    DriverError,
+    DriverRegistry,
+    ModelDriver,
+    driver_registry,
+    open_model,
+)
+from repro.drivers.table import TableDriver, Workbook, Sheet
+from repro.drivers.json_driver import JsonDriver
+from repro.drivers.xml_driver import XmlDriver
+from repro.drivers.ssam_driver import SsamDriver
+from repro.drivers.simulink_driver import SimulinkDriver
+from repro.drivers.query import QueryError, evaluate_query
+
+__all__ = [
+    "ModelDriver",
+    "DriverError",
+    "DriverRegistry",
+    "driver_registry",
+    "open_model",
+    "TableDriver",
+    "Workbook",
+    "Sheet",
+    "JsonDriver",
+    "XmlDriver",
+    "SsamDriver",
+    "SimulinkDriver",
+    "QueryError",
+    "evaluate_query",
+]

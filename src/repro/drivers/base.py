@@ -1,0 +1,115 @@
+"""Driver interface and registry.
+
+A :class:`ModelDriver` exposes a model as named collections of *elements*
+(dict-like records or model objects), which is the minimum contract RQL
+queries need.  Drivers register themselves under a type name (``csv``,
+``table``, ``json``, ``xml``, ``ssam``, ``simulink``); ``ExternalReference``
+resolution calls :func:`open_model` with the reference's location / type /
+metadata.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterable, List, Optional, Union
+
+
+class DriverError(Exception):
+    """Raised for unknown driver types or malformed external models."""
+
+
+class ModelDriver:
+    """Uniform access to one external model.
+
+    Subclasses implement :meth:`collections` and :meth:`elements`; everything
+    else (property access, filtering) is uniform.
+    """
+
+    #: Registry key; subclasses override.
+    type_name = "abstract"
+
+    def __init__(self, location: Union[str, Path], metadata: str = "") -> None:
+        self.location = str(location)
+        self.metadata = metadata
+
+    # -- contract ------------------------------------------------------------
+
+    def collections(self) -> List[str]:
+        """Names of the element collections this model offers."""
+        raise NotImplementedError
+
+    def elements(self, collection: Optional[str] = None) -> List[Any]:
+        """The elements of ``collection`` (or of the default collection)."""
+        raise NotImplementedError
+
+    # -- uniform helpers -------------------------------------------------------
+
+    def default_collection(self) -> str:
+        names = self.collections()
+        if not names:
+            raise DriverError(f"model {self.location!r} has no collections")
+        return names[0]
+
+    @staticmethod
+    def property_of(element: Any, name: str, default: Any = None) -> Any:
+        """Read a named property from an element of any supported shape."""
+        if isinstance(element, dict):
+            return element.get(name, default)
+        getter = getattr(element, "get", None)
+        if callable(getter):
+            try:
+                return getter(name)
+            except Exception:
+                return default
+        return getattr(element, name, default)
+
+    def find(
+        self,
+        predicate: Callable[[Any], bool],
+        collection: Optional[str] = None,
+    ) -> List[Any]:
+        return [e for e in self.elements(collection) if predicate(e)]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"<{type(self).__name__} {self.location!r}>"
+
+
+class DriverRegistry:
+    """Maps driver type names to driver factories."""
+
+    def __init__(self) -> None:
+        self._factories: Dict[str, Callable[..., ModelDriver]] = {}
+
+    def register(
+        self, type_name: str, factory: Callable[..., ModelDriver]
+    ) -> None:
+        self._factories[type_name] = factory
+
+    def registered_types(self) -> Iterable[str]:
+        return self._factories.keys()
+
+    def open(
+        self, location: Union[str, Path], type_name: str, metadata: str = ""
+    ) -> ModelDriver:
+        factory = self._factories.get(type_name)
+        if factory is None:
+            known = sorted(self._factories)
+            raise DriverError(
+                f"unknown driver type {type_name!r}; registered: {known}"
+            )
+        return factory(location, metadata)
+
+
+_REGISTRY = DriverRegistry()
+
+
+def driver_registry() -> DriverRegistry:
+    """The process-wide driver registry."""
+    return _REGISTRY
+
+
+def open_model(
+    location: Union[str, Path], type_name: str, metadata: str = ""
+) -> ModelDriver:
+    """Open an external model — the resolution step of an ``ExternalReference``."""
+    return _REGISTRY.open(location, type_name, metadata)

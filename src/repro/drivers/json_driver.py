@@ -1,0 +1,66 @@
+"""JSON driver — treats a JSON document as an external model.
+
+Collections are the top-level keys whose values are lists (of objects); a
+top-level list becomes the single collection ``items``.  ``metadata`` may
+name a dotted path to descend to before collecting (e.g. ``"payload.rows"``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.drivers.base import DriverError, ModelDriver, driver_registry
+
+
+class JsonDriver(ModelDriver):
+    type_name = "json"
+
+    def __init__(self, location: Union[str, Path], metadata: str = "") -> None:
+        super().__init__(location, metadata)
+        path = Path(location)
+        if not path.is_file():
+            raise DriverError(f"no such JSON model: {path}")
+        with open(path, encoding="utf-8") as handle:
+            self.document: Any = json.load(handle)
+        if metadata:
+            self.document = self._descend(self.document, metadata)
+
+    @staticmethod
+    def _descend(document: Any, dotted: str) -> Any:
+        node = document
+        for part in dotted.split("."):
+            if isinstance(node, dict) and part in node:
+                node = node[part]
+            else:
+                raise DriverError(
+                    f"JSON path {dotted!r} not found (missing {part!r})"
+                )
+        return node
+
+    def collections(self) -> List[str]:
+        if isinstance(self.document, list):
+            return ["items"]
+        if isinstance(self.document, dict):
+            lists = [k for k, v in self.document.items() if isinstance(v, list)]
+            return lists or list(self.document.keys())
+        return []
+
+    def elements(self, collection: Optional[str] = None) -> List[Any]:
+        if isinstance(self.document, list):
+            return list(self.document)
+        name = collection or self.default_collection()
+        value = self.document.get(name)
+        if isinstance(value, list):
+            return list(value)
+        if value is None:
+            raise DriverError(f"JSON model has no collection {name!r}")
+        return [value]
+
+    def value(self, dotted: str) -> Any:
+        """Read a scalar at a dotted path from the document root."""
+        return self._descend(self.document, dotted)
+
+
+driver_registry().register("json", JsonDriver)

@@ -1,0 +1,202 @@
+"""RQL — a small, safe query/expression language over model drivers.
+
+RQL plays the role EOL plays in the paper: the machine-executable language of
+``ImplementationConstraint`` bodies and ``ExternalReference`` extraction
+rules.  Syntactically RQL is a restricted Python *expression*: the text is
+parsed with :mod:`ast` and evaluated over a whitelisted node set, so no
+statements, imports, dunder access or unvetted builtins can run.
+
+Supported constructs: literals, arithmetic / boolean / comparison operators,
+conditional expressions, list / tuple / set / dict displays, comprehensions,
+lambdas, attribute access (non-underscore names), subscripting, and calls.
+
+The evaluation environment provides:
+
+``model``
+    the :class:`~repro.drivers.base.ModelDriver` under query (when given);
+``rows(collection=None)``
+    elements of a driver collection;
+``prop(element, name, default=None)``
+    uniform property access across dict records and model objects;
+plus a safe subset of builtins (``len``, ``sum``, ``min``, ``max``, ``abs``,
+``round``, ``sorted``, ``any``, ``all``, ``filter``, ``map``, ``list``,
+``set``, ``str``, ``float``, ``int``, ``bool``, ``zip``, ``enumerate``,
+``range``).
+
+Example extraction rule (pull a component's FIT from a reliability table)::
+
+    [r['FIT'] for r in rows() if r['Component'] == 'Diode'][0]
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.drivers.base import ModelDriver
+
+
+class QueryError(Exception):
+    """Raised for parse errors, disallowed constructs or evaluation failures."""
+
+
+_SAFE_BUILTINS: Dict[str, Any] = {
+    "len": len,
+    "sum": sum,
+    "min": min,
+    "max": max,
+    "abs": abs,
+    "round": round,
+    "sorted": sorted,
+    "any": any,
+    "all": all,
+    "filter": filter,
+    "map": map,
+    "list": list,
+    "set": set,
+    "tuple": tuple,
+    "dict": dict,
+    "str": str,
+    "float": float,
+    "int": int,
+    "bool": bool,
+    "zip": zip,
+    "enumerate": enumerate,
+    "range": range,
+    "True": True,
+    "False": False,
+    "None": None,
+}
+
+_ALLOWED_NODES = (
+    ast.Expression,
+    ast.Constant,
+    ast.Name,
+    ast.Load,
+    ast.Store,  # only reachable via comprehension targets / lambda args
+    ast.Attribute,
+    ast.Subscript,
+    ast.Slice,
+    ast.Index if hasattr(ast, "Index") else ast.Slice,  # py<3.9 compat shim
+    ast.Call,
+    ast.keyword,
+    ast.BinOp,
+    ast.UnaryOp,
+    ast.BoolOp,
+    ast.Compare,
+    ast.IfExp,
+    ast.List,
+    ast.Tuple,
+    ast.Set,
+    ast.Dict,
+    ast.ListComp,
+    ast.SetComp,
+    ast.DictComp,
+    ast.GeneratorExp,
+    ast.comprehension,
+    ast.Lambda,
+    ast.arguments,
+    ast.arg,
+    ast.Starred,
+    # operators
+    ast.Add,
+    ast.Sub,
+    ast.Mult,
+    ast.Div,
+    ast.FloorDiv,
+    ast.Mod,
+    ast.Pow,
+    ast.USub,
+    ast.UAdd,
+    ast.Not,
+    ast.And,
+    ast.Or,
+    ast.Eq,
+    ast.NotEq,
+    ast.Lt,
+    ast.LtE,
+    ast.Gt,
+    ast.GtE,
+    ast.In,
+    ast.NotIn,
+    ast.Is,
+    ast.IsNot,
+)
+
+
+def _check_node(node: ast.AST) -> None:
+    for child in ast.walk(node):
+        if not isinstance(child, _ALLOWED_NODES):
+            raise QueryError(
+                f"disallowed construct in query: {type(child).__name__}"
+            )
+        if isinstance(child, ast.Attribute) and child.attr.startswith("_"):
+            raise QueryError(
+                f"access to underscore attribute {child.attr!r} is not allowed"
+            )
+        if isinstance(child, ast.Name) and child.id.startswith("__"):
+            raise QueryError(
+                f"access to dunder name {child.id!r} is not allowed"
+            )
+
+
+def _prop(element: Any, name: str, default: Any = None) -> Any:
+    return ModelDriver.property_of(element, name, default)
+
+
+def build_environment(
+    driver: Optional[ModelDriver] = None,
+    variables: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """The evaluation environment for a query."""
+    env: Dict[str, Any] = dict(_SAFE_BUILTINS)
+    env["prop"] = _prop
+    if driver is not None:
+        env["model"] = driver
+        env["rows"] = lambda collection=None: driver.elements(collection)
+        env["collections"] = driver.collections
+    if variables:
+        for key in variables:
+            if key.startswith("_"):
+                raise QueryError(f"variable name {key!r} must not start with '_'")
+        env.update(variables)
+    return env
+
+
+def compile_query(expression: str) -> Callable[[Dict[str, Any]], Any]:
+    """Parse and vet ``expression``; return an evaluator over an environment."""
+    if not isinstance(expression, str) or not expression.strip():
+        raise QueryError("empty query expression")
+    try:
+        tree = ast.parse(expression.strip(), mode="eval")
+    except SyntaxError as exc:
+        raise QueryError(f"syntax error in query: {exc}") from exc
+    _check_node(tree)
+    code = compile(tree, "<rql>", "eval")
+
+    def run(environment: Dict[str, Any]) -> Any:
+        # The environment must be the *globals* mapping: comprehensions and
+        # lambdas execute in a nested scope that resolves free names against
+        # globals, not the caller's locals.
+        namespace = {"__builtins__": {}}
+        namespace.update(environment)
+        try:
+            return eval(code, namespace)  # noqa: S307
+        except QueryError:
+            raise
+        except Exception as exc:
+            raise QueryError(
+                f"query evaluation failed: {type(exc).__name__}: {exc}"
+            ) from exc
+
+    return run
+
+
+def evaluate_query(
+    expression: str,
+    driver: Optional[ModelDriver] = None,
+    variables: Optional[Dict[str, Any]] = None,
+) -> Any:
+    """Parse, vet and evaluate an RQL expression."""
+    evaluator = compile_query(expression)
+    return evaluator(build_environment(driver, variables))

@@ -1,0 +1,71 @@
+"""Simulink driver — opens a block-diagram model file as an external model.
+
+Collections are ``Block``, ``Line`` and ``Subsystem``; block elements expose
+``name``, ``block_type``, ``path`` and their parameters.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.drivers.base import DriverError, ModelDriver, driver_registry
+
+
+class SimulinkDriver(ModelDriver):
+    type_name = "simulink"
+
+    def __init__(self, location: Union[str, Path], metadata: str = "") -> None:
+        super().__init__(location, metadata)
+        from repro.simulink import SimulinkModel  # deferred: avoids import cycle
+
+        path = Path(location)
+        if not path.is_file():
+            raise DriverError(f"no such Simulink model: {path}")
+        self.model = SimulinkModel.load(path)
+
+    @classmethod
+    def from_model(cls, model: Any) -> "SimulinkDriver":
+        """Wrap an in-memory :class:`SimulinkModel` without touching disk."""
+        driver = cls.__new__(cls)
+        ModelDriver.__init__(driver, "<in-memory>", "")
+        driver.model = model
+        return driver
+
+    def collections(self) -> List[str]:
+        return ["Block", "Line", "Subsystem"]
+
+    def elements(self, collection: Optional[str] = None) -> List[Dict[str, Any]]:
+        name = collection or "Block"
+        if name == "Block":
+            return [self._block_record(b) for b in self.model.all_blocks()]
+        if name == "Subsystem":
+            return [
+                self._block_record(b)
+                for b in self.model.all_blocks()
+                if b.block_type == "Subsystem"
+            ]
+        if name == "Line":
+            return [
+                {
+                    "source": line.source_path(),
+                    "target": line.target_path(),
+                }
+                for line in self.model.all_lines()
+            ]
+        raise DriverError(f"Simulink model has no collection {name!r}")
+
+    @staticmethod
+    def _block_record(block: Any) -> Dict[str, Any]:
+        record: Dict[str, Any] = dict(block.parameters)
+        record.update(
+            {
+                "name": block.name,
+                "block_type": block.block_type,
+                "path": block.path(),
+            }
+        )
+        return record
+
+
+driver_registry().register("simulink", SimulinkDriver)

@@ -1,0 +1,48 @@
+"""SSAM driver — opens a persisted SSAM model as an external model.
+
+Collections are metaclass names (``Component``, ``FailureMode``,
+``Hazard``, …); elements are the live :class:`ModelObject` instances, so RQL
+queries can navigate references.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.drivers.base import DriverError, ModelDriver, driver_registry
+from repro.metamodel import ModelObject
+
+
+class SsamDriver(ModelDriver):
+    type_name = "ssam"
+
+    def __init__(self, location: Union[str, Path], metadata: str = "") -> None:
+        super().__init__(location, metadata)
+        from repro.ssam.model import SSAMModel  # deferred: avoids import cycle
+
+        path = Path(location)
+        if not path.is_file():
+            raise DriverError(f"no such SSAM model: {path}")
+        self.model = SSAMModel.load(path)
+
+    @classmethod
+    def from_model(cls, model: Any) -> "SsamDriver":
+        """Wrap an in-memory :class:`SSAMModel` without touching disk."""
+        driver = cls.__new__(cls)
+        ModelDriver.__init__(driver, "<in-memory>", "")
+        driver.model = model
+        return driver
+
+    def collections(self) -> List[str]:
+        names: Dict[str, None] = {}
+        for obj in self.model.all_elements():
+            names.setdefault(obj.metaclass.name)
+        return list(names)
+
+    def elements(self, collection: Optional[str] = None) -> List[ModelObject]:
+        name = collection or self.metadata or "Component"
+        return self.model.elements_of_kind(name)
+
+
+driver_registry().register("ssam", SsamDriver)

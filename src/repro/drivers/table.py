@@ -1,0 +1,183 @@
+"""Table driver — CSV files and CSV-backed "Excel" workbooks.
+
+The paper stores reliability models (Table II) and safety-mechanism models
+(Table III) in Excel spreadsheets.  Offline, we represent a *workbook* as
+either a single ``.csv`` file (one sheet) or a directory of ``.csv`` files
+(one sheet per file).  Cell values are typed on read: integers, floats,
+percentages (``"30%"`` → ``0.3``) and booleans are recognised; everything
+else stays a string.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.drivers.base import DriverError, ModelDriver, driver_registry
+
+
+def parse_cell(text: str) -> Any:
+    """Convert a raw CSV cell to a typed Python value."""
+    value = text.strip()
+    if value == "":
+        return None
+    lowered = value.lower()
+    if lowered in ("true", "yes"):
+        return True
+    if lowered in ("false", "no"):
+        return False
+    if value.endswith("%"):
+        try:
+            return float(value[:-1]) / 100.0
+        except ValueError:
+            return value
+    try:
+        return int(value)
+    except ValueError:
+        pass
+    try:
+        return float(value)
+    except ValueError:
+        pass
+    return value
+
+
+def format_cell(value: Any) -> str:
+    """Inverse of :func:`parse_cell` for writing."""
+    if value is None:
+        return ""
+    if isinstance(value, bool):
+        return "Yes" if value else "No"
+    return str(value)
+
+
+class Sheet:
+    """One named sheet: a list of dict rows sharing a header."""
+
+    def __init__(self, name: str, rows: Optional[List[Dict[str, Any]]] = None) -> None:
+        self.name = name
+        self.rows: List[Dict[str, Any]] = list(rows or [])
+
+    @property
+    def header(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for row in self.rows:
+            for key in row:
+                seen.setdefault(key)
+        return list(seen)
+
+    def append(self, row: Dict[str, Any]) -> None:
+        self.rows.append(dict(row))
+
+    def column(self, name: str) -> List[Any]:
+        return [row.get(name) for row in self.rows]
+
+    def where(self, **criteria: Any) -> List[Dict[str, Any]]:
+        return [
+            row
+            for row in self.rows
+            if all(row.get(k) == v for k, v in criteria.items())
+        ]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    @classmethod
+    def read_csv(cls, path: Union[str, Path]) -> "Sheet":
+        path = Path(path)
+        with open(path, newline="", encoding="utf-8") as handle:
+            reader = csv.DictReader(handle)
+            rows = [
+                {key: parse_cell(value or "") for key, value in raw.items()}
+                for raw in reader
+            ]
+        return cls(path.stem, rows)
+
+    def write_csv(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        header = self.header
+        with open(path, "w", newline="", encoding="utf-8") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(header)
+            for row in self.rows:
+                writer.writerow([format_cell(row.get(col)) for col in header])
+        return path
+
+
+class Workbook:
+    """A named collection of sheets, persisted as a CSV file or directory."""
+
+    def __init__(self, sheets: Optional[List[Sheet]] = None) -> None:
+        self._sheets: Dict[str, Sheet] = {}
+        for sheet in sheets or []:
+            self.add(sheet)
+
+    def add(self, sheet: Sheet) -> Sheet:
+        self._sheets[sheet.name] = sheet
+        return sheet
+
+    def sheet(self, name: str) -> Sheet:
+        try:
+            return self._sheets[name]
+        except KeyError:
+            raise DriverError(
+                f"workbook has no sheet {name!r}; sheets: {sorted(self._sheets)}"
+            ) from None
+
+    def sheet_names(self) -> List[str]:
+        return list(self._sheets)
+
+    @classmethod
+    def load(cls, location: Union[str, Path]) -> "Workbook":
+        path = Path(location)
+        if path.is_dir():
+            sheets = [Sheet.read_csv(p) for p in sorted(path.glob("*.csv"))]
+            if not sheets:
+                raise DriverError(f"workbook directory {path} has no .csv sheets")
+            return cls(sheets)
+        if path.is_file():
+            return cls([Sheet.read_csv(path)])
+        raise DriverError(f"no such table model: {path}")
+
+    def save(self, location: Union[str, Path]) -> Path:
+        path = Path(location)
+        if len(self._sheets) == 1 and path.suffix == ".csv":
+            next(iter(self._sheets.values())).write_csv(path)
+            return path
+        path.mkdir(parents=True, exist_ok=True)
+        for sheet in self._sheets.values():
+            sheet.write_csv(path / f"{sheet.name}.csv")
+        return path
+
+
+class TableDriver(ModelDriver):
+    """Driver over a CSV file or CSV-directory workbook.
+
+    ``metadata`` may name the sheet to treat as the default collection.
+    """
+
+    type_name = "table"
+
+    def __init__(self, location: Union[str, Path], metadata: str = "") -> None:
+        super().__init__(location, metadata)
+        self.workbook = Workbook.load(location)
+
+    def collections(self) -> List[str]:
+        names = self.workbook.sheet_names()
+        if self.metadata and self.metadata in names:
+            names = [self.metadata] + [n for n in names if n != self.metadata]
+        return names
+
+    def elements(self, collection: Optional[str] = None) -> List[Dict[str, Any]]:
+        name = collection or self.default_collection()
+        return list(self.workbook.sheet(name).rows)
+
+
+driver_registry().register("table", TableDriver)
+driver_registry().register("csv", TableDriver)
+driver_registry().register("excel", TableDriver)

@@ -1,0 +1,61 @@
+"""XML driver — treats an XML document as an external model.
+
+Collections are element tag names; an element's "properties" are its XML
+attributes plus a ``text`` entry with its (stripped) text content.
+``metadata`` may name the tag used as the default collection.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.drivers.base import DriverError, ModelDriver, driver_registry
+from repro.drivers.table import parse_cell
+
+
+def _element_record(element: ET.Element) -> Dict[str, Any]:
+    record: Dict[str, Any] = {
+        key: parse_cell(value) for key, value in element.attrib.items()
+    }
+    text = (element.text or "").strip()
+    if text:
+        record["text"] = parse_cell(text)
+    record["tag"] = element.tag
+    return record
+
+
+class XmlDriver(ModelDriver):
+    type_name = "xml"
+
+    def __init__(self, location: Union[str, Path], metadata: str = "") -> None:
+        super().__init__(location, metadata)
+        path = Path(location)
+        if not path.is_file():
+            raise DriverError(f"no such XML model: {path}")
+        try:
+            self.tree = ET.parse(path)
+        except ET.ParseError as exc:
+            raise DriverError(f"malformed XML model {path}: {exc}") from exc
+        self.root = self.tree.getroot()
+
+    def collections(self) -> List[str]:
+        tags: Dict[str, None] = {}
+        for element in self.root.iter():
+            if element is not self.root:
+                tags.setdefault(element.tag)
+        names = list(tags)
+        if self.metadata and self.metadata in names:
+            names = [self.metadata] + [n for n in names if n != self.metadata]
+        return names
+
+    def elements(self, collection: Optional[str] = None) -> List[Dict[str, Any]]:
+        tag = collection or self.default_collection()
+        return [
+            _element_record(element)
+            for element in self.root.iter(tag)
+        ]
+
+
+driver_registry().register("xml", XmlDriver)

@@ -1,0 +1,39 @@
+"""Model federation — pulling data from heterogeneous external models.
+
+SSAM's ``ExternalReference`` utility carries a location, a driver type,
+metadata and a machine-executable extraction query; this package executes
+them:
+
+- :func:`resolve_external_reference` — open the referenced model through
+  the driver registry and run the RQL query against it;
+- :func:`attach_reliability_reference` — declare where a component's
+  reliability data lives;
+- :func:`federate_reliability` — DECISIVE Step 3 for SSAM models: resolve
+  every reliability reference and populate FIT / failure modes;
+- :func:`aggregate_reliability` — the driverless variant: apply an
+  in-memory :class:`~repro.reliability.ReliabilityModel` by component class.
+"""
+
+from repro.federation.external import (
+    FederationError,
+    resolve_external_reference,
+)
+from repro.federation.federator import (
+    FederationReport,
+    aggregate_reliability,
+    attach_mechanism_reference,
+    attach_reliability_reference,
+    federate_mechanisms,
+    federate_reliability,
+)
+
+__all__ = [
+    "FederationError",
+    "resolve_external_reference",
+    "attach_reliability_reference",
+    "federate_reliability",
+    "attach_mechanism_reference",
+    "federate_mechanisms",
+    "aggregate_reliability",
+    "FederationReport",
+]

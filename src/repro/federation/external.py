@@ -1,0 +1,60 @@
+"""Resolution of ``ExternalReference`` utilities.
+
+An ``ExternalReference`` names an external model (location + driver type +
+metadata) and optionally carries an ``ImplementationConstraint`` whose body
+is an RQL query; resolving the reference opens the model through the driver
+registry and evaluates the query against it.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro.drivers import DriverError, QueryError, evaluate_query, open_model
+from repro.metamodel import ModelObject
+
+
+class FederationError(Exception):
+    """Raised when an external reference cannot be resolved."""
+
+
+def resolve_external_reference(
+    reference: ModelObject,
+    variables: Optional[Dict[str, Any]] = None,
+    base_dir: Optional[Path] = None,
+) -> Any:
+    """Open the referenced model and evaluate its extraction query.
+
+    Without a query, the reference resolves to the opened driver itself
+    (callers can then query it however they like).  ``variables`` are made
+    available to the query (e.g. ``component_class``); relative locations
+    resolve against ``base_dir``.
+    """
+    if not reference.is_kind_of("ExternalReference"):
+        raise FederationError(
+            f"expected an ExternalReference, got {reference.metaclass.name!r}"
+        )
+    location = reference.get("location") or ""
+    driver_type = reference.get("type") or ""
+    if not location or not driver_type:
+        raise FederationError(
+            "external reference needs both a location and a driver type"
+        )
+    path = Path(location)
+    if base_dir is not None and not path.is_absolute():
+        path = Path(base_dir) / path
+    try:
+        driver = open_model(path, driver_type, reference.get("metadata") or "")
+    except DriverError as exc:
+        raise FederationError(str(exc)) from exc
+
+    constraint = reference.get("implementationConstraint")
+    if constraint is None or not (constraint.get("body") or "").strip():
+        return driver
+    try:
+        return evaluate_query(constraint.get("body"), driver, variables)
+    except QueryError as exc:
+        raise FederationError(
+            f"extraction query failed for {location!r}: {exc}"
+        ) from exc

@@ -1,0 +1,260 @@
+"""Federating reliability data into SSAM models (DECISIVE Step 3).
+
+Two pathways, matching the paper's two usages:
+
+- **by reference** (:func:`federate_reliability`): components carry
+  ``ExternalReference`` utilities with key ``reliability``; resolution opens
+  the referenced workbook/JSON/XML model and pulls FIT and failure modes —
+  either through the reference's own RQL query (which must return a dict of
+  the shape ``{"fit": ..., "failure_modes": [...]}``) or, when no query is
+  given and the target is a Table II-style workbook, through the standard
+  reliability loader;
+- **in memory** (:func:`aggregate_reliability`): a loaded
+  :class:`~repro.reliability.ReliabilityModel` is applied directly by
+  component class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.drivers.base import ModelDriver
+from repro.federation.external import FederationError, resolve_external_reference
+from repro.metamodel import ModelObject
+from repro.reliability import ReliabilityModel
+from repro.reliability.model import nature_for_mode_name
+from repro.reliability.sources import reliability_from_rows
+from repro.ssam import SSAMModel
+from repro.ssam.architecture import failure_mode
+from repro.ssam.base import external_reference, text_of
+
+#: Utility key marking a reliability reference on a component.
+RELIABILITY_KEY = "reliability"
+
+#: Utility key marking a safety-mechanism-catalogue reference.
+MECHANISMS_KEY = "safety_mechanisms"
+
+
+@dataclass
+class FederationReport:
+    """What a federation pass did."""
+
+    populated: List[str] = field(default_factory=list)
+    skipped: List[str] = field(default_factory=list)
+    errors: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+
+def attach_reliability_reference(
+    component: ModelObject,
+    location: str,
+    driver_type: str = "table",
+    query: str = "",
+    metadata: str = "",
+) -> ModelObject:
+    """Declare where a component's reliability data lives."""
+    reference = external_reference(location, driver_type, query, metadata)
+    reference.set("key", RELIABILITY_KEY)
+    component.add("utilities", reference)
+    return reference
+
+
+def _reliability_reference(component: ModelObject) -> Optional[ModelObject]:
+    for utility in component.get("utilities"):
+        if (
+            utility.is_kind_of("ExternalReference")
+            and utility.get("key") == RELIABILITY_KEY
+        ):
+            return utility
+    return None
+
+
+def _apply_entry_dict(component: ModelObject, data: Dict[str, Any]) -> None:
+    if "fit" in data:
+        component.set("fit", float(data["fit"]))
+    component.set("failureModes", [])
+    for mode in data.get("failure_modes", []):
+        name = str(mode["name"])
+        distribution = float(mode.get("distribution", 0.0))
+        if distribution > 1.0:
+            distribution /= 100.0
+        nature = str(mode.get("nature") or nature_for_mode_name(name))
+        component.add(
+            "failureModes", failure_mode(name, nature, distribution)
+        )
+
+
+def federate_reliability(
+    model: SSAMModel,
+    base_dir: Optional[Path] = None,
+) -> FederationReport:
+    """Resolve every component's reliability reference and populate the model."""
+    report = FederationReport()
+    for component in model.elements_of_kind("Component"):
+        name = text_of(component) or component.get("id")
+        reference = _reliability_reference(component)
+        if reference is None:
+            report.skipped.append(name)
+            continue
+        component_class = component.get("componentClass") or name
+        try:
+            resolved = resolve_external_reference(
+                reference,
+                variables={
+                    "component_class": component_class,
+                    "component_name": name,
+                },
+                base_dir=base_dir,
+            )
+        except FederationError as exc:
+            report.errors[name] = str(exc)
+            continue
+        try:
+            _populate_from_resolved(component, component_class, resolved)
+        except Exception as exc:  # malformed query results are user errors
+            report.errors[name] = f"{type(exc).__name__}: {exc}"
+            continue
+        report.populated.append(name)
+    return report
+
+
+def _populate_from_resolved(
+    component: ModelObject, component_class: str, resolved: Any
+) -> None:
+    if isinstance(resolved, ModelDriver):
+        # No query: interpret the target as a Table II workbook.
+        catalogue = reliability_from_rows(
+            resolved.elements(), check_distributions=False
+        )
+        entry = catalogue.lookup(component_class)
+        _apply_entry_dict(
+            component,
+            {
+                "fit": entry.fit,
+                "failure_modes": [
+                    {
+                        "name": mode.name,
+                        "distribution": mode.distribution,
+                        "nature": mode.nature,
+                    }
+                    for mode in entry.failure_modes
+                ],
+            },
+        )
+        return
+    if isinstance(resolved, dict):
+        _apply_entry_dict(component, resolved)
+        return
+    if isinstance(resolved, (int, float)):
+        component.set("fit", float(resolved))
+        return
+    raise FederationError(
+        f"extraction query returned unsupported shape "
+        f"{type(resolved).__name__}; expected driver, dict or number"
+    )
+
+
+def attach_mechanism_reference(
+    model_root: ModelObject,
+    location: str,
+    driver_type: str = "table",
+    metadata: str = "",
+) -> ModelObject:
+    """Declare where the model's safety-mechanism catalogue lives (attached
+    to the model root; Step 4b pulls it from there)."""
+    reference = external_reference(location, driver_type, "", metadata)
+    reference.set("key", MECHANISMS_KEY)
+    model_root.add("utilities", reference)
+    return reference
+
+
+def federate_mechanisms(model: SSAMModel, base_dir: Optional[Path] = None):
+    """Resolve the model's safety-mechanism reference into a catalogue.
+
+    Returns a :class:`~repro.safety.mechanisms.SafetyMechanismModel`, or
+    ``None`` when the model declares no catalogue reference.
+    """
+    from repro.safety.mechanisms import (
+        MechanismError,
+        MechanismSpec,
+        SafetyMechanismModel,
+    )
+
+    reference = None
+    for utility in model.root.get("utilities"):
+        if (
+            utility.is_kind_of("ExternalReference")
+            and utility.get("key") == MECHANISMS_KEY
+        ):
+            reference = utility
+            break
+    if reference is None:
+        return None
+    resolved = resolve_external_reference(reference, base_dir=base_dir)
+    if not isinstance(resolved, ModelDriver):
+        raise FederationError(
+            "mechanism references must resolve to a driver (no query)"
+        )
+    catalogue = SafetyMechanismModel()
+    for index, row in enumerate(resolved.elements()):
+        try:
+            coverage = float(row.get("Coverage", row.get("Cov.", 0.0)) or 0.0)
+            if coverage > 1.0:
+                coverage /= 100.0
+            catalogue.add(
+                MechanismSpec(
+                    component_class=str(row["Component"]),
+                    failure_mode=str(row["Failure_Mode"]),
+                    name=str(row["Safety_Mechanism"]),
+                    coverage=coverage,
+                    cost=float(row.get("Cost(hrs)", row.get("Cost", 0.0)) or 0.0),
+                )
+            )
+        except (KeyError, MechanismError) as exc:
+            raise FederationError(
+                f"malformed mechanism row {index + 1}: {exc}"
+            ) from exc
+    return catalogue
+
+
+def aggregate_reliability(
+    model: SSAMModel,
+    reliability: ReliabilityModel,
+    overwrite: bool = False,
+) -> FederationReport:
+    """Apply an in-memory reliability model by component class.
+
+    Components that already carry failure modes are left alone unless
+    ``overwrite`` is set (hand-modelled data wins over catalogue data).
+    """
+    report = FederationReport()
+    for component in model.elements_of_kind("Component"):
+        name = text_of(component) or component.get("id")
+        if component.get("failureModes") and not overwrite:
+            report.skipped.append(name)
+            continue
+        entry = reliability.get(component.get("componentClass") or name)
+        if entry is None:
+            report.skipped.append(name)
+            continue
+        _apply_entry_dict(
+            component,
+            {
+                "fit": entry.fit,
+                "failure_modes": [
+                    {
+                        "name": mode.name,
+                        "distribution": mode.distribution,
+                        "nature": mode.nature,
+                    }
+                    for mode in entry.failure_modes
+                ],
+            },
+        )
+        report.populated.append(name)
+    return report

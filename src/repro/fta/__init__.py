@@ -1,0 +1,55 @@
+"""Fault Tree Analysis — the paper's future-work extension §VIII.1.
+
+The paper plans to "enhance SAME to include the model-based support for
+Fault Tree Analysis (FTA) and how FTA and FMEA can be federated for
+quantitative system safety analysis".  This package implements that plan:
+
+- :mod:`repro.fta.tree` — events and gates (AND / OR / K-of-N);
+- :mod:`repro.fta.cutsets` — minimal cut sets (MOCUS-style top-down
+  expansion with absorption);
+- :mod:`repro.fta.quantify` — top-event probability (exact
+  inclusion–exclusion for small sets, rare-event bound otherwise) and
+  importance measures (Birnbaum, Fussell-Vesely);
+- :mod:`repro.fta.synthesis` — fault-tree synthesis from a SSAM composite:
+  the system loses its function iff every input→output path is broken,
+  which yields TOP = AND over paths of (OR over path members' path-breaking
+  failure modes);
+- :mod:`repro.fta.fmea_link` — the FTA/FMEA federation: basic events carry
+  failure rates from the FMEA rows, and the FMEA's single-point components
+  must equal the FTA's singleton minimal cut sets (a checkable invariant).
+"""
+
+from repro.fta.tree import AndGate, BasicEvent, FaultTree, FtaError, Gate, KofNGate, OrGate
+from repro.fta.cutsets import minimal_cut_sets
+from repro.fta.quantify import (
+    birnbaum_importance,
+    fussell_vesely_importance,
+    probability_from_fit,
+    top_event_probability,
+)
+from repro.fta.synthesis import synthesize_fault_tree
+from repro.fta.fmea_link import FederatedAnalysis, federate_fta_fmea
+from repro.fta.ccf import apply_beta_factor, redundancy_limit
+from repro.fta.export import to_dot, to_open_psa
+
+__all__ = [
+    "BasicEvent",
+    "Gate",
+    "AndGate",
+    "OrGate",
+    "KofNGate",
+    "FaultTree",
+    "FtaError",
+    "minimal_cut_sets",
+    "top_event_probability",
+    "probability_from_fit",
+    "birnbaum_importance",
+    "fussell_vesely_importance",
+    "synthesize_fault_tree",
+    "federate_fta_fmea",
+    "FederatedAnalysis",
+    "apply_beta_factor",
+    "redundancy_limit",
+    "to_dot",
+    "to_open_psa",
+]

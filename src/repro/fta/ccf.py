@@ -1,0 +1,119 @@
+"""Common-cause failure analysis — the beta-factor model.
+
+Redundancy arguments collapse when the replicas share a failure cause
+(same supply, same firmware, same temperature).  The beta-factor model
+splits each member of a common-cause group: a fraction ``beta`` of its
+failure probability is moved into one shared *common-cause event*; the rest
+stays independent::
+
+    e  ->  OR(e_independent, CCF_<group>)
+           p_independent = (1 - beta) * p
+           p_ccf         = beta * min(p of group members)
+
+The transformed tree exposes the classic result: a 1oo2 pair that had no
+singleton cut set acquires one — the CCF event — bounding how much
+redundancy can ever buy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Union
+
+from repro.fta.tree import (
+    AndGate,
+    BasicEvent,
+    FaultTree,
+    FtaError,
+    Gate,
+    KofNGate,
+    OrGate,
+)
+
+
+def apply_beta_factor(
+    tree: FaultTree,
+    groups: Mapping[str, Iterable[str]],
+    beta: Union[float, Mapping[str, float]] = 0.1,
+) -> FaultTree:
+    """Return a new tree with beta-factor CCF events injected.
+
+    ``groups`` maps a group name to the basic-event names sharing the cause;
+    ``beta`` is one fraction for all groups or a per-group mapping.  Events
+    not in any group are untouched.  A group must have >= 2 members (a
+    single component has no *common* cause to share).
+    """
+    group_of: Dict[str, str] = {}
+    for group, members in groups.items():
+        members = list(members)
+        if len(members) < 2:
+            raise FtaError(
+                f"CCF group {group!r} needs >= 2 members, got {members}"
+            )
+        for member in members:
+            if member in group_of:
+                raise FtaError(
+                    f"event {member!r} is in two CCF groups "
+                    f"({group_of[member]!r} and {group!r})"
+                )
+            group_of[member] = group
+
+    known_events = {event.name: event for event in tree.basic_events()}
+    for member in group_of:
+        if member not in known_events:
+            raise FtaError(f"no basic event named {member!r} in the tree")
+
+    def beta_for(group: str) -> float:
+        value = beta[group] if isinstance(beta, Mapping) else beta
+        if not 0.0 <= value <= 1.0:
+            raise FtaError(f"beta for group {group!r} outside [0, 1]: {value}")
+        return value
+
+    ccf_events: Dict[str, BasicEvent] = {}
+    for group, members in groups.items():
+        probabilities = [known_events[m].probability for m in members]
+        ccf_events[group] = BasicEvent(
+            name=f"CCF:{group}",
+            probability=beta_for(group) * min(probabilities),
+            description=f"common cause shared by {sorted(members)}",
+        )
+
+    def rebuild(node):
+        if isinstance(node, BasicEvent):
+            group = group_of.get(node.name)
+            if group is None:
+                return node
+            independent = BasicEvent(
+                name=f"{node.name}~indep",
+                probability=(1.0 - beta_for(group)) * node.probability,
+                description=f"{node.name} independent part",
+            )
+            return OrGate(f"{node.name}_with_ccf", [independent, ccf_events[group]])
+        if isinstance(node, KofNGate):
+            return KofNGate(
+                node.name, node.k, [rebuild(child) for child in node.children]
+            )
+        gate_cls = type(node)
+        return gate_cls(node.name, [rebuild(child) for child in node.children])
+
+    return FaultTree(f"{tree.name}+ccf", rebuild(tree.top))
+
+
+def redundancy_limit(
+    tree: FaultTree,
+    groups: Mapping[str, Iterable[str]],
+    beta: Union[float, Mapping[str, float]] = 0.1,
+) -> Dict[str, float]:
+    """Top-event probability as redundancy's CCF share varies.
+
+    Returns ``{"independent": P_without_ccf, "with_ccf": P_with_ccf}`` —
+    the gap is the probability floor no amount of further redundancy can
+    cross while the common cause persists.
+    """
+    from repro.fta.quantify import top_event_probability
+
+    return {
+        "independent": top_event_probability(tree),
+        "with_ccf": top_event_probability(
+            apply_beta_factor(tree, groups, beta)
+        ),
+    }

@@ -1,0 +1,87 @@
+"""Minimal cut sets — MOCUS-style top-down expansion with absorption.
+
+A cut set is a set of basic events whose joint occurrence causes the top
+event; a *minimal* cut set contains no smaller cut set.  The expansion
+works on sets-of-frozensets: an OR gate unions alternatives, an AND gate
+takes the pairwise union product, K-of-N expands to OR-of-ANDs first; the
+result is reduced by absorption (drop supersets).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Set, Union
+
+from repro.fta.tree import (
+    AndGate,
+    BasicEvent,
+    FaultTree,
+    FtaError,
+    Gate,
+    KofNGate,
+    OrGate,
+)
+
+CutSet = FrozenSet[str]
+
+#: Safety valve against exponential blow-up on pathological trees.
+_MAX_INTERMEDIATE = 2_000_000
+
+
+def _absorb(cutsets: Set[CutSet]) -> Set[CutSet]:
+    """Remove any cut set that is a superset of another."""
+    ordered = sorted(cutsets, key=len)
+    minimal: List[CutSet] = []
+    for candidate in ordered:
+        if not any(existing <= candidate for existing in minimal):
+            minimal.append(candidate)
+    return set(minimal)
+
+
+def _expand(node: Union[Gate, BasicEvent]) -> Set[CutSet]:
+    if isinstance(node, BasicEvent):
+        return {frozenset([node.name])}
+    if isinstance(node, KofNGate):
+        return _expand(node.expand())
+    if not node.children:
+        # Empty-gate semantics follow boolean identities: OR of nothing is
+        # false (no cut set ever triggers it), AND of nothing is true (the
+        # empty cut set).  Synthesis produces empty ORs for unbreakable
+        # paths, so these cases are reachable and meaningful.
+        if isinstance(node, OrGate):
+            return set()
+        return {frozenset()}
+    child_sets = [_expand(child) for child in node.children]
+    if isinstance(node, OrGate):
+        union: Set[CutSet] = set()
+        for cutsets in child_sets:
+            union |= cutsets
+        return _absorb(union)
+    if isinstance(node, AndGate):
+        product: Set[CutSet] = {frozenset()}
+        for cutsets in child_sets:
+            product = {
+                existing | addition
+                for existing in product
+                for addition in cutsets
+            }
+            if len(product) > _MAX_INTERMEDIATE:
+                raise FtaError(
+                    f"cut-set expansion exceeded {_MAX_INTERMEDIATE} "
+                    f"intermediates at gate {node.name!r}"
+                )
+            product = _absorb(product)
+        return product
+    raise FtaError(f"unknown gate kind {type(node).__name__}")
+
+
+def minimal_cut_sets(tree: FaultTree) -> List[CutSet]:
+    """All minimal cut sets, sorted by (size, lexicographic members)."""
+    cutsets = _absorb(_expand(tree.top))
+    return sorted(cutsets, key=lambda cs: (len(cs), tuple(sorted(cs))))
+
+
+def single_points_of_failure(tree: FaultTree) -> List[str]:
+    """Basic events forming singleton minimal cut sets."""
+    return sorted(
+        next(iter(cs)) for cs in minimal_cut_sets(tree) if len(cs) == 1
+    )

@@ -1,0 +1,128 @@
+"""Fault-tree export — GraphViz ``dot`` and OpenPSA MEF XML.
+
+Interchange matters for FTA: certification reviews want the tree in a
+standard notation.  Two exporters:
+
+- :func:`to_dot` — GraphViz digraph (AND gates as boxes, OR gates as
+  inverted houses, events as circles), renderable with any dot tool;
+- :func:`to_open_psa` — the Open-PSA Model Exchange Format subset
+  (``define-fault-tree`` with ``and``/``or``/``atleast`` formulas and
+  ``define-basic-event`` probabilities), readable by open-source
+  quantifiers such as scram.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import Dict, List, Union
+
+from repro.fta.tree import AndGate, BasicEvent, FaultTree, Gate, KofNGate
+
+
+def _identifier(name: str) -> str:
+    out = "".join(ch if (ch.isalnum() or ch in "._-") else "_" for ch in name)
+    return out or "_"
+
+
+def to_dot(tree: FaultTree) -> str:
+    """GraphViz rendering of the tree."""
+    lines: List[str] = [f'digraph "{_identifier(tree.name)}" {{']
+    lines.append("  rankdir=TB;")
+    seen_gates: Dict[int, str] = {}
+    seen_events: Dict[str, str] = {}
+    counter = [0]
+
+    def declare(node: Union[Gate, BasicEvent]) -> str:
+        if isinstance(node, BasicEvent):
+            if node.name not in seen_events:
+                node_id = f"e{len(seen_events)}"
+                seen_events[node.name] = node_id
+                lines.append(
+                    f'  {node_id} [shape=circle, label="{node.name}\\n'
+                    f'p={node.probability:g}"];'
+                )
+            return seen_events[node.name]
+        if id(node) not in seen_gates:
+            counter[0] += 1
+            node_id = f"g{counter[0]}"
+            seen_gates[id(node)] = node_id
+            if isinstance(node, AndGate):
+                shape, label = "box", f"AND\\n{node.name}"
+            elif isinstance(node, KofNGate):
+                shape, label = (
+                    "trapezium",
+                    f"{node.k}oo{len(node.children)}\\n{node.name}",
+                )
+            else:
+                shape, label = "invhouse", f"OR\\n{node.name}"
+            lines.append(f'  {node_id} [shape={shape}, label="{label}"];')
+            for child in node.children:
+                child_id = declare(child)
+                lines.append(f"  {node_id} -> {child_id};")
+        return seen_gates[id(node)]
+
+    declare(tree.top)
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def to_open_psa(tree: FaultTree) -> str:
+    """Open-PSA MEF XML (``opsa-mef`` document) for the tree."""
+    root = ET.Element("opsa-mef")
+    fault_tree = ET.SubElement(root, "define-fault-tree")
+    fault_tree.set("name", _identifier(tree.name))
+
+    emitted: Dict[int, str] = {}
+    gate_names: Dict[str, int] = {}
+
+    def gate_name(node: Gate) -> str:
+        base = _identifier(node.name)
+        if id(node) in emitted:
+            return emitted[id(node)]
+        count = gate_names.get(base, 0)
+        gate_names[base] = count + 1
+        name = base if count == 0 else f"{base}_{count}"
+        emitted[id(node)] = name
+        return name
+
+    def formula_of(node: Union[Gate, BasicEvent], parent: ET.Element) -> None:
+        if isinstance(node, BasicEvent):
+            event = ET.SubElement(parent, "basic-event")
+            event.set("name", _identifier(node.name))
+            return
+        gate_ref = ET.SubElement(parent, "gate")
+        gate_ref.set("name", gate_name(node))
+
+    def define_gates(node: Union[Gate, BasicEvent]) -> None:
+        if isinstance(node, BasicEvent):
+            return
+        name = gate_name(node)
+        if any(
+            g.get("name") == name for g in fault_tree.findall("define-gate")
+        ):
+            return
+        definition = ET.SubElement(fault_tree, "define-gate")
+        definition.set("name", name)
+        if isinstance(node, AndGate):
+            formula = ET.SubElement(definition, "and")
+        elif isinstance(node, KofNGate):
+            formula = ET.SubElement(definition, "atleast")
+            formula.set("min", str(node.k))
+        else:
+            formula = ET.SubElement(definition, "or")
+        for child in node.children:
+            formula_of(child, formula)
+        for child in node.children:
+            define_gates(child)
+
+    define_gates(tree.top)
+
+    model_data = ET.SubElement(root, "model-data")
+    for event in tree.basic_events():
+        definition = ET.SubElement(model_data, "define-basic-event")
+        definition.set("name", _identifier(event.name))
+        value = ET.SubElement(definition, "float")
+        value.set("value", f"{event.probability:g}")
+
+    ET.indent(root)
+    return ET.tostring(root, encoding="unicode")

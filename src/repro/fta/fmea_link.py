@@ -1,0 +1,86 @@
+"""FTA / FMEA federation — quantitative system safety analysis (§VIII.1).
+
+The two analyses see the same system through different lenses; federating
+them yields both a quantitative top-event probability (from the FMEA's
+failure-rate data flowing into the fault tree) and a *consistency check*:
+
+    the FMEA's single-point-failure components must coincide with the
+    components appearing in the FTA's singleton minimal cut sets.
+
+A divergence means the two analyses disagree about the architecture — the
+exact class of modelling error the paper's iterative process is meant to
+surface early.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from repro.fta.cutsets import minimal_cut_sets, single_points_of_failure
+from repro.fta.quantify import (
+    HOURS_PER_YEAR,
+    fussell_vesely_importance,
+    top_event_probability,
+)
+from repro.fta.synthesis import synthesize_fault_tree
+from repro.fta.tree import FaultTree
+from repro.metamodel import ModelObject
+from repro.safety.fmea import FmeaResult
+from repro.ssam.architecture import PATH_BREAKING_NATURES
+
+
+@dataclass
+class FederatedAnalysis:
+    """The combined FTA + FMEA view of one system."""
+
+    tree: FaultTree
+    fmea: FmeaResult
+    top_probability: float
+    cut_sets: List[frozenset]
+    fta_single_points: List[str]
+    fmea_single_points: List[str]
+    importance: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def consistent(self) -> bool:
+        """Do FMEA single points match FTA singleton cut sets?"""
+        return set(self.fta_single_points) == set(self.fmea_single_points)
+
+    def disagreements(self) -> Dict[str, List[str]]:
+        fta = set(self.fta_single_points)
+        fmea = set(self.fmea_single_points)
+        return {
+            "fta_only": sorted(fta - fmea),
+            "fmea_only": sorted(fmea - fta),
+        }
+
+
+def federate_fta_fmea(
+    composite: ModelObject,
+    fmea: FmeaResult,
+    mission_hours: float = HOURS_PER_YEAR,
+) -> FederatedAnalysis:
+    """Synthesize the fault tree, quantify it with the FMEA's rates and
+    cross-check single points of failure."""
+    tree = synthesize_fault_tree(composite, mission_hours)
+    cut_sets = minimal_cut_sets(tree)
+    fta_spf_components = sorted(
+        {event.split(":", 1)[0] for event in single_points_of_failure(tree)}
+    )
+    fmea_spf_components = sorted(
+        {
+            row.component
+            for row in fmea.rows
+            if row.safety_related and row.nature in PATH_BREAKING_NATURES
+        }
+    )
+    return FederatedAnalysis(
+        tree=tree,
+        fmea=fmea,
+        top_probability=top_event_probability(tree),
+        cut_sets=cut_sets,
+        fta_single_points=fta_spf_components,
+        fmea_single_points=fmea_spf_components,
+        importance=fussell_vesely_importance(tree),
+    )

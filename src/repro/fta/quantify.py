@@ -1,0 +1,107 @@
+"""Quantitative FTA — top-event probability and importance measures.
+
+Probability is computed over the minimal cut sets assuming independent
+basic events: exact inclusion–exclusion up to a size limit, the min-cut
+upper bound (rare-event approximation) beyond it.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Dict, List, Optional
+
+from repro.fta.cutsets import CutSet, minimal_cut_sets
+from repro.fta.tree import FaultTree, FtaError
+
+#: Inclusion–exclusion is exact but 2^n in the number of cut sets.
+_EXACT_LIMIT = 18
+
+#: Hours per year, the conventional mission-time unit for FIT conversions.
+HOURS_PER_YEAR = 8760.0
+
+
+def probability_from_fit(fit: float, mission_hours: float = HOURS_PER_YEAR) -> float:
+    """Failure probability over a mission from a FIT rate.
+
+    ``p = 1 - exp(-lambda * t)`` with ``lambda = fit * 1e-9`` per hour.
+    """
+    if fit < 0 or mission_hours < 0:
+        raise FtaError("fit and mission_hours must be non-negative")
+    return 1.0 - math.exp(-fit * 1e-9 * mission_hours)
+
+
+def _cutset_probability(cutset: CutSet, probabilities: Dict[str, float]) -> float:
+    product = 1.0
+    for event in cutset:
+        try:
+            product *= probabilities[event]
+        except KeyError:
+            raise FtaError(f"no probability for basic event {event!r}") from None
+    return product
+
+
+def top_event_probability(
+    tree: FaultTree,
+    probabilities: Optional[Dict[str, float]] = None,
+) -> float:
+    """Probability of the top event.
+
+    ``probabilities`` overrides the events' own values (used by importance
+    measures); by default each event's ``probability`` attribute is used.
+    """
+    if probabilities is None:
+        probabilities = {
+            event.name: event.probability for event in tree.basic_events()
+        }
+    cutsets = minimal_cut_sets(tree)
+    if not cutsets:
+        return 0.0
+    if len(cutsets) <= _EXACT_LIMIT:
+        # Inclusion–exclusion over cut-set unions (exact for independent
+        # events because P(union of cutset-events) telescopes on unions).
+        total = 0.0
+        for size in range(1, len(cutsets) + 1):
+            sign = 1.0 if size % 2 == 1 else -1.0
+            for combo in itertools.combinations(cutsets, size):
+                union: CutSet = frozenset().union(*combo)
+                total += sign * _cutset_probability(union, probabilities)
+        return min(max(total, 0.0), 1.0)
+    # Rare-event upper bound.
+    return min(
+        sum(_cutset_probability(cs, probabilities) for cs in cutsets), 1.0
+    )
+
+
+def birnbaum_importance(tree: FaultTree) -> Dict[str, float]:
+    """Birnbaum importance: dP(top)/dp_i = P(top | p_i=1) - P(top | p_i=0)."""
+    base = {event.name: event.probability for event in tree.basic_events()}
+    importance: Dict[str, float] = {}
+    for name in base:
+        high = dict(base)
+        high[name] = 1.0
+        low = dict(base)
+        low[name] = 0.0
+        importance[name] = top_event_probability(
+            tree, high
+        ) - top_event_probability(tree, low)
+    return importance
+
+
+def fussell_vesely_importance(tree: FaultTree) -> Dict[str, float]:
+    """Fussell–Vesely importance: the share of top-event probability that
+    flows through cut sets containing the event (rare-event form)."""
+    probabilities = {
+        event.name: event.probability for event in tree.basic_events()
+    }
+    cutsets = minimal_cut_sets(tree)
+    top = top_event_probability(tree)
+    importance: Dict[str, float] = {}
+    for name in probabilities:
+        through = sum(
+            _cutset_probability(cs, probabilities)
+            for cs in cutsets
+            if name in cs
+        )
+        importance[name] = 0.0 if top <= 0 else min(through / top, 1.0)
+    return importance

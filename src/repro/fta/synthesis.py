@@ -1,0 +1,118 @@
+"""Fault-tree synthesis from SSAM architectures.
+
+The system-level loss-of-function logic follows directly from the same path
+model Algorithm 1 uses: the composite loses its function iff **every**
+input→output path is broken, and a path is broken iff **some** component on
+it suffers a path-breaking failure mode.  Hence::
+
+    TOP  = AND over paths ( OR over path members ( OR over their
+           path-breaking failure modes ) )
+
+Basic events are named ``<component>:<failure mode>`` and carry mission
+probabilities derived from FIT × distribution.  Components whose function
+tolerance is redundant (1oo2 etc.) are modelled through the path structure
+itself (parallel paths), exactly as in the graph FMEA.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import networkx as nx
+
+from repro.fta.quantify import HOURS_PER_YEAR, probability_from_fit
+from repro.fta.tree import AndGate, BasicEvent, FaultTree, FtaError, OrGate
+from repro.metamodel import ModelObject
+from repro.ssam.architecture import PATH_BREAKING_NATURES
+from repro.ssam.base import text_of
+
+#: Path-enumeration cap for synthesis.
+_MAX_PATHS = 5000
+
+
+def _component_graph(composite: ModelObject) -> nx.DiGraph:
+    # Shares Algorithm 1's graph construction.
+    from repro.safety.graph_analysis import _component_graph as build
+
+    return build(composite)
+
+
+def _loss_events(
+    component: ModelObject, mission_hours: float
+) -> List[BasicEvent]:
+    name = text_of(component) or component.get("id")
+    fit = float(component.get("fit") or 0.0)
+    events: List[BasicEvent] = []
+    for mode in component.get("failureModes"):
+        if mode.get("nature") not in PATH_BREAKING_NATURES:
+            continue
+        rate = fit * float(mode.get("distribution") or 0.0)
+        events.append(
+            BasicEvent(
+                name=f"{name}:{text_of(mode) or mode.get('id')}",
+                probability=probability_from_fit(rate, mission_hours),
+                description=(
+                    f"{name} fails by {text_of(mode)} "
+                    f"({rate:g} FIT over {mission_hours:g} h)"
+                ),
+            )
+        )
+    return events
+
+
+def synthesize_fault_tree(
+    composite: ModelObject,
+    mission_hours: float = HOURS_PER_YEAR,
+    hazard_name: str = "",
+) -> FaultTree:
+    """Synthesize the loss-of-function fault tree of a SSAM composite."""
+    if not composite.is_kind_of("Component"):
+        raise FtaError(
+            f"expected a Component, got {composite.metaclass.name!r}"
+        )
+    system = text_of(composite) or composite.get("id")
+    graph = _component_graph(composite)
+    by_uid: Dict[str, ModelObject] = {
+        sub.uid: sub for sub in composite.get("subcomponents")
+    }
+    if not (
+        graph.out_degree("__IN__") > 0 and graph.in_degree("__OUT__") > 0
+    ):
+        raise FtaError(
+            f"composite {system!r} has no input/output boundary relationships; "
+            f"anchor the boundary before synthesis"
+        )
+    paths = []
+    for index, path in enumerate(
+        nx.all_simple_paths(graph, "__IN__", "__OUT__")
+    ):
+        if index >= _MAX_PATHS:
+            raise FtaError(
+                f"composite {system!r} has more than {_MAX_PATHS} paths; "
+                f"fault-tree synthesis is infeasible at this level"
+            )
+        paths.append([node for node in path if node not in ("__IN__", "__OUT__")])
+
+    top_name = hazard_name or f"{system} loses its function"
+    top = AndGate(top_name)
+    event_cache: Dict[str, List[BasicEvent]] = {}
+    for index, path in enumerate(paths):
+        path_gate = OrGate(f"path_{index}_broken")
+        for uid in path:
+            component = by_uid[uid]
+            if uid not in event_cache:
+                event_cache[uid] = _loss_events(component, mission_hours)
+            events = event_cache[uid]
+            if not events:
+                continue
+            if len(events) == 1:
+                path_gate.add(events[0])
+            else:
+                comp_gate = OrGate(
+                    f"{text_of(component) or component.get('id')}_loss"
+                )
+                for event in events:
+                    comp_gate.add(event)
+                path_gate.add(comp_gate)
+        top.add(path_gate)
+    return FaultTree(system, top)

@@ -1,0 +1,175 @@
+"""Fault-tree structure: basic events and gates.
+
+A :class:`FaultTree` owns a top node; nodes form a DAG (an event may feed
+several gates — shared events are the normal case when the tree is
+synthesised from path analysis).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Union
+
+
+class FtaError(Exception):
+    """Raised for malformed trees."""
+
+
+@dataclass(frozen=True)
+class BasicEvent:
+    """A leaf failure event.
+
+    ``probability`` is the event probability over the mission; it may be 0
+    when the tree is used qualitatively (cut sets only).
+    """
+
+    name: str
+    probability: float = 0.0
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise FtaError(
+                f"event {self.name!r}: probability {self.probability} "
+                f"outside [0, 1]"
+            )
+
+
+class Gate:
+    """Abstract gate over children (events or gates)."""
+
+    kind = "abstract"
+
+    def __init__(
+        self,
+        name: str,
+        children: Optional[Iterable[Union["Gate", BasicEvent]]] = None,
+    ) -> None:
+        self.name = name
+        self.children: List[Union[Gate, BasicEvent]] = list(children or [])
+
+    def add(self, child: Union["Gate", BasicEvent]) -> Union["Gate", BasicEvent]:
+        self.children.append(child)
+        return child
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"<{type(self).__name__} {self.name} ({len(self.children)})>"
+
+
+class AndGate(Gate):
+    kind = "and"
+
+
+class OrGate(Gate):
+    kind = "or"
+
+
+class KofNGate(Gate):
+    """Fails when at least ``k`` of the children fail (models M-oo-N
+    tolerance: a 2oo3 *function* fails when 2 of 3 replicas fail)."""
+
+    kind = "kofn"
+
+    def __init__(
+        self,
+        name: str,
+        k: int,
+        children: Optional[Iterable[Union[Gate, BasicEvent]]] = None,
+    ) -> None:
+        super().__init__(name, children)
+        if k < 1:
+            raise FtaError(f"gate {name!r}: k must be >= 1")
+        self.k = k
+
+    def expand(self) -> OrGate:
+        """Equivalent OR-of-ANDs over all k-subsets of the children."""
+        if self.k > len(self.children):
+            raise FtaError(
+                f"gate {self.name!r}: k={self.k} exceeds "
+                f"{len(self.children)} children"
+            )
+        expanded = OrGate(f"{self.name}_expanded")
+        for index, combo in enumerate(
+            itertools.combinations(self.children, self.k)
+        ):
+            expanded.add(AndGate(f"{self.name}_c{index}", list(combo)))
+        return expanded
+
+
+class FaultTree:
+    """A named tree with a top node."""
+
+    def __init__(self, name: str, top: Union[Gate, BasicEvent]) -> None:
+        self.name = name
+        self.top = top
+        self._check_acyclic()
+
+    def _check_acyclic(self) -> None:
+        visiting: Set[int] = set()
+
+        def visit(node) -> None:
+            if isinstance(node, BasicEvent):
+                return
+            if id(node) in visiting:
+                raise FtaError(f"cycle through gate {node.name!r}")
+            visiting.add(id(node))
+            for child in node.children:
+                visit(child)
+            visiting.discard(id(node))
+
+        visit(self.top)
+
+    def basic_events(self) -> List[BasicEvent]:
+        """All distinct basic events (by name)."""
+        seen: Dict[str, BasicEvent] = {}
+
+        def visit(node) -> None:
+            if isinstance(node, BasicEvent):
+                seen.setdefault(node.name, node)
+                return
+            for child in node.children:
+                visit(child)
+
+        visit(self.top)
+        return list(seen.values())
+
+    def gates(self) -> List[Gate]:
+        seen: Dict[int, Gate] = {}
+
+        def visit(node) -> None:
+            if isinstance(node, BasicEvent):
+                return
+            if id(node) in seen:
+                return
+            seen[id(node)] = node
+            for child in node.children:
+                visit(child)
+
+        visit(self.top)
+        return list(seen.values())
+
+    def event(self, name: str) -> BasicEvent:
+        for event in self.basic_events():
+            if event.name == name:
+                return event
+        raise FtaError(f"tree {self.name!r} has no basic event {name!r}")
+
+    def render(self) -> str:
+        """Indented text rendering."""
+        lines: List[str] = []
+
+        def visit(node, depth: int) -> None:
+            pad = "  " * depth
+            if isinstance(node, BasicEvent):
+                lines.append(f"{pad}[{node.name}] p={node.probability:g}")
+                return
+            label = node.kind.upper()
+            if isinstance(node, KofNGate):
+                label = f"{node.k}ooN"
+            lines.append(f"{pad}{label} {node.name}")
+            for child in node.children:
+                visit(child, depth + 1)
+
+        visit(self.top, 0)
+        return "\n".join(lines)

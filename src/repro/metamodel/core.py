@@ -1,0 +1,601 @@
+"""Core metamodel layer: metaclasses, features and model objects.
+
+The design mirrors Ecore closely enough that a reader familiar with EMF can
+map every concept one-to-one:
+
+====================  =======================
+Ecore                 this module
+====================  =======================
+``EPackage``          :class:`MetaPackage`
+``EClass``            :class:`MetaClass`
+``EAttribute``        :class:`MetaAttribute`
+``EReference``        :class:`MetaReference`
+``EObject``           :class:`ModelObject`
+``eGet``/``eSet``     :meth:`ModelObject.get` / :meth:`ModelObject.set`
+``eContainer``        :attr:`ModelObject.container`
+``eAllContents``      :meth:`ModelObject.all_contents`
+====================  =======================
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+
+
+class MetamodelError(Exception):
+    """Raised for structural errors in metamodel definitions or instances."""
+
+
+class TypeCheckError(MetamodelError):
+    """Raised when a slot assignment violates the feature's declared type."""
+
+
+#: Supported primitive attribute types, mapping type name -> validator.
+_PRIMITIVE_TYPES: Dict[str, Callable[[Any], bool]] = {
+    "string": lambda v: isinstance(v, str),
+    "int": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "float": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "bool": lambda v: isinstance(v, bool),
+    "any": lambda v: True,
+}
+
+
+class MetaAttribute:
+    """A typed, possibly multi-valued attribute of a :class:`MetaClass`.
+
+    Parameters
+    ----------
+    name:
+        Feature name, used as the slot key on instances.
+    type_name:
+        One of ``string``, ``int``, ``float``, ``bool``, ``any``, or an
+        enumeration given as ``enum:<v1>|<v2>|...``.
+    default:
+        Default value returned before the slot is first assigned.  For
+        many-valued attributes the default is always a fresh empty list.
+    many:
+        Whether the attribute holds a list of values.
+    required:
+        Whether validation should flag an unset (``None``) value.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        type_name: str = "string",
+        default: Any = None,
+        many: bool = False,
+        required: bool = False,
+        doc: str = "",
+    ) -> None:
+        self.name = name
+        self.type_name = type_name
+        self.default = default
+        self.many = many
+        self.required = required
+        self.doc = doc
+        self._enum_literals: Optional[Tuple[str, ...]] = None
+        if type_name.startswith("enum:"):
+            literals = tuple(part for part in type_name[5:].split("|") if part)
+            if not literals:
+                raise MetamodelError(f"enum attribute {name!r} has no literals")
+            self._enum_literals = literals
+        elif type_name not in _PRIMITIVE_TYPES:
+            raise MetamodelError(
+                f"unknown attribute type {type_name!r} for attribute {name!r}"
+            )
+
+    @property
+    def is_enum(self) -> bool:
+        return self._enum_literals is not None
+
+    @property
+    def enum_literals(self) -> Tuple[str, ...]:
+        if self._enum_literals is None:
+            raise MetamodelError(f"attribute {self.name!r} is not an enum")
+        return self._enum_literals
+
+    def check_value(self, value: Any) -> None:
+        """Raise :class:`TypeCheckError` if ``value`` is not assignable."""
+        if value is None:
+            return
+        if self._enum_literals is not None:
+            if value not in self._enum_literals:
+                raise TypeCheckError(
+                    f"attribute {self.name!r}: {value!r} is not one of "
+                    f"{self._enum_literals}"
+                )
+            return
+        if not _PRIMITIVE_TYPES[self.type_name](value):
+            raise TypeCheckError(
+                f"attribute {self.name!r}: expected {self.type_name}, "
+                f"got {type(value).__name__} ({value!r})"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        flags = "*" if self.many else ""
+        return f"<MetaAttribute {self.name}:{self.type_name}{flags}>"
+
+
+class MetaReference:
+    """A reference from one :class:`MetaClass` to another.
+
+    References may be *containment* references (the target is owned by the
+    source; an object has at most one container) or plain cross references.
+    The target class is named rather than referenced directly so that
+    packages can be defined in any order and may reference classes from other
+    packages.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        target: str,
+        containment: bool = False,
+        many: bool = False,
+        required: bool = False,
+        doc: str = "",
+    ) -> None:
+        self.name = name
+        self.target = target
+        self.containment = containment
+        self.many = many
+        self.required = required
+        self.doc = doc
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        kind = "contains" if self.containment else "refers"
+        flags = "*" if self.many else ""
+        return f"<MetaReference {self.name} {kind} {self.target}{flags}>"
+
+
+class MetaClass:
+    """A class of the metamodel; may be abstract and may have supertypes.
+
+    Feature lookup walks the supertype chain, so subclasses inherit all
+    attributes and references of their supertypes (multiple inheritance is
+    supported, matching Ecore).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        abstract: bool = False,
+        supertypes: Optional[List["MetaClass"]] = None,
+        doc: str = "",
+    ) -> None:
+        self.name = name
+        self.abstract = abstract
+        self.supertypes: List[MetaClass] = list(supertypes or [])
+        self.doc = doc
+        self.package: Optional["MetaPackage"] = None
+        self._attributes: Dict[str, MetaAttribute] = {}
+        self._references: Dict[str, MetaReference] = {}
+        self._constraints: List[Any] = []  # validation.Constraint, untyped to avoid cycle
+
+    # -- definition -----------------------------------------------------
+
+    def add_attribute(self, attribute: MetaAttribute) -> MetaAttribute:
+        if attribute.name in self._attributes or attribute.name in self._references:
+            raise MetamodelError(
+                f"duplicate feature {attribute.name!r} on class {self.name!r}"
+            )
+        self._attributes[attribute.name] = attribute
+        return attribute
+
+    def add_reference(self, reference: MetaReference) -> MetaReference:
+        if reference.name in self._attributes or reference.name in self._references:
+            raise MetamodelError(
+                f"duplicate feature {reference.name!r} on class {self.name!r}"
+            )
+        self._references[reference.name] = reference
+        return reference
+
+    def attribute(
+        self,
+        name: str,
+        type_name: str = "string",
+        default: Any = None,
+        many: bool = False,
+        required: bool = False,
+        doc: str = "",
+    ) -> "MetaClass":
+        """Fluent helper: define an attribute and return ``self``."""
+        self.add_attribute(
+            MetaAttribute(name, type_name, default, many, required, doc)
+        )
+        return self
+
+    def reference(
+        self,
+        name: str,
+        target: str,
+        containment: bool = False,
+        many: bool = False,
+        required: bool = False,
+        doc: str = "",
+    ) -> "MetaClass":
+        """Fluent helper: define a reference and return ``self``."""
+        self.add_reference(
+            MetaReference(name, target, containment, many, required, doc)
+        )
+        return self
+
+    def add_constraint(self, constraint: Any) -> None:
+        self._constraints.append(constraint)
+
+    # -- lookup ----------------------------------------------------------
+
+    def own_attributes(self) -> Iterable[MetaAttribute]:
+        return self._attributes.values()
+
+    def own_references(self) -> Iterable[MetaReference]:
+        return self._references.values()
+
+    def all_supertypes(self) -> List["MetaClass"]:
+        """All (transitive) supertypes in method-resolution-like order."""
+        seen: Dict[str, MetaClass] = {}
+        stack = list(self.supertypes)
+        while stack:
+            cls = stack.pop(0)
+            if cls.name not in seen:
+                seen[cls.name] = cls
+                stack.extend(cls.supertypes)
+        return list(seen.values())
+
+    def all_attributes(self) -> Dict[str, MetaAttribute]:
+        features: Dict[str, MetaAttribute] = {}
+        for cls in reversed(self.all_supertypes()):
+            features.update(cls._attributes)
+        features.update(self._attributes)
+        return features
+
+    def all_references(self) -> Dict[str, MetaReference]:
+        features: Dict[str, MetaReference] = {}
+        for cls in reversed(self.all_supertypes()):
+            features.update(cls._references)
+        features.update(self._references)
+        return features
+
+    def all_constraints(self) -> List[Any]:
+        constraints: List[Any] = []
+        for cls in reversed(self.all_supertypes()):
+            constraints.extend(cls._constraints)
+        constraints.extend(self._constraints)
+        return constraints
+
+    def find_feature(self, name: str):
+        """Return the :class:`MetaAttribute` or :class:`MetaReference` named
+        ``name``, or ``None`` if the class has no such feature."""
+        return self.all_attributes().get(name) or self.all_references().get(name)
+
+    def is_subtype_of(self, other: "MetaClass") -> bool:
+        if other is self:
+            return True
+        return any(cls is other for cls in self.all_supertypes())
+
+    def qualified_name(self) -> str:
+        if self.package is None:
+            return self.name
+        return f"{self.package.name}.{self.name}"
+
+    # -- instantiation ----------------------------------------------------
+
+    def create(self, **slots: Any) -> "ModelObject":
+        """Instantiate the class; keyword arguments initialise slots."""
+        if self.abstract:
+            raise MetamodelError(f"cannot instantiate abstract class {self.name!r}")
+        obj = ModelObject(self)
+        for key, value in slots.items():
+            obj.set(key, value)
+        return obj
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"<MetaClass {self.qualified_name()}>"
+
+
+class MetaPackage:
+    """A named collection of metaclasses with a namespace URI."""
+
+    def __init__(self, name: str, ns_uri: str = "", doc: str = "") -> None:
+        self.name = name
+        self.ns_uri = ns_uri or f"urn:repro:{name}"
+        self.doc = doc
+        self._classes: Dict[str, MetaClass] = {}
+
+    def add_class(self, cls: MetaClass) -> MetaClass:
+        if cls.name in self._classes:
+            raise MetamodelError(
+                f"duplicate class {cls.name!r} in package {self.name!r}"
+            )
+        cls.package = self
+        self._classes[cls.name] = cls
+        return cls
+
+    def define(
+        self,
+        name: str,
+        abstract: bool = False,
+        supertypes: Optional[List[MetaClass]] = None,
+        doc: str = "",
+    ) -> MetaClass:
+        """Create a class, register it in this package and return it."""
+        return self.add_class(MetaClass(name, abstract, supertypes, doc))
+
+    def get(self, name: str) -> MetaClass:
+        try:
+            return self._classes[name]
+        except KeyError:
+            raise MetamodelError(
+                f"package {self.name!r} has no class {name!r}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._classes
+
+    def classes(self) -> Iterable[MetaClass]:
+        return self._classes.values()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"<MetaPackage {self.name} ({len(self._classes)} classes)>"
+
+
+_object_ids = itertools.count(1)
+
+
+class ModelObject:
+    """An instance of a :class:`MetaClass` with typed slots.
+
+    Slots are accessed either reflectively (:meth:`get` / :meth:`set`) or via
+    attribute access (``obj.name``), matching the convenience of generated
+    EMF model code.  Containment is tracked: assigning an object into a
+    containment reference removes it from its previous container.
+    """
+
+    __slots__ = ("_metaclass", "_slots", "_container", "_container_feature", "uid")
+
+    def __init__(self, metaclass: MetaClass) -> None:
+        object.__setattr__(self, "_metaclass", metaclass)
+        object.__setattr__(self, "_slots", {})
+        object.__setattr__(self, "_container", None)
+        object.__setattr__(self, "_container_feature", None)
+        object.__setattr__(self, "uid", f"_{next(_object_ids)}")
+
+    # -- metadata ---------------------------------------------------------
+
+    @property
+    def metaclass(self) -> MetaClass:
+        return self._metaclass
+
+    def is_instance_of(self, cls: MetaClass) -> bool:
+        return self._metaclass.is_subtype_of(cls)
+
+    def is_kind_of(self, class_name: str) -> bool:
+        """True if the object's class, or any supertype, is named ``class_name``."""
+        if self._metaclass.name == class_name:
+            return True
+        return any(c.name == class_name for c in self._metaclass.all_supertypes())
+
+    # -- containment ------------------------------------------------------
+
+    @property
+    def container(self) -> Optional["ModelObject"]:
+        return self._container
+
+    @property
+    def containing_feature(self) -> Optional[str]:
+        return self._container_feature
+
+    def root(self) -> "ModelObject":
+        obj = self
+        while obj._container is not None:
+            obj = obj._container
+        return obj
+
+    def _set_container(
+        self, container: Optional["ModelObject"], feature: Optional[str]
+    ) -> None:
+        old = self._container
+        old_feature = self._container_feature
+        moved = old is not None and not (
+            old is container and old_feature == feature
+        )
+        if moved:
+            old._remove_contained(self, old_feature)
+        object.__setattr__(self, "_container", container)
+        object.__setattr__(self, "_container_feature", feature)
+
+    def _remove_contained(
+        self, child: "ModelObject", feature: Optional[str] = None
+    ) -> None:
+        for name, ref in self._metaclass.all_references().items():
+            if not ref.containment:
+                continue
+            if feature is not None and name != feature:
+                continue
+            current = self._slots.get(name)
+            if ref.many and isinstance(current, list) and child in current:
+                current.remove(child)
+            elif current is child:
+                self._slots[name] = None
+
+    # -- slot access --------------------------------------------------------
+
+    def get(self, feature_name: str) -> Any:
+        """Reflective slot read; returns defaults for unset slots."""
+        cls = self._metaclass
+        attr = cls.all_attributes().get(feature_name)
+        if attr is not None:
+            if feature_name not in self._slots:
+                if attr.many:
+                    self._slots[feature_name] = []
+                else:
+                    return attr.default
+            return self._slots[feature_name]
+        ref = cls.all_references().get(feature_name)
+        if ref is not None:
+            if feature_name not in self._slots:
+                if ref.many:
+                    self._slots[feature_name] = []
+                else:
+                    return None
+            return self._slots[feature_name]
+        raise MetamodelError(
+            f"class {cls.name!r} has no feature {feature_name!r}"
+        )
+
+    def set(self, feature_name: str, value: Any) -> None:
+        """Reflective slot write with type checking and containment upkeep."""
+        cls = self._metaclass
+        attr = cls.all_attributes().get(feature_name)
+        if attr is not None:
+            if attr.many:
+                if not isinstance(value, list):
+                    raise TypeCheckError(
+                        f"attribute {feature_name!r} is many-valued; expected list"
+                    )
+                for item in value:
+                    attr.check_value(item)
+                self._slots[feature_name] = list(value)
+            else:
+                attr.check_value(value)
+                self._slots[feature_name] = value
+            return
+        ref = cls.all_references().get(feature_name)
+        if ref is not None:
+            self._set_reference(ref, value)
+            return
+        raise MetamodelError(
+            f"class {cls.name!r} has no feature {feature_name!r}"
+        )
+
+    def _check_ref_target(self, ref: MetaReference, value: "ModelObject") -> None:
+        if not isinstance(value, ModelObject):
+            raise TypeCheckError(
+                f"reference {ref.name!r}: expected ModelObject, "
+                f"got {type(value).__name__}"
+            )
+        if not value.is_kind_of(ref.target):
+            raise TypeCheckError(
+                f"reference {ref.name!r}: expected instance of {ref.target!r}, "
+                f"got {value.metaclass.name!r}"
+            )
+
+    def _set_reference(self, ref: MetaReference, value: Any) -> None:
+        if ref.many:
+            if not isinstance(value, list):
+                raise TypeCheckError(
+                    f"reference {ref.name!r} is many-valued; expected list"
+                )
+            for item in value:
+                self._check_ref_target(ref, item)
+            old = self._slots.get(ref.name)
+            if ref.containment and isinstance(old, list):
+                for item in old:
+                    if item not in value:
+                        item._set_container(None, None)
+            self._slots[ref.name] = list(value)
+            if ref.containment:
+                for item in value:
+                    item._set_container(self, ref.name)
+        else:
+            if value is not None:
+                self._check_ref_target(ref, value)
+            old = self._slots.get(ref.name)
+            if ref.containment and isinstance(old, ModelObject) and old is not value:
+                old._set_container(None, None)
+            self._slots[ref.name] = value
+            if ref.containment and value is not None:
+                value._set_container(self, ref.name)
+
+    def add(self, feature_name: str, value: "ModelObject") -> "ModelObject":
+        """Append ``value`` to a many-valued reference (or attribute)."""
+        cls = self._metaclass
+        ref = cls.all_references().get(feature_name)
+        if ref is not None:
+            if not ref.many:
+                raise MetamodelError(
+                    f"reference {feature_name!r} is single-valued; use set()"
+                )
+            self._check_ref_target(ref, value)
+            items = self._slots.setdefault(feature_name, [])
+            items.append(value)
+            if ref.containment:
+                value._set_container(self, feature_name)
+            return value
+        attr = cls.all_attributes().get(feature_name)
+        if attr is not None:
+            if not attr.many:
+                raise MetamodelError(
+                    f"attribute {feature_name!r} is single-valued; use set()"
+                )
+            attr.check_value(value)
+            self._slots.setdefault(feature_name, []).append(value)
+            return value
+        raise MetamodelError(
+            f"class {cls.name!r} has no feature {feature_name!r}"
+        )
+
+    def remove(self, feature_name: str, value: "ModelObject") -> None:
+        """Remove ``value`` from a many-valued feature."""
+        items = self.get(feature_name)
+        if not isinstance(items, list):
+            raise MetamodelError(f"feature {feature_name!r} is not many-valued")
+        items.remove(value)
+        ref = self._metaclass.all_references().get(feature_name)
+        if ref is not None and ref.containment and isinstance(value, ModelObject):
+            value._set_container(None, None)
+
+    def is_set(self, feature_name: str) -> bool:
+        return feature_name in self._slots
+
+    # -- attribute-style sugar ---------------------------------------------
+
+    def __getattr__(self, name: str) -> Any:
+        if name.startswith("_"):
+            raise AttributeError(name)
+        try:
+            return self.get(name)
+        except MetamodelError:
+            raise AttributeError(
+                f"{self._metaclass.name!r} object has no feature {name!r}"
+            ) from None
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        if name in ModelObject.__slots__:
+            object.__setattr__(self, name, value)
+        else:
+            self.set(name, value)
+
+    # -- traversal -----------------------------------------------------------
+
+    def contents(self) -> List["ModelObject"]:
+        """Directly contained objects (Ecore's ``eContents``)."""
+        out: List[ModelObject] = []
+        for name, ref in self._metaclass.all_references().items():
+            if not ref.containment:
+                continue
+            value = self._slots.get(name)
+            if isinstance(value, list):
+                out.extend(v for v in value if isinstance(v, ModelObject))
+            elif isinstance(value, ModelObject):
+                out.append(value)
+        return out
+
+    def all_contents(self) -> Iterator["ModelObject"]:
+        """All transitively contained objects, depth-first (``eAllContents``)."""
+        for child in self.contents():
+            yield child
+            yield from child.all_contents()
+
+    def element_count(self) -> int:
+        """Number of model elements in this subtree (including ``self``)."""
+        return 1 + sum(1 for _ in self.all_contents())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        label = self._slots.get("name")
+        if hasattr(label, "_slots"):  # LangString-like object
+            label = label._slots.get("value", "")
+        suffix = f" {label!r}" if isinstance(label, str) and label else ""
+        return f"<{self._metaclass.name}{suffix} {self.uid}>"

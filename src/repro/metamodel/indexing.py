@@ -1,0 +1,181 @@
+"""Model indexing — the paper's future-work item §VIII.3.
+
+Table VI's finding is that eager whole-model loading caps SAME's
+scalability, and the paper plans to "integrate a scalable model indexing
+(or model storage) framework" (their reference is Hawk).  This module is
+that framework in miniature:
+
+- :func:`build_index` derives, from a model (in memory or a saved JSON
+  resource), a flat *index*: per metaclass, one record per element with its
+  uid, id, name and scalar attributes;
+- :class:`ModelIndex` answers the queries SAME's analyses actually issue
+  (elements of a kind, lookup by id/attribute, counting) from the index
+  alone — without materialising the object graph;
+- the index persists as a sidecar JSON next to the model, so a later
+  session can query a model whose full load would blow the memory budget
+  (the Set5 situation).
+
+The index is eventually consistent by construction: it records the model
+at build time; :func:`index_is_stale` compares content digests.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Union
+
+from repro.metamodel.core import MetamodelError, ModelObject
+
+_FORMAT = "repro-model-index/1"
+
+
+def _digest(path: Path) -> str:
+    hasher = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(65536), b""):
+            hasher.update(chunk)
+    return hasher.hexdigest()
+
+
+def _record_of(obj: ModelObject) -> Dict[str, Any]:
+    record: Dict[str, Any] = {"uid": obj.uid}
+    for name, attr in obj.metaclass.all_attributes().items():
+        if attr.many or not obj.is_set(name):
+            continue
+        value = obj.get(name)
+        if isinstance(value, (str, int, float, bool)) or value is None:
+            record[name] = value
+    # The SSAM idiom: names live in a contained LangString.
+    name_feature = obj.metaclass.all_references().get("name")
+    if name_feature is not None:
+        name_obj = obj.get("name")
+        if name_obj is not None and name_obj.metaclass.find_feature("value"):
+            record["name"] = name_obj.get("value")
+    return record
+
+
+def _kinds_of(obj: ModelObject) -> List[str]:
+    return [obj.metaclass.name] + [
+        cls.name for cls in obj.metaclass.all_supertypes()
+    ]
+
+
+def build_index(
+    root: ModelObject,
+    source_path: Optional[Union[str, Path]] = None,
+) -> Dict[str, Any]:
+    """Index a containment tree (one streaming pass, no graph retained)."""
+    by_kind: Dict[str, List[Dict[str, Any]]] = {}
+    count = 0
+    for obj in _walk(root):
+        count += 1
+        record = _record_of(obj)
+        for kind in _kinds_of(obj):
+            by_kind.setdefault(kind, []).append(record)
+    index: Dict[str, Any] = {
+        "format": _FORMAT,
+        "element_count": count,
+        "kinds": by_kind,
+    }
+    if source_path is not None:
+        path = Path(source_path)
+        index["source"] = str(path)
+        if path.is_file():
+            index["digest"] = _digest(path)
+    return index
+
+
+def _walk(root: ModelObject) -> Iterator[ModelObject]:
+    yield root
+    yield from root.all_contents()
+
+
+def save_index(index: Dict[str, Any], location: Union[str, Path]) -> Path:
+    path = Path(location)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(index, handle)
+    return path
+
+
+def index_path_for(model_path: Union[str, Path]) -> Path:
+    """Sidecar convention: ``model.json`` -> ``model.json.index``."""
+    return Path(str(model_path) + ".index")
+
+
+def index_model_file(model_path: Union[str, Path]) -> Path:
+    """Build and persist the sidecar index of a saved model.
+
+    The one unavoidable full load happens here — at *indexing* time, once;
+    every later :class:`ModelIndex` query reads only the index.
+    """
+    from repro.metamodel.serialization import ModelResource
+
+    model_path = Path(model_path)
+    root = ModelResource().load(model_path)
+    index = build_index(root, model_path)
+    return save_index(index, index_path_for(model_path))
+
+
+def index_is_stale(
+    index: Dict[str, Any], model_path: Union[str, Path]
+) -> bool:
+    """True when the model file changed since the index was built."""
+    recorded = index.get("digest")
+    if recorded is None:
+        return True
+    return recorded != _digest(Path(model_path))
+
+
+class ModelIndex:
+    """Query interface over a (loaded or sidecar) index."""
+
+    def __init__(self, index: Dict[str, Any]) -> None:
+        if index.get("format") != _FORMAT:
+            raise MetamodelError(
+                f"unsupported index format {index.get('format')!r}"
+            )
+        self._index = index
+
+    @classmethod
+    def load(cls, location: Union[str, Path]) -> "ModelIndex":
+        with open(location, encoding="utf-8") as handle:
+            return cls(json.load(handle))
+
+    @classmethod
+    def for_model_file(cls, model_path: Union[str, Path]) -> "ModelIndex":
+        """The sidecar index of a model file (built if absent or stale)."""
+        sidecar = index_path_for(model_path)
+        if sidecar.is_file():
+            instance = cls.load(sidecar)
+            if not index_is_stale(instance._index, model_path):
+                return instance
+        index_model_file(model_path)
+        return cls.load(sidecar)
+
+    @property
+    def element_count(self) -> int:
+        return int(self._index["element_count"])
+
+    def kinds(self) -> List[str]:
+        return sorted(self._index["kinds"])
+
+    def records(self, kind: str) -> List[Dict[str, Any]]:
+        return list(self._index["kinds"].get(kind, []))
+
+    def count(self, kind: str) -> int:
+        return len(self._index["kinds"].get(kind, []))
+
+    def find(self, kind: str, **criteria: Any) -> List[Dict[str, Any]]:
+        """Records of ``kind`` whose indexed attributes match ``criteria``."""
+        return [
+            record
+            for record in self._index["kinds"].get(kind, [])
+            if all(record.get(key) == value for key, value in criteria.items())
+        ]
+
+    def find_one(self, kind: str, **criteria: Any) -> Optional[Dict[str, Any]]:
+        matches = self.find(kind, **criteria)
+        return matches[0] if matches else None

@@ -1,0 +1,74 @@
+"""Package registry — lookup of metaclasses by qualified name or namespace URI.
+
+EMF keeps a global ``EPackage.Registry``; model (de)serialisation resolves
+class names against it.  We reproduce that with :class:`PackageRegistry` and a
+module-level :func:`global_registry` instance that the SSAM packages register
+into at import time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.metamodel.core import MetaClass, MetamodelError, MetaPackage
+
+
+class PackageRegistry:
+    """Maps package names and namespace URIs to :class:`MetaPackage` objects."""
+
+    def __init__(self) -> None:
+        self._by_name: Dict[str, MetaPackage] = {}
+        self._by_uri: Dict[str, MetaPackage] = {}
+
+    def register(self, package: MetaPackage) -> MetaPackage:
+        existing = self._by_name.get(package.name)
+        if existing is not None and existing is not package:
+            raise MetamodelError(
+                f"a different package named {package.name!r} is already registered"
+            )
+        self._by_name[package.name] = package
+        self._by_uri[package.ns_uri] = package
+        return package
+
+    def package(self, name_or_uri: str) -> MetaPackage:
+        pkg = self._by_name.get(name_or_uri) or self._by_uri.get(name_or_uri)
+        if pkg is None:
+            raise MetamodelError(f"no registered package {name_or_uri!r}")
+        return pkg
+
+    def packages(self) -> Iterable[MetaPackage]:
+        return self._by_name.values()
+
+    def resolve_class(self, qualified_name: str) -> MetaClass:
+        """Resolve ``package.Class`` (or a bare class name, searched across
+        all registered packages) to a :class:`MetaClass`."""
+        if "." in qualified_name:
+            pkg_name, _, cls_name = qualified_name.rpartition(".")
+            return self.package(pkg_name).get(cls_name)
+        matches = [
+            pkg.get(qualified_name)
+            for pkg in self._by_name.values()
+            if qualified_name in pkg
+        ]
+        if not matches:
+            raise MetamodelError(f"no registered class {qualified_name!r}")
+        if len(matches) > 1:
+            names = sorted(m.qualified_name() for m in matches)
+            raise MetamodelError(
+                f"ambiguous class name {qualified_name!r}: {names}"
+            )
+        return matches[0]
+
+    def find_class(self, qualified_name: str) -> Optional[MetaClass]:
+        try:
+            return self.resolve_class(qualified_name)
+        except MetamodelError:
+            return None
+
+
+_GLOBAL = PackageRegistry()
+
+
+def global_registry() -> PackageRegistry:
+    """The process-wide registry used by SSAM and the serialisation layer."""
+    return _GLOBAL

@@ -1,0 +1,209 @@
+"""Whole-model persistence — JSON serialisation of containment trees.
+
+The resource deliberately reproduces EMF's *load-everything* behaviour: a
+:class:`ModelResource` materialises every element of a model before any query
+can run.  The paper's scalability study (Table VI) attributes SAME's memory
+overflow on its largest model set to exactly this property, so the resource
+exposes:
+
+- :func:`estimate_element_bytes` — the per-element in-memory cost model;
+- ``memory_budget_bytes`` — an optional cap; loading (or counting) a model
+  whose estimated footprint exceeds the cap raises
+  :class:`MemoryOverflowError`, which is how the ``Set5 → N/A`` row of
+  Table VI is reproduced deterministically.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.metamodel.core import MetamodelError, ModelObject
+from repro.metamodel.registry import PackageRegistry, global_registry
+
+#: Approximate bytes a loaded model element occupies in an EMF-style
+#: object graph (object header, slot table, notification adapters).  The
+#: constant is calibrated so that ~5.7e6 elements fit in a few GiB while
+#: ~5.7e8 elements exceed any realistic JVM heap, matching Table VI.
+BYTES_PER_ELEMENT = 480
+
+
+class MemoryOverflowError(MemoryError):
+    """Loading a model would exceed the configured memory budget."""
+
+    def __init__(self, needed_bytes: int, budget_bytes: int) -> None:
+        super().__init__(
+            f"model requires ~{needed_bytes} bytes but the resource budget "
+            f"is {budget_bytes} bytes"
+        )
+        self.needed_bytes = needed_bytes
+        self.budget_bytes = budget_bytes
+
+
+def estimate_element_bytes(element_count: int) -> int:
+    """Estimated resident size of a fully-loaded model of ``element_count``
+    elements under eager EMF-style loading."""
+    return element_count * BYTES_PER_ELEMENT
+
+
+def _serialize_value(value: Any) -> Any:
+    if isinstance(value, ModelObject):
+        raise MetamodelError("attribute slots must not hold model objects")
+    return value
+
+
+class ModelResource:
+    """Persists a containment tree of :class:`ModelObject` to and from JSON.
+
+    Cross references are serialised as ``{"$ref": <uid>}`` and resolved in a
+    second pass after the whole tree has been materialised — i.e. loading is
+    eager and complete, as in EMF's default XMI resource.
+    """
+
+    FORMAT = "repro-model/1"
+
+    def __init__(
+        self,
+        registry: Optional[PackageRegistry] = None,
+        memory_budget_bytes: Optional[int] = None,
+    ) -> None:
+        self.registry = registry or global_registry()
+        self.memory_budget_bytes = memory_budget_bytes
+
+    # -- save ---------------------------------------------------------------
+
+    def to_dict(self, root: ModelObject) -> Dict[str, Any]:
+        return {
+            "format": self.FORMAT,
+            "root": self._serialize_object(root),
+        }
+
+    def _serialize_object(self, obj: ModelObject) -> Dict[str, Any]:
+        cls = obj.metaclass
+        out: Dict[str, Any] = {
+            "class": cls.qualified_name(),
+            "uid": obj.uid,
+        }
+        attrs: Dict[str, Any] = {}
+        for name in cls.all_attributes():
+            if obj.is_set(name):
+                attrs[name] = _serialize_value(obj.get(name))
+        if attrs:
+            out["attributes"] = attrs
+        refs: Dict[str, Any] = {}
+        for name, ref in cls.all_references().items():
+            if not obj.is_set(name):
+                continue
+            value = obj.get(name)
+            if ref.containment:
+                if ref.many:
+                    refs[name] = [self._serialize_object(v) for v in value]
+                elif value is not None:
+                    refs[name] = self._serialize_object(value)
+            else:
+                if ref.many:
+                    refs[name] = [{"$ref": v.uid} for v in value]
+                elif value is not None:
+                    refs[name] = {"$ref": value.uid}
+        if refs:
+            out["references"] = refs
+        return out
+
+    def save(self, root: ModelObject, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(root), handle, indent=2)
+        return path
+
+    # -- load ----------------------------------------------------------------
+
+    def from_dict(self, data: Dict[str, Any]) -> ModelObject:
+        if data.get("format") != self.FORMAT:
+            raise MetamodelError(
+                f"unsupported model format {data.get('format')!r}"
+            )
+        uid_map: Dict[str, ModelObject] = {}
+        pending: List[tuple] = []
+        root = self._deserialize_object(data["root"], uid_map, pending)
+        self._check_budget(root)
+        for obj, feature, ref_data in pending:
+            if isinstance(ref_data, list):
+                targets = [self._resolve(uid_map, item) for item in ref_data]
+                obj.set(feature, targets)
+            else:
+                obj.set(feature, self._resolve(uid_map, ref_data))
+        return root
+
+    def _check_budget(self, root: ModelObject) -> None:
+        if self.memory_budget_bytes is None:
+            return
+        needed = estimate_element_bytes(root.element_count())
+        if needed > self.memory_budget_bytes:
+            raise MemoryOverflowError(needed, self.memory_budget_bytes)
+
+    def check_loadable(self, element_count: int) -> None:
+        """Pre-flight budget check for a model of ``element_count`` elements.
+
+        Raises :class:`MemoryOverflowError` when an eager load would not fit,
+        without attempting the load itself.
+        """
+        if self.memory_budget_bytes is None:
+            return
+        needed = estimate_element_bytes(element_count)
+        if needed > self.memory_budget_bytes:
+            raise MemoryOverflowError(needed, self.memory_budget_bytes)
+
+    @staticmethod
+    def _resolve(uid_map: Dict[str, ModelObject], ref_data: Any) -> ModelObject:
+        uid = ref_data.get("$ref") if isinstance(ref_data, dict) else None
+        if uid is None:
+            raise MetamodelError(f"malformed cross reference: {ref_data!r}")
+        try:
+            return uid_map[uid]
+        except KeyError:
+            raise MetamodelError(
+                f"dangling cross reference to {uid!r}"
+            ) from None
+
+    def _deserialize_object(
+        self,
+        data: Dict[str, Any],
+        uid_map: Dict[str, ModelObject],
+        pending: List[tuple],
+    ) -> ModelObject:
+        cls = self.registry.resolve_class(data["class"])
+        obj = ModelObject(cls)
+        uid = data.get("uid")
+        if uid:
+            uid_map[uid] = obj
+        for name, value in data.get("attributes", {}).items():
+            obj.set(name, value)
+        for name, value in data.get("references", {}).items():
+            ref = cls.all_references().get(name)
+            if ref is None:
+                raise MetamodelError(
+                    f"class {cls.name!r} has no reference {name!r}"
+                )
+            if ref.containment:
+                if ref.many:
+                    children = [
+                        self._deserialize_object(item, uid_map, pending)
+                        for item in value
+                    ]
+                    obj.set(name, children)
+                else:
+                    obj.set(name, self._deserialize_object(value, uid_map, pending))
+            else:
+                pending.append((obj, name, value))
+        return obj
+
+    def load(self, path: Union[str, Path]) -> ModelObject:
+        with open(path, encoding="utf-8") as handle:
+            data = json.load(handle)
+        return self.from_dict(data)
+
+    def clone(self, root: ModelObject) -> ModelObject:
+        """Deep-copy a containment tree via a serialise/deserialise round trip."""
+        return self.from_dict(self.to_dict(root))

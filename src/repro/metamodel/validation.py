@@ -1,0 +1,137 @@
+"""Machine-executable constraints and model validation.
+
+SSAM's ``ImplementationConstraint`` attaches machine-executable checks to
+model elements; this module supplies the execution engine.  Constraints are
+Python callables over a model object; :func:`validate` walks a containment
+tree, evaluates every applicable constraint and returns diagnostics, much
+like EMF's ``Diagnostician``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional
+
+from repro.metamodel.core import MetaClass, ModelObject
+
+
+class Severity(enum.IntEnum):
+    """Diagnostic severity, ordered so that ``max()`` picks the worst."""
+
+    INFO = 0
+    WARNING = 1
+    ERROR = 2
+
+
+@dataclass
+class Constraint:
+    """A named, machine-executable check on a model object.
+
+    ``predicate`` returns ``True`` when the object satisfies the constraint.
+    """
+
+    name: str
+    predicate: Callable[[ModelObject], bool]
+    message: str = ""
+    severity: Severity = Severity.ERROR
+
+    def check(self, obj: ModelObject) -> Optional["Diagnostic"]:
+        try:
+            ok = bool(self.predicate(obj))
+        except Exception as exc:  # constraint bodies are user code
+            return Diagnostic(
+                constraint=self.name,
+                target=obj,
+                severity=Severity.ERROR,
+                message=f"constraint raised {type(exc).__name__}: {exc}",
+            )
+        if ok:
+            return None
+        return Diagnostic(
+            constraint=self.name,
+            target=obj,
+            severity=self.severity,
+            message=self.message or f"constraint {self.name!r} violated",
+        )
+
+
+@dataclass
+class Diagnostic:
+    """One validation finding for one object."""
+
+    constraint: str
+    target: ModelObject
+    severity: Severity
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.severity.name}] {self.target!r}: {self.message}"
+
+
+@dataclass
+class ValidationReport:
+    """Aggregated diagnostics from a :func:`validate` run."""
+
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not any(d.severity >= Severity.ERROR for d in self.diagnostics)
+
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity >= Severity.ERROR]
+
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == Severity.WARNING]
+
+    def by_constraint(self, name: str) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.constraint == name]
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+
+def _required_feature_constraints(cls: MetaClass) -> Iterable[Constraint]:
+    for name, attr in cls.all_attributes().items():
+        if attr.required:
+            yield Constraint(
+                name=f"{cls.name}.{name}.required",
+                predicate=lambda obj, _n=name: obj.get(_n) not in (None, "", []),
+                message=f"required attribute {name!r} is unset",
+            )
+    for name, ref in cls.all_references().items():
+        if ref.required:
+            yield Constraint(
+                name=f"{cls.name}.{name}.required",
+                predicate=lambda obj, _n=name: obj.get(_n) not in (None, []),
+                message=f"required reference {name!r} is unset",
+            )
+
+
+def validate(
+    root: ModelObject,
+    extra_constraints: Optional[List[Constraint]] = None,
+) -> ValidationReport:
+    """Validate ``root`` and every element it (transitively) contains.
+
+    Checks, per element: required features, class-level constraints declared
+    via :meth:`MetaClass.add_constraint`, and any ``extra_constraints``.
+    """
+    report = ValidationReport()
+    extras = list(extra_constraints or [])
+    for obj in [root, *root.all_contents()]:
+        cls = obj.metaclass
+        for constraint in _required_feature_constraints(cls):
+            diag = constraint.check(obj)
+            if diag is not None:
+                report.diagnostics.append(diag)
+        for constraint in cls.all_constraints():
+            diag = constraint.check(obj)
+            if diag is not None:
+                report.diagnostics.append(diag)
+        for constraint in extras:
+            diag = constraint.check(obj)
+            if diag is not None:
+                report.diagnostics.append(diag)
+    return report

@@ -1,0 +1,230 @@
+"""XMI-flavoured XML persistence — the interchange format twin of the JSON
+resource.
+
+EMF's native serialisation is XMI; tools exchange ``.xmi``/``.ssam`` files,
+not JSON.  This writer/reader produces an XMI-like dialect:
+
+- one XML element per model object, tag = metaclass name, with an
+  ``xsi:type``-style ``class`` attribute carrying the qualified name;
+- attributes serialised as XML attributes (many-valued ones as child
+  ``<attr name="...">value</attr>`` elements to preserve types);
+- containment references as nested elements grouped by feature;
+- cross references as ``ref="<uid>"`` attributes resolved in a second pass
+  (the same eager whole-model loading semantics as the JSON resource).
+
+Round trip guarantee: ``read(write(model))`` is structurally identical to
+the JSON resource's clone of the model.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.metamodel.core import MetamodelError, ModelObject
+from repro.metamodel.registry import PackageRegistry, global_registry
+
+_ROOT_TAG = "xmi"
+_VERSION = "repro-xmi/1"
+
+
+def _attribute_to_text(value: Any) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    return str(value)
+
+
+def _text_to_attribute(text: str, type_name: str) -> Any:
+    if type_name == "bool":
+        return text == "true"
+    if type_name == "int":
+        return int(text)
+    if type_name == "float":
+        return float(text)
+    return text
+
+
+class XmiResource:
+    """XMI-like persistence over the same registry as :class:`ModelResource`."""
+
+    def __init__(self, registry: Optional[PackageRegistry] = None) -> None:
+        self.registry = registry or global_registry()
+
+    # -- write -----------------------------------------------------------
+
+    def to_element(self, obj: ModelObject) -> ET.Element:
+        cls = obj.metaclass
+        element = ET.Element(cls.name)
+        element.set("class", cls.qualified_name())
+        element.set("uid", obj.uid)
+        for name, attr in cls.all_attributes().items():
+            if not obj.is_set(name):
+                continue
+            value = obj.get(name)
+            if attr.many:
+                for item in value:
+                    child = ET.SubElement(element, "attr")
+                    child.set("name", name)
+                    child.text = _attribute_to_text(item)
+            elif value is not None:
+                element.set(name, _attribute_to_text(value))
+        for name, ref in cls.all_references().items():
+            if not obj.is_set(name):
+                continue
+            value = obj.get(name)
+            if ref.containment:
+                items = value if ref.many else ([value] if value else [])
+                if not items:
+                    continue
+                group = ET.SubElement(element, "feature")
+                group.set("name", name)
+                for item in items:
+                    group.append(self.to_element(item))
+            else:
+                items = value if ref.many else ([value] if value else [])
+                for item in items:
+                    child = ET.SubElement(element, "ref")
+                    child.set("name", name)
+                    child.set("target", item.uid)
+        return element
+
+    def write(self, root: ModelObject, path: Union[str, Path]) -> Path:
+        document = ET.Element(_ROOT_TAG)
+        document.set("version", _VERSION)
+        document.append(self.to_element(root))
+        tree = ET.ElementTree(document)
+        ET.indent(tree)
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tree.write(path, encoding="utf-8", xml_declaration=True)
+        return path
+
+    def to_string(self, root: ModelObject) -> str:
+        document = ET.Element(_ROOT_TAG)
+        document.set("version", _VERSION)
+        document.append(self.to_element(root))
+        ET.indent(document)
+        return ET.tostring(document, encoding="unicode")
+
+    # -- read ------------------------------------------------------------
+
+    def from_element(self, element: ET.Element) -> ModelObject:
+        uid_map: Dict[str, ModelObject] = {}
+        pending: List[Tuple[ModelObject, str, bool, str]] = []
+        root = self._build(element, uid_map, pending)
+        grouped: Dict[Tuple[int, str], List[ModelObject]] = {}
+        for obj, feature, many, target_uid in pending:
+            try:
+                target = uid_map[target_uid]
+            except KeyError:
+                raise MetamodelError(
+                    f"dangling cross reference to {target_uid!r}"
+                ) from None
+            if many:
+                grouped.setdefault((id(obj), feature), []).append(target)
+                grouped_key = (id(obj), feature)
+                obj.set(feature, grouped[grouped_key])
+            else:
+                obj.set(feature, target)
+        return root
+
+    def _build(
+        self,
+        element: ET.Element,
+        uid_map: Dict[str, ModelObject],
+        pending: List[Tuple[ModelObject, str, bool, str]],
+    ) -> ModelObject:
+        qualified = element.get("class")
+        if not qualified:
+            raise MetamodelError(
+                f"element <{element.tag}> lacks a class attribute"
+            )
+        cls = self.registry.resolve_class(qualified)
+        obj = ModelObject(cls)
+        uid = element.get("uid")
+        if uid:
+            uid_map[uid] = obj
+        attributes = cls.all_attributes()
+        references = cls.all_references()
+        for name, raw in element.attrib.items():
+            if name in ("class", "uid"):
+                continue
+            attr = attributes.get(name)
+            if attr is None:
+                raise MetamodelError(
+                    f"class {cls.name!r} has no attribute {name!r}"
+                )
+            obj.set(name, _text_to_attribute(raw, attr.type_name))
+        many_values: Dict[str, List[Any]] = {}
+        for child in element:
+            if child.tag == "attr":
+                name = child.get("name", "")
+                attr = attributes.get(name)
+                if attr is None or not attr.many:
+                    raise MetamodelError(
+                        f"class {cls.name!r} has no many-valued attribute "
+                        f"{name!r}"
+                    )
+                many_values.setdefault(name, []).append(
+                    _text_to_attribute(child.text or "", attr.type_name)
+                )
+            elif child.tag == "feature":
+                name = child.get("name", "")
+                ref = references.get(name)
+                if ref is None or not ref.containment:
+                    raise MetamodelError(
+                        f"class {cls.name!r} has no containment reference "
+                        f"{name!r}"
+                    )
+                children = [
+                    self._build(grand, uid_map, pending) for grand in child
+                ]
+                if ref.many:
+                    obj.set(name, children)
+                elif children:
+                    obj.set(name, children[0])
+            elif child.tag == "ref":
+                name = child.get("name", "")
+                ref = references.get(name)
+                if ref is None or ref.containment:
+                    raise MetamodelError(
+                        f"class {cls.name!r} has no cross reference {name!r}"
+                    )
+                pending.append(
+                    (obj, name, ref.many, child.get("target", ""))
+                )
+            else:
+                raise MetamodelError(
+                    f"unexpected element <{child.tag}> under {cls.name}"
+                )
+        for name, items in many_values.items():
+            obj.set(name, items)
+        return obj
+
+    def read(self, path: Union[str, Path]) -> ModelObject:
+        try:
+            tree = ET.parse(path)
+        except ET.ParseError as exc:
+            raise MetamodelError(f"malformed XMI file {path}: {exc}") from exc
+        return self._from_document(tree.getroot(), path)
+
+    def from_string(self, text: str) -> ModelObject:
+        try:
+            document = ET.fromstring(text)
+        except ET.ParseError as exc:
+            raise MetamodelError(f"malformed XMI text: {exc}") from exc
+        return self._from_document(document, "<string>")
+
+    def _from_document(self, document: ET.Element, source) -> ModelObject:
+        if document.tag != _ROOT_TAG or document.get("version") != _VERSION:
+            raise MetamodelError(
+                f"{source}: not a {_VERSION} document"
+            )
+        children = list(document)
+        if len(children) != 1:
+            raise MetamodelError(
+                f"{source}: expected exactly one root object, "
+                f"got {len(children)}"
+            )
+        return self.from_element(children[0])

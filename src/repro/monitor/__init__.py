@@ -1,0 +1,35 @@
+"""Runtime monitor generation — the paper's future-work extension §VIII.4.
+
+SSAM components declared *dynamic* get runtime monitors generated from
+their IO nodes' lower/upper limits ("the SSAM model … can also be easily
+converted to a runtime monitoring algorithm").  The paper plans Java
+facilities; offline we generate both an in-process monitor object and a
+standalone Python module.
+
+- :mod:`repro.monitor.runtime` — the monitor engine: channels with limits,
+  observation streams, violation records and callbacks;
+- :mod:`repro.monitor.generator` — derives a monitor (and its source code)
+  from the dynamic components of a SSAM model.
+"""
+
+from repro.monitor.runtime import (
+    Channel,
+    MonitorError,
+    RuntimeMonitor,
+    Violation,
+)
+from repro.monitor.generator import (
+    generate_monitor,
+    generate_monitor_source,
+)
+from repro.monitor.from_fmea import monitor_from_fmea
+
+__all__ = [
+    "Channel",
+    "RuntimeMonitor",
+    "Violation",
+    "MonitorError",
+    "generate_monitor",
+    "generate_monitor_source",
+    "monitor_from_fmea",
+]

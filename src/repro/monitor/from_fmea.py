@@ -1,0 +1,55 @@
+"""Monitor derivation from FMEA results.
+
+The injection FMEA already knows every monitored sensor's healthy reading
+and the deviation threshold that separates "fine" from "safety-related".
+That is exactly a runtime monitor specification: channels at the baseline
+readings with limits ``baseline * (1 ± threshold)`` — so the monitor fires
+at runtime precisely where the design-time analysis would have flagged the
+fault.  This closes the paper's design-time → runtime loop without the
+user hand-setting any limit.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.monitor.runtime import Channel, MonitorError, RuntimeMonitor
+from repro.safety.fmea import DEFAULT_THRESHOLD, FmeaResult
+
+
+def monitor_from_fmea(
+    fmea: FmeaResult,
+    threshold: float = DEFAULT_THRESHOLD,
+    debounce: int = 3,
+    name: Optional[str] = None,
+) -> RuntimeMonitor:
+    """Derive a runtime monitor from an injection FMEA's baselines.
+
+    Each monitored sensor becomes a channel limited to
+    ``baseline * (1 - threshold) .. baseline * (1 + threshold)`` (the band
+    the FMEA treated as healthy).  Negative baselines flip the band; a
+    zero baseline yields a symmetric absolute band of ``threshold``.
+    """
+    if fmea.method != "injection":
+        raise MonitorError(
+            "monitors derive from injection FMEA results (they carry the "
+            f"sensor baselines); got method {fmea.method!r}"
+        )
+    if not fmea.baseline_readings:
+        raise MonitorError("FMEA result carries no baseline readings")
+    monitor = RuntimeMonitor(name or f"{fmea.system}_monitor")
+    for path, baseline in fmea.baseline_readings.items():
+        if baseline == 0.0:
+            lower, upper = -threshold, threshold
+        else:
+            band = abs(baseline) * threshold
+            lower, upper = baseline - band, baseline + band
+        monitor.add_channel(
+            Channel(
+                name=path.rsplit("/", 1)[-1],
+                lower=lower,
+                upper=upper,
+                debounce=debounce,
+            )
+        )
+    return monitor

@@ -1,0 +1,133 @@
+"""The runtime monitoring engine.
+
+A :class:`RuntimeMonitor` holds :class:`Channel` s — one per monitored IO
+node — each with optional lower/upper limits and a debounce count (a limit
+must be breached on ``debounce`` consecutive observations before a
+:class:`Violation` is raised, filtering sensor noise).  Observations are
+``(channel, value, timestamp)``; violations are recorded and fed to any
+registered callbacks, which is how a generated monitor would trigger a
+safety reaction at runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+
+class MonitorError(Exception):
+    """Raised for unknown channels or malformed limits."""
+
+
+@dataclass
+class Violation:
+    """One detected limit violation."""
+
+    channel: str
+    value: float
+    limit: float
+    kind: str  # 'below_lower' | 'above_upper'
+    timestamp: float
+
+    def __str__(self) -> str:
+        relation = "<" if self.kind == "below_lower" else ">"
+        return (
+            f"[{self.timestamp:g}] {self.channel}: {self.value:g} "
+            f"{relation} limit {self.limit:g}"
+        )
+
+
+@dataclass
+class Channel:
+    """One monitored quantity with limits and debouncing."""
+
+    name: str
+    lower: Optional[float] = None
+    upper: Optional[float] = None
+    unit: str = ""
+    debounce: int = 1
+    _breach_streak: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.lower is not None and self.upper is not None:
+            if self.lower > self.upper:
+                raise MonitorError(
+                    f"channel {self.name!r}: lower {self.lower} > upper "
+                    f"{self.upper}"
+                )
+        if self.debounce < 1:
+            raise MonitorError(
+                f"channel {self.name!r}: debounce must be >= 1"
+            )
+
+    def check(self, value: float, timestamp: float) -> Optional[Violation]:
+        violation: Optional[Violation] = None
+        if self.lower is not None and value < self.lower:
+            violation = Violation(
+                self.name, value, self.lower, "below_lower", timestamp
+            )
+        elif self.upper is not None and value > self.upper:
+            violation = Violation(
+                self.name, value, self.upper, "above_upper", timestamp
+            )
+        if violation is None:
+            self._breach_streak = 0
+            return None
+        self._breach_streak += 1
+        if self._breach_streak >= self.debounce:
+            return violation
+        return None
+
+
+class RuntimeMonitor:
+    """Observes channel values and records limit violations."""
+
+    def __init__(self, name: str = "monitor") -> None:
+        self.name = name
+        self._channels: Dict[str, Channel] = {}
+        self.violations: List[Violation] = []
+        self._callbacks: List[Callable[[Violation], None]] = []
+
+    def add_channel(self, channel: Channel) -> Channel:
+        if channel.name in self._channels:
+            raise MonitorError(f"duplicate channel {channel.name!r}")
+        self._channels[channel.name] = channel
+        return channel
+
+    def channel(self, name: str) -> Channel:
+        try:
+            return self._channels[name]
+        except KeyError:
+            raise MonitorError(
+                f"no channel {name!r}; channels: {sorted(self._channels)}"
+            ) from None
+
+    def channels(self) -> List[Channel]:
+        return list(self._channels.values())
+
+    def on_violation(self, callback: Callable[[Violation], None]) -> None:
+        self._callbacks.append(callback)
+
+    def observe(self, channel: str, value: float, timestamp: float = 0.0) -> Optional[Violation]:
+        """Feed one observation; returns the violation if one fired."""
+        violation = self.channel(channel).check(float(value), timestamp)
+        if violation is not None:
+            self.violations.append(violation)
+            for callback in self._callbacks:
+                callback(violation)
+        return violation
+
+    def observe_series(
+        self, channel: str, values, dt: float = 1.0, t0: float = 0.0
+    ) -> List[Violation]:
+        """Feed a time series; returns the violations it produced."""
+        fired: List[Violation] = []
+        for index, value in enumerate(values):
+            violation = self.observe(channel, value, t0 + index * dt)
+            if violation is not None:
+                fired.append(violation)
+        return fired
+
+    @property
+    def healthy(self) -> bool:
+        return not self.violations

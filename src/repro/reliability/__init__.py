@@ -1,0 +1,34 @@
+"""Component reliability modelling (DECISIVE Step 3 inputs).
+
+A *component reliability model* maps component classes to their FIT rate
+(Failure-In-Time, 1e-9 failures/hour) and failure modes with probability
+distributions, as in the paper's Table II.  Sources: CSV/"Excel" workbooks
+(the paper's format), JSON, or the built-in MIL-HDBK-338B-flavoured
+catalogue in :mod:`repro.reliability.standards`.
+"""
+
+from repro.reliability.model import (
+    ComponentReliability,
+    FailureModeSpec,
+    ReliabilityError,
+    ReliabilityModel,
+    nature_for_mode_name,
+)
+from repro.reliability.sources import (
+    load_reliability_json,
+    load_reliability_table,
+    save_reliability_table,
+)
+from repro.reliability.standards import standard_reliability_model
+
+__all__ = [
+    "FailureModeSpec",
+    "ComponentReliability",
+    "ReliabilityModel",
+    "ReliabilityError",
+    "nature_for_mode_name",
+    "load_reliability_table",
+    "load_reliability_json",
+    "save_reliability_table",
+    "standard_reliability_model",
+]

@@ -1,0 +1,133 @@
+"""Environmental derating of reliability data — MIL-HDBK-217F-style π factors.
+
+Handbook FIT rates are *base* rates at reference conditions; fielded rates
+are ``lambda = lambda_base * pi_T * pi_Q * pi_E`` with
+
+- ``pi_T`` — temperature acceleration (Arrhenius over junction/ambient
+  temperature against the 25 °C reference);
+- ``pi_Q`` — quality level (screened space parts to commercial plastic);
+- ``pi_E`` — application environment (ground benign to cannon launch;
+  we carry the common subset).
+
+:func:`derate_model` applies one operating profile to a whole
+:class:`~repro.reliability.ReliabilityModel`, producing the model DECISIVE
+Step 3 should aggregate when the system will not live on a lab bench.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.reliability.model import (
+    ComponentReliability,
+    ReliabilityError,
+    ReliabilityModel,
+)
+
+#: Boltzmann constant in eV/K.
+_BOLTZMANN_EV = 8.617e-5
+
+#: Reference temperature for handbook base rates, in °C.
+REFERENCE_CELSIUS = 25.0
+
+#: Default activation energy in eV (typical for silicon failure mechanisms).
+DEFAULT_ACTIVATION_EV = 0.4
+
+#: Quality factors (MIL-HDBK-217F flavour).
+QUALITY_FACTORS: Dict[str, float] = {
+    "space": 0.5,
+    "full_military": 1.0,
+    "ruggedized": 2.0,
+    "commercial": 5.0,
+    "commercial_plastic": 10.0,
+}
+
+#: Environment factors (subset of MIL-HDBK-217F's environments).
+ENVIRONMENT_FACTORS: Dict[str, float] = {
+    "ground_benign": 0.5,
+    "ground_fixed": 1.0,
+    "ground_mobile": 4.0,
+    "naval_sheltered": 4.0,
+    "airborne_cargo": 5.0,
+    "airborne_fighter": 8.0,
+    "missile_launch": 12.0,
+}
+
+
+@dataclass(frozen=True)
+class OperatingProfile:
+    """One deployment's environmental conditions."""
+
+    temperature_celsius: float = REFERENCE_CELSIUS
+    quality: str = "full_military"
+    environment: str = "ground_fixed"
+    activation_energy_ev: float = DEFAULT_ACTIVATION_EV
+
+    def __post_init__(self) -> None:
+        if self.quality not in QUALITY_FACTORS:
+            raise ReliabilityError(
+                f"unknown quality level {self.quality!r}; "
+                f"known: {sorted(QUALITY_FACTORS)}"
+            )
+        if self.environment not in ENVIRONMENT_FACTORS:
+            raise ReliabilityError(
+                f"unknown environment {self.environment!r}; "
+                f"known: {sorted(ENVIRONMENT_FACTORS)}"
+            )
+        if self.temperature_celsius <= -273.15:
+            raise ReliabilityError("temperature below absolute zero")
+        if self.activation_energy_ev <= 0:
+            raise ReliabilityError("activation energy must be positive")
+
+    @property
+    def pi_temperature(self) -> float:
+        """Arrhenius acceleration relative to the 25 °C reference."""
+        t_use = self.temperature_celsius + 273.15
+        t_ref = REFERENCE_CELSIUS + 273.15
+        return math.exp(
+            (self.activation_energy_ev / _BOLTZMANN_EV)
+            * (1.0 / t_ref - 1.0 / t_use)
+        )
+
+    @property
+    def pi_quality(self) -> float:
+        return QUALITY_FACTORS[self.quality]
+
+    @property
+    def pi_environment(self) -> float:
+        return ENVIRONMENT_FACTORS[self.environment]
+
+    @property
+    def total_factor(self) -> float:
+        return self.pi_temperature * self.pi_quality * self.pi_environment
+
+
+def derate_entry(
+    entry: ComponentReliability, profile: OperatingProfile
+) -> ComponentReliability:
+    """One derated entry (mode distributions are condition-independent)."""
+    return ComponentReliability(
+        component_class=entry.component_class,
+        fit=entry.fit * profile.total_factor,
+        failure_modes=list(entry.failure_modes),
+    )
+
+
+def derate_model(
+    model: ReliabilityModel,
+    profile: OperatingProfile,
+    overrides: Optional[Dict[str, OperatingProfile]] = None,
+) -> ReliabilityModel:
+    """A new model with every entry derated for ``profile``.
+
+    ``overrides`` supplies per-class profiles (e.g. a component mounted on
+    a hot regulator sees a higher local temperature).
+    """
+    overrides = overrides or {}
+    derated = ReliabilityModel()
+    for entry in model.entries():
+        local = overrides.get(entry.component_class, profile)
+        derated.add(derate_entry(entry, local))
+    return derated

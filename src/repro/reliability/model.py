@@ -1,0 +1,175 @@
+"""Reliability data structures.
+
+The unit conventions match the paper: FIT is 1e-9 failures/hour; a failure
+mode's *distribution* is its share of the component's total failure rate, so
+the failure rate attributable to one mode is ``fit * distribution``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+#: Default mapping from conventional failure-mode names to SSAM natures.
+_NATURE_BY_NAME = {
+    "open": "open",
+    "short": "short",
+    "drift": "drift",
+    "jitter": "erroneous",
+    "stuck": "loss_of_function",
+    "ram failure": "loss_of_function",
+    "rom failure": "loss_of_function",
+    "cpu failure": "loss_of_function",
+    "loss of function": "loss_of_function",
+    "loss of output": "loss_of_function",
+    "crash": "loss_of_function",
+    "hang": "loss_of_function",
+    "omission": "omission",
+    "commission": "commission",
+    "lower frequency": "degraded",
+    "higher frequency": "erroneous",
+    "wrong value": "erroneous",
+    "erroneous output": "erroneous",
+    "degraded": "degraded",
+}
+
+
+def nature_for_mode_name(mode_name: str) -> str:
+    """Best-effort SSAM nature for a conventional failure-mode name."""
+    return _NATURE_BY_NAME.get(mode_name.strip().lower(), "other")
+
+
+class ReliabilityError(Exception):
+    """Raised for malformed reliability data."""
+
+
+@dataclass(frozen=True)
+class FailureModeSpec:
+    """One failure mode of a component class."""
+
+    name: str
+    distribution: float
+    nature: str = ""
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.distribution <= 1.0:
+            raise ReliabilityError(
+                f"failure mode {self.name!r}: distribution "
+                f"{self.distribution} outside [0, 1]"
+            )
+        if not self.nature:
+            object.__setattr__(self, "nature", nature_for_mode_name(self.name))
+
+    def rate(self, fit: float) -> float:
+        """Failure rate of this mode in FIT, given the component FIT."""
+        return fit * self.distribution
+
+
+@dataclass
+class ComponentReliability:
+    """Reliability data for one component class (one Table II block)."""
+
+    component_class: str
+    fit: float
+    failure_modes: List[FailureModeSpec] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.fit < 0:
+            raise ReliabilityError(
+                f"component class {self.component_class!r}: FIT must be >= 0"
+            )
+        names = [m.name for m in self.failure_modes]
+        if len(names) != len(set(names)):
+            raise ReliabilityError(
+                f"component class {self.component_class!r}: duplicate "
+                f"failure-mode names"
+            )
+
+    def total_distribution(self) -> float:
+        return sum(m.distribution for m in self.failure_modes)
+
+    def check_distribution(self, tolerance: float = 1e-6) -> None:
+        """Raise unless the mode distributions sum to 1 (within tolerance).
+
+        The paper's tables always budget the full failure rate across modes;
+        loaders call this to catch transcription errors early.
+        """
+        total = self.total_distribution()
+        if self.failure_modes and abs(total - 1.0) > tolerance:
+            raise ReliabilityError(
+                f"component class {self.component_class!r}: failure-mode "
+                f"distributions sum to {total:.4f}, expected 1.0"
+            )
+
+    def mode(self, name: str) -> FailureModeSpec:
+        for spec in self.failure_modes:
+            if spec.name == name:
+                return spec
+        raise ReliabilityError(
+            f"component class {self.component_class!r} has no failure "
+            f"mode {name!r}"
+        )
+
+
+class ReliabilityModel:
+    """A catalogue of :class:`ComponentReliability` entries by class name.
+
+    Lookup is case-insensitive and tolerant of the ``MC`` / ``MCU``
+    synonymy the paper itself exhibits (Table II says *MC*, Table III says
+    *MCU*).
+    """
+
+    _SYNONYMS = {"mc": "mcu"}
+
+    def __init__(
+        self, entries: Optional[Iterable[ComponentReliability]] = None
+    ) -> None:
+        self._entries: Dict[str, ComponentReliability] = {}
+        for entry in entries or []:
+            self.add(entry)
+
+    @classmethod
+    def _key(cls, component_class: str) -> str:
+        key = component_class.strip().lower()
+        return cls._SYNONYMS.get(key, key)
+
+    def add(self, entry: ComponentReliability) -> ComponentReliability:
+        key = self._key(entry.component_class)
+        if key in self._entries:
+            raise ReliabilityError(
+                f"duplicate reliability entry for {entry.component_class!r}"
+            )
+        self._entries[key] = entry
+        return entry
+
+    def __contains__(self, component_class: str) -> bool:
+        return self._key(component_class) in self._entries
+
+    def get(self, component_class: str) -> Optional[ComponentReliability]:
+        return self._entries.get(self._key(component_class))
+
+    def lookup(self, component_class: str) -> ComponentReliability:
+        entry = self.get(component_class)
+        if entry is None:
+            raise ReliabilityError(
+                f"no reliability data for component class {component_class!r}; "
+                f"known: {sorted(e.component_class for e in self._entries.values())}"
+            )
+        return entry
+
+    def entries(self) -> List[ComponentReliability]:
+        return list(self._entries.values())
+
+    def component_classes(self) -> List[str]:
+        return [entry.component_class for entry in self._entries.values()]
+
+    def merged_with(self, other: "ReliabilityModel") -> "ReliabilityModel":
+        """A new model where ``other``'s entries override this one's."""
+        merged = ReliabilityModel(self.entries())
+        for entry in other.entries():
+            key = self._key(entry.component_class)
+            merged._entries[key] = entry
+        return merged
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,159 @@
+"""Loaders and writers for reliability models.
+
+The table format matches the paper's Table II exactly: columns ``Component``,
+``FIT``, ``Failure_Mode``, ``Distribution``, with blank continuation cells
+for components that have several modes::
+
+    Component,FIT,Failure_Mode,Distribution
+    Diode,10,Open,30%
+    ,,Short,70%
+    Capacitor,2,Open,30%
+    ,,Short,70%
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.drivers import JsonDriver, TableDriver
+from repro.drivers.table import Sheet, Workbook
+from repro.reliability.model import (
+    ComponentReliability,
+    FailureModeSpec,
+    ReliabilityError,
+    ReliabilityModel,
+)
+
+
+def _coerce_fraction(value: Any, context: str) -> float:
+    """Accept 0.3, '30%' (already parsed by the table driver) or 30 (percent)."""
+    if value is None:
+        raise ReliabilityError(f"{context}: missing distribution")
+    number = float(value)
+    if number > 1.0:
+        number /= 100.0
+    return number
+
+
+def load_reliability_table(
+    location: Union[str, Path],
+    sheet: str = "",
+    check_distributions: bool = True,
+) -> ReliabilityModel:
+    """Load a Table II-style reliability workbook (CSV file or directory)."""
+    driver = TableDriver(location, metadata=sheet)
+    rows = driver.elements(sheet or None)
+    return reliability_from_rows(rows, check_distributions, source=str(location))
+
+
+def reliability_from_rows(
+    rows: List[Dict[str, Any]],
+    check_distributions: bool = True,
+    source: str = "<rows>",
+) -> ReliabilityModel:
+    """Build a model from Table II-style dict rows (continuation rows have a
+    blank ``Component`` cell)."""
+    model = ReliabilityModel()
+    current_class: Optional[str] = None
+    current_fit: float = 0.0
+    current_modes: List[FailureModeSpec] = []
+
+    def flush() -> None:
+        nonlocal current_modes
+        if current_class is None:
+            return
+        entry = ComponentReliability(current_class, current_fit, current_modes)
+        if check_distributions:
+            entry.check_distribution()
+        model.add(entry)
+        current_modes = []
+
+    for index, row in enumerate(rows):
+        component = row.get("Component")
+        if component not in (None, ""):
+            flush()
+            current_class = str(component)
+            fit = row.get("FIT")
+            if fit is None:
+                raise ReliabilityError(
+                    f"{source} row {index + 1}: component {component!r} has no FIT"
+                )
+            current_fit = float(fit)
+        if current_class is None:
+            raise ReliabilityError(
+                f"{source} row {index + 1}: continuation row before any component"
+            )
+        mode_name = row.get("Failure_Mode")
+        if mode_name in (None, ""):
+            continue
+        distribution = _coerce_fraction(
+            row.get("Distribution"),
+            f"{source} row {index + 1} ({current_class}/{mode_name})",
+        )
+        nature = str(row.get("Nature") or "")
+        current_modes.append(
+            FailureModeSpec(str(mode_name), distribution, nature)
+        )
+    flush()
+    if len(model) == 0:
+        raise ReliabilityError(f"{source}: no reliability entries found")
+    return model
+
+
+def save_reliability_table(
+    model: ReliabilityModel, location: Union[str, Path]
+) -> Path:
+    """Write a model back out in Table II format."""
+    sheet = Sheet(Path(location).stem or "reliability")
+    for entry in model.entries():
+        first = True
+        for mode in entry.failure_modes:
+            sheet.append(
+                {
+                    "Component": entry.component_class if first else "",
+                    "FIT": entry.fit if first else "",
+                    "Failure_Mode": mode.name,
+                    "Distribution": f"{mode.distribution * 100:g}%",
+                }
+            )
+            first = False
+        if not entry.failure_modes:
+            sheet.append(
+                {
+                    "Component": entry.component_class,
+                    "FIT": entry.fit,
+                    "Failure_Mode": "",
+                    "Distribution": "",
+                }
+            )
+    return Workbook([sheet]).save(location)
+
+
+def load_reliability_json(location: Union[str, Path]) -> ReliabilityModel:
+    """Load reliability data from JSON of the shape::
+
+        {"components": [{"class": "Diode", "fit": 10,
+                         "failure_modes": [{"name": "Open",
+                                            "distribution": 0.3,
+                                            "nature": "open"}, ...]}]}
+    """
+    driver = JsonDriver(location)
+    model = ReliabilityModel()
+    for record in driver.elements("components"):
+        modes = [
+            FailureModeSpec(
+                str(m["name"]),
+                _coerce_fraction(m.get("distribution"), str(m.get("name"))),
+                str(m.get("nature", "")),
+            )
+            for m in record.get("failure_modes", [])
+        ]
+        entry = ComponentReliability(
+            str(record["class"]), float(record["fit"]), modes
+        )
+        entry.check_distribution()
+        model.add(entry)
+    if len(model) == 0:
+        raise ReliabilityError(f"{location}: no reliability entries found")
+    return model

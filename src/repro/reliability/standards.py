@@ -1,0 +1,168 @@
+"""A built-in reliability catalogue in the spirit of MIL-HDBK-338B.
+
+The paper's Step 3 says reliability data "can be obtained through the
+component manufacturer, or from certain documents (e.g. MIL-HDBK-338B)".
+This module is the offline stand-in for those documents: representative FIT
+rates and failure-mode distributions for common electrical, electronic and
+software component classes.  Values are typical of handbook data; absolute
+accuracy is not required for the reproduction (the FMEA logic consumes the
+*structure*), and the case studies override classes where the paper gives
+exact numbers (Table II).
+"""
+
+from __future__ import annotations
+
+from repro.reliability.model import (
+    ComponentReliability,
+    FailureModeSpec,
+    ReliabilityModel,
+)
+
+_CATALOGUE = [
+    # (class, FIT, [(mode, distribution, nature), ...])
+    ("Resistor", 1, [("Open", 0.3, "open"), ("Short", 0.7, "short")]),
+    ("Capacitor", 2, [("Open", 0.3, "open"), ("Short", 0.7, "short")]),
+    ("Inductor", 15, [("Open", 0.3, "open"), ("Short", 0.7, "short")]),
+    ("Diode", 10, [("Open", 0.3, "open"), ("Short", 0.7, "short")]),
+    ("Zener", 12, [("Open", 0.25, "open"), ("Short", 0.75, "short")]),
+    ("Transistor", 20, [("Open", 0.4, "open"), ("Short", 0.6, "short")]),
+    (
+        "MCU",
+        300,
+        [("RAM Failure", 1.0, "loss_of_function")],
+    ),
+    (
+        "CPU",
+        250,
+        [
+            ("Crash", 0.6, "loss_of_function"),
+            ("Wrong Value", 0.4, "erroneous"),
+        ],
+    ),
+    (
+        "PLL",
+        50,
+        [
+            ("Lower Frequency", 0.401, "degraded"),
+            ("Higher Frequency", 0.287, "erroneous"),
+            ("Jitter", 0.312, "erroneous"),
+        ],
+    ),
+    (
+        "Oscillator",
+        30,
+        [("No Output", 0.7, "loss_of_function"), ("Drift", 0.3, "drift")],
+    ),
+    ("Connector", 5, [("Open", 0.9, "open"), ("Short", 0.1, "short")]),
+    (
+        "Fuse",
+        3,
+        [
+            ("Stuck Open", 0.7, "open"),
+            ("Fails To Blow", 0.3, "other"),
+        ],
+    ),
+    ("Relay", 25, [("Stuck Open", 0.55, "open"), ("Stuck Closed", 0.45, "short")]),
+    ("Switch", 8, [("Stuck Open", 0.6, "open"), ("Stuck Closed", 0.4, "short")]),
+    (
+        "DCSource",
+        40,
+        [("Loss of Output", 0.8, "loss_of_function"), ("Drift", 0.2, "drift")],
+    ),
+    ("DCVoltageSource", 40, [("Loss of Output", 0.8, "loss_of_function"), ("Drift", 0.2, "drift")]),
+    (
+        "CurrentSensor",
+        35,
+        [
+            ("No Reading", 0.5, "loss_of_function"),
+            ("Wrong Value", 0.5, "erroneous"),
+        ],
+    ),
+    (
+        "VoltageSensor",
+        35,
+        [
+            ("No Reading", 0.5, "loss_of_function"),
+            ("Wrong Value", 0.5, "erroneous"),
+        ],
+    ),
+    (
+        "Sensor",
+        45,
+        [
+            ("No Reading", 0.5, "loss_of_function"),
+            ("Wrong Value", 0.5, "erroneous"),
+        ],
+    ),
+    (
+        "Actuator",
+        60,
+        [
+            ("Stuck", 0.5, "loss_of_function"),
+            ("Degraded", 0.5, "degraded"),
+        ],
+    ),
+    (
+        "Motor",
+        80,
+        [
+            ("Winding Open", 0.4, "open"),
+            ("Winding Short", 0.3, "short"),
+            ("Bearing Wear", 0.3, "degraded"),
+        ],
+    ),
+    (
+        "Battery",
+        55,
+        [
+            ("No Output", 0.6, "loss_of_function"),
+            ("Degraded Capacity", 0.4, "degraded"),
+        ],
+    ),
+    (
+        "SoftwareTask",
+        100,
+        [
+            ("Crash", 0.5, "loss_of_function"),
+            ("Hang", 0.2, "loss_of_function"),
+            ("Wrong Value", 0.3, "erroneous"),
+        ],
+    ),
+    (
+        "BusController",
+        70,
+        [
+            ("Omission", 0.6, "omission"),
+            ("Commission", 0.4, "commission"),
+        ],
+    ),
+    (
+        "MemoryModule",
+        150,
+        [
+            ("Bit Flip", 0.7, "erroneous"),
+            ("Bank Failure", 0.3, "loss_of_function"),
+        ],
+    ),
+    (
+        "PowerRegulator",
+        90,
+        [
+            ("No Output", 0.5, "loss_of_function"),
+            ("Over Voltage", 0.2, "erroneous"),
+            ("Under Voltage", 0.3, "degraded"),
+        ],
+    ),
+]
+
+
+def standard_reliability_model() -> ReliabilityModel:
+    """A fresh copy of the built-in catalogue."""
+    return ReliabilityModel(
+        ComponentReliability(
+            component_class,
+            float(fit),
+            [FailureModeSpec(name, dist, nature) for name, dist, nature in modes],
+        )
+        for component_class, fit, modes in _CATALOGUE
+    )

@@ -1,0 +1,75 @@
+"""HARA — risk assessment and ASIL determination (ISO 26262 part 3).
+
+The risk graph combines Severity (S0–S3), Exposure (E0–E4) and
+Controllability (C0–C3) into an ASIL via the standard's Table 4.  SSAM
+hazard elements carry these as optional attributes (the metamodel does not
+*require* the ISO scheme, to stay generic), and :func:`determine_asil`
+evaluates a ``HazardousSituation`` directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.metamodel import ModelObject
+
+#: ISO 26262-3 Table 4: (S, E, C) -> ASIL, for S1..S3, E1..E4, C1..C3.
+#: Any class 0 parameter means QM (no ASIL assigned).
+_RISK_GRAPH: Dict[Tuple[int, int, int], str] = {}
+
+
+def _build_risk_graph() -> None:
+    # The table is additive: level = S + E + C; thresholds per ISO 26262.
+    #   sum 7 -> ASIL-A (lowest assigned), 8 -> B, 9 -> C, 10 -> D;
+    #   below 7 -> QM.
+    for s in range(1, 4):
+        for e in range(1, 5):
+            for c in range(1, 4):
+                total = s + e + c
+                if total <= 6:
+                    _RISK_GRAPH[(s, e, c)] = "QM"
+                elif total == 7:
+                    _RISK_GRAPH[(s, e, c)] = "ASIL-A"
+                elif total == 8:
+                    _RISK_GRAPH[(s, e, c)] = "ASIL-B"
+                elif total == 9:
+                    _RISK_GRAPH[(s, e, c)] = "ASIL-C"
+                else:
+                    _RISK_GRAPH[(s, e, c)] = "ASIL-D"
+
+
+_build_risk_graph()
+
+
+def risk_graph(severity: str, exposure: str, controllability: str) -> str:
+    """ASIL from S/E/C class labels (e.g. ``risk_graph('S3','E4','C3')``)."""
+    try:
+        s = int(severity[1:])
+        e = int(exposure[1:])
+        c = int(controllability[1:])
+    except (ValueError, IndexError):
+        raise ValueError(
+            f"malformed S/E/C classes: {severity!r}, {exposure!r}, "
+            f"{controllability!r}"
+        ) from None
+    if not (0 <= s <= 3 and 0 <= e <= 4 and 0 <= c <= 3):
+        raise ValueError(
+            f"S/E/C classes out of range: {severity}, {exposure}, "
+            f"{controllability}"
+        )
+    if s == 0 or e == 0 or c == 0:
+        return "QM"
+    return _RISK_GRAPH[(s, e, c)]
+
+
+def determine_asil(situation: ModelObject) -> str:
+    """ASIL of a SSAM ``HazardousSituation`` from its S/E/C attributes."""
+    if not situation.is_kind_of("HazardousSituation"):
+        raise ValueError(
+            f"expected a HazardousSituation, got {situation.metaclass.name!r}"
+        )
+    return risk_graph(
+        situation.get("severity"),
+        situation.get("exposure"),
+        situation.get("controllability"),
+    )

@@ -1,0 +1,119 @@
+"""FMEDA comparison — what changed between two DECISIVE iterations.
+
+The iterative process produces a sequence of FMEDAs; reviewers ask "what
+did this iteration actually change?".  :func:`compare_fmeda` answers with a
+row-level and metric-level delta: new/removed rows, safety-relation flips,
+mechanism changes, residual-rate movement and the SPFM/ASIL delta.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.safety.fmeda import FmedaResult, FmedaRow
+
+_Key = Tuple[str, str]
+
+
+@dataclass
+class RowDelta:
+    """One (component, failure mode) row's change."""
+
+    component: str
+    failure_mode: str
+    changes: List[str] = field(default_factory=list)
+
+
+@dataclass
+class FmedaComparison:
+    """The full delta between two FMEDAs."""
+
+    before_spfm: float
+    after_spfm: float
+    before_asil: str
+    after_asil: str
+    added_rows: List[_Key] = field(default_factory=list)
+    removed_rows: List[_Key] = field(default_factory=list)
+    changed_rows: List[RowDelta] = field(default_factory=list)
+    cost_delta: float = 0.0
+
+    @property
+    def spfm_delta(self) -> float:
+        return self.after_spfm - self.before_spfm
+
+    @property
+    def improved(self) -> bool:
+        return self.spfm_delta > 0
+
+    @property
+    def unchanged(self) -> bool:
+        return (
+            not self.added_rows
+            and not self.removed_rows
+            and not self.changed_rows
+            and abs(self.spfm_delta) < 1e-12
+        )
+
+    def summary(self) -> str:
+        lines = [
+            f"SPFM  : {self.before_spfm:.2%} -> {self.after_spfm:.2%} "
+            f"({self.spfm_delta:+.2%})",
+            f"ASIL  : {self.before_asil} -> {self.after_asil}",
+            f"cost  : {self.cost_delta:+g} h",
+        ]
+        if self.added_rows:
+            lines.append(f"added : {self.added_rows}")
+        if self.removed_rows:
+            lines.append(f"removed: {self.removed_rows}")
+        for delta in self.changed_rows:
+            lines.append(
+                f"changed {delta.component}/{delta.failure_mode}: "
+                f"{'; '.join(delta.changes)}"
+            )
+        return "\n".join(lines)
+
+
+def _index(result: FmedaResult) -> Dict[_Key, FmedaRow]:
+    return {(row.component, row.failure_mode): row for row in result.rows}
+
+
+def compare_fmeda(before: FmedaResult, after: FmedaResult) -> FmedaComparison:
+    """Row- and metric-level delta from ``before`` to ``after``."""
+    a, b = _index(before), _index(after)
+    comparison = FmedaComparison(
+        before_spfm=before.spfm,
+        after_spfm=after.spfm,
+        before_asil=before.asil,
+        after_asil=after.asil,
+        added_rows=sorted(b.keys() - a.keys()),
+        removed_rows=sorted(a.keys() - b.keys()),
+        cost_delta=after.total_cost - before.total_cost,
+    )
+    for key in sorted(a.keys() & b.keys()):
+        old, new = a[key], b[key]
+        changes: List[str] = []
+        if old.safety_related != new.safety_related:
+            changes.append(
+                f"safety-related {old.safety_related} -> {new.safety_related}"
+            )
+        if old.safety_mechanism != new.safety_mechanism:
+            changes.append(
+                f"mechanism {old.safety_mechanism or '-'} -> "
+                f"{new.safety_mechanism or '-'}"
+            )
+        if abs(old.sm_coverage - new.sm_coverage) > 1e-12:
+            changes.append(
+                f"coverage {old.sm_coverage:.0%} -> {new.sm_coverage:.0%}"
+            )
+        if abs(old.residual_rate - new.residual_rate) > 1e-9:
+            changes.append(
+                f"residual {old.residual_rate:g} -> {new.residual_rate:g} FIT"
+            )
+        if abs(old.fit - new.fit) > 1e-9:
+            changes.append(f"FIT {old.fit:g} -> {new.fit:g}")
+        if changes:
+            comparison.changed_rows.append(
+                RowDelta(key[0], key[1], changes)
+            )
+    return comparison

@@ -1,0 +1,98 @@
+"""Requirement derivation from analysis results.
+
+The paper (Section II-A): "safety requirements may be broken down into
+specific requirements based on the analysis results".  This module performs
+that breakdown automatically: every safety-related failure mode found by an
+FMEA yields a derived safety requirement — either *prevent/detect the
+failure mode* (when no mechanism covers it yet) or *implement the deployed
+mechanism with its claimed coverage* — linked to its parent requirement via
+a ``derives`` relationship and cited back to the component.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.metamodel import ModelObject
+from repro.safety.fmea import FmeaResult
+from repro.safety.mechanisms import Deployment
+from repro.ssam import SSAMModel
+from repro.ssam.base import text_of
+from repro.ssam.requirements import (
+    relate,
+    requirement_package,
+    safety_requirement,
+)
+
+
+def derive_safety_requirements(
+    model: SSAMModel,
+    fmea: FmeaResult,
+    deployments: Iterable[Deployment] = (),
+    parent: Optional[ModelObject] = None,
+    integrity_level: str = "ASIL-B",
+    package_name: str = "DerivedSafetyRequirements",
+) -> List[ModelObject]:
+    """Derive one safety requirement per safety-related failure mode.
+
+    The derived requirements are added to a new requirement package on
+    ``model``; when ``parent`` (a higher-level safety requirement) is given,
+    each derived requirement is linked to it with a ``derives``
+    relationship.  Returns the derived requirement elements.
+    """
+    coverage_by_key: Dict[tuple, Deployment] = {
+        (d.component, d.failure_mode): d for d in deployments
+    }
+    package = requirement_package(package_name)
+    components_by_name = {
+        (text_of(c) or c.get("id")): c
+        for c in model.elements_of_kind("Component")
+    }
+    derived: List[ModelObject] = []
+    for index, row in enumerate(fmea.safety_related_rows(), start=1):
+        deployment = coverage_by_key.get((row.component, row.failure_mode))
+        identifier = f"DSR-{index}"
+        if deployment is None:
+            text = (
+                f"The design shall prevent or detect the failure mode "
+                f"'{row.failure_mode}' of component '{row.component}' "
+                f"({row.mode_rate:g} FIT), which is a single point of "
+                f"failure."
+            )
+        else:
+            text = (
+                f"Component '{row.component}' shall implement "
+                f"'{deployment.mechanism}' with at least "
+                f"{deployment.coverage:.0%} diagnostic coverage of the "
+                f"failure mode '{row.failure_mode}'."
+            )
+        requirement = safety_requirement(
+            identifier, text, integrity_level=integrity_level
+        )
+        component = components_by_name.get(row.component)
+        if component is not None:
+            requirement.add("cites", component)
+        package.add("elements", requirement)
+        if parent is not None:
+            package.add("elements", relate(requirement, parent, "derives"))
+        derived.append(requirement)
+    model.add_requirement_package(package)
+    return derived
+
+
+def allocate_requirements_to_components(model: SSAMModel) -> Dict[str, List[str]]:
+    """Allocation view: component name -> requirements citing it.
+
+    This is the "allocation to functions and components" a safety concept
+    must contain (Section II-A).
+    """
+    allocation: Dict[str, List[str]] = {}
+    for requirement in model.elements_of_kind("Requirement"):
+        for cited in requirement.get("cites"):
+            if not cited.is_kind_of("Component"):
+                continue
+            name = text_of(cited) or cited.get("id")
+            allocation.setdefault(name, []).append(
+                text_of(requirement) or requirement.get("id")
+            )
+    return allocation

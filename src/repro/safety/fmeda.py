@@ -1,0 +1,126 @@
+"""FMEDA — Failure Modes, Effects and Diagnostic Analysis (Step 5 of FMEA).
+
+Takes an FMEA result plus deployed safety mechanisms and produces the
+Table IV-style FMEDA: per (component, failure mode) the safety relation,
+distribution, deployed mechanism, its coverage, and per component the
+residual single-point failure rate; plus the architecture metrics (SPFM)
+and the achieved ASIL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.safety.fmea import FmeaResult
+from repro.safety.mechanisms import Deployment
+from repro.safety.metrics import asil_from_spfm, single_point_rates, spfm
+
+
+@dataclass
+class FmedaRow:
+    """One FMEDA line (Table IV schema)."""
+
+    component: str
+    fit: float
+    safety_related: bool
+    failure_mode: str
+    distribution: float
+    safety_mechanism: str = ""
+    sm_coverage: float = 0.0
+    residual_rate: float = 0.0  # FIT contributed to single point faults
+
+    @property
+    def mode_rate(self) -> float:
+        return self.fit * self.distribution
+
+
+@dataclass
+class FmedaResult:
+    """Complete FMEDA: rows, metrics and achieved integrity level."""
+
+    system: str
+    rows: List[FmedaRow] = field(default_factory=list)
+    deployments: List[Deployment] = field(default_factory=list)
+    spfm: float = 0.0
+    asil: str = "QM"
+    total_cost: float = 0.0
+
+    def rows_for(self, component: str) -> List[FmedaRow]:
+        return [row for row in self.rows if row.component == component]
+
+    def safety_related_components(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for row in self.rows:
+            if row.safety_related:
+                seen.setdefault(row.component)
+        return list(seen)
+
+    def single_point_rate(self, component: str) -> float:
+        """Residual single-point failure rate of one component, in FIT."""
+        return sum(
+            row.residual_rate for row in self.rows_for(component)
+        )
+
+    def meets(self, asil: str) -> bool:
+        from repro.safety.metrics import spfm_meets
+
+        return spfm_meets(self.spfm, asil)
+
+
+def run_fmeda(
+    fmea: FmeaResult,
+    deployments: Iterable[Deployment] = (),
+) -> FmedaResult:
+    """Derive the FMEDA from an FMEA result and a set of deployments.
+
+    Deployments that reference (component, failure mode) pairs absent from
+    the FMEA are ignored — enumerating hypothetical mechanisms over a
+    catalogue is exactly how Step 4b explores designs, so unused catalogue
+    entries are not an error.
+    """
+    deployments = list(deployments)
+    names_by_key: Dict[Tuple[str, str], List[str]] = {}
+    residual_by_key: Dict[Tuple[str, str], float] = {}
+    applied: List[Deployment] = []
+    fmea_keys = {(row.component, row.failure_mode) for row in fmea.rows}
+    for deployment in deployments:
+        key = (deployment.component, deployment.failure_mode)
+        if key not in fmea_keys:
+            continue
+        applied.append(deployment)
+        names_by_key.setdefault(key, []).append(deployment.mechanism)
+        residual_by_key[key] = residual_by_key.get(key, 1.0) * (
+            1.0 - deployment.coverage
+        )
+
+    result = FmedaResult(system=fmea.system, deployments=applied)
+    residuals = single_point_rates(fmea, applied)
+    # Track how much of each component's residual is attributed per row.
+    for row in fmea.rows:
+        key = (row.component, row.failure_mode)
+        coverage = 1.0 - residual_by_key.get(key, 1.0)
+        residual = row.mode_rate * (1.0 - coverage) if row.safety_related else 0.0
+        result.rows.append(
+            FmedaRow(
+                component=row.component,
+                fit=row.fit,
+                safety_related=row.safety_related,
+                failure_mode=row.failure_mode,
+                distribution=row.distribution,
+                safety_mechanism="+".join(names_by_key.get(key, [])),
+                sm_coverage=coverage,
+                residual_rate=residual,
+            )
+        )
+    result.spfm = spfm(fmea, applied)
+    result.asil = asil_from_spfm(result.spfm)
+    result.total_cost = sum(d.cost for d in applied)
+    # Consistency: per-row residuals must reproduce the metric's rates.
+    for component, expected in residuals.items():
+        actual = result.single_point_rate(component)
+        assert abs(actual - expected) < 1e-9, (
+            f"residual bookkeeping diverged for {component}: "
+            f"{actual} != {expected}"
+        )
+    return result

@@ -1,0 +1,208 @@
+"""Algorithm 1 — graph-based single-point-failure determination for SSAM.
+
+The paper's Algorithm 1, for a composite ``Component`` under analysis:
+
+1. collect all possible paths between the input and the output boundary of
+   the composite (we build a digraph whose nodes are the subcomponents;
+   relationships whose source is the composite itself anchor the virtual
+   input, relationships whose target is the composite anchor the output);
+2. for each subcomponent and each of its failure modes: if the mode's
+   nature is *loss of function or similar* (``PATH_BREAKING_NATURES``) and
+   the subcomponent lies on **all** input→output paths, the mode is a
+   single-point failure and is marked safety-related;
+3. failure modes of other natures receive a warning (line 11 of the
+   algorithm) — the static path argument cannot classify them;
+4. the algorithm recurses into composite subcomponents (line 14).
+
+Two refinements from the paper's tool description are honoured:
+
+- a failure mode's ``affectedComponents`` citations widen the check: the
+  mode is a single point failure if *any* affected component (or the owner)
+  blocks every path;
+- a redundant ``Function`` tolerance (1oo2/1oo3/2oo3) on a subcomponent
+  exempts it: a replicated function is by definition not single-point.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set
+
+import networkx as nx
+
+from repro.metamodel import ModelObject
+from repro.reliability import ReliabilityModel
+from repro.ssam.architecture import PATH_BREAKING_NATURES
+from repro.ssam.base import text_of
+from repro.safety.fmea import FmeaError, FmeaResult, FmeaRow
+
+#: Path enumeration cap: systems with massive parallelism would otherwise
+#: blow up ``all_simple_paths``; beyond the cap we fall back to the
+#: equivalent (and exact) dominator-based cut check.
+_MAX_PATHS = 10000
+
+
+def _component_graph(composite: ModelObject) -> nx.DiGraph:
+    graph = nx.DiGraph()
+    graph.add_node("__IN__")
+    graph.add_node("__OUT__")
+    for sub in composite.get("subcomponents"):
+        graph.add_node(sub.uid)
+    for rel in composite.get("relationships"):
+        source = rel.get("source")
+        target = rel.get("target")
+        src_key = "__IN__" if source is composite else source.uid
+        dst_key = "__OUT__" if target is composite else target.uid
+        if src_key == "__IN__" and dst_key == "__OUT__":
+            continue
+        graph.add_edge(src_key, dst_key)
+    return graph
+
+
+def _on_all_paths(graph: nx.DiGraph, candidates: Set[str]) -> bool:
+    """True if removing ``candidates`` disconnects __IN__ from __OUT__.
+
+    For a singleton candidate this is exactly "c exists in all paths"; for a
+    candidate *set* (the owner plus its cited ``affectedComponents``, which
+    the failure takes down together) it is the joint-cut criterion — the
+    physically correct reading: the mode is single-point when the combined
+    outage breaks every path.
+    """
+    if not nx.has_path(graph, "__IN__", "__OUT__"):
+        return False
+    pruned = graph.copy()
+    pruned.remove_nodes_from(candidates - {"__IN__", "__OUT__"})
+    return not (
+        pruned.has_node("__IN__")
+        and pruned.has_node("__OUT__")
+        and nx.has_path(pruned, "__IN__", "__OUT__")
+    )
+
+
+def _path_intersection(graph: nx.DiGraph) -> Optional[Set[str]]:
+    """Nodes common to *all* __IN__→__OUT__ paths, or ``None`` when path
+    enumeration exceeds the cap (callers then fall back to cut checks).
+
+    Computed once per composite, this makes the dominant singleton-candidate
+    case O(1) per failure mode instead of one graph copy each.
+    """
+    intersection: Optional[Set[str]] = None
+    for index, path in enumerate(nx.all_simple_paths(graph, "__IN__", "__OUT__")):
+        if index >= _MAX_PATHS:
+            return None
+        nodes = set(path) - {"__IN__", "__OUT__"}
+        intersection = nodes if intersection is None else intersection & nodes
+        if not intersection:
+            return set()
+    return intersection if intersection is not None else set()
+
+
+def _has_redundant_function(component: ModelObject) -> bool:
+    return any(
+        func.get("tolerance") != "1oo1" for func in component.get("functions")
+    )
+
+
+def _component_fit(component: ModelObject, reliability: Optional[ReliabilityModel]) -> float:
+    fit = component.get("fit") or 0.0
+    if fit == 0.0 and reliability is not None:
+        entry = reliability.get(component.get("componentClass") or text_of(component))
+        if entry is not None:
+            fit = entry.fit
+    return float(fit)
+
+
+def _analyze_level(
+    composite: ModelObject,
+    reliability: Optional[ReliabilityModel],
+    result: FmeaResult,
+    mark_model: bool,
+) -> None:
+    subcomponents = composite.get("subcomponents")
+    if not subcomponents:
+        return
+    graph = _component_graph(composite)
+    has_boundary = graph.out_degree("__IN__") > 0 and graph.in_degree("__OUT__") > 0
+    intersection = _path_intersection(graph) if has_boundary else set()
+
+    for sub in subcomponents:
+        name = text_of(sub) or sub.get("id")
+        fit = _component_fit(sub, reliability)
+        modes = list(sub.get("failureModes"))
+        if not modes and reliability is not None:
+            entry = reliability.get(sub.get("componentClass") or name)
+            if entry is None and not sub.get("subcomponents"):
+                result.uncovered.append(name)
+        redundant = _has_redundant_function(sub)
+        for mode in modes:
+            row = FmeaRow(
+                component=name,
+                component_class=sub.get("componentClass") or name,
+                fit=fit,
+                failure_mode=text_of(mode) or mode.get("id"),
+                nature=mode.get("nature"),
+                distribution=float(mode.get("distribution") or 0.0),
+            )
+            if mode.get("nature") in PATH_BREAKING_NATURES:
+                if not has_boundary:
+                    row.warning = (
+                        "composite has no input/output boundary relationships; "
+                        "path analysis skipped"
+                    )
+                elif redundant:
+                    row.effect = "function is redundant (tolerance != 1oo1)"
+                else:
+                    candidates = {sub.uid}
+                    for affected in mode.get("affectedComponents"):
+                        candidates.add(affected.uid)
+                    if len(candidates) == 1 and intersection is not None:
+                        single_point = sub.uid in intersection
+                    else:
+                        single_point = _on_all_paths(graph, candidates)
+                    if single_point:
+                        row.safety_related = True
+                        row.impact = "DVF"
+                        row.effect = (
+                            "component lies on all input-output paths; "
+                            "loss of function breaks every path"
+                        )
+                        if mark_model:
+                            mode.set("safetyRelated", True)
+                            sub.set("safetyRelated", True)
+                    else:
+                        row.effect = "alternative paths exist"
+            else:
+                row.warning = (
+                    f"nature {mode.get('nature')!r} is not loss-of-function-"
+                    f"like; static path analysis cannot classify it"
+                )
+            result.rows.append(row)
+        # Line 14: repeat this algorithm for c.
+        _analyze_level(sub, reliability, result, mark_model)
+
+
+def run_ssam_fmea(
+    composite: ModelObject,
+    reliability: Optional[ReliabilityModel] = None,
+    mark_model: bool = True,
+) -> FmeaResult:
+    """Run Algorithm 1 on a composite SSAM ``Component``.
+
+    When ``mark_model`` is set, safety-related flags are written back into
+    the SSAM model (``FailureMode.safetyRelated`` / ``Component.safetyRelated``),
+    which is what SAME's context-menu FMEA does.
+    """
+    if not composite.is_kind_of("Component"):
+        raise FmeaError(
+            f"expected a Component, got {composite.metaclass.name!r}"
+        )
+    result = FmeaResult(
+        system=text_of(composite) or composite.get("id"),
+        method="graph",
+    )
+    _analyze_level(composite, reliability, result, mark_model)
+    if not result.rows:
+        raise FmeaError(
+            f"component {result.system!r} has no subcomponent failure modes "
+            f"to analyse"
+        )
+    return result

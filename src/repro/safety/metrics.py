@@ -1,0 +1,191 @@
+"""Architectural metrics — SPFM (Eq. 1), LFM, and ISO 26262 ASIL targets.
+
+The Single Point Fault Metric over the safety-related hardware (Eq. 1)::
+
+    SPFM = 1 - sum_{SR_HW}(lambda_SPF) / sum_{SR_HW}(lambda)
+
+where the sums range over *safety-related* components (a component is
+safety-related when at least one of its failure modes is), ``lambda`` is a
+component's total failure rate and ``lambda_SPF`` the failure rate of its
+failure modes that cause single point faults, *after* diagnostic coverage.
+
+Convention note (documented in DESIGN.md): the paper counts a component's
+safety-related failure-mode rate fully in the numerator when uncovered —
+Table IV's 5.38 % comes from (3 + 4.5 + 300) / (10 + 15 + 300) and the
+96.77 % from (3 + 4.5 + 3) / 325 after ECC at 99 % on MC1.  This module
+reproduces exactly that convention.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.safety.fmea import FmeaError, FmeaResult
+from repro.safety.mechanisms import Deployment
+
+#: Minimum SPFM per ASIL (ISO 26262 part 5, Table 4).  ASIL-A has no
+#: hardware-architectural-metric requirement; QM none at all.
+ASIL_SPFM_TARGETS: Dict[str, float] = {
+    "QM": 0.0,
+    "ASIL-A": 0.0,
+    "ASIL-B": 0.90,
+    "ASIL-C": 0.97,
+    "ASIL-D": 0.99,
+}
+
+#: Minimum Latent Fault Metric per ASIL (ISO 26262 part 5, Table 5).
+ASIL_LFM_TARGETS: Dict[str, float] = {
+    "QM": 0.0,
+    "ASIL-A": 0.0,
+    "ASIL-B": 0.60,
+    "ASIL-C": 0.80,
+    "ASIL-D": 0.90,
+}
+
+_ASIL_ORDER = ["QM", "ASIL-A", "ASIL-B", "ASIL-C", "ASIL-D"]
+
+
+def _coverage_map(
+    deployments: Iterable[Deployment],
+) -> Dict[Tuple[str, str], float]:
+    """(component, failure mode) -> combined diagnostic coverage.
+
+    Multiple mechanisms on the same mode combine as independent diagnostics:
+    residual = product of (1 - coverage_i).
+    """
+    residual: Dict[Tuple[str, str], float] = {}
+    for deployment in deployments:
+        key = (deployment.component, deployment.failure_mode)
+        residual[key] = residual.get(key, 1.0) * (1.0 - deployment.coverage)
+    return {key: 1.0 - value for key, value in residual.items()}
+
+
+def single_point_rates(
+    fmea: FmeaResult,
+    deployments: Iterable[Deployment] = (),
+) -> Dict[str, float]:
+    """Residual single-point failure rate (FIT) per safety-related component.
+
+    These are Table IV's ``Single_Point_Failure_Rate`` values: for each
+    safety-related component, the sum over its safety-related failure modes
+    of ``fit * distribution * (1 - coverage)``.
+    """
+    coverage = _coverage_map(deployments)
+    rates: Dict[str, float] = {}
+    for row in fmea.rows:
+        if not row.safety_related:
+            continue
+        covered = coverage.get((row.component, row.failure_mode), 0.0)
+        rates[row.component] = rates.get(row.component, 0.0) + (
+            row.mode_rate * (1.0 - covered)
+        )
+    return rates
+
+
+def spfm(
+    fmea: FmeaResult,
+    deployments: Iterable[Deployment] = (),
+) -> float:
+    """Single Point Fault Metric (Eq. 1) over the safety-related hardware."""
+    sr_components = fmea.safety_related_components()
+    if not sr_components:
+        # No single point faults at all: the metric is vacuously perfect.
+        return 1.0
+    lambda_spf = sum(single_point_rates(fmea, deployments).values())
+    lambda_total = sum(fmea.component_fit(c) for c in sr_components)
+    if lambda_total <= 0:
+        raise FmeaError(
+            "total failure rate of safety-related components is zero; "
+            "did the FMEA rows carry FIT data?"
+        )
+    return 1.0 - lambda_spf / lambda_total
+
+
+def spfm_meets(value: float, asil: str) -> bool:
+    """Whether an SPFM value meets the target for ``asil``."""
+    try:
+        return value >= ASIL_SPFM_TARGETS[asil]
+    except KeyError:
+        raise ValueError(
+            f"unknown ASIL {asil!r}; expected one of {_ASIL_ORDER}"
+        ) from None
+
+
+def asil_from_spfm(value: float) -> str:
+    """The most stringent ASIL whose SPFM target ``value`` meets."""
+    achieved = "QM"
+    for asil in _ASIL_ORDER:
+        if value >= ASIL_SPFM_TARGETS[asil]:
+            achieved = asil
+    return achieved
+
+
+#: Maximum PMHF per ASIL (ISO 26262 part 5, Table 6), in failures/hour.
+ASIL_PMHF_TARGETS: Dict[str, float] = {
+    "ASIL-B": 1e-7,
+    "ASIL-C": 1e-7,
+    "ASIL-D": 1e-8,
+}
+
+
+def pmhf(
+    fmea: FmeaResult,
+    deployments: Iterable[Deployment] = (),
+) -> float:
+    """Probabilistic Metric for random Hardware Failures, in failures/hour.
+
+    The single-point-dominated approximation of ISO 26262-5: the residual
+    single-point failure rate of the safety-related hardware, converted
+    from FIT (1e-9 f/h).  Dual-point contributions are second-order and
+    neglected, which is conservative only when latent coverage is high —
+    the LFM tracks that side.
+    """
+    residual_fit = sum(single_point_rates(fmea, deployments).values())
+    return residual_fit * 1e-9
+
+
+def pmhf_meets(value: float, asil: str) -> bool:
+    """Whether a PMHF value meets the target for ``asil`` (levels without
+    a PMHF requirement always pass)."""
+    target = ASIL_PMHF_TARGETS.get(asil)
+    if target is None:
+        if asil not in _ASIL_ORDER:
+            raise ValueError(
+                f"unknown ASIL {asil!r}; expected one of {_ASIL_ORDER}"
+            )
+        return True
+    return value <= target
+
+
+def latent_fault_metric(
+    fmea: FmeaResult,
+    deployments: Iterable[Deployment] = (),
+) -> float:
+    """Latent Fault Metric (extension beyond the paper's SPFM).
+
+    Residual-fault shares diagnosed by a mechanism are *detected*; the LFM
+    measures how much of the remaining (non-single-point) failure rate is
+    covered against latency.  With no deployments the non-safety-related
+    share is considered latent-safe by construction (perceived faults),
+    matching the conservative reading of ISO 26262 part 5 Annex C.
+    """
+    coverage = _coverage_map(deployments)
+    sr_components = set(fmea.safety_related_components())
+    if not sr_components:
+        return 1.0
+    latent = 0.0
+    total = 0.0
+    for row in fmea.rows:
+        if row.component not in sr_components:
+            continue
+        covered = coverage.get((row.component, row.failure_mode), 0.0)
+        if row.safety_related:
+            # Residual single-point share is counted by SPFM, not LFM;
+            # the covered share could still be latent if undetected at
+            # runtime — mechanisms are diagnostics, so covered == detected.
+            continue
+        total += row.mode_rate
+        latent += row.mode_rate * (1.0 - covered)
+    if total <= 0:
+        return 1.0
+    return 1.0 - latent / total

@@ -1,0 +1,184 @@
+"""Automated safety-mechanism deployment search (DECISIVE Step 4b).
+
+Given an FMEA result and a safety-mechanism catalogue, the optimiser answers
+the questions the paper automates: *which mechanisms, on which components,
+reach the target ASIL at the lowest cost?* and *what is the Pareto front of
+viable (cost, SPFM) trade-offs?*
+
+Strategies:
+
+- :func:`enumerate_plans` — exhaustive enumeration over per-failure-mode
+  options (bounded; raises when the space is too large);
+- :func:`greedy_plan` — iteratively deploy the mechanism with the best
+  SPFM-gain-per-cost until the target is met;
+- :func:`search_for_target` — exhaustive when feasible, greedy fallback;
+- :func:`pareto_front` — non-dominated (cost, SPFM) plans.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.safety.fmea import FmeaResult, FmeaRow
+from repro.safety.mechanisms import Deployment, SafetyMechanismModel
+from repro.safety.metrics import asil_from_spfm, spfm, spfm_meets
+
+#: Exhaustive enumeration cap (number of candidate plans).
+_MAX_ENUMERATION = 200_000
+
+
+@dataclass(frozen=True)
+class DeploymentPlan:
+    """An evaluated set of deployments."""
+
+    deployments: Tuple[Deployment, ...]
+    spfm: float
+    cost: float
+
+    @property
+    def asil(self) -> str:
+        return asil_from_spfm(self.spfm)
+
+    def meets(self, target_asil: str) -> bool:
+        return spfm_meets(self.spfm, target_asil)
+
+
+def _options_per_row(
+    fmea: FmeaResult, catalogue: SafetyMechanismModel
+) -> List[Tuple[FmeaRow, List[Optional[Deployment]]]]:
+    """For each safety-related row: [None (no mechanism), option1, ...]."""
+    out: List[Tuple[FmeaRow, List[Optional[Deployment]]]] = []
+    for row in fmea.safety_related_rows():
+        options: List[Optional[Deployment]] = [None]
+        for spec in catalogue.options_for(row.component_class, row.failure_mode):
+            options.append(
+                Deployment(
+                    component=row.component,
+                    failure_mode=row.failure_mode,
+                    mechanism=spec.name,
+                    coverage=spec.coverage,
+                    cost=spec.cost,
+                )
+            )
+        out.append((row, options))
+    return out
+
+
+def evaluate(fmea: FmeaResult, deployments: Sequence[Deployment]) -> DeploymentPlan:
+    """Score one deployment set."""
+    return DeploymentPlan(
+        deployments=tuple(deployments),
+        spfm=spfm(fmea, deployments),
+        cost=sum(d.cost for d in deployments),
+    )
+
+
+def enumerate_plans(
+    fmea: FmeaResult,
+    catalogue: SafetyMechanismModel,
+    max_plans: int = _MAX_ENUMERATION,
+) -> List[DeploymentPlan]:
+    """All plans over the per-failure-mode option sets (bounded)."""
+    per_row = _options_per_row(fmea, catalogue)
+    space = 1
+    for _, options in per_row:
+        space *= len(options)
+    if space > max_plans:
+        raise ValueError(
+            f"deployment space has {space} plans (> {max_plans}); "
+            f"use greedy_plan or pareto_front instead"
+        )
+    plans: List[DeploymentPlan] = []
+    option_lists = [options for _, options in per_row]
+    for combo in itertools.product(*option_lists):
+        chosen = [d for d in combo if d is not None]
+        plans.append(evaluate(fmea, chosen))
+    return plans
+
+
+def greedy_plan(
+    fmea: FmeaResult,
+    catalogue: SafetyMechanismModel,
+    target_asil: str,
+) -> Optional[DeploymentPlan]:
+    """Deploy best SPFM-gain-per-cost mechanisms until the target is met.
+
+    Returns ``None`` when the catalogue cannot reach the target.
+    """
+    per_row = _options_per_row(fmea, catalogue)
+    chosen: Dict[Tuple[str, str], Deployment] = {}
+
+    def current_plan() -> DeploymentPlan:
+        return evaluate(fmea, list(chosen.values()))
+
+    plan = current_plan()
+    while not plan.meets(target_asil):
+        best_gain_rate = 0.0
+        best_deployment: Optional[Deployment] = None
+        for row, options in per_row:
+            key = (row.component, row.failure_mode)
+            incumbent = chosen.get(key)
+            for option in options:
+                if option is None:
+                    continue
+                if incumbent is not None and option.coverage <= incumbent.coverage:
+                    continue
+                trial = dict(chosen)
+                trial[key] = option
+                trial_spfm = spfm(fmea, list(trial.values()))
+                gain = trial_spfm - plan.spfm
+                extra_cost = option.cost - (incumbent.cost if incumbent else 0.0)
+                rate = gain / extra_cost if extra_cost > 0 else gain * 1e9
+                if gain > 1e-12 and rate > best_gain_rate:
+                    best_gain_rate = rate
+                    best_deployment = option
+        if best_deployment is None:
+            return None  # no improving move left
+        chosen[(best_deployment.component, best_deployment.failure_mode)] = (
+            best_deployment
+        )
+        plan = current_plan()
+    return plan
+
+
+def search_for_target(
+    fmea: FmeaResult,
+    catalogue: SafetyMechanismModel,
+    target_asil: str,
+    max_exhaustive: int = 20_000,
+) -> Optional[DeploymentPlan]:
+    """Minimal-cost plan meeting ``target_asil``.
+
+    Exhaustive (optimal) when the option space is small; greedy otherwise.
+    Returns ``None`` when the target cannot be met with the catalogue.
+    """
+    try:
+        plans = enumerate_plans(fmea, catalogue, max_plans=max_exhaustive)
+    except ValueError:
+        return greedy_plan(fmea, catalogue, target_asil)
+    feasible = [plan for plan in plans if plan.meets(target_asil)]
+    if not feasible:
+        return None
+    return min(feasible, key=lambda plan: (plan.cost, -plan.spfm))
+
+
+def pareto_front(
+    fmea: FmeaResult,
+    catalogue: SafetyMechanismModel,
+    max_plans: int = _MAX_ENUMERATION,
+) -> List[DeploymentPlan]:
+    """Non-dominated plans: no other plan has lower cost *and* higher SPFM.
+
+    Sorted by increasing cost (hence increasing SPFM).
+    """
+    plans = enumerate_plans(fmea, catalogue, max_plans=max_plans)
+    plans.sort(key=lambda plan: (plan.cost, -plan.spfm))
+    front: List[DeploymentPlan] = []
+    best_spfm = -1.0
+    for plan in plans:
+        if plan.spfm > best_spfm + 1e-12:
+            front.append(plan)
+            best_spfm = plan.spfm
+    return front

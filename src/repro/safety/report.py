@@ -1,0 +1,115 @@
+"""FMEA / FMEDA table rendering.
+
+SAME "always produces an Excel-based FMEA table"; these functions produce
+the offline equivalents: :class:`~repro.drivers.table.Sheet` objects (saved
+as CSV workbooks) and aligned text tables in Table IV's column layout.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Union
+
+from repro.drivers.table import Sheet, Workbook
+from repro.safety.fmea import FmeaResult
+from repro.safety.fmeda import FmedaResult
+
+
+def fmea_to_sheet(result: FmeaResult, sheet_name: str = "FMEA") -> Sheet:
+    sheet = Sheet(sheet_name)
+    for row in result.rows:
+        sheet.append(
+            {
+                "Component": row.component,
+                "FIT": row.fit,
+                "Safety_Related": row.safety_related,
+                "Failure_Mode": row.failure_mode,
+                "Nature": row.nature,
+                "Distribution": f"{row.distribution * 100:g}%",
+                "Effect": row.effect,
+                "Impact": row.impact,
+                "Warning": row.warning,
+            }
+        )
+    return sheet
+
+
+def fmeda_to_sheet(result: FmedaResult, sheet_name: str = "FMEDA") -> Sheet:
+    """Table IV's exact schema, one row per (component, failure mode)."""
+    sheet = Sheet(sheet_name)
+    seen_components = set()
+    for row in result.rows:
+        first = row.component not in seen_components
+        seen_components.add(row.component)
+        sheet.append(
+            {
+                "Component": row.component if first else "",
+                "FIT": row.fit if first else "",
+                "Safety_Related": "Yes" if row.safety_related else "No",
+                "Failure_Mode": row.failure_mode,
+                "Distribution": f"{row.distribution * 100:g}%",
+                "Safety_Mechanism": row.safety_mechanism or "No SM",
+                "SM_Coverage": (
+                    f"{row.sm_coverage * 100:g}%" if row.sm_coverage else ""
+                ),
+                "Single_Point_Failure_Rate": (
+                    f"{row.residual_rate:g} FIT" if row.safety_related else ""
+                ),
+            }
+        )
+    return sheet
+
+
+def save_fmea_workbook(
+    result: FmeaResult, location: Union[str, Path]
+) -> Path:
+    return Workbook([fmea_to_sheet(result)]).save(location)
+
+
+def save_fmeda_workbook(
+    result: FmedaResult, location: Union[str, Path]
+) -> Path:
+    sheet = fmeda_to_sheet(result)
+    summary = Sheet("Summary")
+    summary.append(
+        {
+            "System": result.system,
+            "SPFM": f"{result.spfm * 100:.2f}%",
+            "ASIL": result.asil,
+            "Total_SM_Cost": result.total_cost,
+        }
+    )
+    path = Path(location)
+    if path.suffix == ".csv":
+        sheet.write_csv(path)
+        return path
+    return Workbook([sheet, summary]).save(location)
+
+
+def render_text_table(sheet: Sheet) -> str:
+    """Align a sheet as a monospaced text table."""
+    header = sheet.header
+    rows: List[List[str]] = [
+        [_cell_text(row.get(col)) for col in header] for row in sheet.rows
+    ]
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in rows)) if rows else len(header[i])
+        for i in range(len(header))
+    ]
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(header, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _cell_text(value: object) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, bool):
+        return "Yes" if value else "No"
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)

@@ -1,0 +1,149 @@
+"""The safety summary report — one markdown document per DECISIVE campaign.
+
+Certification packages want one narrative artefact tying everything
+together; :func:`write_safety_report` renders it from the campaign's
+objects: the hazard/requirement context, the FMEDA table, the
+architectural metrics against their targets, the deployed mechanisms with
+costs, and (optionally) the Monte-Carlo robustness of the verdict.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.safety.fmeda import FmedaResult
+from repro.safety.metrics import ASIL_PMHF_TARGETS, ASIL_SPFM_TARGETS
+from repro.safety.uncertainty import UncertaintyResult
+
+
+def _fmeda_markdown_table(fmeda: FmedaResult) -> str:
+    header = (
+        "| Component | FIT | SR | Failure mode | Dist | Mechanism | "
+        "Coverage | Residual |\n"
+        "|---|---|---|---|---|---|---|---|"
+    )
+    lines = [header]
+    seen = set()
+    for row in fmeda.rows:
+        first = row.component not in seen
+        seen.add(row.component)
+        lines.append(
+            "| {component} | {fit} | {sr} | {mode} | {dist:.0%} | "
+            "{mechanism} | {coverage} | {residual} |".format(
+                component=row.component if first else "",
+                fit=f"{row.fit:g}" if first else "",
+                sr="yes" if row.safety_related else "no",
+                mode=row.failure_mode,
+                dist=row.distribution,
+                mechanism=row.safety_mechanism or "-",
+                coverage=f"{row.sm_coverage:.0%}" if row.sm_coverage else "-",
+                residual=(
+                    f"{row.residual_rate:g} FIT" if row.safety_related else "-"
+                ),
+            )
+        )
+    return "\n".join(lines)
+
+
+def render_safety_report(
+    fmeda: FmedaResult,
+    target_asil: str = "ASIL-B",
+    hazards: Optional[list] = None,
+    requirements: Optional[list] = None,
+    uncertainty: Optional[UncertaintyResult] = None,
+) -> str:
+    """The report as markdown text."""
+    spfm_target = ASIL_SPFM_TARGETS.get(target_asil, 0.0)
+    meets_spfm = fmeda.spfm >= spfm_target
+    lines = [
+        f"# Safety summary — {fmeda.system}",
+        "",
+        f"Target integrity level: **{target_asil}**",
+        "",
+        "## Context",
+        "",
+        f"- hazards under consideration: "
+        f"{', '.join(hazards) if hazards else '-'}",
+        f"- top-level safety requirements: "
+        f"{', '.join(requirements) if requirements else '-'}",
+        "",
+        "## Architectural metrics",
+        "",
+        f"| Metric | Value | Target ({target_asil}) | Verdict |",
+        "|---|---|---|---|",
+        f"| SPFM | {fmeda.spfm:.2%} | >= {spfm_target:.0%} | "
+        f"{'PASS' if meets_spfm else 'FAIL'} |",
+    ]
+    pmhf_target = ASIL_PMHF_TARGETS.get(target_asil)
+    if fmeda.rows:
+        # PMHF from the FMEDA's own rows (residuals already folded in).
+        residual = sum(
+            row.residual_rate for row in fmeda.rows if row.safety_related
+        )
+        pmhf_value = residual * 1e-9
+        verdict = (
+            "PASS"
+            if (pmhf_target is None or pmhf_value <= pmhf_target)
+            else "FAIL"
+        )
+        target_text = (
+            f"<= {pmhf_target:.0e}/h" if pmhf_target is not None else "n/a"
+        )
+        lines.append(
+            f"| PMHF | {pmhf_value:.2e}/h | {target_text} | {verdict} |"
+        )
+    lines += [
+        "",
+        f"Achieved integrity level: **{fmeda.asil}**",
+        "",
+        "## Deployed safety mechanisms",
+        "",
+    ]
+    if fmeda.deployments:
+        lines.append("| Component | Failure mode | Mechanism | Coverage | Cost |")
+        lines.append("|---|---|---|---|---|")
+        for deployment in fmeda.deployments:
+            lines.append(
+                f"| {deployment.component} | {deployment.failure_mode} | "
+                f"{deployment.mechanism} | {deployment.coverage:.0%} | "
+                f"{deployment.cost:g} h |"
+            )
+        lines.append("")
+        lines.append(f"Total mechanism cost: **{fmeda.total_cost:g} h**")
+    else:
+        lines.append("None deployed.")
+    lines += ["", "## FMEDA", "", _fmeda_markdown_table(fmeda)]
+    if uncertainty is not None:
+        low, high = uncertainty.interval(0.90)
+        lines += [
+            "",
+            "## Verdict robustness (Monte Carlo)",
+            "",
+            f"- SPFM mean {uncertainty.mean:.2%}, "
+            f"90 % interval [{low:.2%}, {high:.2%}]",
+            f"- probability the {uncertainty.target_asil} verdict holds "
+            f"under data uncertainty: **{uncertainty.confidence:.0%}**",
+        ]
+    lines.append("")
+    return "\n".join(lines)
+
+
+def write_safety_report(
+    location: Union[str, Path],
+    fmeda: FmedaResult,
+    target_asil: str = "ASIL-B",
+    hazards: Optional[list] = None,
+    requirements: Optional[list] = None,
+    uncertainty: Optional[UncertaintyResult] = None,
+) -> Path:
+    """Render and write the report; returns the path."""
+    path = Path(location)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        render_safety_report(
+            fmeda, target_asil, hazards, requirements, uncertainty
+        ),
+        encoding="utf-8",
+    )
+    return path

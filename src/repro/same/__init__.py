@@ -1,0 +1,27 @@
+"""SAME — the Safety Analysis Management Environment (tool facade).
+
+The paper's SAME is an Eclipse-based workbench; its *functions* — importing
+Simulink models, transforming to SSAM, invoking automated FME(D)A from the
+editor, computing metrics, searching mechanism deployments, exporting the
+Excel FMEA table, federating external data — are exposed here as a
+programmatic facade (:class:`SAME`) over the underlying packages, plus a
+:class:`Workspace` for artefact management on disk.
+"""
+
+from repro.same.environment import SAME
+from repro.same.workspace import Workspace
+from repro.same.render import (
+    render_architecture,
+    render_architecture_mermaid,
+    render_hazard_log,
+    render_requirements,
+)
+
+__all__ = [
+    "SAME",
+    "Workspace",
+    "render_architecture",
+    "render_architecture_mermaid",
+    "render_hazard_log",
+    "render_requirements",
+]

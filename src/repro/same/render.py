@@ -1,0 +1,165 @@
+"""Diagram rendering — the textual stand-in for SAME's Sirius editors.
+
+Three renderers, mirroring the hierarchical editors of Section IV-B6:
+
+- :func:`render_architecture` — the system-design view: components with
+  FIT / class / flags, failure modes, mechanisms, and the wiring;
+- :func:`render_architecture_mermaid` — the same structure as a Mermaid
+  ``flowchart`` (paste into any Mermaid renderer for the graphical view);
+- :func:`render_hazard_log` / :func:`render_requirements` — the hazard and
+  requirement editors' tree views.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.metamodel import ModelObject
+from repro.ssam import SSAMModel
+from repro.ssam.base import text_of
+
+
+def _component_label(component: ModelObject) -> str:
+    name = text_of(component) or component.get("id")
+    bits = [component.get("componentClass") or "?"]
+    fit = component.get("fit") or 0.0
+    if fit:
+        bits.append(f"{fit:g} FIT")
+    if component.get("safetyRelated"):
+        bits.append("SR")
+    if component.get("dynamic"):
+        bits.append("dynamic")
+    return f"{name} [{', '.join(bits)}]"
+
+
+def _render_component(component: ModelObject, depth: int, lines: List[str]) -> None:
+    pad = "  " * depth
+    lines.append(f"{pad}{_component_label(component)}")
+    for node in component.get("ioNodes"):
+        limits = ""
+        lower, upper = node.get("lowerLimit"), node.get("upperLimit")
+        if lower is not None or upper is not None:
+            limits = f" limits=[{lower}, {upper}]"
+        lines.append(
+            f"{pad}  io {text_of(node)} ({node.get('direction')}){limits}"
+        )
+    for mode in component.get("failureModes"):
+        marker = "!" if mode.get("safetyRelated") else " "
+        lines.append(
+            f"{pad}  fm{marker}{text_of(mode)} "
+            f"({mode.get('nature')}, {float(mode.get('distribution') or 0) * 100:g}%)"
+        )
+    for mechanism in component.get("safetyMechanisms"):
+        covers = ", ".join(text_of(m) for m in mechanism.get("covers"))
+        lines.append(
+            f"{pad}  sm {text_of(mechanism)} "
+            f"(cov {float(mechanism.get('coverage') or 0) * 100:g}%"
+            + (f", covers {covers}" if covers else "")
+            + ")"
+        )
+    for rel in component.get("relationships"):
+        source = rel.get("source")
+        target = rel.get("target")
+        src = "[in]" if source is component else text_of(source)
+        dst = "[out]" if target is component else text_of(target)
+        lines.append(f"{pad}  wire {src} -> {dst} ({rel.get('kind')})")
+    for sub in component.get("subcomponents"):
+        _render_component(sub, depth + 1, lines)
+
+
+def render_architecture(model: SSAMModel) -> str:
+    """Indented text view of every component package."""
+    lines: List[str] = []
+    for package in model.component_packages:
+        lines.append(f"package {text_of(package)}")
+        for component in package.get("components"):
+            _render_component(component, 1, lines)
+    return "\n".join(lines)
+
+
+def _mermaid_id(name: str) -> str:
+    return "".join(ch if ch.isalnum() else "_" for ch in name)
+
+
+def render_architecture_mermaid(
+    model: SSAMModel, composite: Optional[ModelObject] = None
+) -> str:
+    """A Mermaid flowchart of one composite's wiring (top component when
+    ``composite`` is omitted)."""
+    if composite is None:
+        tops = model.top_components()
+        if not tops:
+            return "flowchart LR\n  empty[no architecture]"
+        composite = tops[0]
+    lines = ["flowchart LR"]
+    comp_name = text_of(composite) or composite.get("id")
+    lines.append(f"  __in__([{comp_name} in])")
+    lines.append(f"  __out__([{comp_name} out])")
+    for sub in composite.get("subcomponents"):
+        name = text_of(sub) or sub.get("id")
+        shape = f"{{{{{name}}}}}" if sub.get("safetyRelated") else f"[{name}]"
+        lines.append(f"  {_mermaid_id(name)}{shape}")
+    for rel in composite.get("relationships"):
+        source = rel.get("source")
+        target = rel.get("target")
+        src = (
+            "__in__"
+            if source is composite
+            else _mermaid_id(text_of(source) or source.get("id"))
+        )
+        dst = (
+            "__out__"
+            if target is composite
+            else _mermaid_id(text_of(target) or target.get("id"))
+        )
+        lines.append(f"  {src} --> {dst}")
+    return "\n".join(lines)
+
+
+def render_hazard_log(model: SSAMModel) -> str:
+    """Tree view of the hazard packages."""
+    lines: List[str] = []
+    for package in model.hazard_packages:
+        lines.append(f"hazard log {text_of(package)}")
+        for element in package.get("elements"):
+            if not element.is_kind_of("Hazard"):
+                continue
+            lines.append(
+                f"  {text_of(element)} [{element.get('integrityTarget')}]: "
+                f"{element.get('text')}"
+            )
+            for situation in element.get("situations"):
+                lines.append(
+                    f"    situation {text_of(situation)} "
+                    f"(S={situation.get('severity')}, "
+                    f"E={situation.get('exposure')}, "
+                    f"C={situation.get('controllability')})"
+                )
+                for cause in situation.get("causes"):
+                    lines.append(f"      cause: {cause.get('text')}")
+                for measure in situation.get("controlMeasures"):
+                    lines.append(f"      measure: {text_of(measure)}")
+    return "\n".join(lines)
+
+
+def render_requirements(model: SSAMModel) -> str:
+    """Tree view of the requirement packages."""
+    lines: List[str] = []
+    for package in model.requirement_packages:
+        lines.append(f"requirements {text_of(package)}")
+        for element in package.get("elements"):
+            if element.is_kind_of("RequirementRelationship"):
+                source = element.get("source")
+                target = element.get("target")
+                lines.append(
+                    f"  {text_of(source)} --{element.get('kind')}--> "
+                    f"{text_of(target)}"
+                )
+                continue
+            level = ""
+            if element.is_kind_of("SafetyRequirement"):
+                level = f" [{element.get('integrityLevel')}]"
+            lines.append(
+                f"  {text_of(element)}{level}: {element.get('text')}"
+            )
+    return "\n".join(lines)

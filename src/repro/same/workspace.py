@@ -1,0 +1,118 @@
+"""Workspace — artefact management for SAME.
+
+A workspace is a directory holding the models and generated artefacts of
+one DECISIVE campaign: Simulink models, SSAM models, reliability and
+safety-mechanism workbooks, FMEA/FMEDA outputs.  Files are tracked with
+their kind so the working-process steps (Fig. 10) can find each other's
+outputs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.reliability import ReliabilityModel, load_reliability_table
+from repro.safety.mechanisms import SafetyMechanismModel, load_mechanism_table
+from repro.simulink import SimulinkModel
+from repro.ssam import SSAMModel
+
+
+class WorkspaceError(Exception):
+    """Raised for missing artefacts or index corruption."""
+
+
+_INDEX_NAME = "workspace.json"
+
+
+class Workspace:
+    """A directory of tracked artefacts."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._index: Dict[str, Dict[str, str]] = {}
+        self._load_index()
+
+    # -- index ------------------------------------------------------------
+
+    @property
+    def _index_path(self) -> Path:
+        return self.root / _INDEX_NAME
+
+    def _load_index(self) -> None:
+        if self._index_path.is_file():
+            with open(self._index_path, encoding="utf-8") as handle:
+                self._index = json.load(handle)
+
+    def _save_index(self) -> None:
+        with open(self._index_path, "w", encoding="utf-8") as handle:
+            json.dump(self._index, handle, indent=2)
+
+    def register(self, name: str, kind: str, relative_path: str) -> None:
+        self._index[name] = {"kind": kind, "path": relative_path}
+        self._save_index()
+
+    def artefacts(self, kind: Optional[str] = None) -> List[str]:
+        return [
+            name
+            for name, entry in self._index.items()
+            if kind is None or entry["kind"] == kind
+        ]
+
+    def path_of(self, name: str) -> Path:
+        try:
+            return self.root / self._index[name]["path"]
+        except KeyError:
+            raise WorkspaceError(
+                f"no artefact {name!r}; known: {sorted(self._index)}"
+            ) from None
+
+    def kind_of(self, name: str) -> str:
+        try:
+            return self._index[name]["kind"]
+        except KeyError:
+            raise WorkspaceError(f"no artefact {name!r}") from None
+
+    # -- typed save/load ----------------------------------------------------
+
+    def save_simulink(self, name: str, model: SimulinkModel) -> Path:
+        relative = f"{name}.slx.json"
+        model.save(self.root / relative)
+        self.register(name, "simulink", relative)
+        return self.root / relative
+
+    def load_simulink(self, name: str) -> SimulinkModel:
+        return SimulinkModel.load(self.path_of(name))
+
+    def save_ssam(self, name: str, model: SSAMModel) -> Path:
+        relative = f"{name}.ssam.json"
+        model.save(self.root / relative)
+        self.register(name, "ssam", relative)
+        return self.root / relative
+
+    def load_ssam(self, name: str) -> SSAMModel:
+        return SSAMModel.load(self.path_of(name))
+
+    def load_reliability(self, name: str) -> ReliabilityModel:
+        return load_reliability_table(self.path_of(name))
+
+    def load_mechanisms(self, name: str) -> SafetyMechanismModel:
+        return load_mechanism_table(self.path_of(name))
+
+    def import_file(self, name: str, kind: str, source: Union[str, Path]) -> Path:
+        """Copy an external file into the workspace and track it."""
+        source = Path(source)
+        if not source.exists():
+            raise WorkspaceError(f"no such file: {source}")
+        relative = source.name
+        destination = self.root / relative
+        if source.is_dir():
+            import shutil
+
+            shutil.copytree(source, destination, dirs_exist_ok=True)
+        else:
+            destination.write_bytes(source.read_bytes())
+        self.register(name, kind, relative)
+        return destination

@@ -1,0 +1,57 @@
+"""A Simulink/Simscape-like block-diagram substrate.
+
+This package stands in for Matlab/Simulink in the paper's workflow: block
+diagrams with nested subsystems, a Simscape-Foundation-like electrical block
+library, persistence to a JSON ``.slx``-like format, and a ``simulate()``
+entry point (DC operating point via :mod:`repro.circuit`) whose sensor
+readings the injection-based FMEA compares before and after each fault.
+"""
+
+from repro.simulink.model import (
+    Block,
+    Diagram,
+    Line,
+    SimulinkError,
+    SimulinkModel,
+)
+from repro.simulink.library import (
+    BLOCK_LIBRARY,
+    BlockTypeInfo,
+    FailureBehavior,
+    block_type_info,
+    is_electrical_type,
+)
+from repro.simulink.electrical import ElectricalConversion, to_netlist
+from repro.simulink.simulate import (
+    ProtectedSimulationResult,
+    SimulationResult,
+    simulate,
+    simulate_protected,
+)
+from repro.simulink.signalflow import (
+    SignalFlowError,
+    evaluate_signals,
+    step_signals,
+)
+
+__all__ = [
+    "Block",
+    "Line",
+    "Diagram",
+    "SimulinkModel",
+    "SimulinkError",
+    "BLOCK_LIBRARY",
+    "BlockTypeInfo",
+    "FailureBehavior",
+    "block_type_info",
+    "is_electrical_type",
+    "ElectricalConversion",
+    "to_netlist",
+    "SimulationResult",
+    "simulate",
+    "ProtectedSimulationResult",
+    "simulate_protected",
+    "SignalFlowError",
+    "evaluate_signals",
+    "step_signals",
+]

@@ -1,0 +1,255 @@
+"""Electrical flattening — block diagram to :class:`~repro.circuit.Netlist`.
+
+Net extraction is the standard conserving-port algorithm: every electrical
+``(block, port)`` endpoint is a union-find node; electrical lines merge
+endpoints; subsystem boundaries are bridged through ``ConnectionPort``
+blocks; any net touching a ``Ground`` port becomes the reference node.
+
+The conversion keeps a block→element mapping so the fault-injection engine
+can manipulate netlist elements by block name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.circuit import Netlist
+from repro.circuit.netlist import GROUND
+from repro.simulink.model import Block, Diagram, SimulinkError, SimulinkModel
+
+
+class _UnionFind:
+    def __init__(self) -> None:
+        self._parent: Dict[Tuple[str, str], Tuple[str, str]] = {}
+
+    def find(self, item: Tuple[str, str]) -> Tuple[str, str]:
+        self._parent.setdefault(item, item)
+        root = item
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[item] != root:  # path compression
+            self._parent[item], item = root, self._parent[item]
+        return root
+
+    def union(self, a: Tuple[str, str], b: Tuple[str, str]) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self._parent[ra] = rb
+
+    def items(self):
+        return list(self._parent)
+
+
+@dataclass
+class ElectricalConversion:
+    """Result of flattening: the netlist plus traceability maps."""
+
+    netlist: Netlist
+    #: block path -> netlist element name (absent for non-contributing blocks)
+    element_of_block: Dict[str, str]
+    #: block path -> (net_pos, net_neg) for every electrical block
+    nets_of_block: Dict[str, Tuple[str, Optional[str]]]
+    #: voltage-sensor block path -> (net_pos, net_neg)
+    voltage_sensors: Dict[str, Tuple[str, str]]
+    #: current-sensor block path -> ammeter element name
+    current_sensors: Dict[str, str]
+    #: fuse block path -> (element name, rated current)
+    fuses: Dict[str, Tuple[str, float]] = field(default_factory=dict)
+
+    def element_name(self, block_or_path: str) -> str:
+        """Element name for a block, accepting a bare name or a full path."""
+        if block_or_path in self.element_of_block:
+            return self.element_of_block[block_or_path]
+        matches = [
+            elem
+            for path, elem in self.element_of_block.items()
+            if path.rsplit("/", 1)[-1] == block_or_path
+        ]
+        if len(matches) == 1:
+            return matches[0]
+        if not matches:
+            raise SimulinkError(
+                f"no electrical element for block {block_or_path!r}"
+            )
+        raise SimulinkError(
+            f"ambiguous block name {block_or_path!r}; use a full path"
+        )
+
+
+def _electrical_blocks(diagram: Diagram) -> List[Block]:
+    """Blocks contributing to (or bridging) the electrical network, descending
+    into plain subsystems but treating annotated subsystems as leaves."""
+    out: List[Block] = []
+    for block in diagram.blocks():
+        if block.block_type == "Subsystem" and not block.param("annotated_type"):
+            if block.subdiagram is not None:
+                out.extend(_electrical_blocks(block.subdiagram))
+            continue
+        out.append(block)
+    return out
+
+
+def _collect_lines(diagram: Diagram) -> List:
+    lines = list(diagram.lines)
+    for block in diagram.blocks():
+        if block.block_type == "Subsystem" and not block.param("annotated_type"):
+            if block.subdiagram is not None:
+                lines.extend(_collect_lines(block.subdiagram))
+    return lines
+
+
+def to_netlist(model: SimulinkModel) -> ElectricalConversion:
+    """Flatten ``model``'s electrical network into a netlist."""
+    union = _UnionFind()
+
+    # 1. Merge endpoints along electrical lines (all hierarchy levels).
+    for line in _collect_lines(model.root):
+        src_key = (line.source.path(), line.source_port)
+        dst_key = (line.target.path(), line.target_port)
+        if _endpoint_is_electrical(line.source, line.source_port) and (
+            _endpoint_is_electrical(line.target, line.target_port)
+        ):
+            union.union(src_key, dst_key)
+
+    # 2. Bridge subsystem boundaries through ConnectionPorts.
+    _bridge_subsystems(model.root, union)
+
+    blocks = _electrical_blocks(model.root)
+
+    # 3. Seed every electrical port so floating ports get their own net.
+    ground_roots = set()
+    for block in blocks:
+        etype = block.effective_type
+        if etype == "Subsystem":
+            continue
+        info = block.effective_info
+        for port in info.electrical_ports:
+            key = (block.path(), port)
+            union.find(key)
+        if etype == "Ground":
+            ground_roots.add(union.find((block.path(), "p")))
+
+    # Re-root after all unions: compute final root -> net name.
+    net_of_root: Dict[Tuple[str, str], str] = {}
+    counter = 0
+    for key in union.items():
+        root = union.find(key)
+        if root in net_of_root:
+            continue
+        if any(union.find(g) == root for g in ground_roots):
+            net_of_root[root] = GROUND
+        else:
+            counter += 1
+            net_of_root[root] = f"n{counter}"
+
+    def net(block: Block, port: str) -> str:
+        return net_of_root[union.find((block.path(), port))]
+
+    # 4. Contribute elements.
+    netlist = Netlist(model.name)
+    element_of_block: Dict[str, str] = {}
+    nets_of_block: Dict[str, Tuple[str, Optional[str]]] = {}
+    voltage_sensors: Dict[str, Tuple[str, str]] = {}
+    current_sensors: Dict[str, str] = {}
+    fuses: Dict[str, Tuple[str, float]] = {}
+    used_names: Dict[str, int] = {}
+
+    def unique_name(base: str) -> str:
+        if base not in used_names:
+            used_names[base] = 1
+            return base
+        used_names[base] += 1
+        return f"{base}_{used_names[base]}"
+
+    for block in blocks:
+        etype = block.effective_type
+        if etype in ("Ground", "SolverConfiguration", "ConnectionPort"):
+            continue
+        info = block.effective_info
+        if not info.is_electrical:
+            continue
+        path = block.path()
+        npos = net(block, info.electrical_ports[0])
+        nneg = (
+            net(block, info.electrical_ports[1])
+            if len(info.electrical_ports) > 1
+            else None
+        )
+        nets_of_block[path] = (npos, nneg)
+        name = unique_name(block.name)
+        if etype == "DCVoltageSource":
+            netlist.voltage_source(name, npos, nneg, float(block.param("voltage", 0.0)))
+        elif etype in ("Resistor", "Load"):
+            netlist.resistor(name, npos, nneg, float(block.param("resistance", 1.0)))
+        elif etype == "Capacitor":
+            netlist.capacitor(name, npos, nneg, float(block.param("capacitance", 1e-6)))
+        elif etype == "Inductor":
+            netlist.inductor(
+                name,
+                npos,
+                nneg,
+                float(block.param("inductance", 1e-3)),
+                float(block.param("series_resistance", 0.0)),
+            )
+        elif etype == "Diode":
+            netlist.diode(
+                name,
+                npos,
+                nneg,
+                saturation_current=float(block.param("saturation_current", 1e-12)),
+            )
+        elif etype == "Switch":
+            netlist.switch(name, npos, nneg, bool(block.param("closed", 1.0)))
+        elif etype == "MCU":
+            netlist.resistor(
+                name, npos, nneg, float(block.param("load_resistance", 100.0))
+            )
+        elif etype == "Fuse":
+            netlist.resistor(
+                name, npos, nneg, float(block.param("resistance", 1e-3))
+            )
+            fuses[path] = (name, float(block.param("rated_current", 1.0)))
+        elif etype == "CurrentSensor":
+            netlist.ammeter(name, npos, nneg)
+            current_sensors[path] = name
+        elif etype == "VoltageSensor":
+            voltage_sensors[path] = (npos, nneg)
+            continue  # no electrical contribution
+        else:
+            raise SimulinkError(
+                f"block type {etype!r} has electrical ports but no netlist "
+                f"contribution rule"
+            )
+        element_of_block[path] = name
+
+    return ElectricalConversion(
+        netlist=netlist,
+        element_of_block=element_of_block,
+        nets_of_block=nets_of_block,
+        voltage_sensors=voltage_sensors,
+        current_sensors=current_sensors,
+        fuses=fuses,
+    )
+
+
+def _endpoint_is_electrical(block: Block, port: str) -> bool:
+    if block.block_type == "Subsystem" and not block.param("annotated_type"):
+        return port in block.ports()  # ConnectionPort names are electrical
+    return port in block.effective_info.electrical_ports
+
+
+def _bridge_subsystems(diagram: Diagram, union: _UnionFind) -> None:
+    for block in diagram.blocks():
+        if block.block_type != "Subsystem" or block.param("annotated_type"):
+            continue
+        if block.subdiagram is None:
+            continue
+        for inner in block.subdiagram.blocks():
+            if inner.block_type == "ConnectionPort":
+                port_name = str(inner.param("port_name", inner.name))
+                union.union(
+                    (block.path(), port_name),
+                    (inner.path(), "p"),
+                )
+        _bridge_subsystems(block.subdiagram, union)

@@ -1,0 +1,341 @@
+"""The block library — a Simscape-Foundation-like catalogue.
+
+Each :class:`BlockTypeInfo` declares a block type's ports (electrical
+conserving ports vs directed signal ports), its default parameters, how it
+contributes to an electrical netlist, and its known *failure behaviours* —
+what physically happens to the block under each failure-mode name, which is
+what the injection engine applies.
+
+The paper's RQ2 "workaround" for elements outside the Simscape library
+(complex microcontrollers) is reproduced: a ``Subsystem`` may carry an
+``annotated_type`` parameter naming a library type (e.g. ``MCU``), and the
+electrical conversion then treats the subsystem as that annotated element.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class FailureBehavior:
+    """Physical effect of one failure mode of a block.
+
+    ``kind`` is one of:
+
+    - ``open`` — the element stops conducting (removed from the netlist);
+    - ``short`` — replaced by ``resistance`` ohms (element-class specific;
+      e.g. failed capacitors are *leaky*, not dead shorts);
+    - ``resistive`` — replaced by ``resistance`` ohms (used for loads whose
+      failure changes their impedance, e.g. an MCU halting into standby);
+    - ``param`` — a parameter changes to ``value`` (``parameter`` names it).
+    """
+
+    kind: str
+    resistance: Optional[float] = None
+    parameter: Optional[str] = None
+    value: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class BlockTypeInfo:
+    """Static description of a block type."""
+
+    name: str
+    electrical_ports: Tuple[str, ...] = ()
+    signal_inputs: Tuple[str, ...] = ()
+    signal_outputs: Tuple[str, ...] = ()
+    defaults: Dict[str, float] = field(default_factory=dict)
+    #: 'source' | 'passive' | 'sensor' | 'reference' | 'support' | 'structural'
+    role: str = "passive"
+    failure_behaviors: Dict[str, FailureBehavior] = field(default_factory=dict)
+    doc: str = ""
+
+    @property
+    def is_electrical(self) -> bool:
+        return bool(self.electrical_ports)
+
+
+def _two_terminal(
+    name: str,
+    defaults: Dict[str, float],
+    role: str,
+    failure_behaviors: Dict[str, FailureBehavior],
+    doc: str,
+) -> BlockTypeInfo:
+    return BlockTypeInfo(
+        name=name,
+        electrical_ports=("p", "n"),
+        defaults=defaults,
+        role=role,
+        failure_behaviors=failure_behaviors,
+        doc=doc,
+    )
+
+
+#: Failed-short replacement resistances per element class.  Electrolytic and
+#: ceramic capacitors predominantly fail *leaky* (a resistive path of tens to
+#: hundreds of ohms) rather than as dead shorts; semiconductors and windings
+#: short hard.  See DESIGN.md, substitution notes.
+_HARD_SHORT_OHMS = 1e-3
+_LEAKY_SHORT_OHMS = 200.0
+
+BLOCK_LIBRARY: Dict[str, BlockTypeInfo] = {}
+
+
+def _register(info: BlockTypeInfo) -> BlockTypeInfo:
+    BLOCK_LIBRARY[info.name] = info
+    return info
+
+
+_register(
+    _two_terminal(
+        "DCVoltageSource",
+        {"voltage": 5.0},
+        "source",
+        {
+            "Loss of Output": FailureBehavior("open"),
+        },
+        "Ideal DC voltage source (p = +).",
+    )
+)
+
+_register(
+    _two_terminal(
+        "Resistor",
+        {"resistance": 1000.0},
+        "passive",
+        {
+            "Open": FailureBehavior("open"),
+            "Short": FailureBehavior("short", resistance=_HARD_SHORT_OHMS),
+            "Drift": FailureBehavior("param", parameter="resistance", value=None),
+        },
+        "Linear resistor.",
+    )
+)
+
+_register(
+    _two_terminal(
+        "Capacitor",
+        {"capacitance": 10e-6},
+        "passive",
+        {
+            "Open": FailureBehavior("open"),
+            "Short": FailureBehavior("short", resistance=_LEAKY_SHORT_OHMS),
+        },
+        "Linear capacitor (open at DC; failed-short is leaky-resistive).",
+    )
+)
+
+_register(
+    _two_terminal(
+        "Inductor",
+        {"inductance": 1e-3, "series_resistance": 0.1},
+        "passive",
+        {
+            "Open": FailureBehavior("open"),
+            "Short": FailureBehavior("short", resistance=_HARD_SHORT_OHMS),
+        },
+        "Linear inductor with winding resistance.",
+    )
+)
+
+_register(
+    _two_terminal(
+        "Diode",
+        {"saturation_current": 1e-12},
+        "passive",
+        {
+            "Open": FailureBehavior("open"),
+            "Short": FailureBehavior("short", resistance=_HARD_SHORT_OHMS),
+        },
+        "Exponential (Shockley) diode; p is the anode.",
+    )
+)
+
+_register(
+    _two_terminal(
+        "Load",
+        {"resistance": 100.0},
+        "passive",
+        {
+            "Open": FailureBehavior("open"),
+            "Short": FailureBehavior("short", resistance=_HARD_SHORT_OHMS),
+        },
+        "Generic resistive load.",
+    )
+)
+
+_register(
+    _two_terminal(
+        "MCU",
+        {"load_resistance": 100.0, "standby_resistance": 10000.0},
+        "passive",
+        {
+            # A RAM failure halts the firmware; the device falls back to its
+            # standby draw, which the current sensor sees as a load collapse.
+            "RAM Failure": FailureBehavior("resistive", resistance=None),
+        },
+        "Microcontroller modelled as its supply load (RQ2 workaround target).",
+    )
+)
+
+_register(
+    _two_terminal(
+        "Switch",
+        {"closed": 1.0},
+        "passive",
+        {
+            "Stuck Open": FailureBehavior("open"),
+            "Stuck Closed": FailureBehavior("short", resistance=_HARD_SHORT_OHMS),
+        },
+        "Ideal switch (closed when the 'closed' parameter is nonzero).",
+    )
+)
+
+_register(
+    _two_terminal(
+        "CurrentSensor",
+        {},
+        "sensor",
+        {},
+        "Series current sensor (0 V branch); signal output 'I'.",
+    )
+)
+# CurrentSensor additionally has a signal output.
+BLOCK_LIBRARY["CurrentSensor"] = BlockTypeInfo(
+    name="CurrentSensor",
+    electrical_ports=("p", "n"),
+    signal_outputs=("I",),
+    role="sensor",
+    doc="Series current sensor (0 V branch); signal output 'I'.",
+)
+
+BLOCK_LIBRARY["VoltageSensor"] = BlockTypeInfo(
+    name="VoltageSensor",
+    electrical_ports=("p", "n"),
+    signal_outputs=("V",),
+    role="sensor",
+    doc="Parallel voltage sensor (no electrical contribution); output 'V'.",
+)
+
+_register(
+    _two_terminal(
+        "Fuse",
+        {"rated_current": 1.0, "resistance": 1e-3},
+        "passive",
+        {
+            "Stuck Open": FailureBehavior("open"),
+            # The dangerous failure: the fuse conducts past its rating.
+            # Electrically the healthy and failed states coincide until an
+            # overcurrent occurs, so injection models it as the element
+            # pinned closed (a plain resistor the protection logic ignores).
+            "Fails To Blow": FailureBehavior("short", resistance=1e-3),
+        },
+        "Overcurrent protection; blows (opens) above rated_current in "
+        "protected simulation.",
+    )
+)
+
+_register(
+    BlockTypeInfo(
+        name="Ground",
+        electrical_ports=("p",),
+        role="reference",
+        doc="Electrical reference.",
+    )
+)
+
+_register(
+    BlockTypeInfo(
+        name="SolverConfiguration",
+        electrical_ports=("p",),
+        role="support",
+        doc="Marks the physical network for simulation (no contribution).",
+    )
+)
+
+_register(
+    BlockTypeInfo(
+        name="Scope",
+        signal_inputs=("in",),
+        role="support",
+        doc="Displays a signal; readable from simulation results.",
+    )
+)
+
+_register(
+    BlockTypeInfo(
+        name="Outport",
+        signal_inputs=("in",),
+        role="support",
+        doc="Writes a signal to the workspace; readable from results.",
+    )
+)
+
+_register(
+    BlockTypeInfo(
+        name="Inport",
+        signal_outputs=("out",),
+        role="support",
+        doc="External signal input.",
+    )
+)
+
+_register(
+    BlockTypeInfo(
+        name="Subsystem",
+        role="structural",
+        doc=(
+            "A nested diagram.  Electrical connectivity crosses the boundary "
+            "through ConnectionPort blocks; an 'annotated_type' parameter "
+            "makes the subsystem behave as a library element (RQ2 workaround)."
+        ),
+    )
+)
+
+_register(
+    BlockTypeInfo(
+        name="ConnectionPort",
+        electrical_ports=("p",),
+        role="structural",
+        doc="Bridges a subsystem boundary; 'port_name' names the outer port.",
+    )
+)
+
+# Non-electrical signal blocks (coverage beyond Simscape, used by System B's
+# software/control diagrams).
+for _name, _inputs, _outputs, _defaults in [
+    ("Gain", ("in",), ("out",), {"gain": 1.0}),
+    ("Sum", ("in1", "in2"), ("out",), {}),
+    ("Constant", (), ("out",), {"value": 0.0}),
+    ("Saturation", ("in",), ("out",), {"lower": 0.0, "upper": 1.0}),
+    ("UnitDelay", ("in",), ("out",), {}),
+    ("Relay", ("in",), ("out",), {"threshold": 0.5}),
+]:
+    _register(
+        BlockTypeInfo(
+            name=_name,
+            signal_inputs=_inputs,
+            signal_outputs=_outputs,
+            defaults=dict(_defaults),
+            role="support",
+            doc=f"Signal-processing block {_name}.",
+        )
+    )
+
+
+def block_type_info(type_name: str) -> BlockTypeInfo:
+    """Look up a block type; raises ``KeyError`` with the known types listed."""
+    try:
+        return BLOCK_LIBRARY[type_name]
+    except KeyError:
+        raise KeyError(
+            f"unknown block type {type_name!r}; known: {sorted(BLOCK_LIBRARY)}"
+        ) from None
+
+
+def is_electrical_type(type_name: str) -> bool:
+    info = BLOCK_LIBRARY.get(type_name)
+    return info is not None and info.is_electrical

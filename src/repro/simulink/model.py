@@ -1,0 +1,336 @@
+"""Block-diagram model: blocks, lines, diagrams, nested subsystems, JSON IO.
+
+The model is deliberately shaped like Simulink's: a model owns a root
+diagram; a diagram owns blocks and lines; a ``Subsystem`` block owns a nested
+diagram.  Lines connect ``(block, port)`` endpoints; whether a line is
+electrical (a conserving connection) or a directed signal line follows from
+the port kinds declared in the block library.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.simulink.library import BlockTypeInfo, block_type_info
+
+
+class SimulinkError(Exception):
+    """Raised for malformed diagrams, unknown blocks or bad connections."""
+
+
+class Block:
+    """One block instance in a diagram."""
+
+    def __init__(
+        self,
+        name: str,
+        block_type: str,
+        parameters: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.name = name
+        self.block_type = block_type
+        info = block_type_info(block_type)
+        self.parameters: Dict[str, Any] = dict(info.defaults)
+        self.parameters.update(parameters or {})
+        self.diagram: Optional["Diagram"] = None
+        self.subdiagram: Optional["Diagram"] = None
+        if block_type == "Subsystem":
+            self.subdiagram = Diagram(owner=self)
+
+    @property
+    def info(self) -> BlockTypeInfo:
+        return block_type_info(self.block_type)
+
+    @property
+    def effective_type(self) -> str:
+        """The type used for electrical conversion and reliability lookup.
+
+        A ``Subsystem`` annotated with ``annotated_type`` behaves as that
+        library element (the paper's RQ2 workaround for components outside
+        the Simscape library).
+        """
+        if self.block_type == "Subsystem":
+            annotated = self.parameters.get("annotated_type")
+            if annotated:
+                return str(annotated)
+        return self.block_type
+
+    @property
+    def effective_info(self) -> BlockTypeInfo:
+        return block_type_info(self.effective_type)
+
+    def param(self, name: str, default: Any = None) -> Any:
+        return self.parameters.get(name, default)
+
+    def set_param(self, name: str, value: Any) -> None:
+        self.parameters[name] = value
+
+    def ports(self) -> List[str]:
+        if (
+            self.block_type == "Subsystem"
+            and not self.parameters.get("annotated_type")
+            and self.subdiagram is not None
+        ):
+            # Boundary ports of a plain subsystem are defined by its inner
+            # ConnectionPort blocks (Simscape's convention).
+            return [
+                str(inner.param("port_name", inner.name))
+                for inner in self.subdiagram.blocks()
+                if inner.block_type == "ConnectionPort"
+            ]
+        info = self.effective_info
+        return list(
+            info.electrical_ports + info.signal_inputs + info.signal_outputs
+        )
+
+    def path(self) -> str:
+        """Hierarchical path, e.g. ``model/Controller/Gain1``."""
+        parts: List[str] = [self.name]
+        diagram = self.diagram
+        while diagram is not None and diagram.owner is not None:
+            parts.append(diagram.owner.name)
+            diagram = diagram.owner.diagram
+        if diagram is not None and diagram.model is not None:
+            parts.append(diagram.model.name)
+        return "/".join(reversed(parts))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"<Block {self.path()} : {self.block_type}>"
+
+
+class Line:
+    """A connection between two ``(block, port)`` endpoints in one diagram."""
+
+    def __init__(
+        self,
+        source: Block,
+        source_port: str,
+        target: Block,
+        target_port: str,
+    ) -> None:
+        self.source = source
+        self.source_port = source_port
+        self.target = target
+        self.target_port = target_port
+
+    @property
+    def is_electrical(self) -> bool:
+        src_info = self.source.effective_info
+        dst_info = self.target.effective_info
+        return (
+            self.source_port in src_info.electrical_ports
+            and self.target_port in dst_info.electrical_ports
+        )
+
+    def source_path(self) -> str:
+        return f"{self.source.path()}:{self.source_port}"
+
+    def target_path(self) -> str:
+        return f"{self.target.path()}:{self.target_port}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"<Line {self.source_path()} -> {self.target_path()}>"
+
+
+class Diagram:
+    """A canvas of blocks and lines (the root model or a subsystem body)."""
+
+    def __init__(
+        self,
+        owner: Optional[Block] = None,
+        model: Optional["SimulinkModel"] = None,
+    ) -> None:
+        self.owner = owner
+        self.model = model
+        self._blocks: Dict[str, Block] = {}
+        self.lines: List[Line] = []
+
+    def add_block(self, block: Block) -> Block:
+        if block.name in self._blocks:
+            raise SimulinkError(f"duplicate block name {block.name!r}")
+        block.diagram = self
+        self._blocks[block.name] = block
+        return block
+
+    def block(self, name: str) -> Block:
+        try:
+            return self._blocks[name]
+        except KeyError:
+            raise SimulinkError(
+                f"no block named {name!r}; blocks: {sorted(self._blocks)}"
+            ) from None
+
+    def blocks(self) -> List[Block]:
+        return list(self._blocks.values())
+
+    def remove_block(self, name: str) -> Block:
+        block = self.block(name)
+        self.lines = [
+            line
+            for line in self.lines
+            if line.source is not block and line.target is not block
+        ]
+        del self._blocks[name]
+        return block
+
+    def connect(
+        self,
+        source: Union[Block, str],
+        source_port: str,
+        target: Union[Block, str],
+        target_port: str,
+    ) -> Line:
+        src = self.block(source) if isinstance(source, str) else source
+        dst = self.block(target) if isinstance(target, str) else target
+        for block, port in ((src, source_port), (dst, target_port)):
+            if port not in block.ports():
+                raise SimulinkError(
+                    f"block {block.name!r} ({block.effective_type}) has no "
+                    f"port {port!r}; ports: {block.ports()}"
+                )
+        line = Line(src, source_port, dst, target_port)
+        self.lines.append(line)
+        return line
+
+    def all_blocks(self) -> Iterator[Block]:
+        """Blocks of this diagram and, recursively, of nested subsystems."""
+        for block in self._blocks.values():
+            yield block
+            if block.subdiagram is not None:
+                yield from block.subdiagram.all_blocks()
+
+    def all_lines(self) -> Iterator[Line]:
+        yield from self.lines
+        for block in self._blocks.values():
+            if block.subdiagram is not None:
+                yield from block.subdiagram.all_lines()
+
+
+class SimulinkModel:
+    """A complete model: name + root diagram + persistence."""
+
+    FORMAT = "repro-simulink/1"
+
+    def __init__(self, name: str = "model") -> None:
+        self.name = name
+        self.root = Diagram(model=self)
+
+    # -- convenience ---------------------------------------------------------
+
+    def add_block(
+        self,
+        name: str,
+        block_type: str,
+        **parameters: Any,
+    ) -> Block:
+        return self.root.add_block(Block(name, block_type, parameters))
+
+    def block(self, name: str) -> Block:
+        return self.root.block(name)
+
+    def find_block(self, path: str) -> Block:
+        """Resolve a hierarchical path like ``model/Sub1/Gain``."""
+        parts = path.split("/")
+        if parts and parts[0] == self.name:
+            parts = parts[1:]
+        diagram = self.root
+        block: Optional[Block] = None
+        for part in parts:
+            if diagram is None:
+                raise SimulinkError(f"path {path!r} descends into a leaf block")
+            block = diagram.block(part)
+            diagram = block.subdiagram
+        if block is None:
+            raise SimulinkError(f"empty block path {path!r}")
+        return block
+
+    def connect(
+        self,
+        source: Union[Block, str],
+        source_port: str,
+        target: Union[Block, str],
+        target_port: str,
+    ) -> Line:
+        return self.root.connect(source, source_port, target, target_port)
+
+    def all_blocks(self) -> List[Block]:
+        return list(self.root.all_blocks())
+
+    def all_lines(self) -> List[Line]:
+        return list(self.root.all_lines())
+
+    def block_count(self) -> int:
+        return sum(1 for _ in self.root.all_blocks())
+
+    # -- persistence -----------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "format": self.FORMAT,
+            "name": self.name,
+            "diagram": self._diagram_to_dict(self.root),
+        }
+
+    def _diagram_to_dict(self, diagram: Diagram) -> Dict[str, Any]:
+        blocks = []
+        for block in diagram.blocks():
+            entry: Dict[str, Any] = {
+                "name": block.name,
+                "type": block.block_type,
+                "parameters": block.parameters,
+            }
+            if block.subdiagram is not None:
+                entry["diagram"] = self._diagram_to_dict(block.subdiagram)
+            blocks.append(entry)
+        lines = [
+            {
+                "source": line.source.name,
+                "source_port": line.source_port,
+                "target": line.target.name,
+                "target_port": line.target_port,
+            }
+            for line in diagram.lines
+        ]
+        return {"blocks": blocks, "lines": lines}
+
+    def save(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2)
+        return path
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SimulinkModel":
+        if data.get("format") != cls.FORMAT:
+            raise SimulinkError(
+                f"unsupported model format {data.get('format')!r}"
+            )
+        model = cls(data.get("name", "model"))
+        cls._load_diagram(model.root, data["diagram"])
+        return model
+
+    @staticmethod
+    def _load_diagram(diagram: Diagram, data: Dict[str, Any]) -> None:
+        for entry in data.get("blocks", []):
+            block = Block(entry["name"], entry["type"], entry.get("parameters"))
+            diagram.add_block(block)
+            if block.subdiagram is not None and "diagram" in entry:
+                SimulinkModel._load_diagram(block.subdiagram, entry["diagram"])
+        for entry in data.get("lines", []):
+            diagram.connect(
+                entry["source"],
+                entry["source_port"],
+                entry["target"],
+                entry["target_port"],
+            )
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "SimulinkModel":
+        with open(path, encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"<SimulinkModel {self.name!r} ({self.block_count()} blocks)>"

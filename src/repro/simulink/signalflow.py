@@ -1,0 +1,192 @@
+"""Signal-flow evaluation — the directed (non-conserving) half of Simulink.
+
+The electrical network is solved by :mod:`repro.circuit`; control/software
+diagrams (System B's domain) are directed dataflow over signal lines.  This
+module evaluates that dataflow at one instant:
+
+- sources: ``Constant`` blocks, ``Inport`` values supplied by the caller,
+  and sensor outputs taken from an electrical :class:`SimulationResult`;
+- transfer blocks: ``Gain``, ``Sum``, ``Saturation``, ``Relay``,
+  ``UnitDelay`` (whose state is supplied/collected, enabling stepped
+  simulation);
+- sinks: ``Scope`` and ``Outport`` readings.
+
+Evaluation is a topological pass over the signal graph; algebraic loops
+(cycles without a ``UnitDelay``) are rejected, exactly as Simulink rejects
+them without a solver break.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.simulink.model import Block, Line, SimulinkError, SimulinkModel
+from repro.simulink.simulate import SimulationResult
+
+
+class SignalFlowError(SimulinkError):
+    """Raised for algebraic loops or unconnected required inputs."""
+
+
+def _signal_lines(model: SimulinkModel) -> List[Line]:
+    return [line for line in model.all_lines() if not line.is_electrical]
+
+
+def _is_signal_block(block: Block) -> bool:
+    info = block.effective_info
+    return bool(info.signal_inputs or info.signal_outputs)
+
+
+def evaluate_signals(
+    model: SimulinkModel,
+    inputs: Optional[Dict[str, float]] = None,
+    electrical: Optional[SimulationResult] = None,
+    state: Optional[Dict[str, float]] = None,
+) -> Dict[str, float]:
+    """One-instant evaluation of the signal network.
+
+    Parameters
+    ----------
+    inputs:
+        values for ``Inport`` blocks (by block name or path);
+    electrical:
+        an electrical solution whose sensor readings drive the
+        ``CurrentSensor.I`` / ``VoltageSensor.V`` outputs;
+    state:
+        previous-step outputs of ``UnitDelay`` blocks (default 0.0).
+
+    Returns a mapping ``block path -> output value`` for every signal block,
+    including ``Scope`` / ``Outport`` sinks (their displayed value).
+    """
+    inputs = inputs or {}
+    state = state or {}
+    lines = _signal_lines(model)
+    blocks = [b for b in model.all_blocks() if _is_signal_block(b)]
+    by_path = {block.path(): block for block in blocks}
+
+    # Feeding lines per (block path, input port).
+    feeds: Dict[Tuple[str, str], Line] = {}
+    for line in lines:
+        key = (line.target.path(), line.target_port)
+        feeds[key] = line
+
+    values: Dict[str, float] = {}
+    visiting: Dict[str, bool] = {}
+
+    def input_value(block: Block, port: str) -> float:
+        line = feeds.get((block.path(), port))
+        if line is None:
+            raise SignalFlowError(
+                f"block {block.path()!r} input {port!r} is unconnected"
+            )
+        return output_of(line.source)
+
+    def output_of(block: Block) -> float:
+        path = block.path()
+        if path in values:
+            return values[path]
+        if visiting.get(path):
+            raise SignalFlowError(
+                f"algebraic loop through {path!r}; break it with a UnitDelay"
+            )
+        visiting[path] = True
+        try:
+            values[path] = _evaluate_block(
+                block, input_value, inputs, electrical, state
+            )
+        finally:
+            visiting[path] = False
+        return values[path]
+
+    for block in blocks:
+        output_of(block)
+    return values
+
+
+def _evaluate_block(
+    block: Block,
+    input_value,
+    inputs: Dict[str, float],
+    electrical: Optional[SimulationResult],
+    state: Dict[str, float],
+) -> float:
+    etype = block.effective_type
+    if etype == "Constant":
+        return float(block.param("value", 0.0))
+    if etype == "Inport":
+        for key in (block.name, block.path()):
+            if key in inputs:
+                return float(inputs[key])
+        return 0.0
+    if etype == "Gain":
+        return float(block.param("gain", 1.0)) * input_value(block, "in")
+    if etype == "Sum":
+        return input_value(block, "in1") + input_value(block, "in2")
+    if etype == "Saturation":
+        lower = float(block.param("lower", 0.0))
+        upper = float(block.param("upper", 1.0))
+        return min(max(input_value(block, "in"), lower), upper)
+    if etype == "Relay":
+        threshold = float(block.param("threshold", 0.5))
+        return 1.0 if input_value(block, "in") >= threshold else 0.0
+    if etype == "UnitDelay":
+        for key in (block.name, block.path()):
+            if key in state:
+                return float(state[key])
+        return 0.0
+    if etype in ("Scope", "Outport"):
+        return input_value(block, "in")
+    if etype == "CurrentSensor":
+        if electrical is None:
+            raise SignalFlowError(
+                f"sensor {block.path()!r} needs an electrical solution"
+            )
+        return electrical.current(block.path())
+    if etype == "VoltageSensor":
+        if electrical is None:
+            raise SignalFlowError(
+                f"sensor {block.path()!r} needs an electrical solution"
+            )
+        return electrical.voltage(block.path())
+    raise SignalFlowError(
+        f"block type {etype!r} has no signal-flow semantics"
+    )
+
+
+def step_signals(
+    model: SimulinkModel,
+    steps: int,
+    inputs_per_step: Optional[List[Dict[str, float]]] = None,
+    electrical: Optional[SimulationResult] = None,
+) -> List[Dict[str, float]]:
+    """Stepped simulation: ``UnitDelay`` blocks carry state across steps.
+
+    Returns one value map per step.  ``inputs_per_step`` may be shorter than
+    ``steps``; the last entry (or empty inputs) is reused.
+    """
+    if steps < 1:
+        raise SignalFlowError("steps must be >= 1")
+    inputs_per_step = inputs_per_step or [{}]
+    results: List[Dict[str, float]] = []
+    state: Dict[str, float] = {}
+    delay_paths = [
+        block.path()
+        for block in model.all_blocks()
+        if block.effective_type == "UnitDelay"
+    ]
+    delay_feeds = {
+        (line.target.path(), line.target_port): line
+        for line in _signal_lines(model)
+    }
+    for index in range(steps):
+        step_inputs = inputs_per_step[min(index, len(inputs_per_step) - 1)]
+        values = evaluate_signals(model, step_inputs, electrical, state)
+        results.append(values)
+        # Latch each delay's *input* as its next-step output.
+        next_state: Dict[str, float] = {}
+        for path in delay_paths:
+            line = delay_feeds.get((path, "in"))
+            if line is not None:
+                next_state[path] = values[line.source.path()]
+        state = next_state
+    return results

@@ -1,0 +1,156 @@
+"""``simulate()`` — the Simulink simulation entry point.
+
+Flattens the model's electrical network, solves the DC operating point and
+exposes the readings the FMEA engine compares: current-sensor currents,
+voltage-sensor voltages, and the values seen by ``Scope`` / ``Outport``
+blocks (resolved by following signal lines back to the sensor that drives
+them, mirroring how the paper reads ``Scope1`` / ``Out1``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.circuit import DCSolution, dc_operating_point
+from repro.simulink.electrical import ElectricalConversion, to_netlist
+from repro.simulink.model import SimulinkError, SimulinkModel
+
+
+@dataclass
+class SimulationResult:
+    """Sensor-level view of one DC solution."""
+
+    model_name: str
+    solution: DCSolution
+    conversion: ElectricalConversion
+
+    def current(self, sensor: str) -> float:
+        """Reading of a current sensor (bare name or full path)."""
+        path = self._resolve_sensor(sensor, self.conversion.current_sensors)
+        return self.solution.current(self.conversion.current_sensors[path])
+
+    def voltage(self, sensor: str) -> float:
+        """Reading of a voltage sensor (bare name or full path)."""
+        path = self._resolve_sensor(sensor, self.conversion.voltage_sensors)
+        npos, nneg = self.conversion.voltage_sensors[path]
+        return self.solution.voltage_across(npos, nneg)
+
+    @staticmethod
+    def _resolve_sensor(sensor: str, table: Dict[str, object]) -> str:
+        if sensor in table:
+            return sensor
+        matches = [p for p in table if p.rsplit("/", 1)[-1] == sensor]
+        if len(matches) == 1:
+            return matches[0]
+        if not matches:
+            raise SimulinkError(f"no sensor named {sensor!r}")
+        raise SimulinkError(f"ambiguous sensor name {sensor!r}; use a full path")
+
+    def readings(self) -> Dict[str, float]:
+        """All sensor readings, keyed by block path."""
+        out: Dict[str, float] = {}
+        for path, element in self.conversion.current_sensors.items():
+            out[path] = self.solution.current(element)
+        for path, (npos, nneg) in self.conversion.voltage_sensors.items():
+            out[path] = self.solution.voltage_across(npos, nneg)
+        return out
+
+
+def simulate(model: SimulinkModel) -> SimulationResult:
+    """Simulate the model's electrical network at DC."""
+    conversion = to_netlist(model)
+    if len(conversion.netlist) == 0:
+        raise SimulinkError(
+            f"model {model.name!r} has no electrical network to simulate"
+        )
+    solution = dc_operating_point(conversion.netlist)
+    return SimulationResult(model.name, solution, conversion)
+
+
+def simulate_protected(
+    model: SimulinkModel, max_blows: int = 10
+) -> "ProtectedSimulationResult":
+    """DC simulation honouring overcurrent protection.
+
+    Iterates: solve, check every intact fuse's current against its rating,
+    blow (open) the worst offender, re-solve — until all intact fuses are
+    within rating.  One fuse per iteration matches physical sequencing (the
+    most-overloaded element clears first, which may relieve the others).
+    """
+    conversion = to_netlist(model)
+    if len(conversion.netlist) == 0:
+        raise SimulinkError(
+            f"model {model.name!r} has no electrical network to simulate"
+        )
+    netlist = conversion.netlist
+    blown: list = []
+    for _ in range(max_blows + 1):
+        solution = dc_operating_point(netlist)
+        worst_path: Optional[str] = None
+        worst_ratio = 1.0
+        for path, (element_name, rating) in conversion.fuses.items():
+            if path in blown or rating <= 0:
+                continue
+            element = netlist.element(element_name)
+            voltage = solution.voltage_across(
+                element.node_pos, element.node_neg
+            )
+            current = abs(voltage) / element.resistance  # type: ignore[attr-defined]
+            ratio = current / rating
+            if ratio > worst_ratio:
+                worst_ratio = ratio
+                worst_path = path
+        if worst_path is None:
+            return ProtectedSimulationResult(
+                model.name, solution, conversion, blown
+            )
+        element_name, _ = conversion.fuses[worst_path]
+        netlist = netlist.without(element_name)
+        blown.append(worst_path)
+    raise SimulinkError(
+        f"protection did not settle within {max_blows} fuse operations"
+    )
+
+
+@dataclass
+class ProtectedSimulationResult(SimulationResult):
+    """A protected solution: also records which fuses blew."""
+
+    blown_fuses: list = None  # type: ignore[assignment]
+
+    def __init__(self, model_name, solution, conversion, blown_fuses):
+        super().__init__(model_name, solution, conversion)
+        self.blown_fuses = list(blown_fuses)
+
+    def fuse_blown(self, fuse: str) -> bool:
+        matches = [
+            path
+            for path in self.blown_fuses
+            if path == fuse or path.rsplit("/", 1)[-1] == fuse
+        ]
+        return bool(matches)
+
+
+def scope_readings(
+    model: SimulinkModel, result: Optional[SimulationResult] = None
+) -> Dict[str, float]:
+    """Values displayed by ``Scope`` / written by ``Outport`` blocks.
+
+    A scope's value is the reading of the sensor whose signal output feeds
+    it (directly, over signal lines).
+    """
+    if result is None:
+        result = simulate(model)
+    readings = result.readings()
+    out: Dict[str, float] = {}
+    for line in model.all_lines():
+        if line.is_electrical:
+            continue
+        target_type = line.target.effective_type
+        if target_type not in ("Scope", "Outport"):
+            continue
+        source_path = line.source.path()
+        if source_path in readings:
+            out[line.target.path()] = readings[source_path]
+    return out

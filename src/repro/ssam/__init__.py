@@ -1,0 +1,50 @@
+"""SSAM — the Structured System Architecture Metamodel.
+
+SSAM is the paper's comprehensive modelling language (Section IV-B).  It is
+organised, exactly as in the paper, into five modules:
+
+- :mod:`repro.ssam.base` — ``ModelElement``, ``LangString``, utility elements
+  (``ImplementationConstraint``, ``ExternalReference``) and citations (Fig. 2);
+- :mod:`repro.ssam.requirements` — requirement packages and (safety)
+  requirements (Fig. 3);
+- :mod:`repro.ssam.hazard` — hazards, hazardous situations, causes and
+  control measures (Fig. 4);
+- :mod:`repro.ssam.architecture` — components, IO nodes, relationships,
+  failure modes, failure effects and safety mechanisms (Fig. 5);
+- :mod:`repro.ssam.mbsa` — the Model-Based Systems Assurance module (Fig. 6).
+
+All metaclasses live in :data:`SSAM` (one :class:`MetaPackage` per module,
+registered in the global registry).  :mod:`repro.ssam.model` wraps the raw
+metamodel objects in a convenient Python API, and :mod:`repro.ssam.builder`
+offers fluent construction of architectures.
+"""
+
+from repro.ssam.base import BASE, lang_string, text_of
+from repro.ssam.requirements import REQUIREMENTS
+from repro.ssam.hazard import HAZARD
+from repro.ssam.architecture import (
+    ARCHITECTURE,
+    FAILURE_NATURES,
+    PATH_BREAKING_NATURES,
+)
+from repro.ssam.mbsa import MBSA
+from repro.ssam.model import SSAMModel
+from repro.ssam.builder import ArchitectureBuilder, ComponentHandle
+from repro.ssam.constraints import ssam_constraints, validate_ssam
+
+__all__ = [
+    "BASE",
+    "REQUIREMENTS",
+    "HAZARD",
+    "ARCHITECTURE",
+    "MBSA",
+    "FAILURE_NATURES",
+    "PATH_BREAKING_NATURES",
+    "SSAMModel",
+    "ArchitectureBuilder",
+    "ComponentHandle",
+    "lang_string",
+    "text_of",
+    "ssam_constraints",
+    "validate_ssam",
+]

@@ -1,0 +1,319 @@
+"""SSAM Architecture module (paper Fig. 5).
+
+``ComponentElement`` is the abstract base of all architecture elements,
+organised in ``ComponentPackage``s.  The module models exactly the concepts
+the paper lists:
+
+- ``Component`` — an atomic or composite component with a FIT rate
+  (Failure-In-Time, 1e-9 failures/hour), a safety integrity level, a
+  component type (system / hardware / software), ``safetyRelated`` and
+  ``dynamic`` flags; components may be nested;
+- ``ComponentRelationship`` — connects two components (optionally pinned to
+  specific IO nodes);
+- ``Function`` — with a tolerance type (1oo1, 1oo2, 1oo3, 2oo3);
+- ``IONode`` — inputs and outputs of components, with the value being passed
+  and its lower / upper limits (used by the runtime-monitor generator);
+- ``FailureMode`` — failure modes of a component, each with a *nature*
+  (Algorithm 1 treats loss-of-function-like natures as path-breaking), a
+  probability distribution share, cause and exposure, citations to hazards
+  and to the components affected by the failure;
+- ``FailureEffect`` — the effect of a failure, possibly citing another
+  component;
+- ``SafetyMechanism`` — deployable on a component to achieve diagnostic
+  coverage of specific failure modes, with a cost used by the optimiser.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.metamodel import MetaPackage, ModelObject, global_registry
+from repro.ssam.base import BASE, set_name
+
+ARCHITECTURE = MetaPackage(
+    "ssam_architecture", "urn:ssam:architecture", doc="SSAM Architecture module"
+)
+
+#: All failure-mode natures SSAM distinguishes.
+FAILURE_NATURES: Tuple[str, ...] = (
+    "loss_of_function",
+    "open",
+    "omission",
+    "short",
+    "degraded",
+    "erroneous",
+    "drift",
+    "commission",
+    "other",
+)
+
+#: Natures Algorithm 1 treats as "loss of function or similar": the failed
+#: component no longer conducts its path, so a component sitting on *all*
+#: input→output paths becomes a single-point failure.
+PATH_BREAKING_NATURES: Tuple[str, ...] = ("loss_of_function", "open", "omission")
+
+_model_element = BASE.get("ModelElement")
+_package = BASE.get("Package")
+_package_interface = BASE.get("PackageInterface")
+
+_component_element = ARCHITECTURE.define(
+    "ComponentElement",
+    abstract=True,
+    supertypes=[_model_element],
+    doc="Abstract base of architecture elements.",
+)
+
+_io_node = ARCHITECTURE.define(
+    "IONode",
+    supertypes=[_component_element],
+    doc="An input or output of a component, with value and limits.",
+)
+_io_node.attribute("direction", "enum:input|output|inout", default="input")
+_io_node.attribute("value", "float", default=0.0)
+_io_node.attribute("lowerLimit", "float")
+_io_node.attribute("upperLimit", "float")
+_io_node.attribute("unit", "string", default="")
+
+_failure_effect = ARCHITECTURE.define(
+    "FailureEffect",
+    supertypes=[_component_element],
+    doc="The effect of a failure; may cite an affected component.",
+)
+_failure_effect.attribute("text", "string", default="")
+_failure_effect.attribute(
+    "impact",
+    "enum:none|DVF|IVF",
+    default="none",
+    doc="Directly / indirectly violates the safety goal (Table I).",
+)
+
+_failure_mode = ARCHITECTURE.define(
+    "FailureMode",
+    supertypes=[_component_element],
+    doc="A failure mode of a component.",
+)
+_failure_mode.attribute(
+    "nature", "enum:" + "|".join(FAILURE_NATURES), default="other"
+)
+_failure_mode.attribute(
+    "distribution",
+    "float",
+    default=0.0,
+    doc="Share of the component's failure rate attributed to this mode, in [0,1].",
+)
+_failure_mode.attribute("cause", "string", default="")
+_failure_mode.attribute("exposure", "string", default="")
+_failure_mode.attribute(
+    "safetyRelated",
+    "bool",
+    default=False,
+    doc="Set by the automated FMEA when the mode can cause a hazardous event.",
+)
+_failure_mode.reference("effects", "FailureEffect", containment=True, many=True)
+_failure_mode.reference(
+    "hazards", "ModelElement", many=True, doc="Cited hazards from a HazardPackage."
+)
+_failure_mode.reference(
+    "affectedComponents",
+    "Component",
+    many=True,
+    doc="Components affected by this failure mode (via the cite facility).",
+)
+
+_safety_mechanism = ARCHITECTURE.define(
+    "SafetyMechanism",
+    supertypes=[_component_element],
+    doc="A diagnostic mechanism deployable on a component.",
+)
+_safety_mechanism.attribute(
+    "coverage", "float", default=0.0, doc="Diagnostic coverage in [0, 1]."
+)
+_safety_mechanism.attribute(
+    "cost", "float", default=0.0, doc="Deployment cost (e.g. engineering hours)."
+)
+_safety_mechanism.reference(
+    "covers", "FailureMode", many=True, doc="Failure modes this mechanism covers."
+)
+
+_function = ARCHITECTURE.define(
+    "Function",
+    supertypes=[_component_element],
+    doc="A function with an M-out-of-N tolerance type.",
+)
+_function.attribute("tolerance", "enum:1oo1|1oo2|1oo3|2oo3", default="1oo1")
+_function.attribute(
+    "safetyRelated", "bool", default=False, doc="Whether the function is safety-related."
+)
+
+_component = ARCHITECTURE.define(
+    "Component",
+    supertypes=[_component_element],
+    doc="An atomic or composite system component.",
+)
+_component.attribute("fit", "float", default=0.0, doc="Failure-In-Time (1e-9 f/h).")
+_component.attribute(
+    "integrityLevel",
+    "enum:QM|ASIL-A|ASIL-B|ASIL-C|ASIL-D|SIL-1|SIL-2|SIL-3|SIL-4",
+    default="QM",
+)
+_component.attribute(
+    "componentType", "enum:system|hardware|software", default="hardware"
+)
+_component.attribute(
+    "safetyRelated",
+    "bool",
+    default=False,
+    doc="True if any failure mode would cause a hazardous event.",
+)
+_component.attribute(
+    "dynamic",
+    "bool",
+    default=False,
+    doc="Dynamic components get runtime monitors generated for them.",
+)
+_component.attribute(
+    "componentClass",
+    "string",
+    default="",
+    doc="Catalogue type used to look up reliability data (e.g. 'Diode').",
+)
+_component.reference("subcomponents", "Component", containment=True, many=True)
+_component.reference("ioNodes", "IONode", containment=True, many=True)
+_component.reference("failureModes", "FailureMode", containment=True, many=True)
+_component.reference("functions", "Function", containment=True, many=True)
+_component.reference(
+    "safetyMechanisms", "SafetyMechanism", containment=True, many=True
+)
+_component.reference(
+    "relationships", "ComponentRelationship", containment=True, many=True,
+    doc="Connections among this component's subcomponents and IO nodes.",
+)
+
+_relationship = ARCHITECTURE.define(
+    "ComponentRelationship",
+    supertypes=[_component_element],
+    doc="A connection between two components.",
+)
+_relationship.attribute(
+    "kind", "enum:signal|power|data|mechanical", default="signal"
+)
+_relationship.reference("source", "Component", required=True)
+_relationship.reference("target", "Component", required=True)
+_relationship.reference("sourceNode", "IONode")
+_relationship.reference("targetNode", "IONode")
+
+_component_pkg_interface = ARCHITECTURE.define(
+    "ComponentPackageInterface",
+    supertypes=[_package_interface],
+    doc="Exposes selected architecture elements of a package.",
+)
+
+_component_package = ARCHITECTURE.define(
+    "ComponentPackage",
+    supertypes=[_package],
+    doc="A module of architecture elements.",
+)
+_component_package.reference(
+    "components", "Component", containment=True, many=True
+)
+_component_package.reference(
+    "interfaces", "ComponentPackageInterface", containment=True, many=True
+)
+
+global_registry().register(ARCHITECTURE)
+
+
+def component_package(name: str, pkg_id: str = "") -> ModelObject:
+    pkg = _component_package.create(id=pkg_id or name)
+    return set_name(pkg, name)
+
+
+def component(
+    name: str,
+    fit: float = 0.0,
+    component_class: str = "",
+    component_type: str = "hardware",
+    integrity_level: str = "QM",
+    dynamic: bool = False,
+    comp_id: str = "",
+) -> ModelObject:
+    comp = _component.create(
+        fit=float(fit),
+        componentClass=component_class or name,
+        componentType=component_type,
+        integrityLevel=integrity_level,
+        dynamic=dynamic,
+        id=comp_id or name,
+    )
+    return set_name(comp, name)
+
+
+def io_node(
+    name: str,
+    direction: str = "input",
+    value: float = 0.0,
+    lower_limit: float = None,
+    upper_limit: float = None,
+    unit: str = "",
+) -> ModelObject:
+    node = _io_node.create(
+        direction=direction, value=float(value), unit=unit, id=name
+    )
+    if lower_limit is not None:
+        node.set("lowerLimit", float(lower_limit))
+    if upper_limit is not None:
+        node.set("upperLimit", float(upper_limit))
+    return set_name(node, name)
+
+
+def failure_mode(
+    name: str,
+    nature: str = "other",
+    distribution: float = 0.0,
+    cause: str = "",
+    exposure: str = "",
+) -> ModelObject:
+    mode = _failure_mode.create(
+        nature=nature,
+        distribution=float(distribution),
+        cause=cause,
+        exposure=exposure,
+        id=name,
+    )
+    return set_name(mode, name)
+
+
+def failure_effect(text: str, impact: str = "none") -> ModelObject:
+    return _failure_effect.create(text=text, impact=impact, id=text)
+
+
+def safety_mechanism(
+    name: str, coverage: float, cost: float = 0.0
+) -> ModelObject:
+    mech = _safety_mechanism.create(
+        coverage=float(coverage), cost=float(cost), id=name
+    )
+    return set_name(mech, name)
+
+
+def function(name: str, tolerance: str = "1oo1", safety_related: bool = False) -> ModelObject:
+    func = _function.create(tolerance=tolerance, safetyRelated=safety_related, id=name)
+    return set_name(func, name)
+
+
+def connect(
+    parent: ModelObject,
+    source: ModelObject,
+    target: ModelObject,
+    kind: str = "signal",
+    source_node: ModelObject = None,
+    target_node: ModelObject = None,
+) -> ModelObject:
+    """Create a relationship between two subcomponents of ``parent``."""
+    rel = _relationship.create(kind=kind, source=source, target=target)
+    if source_node is not None:
+        rel.set("sourceNode", source_node)
+    if target_node is not None:
+        rel.set("targetNode", target_node)
+    parent.add("relationships", rel)
+    return rel

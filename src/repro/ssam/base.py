@@ -1,0 +1,160 @@
+"""SSAM Base module (paper Fig. 2).
+
+The base module provides the facilities for extensibility, modularity and
+traceability that every other SSAM module builds on:
+
+- ``ModelElement`` — the root metaclass; carries an ``id``, a multi-language
+  ``name`` (a ``LangString``), a description and any number of utility
+  elements;
+- ``LangString`` — a string tagged with its language;
+- ``ImplementationConstraint`` — a *machine-executable* constraint attached
+  to a model element (the paper executes EOL; we execute expressions in the
+  query language of :mod:`repro.drivers.query`);
+- ``ExternalReference`` — traceability to an external, heterogeneous model:
+  location, driver type, metadata, and a machine-executable extraction query
+  that, when executed, pulls information from the external model;
+- ``Citation`` — a "cite" link from one model element to another, possibly
+  across packages.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.metamodel import MetaPackage, ModelObject, global_registry
+
+BASE = MetaPackage("ssam_base", "urn:ssam:base", doc="SSAM Base module")
+
+_lang_string = BASE.define("LangString", doc="A string with a language tag.")
+_lang_string.attribute("value", "string", default="")
+_lang_string.attribute("lang", "string", default="en")
+
+_utility = BASE.define(
+    "UtilityElement",
+    abstract=True,
+    doc="Abstract base of the utility elements carried by ModelElements.",
+)
+_utility.attribute("key", "string", default="")
+
+_constraint = BASE.define(
+    "ImplementationConstraint",
+    supertypes=[_utility],
+    doc="A machine-executable constraint attached to a ModelElement.",
+)
+_constraint.attribute("language", "string", default="rql", doc="Constraint language.")
+_constraint.attribute("body", "string", default="", doc="Executable constraint text.")
+_constraint.attribute("description", "string", default="")
+
+_external_ref = BASE.define(
+    "ExternalReference",
+    supertypes=[_utility],
+    doc="Traceability to an external, heterogeneous model.",
+)
+_external_ref.attribute("location", "string", default="", doc="Path or URI of the external model.")
+_external_ref.attribute(
+    "type",
+    "string",
+    default="",
+    doc="Driver type used to open the model (csv, json, xml, table, simulink, ssam).",
+)
+_external_ref.attribute("metadata", "string", default="", doc="Free-form metadata, e.g. sheet name.")
+_external_ref.reference(
+    "implementationConstraint",
+    "ImplementationConstraint",
+    containment=True,
+    doc="Query executed against the external model to pull information.",
+)
+
+_model_element = BASE.define(
+    "ModelElement",
+    abstract=True,
+    doc="Root of all SSAM elements; provides id, name, utilities, citations.",
+)
+_model_element.attribute("id", "string", default="")
+_model_element.attribute("description", "string", default="")
+_model_element.reference("name", "LangString", containment=True)
+_model_element.reference(
+    "utilities", "UtilityElement", containment=True, many=True
+)
+_model_element.reference(
+    "cites",
+    "ModelElement",
+    many=True,
+    doc="Traceability to elements possibly organised in other packages.",
+)
+
+_package = BASE.define(
+    "Package",
+    abstract=True,
+    supertypes=[_model_element],
+    doc="Abstract base of the SSAM package kinds.",
+)
+
+_package_interface = BASE.define(
+    "PackageInterface",
+    supertypes=[_model_element],
+    doc="An interface exposing selected elements of a package for reuse.",
+)
+_package_interface.attribute("direction", "enum:provided|required", default="provided")
+_package_interface.reference("exposes", "ModelElement", many=True)
+
+global_registry().register(BASE)
+
+
+def lang_string(value: str, lang: str = "en") -> ModelObject:
+    """Create a ``LangString`` instance."""
+    return _lang_string.create(value=value, lang=lang)
+
+
+def text_of(element: Optional[ModelObject]) -> str:
+    """The plain-text name of a ``ModelElement`` (empty string if unnamed).
+
+    Accepts either a ``ModelElement`` (reads its ``name`` LangString) or a
+    ``LangString`` directly.
+    """
+    if element is None:
+        return ""
+    if element.is_kind_of("LangString"):
+        return element.get("value") or ""
+    if element.metaclass.find_feature("name") is None:
+        return ""
+    name = element.get("name")
+    if name is None:
+        return ""
+    return name.get("value") or ""
+
+
+def set_name(element: ModelObject, value: str, lang: str = "en") -> ModelObject:
+    """Set (replacing) the element's name and return the element."""
+    element.set("name", lang_string(value, lang))
+    return element
+
+
+def external_reference(
+    location: str,
+    driver_type: str,
+    query: str = "",
+    metadata: str = "",
+    language: str = "rql",
+) -> ModelObject:
+    """Create an ``ExternalReference`` with an optional extraction query."""
+    ref = BASE.get("ExternalReference").create(
+        location=location, type=driver_type, metadata=metadata
+    )
+    if query:
+        ref.set(
+            "implementationConstraint",
+            BASE.get("ImplementationConstraint").create(
+                language=language, body=query
+            ),
+        )
+    return ref
+
+
+def implementation_constraint(
+    body: str, language: str = "rql", description: str = ""
+) -> ModelObject:
+    """Create an ``ImplementationConstraint``."""
+    return BASE.get("ImplementationConstraint").create(
+        body=body, language=language, description=description
+    )

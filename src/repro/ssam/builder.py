@@ -1,0 +1,227 @@
+"""Fluent construction of SSAM architectures.
+
+The builder mirrors what SAME's graphical system-design editor lets a user do
+(paper Fig. 12): drop components, wire them, model IO nodes with limits and
+attach failure modes and safety mechanisms.  It produces a composite
+``Component`` whose ``relationships`` describe the wiring of its
+subcomponents; connections to the composite's own boundary are expressed as
+relationships whose source (resp. target) is the composite itself, which is
+what the graph-based FMEA (Algorithm 1) uses to anchor input→output paths.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.metamodel import ModelObject
+from repro.ssam import architecture as arch
+from repro.ssam.base import text_of
+
+
+class ComponentHandle:
+    """A fluent wrapper around one ``Component`` under construction."""
+
+    def __init__(self, element: ModelObject, builder: "ArchitectureBuilder") -> None:
+        self.element = element
+        self._builder = builder
+
+    @property
+    def name(self) -> str:
+        return text_of(self.element)
+
+    def input(
+        self,
+        name: str,
+        value: float = 0.0,
+        lower: Optional[float] = None,
+        upper: Optional[float] = None,
+        unit: str = "",
+    ) -> "ComponentHandle":
+        self.element.add(
+            "ioNodes",
+            arch.io_node(name, "input", value, lower, upper, unit),
+        )
+        return self
+
+    def output(
+        self,
+        name: str,
+        value: float = 0.0,
+        lower: Optional[float] = None,
+        upper: Optional[float] = None,
+        unit: str = "",
+    ) -> "ComponentHandle":
+        self.element.add(
+            "ioNodes",
+            arch.io_node(name, "output", value, lower, upper, unit),
+        )
+        return self
+
+    def failure_mode(
+        self,
+        name: str,
+        nature: str = "other",
+        distribution: float = 0.0,
+        cause: str = "",
+        exposure: str = "",
+    ) -> "ComponentHandle":
+        self.element.add(
+            "failureModes",
+            arch.failure_mode(name, nature, distribution, cause, exposure),
+        )
+        return self
+
+    def safety_mechanism(
+        self,
+        name: str,
+        coverage: float,
+        cost: float = 0.0,
+        covers: Optional[List[str]] = None,
+    ) -> "ComponentHandle":
+        """Attach a safety mechanism; ``covers`` names this component's
+        failure modes the mechanism diagnoses (all of them when omitted)."""
+        mech = arch.safety_mechanism(name, coverage, cost)
+        modes = self.element.get("failureModes")
+        if covers is None:
+            mech.set("covers", list(modes))
+        else:
+            by_name = {text_of(m): m for m in modes}
+            missing = [n for n in covers if n not in by_name]
+            if missing:
+                raise KeyError(
+                    f"component {self.name!r} has no failure mode(s) {missing}"
+                )
+            mech.set("covers", [by_name[n] for n in covers])
+        self.element.add("safetyMechanisms", mech)
+        return self
+
+    def function(
+        self, name: str, tolerance: str = "1oo1", safety_related: bool = False
+    ) -> "ComponentHandle":
+        self.element.add(
+            "functions", arch.function(name, tolerance, safety_related)
+        )
+        return self
+
+    def dynamic(self, flag: bool = True) -> "ComponentHandle":
+        self.element.set("dynamic", flag)
+        return self
+
+    def find_io(self, name: str) -> ModelObject:
+        for node in self.element.get("ioNodes"):
+            if text_of(node) == name:
+                return node
+        raise KeyError(f"component {self.name!r} has no IO node {name!r}")
+
+
+class ArchitectureBuilder:
+    """Builds one composite component and its internal wiring.
+
+    Usage::
+
+        builder = ArchitectureBuilder("PowerSupply")
+        dc1 = builder.component("DC1", fit=0, component_class="DCSource")
+        d1 = builder.component("D1", fit=10, component_class="Diode")
+        builder.wire(dc1, d1)
+        builder.entry(dc1)      # fed by the composite's input
+        builder.exit(d1)        # feeds the composite's output
+        system = builder.build()
+    """
+
+    def __init__(
+        self,
+        name: str,
+        fit: float = 0.0,
+        component_type: str = "system",
+        integrity_level: str = "QM",
+    ) -> None:
+        self.composite = arch.component(
+            name,
+            fit=fit,
+            component_class=name,
+            component_type=component_type,
+            integrity_level=integrity_level,
+        )
+        self._handles: Dict[str, ComponentHandle] = {}
+
+    def component(
+        self,
+        name: str,
+        fit: float = 0.0,
+        component_class: str = "",
+        component_type: str = "hardware",
+        dynamic: bool = False,
+    ) -> ComponentHandle:
+        """Add a subcomponent and return its fluent handle."""
+        if name in self._handles:
+            raise ValueError(f"duplicate component name {name!r}")
+        element = arch.component(
+            name,
+            fit=fit,
+            component_class=component_class,
+            component_type=component_type,
+            dynamic=dynamic,
+        )
+        self.composite.add("subcomponents", element)
+        handle = ComponentHandle(element, self)
+        self._handles[name] = handle
+        return handle
+
+    def subsystem(self, builder: "ArchitectureBuilder") -> ComponentHandle:
+        """Nest a fully-built composite from another builder."""
+        element = builder.build()
+        name = text_of(element)
+        if name in self._handles:
+            raise ValueError(f"duplicate component name {name!r}")
+        self.composite.add("subcomponents", element)
+        handle = ComponentHandle(element, self)
+        self._handles[name] = handle
+        return handle
+
+    def __getitem__(self, name: str) -> ComponentHandle:
+        return self._handles[name]
+
+    def wire(
+        self,
+        source: ComponentHandle,
+        target: ComponentHandle,
+        kind: str = "signal",
+        source_node: Optional[str] = None,
+        target_node: Optional[str] = None,
+    ) -> ModelObject:
+        """Connect two subcomponents (optionally pinning IO nodes)."""
+        return arch.connect(
+            self.composite,
+            source.element,
+            target.element,
+            kind=kind,
+            source_node=source.find_io(source_node) if source_node else None,
+            target_node=target.find_io(target_node) if target_node else None,
+        )
+
+    def chain(self, *handles: ComponentHandle, kind: str = "signal") -> None:
+        """Wire handles in sequence: h1→h2→…→hn."""
+        for src, dst in zip(handles, handles[1:]):
+            self.wire(src, dst, kind=kind)
+
+    def entry(self, handle: ComponentHandle, kind: str = "signal") -> ModelObject:
+        """Declare that ``handle`` is fed by the composite's input boundary."""
+        return arch.connect(self.composite, self.composite, handle.element, kind=kind)
+
+    def exit(self, handle: ComponentHandle, kind: str = "signal") -> ModelObject:
+        """Declare that ``handle`` feeds the composite's output boundary."""
+        return arch.connect(self.composite, handle.element, self.composite, kind=kind)
+
+    def boundary_input(self, name: str = "in", **kwargs: float) -> ModelObject:
+        node = arch.io_node(name, "input", **kwargs)
+        self.composite.add("ioNodes", node)
+        return node
+
+    def boundary_output(self, name: str = "out", **kwargs: float) -> ModelObject:
+        node = arch.io_node(name, "output", **kwargs)
+        self.composite.add("ioNodes", node)
+        return node
+
+    def build(self) -> ModelObject:
+        """Return the composite component."""
+        return self.composite

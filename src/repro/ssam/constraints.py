@@ -1,0 +1,156 @@
+"""SSAM well-formedness constraints — the editor's live validation.
+
+Structural typing is enforced by the metamodel kernel; these are the
+*semantic* rules a SAME user would be warned about while modelling:
+
+- a component's failure-mode distributions must not exceed 1 (and should
+  reach 1 when the component has a FIT rate — otherwise failure rate is
+  unaccounted for);
+- safety-mechanism coverages must lie in [0, 1], and a mechanism should
+  cover at least one failure mode *of its own component*;
+- relationship endpoints must be the composite itself or its direct
+  subcomponents (no cross-level wiring);
+- IO-node limits must be ordered;
+- safety requirements at ASIL-A or above should cite at least one hazard
+  or component (untraceable requirements are unverifiable);
+- hazards with an integrity target above QM should have at least one
+  hazardous situation recorded (else the target is unjustified).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.metamodel import Constraint, Severity
+from repro.metamodel.validation import ValidationReport, validate
+from repro.ssam.model import SSAMModel
+
+
+def _distribution_total_ok(component) -> bool:
+    modes = component.get("failureModes")
+    if not modes:
+        return True
+    total = sum(float(m.get("distribution") or 0.0) for m in modes)
+    return total <= 1.0 + 1e-9
+
+
+def _distribution_complete(component) -> bool:
+    modes = component.get("failureModes")
+    if not modes or not (component.get("fit") or 0.0):
+        return True
+    total = sum(float(m.get("distribution") or 0.0) for m in modes)
+    return abs(total - 1.0) <= 1e-6
+
+
+def _coverage_in_range(mechanism) -> bool:
+    coverage = float(mechanism.get("coverage") or 0.0)
+    return 0.0 <= coverage <= 1.0
+
+
+def _mechanism_covers_own_modes(mechanism) -> bool:
+    covers = mechanism.get("covers")
+    if not covers:
+        return False
+    owner = mechanism.container
+    if owner is None:
+        return False
+    own_modes = set(id(m) for m in owner.get("failureModes"))
+    return all(id(m) in own_modes for m in covers)
+
+
+def _relationship_endpoints_local(relationship) -> bool:
+    composite = relationship.container
+    if composite is None:
+        return False
+    allowed = {id(composite)} | {
+        id(sub) for sub in composite.get("subcomponents")
+    }
+    source = relationship.get("source")
+    target = relationship.get("target")
+    return (
+        source is not None
+        and target is not None
+        and id(source) in allowed
+        and id(target) in allowed
+    )
+
+
+def _io_limits_ordered(node) -> bool:
+    lower = node.get("lowerLimit")
+    upper = node.get("upperLimit")
+    if lower is None or upper is None:
+        return True
+    return lower <= upper
+
+
+def _safety_requirement_traceable(requirement) -> bool:
+    if requirement.get("integrityLevel") in ("QM",):
+        return True
+    return bool(requirement.get("cites"))
+
+
+def _hazard_target_justified(hazard) -> bool:
+    if hazard.get("integrityTarget") in ("QM",):
+        return True
+    return bool(hazard.get("situations"))
+
+
+def ssam_constraints() -> List[Constraint]:
+    """The semantic rule set, applicable per element kind."""
+
+    def only_for(kind, predicate):
+        return lambda obj: (not obj.is_kind_of(kind)) or predicate(obj)
+
+    return [
+        Constraint(
+            "component.distribution-total",
+            only_for("Component", _distribution_total_ok),
+            "failure-mode distributions exceed 100%",
+        ),
+        Constraint(
+            "component.distribution-complete",
+            only_for("Component", _distribution_complete),
+            "failure-mode distributions do not sum to 100%; part of the "
+            "failure rate is unaccounted for",
+            severity=Severity.WARNING,
+        ),
+        Constraint(
+            "mechanism.coverage-range",
+            only_for("SafetyMechanism", _coverage_in_range),
+            "diagnostic coverage outside [0, 1]",
+        ),
+        Constraint(
+            "mechanism.covers-own-modes",
+            only_for("SafetyMechanism", _mechanism_covers_own_modes),
+            "mechanism covers no failure mode of its own component",
+            severity=Severity.WARNING,
+        ),
+        Constraint(
+            "relationship.endpoints-local",
+            only_for("ComponentRelationship", _relationship_endpoints_local),
+            "relationship endpoints are not the composite or its direct "
+            "subcomponents",
+        ),
+        Constraint(
+            "ionode.limits-ordered",
+            only_for("IONode", _io_limits_ordered),
+            "lower limit exceeds upper limit",
+        ),
+        Constraint(
+            "requirement.traceable",
+            only_for("SafetyRequirement", _safety_requirement_traceable),
+            "safety requirement above QM cites no hazard or component",
+            severity=Severity.WARNING,
+        ),
+        Constraint(
+            "hazard.target-justified",
+            only_for("Hazard", _hazard_target_justified),
+            "integrity target above QM without any hazardous situation",
+            severity=Severity.WARNING,
+        ),
+    ]
+
+
+def validate_ssam(model: SSAMModel) -> ValidationReport:
+    """Structural + semantic validation of a whole SSAM model."""
+    return validate(model.root, extra_constraints=ssam_constraints())

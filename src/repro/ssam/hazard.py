@@ -1,0 +1,184 @@
+"""SSAM Hazard module (paper Fig. 4).
+
+``HazardElement`` is the abstract base for all hazard-related elements,
+organised in ``HazardPackage``s.  The module models:
+
+- ``Hazard`` — a top-level hazard (e.g. the case study's *H1: the power
+  supply fails unexpectedly*) with an associated integrity-level target;
+- ``HazardousSituation`` — occurs due to a ``Cause``; carries a severity and
+  a probability (SSAM deliberately does not adhere 100 % to ISO 26262's
+  S/E/C scheme, to promote generality, but we record exposure and
+  controllability as optional attributes so the ISO mapping is available);
+- ``ControlMeasure`` — mitigates a hazardous situation; may carry a
+  ``SafetyDecision`` (deployment rationale), a ``ValidationPlan`` and an
+  ``EffectivenessOfVerification``.
+"""
+
+from __future__ import annotations
+
+from repro.metamodel import MetaPackage, ModelObject, global_registry
+from repro.ssam.base import BASE, set_name
+
+HAZARD = MetaPackage("ssam_hazard", "urn:ssam:hazard", doc="SSAM Hazard module")
+
+_model_element = BASE.get("ModelElement")
+_package = BASE.get("Package")
+_package_interface = BASE.get("PackageInterface")
+
+_hazard_element = HAZARD.define(
+    "HazardElement",
+    abstract=True,
+    supertypes=[_model_element],
+    doc="Abstract base of hazard-related elements.",
+)
+
+_cause = HAZARD.define(
+    "Cause",
+    supertypes=[_hazard_element],
+    doc="A cause of a hazardous situation.",
+)
+_cause.attribute("text", "string", default="")
+
+_safety_decision = HAZARD.define(
+    "SafetyDecision",
+    supertypes=[_hazard_element],
+    doc="Rationale for deploying a control measure.",
+)
+_safety_decision.attribute("rationale", "string", default="")
+
+_validation_plan = HAZARD.define(
+    "ValidationPlan",
+    supertypes=[_hazard_element],
+    doc="Plan for validating a control measure.",
+)
+_validation_plan.attribute("plan", "string", default="")
+
+_eov = HAZARD.define(
+    "EffectivenessOfVerification",
+    supertypes=[_hazard_element],
+    doc="Evidence that a control measure mitigates its hazardous situation.",
+)
+_eov.attribute("effectiveness", "float", default=0.0, doc="In [0, 1].")
+_eov.attribute("evidence", "string", default="")
+
+_control_measure = HAZARD.define(
+    "ControlMeasure",
+    supertypes=[_hazard_element],
+    doc="A measure mitigating a hazardous situation to an acceptable level.",
+)
+_control_measure.reference("decision", "SafetyDecision", containment=True)
+_control_measure.reference("validation", "ValidationPlan", containment=True)
+_control_measure.reference(
+    "effectiveness", "EffectivenessOfVerification", containment=True
+)
+
+_hazardous_situation = HAZARD.define(
+    "HazardousSituation",
+    supertypes=[_hazard_element],
+    doc="A situation in which a hazard, context and configuration coincide.",
+)
+_hazardous_situation.attribute("severity", "enum:S0|S1|S2|S3", default="S0")
+_hazardous_situation.attribute("probability", "float", default=0.0)
+_hazardous_situation.attribute(
+    "exposure", "enum:E0|E1|E2|E3|E4", default="E0", doc="Optional ISO 26262 mapping."
+)
+_hazardous_situation.attribute(
+    "controllability",
+    "enum:C0|C1|C2|C3",
+    default="C0",
+    doc="Optional ISO 26262 mapping.",
+)
+_hazardous_situation.reference("causes", "Cause", containment=True, many=True)
+_hazardous_situation.reference(
+    "controlMeasures", "ControlMeasure", containment=True, many=True
+)
+
+_hazard = HAZARD.define(
+    "Hazard",
+    supertypes=[_hazard_element],
+    doc="A top-level hazard entry in the hazard log.",
+)
+_hazard.attribute("text", "string", default="")
+_hazard.attribute(
+    "integrityTarget",
+    "enum:QM|ASIL-A|ASIL-B|ASIL-C|ASIL-D|SIL-1|SIL-2|SIL-3|SIL-4",
+    default="QM",
+)
+_hazard.reference(
+    "situations", "HazardousSituation", containment=True, many=True
+)
+
+_hazard_pkg_interface = HAZARD.define(
+    "HazardPackageInterface",
+    supertypes=[_package_interface],
+    doc="Exposes selected hazard elements of a package.",
+)
+
+_hazard_package = HAZARD.define(
+    "HazardPackage",
+    supertypes=[_package],
+    doc="A module of hazard elements (a hazard log).",
+)
+_hazard_package.reference("elements", "HazardElement", containment=True, many=True)
+_hazard_package.reference(
+    "interfaces", "HazardPackageInterface", containment=True, many=True
+)
+
+global_registry().register(HAZARD)
+
+
+def hazard_package(name: str, pkg_id: str = "") -> ModelObject:
+    pkg = _hazard_package.create(id=pkg_id or name)
+    return set_name(pkg, name)
+
+
+def hazard(
+    name: str,
+    text: str,
+    integrity_target: str = "QM",
+    hazard_id: str = "",
+) -> ModelObject:
+    hz = _hazard.create(
+        text=text, integrityTarget=integrity_target, id=hazard_id or name
+    )
+    return set_name(hz, name)
+
+
+def hazardous_situation(
+    name: str,
+    severity: str = "S0",
+    probability: float = 0.0,
+    exposure: str = "E0",
+    controllability: str = "C0",
+) -> ModelObject:
+    situation = _hazardous_situation.create(
+        severity=severity,
+        probability=probability,
+        exposure=exposure,
+        controllability=controllability,
+        id=name,
+    )
+    return set_name(situation, name)
+
+
+def cause(text: str) -> ModelObject:
+    return set_name(_cause.create(text=text, id=text), text)
+
+
+def control_measure(
+    name: str,
+    rationale: str = "",
+    plan: str = "",
+    effectiveness: float = 0.0,
+) -> ModelObject:
+    measure = _control_measure.create(id=name)
+    set_name(measure, name)
+    if rationale:
+        measure.set("decision", _safety_decision.create(rationale=rationale))
+    if plan:
+        measure.set("validation", _validation_plan.create(plan=plan))
+    if effectiveness:
+        measure.set(
+            "effectiveness", _eov.create(effectiveness=effectiveness)
+        )
+    return measure

@@ -1,0 +1,136 @@
+"""SSAM MBSA module (paper Fig. 6) — Model-Based Systems Assurance.
+
+The MBSA module links the design-time artefacts produced by DECISIVE (FMEA
+results, reliability models, safety-mechanism catalogues) to assurance
+artefacts, so that SSAM models can act as a *federation* model for the wider
+System Assurance process:
+
+- ``MBSAPackage`` — a module of assurance bindings;
+- ``ArtefactBinding`` — binds a named development artefact (by external
+  reference) into the assurance scope;
+- ``AnalysisResult`` — records the outcome of an automated analysis run
+  (e.g. an FMEDA table, the computed SPFM) together with the query that can
+  re-derive it;
+- ``AssuranceQuery`` — a machine-executable query over an artefact whose
+  result substantiates an assurance claim (executed by ACME-style tools).
+"""
+
+from __future__ import annotations
+
+from repro.metamodel import MetaPackage, ModelObject, global_registry
+from repro.ssam.base import BASE, set_name
+
+MBSA = MetaPackage("ssam_mbsa", "urn:ssam:mbsa", doc="SSAM MBSA module")
+
+_model_element = BASE.get("ModelElement")
+_package = BASE.get("Package")
+_package_interface = BASE.get("PackageInterface")
+
+_mbsa_element = MBSA.define(
+    "MBSAElement",
+    abstract=True,
+    supertypes=[_model_element],
+    doc="Abstract base of MBSA elements.",
+)
+
+_artefact_binding = MBSA.define(
+    "ArtefactBinding",
+    supertypes=[_mbsa_element],
+    doc="Binds a development artefact into the assurance scope.",
+)
+_artefact_binding.attribute(
+    "artefactKind",
+    "enum:fmea_result|fmeda_result|reliability_model|safety_mechanism_model"
+    "|hazard_log|requirement_spec|design_model|other",
+    default="other",
+)
+_artefact_binding.reference(
+    "externalReference", "ExternalReference", containment=True
+)
+
+_assurance_query = MBSA.define(
+    "AssuranceQuery",
+    supertypes=[_mbsa_element],
+    doc="A machine-executable query substantiating an assurance claim.",
+)
+_assurance_query.attribute("expression", "string", default="")
+_assurance_query.attribute("language", "string", default="rql")
+_assurance_query.attribute(
+    "expectation",
+    "string",
+    default="",
+    doc="Human-readable statement of what the query result must satisfy.",
+)
+_assurance_query.reference("over", "ArtefactBinding")
+
+_analysis_result = MBSA.define(
+    "AnalysisResult",
+    supertypes=[_mbsa_element],
+    doc="Recorded outcome of an automated analysis run.",
+)
+_analysis_result.attribute(
+    "analysisKind", "enum:fmea|fmeda|fta|spfm|asil|other", default="other"
+)
+_analysis_result.attribute("value", "string", default="")
+_analysis_result.attribute("timestamp", "string", default="")
+_analysis_result.reference("derivedBy", "AssuranceQuery")
+
+_mbsa_pkg_interface = MBSA.define(
+    "MBSAPackageInterface",
+    supertypes=[_package_interface],
+    doc="Exposes selected MBSA elements of a package.",
+)
+
+_mbsa_package = MBSA.define(
+    "MBSAPackage",
+    supertypes=[_package],
+    doc="A module of assurance bindings and queries.",
+)
+_mbsa_package.reference("elements", "MBSAElement", containment=True, many=True)
+_mbsa_package.reference(
+    "interfaces", "MBSAPackageInterface", containment=True, many=True
+)
+
+global_registry().register(MBSA)
+
+
+def mbsa_package(name: str, pkg_id: str = "") -> ModelObject:
+    pkg = _mbsa_package.create(id=pkg_id or name)
+    return set_name(pkg, name)
+
+
+def artefact_binding(
+    name: str, artefact_kind: str = "other", external_reference: ModelObject = None
+) -> ModelObject:
+    binding = _artefact_binding.create(artefactKind=artefact_kind, id=name)
+    set_name(binding, name)
+    if external_reference is not None:
+        binding.set("externalReference", external_reference)
+    return binding
+
+
+def assurance_query(
+    name: str,
+    expression: str,
+    expectation: str = "",
+    over: ModelObject = None,
+) -> ModelObject:
+    query = _assurance_query.create(
+        expression=expression, expectation=expectation, id=name
+    )
+    set_name(query, name)
+    if over is not None:
+        query.set("over", over)
+    return query
+
+
+def analysis_result(
+    name: str, analysis_kind: str, value: str, derived_by: ModelObject = None
+) -> ModelObject:
+    result = _analysis_result.create(
+        analysisKind=analysis_kind, value=value, id=name
+    )
+    set_name(result, name)
+    if derived_by is not None:
+        result.set("derivedBy", derived_by)
+    return result

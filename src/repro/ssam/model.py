@@ -1,0 +1,149 @@
+"""The SSAM model root and its convenience API.
+
+A ``SSAMModelRoot`` contains requirement, hazard, component and MBSA
+packages.  :class:`SSAMModel` wraps the raw root object in a Python-friendly
+facade: package management, element lookup by id, component iteration,
+element counting (the scalability experiment's unit of size), persistence
+and cloning.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterator, List, Optional, Union
+
+from repro.metamodel import (
+    MetaPackage,
+    ModelObject,
+    ModelResource,
+    global_registry,
+)
+from repro.ssam.base import BASE, set_name, text_of
+
+SSAM_MODEL = MetaPackage("ssam_model", "urn:ssam:model", doc="SSAM model root")
+
+_root = SSAM_MODEL.define(
+    "SSAMModelRoot",
+    supertypes=[BASE.get("ModelElement")],
+    doc="Root of a SSAM model: holds packages of every module kind.",
+)
+_root.reference("requirementPackages", "RequirementPackage", containment=True, many=True)
+_root.reference("hazardPackages", "HazardPackage", containment=True, many=True)
+_root.reference("componentPackages", "ComponentPackage", containment=True, many=True)
+_root.reference("mbsaPackages", "MBSAPackage", containment=True, many=True)
+
+global_registry().register(SSAM_MODEL)
+
+
+class SSAMModel:
+    """A Python facade over a ``SSAMModelRoot`` containment tree."""
+
+    def __init__(self, name: str = "model", root: Optional[ModelObject] = None) -> None:
+        if root is None:
+            root = _root.create(id=name)
+            set_name(root, name)
+        self.root = root
+
+    # -- package management ---------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return text_of(self.root)
+
+    def add_requirement_package(self, pkg: ModelObject) -> ModelObject:
+        return self.root.add("requirementPackages", pkg)
+
+    def add_hazard_package(self, pkg: ModelObject) -> ModelObject:
+        return self.root.add("hazardPackages", pkg)
+
+    def add_component_package(self, pkg: ModelObject) -> ModelObject:
+        return self.root.add("componentPackages", pkg)
+
+    def add_mbsa_package(self, pkg: ModelObject) -> ModelObject:
+        return self.root.add("mbsaPackages", pkg)
+
+    @property
+    def requirement_packages(self) -> List[ModelObject]:
+        return self.root.get("requirementPackages")
+
+    @property
+    def hazard_packages(self) -> List[ModelObject]:
+        return self.root.get("hazardPackages")
+
+    @property
+    def component_packages(self) -> List[ModelObject]:
+        return self.root.get("componentPackages")
+
+    @property
+    def mbsa_packages(self) -> List[ModelObject]:
+        return self.root.get("mbsaPackages")
+
+    # -- queries ---------------------------------------------------------------
+
+    def all_elements(self) -> Iterator[ModelObject]:
+        """Every model element in the tree, root included."""
+        yield self.root
+        yield from self.root.all_contents()
+
+    def element_count(self) -> int:
+        """Number of model elements — the unit of size in Table VI."""
+        return self.root.element_count()
+
+    def find_by_id(self, element_id: str) -> Optional[ModelObject]:
+        for obj in self.all_elements():
+            if obj.metaclass.find_feature("id") and obj.get("id") == element_id:
+                return obj
+        return None
+
+    def find_by_name(self, name: str) -> Optional[ModelObject]:
+        for obj in self.all_elements():
+            if text_of(obj) == name:
+                return obj
+        return None
+
+    def elements_of_kind(self, class_name: str) -> List[ModelObject]:
+        return [obj for obj in self.all_elements() if obj.is_kind_of(class_name)]
+
+    def components(self) -> List[ModelObject]:
+        """All components, at every nesting level."""
+        return self.elements_of_kind("Component")
+
+    def top_components(self) -> List[ModelObject]:
+        """Components directly owned by component packages."""
+        out: List[ModelObject] = []
+        for pkg in self.component_packages:
+            out.extend(pkg.get("components"))
+        return out
+
+    def hazards(self) -> List[ModelObject]:
+        return self.elements_of_kind("Hazard")
+
+    def requirements(self) -> List[ModelObject]:
+        return self.elements_of_kind("Requirement")
+
+    def safety_requirements(self) -> List[ModelObject]:
+        return self.elements_of_kind("SafetyRequirement")
+
+    def external_references(self) -> List[ModelObject]:
+        return self.elements_of_kind("ExternalReference")
+
+    # -- persistence ------------------------------------------------------------
+
+    def save(self, path: Union[str, Path]) -> Path:
+        return ModelResource().save(self.root, path)
+
+    @classmethod
+    def load(
+        cls,
+        path: Union[str, Path],
+        memory_budget_bytes: Optional[int] = None,
+    ) -> "SSAMModel":
+        resource = ModelResource(memory_budget_bytes=memory_budget_bytes)
+        return cls(root=resource.load(path))
+
+    def clone(self) -> "SSAMModel":
+        """Deep copy, e.g. for a what-if safety-mechanism deployment."""
+        return SSAMModel(root=ModelResource().clone(self.root))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"<SSAMModel {self.name!r} ({self.element_count()} elements)>"

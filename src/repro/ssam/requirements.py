@@ -1,0 +1,107 @@
+"""SSAM Requirement module (paper Fig. 3).
+
+``RequirementElement`` is the abstract base of ``Requirement``,
+``SafetyRequirement`` and ``RequirementRelationship``.  Requirement elements
+are organised in ``RequirementPackage``s which may expose
+``RequirementPackageInterface``s so that requirements are modular, reusable
+and interchangeable.
+"""
+
+from __future__ import annotations
+
+from repro.metamodel import MetaPackage, ModelObject, global_registry
+from repro.ssam.base import BASE, set_name
+
+REQUIREMENTS = MetaPackage(
+    "ssam_requirements", "urn:ssam:requirements", doc="SSAM Requirement module"
+)
+
+_model_element = BASE.get("ModelElement")
+_package = BASE.get("Package")
+_package_interface = BASE.get("PackageInterface")
+
+_req_element = REQUIREMENTS.define(
+    "RequirementElement",
+    abstract=True,
+    supertypes=[_model_element],
+    doc="Abstract base of requirement elements.",
+)
+
+_requirement = REQUIREMENTS.define(
+    "Requirement",
+    supertypes=[_req_element],
+    doc="A (functional) requirement with text and status.",
+)
+_requirement.attribute("text", "string", default="")
+_requirement.attribute(
+    "status",
+    "enum:draft|reviewed|approved|implemented|verified",
+    default="draft",
+)
+_requirement.attribute("rationale", "string", default="")
+
+_safety_requirement = REQUIREMENTS.define(
+    "SafetyRequirement",
+    supertypes=[_requirement],
+    doc="A requirement with an integrity level (functional part + rigour).",
+)
+_safety_requirement.attribute(
+    "integrityLevel",
+    "enum:QM|ASIL-A|ASIL-B|ASIL-C|ASIL-D|SIL-1|SIL-2|SIL-3|SIL-4",
+    default="QM",
+)
+
+_req_relationship = REQUIREMENTS.define(
+    "RequirementRelationship",
+    supertypes=[_req_element],
+    doc="A typed relationship between two requirement elements.",
+)
+_req_relationship.attribute(
+    "kind", "enum:derives|refines|traces|conflicts|satisfies", default="derives"
+)
+_req_relationship.reference("source", "RequirementElement", required=True)
+_req_relationship.reference("target", "RequirementElement", required=True)
+
+_req_pkg_interface = REQUIREMENTS.define(
+    "RequirementPackageInterface",
+    supertypes=[_package_interface],
+    doc="Exposes selected requirements of a package.",
+)
+
+_req_package = REQUIREMENTS.define(
+    "RequirementPackage",
+    supertypes=[_package],
+    doc="A module of requirement elements.",
+)
+_req_package.reference("elements", "RequirementElement", containment=True, many=True)
+_req_package.reference(
+    "interfaces", "RequirementPackageInterface", containment=True, many=True
+)
+
+global_registry().register(REQUIREMENTS)
+
+
+def requirement_package(name: str, pkg_id: str = "") -> ModelObject:
+    pkg = _req_package.create(id=pkg_id or name)
+    return set_name(pkg, name)
+
+
+def requirement(name: str, text: str, req_id: str = "") -> ModelObject:
+    req = _requirement.create(text=text, id=req_id or name)
+    return set_name(req, name)
+
+
+def safety_requirement(
+    name: str, text: str, integrity_level: str = "QM", req_id: str = ""
+) -> ModelObject:
+    req = _safety_requirement.create(
+        text=text, integrityLevel=integrity_level, id=req_id or name
+    )
+    return set_name(req, name)
+
+
+def relate(
+    source: ModelObject, target: ModelObject, kind: str = "derives"
+) -> ModelObject:
+    """Create a ``RequirementRelationship`` between two requirement elements."""
+    return _req_relationship.create(kind=kind, source=source, target=target)

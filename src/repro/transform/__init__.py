@@ -1,0 +1,30 @@
+"""Model-to-model transformation (Simulink → SSAM and back).
+
+- :mod:`repro.transform.engine` — a small two-phase, rule-based
+  transformation engine with a trace model (the ETL substitute);
+- :mod:`repro.transform.simulink2ssam` — the paper's tested transformation:
+  Simulink models become SSAM architectures *without information loss*
+  (every block parameter is preserved, and the inverse transformation
+  reconstructs an equivalent Simulink model — the round trip is exact);
+- :mod:`repro.transform.trace` — transformation traces, used both to
+  resolve references during transformation and to propagate changes made in
+  SSAM (e.g. deployed safety mechanisms) back to the source model.
+"""
+
+from repro.transform.engine import Rule, TransformationEngine, TransformError
+from repro.transform.trace import TransformationTrace
+from repro.transform.simulink2ssam import (
+    simulink_to_ssam,
+    ssam_to_simulink,
+    propagate_mechanisms_to_simulink,
+)
+
+__all__ = [
+    "Rule",
+    "TransformationEngine",
+    "TransformError",
+    "TransformationTrace",
+    "simulink_to_ssam",
+    "ssam_to_simulink",
+    "propagate_mechanisms_to_simulink",
+]

@@ -1,0 +1,99 @@
+"""A two-phase, rule-based model-to-model transformation engine.
+
+The engine follows the semantics of Epsilon's ETL, which the paper's
+``simulink2ssam`` transformation is written in:
+
+- **phase 1 (create)**: every rule whose guard accepts a source element
+  creates its target element(s); the (source, target) pair is recorded in
+  the :class:`~repro.transform.trace.TransformationTrace`;
+- **phase 2 (bind)**: each rule's ``bind`` callback runs with the complete
+  trace available, so cross-references between targets are resolved through
+  ``trace.resolve`` regardless of rule execution order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, List, Optional
+
+from repro.transform.trace import TransformationTrace
+
+
+class TransformError(Exception):
+    """Raised for rule conflicts or failed reference resolution."""
+
+
+@dataclass
+class Rule:
+    """One transformation rule.
+
+    ``guard`` selects source elements; ``create`` returns the target element
+    (phase 1); ``bind`` (optional) fills the target's references (phase 2).
+    Both callbacks receive ``(source, context)``; ``bind`` additionally
+    receives the created target.
+    """
+
+    name: str
+    guard: Callable[[Any], bool]
+    create: Callable[[Any, "TransformationContext"], Any]
+    bind: Optional[Callable[[Any, Any, "TransformationContext"], None]] = None
+
+
+class TransformationContext:
+    """Shared state passed to rule callbacks: the trace plus free slots."""
+
+    def __init__(self, trace: TransformationTrace) -> None:
+        self.trace = trace
+        self.slots: dict = {}
+
+    def resolve(self, source: Any, rule: Optional[str] = None) -> Any:
+        try:
+            return self.trace.resolve(source, rule)
+        except KeyError as exc:
+            raise TransformError(str(exc)) from exc
+
+
+class TransformationEngine:
+    """Runs an ordered rule set over a source element stream."""
+
+    def __init__(self, rules: Optional[Iterable[Rule]] = None) -> None:
+        self.rules: List[Rule] = list(rules or [])
+
+    def add_rule(self, rule: Rule) -> Rule:
+        if any(existing.name == rule.name for existing in self.rules):
+            raise TransformError(f"duplicate rule name {rule.name!r}")
+        self.rules.append(rule)
+        return rule
+
+    def rule(
+        self,
+        name: str,
+        guard: Callable[[Any], bool],
+    ) -> Callable:
+        """Decorator form: the decorated function is the ``create`` callback;
+        attach ``bind`` afterwards via ``rule.bind = fn`` if needed."""
+
+        def register(create: Callable[[Any, TransformationContext], Any]) -> Rule:
+            return self.add_rule(Rule(name, guard, create))
+
+        return register
+
+    def run(
+        self, sources: Iterable[Any]
+    ) -> TransformationTrace:
+        """Execute both phases over ``sources``; returns the trace."""
+        sources = list(sources)
+        trace = TransformationTrace()
+        context = TransformationContext(trace)
+        matched: List[tuple] = []
+        for source in sources:
+            for rule in self.rules:
+                if rule.guard(source):
+                    target = rule.create(source, context)
+                    if target is not None:
+                        trace.record(rule.name, source, target)
+                        matched.append((rule, source, target))
+        for rule, source, target in matched:
+            if rule.bind is not None:
+                rule.bind(source, target, context)
+        return trace

@@ -1,0 +1,309 @@
+"""The Simulink ↔ SSAM transformation (paper Section IV, REQ1/REQ2).
+
+Forward (:func:`simulink_to_ssam`) maps, with **no information loss**:
+
+- the model → an :class:`~repro.ssam.model.SSAMModel` with one component
+  package holding a composite ``Component``;
+- every block → a ``Component`` whose ``componentClass`` is the block type
+  and whose complete parameter set is preserved verbatim in an
+  ``ImplementationConstraint`` utility (language ``simulink-parameters``);
+- every port → an ``IONode`` (electrical conserving ports become ``inout``);
+- every line → a ``ComponentRelationship`` pinned to the port IO nodes;
+- subsystems → nested components, recursively.
+
+Reverse (:func:`ssam_to_simulink`) reconstructs the Simulink model from
+those components; the round trip is exact (``model.to_dict()`` equality),
+which is the operational meaning of "without information loss".
+
+Optionally the forward transformation *enriches* components with failure
+modes from a reliability model (DECISIVE Step 3 fused into the mapping).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from repro.metamodel import ModelObject
+from repro.reliability import ReliabilityModel
+from repro.simulink.model import Block, Line, SimulinkModel
+from repro.ssam import SSAMModel
+from repro.ssam import architecture as arch
+from repro.ssam.architecture import component_package
+from repro.ssam.base import implementation_constraint, text_of
+from repro.transform.engine import (
+    Rule,
+    TransformationContext,
+    TransformationEngine,
+    TransformError,
+)
+from repro.transform.trace import TransformationTrace
+
+_PARAMS_LANGUAGE = "simulink-parameters"
+_TYPE_KEY = "simulink-block-type"
+
+
+def _block_to_component(block: Block, context: TransformationContext) -> ModelObject:
+    comp = arch.component(
+        block.name,
+        component_class=block.effective_type,
+        component_type="hardware",
+        comp_id=block.path(),
+    )
+    constraint = implementation_constraint(
+        json.dumps(block.parameters, sort_keys=True),
+        language=_PARAMS_LANGUAGE,
+        description=f"verbatim parameters of {block.path()}",
+    )
+    constraint.set("key", _TYPE_KEY + ":" + block.block_type)
+    comp.add("utilities", constraint)
+    info = block.effective_info
+    for port in block.ports():
+        if port in info.electrical_ports or (
+            block.block_type == "Subsystem" and not block.param("annotated_type")
+        ):
+            direction = "inout"
+        elif port in info.signal_inputs:
+            direction = "input"
+        else:
+            direction = "output"
+        comp.add("ioNodes", arch.io_node(port, direction))
+    return comp
+
+
+def _find_io(component: ModelObject, port: str) -> Optional[ModelObject]:
+    for node in component.get("ioNodes"):
+        if text_of(node) == port:
+            return node
+    return None
+
+
+def build_engine() -> TransformationEngine:
+    """The simulink2ssam rule set."""
+    engine = TransformationEngine()
+
+    def create_model(model: SimulinkModel, context: TransformationContext):
+        composite = arch.component(
+            model.name,
+            component_class="SimulinkModel",
+            component_type="system",
+            comp_id=model.name,
+        )
+        return composite
+
+    engine.add_rule(
+        Rule(
+            "Model2Composite",
+            guard=lambda s: isinstance(s, SimulinkModel),
+            create=create_model,
+        )
+    )
+
+    def bind_block(block: Block, target: ModelObject, context: TransformationContext):
+        owner = block.diagram.owner if block.diagram is not None else None
+        if owner is None:
+            parent = context.resolve(block.diagram.model, "Model2Composite")
+        else:
+            parent = context.resolve(owner, "Block2Component")
+        parent.add("subcomponents", target)
+
+    engine.add_rule(
+        Rule(
+            "Block2Component",
+            guard=lambda s: isinstance(s, Block),
+            create=_block_to_component,
+            bind=bind_block,
+        )
+    )
+
+    def create_line(line: Line, context: TransformationContext):
+        return arch.ARCHITECTURE.get("ComponentRelationship").create(
+            kind="power" if line.is_electrical else "signal"
+        )
+
+    def bind_line(line: Line, target: ModelObject, context: TransformationContext):
+        source_comp = context.resolve(line.source, "Block2Component")
+        target_comp = context.resolve(line.target, "Block2Component")
+        target.set("source", source_comp)
+        target.set("target", target_comp)
+        source_node = _find_io(source_comp, line.source_port)
+        target_node = _find_io(target_comp, line.target_port)
+        if source_node is not None:
+            target.set("sourceNode", source_node)
+        if target_node is not None:
+            target.set("targetNode", target_node)
+        owner = line.source.diagram.owner
+        if owner is None:
+            parent = context.resolve(line.source.diagram.model, "Model2Composite")
+        else:
+            parent = context.resolve(owner, "Block2Component")
+        parent.add("relationships", target)
+
+    engine.add_rule(
+        Rule(
+            "Line2Relationship",
+            guard=lambda s: isinstance(s, Line),
+            create=create_line,
+            bind=bind_line,
+        )
+    )
+    return engine
+
+
+def simulink_to_ssam(
+    model: SimulinkModel,
+    reliability: Optional[ReliabilityModel] = None,
+    anchor_boundaries: bool = False,
+) -> SSAMModel:
+    """Transform a Simulink model to SSAM (optionally enriching failure
+    modes from a reliability model — Step 3 fused into the mapping).
+
+    ``anchor_boundaries`` additionally derives the input/output boundary
+    Algorithm 1 needs: source-role blocks are anchored to the composite's
+    input, sensor-role blocks to its output (a Simulink diagram has no
+    explicit system boundary, so this is an interpretation, kept opt-in;
+    the extra relationships do not affect the lossless reverse transform,
+    which skips boundary anchors)."""
+    engine = build_engine()
+    sources: List[object] = [model]
+    sources.extend(model.all_blocks())
+    sources.extend(model.all_lines())
+    trace = engine.run(sources)
+
+    ssam = SSAMModel(model.name)
+    package = component_package(f"{model.name}_architecture")
+    composite = trace.resolve(model, "Model2Composite")
+    package.add("components", composite)
+    ssam.add_component_package(package)
+
+    if reliability is not None:
+        for block in model.all_blocks():
+            entry = reliability.get(block.effective_type)
+            if entry is None:
+                continue
+            comp = trace.try_resolve(block, "Block2Component")
+            if comp is None:
+                continue
+            comp.set("fit", float(entry.fit))
+            for mode in entry.failure_modes:
+                comp.add(
+                    "failureModes",
+                    arch.failure_mode(mode.name, mode.nature, mode.distribution),
+                )
+    if anchor_boundaries:
+        _anchor_boundaries(model, composite, trace)
+    # Keep the trace reachable for change propagation.
+    ssam.transformation_trace = trace  # type: ignore[attr-defined]
+    return ssam
+
+
+def _anchor_boundaries(
+    model: SimulinkModel, composite: ModelObject, trace: TransformationTrace
+) -> None:
+    relationship_cls = arch.ARCHITECTURE.get("ComponentRelationship")
+    for block in model.root.blocks():
+        comp = trace.try_resolve(block, "Block2Component")
+        if comp is None:
+            continue
+        role = block.effective_info.role
+        if role == "source":
+            composite.add(
+                "relationships",
+                relationship_cls.create(source=composite, target=comp, kind="power"),
+            )
+        elif role == "sensor":
+            composite.add(
+                "relationships",
+                relationship_cls.create(source=comp, target=composite, kind="power"),
+            )
+
+
+def _component_block_info(component: ModelObject):
+    """Extract (block_type, parameters) recorded by the forward transform."""
+    for utility in component.get("utilities"):
+        if not utility.is_kind_of("ImplementationConstraint"):
+            continue
+        if utility.get("language") != _PARAMS_LANGUAGE:
+            continue
+        key = utility.get("key") or ""
+        if not key.startswith(_TYPE_KEY + ":"):
+            continue
+        block_type = key.split(":", 1)[1]
+        parameters = json.loads(utility.get("body") or "{}")
+        return block_type, parameters
+    return None
+
+
+def ssam_to_simulink(ssam: SSAMModel) -> SimulinkModel:
+    """Reconstruct the Simulink model from a transformed SSAM model."""
+    packages = ssam.component_packages
+    if not packages or not packages[0].get("components"):
+        raise TransformError("SSAM model has no component package to convert")
+    composite = packages[0].get("components")[0]
+    model = SimulinkModel(text_of(composite) or ssam.name)
+    _rebuild_diagram(composite, model.root)
+    return model
+
+
+def _rebuild_diagram(composite: ModelObject, diagram) -> None:
+    blocks_by_component: Dict[str, Block] = {}
+    for sub in composite.get("subcomponents"):
+        info = _component_block_info(sub)
+        if info is None:
+            raise TransformError(
+                f"component {text_of(sub)!r} carries no simulink-parameters "
+                f"constraint; cannot reconstruct"
+            )
+        block_type, parameters = info
+        block = Block(text_of(sub), block_type, parameters)
+        diagram.add_block(block)
+        blocks_by_component[sub.uid] = block
+        if block.subdiagram is not None:
+            _rebuild_diagram(sub, block.subdiagram)
+    for rel in composite.get("relationships"):
+        source = rel.get("source")
+        target = rel.get("target")
+        source_node = rel.get("sourceNode")
+        target_node = rel.get("targetNode")
+        if source is composite or target is composite:
+            continue  # boundary anchors have no Simulink counterpart
+        diagram.connect(
+            blocks_by_component[source.uid],
+            text_of(source_node) if source_node is not None else "p",
+            blocks_by_component[target.uid],
+            text_of(target_node) if target_node is not None else "p",
+        )
+
+
+def propagate_mechanisms_to_simulink(
+    ssam: SSAMModel, model: SimulinkModel
+) -> int:
+    """Propagate safety mechanisms deployed on SSAM components back into the
+    Simulink model (as a ``safety_mechanisms`` block parameter).
+
+    Returns the number of blocks updated.  This is the paper's "changes in
+    SSAM can be propagated back to the original model".
+    """
+    updated = 0
+    blocks_by_name = {block.name: block for block in model.all_blocks()}
+    for component in ssam.elements_of_kind("Component"):
+        mechanisms = component.get("safetyMechanisms")
+        if not mechanisms:
+            continue
+        block = blocks_by_name.get(text_of(component))
+        if block is None:
+            continue
+        block.set_param(
+            "safety_mechanisms",
+            [
+                {
+                    "name": text_of(mechanism),
+                    "coverage": mechanism.get("coverage"),
+                    "cost": mechanism.get("cost"),
+                    "covers": [text_of(m) for m in mechanism.get("covers")],
+                }
+                for mechanism in mechanisms
+            ],
+        )
+        updated += 1
+    return updated

@@ -1,0 +1,73 @@
+"""Transformation traces — source↔target mappings.
+
+A trace is recorded during transformation (phase 1 creates targets, phase 2
+resolves references through the trace) and kept afterwards so that changes
+made on the target side can be propagated back to the source model, as the
+paper requires for safety-mechanism deployments chosen in SSAM.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+
+class TransformationTrace:
+    """Bidirectional mapping between source and target model objects.
+
+    Keys are object identities; a source may map to several targets (one per
+    rule), in which case lookups may be disambiguated by rule name.
+    """
+
+    def __init__(self) -> None:
+        self._by_source: Dict[int, List[Tuple[str, Any]]] = {}
+        self._by_target: Dict[int, Tuple[str, Any]] = {}
+        self._sources: Dict[int, Any] = {}
+
+    def record(self, rule: str, source: Any, target: Any) -> None:
+        self._by_source.setdefault(id(source), []).append((rule, target))
+        self._sources[id(source)] = source
+        self._by_target[id(target)] = (rule, source)
+
+    def resolve(self, source: Any, rule: Optional[str] = None) -> Any:
+        """The target created from ``source`` (optionally by a given rule)."""
+        entries = self._by_source.get(id(source), [])
+        if rule is not None:
+            entries = [e for e in entries if e[0] == rule]
+        if not entries:
+            raise KeyError(
+                f"no target recorded for source {source!r}"
+                + (f" under rule {rule!r}" if rule else "")
+            )
+        if len(entries) > 1:
+            rules = [e[0] for e in entries]
+            raise KeyError(
+                f"source {source!r} has targets from several rules {rules}; "
+                f"pass rule="
+            )
+        return entries[0][1]
+
+    def try_resolve(self, source: Any, rule: Optional[str] = None) -> Optional[Any]:
+        try:
+            return self.resolve(source, rule)
+        except KeyError:
+            return None
+
+    def source_of(self, target: Any) -> Any:
+        """The source a target was created from."""
+        try:
+            return self._by_target[id(target)][1]
+        except KeyError:
+            raise KeyError(f"no source recorded for target {target!r}") from None
+
+    def has_source(self, source: Any) -> bool:
+        return id(source) in self._by_source
+
+    def pairs(self) -> Iterable[Tuple[str, Any, Any]]:
+        """(rule, source, target) triples in recording order."""
+        for source_id, entries in self._by_source.items():
+            source = self._sources[source_id]
+            for rule, target in entries:
+                yield rule, source, target
+
+    def __len__(self) -> int:
+        return len(self._by_target)

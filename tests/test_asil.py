@@ -1,0 +1,72 @@
+"""HARA / ASIL determination tests (ISO 26262-3 risk graph)."""
+
+import pytest
+
+from repro.safety import determine_asil, risk_graph
+from repro.ssam.hazard import hazardous_situation
+
+
+class TestRiskGraph:
+    @pytest.mark.parametrize(
+        "s,e,c,expected",
+        [
+            # The extreme corner: highest everything.
+            ("S3", "E4", "C3", "ASIL-D"),
+            # One step down in any dimension -> ASIL-C.
+            ("S2", "E4", "C3", "ASIL-C"),
+            ("S3", "E3", "C3", "ASIL-C"),
+            ("S3", "E4", "C2", "ASIL-C"),
+            # Classic ASIL-B cells.
+            ("S3", "E4", "C1", "ASIL-B"),
+            ("S2", "E3", "C3", "ASIL-B"),
+            ("S1", "E4", "C3", "ASIL-B"),
+            # ASIL-A cells.
+            ("S1", "E4", "C2", "ASIL-A"),
+            ("S2", "E2", "C3", "ASIL-A"),
+            ("S3", "E1", "C3", "ASIL-A"),
+            # QM below the threshold.
+            ("S1", "E1", "C1", "QM"),
+            ("S1", "E2", "C2", "QM"),
+            ("S2", "E1", "C2", "QM"),
+        ],
+    )
+    def test_cells(self, s, e, c, expected):
+        assert risk_graph(s, e, c) == expected
+
+    @pytest.mark.parametrize("s,e,c", [("S0", "E4", "C3"), ("S3", "E0", "C3"), ("S3", "E4", "C0")])
+    def test_class_zero_means_qm(self, s, e, c):
+        assert risk_graph(s, e, c) == "QM"
+
+    def test_malformed_labels_rejected(self):
+        with pytest.raises(ValueError):
+            risk_graph("high", "E4", "C3")
+        with pytest.raises(ValueError):
+            risk_graph("S9", "E4", "C3")
+        with pytest.raises(ValueError):
+            risk_graph("S1", "E5", "C1")
+
+    def test_monotone_in_each_dimension(self):
+        order = ["QM", "ASIL-A", "ASIL-B", "ASIL-C", "ASIL-D"]
+        for s in range(1, 4):
+            for e in range(1, 5):
+                for c in range(1, 3):
+                    low = order.index(risk_graph(f"S{s}", f"E{e}", f"C{c}"))
+                    high = order.index(risk_graph(f"S{s}", f"E{e}", f"C{c + 1}"))
+                    assert high >= low
+
+
+class TestDetermineAsil:
+    def test_from_situation(self):
+        situation = hazardous_situation(
+            "HS", severity="S3", exposure="E4", controllability="C3"
+        )
+        assert determine_asil(situation) == "ASIL-D"
+
+    def test_defaults_are_qm(self):
+        assert determine_asil(hazardous_situation("HS")) == "QM"
+
+    def test_wrong_element_kind_rejected(self):
+        from repro.ssam.hazard import hazard
+
+        with pytest.raises(ValueError):
+            determine_asil(hazard("H1", "t"))

@@ -1,0 +1,201 @@
+"""Assurance-case tests: artifacts, GSN structure, automated evaluation."""
+
+import pytest
+
+from repro.assurance import (
+    ArtifactReference,
+    Assumption,
+    Context,
+    Goal,
+    GsnError,
+    Justification,
+    NodeStatus,
+    Solution,
+    Strategy,
+    evaluate_case,
+    render_goal_structure,
+)
+from repro.assurance.sacm import ArtifactError
+from repro.drivers.table import Sheet
+
+
+@pytest.fixture
+def spfm_sheet(tmp_path):
+    Sheet("Summary", [{"SPFM": "96.77%", "ASIL": "ASIL-B"}]).write_csv(
+        tmp_path / "wb" / "Summary.csv"
+    )
+    return tmp_path
+
+
+def spfm_artifact(acceptance="result >= 0.90"):
+    return ArtifactReference(
+        name="fmeda",
+        location="wb",
+        driver_type="table",
+        metadata="Summary",
+        query="rows('Summary')[0]['SPFM']",
+        acceptance=acceptance,
+    )
+
+
+class TestArtifactReference:
+    def test_fetch_runs_query(self, spfm_sheet):
+        assert spfm_artifact().fetch(spfm_sheet) == pytest.approx(0.9677)
+
+    def test_check_passes(self, spfm_sheet):
+        assert spfm_artifact().check(spfm_sheet)
+
+    def test_check_fails(self, spfm_sheet):
+        assert not spfm_artifact("result >= 0.99").check(spfm_sheet)
+
+    def test_no_acceptance_means_existence_check(self, spfm_sheet):
+        artifact = ArtifactReference(
+            name="x", location="wb", driver_type="table"
+        )
+        assert artifact.check(spfm_sheet)
+
+    def test_missing_artifact_raises(self, tmp_path):
+        with pytest.raises(ArtifactError, match="cannot open"):
+            spfm_artifact().fetch(tmp_path)
+
+    def test_bad_query_raises(self, spfm_sheet):
+        artifact = ArtifactReference(
+            name="x",
+            location="wb",
+            driver_type="table",
+            query="rows('Nope')",
+        )
+        with pytest.raises(ArtifactError, match="query failed"):
+            artifact.fetch(spfm_sheet)
+
+    def test_bad_acceptance_raises(self, spfm_sheet):
+        artifact = spfm_artifact(acceptance="undefined_name > 1")
+        with pytest.raises(ArtifactError, match="acceptance"):
+            artifact.check(spfm_sheet)
+
+    def test_fetch_without_query_returns_driver(self, spfm_sheet):
+        artifact = ArtifactReference(name="x", location="wb", driver_type="table")
+        driver = artifact.fetch(spfm_sheet)
+        assert driver.elements("Summary")
+
+
+class TestGsnStructure:
+    def test_goal_accepts_valid_support(self):
+        goal = Goal("G1", "claim")
+        goal.add_support(Goal("G2", "sub"))
+        goal.add_support(Strategy("S1", "argue"))
+        goal.add_support(Solution("Sn1", "evidence"))
+        assert len(goal.supported_by) == 3
+
+    def test_goal_rejects_context_as_support(self):
+        with pytest.raises(GsnError):
+            Goal("G1", "claim").add_support(Context("C1", "ctx"))
+
+    def test_goal_rejects_goal_as_context(self):
+        with pytest.raises(GsnError):
+            Goal("G1", "claim").add_context(Goal("G2", "x"))
+
+    def test_strategy_children(self):
+        strategy = Strategy("S1", "argue")
+        strategy.add_goal(Goal("G2", "sub"))
+        strategy.add_context(Justification("J1", "because"))
+        assert len(strategy.supported_by) == 1
+
+    def test_render_contains_all_nodes(self):
+        goal = Goal("G1", "top")
+        goal.add_context(Assumption("A1", "assume"))
+        strategy = goal.add_support(Strategy("S1", "argue"))
+        strategy.add_goal(Goal("G2", "sub", undeveloped=True))
+        text = render_goal_structure(goal)
+        for token in ("G1", "A1", "S1", "G2", "[undeveloped]"):
+            assert token in text
+
+
+class TestEvaluation:
+    def build_case(self, artifact):
+        goal = Goal("G1", "top")
+        strategy = goal.add_support(Strategy("S1", "argue"))
+        sub = strategy.add_goal(Goal("G2", "sub"))
+        sub.add_support(Solution("Sn1", "evidence", artifact=artifact))
+        return goal
+
+    def test_supported_case(self, spfm_sheet):
+        evaluation = evaluate_case(
+            self.build_case(spfm_artifact()), base_dir=spfm_sheet
+        )
+        assert evaluation.ok
+        assert evaluation.status("G1") == NodeStatus.SUPPORTED
+
+    def test_failing_acceptance_propagates_up(self, spfm_sheet):
+        evaluation = evaluate_case(
+            self.build_case(spfm_artifact("result >= 0.99")),
+            base_dir=spfm_sheet,
+        )
+        assert not evaluation.ok
+        assert evaluation.status("Sn1") == NodeStatus.UNSUPPORTED
+        assert evaluation.status("G1") == NodeStatus.UNSUPPORTED
+        assert "Sn1" in evaluation.failures()
+
+    def test_missing_artifact_becomes_error_status(self, tmp_path):
+        evaluation = evaluate_case(
+            self.build_case(spfm_artifact()), base_dir=tmp_path
+        )
+        assert evaluation.status("Sn1") == NodeStatus.ERROR
+        assert evaluation.status("G1") == NodeStatus.ERROR
+
+    def test_solution_without_artifact_is_undeveloped(self):
+        goal = Goal("G1", "top")
+        goal.add_support(Solution("Sn1", "promised evidence"))
+        evaluation = evaluate_case(goal)
+        assert evaluation.status("Sn1") == NodeStatus.UNDEVELOPED
+        assert evaluation.status("G1") == NodeStatus.UNDEVELOPED
+
+    def test_goal_without_support_is_undeveloped(self):
+        evaluation = evaluate_case(Goal("G1", "top"))
+        assert evaluation.status("G1") == NodeStatus.UNDEVELOPED
+
+    def test_explicitly_undeveloped_goal(self, spfm_sheet):
+        goal = Goal("G1", "top")
+        goal.add_support(Goal("G2", "later", undeveloped=True))
+        evaluation = evaluate_case(goal, base_dir=spfm_sheet)
+        assert evaluation.status("G2") == NodeStatus.UNDEVELOPED
+
+    def test_strategy_without_goals_is_undeveloped(self):
+        goal = Goal("G1", "top")
+        goal.add_support(Strategy("S1", "argue"))
+        evaluation = evaluate_case(goal)
+        assert evaluation.status("S1") == NodeStatus.UNDEVELOPED
+
+    def test_mixed_children_worst_status_wins(self, spfm_sheet):
+        goal = Goal("G1", "top")
+        ok_goal = Goal("G2", "fine")
+        ok_goal.add_support(Solution("Sn1", "e", artifact=spfm_artifact()))
+        bad_goal = Goal("G3", "bad")
+        bad_goal.add_support(
+            Solution("Sn2", "e", artifact=spfm_artifact("result >= 0.999"))
+        )
+        goal.add_support(ok_goal)
+        goal.add_support(bad_goal)
+        evaluation = evaluate_case(goal, base_dir=spfm_sheet)
+        assert evaluation.status("G2") == NodeStatus.SUPPORTED
+        assert evaluation.status("G1") == NodeStatus.UNSUPPORTED
+
+    def test_cycle_detected(self):
+        g1 = Goal("G1", "a")
+        g2 = Goal("G2", "b")
+        g1.add_support(g2)
+        g2.add_support(g1)
+        evaluation = evaluate_case(g1)
+        assert evaluation.status("G1") == NodeStatus.ERROR
+
+    def test_revalidation_after_artifact_change(self, tmp_path):
+        """The paper's automated re-validation: same case, changed FMEDA."""
+        case = self.build_case(spfm_artifact())
+        Sheet("Summary", [{"SPFM": "96.77%"}]).write_csv(
+            tmp_path / "wb" / "Summary.csv"
+        )
+        assert evaluate_case(case, base_dir=tmp_path).ok
+        Sheet("Summary", [{"SPFM": "5.38%"}]).write_csv(
+            tmp_path / "wb" / "Summary.csv"
+        )
+        assert not evaluate_case(case, base_dir=tmp_path).ok

@@ -1,0 +1,90 @@
+"""GSN pattern-instantiation tests: safety concept -> self-checking case."""
+
+import pytest
+
+from repro.assurance import (
+    NodeStatus,
+    case_from_safety_concept,
+    evaluate_case,
+    render_goal_structure,
+)
+from repro.casestudies.power_supply import (
+    build_power_supply_ssam,
+    power_supply_mechanisms,
+    power_supply_reliability,
+)
+from repro.decisive import DecisiveProcess
+from repro.safety import save_fmeda_workbook
+
+
+@pytest.fixture(scope="module")
+def concept_and_dir(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("case")
+    process = DecisiveProcess(
+        build_power_supply_ssam(),
+        power_supply_reliability(),
+        power_supply_mechanisms(),
+        target_asil="ASIL-B",
+    )
+    log = process.run()
+    save_fmeda_workbook(log.concept.fmeda, tmp / "fmeda")
+    return log.concept, tmp
+
+
+class TestPatternInstantiation:
+    def test_case_structure(self, concept_and_dir):
+        concept, _ = concept_and_dir
+        case = case_from_safety_concept(concept, "fmeda")
+        text = render_goal_structure(case)
+        assert "G1:" in text and "S1:" in text
+        assert "G-H1" in text  # one hazard (H1)
+        assert "G-M1" in text and "Sn-M1" in text
+        assert "G-R1" in text  # the ECC deployment goal
+        assert "ECC on MC1" in text
+
+    def test_generated_case_evaluates_supported(self, concept_and_dir):
+        concept, tmp = concept_and_dir
+        case = case_from_safety_concept(concept, "fmeda")
+        evaluation = evaluate_case(case, base_dir=tmp)
+        assert evaluation.ok, evaluation.messages
+
+    def test_case_detects_degraded_fmeda(self, concept_and_dir, tmp_path):
+        """Re-saving an FMEDA without mechanisms must fail the same case."""
+        concept, _ = concept_and_dir
+        from repro.safety import run_fmeda, run_ssam_fmea
+
+        bare = run_fmeda(
+            run_ssam_fmea(
+                build_power_supply_ssam().top_components()[0],
+                power_supply_reliability(),
+            )
+        )
+        save_fmeda_workbook(bare, tmp_path / "fmeda")
+        case = case_from_safety_concept(concept, "fmeda")
+        evaluation = evaluate_case(case, base_dir=tmp_path)
+        assert not evaluation.ok
+        assert evaluation.status("Sn-M1") == NodeStatus.UNSUPPORTED
+        # The mechanism-record check fails too: no ECC row in the bare FMEDA.
+        assert evaluation.status("Sn-R1.1") == NodeStatus.UNSUPPORTED
+
+    def test_case_without_deployments(self, concept_and_dir, tmp_path):
+        concept, tmp = concept_and_dir
+        import dataclasses
+
+        bare_concept = dataclasses.replace(concept, deployments=[])
+        case = case_from_safety_concept(bare_concept, "fmeda")
+        text = render_goal_structure(case)
+        assert "No safety mechanisms were required" in text
+        evaluation = evaluate_case(case, base_dir=tmp)
+        # The SPFM check passes (the saved FMEDA has ECC applied).
+        assert evaluation.ok
+
+    def test_multiple_hazards_fan_out(self, concept_and_dir):
+        concept, _ = concept_and_dir
+        import dataclasses
+
+        wide = dataclasses.replace(concept, hazards=["H1", "H2", "H3"])
+        case = case_from_safety_concept(wide, "fmeda")
+        text = render_goal_structure(case)
+        for index in (1, 2, 3):
+            assert f"G-H{index}" in text

@@ -1,0 +1,161 @@
+"""Case-study tests: PLL (Table I), Systems A/B, scalability generators."""
+
+import pytest
+
+from repro.casestudies import (
+    SCALABILITY_SETS,
+    build_scalability_model,
+    build_system_a,
+    build_system_b,
+    pll_fmea_result,
+    pll_fmeda,
+)
+from repro.casestudies.generators import (
+    MATERIALIZATION_CAP,
+    check_eager_load,
+    streamed_evaluation_seconds,
+)
+from repro.casestudies.systems import (
+    SYSTEM_A_ELEMENTS,
+    SYSTEM_B_ELEMENTS,
+    system_mechanisms,
+)
+from repro.metamodel import MemoryOverflowError
+from repro.safety import run_ssam_fmea, spfm
+
+
+class TestPllTableI:
+    def test_three_modes_with_paper_distributions(self):
+        fmea = pll_fmea_result()
+        dists = {row.failure_mode: row.distribution for row in fmea.rows}
+        assert dists == {
+            "Lower Frequency": pytest.approx(0.401),
+            "Higher Frequency": pytest.approx(0.287),
+            "Jitter": pytest.approx(0.312),
+        }
+
+    def test_impacts_match_table_i(self):
+        fmea = pll_fmea_result()
+        impacts = {row.failure_mode: row.impact for row in fmea.rows}
+        assert impacts == {
+            "Lower Frequency": "DVF",
+            "Higher Frequency": "IVF",
+            "Jitter": "DVF",
+        }
+
+    def test_dvf_modes_are_safety_related(self):
+        fmea = pll_fmea_result()
+        assert fmea.row("PLL1", "Lower Frequency").safety_related
+        assert fmea.row("PLL1", "Jitter").safety_related
+        assert not fmea.row("PLL1", "Higher Frequency").safety_related
+
+    def test_fmeda_mechanism_coverages(self):
+        result = pll_fmeda()
+        by_mode = {row.failure_mode: row for row in result.rows}
+        assert by_mode["Lower Frequency"].safety_mechanism == "time-out watchdog"
+        assert by_mode["Lower Frequency"].sm_coverage == pytest.approx(0.70)
+        assert by_mode["Jitter"].safety_mechanism == "dual-core lockstep"
+        assert by_mode["Jitter"].sm_coverage == pytest.approx(0.99)
+        assert by_mode["Higher Frequency"].safety_mechanism == ""
+
+    def test_fmeda_residuals(self):
+        result = pll_fmeda()
+        by_mode = {row.failure_mode: row for row in result.rows}
+        # watchdog at 70%: 50 * 0.401 * 0.3 residual
+        assert by_mode["Lower Frequency"].residual_rate == pytest.approx(
+            50 * 0.401 * 0.3
+        )
+        assert by_mode["Jitter"].residual_rate == pytest.approx(
+            50 * 0.312 * 0.01
+        )
+
+
+class TestEvaluationSubjects:
+    def test_system_a_element_count_exact(self):
+        assert build_system_a().element_count() == SYSTEM_A_ELEMENTS == 102
+
+    def test_system_b_element_count_exact(self):
+        assert build_system_b().element_count() == SYSTEM_B_ELEMENTS == 230
+
+    def test_system_a_analysable(self):
+        model = build_system_a()
+        fmea = run_ssam_fmea(model.top_components()[0])
+        assert "PROT_D1" in fmea.safety_related_components()
+        assert 0.0 <= spfm(fmea) < 0.9  # needs mechanisms to reach ASIL-B
+
+    def test_system_b_redundant_imus_not_single_point(self):
+        model = build_system_b()
+        fmea = run_ssam_fmea(model.top_components()[0])
+        related = fmea.safety_related_components()
+        assert "IMU_A" not in related
+        assert "IMU_B" not in related
+        assert "CPU1" in related
+
+    def test_system_b_has_software_components(self):
+        model = build_system_b()
+        software = [
+            c
+            for c in model.elements_of_kind("Component")
+            if c.get("componentType") == "software"
+        ]
+        assert len(software) >= 3
+
+    def test_mechanism_catalogue_covers_both_systems(self):
+        catalogue = system_mechanisms()
+        for model in (build_system_a(), build_system_b()):
+            fmea = run_ssam_fmea(model.top_components()[0])
+            coverable = [
+                row
+                for row in fmea.safety_related_rows()
+                if catalogue.options_for(row.component_class, row.failure_mode)
+            ]
+            assert coverable, f"{model.name}: no coverable failure mode"
+
+    def test_deterministic_construction(self):
+        first = build_system_a()
+        second = build_system_a()
+        assert first.element_count() == second.element_count()
+        fmea1 = run_ssam_fmea(first.top_components()[0])
+        fmea2 = run_ssam_fmea(second.top_components()[0])
+        assert fmea1.safety_related_components() == (
+            fmea2.safety_related_components()
+        )
+
+
+class TestScalabilityGenerators:
+    def test_published_set_sizes(self):
+        assert SCALABILITY_SETS == {
+            "Set0": 109,
+            "Set1": 269,
+            "Set2": 1_369,
+            "Set3": 5_689,
+            "Set4": 5_689_000,
+            "Set5": 568_990_000,
+        }
+
+    @pytest.mark.parametrize("count", [109, 269, 1_369, 5_689])
+    def test_exact_element_counts(self, count):
+        assert build_scalability_model(count).element_count() == count
+
+    def test_generated_model_is_analysable(self):
+        model = build_scalability_model(109)
+        fmea = run_ssam_fmea(model.top_components()[0], mark_model=False)
+        assert fmea.safety_related_components()
+
+    def test_too_small_count_rejected(self):
+        with pytest.raises(ValueError):
+            build_scalability_model(5)
+
+    def test_materialization_cap_enforced(self):
+        with pytest.raises(MemoryOverflowError):
+            build_scalability_model(MATERIALIZATION_CAP + 1)
+
+    def test_streamed_evaluation_runs(self):
+        seconds = streamed_evaluation_seconds(2_000, batch_elements=1_000)
+        assert seconds > 0
+
+    def test_check_eager_load_set5_overflows(self):
+        budget = 32 * 1024**3  # a 32 GiB heap
+        check_eager_load(SCALABILITY_SETS["Set4"], budget)  # fits
+        with pytest.raises(MemoryOverflowError):
+            check_eager_load(SCALABILITY_SETS["Set5"], budget)

@@ -1,0 +1,195 @@
+"""DECISIVE process and analyst-simulator tests."""
+
+import numpy as np
+import pytest
+
+from repro.casestudies.systems import (
+    build_system_a,
+    build_system_b,
+    system_mechanisms,
+)
+from repro.decisive import (
+    AnalystConfig,
+    DecisiveProcess,
+    simulate_manual_fmea,
+    simulate_process,
+)
+from repro.decisive.process import ProcessError
+from repro.reliability import standard_reliability_model
+from repro.safety.metrics import spfm_meets
+from repro.ssam import SSAMModel
+
+
+@pytest.fixture
+def process_a():
+    return DecisiveProcess(
+        build_system_a(),
+        standard_reliability_model(),
+        system_mechanisms(),
+        target_asil="ASIL-B",
+    )
+
+
+class TestProcessLoop:
+    def test_model_without_architecture_rejected(self):
+        with pytest.raises(ProcessError):
+            DecisiveProcess(
+                SSAMModel("empty"),
+                standard_reliability_model(),
+                system_mechanisms(),
+            )
+
+    def test_system_a_reaches_asil_b(self, process_a):
+        log = process_a.run()
+        assert log.met_target
+        assert spfm_meets(log.final_spfm, "ASIL-B")
+        # First iteration must fail the target; later ones improve.
+        assert not log.iterations[0].met_target
+        assert log.iterations[-1].met_target
+        assert log.final_spfm > log.iterations[0].spfm
+
+    def test_system_b_reaches_asil_b(self):
+        process = DecisiveProcess(
+            build_system_b(),
+            standard_reliability_model(),
+            system_mechanisms(),
+            target_asil="ASIL-B",
+        )
+        log = process.run()
+        assert log.met_target
+
+    def test_iteration_records_are_complete(self, process_a):
+        log = process_a.run()
+        for record in log.iterations:
+            assert 0.0 <= record.spfm <= 1.0
+            assert record.asil.startswith(("QM", "ASIL"))
+            assert record.safety_related
+
+    def test_deployments_recorded_on_refining_iterations(self, process_a):
+        log = process_a.run()
+        refined = [r for r in log.iterations if r.deployments]
+        assert refined, "some iteration must have deployed mechanisms"
+
+    def test_unreachable_target_terminates(self):
+        from repro.safety.mechanisms import SafetyMechanismModel
+
+        process = DecisiveProcess(
+            build_system_a(),
+            standard_reliability_model(),
+            SafetyMechanismModel(),  # empty catalogue: nothing to deploy
+            target_asil="ASIL-D",
+        )
+        log = process.run(max_iterations=5)
+        assert not log.met_target
+        assert len(log.iterations) == 1  # no progress possible, stop early
+
+    def test_safety_concept_synthesised(self, process_a):
+        log = process_a.run()
+        concept = log.concept
+        assert concept is not None
+        assert concept.achieved_asil in ("ASIL-B", "ASIL-C", "ASIL-D")
+        assert concept.safety_requirements == ["SA-SR1"]
+        assert concept.hazards == ["HA1"]
+        assert concept.deployments
+        assert concept.fmeda.total_cost > 0
+
+    def test_apply_deployments_to_model(self, process_a):
+        log = process_a.run()
+        applied = process_a.apply_deployments_to_model()
+        assert applied == len(process_a.deployments)
+        mechanisms = process_a.model.elements_of_kind("SafetyMechanism")
+        assert len(mechanisms) == applied
+        assert all(m.get("covers") for m in mechanisms)
+
+
+class TestAnalystTiming:
+    """Table V's calibration regime (see DESIGN.md substitutions)."""
+
+    def test_manual_magnitudes(self):
+        rng = np.random.default_rng(1)
+        samples = [
+            simulate_process("A", 102, 7, "P", "manual", rng, iterations=5).minutes
+            for _ in range(20)
+        ]
+        mean = sum(samples) / len(samples)
+        assert 380 <= mean <= 650  # paper: ~500 min
+
+    def test_auto_magnitudes(self):
+        rng = np.random.default_rng(2)
+        samples = [
+            simulate_process("A", 102, 7, "P", "auto", rng, iterations=2).minutes
+            for _ in range(20)
+        ]
+        mean = sum(samples) / len(samples)
+        assert 40 <= mean <= 90  # paper: ~60 min
+
+    def test_speedup_is_order_of_magnitude(self):
+        rng = np.random.default_rng(3)
+        manual = simulate_process("B", 230, 8, "P", "manual", rng, iterations=4)
+        auto = simulate_process("B", 230, 8, "P", "auto", rng, iterations=4)
+        assert manual.minutes / auto.minutes > 5
+
+    def test_manual_time_tracks_system_size(self):
+        rng = np.random.default_rng(4)
+        small = simulate_process("A", 102, 7, "P", "manual", rng, iterations=3)
+        large = simulate_process("B", 230, 8, "P", "manual", rng, iterations=3)
+        assert large.minutes > 1.5 * small.minutes
+
+    def test_iterations_drawn_when_unpinned(self):
+        rng = np.random.default_rng(5)
+        outcomes = {
+            simulate_process("A", 102, 7, "P", "auto", rng).iterations
+            for _ in range(30)
+        }
+        assert outcomes <= set(range(2, 7))
+        assert len(outcomes) > 1
+
+    def test_invalid_mode_rejected(self):
+        rng = np.random.default_rng(6)
+        with pytest.raises(ValueError):
+            simulate_process("A", 102, 7, "P", "psychic", rng)
+
+    def test_as_row_shape(self):
+        rng = np.random.default_rng(7)
+        row = simulate_process(
+            "A", 102, 7, "A", "manual", rng, iterations=5
+        ).as_row()
+        assert row["System"] == "A"
+        assert row["Participant"] == "A(Man.)"
+        assert row["No. Iterations"] == 5
+
+
+class TestAnalystCorrectness:
+    """RQ1's regime: small row-level disagreement, identical SR components."""
+
+    def test_disagreement_fraction_in_paper_range(self, psu_fmea):
+        rng = np.random.default_rng(26262)
+        fractions = [
+            simulate_manual_fmea(psu_fmea, rng)[1] for _ in range(200)
+        ]
+        mean = sum(fractions) / len(fractions)
+        assert 0.0 < mean < 0.06  # paper: 1.5% and 2.67%
+
+    def test_safety_related_components_always_preserved(self, psu_fmea):
+        rng = np.random.default_rng(99)
+        truth = sorted(psu_fmea.safety_related_components())
+        for _ in range(100):
+            manual, _ = simulate_manual_fmea(psu_fmea, rng)
+            assert sorted(manual.safety_related_components()) == truth
+
+    def test_manual_result_is_a_copy(self, psu_fmea):
+        rng = np.random.default_rng(5)
+        manual, _ = simulate_manual_fmea(psu_fmea, rng)
+        assert manual.method == "manual"
+        manual.rows[0].safety_related = not manual.rows[0].safety_related
+        # Truth untouched.
+        assert psu_fmea.rows[0].component == manual.rows[0].component
+
+    def test_zero_disagreement_rate_is_exact_copy(self, psu_fmea):
+        rng = np.random.default_rng(5)
+        config = AnalystConfig(manual_disagreement_rate=0.0)
+        manual, fraction = simulate_manual_fmea(psu_fmea, rng, config)
+        assert fraction == 0.0
+        assert [r.safety_related for r in manual.rows] == [
+            r.safety_related for r in psu_fmea.rows
+        ]

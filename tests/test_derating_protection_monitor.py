@@ -1,0 +1,178 @@
+"""Tests for derating, fuse protection and FMEA-derived monitors."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.monitor import MonitorError, monitor_from_fmea
+from repro.reliability import ReliabilityError, standard_reliability_model
+from repro.reliability.derating import (
+    ENVIRONMENT_FACTORS,
+    OperatingProfile,
+    QUALITY_FACTORS,
+    REFERENCE_CELSIUS,
+    derate_entry,
+    derate_model,
+)
+from repro.simulink import SimulinkModel, simulate, simulate_protected
+
+
+class TestOperatingProfile:
+    def test_reference_profile_is_identity_temperature(self):
+        profile = OperatingProfile()
+        assert profile.pi_temperature == pytest.approx(1.0)
+        assert profile.total_factor == pytest.approx(1.0)
+
+    def test_hotter_is_worse(self):
+        cold = OperatingProfile(temperature_celsius=0.0)
+        hot = OperatingProfile(temperature_celsius=85.0)
+        assert cold.pi_temperature < 1.0 < hot.pi_temperature
+
+    def test_arrhenius_closed_form(self):
+        profile = OperatingProfile(temperature_celsius=85.0)
+        t_use, t_ref = 85.0 + 273.15, REFERENCE_CELSIUS + 273.15
+        expected = math.exp(
+            (0.4 / 8.617e-5) * (1.0 / t_ref - 1.0 / t_use)
+        )
+        assert profile.pi_temperature == pytest.approx(expected)
+
+    def test_quality_and_environment_factors(self):
+        rugged = OperatingProfile(quality="ruggedized", environment="ground_mobile")
+        assert rugged.pi_quality == QUALITY_FACTORS["ruggedized"]
+        assert rugged.pi_environment == ENVIRONMENT_FACTORS["ground_mobile"]
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ReliabilityError):
+            OperatingProfile(quality="bespoke")
+        with pytest.raises(ReliabilityError):
+            OperatingProfile(environment="underwater_volcano")
+        with pytest.raises(ReliabilityError):
+            OperatingProfile(temperature_celsius=-300.0)
+        with pytest.raises(ReliabilityError):
+            OperatingProfile(activation_energy_ev=0.0)
+
+
+class TestDerateModel:
+    def test_fit_scaled_distributions_kept(self):
+        base = standard_reliability_model()
+        profile = OperatingProfile(
+            temperature_celsius=85.0, environment="ground_mobile"
+        )
+        derated = derate_model(base, profile)
+        diode = derated.lookup("Diode")
+        assert diode.fit == pytest.approx(
+            base.lookup("Diode").fit * profile.total_factor
+        )
+        assert [m.distribution for m in diode.failure_modes] == [
+            m.distribution for m in base.lookup("Diode").failure_modes
+        ]
+
+    def test_per_class_override(self):
+        base = standard_reliability_model()
+        mild = OperatingProfile()
+        hot_spot = OperatingProfile(temperature_celsius=105.0)
+        derated = derate_model(
+            base, mild, overrides={"PowerRegulator": hot_spot}
+        )
+        assert derated.lookup("PowerRegulator").fit == pytest.approx(
+            base.lookup("PowerRegulator").fit * hot_spot.total_factor
+        )
+        assert derated.lookup("Diode").fit == pytest.approx(
+            base.lookup("Diode").fit
+        )
+
+    def test_original_model_untouched(self):
+        base = standard_reliability_model()
+        before = base.lookup("Diode").fit
+        derate_model(base, OperatingProfile(temperature_celsius=100.0))
+        assert base.lookup("Diode").fit == before
+
+    @settings(max_examples=30, deadline=None)
+    @given(t=st.floats(min_value=-40.0, max_value=125.0, allow_nan=False))
+    def test_property_monotone_in_temperature(self, t):
+        low = OperatingProfile(temperature_celsius=t)
+        high = OperatingProfile(temperature_celsius=t + 10.0)
+        assert high.pi_temperature > low.pi_temperature
+
+
+def protected_model(load_ohms: float) -> SimulinkModel:
+    model = SimulinkModel("fused")
+    model.add_block("V", "DCVoltageSource", voltage=10.0)
+    model.add_block("F1", "Fuse", rated_current=0.5, resistance=1e-3)
+    model.add_block("CS", "CurrentSensor")
+    model.add_block("R", "Resistor", resistance=load_ohms)
+    model.add_block("G", "Ground")
+    model.connect("V", "p", "F1", "p")
+    model.connect("F1", "n", "CS", "p")
+    model.connect("CS", "n", "R", "p")
+    model.connect("R", "n", "G", "p")
+    model.connect("V", "n", "G", "p")
+    return model
+
+
+class TestFuseProtection:
+    def test_fuse_holds_within_rating(self):
+        result = simulate_protected(protected_model(100.0))  # 0.1 A
+        assert not result.blown_fuses
+        assert result.current("CS") == pytest.approx(0.1, rel=1e-3)
+
+    def test_fuse_blows_on_overcurrent(self):
+        result = simulate_protected(protected_model(5.0))  # 2 A >> 0.5 A
+        assert result.fuse_blown("F1")
+        assert result.current("CS") == pytest.approx(0.0, abs=1e-6)
+
+    def test_unprotected_simulate_ignores_rating(self):
+        result = simulate(protected_model(5.0))
+        assert result.current("CS") == pytest.approx(2.0, rel=1e-2)
+
+    def test_fault_injection_covers_fuse_modes(self):
+        from repro.safety import run_simulink_fmea
+
+        fmea = run_simulink_fmea(
+            protected_model(100.0),
+            standard_reliability_model(),
+            sensors=["CS"],
+            assume_stable=("V", "R"),
+        )
+        stuck_open = fmea.row("F1", "Stuck Open")
+        assert stuck_open.safety_related  # breaks the supply path
+        fails_to_blow = fmea.row("F1", "Fails To Blow")
+        assert not fails_to_blow.safety_related  # electrically invisible alone
+
+
+class TestMonitorFromFmea:
+    def test_channels_match_baselines(self, psu_fmea):
+        monitor = monitor_from_fmea(psu_fmea, threshold=0.2)
+        (channel,) = monitor.channels()
+        assert channel.name == "CS1"
+        baseline = list(psu_fmea.baseline_readings.values())[0]
+        assert channel.lower == pytest.approx(baseline * 0.8)
+        assert channel.upper == pytest.approx(baseline * 1.2)
+
+    def test_monitor_fires_exactly_where_fmea_flagged(self, psu_fmea):
+        """Runtime detection mirrors the design-time verdicts: injected
+        readings from SR modes violate; readings from non-SR modes do not."""
+        monitor = monitor_from_fmea(psu_fmea, threshold=0.2, debounce=1)
+        baseline = list(psu_fmea.baseline_readings.values())[0]
+        for row in psu_fmea.rows:
+            if not row.sensor_deltas:
+                continue
+            (delta,) = row.sensor_deltas.values()
+            if delta == float("inf"):
+                continue
+            reading = baseline * (1 + delta)
+            violation = monitor.observe("CS1", reading)
+            assert (violation is not None) == row.safety_related, (
+                row.component,
+                row.failure_mode,
+            )
+
+    def test_graph_fmea_rejected(self, psu_graph_fmea):
+        with pytest.raises(MonitorError, match="injection"):
+            monitor_from_fmea(psu_graph_fmea)
+
+    def test_debounce_threaded_through(self, psu_fmea):
+        monitor = monitor_from_fmea(psu_fmea, debounce=5)
+        assert monitor.channels()[0].debounce == 5

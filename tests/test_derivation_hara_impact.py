@@ -1,0 +1,209 @@
+"""Tests for requirement derivation, HARA, PMHF and change-impact analysis."""
+
+import pytest
+
+from repro.casestudies.power_supply import build_power_supply_ssam
+from repro.decisive import (
+    HazardousEventSpec,
+    HazardSpec,
+    assess_impact,
+    diff_models,
+    perform_hara,
+)
+from repro.safety import (
+    allocate_requirements_to_components,
+    derive_safety_requirements,
+    pmhf,
+    pmhf_meets,
+    run_fmeda,
+)
+from repro.safety.mechanisms import Deployment
+from repro.ssam import SSAMModel
+from repro.ssam.base import text_of
+
+
+class TestDerivation:
+    def test_one_requirement_per_safety_related_mode(self, psu_ssam, psu_graph_fmea):
+        derived = derive_safety_requirements(psu_ssam, psu_graph_fmea)
+        assert len(derived) == 3  # D1/Open, L1/Open, MC1/RAM Failure
+        texts = [r.get("text") for r in derived]
+        assert any("'D1'" in t and "'Open'" in t for t in texts)
+
+    def test_uncovered_mode_yields_prevent_detect_text(self, psu_ssam, psu_graph_fmea):
+        derived = derive_safety_requirements(psu_ssam, psu_graph_fmea)
+        assert all("prevent or detect" in r.get("text") for r in derived)
+
+    def test_covered_mode_yields_mechanism_requirement(
+        self, psu_ssam, psu_graph_fmea
+    ):
+        ecc = Deployment("MC1", "RAM Failure", "ECC", 0.99, 2.0)
+        derived = derive_safety_requirements(
+            psu_ssam, psu_graph_fmea, deployments=[ecc]
+        )
+        mc1 = [r for r in derived if "'MC1'" in r.get("text")][0]
+        assert "ECC" in mc1.get("text")
+        assert "99%" in mc1.get("text")
+
+    def test_derived_requirements_cite_components(self, psu_ssam, psu_graph_fmea):
+        derived = derive_safety_requirements(psu_ssam, psu_graph_fmea)
+        for requirement in derived:
+            cited = requirement.get("cites")
+            assert cited and cited[0].is_kind_of("Component")
+
+    def test_parent_linked_with_derives(self, psu_ssam, psu_graph_fmea):
+        parent = psu_ssam.safety_requirements()[0]
+        derive_safety_requirements(psu_ssam, psu_graph_fmea, parent=parent)
+        relationships = psu_ssam.elements_of_kind("RequirementRelationship")
+        derives = [
+            r
+            for r in relationships
+            if r.get("kind") == "derives" and r.get("target") is parent
+        ]
+        assert len(derives) == 3
+
+    def test_allocation_view(self, psu_ssam, psu_graph_fmea):
+        derive_safety_requirements(psu_ssam, psu_graph_fmea)
+        allocation = allocate_requirements_to_components(psu_ssam)
+        assert set(allocation) == {"D1", "L1", "MC1"}
+        assert allocation["D1"] == ["DSR-1"] or "DSR" in allocation["D1"][0]
+
+
+class TestPmhf:
+    def test_pmhf_before_and_after_mechanisms(self, psu_fmea):
+        before = pmhf(psu_fmea)
+        assert before == pytest.approx(307.5e-9)
+        assert not pmhf_meets(before, "ASIL-B")
+        ecc = Deployment("MC1", "RAM Failure", "ECC", 0.99, 2.0)
+        after = pmhf(psu_fmea, [ecc])
+        assert after == pytest.approx(10.5e-9)
+        assert pmhf_meets(after, "ASIL-B")
+        assert not pmhf_meets(after, "ASIL-D")  # 1.05e-8 > 1e-8
+
+    def test_levels_without_requirement_pass(self, psu_fmea):
+        assert pmhf_meets(pmhf(psu_fmea), "ASIL-A")
+        assert pmhf_meets(pmhf(psu_fmea), "QM")
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError):
+            pmhf_meets(0.0, "ASIL-Z")
+
+
+class TestHara:
+    def make_specs(self):
+        return [
+            HazardSpec(
+                "H1",
+                "power fails",
+                [
+                    HazardousEventSpec(
+                        "highway", "S3", "E4", "C2",
+                        causes=["diode open"],
+                        control_measures=["redundant supply"],
+                    ),
+                    HazardousEventSpec("parking", "S1", "E2", "C1"),
+                ],
+            ),
+            HazardSpec("H2", "benign blink", [
+                HazardousEventSpec("any", "S1", "E1", "C1"),
+            ]),
+        ]
+
+    def test_worst_case_asil_selected(self):
+        specs = self.make_specs()
+        assert specs[0].target_asil == "ASIL-C"  # S3+E4+C2 = 9
+        assert specs[1].target_asil == "QM"
+
+    def test_hazard_log_built(self):
+        model = SSAMModel("m")
+        package = perform_hara(model, self.make_specs())
+        hazards = {text_of(h): h for h in model.hazards()}
+        assert hazards["H1"].get("integrityTarget") == "ASIL-C"
+        assert len(hazards["H1"].get("situations")) == 2
+        situation = hazards["H1"].get("situations")[0]
+        assert situation.get("causes")[0].get("text") == "diode open"
+        assert text_of(situation.get("controlMeasures")[0]) == "redundant supply"
+
+    def test_safety_requirements_derived_for_non_qm(self):
+        model = SSAMModel("m")
+        perform_hara(model, self.make_specs())
+        requirements = model.safety_requirements()
+        assert [text_of(r) for r in requirements] == ["SR-H1"]
+        assert requirements[0].get("integrityLevel") == "ASIL-C"
+        assert text_of(requirements[0].get("cites")[0]) == "H1"
+
+    def test_no_requirement_derivation_when_disabled(self):
+        model = SSAMModel("m")
+        perform_hara(model, self.make_specs(), derive_requirements=False)
+        assert model.safety_requirements() == []
+
+    def test_hazard_without_events_is_qm(self):
+        assert HazardSpec("H", "t").target_asil == "QM"
+
+
+class TestImpact:
+    def test_identical_models_have_empty_diff(self):
+        diff = diff_models(build_power_supply_ssam(), build_power_supply_ssam())
+        assert diff.empty
+
+    def test_fit_change_detected(self):
+        old = build_power_supply_ssam()
+        new = build_power_supply_ssam()
+        new.find_by_name("D1").set("fit", 20.0)
+        diff = diff_models(old, new)
+        assert diff.modified_components == ["D1"]
+        assert any("fit" in d for d in diff.details["D1"])
+
+    def test_added_and_removed_components(self):
+        from repro.ssam.architecture import component
+
+        old = build_power_supply_ssam()
+        new = build_power_supply_ssam()
+        new.top_components()[0].add("subcomponents", component("D2"))
+        system = new.top_components()[0]
+        system.remove("subcomponents", new.find_by_name("C1"))
+        diff = diff_models(old, new)
+        assert "D2" in diff.added_components
+        assert "C1" in diff.removed_components
+
+    def test_mechanism_deployment_detected(self):
+        from repro.ssam.architecture import safety_mechanism
+
+        old = build_power_supply_ssam()
+        new = build_power_supply_ssam()
+        new.find_by_name("MC1").add(
+            "safetyMechanisms", safety_mechanism("ECC", 0.99)
+        )
+        diff = diff_models(old, new)
+        assert diff.modified_components == ["MC1"]
+
+    def test_impact_maps_to_fmea_rows(self, psu_graph_fmea):
+        old = build_power_supply_ssam()
+        new = build_power_supply_ssam()
+        new.find_by_name("L1").set("fit", 30.0)
+        report = assess_impact(old, new, psu_graph_fmea)
+        assert ("L1", "Open") in report.affected_fmea_rows
+        assert ("L1", "Short") in report.affected_fmea_rows
+        assert ("D1", "Open") not in report.affected_fmea_rows
+        assert report.metrics_stale and report.reanalysis_required
+
+    def test_impact_finds_cited_hazards(self, psu_graph_fmea):
+        old = build_power_supply_ssam()
+        new = build_power_supply_ssam()
+        new.find_by_name("D1").set("fit", 11.0)
+        report = assess_impact(old, new, psu_graph_fmea)
+        assert "H1" in report.affected_hazards  # D1's modes cite H1
+
+    def test_no_change_no_impact(self, psu_graph_fmea):
+        report = assess_impact(
+            build_power_supply_ssam(), build_power_supply_ssam(), psu_graph_fmea
+        )
+        assert not report.reanalysis_required
+        assert not report.affected_fmea_rows
+
+    def test_summary_renders(self, psu_graph_fmea):
+        old = build_power_supply_ssam()
+        new = build_power_supply_ssam()
+        new.find_by_name("D1").set("fit", 11.0)
+        report = assess_impact(old, new, psu_graph_fmea)
+        text = report.summary()
+        assert "D1" in text and "re-analysis needed : True" in text

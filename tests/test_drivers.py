@@ -1,0 +1,241 @@
+"""Model-driver tests: table/CSV, JSON, XML, SSAM, Simulink, registry."""
+
+import json
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.drivers import (
+    DriverError,
+    JsonDriver,
+    SimulinkDriver,
+    SsamDriver,
+    TableDriver,
+    XmlDriver,
+    driver_registry,
+    open_model,
+)
+from repro.drivers.table import Sheet, Workbook, format_cell, parse_cell
+
+
+class TestCellParsing:
+    @pytest.mark.parametrize(
+        "raw,expected",
+        [
+            ("", None),
+            ("  ", None),
+            ("42", 42),
+            ("-7", -7),
+            ("3.5", 3.5),
+            ("30%", 0.3),
+            ("99%", 0.99),
+            ("true", True),
+            ("Yes", True),
+            ("no", False),
+            ("hello", "hello"),
+            ("10e-3", 0.01),
+        ],
+    )
+    def test_parse_cell(self, raw, expected):
+        assert parse_cell(raw) == expected
+
+    def test_malformed_percent_stays_string(self):
+        assert parse_cell("abc%") == "abc%"
+
+    @given(
+        value=st.one_of(
+            st.integers(-10**6, 10**6),
+            st.text(
+                alphabet=st.characters(
+                    whitelist_categories=("Lu", "Ll", "Nd"), min_codepoint=33
+                ),
+                min_size=1,
+                max_size=12,
+            ).filter(
+                lambda s: parse_cell(s) == s  # only strings that stay strings
+            ),
+            st.booleans(),
+        )
+    )
+    def test_format_parse_roundtrip(self, value):
+        assert parse_cell(format_cell(value)) == value
+
+
+class TestSheetAndWorkbook:
+    def test_sheet_header_union(self):
+        sheet = Sheet("s", [{"a": 1}, {"a": 2, "b": 3}])
+        assert sheet.header == ["a", "b"]
+
+    def test_where_and_column(self):
+        sheet = Sheet("s", [{"a": 1, "b": "x"}, {"a": 2, "b": "y"}])
+        assert sheet.where(b="y") == [{"a": 2, "b": "y"}]
+        assert sheet.column("a") == [1, 2]
+
+    def test_csv_roundtrip(self, tmp_path):
+        sheet = Sheet("data", [{"n": 1, "p": 0.3}, {"n": 2, "p": None}])
+        path = sheet.write_csv(tmp_path / "data.csv")
+        loaded = Sheet.read_csv(path)
+        assert loaded.rows == [{"n": 1, "p": 0.3}, {"n": 2, "p": None}]
+
+    def test_workbook_from_directory(self, tmp_path):
+        Sheet("one", [{"a": 1}]).write_csv(tmp_path / "wb" / "one.csv")
+        Sheet("two", [{"b": 2}]).write_csv(tmp_path / "wb" / "two.csv")
+        workbook = Workbook.load(tmp_path / "wb")
+        assert sorted(workbook.sheet_names()) == ["one", "two"]
+        assert workbook.sheet("two").rows == [{"b": 2}]
+
+    def test_workbook_missing_sheet(self, tmp_path):
+        Sheet("one", [{"a": 1}]).write_csv(tmp_path / "wb" / "one.csv")
+        workbook = Workbook.load(tmp_path / "wb")
+        with pytest.raises(DriverError):
+            workbook.sheet("nope")
+
+    def test_workbook_missing_location(self, tmp_path):
+        with pytest.raises(DriverError):
+            Workbook.load(tmp_path / "missing")
+
+    def test_workbook_save_single_csv(self, tmp_path):
+        workbook = Workbook([Sheet("only", [{"x": 1}])])
+        path = workbook.save(tmp_path / "only.csv")
+        assert path.is_file()
+        assert Workbook.load(path).sheet("only").rows == [{"x": 1}]
+
+
+class TestTableDriver:
+    def test_elements_default_collection(self, tmp_path):
+        Sheet("main", [{"a": 1}]).write_csv(tmp_path / "wb" / "main.csv")
+        driver = TableDriver(tmp_path / "wb")
+        assert driver.elements() == [{"a": 1}]
+
+    def test_metadata_selects_default_sheet(self, tmp_path):
+        Sheet("aaa", [{"a": 1}]).write_csv(tmp_path / "wb" / "aaa.csv")
+        Sheet("zzz", [{"z": 9}]).write_csv(tmp_path / "wb" / "zzz.csv")
+        driver = TableDriver(tmp_path / "wb", metadata="zzz")
+        assert driver.default_collection() == "zzz"
+        assert driver.elements() == [{"z": 9}]
+
+    def test_find(self, tmp_path):
+        Sheet("s", [{"a": 1}, {"a": 2}]).write_csv(tmp_path / "s.csv")
+        driver = TableDriver(tmp_path / "s.csv")
+        assert driver.find(lambda r: r["a"] > 1) == [{"a": 2}]
+
+
+class TestJsonDriver:
+    def test_top_level_list(self, tmp_path):
+        path = tmp_path / "m.json"
+        path.write_text(json.dumps([{"a": 1}]))
+        driver = JsonDriver(path)
+        assert driver.collections() == ["items"]
+        assert driver.elements() == [{"a": 1}]
+
+    def test_dict_of_lists(self, tmp_path):
+        path = tmp_path / "m.json"
+        path.write_text(json.dumps({"rows": [{"a": 1}], "meta": {"v": 2}}))
+        driver = JsonDriver(path)
+        assert driver.collections() == ["rows"]
+        assert driver.elements("rows") == [{"a": 1}]
+
+    def test_metadata_path_descends(self, tmp_path):
+        path = tmp_path / "m.json"
+        path.write_text(json.dumps({"payload": {"rows": [1, 2]}}))
+        driver = JsonDriver(path, metadata="payload")
+        assert driver.elements("rows") == [1, 2]
+
+    def test_bad_path_raises(self, tmp_path):
+        path = tmp_path / "m.json"
+        path.write_text(json.dumps({"a": 1}))
+        with pytest.raises(DriverError):
+            JsonDriver(path, metadata="b.c")
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DriverError):
+            JsonDriver(tmp_path / "missing.json")
+
+    def test_value_scalar(self, tmp_path):
+        path = tmp_path / "m.json"
+        path.write_text(json.dumps({"meta": {"version": 3}}))
+        assert JsonDriver(path).value("meta.version") == 3
+
+
+class TestXmlDriver:
+    def test_elements_by_tag(self, tmp_path):
+        path = tmp_path / "m.xml"
+        path.write_text(
+            "<root><item id='1' fit='10'>Diode</item>"
+            "<item id='2'/><other/></root>"
+        )
+        driver = XmlDriver(path)
+        assert set(driver.collections()) == {"item", "other"}
+        items = driver.elements("item")
+        assert items[0] == {"id": 1, "fit": 10, "text": "Diode", "tag": "item"}
+
+    def test_metadata_prioritises_collection(self, tmp_path):
+        path = tmp_path / "m.xml"
+        path.write_text("<r><a/><b/></r>")
+        assert XmlDriver(path, metadata="b").default_collection() == "b"
+
+    def test_malformed_xml(self, tmp_path):
+        path = tmp_path / "m.xml"
+        path.write_text("<unclosed>")
+        with pytest.raises(DriverError):
+            XmlDriver(path)
+
+
+class TestSsamDriver:
+    def test_collections_and_elements(self, tmp_path, psu_ssam):
+        path = psu_ssam.save(tmp_path / "m.ssam.json")
+        driver = SsamDriver(path)
+        assert "Component" in driver.collections()
+        components = driver.elements("Component")
+        assert len(components) >= 8
+
+    def test_from_model(self, psu_ssam):
+        driver = SsamDriver.from_model(psu_ssam)
+        assert driver.elements("Hazard")
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DriverError):
+            SsamDriver(tmp_path / "nope.json")
+
+
+class TestSimulinkDriver:
+    def test_blocks_lines_subsystems(self, tmp_path, psu_simulink):
+        path = psu_simulink.save(tmp_path / "m.slx.json")
+        driver = SimulinkDriver(path)
+        blocks = driver.elements("Block")
+        names = {record["name"] for record in blocks}
+        assert {"DC1", "D1", "MC1"} <= names
+        assert driver.elements("Subsystem")[0]["name"] == "MC1"
+        assert len(driver.elements("Line")) == len(psu_simulink.all_lines())
+
+    def test_unknown_collection(self, tmp_path, psu_simulink):
+        path = psu_simulink.save(tmp_path / "m.slx.json")
+        with pytest.raises(DriverError):
+            SimulinkDriver(path).elements("Gizmos")
+
+
+class TestRegistry:
+    def test_known_types_registered(self):
+        types = set(driver_registry().registered_types())
+        assert {"table", "csv", "excel", "json", "xml", "ssam", "simulink"} <= types
+
+    def test_unknown_type(self, tmp_path):
+        with pytest.raises(DriverError, match="unknown driver type"):
+            open_model(tmp_path, "hdf5")
+
+    def test_open_model_dispatches(self, tmp_path):
+        Sheet("s", [{"a": 1}]).write_csv(tmp_path / "s.csv")
+        driver = open_model(tmp_path / "s.csv", "csv")
+        assert isinstance(driver, TableDriver)
+
+    def test_property_of_shapes(self):
+        from repro.drivers.base import ModelDriver
+
+        assert ModelDriver.property_of({"a": 1}, "a") == 1
+        assert ModelDriver.property_of({"a": 1}, "b", "d") == "d"
+
+        class Thing:
+            x = 5
+
+        assert ModelDriver.property_of(Thing(), "x") == 5

@@ -1,0 +1,36 @@
+"""Smoke tests: every shipped example must run clean from a fresh process."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize(
+    "example", EXAMPLES, ids=[path.stem for path in EXAMPLES]
+)
+def test_example_runs(example):
+    completed = subprocess.run(
+        [sys.executable, str(example)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert completed.stdout.strip(), "examples must narrate what they do"
+
+
+def test_quickstart_reproduces_table_iv():
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert "SPFM = 5.38%" in completed.stdout
+    assert "SPFM = 96.77%" in completed.stdout
+    assert "ASIL-B" in completed.stdout

@@ -1,0 +1,225 @@
+"""Federation tests: ExternalReference resolution, reliability federation."""
+
+import json
+
+import pytest
+
+from repro.drivers.base import ModelDriver
+from repro.federation import (
+    FederationError,
+    aggregate_reliability,
+    attach_reliability_reference,
+    federate_reliability,
+    resolve_external_reference,
+)
+from repro.reliability.sources import save_reliability_table
+from repro.ssam.base import external_reference, text_of
+
+
+@pytest.fixture
+def reliability_csv(tmp_path, psu_reliability):
+    save_reliability_table(psu_reliability, tmp_path / "reliability.csv")
+    return tmp_path
+
+
+class TestResolveExternalReference:
+    def test_no_query_returns_driver(self, reliability_csv):
+        ref = external_reference("reliability.csv", "table")
+        resolved = resolve_external_reference(ref, base_dir=reliability_csv)
+        assert isinstance(resolved, ModelDriver)
+
+    def test_query_evaluated_against_driver(self, reliability_csv):
+        ref = external_reference(
+            "reliability.csv",
+            "table",
+            query="[r['FIT'] for r in rows() if r['Component'] == 'Diode'][0]",
+        )
+        assert resolve_external_reference(ref, base_dir=reliability_csv) == 10
+
+    def test_variables_available_in_query(self, reliability_csv):
+        ref = external_reference(
+            "reliability.csv",
+            "table",
+            query=(
+                "[r['FIT'] for r in rows() "
+                "if r['Component'] == component_class][0]"
+            ),
+        )
+        assert (
+            resolve_external_reference(
+                ref,
+                variables={"component_class": "Inductor"},
+                base_dir=reliability_csv,
+            )
+            == 15
+        )
+
+    def test_missing_location_rejected(self):
+        ref = external_reference("", "table")
+        with pytest.raises(FederationError, match="location"):
+            resolve_external_reference(ref)
+
+    def test_missing_file_rejected(self, tmp_path):
+        ref = external_reference("missing.csv", "table")
+        with pytest.raises(FederationError):
+            resolve_external_reference(ref, base_dir=tmp_path)
+
+    def test_bad_query_rejected(self, reliability_csv):
+        ref = external_reference(
+            "reliability.csv", "table", query="rows()[999]"
+        )
+        with pytest.raises(FederationError, match="query failed"):
+            resolve_external_reference(ref, base_dir=reliability_csv)
+
+    def test_wrong_element_kind_rejected(self, psu_ssam):
+        with pytest.raises(FederationError, match="ExternalReference"):
+            resolve_external_reference(psu_ssam.hazards()[0])
+
+    def test_json_driver_reference(self, tmp_path):
+        path = tmp_path / "data.json"
+        path.write_text(json.dumps({"rows": [{"fit": 42}]}))
+        ref = external_reference(
+            "data.json", "json", query="rows('rows')[0]['fit']"
+        )
+        assert resolve_external_reference(ref, base_dir=tmp_path) == 42
+
+
+class TestFederateReliability:
+    def _wipe_and_reference(self, model, names, query=""):
+        system = model.top_components()[0]
+        for sub in system.get("subcomponents"):
+            if text_of(sub) in names:
+                sub.set("failureModes", [])
+                sub.set("fit", 0.0)
+                attach_reliability_reference(
+                    sub, "reliability.csv", "table", query=query
+                )
+
+    def test_driverless_table_ii_interpretation(
+        self, psu_ssam, reliability_csv
+    ):
+        self._wipe_and_reference(psu_ssam, {"D1", "L1", "MC1"})
+        report = federate_reliability(psu_ssam, base_dir=reliability_csv)
+        assert sorted(report.populated) == ["D1", "L1", "MC1"]
+        assert report.ok
+        d1 = psu_ssam.find_by_name("D1")
+        assert d1.get("fit") == 10.0
+        modes = {text_of(m): m.get("distribution") for m in d1.get("failureModes")}
+        assert modes == {"Open": 0.3, "Short": 0.7}
+
+    def test_dict_query_shape(self, psu_ssam, reliability_csv):
+        query = (
+            "[{'fit': r['FIT'], 'failure_modes': "
+            "[{'name': 'Open', 'distribution': 30, 'nature': 'open'}]} "
+            "for r in rows() if r['Component'] == component_class][0]"
+        )
+        self._wipe_and_reference(psu_ssam, {"D1"}, query=query)
+        report = federate_reliability(psu_ssam, base_dir=reliability_csv)
+        assert report.populated == ["D1"]
+        d1 = psu_ssam.find_by_name("D1")
+        # Percent-style distribution (30) normalised to 0.3.
+        assert d1.get("failureModes")[0].get("distribution") == pytest.approx(0.3)
+
+    def test_scalar_query_sets_fit_only(self, psu_ssam, reliability_csv):
+        query = (
+            "[r['FIT'] for r in rows() if r['Component'] == component_class][0]"
+        )
+        self._wipe_and_reference(psu_ssam, {"L1"}, query=query)
+        report = federate_reliability(psu_ssam, base_dir=reliability_csv)
+        assert report.populated == ["L1"]
+        assert psu_ssam.find_by_name("L1").get("fit") == 15.0
+
+    def test_components_without_references_skipped(self, psu_ssam, reliability_csv):
+        report = federate_reliability(psu_ssam, base_dir=reliability_csv)
+        assert not report.populated
+        assert "D1" in report.skipped
+
+    def test_unknown_class_reported_as_error(self, psu_ssam, reliability_csv):
+        system = psu_ssam.top_components()[0]
+        cs1 = psu_ssam.find_by_name("CS1")  # CurrentSensor: not in Table II
+        attach_reliability_reference(cs1, "reliability.csv", "table")
+        report = federate_reliability(psu_ssam, base_dir=reliability_csv)
+        assert "CS1" in report.errors
+        assert not report.ok
+
+    def test_bad_result_shape_reported(self, psu_ssam, reliability_csv):
+        self._wipe_and_reference(psu_ssam, {"D1"}, query="'a string'")
+        report = federate_reliability(psu_ssam, base_dir=reliability_csv)
+        assert "D1" in report.errors
+
+
+class TestAggregateReliability:
+    def test_populates_empty_components(self, psu_ssam, psu_reliability):
+        d1 = psu_ssam.find_by_name("D1")
+        d1.set("failureModes", [])
+        d1.set("fit", 0.0)
+        report = aggregate_reliability(psu_ssam, psu_reliability)
+        assert "D1" in report.populated
+        assert d1.get("fit") == 10.0
+
+    def test_hand_modelled_data_wins_by_default(self, psu_ssam, psu_reliability):
+        d1 = psu_ssam.find_by_name("D1")
+        original_modes = len(d1.get("failureModes"))
+        report = aggregate_reliability(psu_ssam, psu_reliability)
+        assert "D1" in report.skipped
+        assert len(d1.get("failureModes")) == original_modes
+
+    def test_overwrite_flag(self, psu_ssam, psu_reliability):
+        d1 = psu_ssam.find_by_name("D1")
+        d1.set("fit", 999.0)
+        aggregate_reliability(psu_ssam, psu_reliability, overwrite=True)
+        assert d1.get("fit") == 10.0
+
+    def test_unknown_classes_skipped(self, psu_ssam, psu_reliability):
+        report = aggregate_reliability(psu_ssam, psu_reliability)
+        assert "CS1" in report.skipped  # CurrentSensor not in Table II
+
+
+class TestFederateMechanisms:
+    def test_catalogue_pulled_from_reference(self, tmp_path, psu_ssam, psu_mechanisms):
+        from repro.federation import (
+            attach_mechanism_reference,
+            federate_mechanisms,
+        )
+        from repro.safety.mechanisms import save_mechanism_table
+
+        save_mechanism_table(psu_mechanisms, tmp_path / "sm.csv")
+        attach_mechanism_reference(psu_ssam.root, "sm.csv", "table")
+        catalogue = federate_mechanisms(psu_ssam, base_dir=tmp_path)
+        assert catalogue is not None
+        spec = catalogue.specs()[0]
+        assert spec.name == "ECC" and spec.coverage == pytest.approx(0.99)
+
+    def test_no_reference_returns_none(self, psu_ssam):
+        from repro.federation import federate_mechanisms
+
+        assert federate_mechanisms(psu_ssam) is None
+
+    def test_malformed_rows_rejected(self, tmp_path, psu_ssam):
+        from repro.federation import (
+            FederationError,
+            attach_mechanism_reference,
+            federate_mechanisms,
+        )
+
+        (tmp_path / "bad.csv").write_text("Component,Nope\nMCU,1\n")
+        attach_mechanism_reference(psu_ssam.root, "bad.csv", "table")
+        with pytest.raises(FederationError, match="malformed"):
+            federate_mechanisms(psu_ssam, base_dir=tmp_path)
+
+    def test_federated_catalogue_drives_step4b(
+        self, tmp_path, psu_ssam, psu_mechanisms, psu_graph_fmea
+    ):
+        from repro.federation import (
+            attach_mechanism_reference,
+            federate_mechanisms,
+        )
+        from repro.safety import run_fmeda, search_for_target
+        from repro.safety.mechanisms import save_mechanism_table
+
+        save_mechanism_table(psu_mechanisms, tmp_path / "sm.csv")
+        attach_mechanism_reference(psu_ssam.root, "sm.csv", "table")
+        catalogue = federate_mechanisms(psu_ssam, base_dir=tmp_path)
+        plan = search_for_target(psu_graph_fmea, catalogue, "ASIL-B")
+        assert plan is not None
+        assert run_fmeda(psu_graph_fmea, plan.deployments).asil == "ASIL-B"

@@ -1,0 +1,224 @@
+"""Injection-based FMEA tests — including the paper's Table IV anchors."""
+
+import pytest
+
+from repro.casestudies.power_supply import ASSUMED_STABLE
+from repro.reliability import ComponentReliability, FailureModeSpec, ReliabilityModel
+from repro.safety import FmeaError, run_simulink_fmea
+from repro.simulink import SimulinkModel
+
+
+class TestPaperAnchors:
+    """The case study's published FMEA outcome (Section V-A)."""
+
+    def test_safety_related_components(self, psu_fmea):
+        assert sorted(psu_fmea.safety_related_components()) == [
+            "D1",
+            "L1",
+            "MC1",
+        ]
+
+    def test_safety_related_modes_exactly(self, psu_fmea):
+        related = {
+            (row.component, row.failure_mode)
+            for row in psu_fmea.safety_related_rows()
+        }
+        assert related == {
+            ("D1", "Open"),
+            ("L1", "Open"),
+            ("MC1", "RAM Failure"),
+        }
+
+    def test_capacitors_not_safety_related(self, psu_fmea):
+        for component in ("C1", "C2"):
+            assert all(
+                not row.safety_related for row in psu_fmea.rows_for(component)
+            )
+
+    def test_shorts_not_safety_related(self, psu_fmea):
+        assert not psu_fmea.row("D1", "Short").safety_related
+        assert not psu_fmea.row("L1", "Short").safety_related
+
+    def test_row_count_matches_reliability_model(self, psu_fmea):
+        # 3 two-mode components injectable (D1, L1, C1, C2) + MC1 single mode
+        assert len(psu_fmea.rows) == 9
+
+    def test_dc1_excluded_as_assumed_stable(self, psu_fmea):
+        assert "DC1" not in psu_fmea.components()
+
+    def test_impacts_marked_dvf(self, psu_fmea):
+        assert psu_fmea.row("D1", "Open").impact == "DVF"
+        assert psu_fmea.row("C1", "Open").impact == "none"
+
+    def test_baseline_reading_recorded(self, psu_fmea):
+        (reading,) = psu_fmea.baseline_readings.values()
+        assert reading == pytest.approx(0.0436, abs=5e-4)
+
+    def test_mode_rate(self, psu_fmea):
+        assert psu_fmea.row("D1", "Open").mode_rate == pytest.approx(3.0)
+        assert psu_fmea.row("MC1", "RAM Failure").mode_rate == pytest.approx(300.0)
+
+
+class TestAnalysisControls:
+    def test_threshold_controls_sensitivity(self, psu_simulink, psu_reliability):
+        # D1 Short deviates ~14.5%; a 10% threshold flags it.
+        strict = run_simulink_fmea(
+            psu_simulink,
+            psu_reliability,
+            sensors=["CS1"],
+            threshold=0.10,
+            assume_stable=ASSUMED_STABLE,
+        )
+        assert strict.row("D1", "Short").safety_related
+
+    def test_all_sensors_monitored_by_default(
+        self, psu_simulink, psu_reliability
+    ):
+        result = run_simulink_fmea(
+            psu_simulink, psu_reliability, assume_stable=ASSUMED_STABLE
+        )
+        assert len(result.baseline_readings) == 1  # CS1 is the only sensor
+
+    def test_unknown_sensor_rejected(self, psu_simulink, psu_reliability):
+        with pytest.raises(FmeaError, match="no sensor"):
+            run_simulink_fmea(
+                psu_simulink, psu_reliability, sensors=["CS99"]
+            )
+
+    def test_uncovered_components_reported(self, psu_simulink):
+        # A reliability model knowing only diodes leaves the rest uncovered.
+        sparse = ReliabilityModel(
+            [
+                ComponentReliability(
+                    "Diode",
+                    10,
+                    [
+                        FailureModeSpec("Open", 0.3),
+                        FailureModeSpec("Short", 0.7),
+                    ],
+                )
+            ]
+        )
+        result = run_simulink_fmea(
+            psu_simulink, sparse, sensors=["CS1"], assume_stable=ASSUMED_STABLE
+        )
+        assert set(result.uncovered) == {"L1", "C1", "C2", "MC1"}
+        assert 0 < result.coverage_ratio() < 1
+
+    def test_uninjectable_mode_warned_not_marked(self, psu_simulink):
+        # A failure mode the library has no behaviour for yields a warning row.
+        odd = ReliabilityModel(
+            [
+                ComponentReliability(
+                    "Diode", 10, [FailureModeSpec("Whisker Growth", 1.0)]
+                )
+            ]
+        )
+        result = run_simulink_fmea(
+            psu_simulink, odd, sensors=["CS1"], assume_stable=ASSUMED_STABLE
+        )
+        row = result.row("D1", "Whisker Growth")
+        assert row.warning and not row.safety_related
+
+    def test_no_matching_components_rejected(self, psu_simulink):
+        alien = ReliabilityModel([ComponentReliability("Klystron", 10)])
+        with pytest.raises(FmeaError, match="no rows"):
+            run_simulink_fmea(
+                psu_simulink, alien, sensors=["CS1"]
+            )
+
+    def test_model_without_sensors_rejected(self, psu_reliability):
+        model = SimulinkModel("nosense")
+        model.add_block("V", "DCVoltageSource", voltage=5.0)
+        model.add_block("R", "Resistor", resistance=100.0)
+        model.add_block("G", "Ground")
+        model.connect("V", "p", "R", "p")
+        model.connect("R", "n", "G", "p")
+        model.connect("V", "n", "G", "p")
+        with pytest.raises(FmeaError, match="sensor"):
+            run_simulink_fmea(model, psu_reliability)
+
+
+class TestEffectAnnotations:
+    def test_safety_related_effect_names_sensor(self, psu_fmea):
+        row = psu_fmea.row("D1", "Open")
+        assert "CS1" in row.effect
+        assert "100.0%" in row.effect
+
+    def test_sensor_deltas_recorded(self, psu_fmea):
+        row = psu_fmea.row("D1", "Short")
+        (delta,) = row.sensor_deltas.values()
+        assert delta == pytest.approx(0.145, abs=0.01)
+
+    def test_rows_for_unknown_pair(self, psu_fmea):
+        with pytest.raises(FmeaError):
+            psu_fmea.row("D1", "Melt")
+        with pytest.raises(FmeaError):
+            psu_fmea.component_fit("Nonexistent")
+
+
+class TestZeroBaselineHandling:
+    def test_infinite_relative_delta_flagged(self):
+        """A fault that wakes up a dormant branch (baseline ~0) is flagged."""
+        model = SimulinkModel("dormant")
+        model.add_block("V", "DCVoltageSource", voltage=5.0)
+        model.add_block("SW", "Switch", closed=0.0)  # open: no current flows
+        model.add_block("CS", "CurrentSensor")
+        model.add_block("R", "Resistor", resistance=100.0)
+        model.add_block("G", "Ground")
+        model.connect("V", "p", "SW", "p")
+        model.connect("SW", "n", "CS", "p")
+        model.connect("CS", "n", "R", "p")
+        model.connect("R", "n", "G", "p")
+        model.connect("V", "n", "G", "p")
+        reliability = ReliabilityModel(
+            [
+                ComponentReliability(
+                    "Switch",
+                    8,
+                    [
+                        FailureModeSpec("Stuck Open", 0.6),
+                        FailureModeSpec("Stuck Closed", 0.4),
+                    ],
+                )
+            ]
+        )
+        result = run_simulink_fmea(model, reliability, sensors=["CS"])
+        assert result.row("SW", "Stuck Closed").safety_related
+        assert not result.row("SW", "Stuck Open").safety_related
+
+
+class TestTransientAnalysisMode:
+    def test_transient_agrees_with_dc_on_case_study(
+        self, psu_simulink, psu_reliability, psu_fmea
+    ):
+        transient_fmea = run_simulink_fmea(
+            psu_simulink,
+            psu_reliability,
+            sensors=["CS1"],
+            assume_stable=ASSUMED_STABLE,
+            analysis="transient",
+        )
+        assert sorted(transient_fmea.safety_related_components()) == sorted(
+            psu_fmea.safety_related_components()
+        )
+
+    def test_transient_baseline_matches_dc_settled_value(
+        self, psu_simulink, psu_reliability, psu_fmea
+    ):
+        transient_fmea = run_simulink_fmea(
+            psu_simulink,
+            psu_reliability,
+            sensors=["CS1"],
+            assume_stable=ASSUMED_STABLE,
+            analysis="transient",
+        )
+        (dc_reading,) = psu_fmea.baseline_readings.values()
+        (tr_reading,) = transient_fmea.baseline_readings.values()
+        assert tr_reading == pytest.approx(dc_reading, rel=1e-3)
+
+    def test_unknown_analysis_rejected(self, psu_simulink, psu_reliability):
+        with pytest.raises(FmeaError, match="analysis"):
+            run_simulink_fmea(
+                psu_simulink, psu_reliability, analysis="frequency"
+            )

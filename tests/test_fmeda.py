@@ -1,0 +1,86 @@
+"""FMEDA tests — Table IV reproduction and bookkeeping invariants."""
+
+import pytest
+
+from repro.safety import run_fmeda
+from repro.safety.mechanisms import Deployment
+
+
+@pytest.fixture
+def ecc():
+    return Deployment("MC1", "RAM Failure", "ECC", 0.99, 2.0)
+
+
+class TestTableIV:
+    """The generated FMEDA of the paper's Section V (Table IV)."""
+
+    def test_spfm_and_asil(self, psu_fmea, ecc):
+        result = run_fmeda(psu_fmea, [ecc])
+        assert result.spfm == pytest.approx(0.9677, abs=5e-4)
+        assert result.asil == "ASIL-B"
+        assert result.meets("ASIL-B")
+        assert not result.meets("ASIL-C")
+
+    def test_residual_rates(self, psu_fmea, ecc):
+        result = run_fmeda(psu_fmea, [ecc])
+        assert result.single_point_rate("D1") == pytest.approx(3.0)
+        assert result.single_point_rate("L1") == pytest.approx(4.5)
+        assert result.single_point_rate("MC1") == pytest.approx(3.0)
+
+    def test_without_mechanisms(self, psu_fmea):
+        result = run_fmeda(psu_fmea)
+        assert result.spfm == pytest.approx(0.0538, abs=5e-4)
+        assert result.single_point_rate("MC1") == pytest.approx(300.0)
+        assert result.asil == "ASIL-A"  # no SPFM requirement below B
+
+    def test_mechanism_annotated_on_row(self, psu_fmea, ecc):
+        result = run_fmeda(psu_fmea, [ecc])
+        mc_rows = result.rows_for("MC1")
+        assert mc_rows[0].safety_mechanism == "ECC"
+        assert mc_rows[0].sm_coverage == pytest.approx(0.99)
+        d_rows = result.rows_for("D1")
+        assert d_rows[0].safety_mechanism == ""
+
+    def test_total_cost(self, psu_fmea, ecc):
+        assert run_fmeda(psu_fmea, [ecc]).total_cost == 2.0
+
+    def test_safety_related_components(self, psu_fmea, ecc):
+        result = run_fmeda(psu_fmea, [ecc])
+        assert sorted(result.safety_related_components()) == [
+            "D1",
+            "L1",
+            "MC1",
+        ]
+
+
+class TestBookkeeping:
+    def test_row_count_matches_fmea(self, psu_fmea, ecc):
+        assert len(run_fmeda(psu_fmea, [ecc]).rows) == len(psu_fmea.rows)
+
+    def test_unknown_deployments_ignored(self, psu_fmea):
+        phantom = Deployment("GHOST", "Haunt", "Exorcism", 0.99, 1.0)
+        result = run_fmeda(psu_fmea, [phantom])
+        assert result.deployments == []
+        assert result.total_cost == 0.0
+
+    def test_stacked_mechanisms_on_one_mode(self, psu_fmea):
+        d1 = Deployment("MC1", "RAM Failure", "ECC", 0.9, 1.0)
+        d2 = Deployment("MC1", "RAM Failure", "Scrub", 0.9, 1.0)
+        result = run_fmeda(psu_fmea, [d1, d2])
+        mc_row = [
+            r for r in result.rows_for("MC1") if r.failure_mode == "RAM Failure"
+        ][0]
+        assert mc_row.safety_mechanism == "ECC+Scrub"
+        assert mc_row.sm_coverage == pytest.approx(0.99)
+        assert mc_row.residual_rate == pytest.approx(3.0)
+
+    def test_non_safety_related_rows_have_zero_residual(self, psu_fmea, ecc):
+        result = run_fmeda(psu_fmea, [ecc])
+        for row in result.rows:
+            if not row.safety_related:
+                assert row.residual_rate == 0.0
+
+    def test_mode_rate_property(self, psu_fmea, ecc):
+        result = run_fmeda(psu_fmea, [ecc])
+        for row in result.rows:
+            assert row.mode_rate == pytest.approx(row.fit * row.distribution)

@@ -1,0 +1,277 @@
+"""FTA tests: gates, cut sets, quantification, synthesis, FMEA federation."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fta import (
+    AndGate,
+    BasicEvent,
+    FaultTree,
+    FtaError,
+    KofNGate,
+    OrGate,
+    birnbaum_importance,
+    federate_fta_fmea,
+    fussell_vesely_importance,
+    minimal_cut_sets,
+    probability_from_fit,
+    synthesize_fault_tree,
+    top_event_probability,
+)
+from repro.fta.cutsets import single_points_of_failure
+from repro.safety import run_ssam_fmea
+
+
+def events(*names, p=0.1):
+    return [BasicEvent(name, p) for name in names]
+
+
+class TestTreeStructure:
+    def test_event_probability_bounds(self):
+        with pytest.raises(FtaError):
+            BasicEvent("e", 1.5)
+        with pytest.raises(FtaError):
+            BasicEvent("e", -0.1)
+
+    def test_cycle_detected(self):
+        gate = OrGate("g")
+        inner = AndGate("inner")
+        gate.add(inner)
+        inner.add(gate)
+        with pytest.raises(FtaError, match="cycle"):
+            FaultTree("t", gate)
+
+    def test_shared_subtree_is_not_a_cycle(self):
+        shared = OrGate("shared", events("a", "b"))
+        top = AndGate("top", [shared, shared])
+        FaultTree("t", top)  # must not raise
+
+    def test_basic_events_deduplicated_by_name(self):
+        e = BasicEvent("x", 0.1)
+        top = AndGate("top", [OrGate("g1", [e]), OrGate("g2", [e])])
+        tree = FaultTree("t", top)
+        assert len(tree.basic_events()) == 1
+
+    def test_event_lookup(self):
+        tree = FaultTree("t", OrGate("g", events("a")))
+        assert tree.event("a").name == "a"
+        with pytest.raises(FtaError):
+            tree.event("z")
+
+    def test_kofn_validation(self):
+        with pytest.raises(FtaError):
+            KofNGate("g", 0)
+        gate = KofNGate("g", 3, events("a", "b"))
+        with pytest.raises(FtaError, match="exceeds"):
+            gate.expand()
+
+    def test_render_mentions_gates_and_events(self):
+        tree = FaultTree(
+            "t", AndGate("top", [OrGate("o", events("a")), *events("b")])
+        )
+        text = tree.render()
+        assert "AND top" in text and "OR o" in text and "[a]" in text
+
+
+class TestCutSets:
+    def test_or_of_events(self):
+        tree = FaultTree("t", OrGate("g", events("a", "b")))
+        assert minimal_cut_sets(tree) == [frozenset({"a"}), frozenset({"b"})]
+
+    def test_and_of_events(self):
+        tree = FaultTree("t", AndGate("g", events("a", "b")))
+        assert minimal_cut_sets(tree) == [frozenset({"a", "b"})]
+
+    def test_absorption_removes_supersets(self):
+        # a OR (a AND b) == a
+        a = BasicEvent("a", 0.1)
+        tree = FaultTree(
+            "t",
+            OrGate("g", [a, AndGate("g2", [a, BasicEvent("b", 0.1)])]),
+        )
+        assert minimal_cut_sets(tree) == [frozenset({"a"})]
+
+    def test_two_out_of_three(self):
+        tree = FaultTree("t", KofNGate("g", 2, events("a", "b", "c")))
+        cutsets = minimal_cut_sets(tree)
+        assert len(cutsets) == 3
+        assert all(len(cs) == 2 for cs in cutsets)
+
+    def test_empty_or_gate_never_fails(self):
+        tree = FaultTree("t", AndGate("top", [OrGate("o"), *events("a")]))
+        assert minimal_cut_sets(tree) == []
+
+    def test_empty_and_gate_always_fails(self):
+        tree = FaultTree("t", OrGate("top", [AndGate("a"), *events("x")]))
+        assert minimal_cut_sets(tree) == [frozenset()]
+
+    def test_single_points_of_failure(self):
+        tree = FaultTree(
+            "t",
+            OrGate(
+                "g",
+                [
+                    BasicEvent("solo", 0.1),
+                    AndGate("pair", events("x", "y")),
+                ],
+            ),
+        )
+        assert single_points_of_failure(tree) == ["solo"]
+
+
+class TestQuantification:
+    def test_probability_from_fit(self):
+        # 1000 FIT = 1e-6 failures/h; over 1e6 h: p = 1 - exp(-1).
+        assert probability_from_fit(1000, 1e6) == pytest.approx(
+            1 - math.exp(-1.0)
+        )
+        with pytest.raises(FtaError):
+            probability_from_fit(-1)
+
+    def test_or_gate_probability_exact(self):
+        tree = FaultTree("t", OrGate("g", events("a", "b", p=0.1)))
+        assert top_event_probability(tree) == pytest.approx(
+            1 - 0.9 * 0.9
+        )
+
+    def test_and_gate_probability(self):
+        tree = FaultTree("t", AndGate("g", events("a", "b", p=0.1)))
+        assert top_event_probability(tree) == pytest.approx(0.01)
+
+    def test_shared_event_not_double_counted(self):
+        # top = (a AND b) OR (a AND c): P = p^2 + p^2 - p^3 for shared a.
+        a, b, c = events("a", "b", "c", p=0.5)
+        tree = FaultTree(
+            "t",
+            OrGate("g", [AndGate("g1", [a, b]), AndGate("g2", [a, c])]),
+        )
+        assert top_event_probability(tree) == pytest.approx(
+            0.25 + 0.25 - 0.125
+        )
+
+    def test_no_cutsets_zero_probability(self):
+        tree = FaultTree("t", AndGate("top", [OrGate("empty")]))
+        assert top_event_probability(tree) == 0.0
+
+    def test_birnbaum_importance_for_single_event(self):
+        tree = FaultTree("t", OrGate("g", events("a", p=0.3)))
+        assert birnbaum_importance(tree)["a"] == pytest.approx(1.0)
+
+    def test_fussell_vesely_ranks_dominant_event(self):
+        tree = FaultTree(
+            "t",
+            OrGate(
+                "g",
+                [BasicEvent("big", 0.2), BasicEvent("small", 0.001)],
+            ),
+        )
+        importance = fussell_vesely_importance(tree)
+        assert importance["big"] > importance["small"]
+
+    def test_missing_probability_raises(self):
+        tree = FaultTree("t", OrGate("g", events("a", p=0.1)))
+        with pytest.raises(FtaError):
+            top_event_probability(tree, {"b": 0.5})
+
+
+class TestSynthesis:
+    def test_psu_tree_cut_sets(self, psu_ssam):
+        system = psu_ssam.top_components()[0]
+        tree = synthesize_fault_tree(system)
+        cutsets = minimal_cut_sets(tree)
+        assert [sorted(cs) for cs in cutsets] == [
+            ["D1:Open"],
+            ["L1:Open"],
+            ["MC1:RAM Failure"],
+        ]
+
+    def test_event_probabilities_from_fit(self, psu_ssam):
+        system = psu_ssam.top_components()[0]
+        tree = synthesize_fault_tree(system, mission_hours=8760.0)
+        d1_open = tree.event("D1:Open")
+        assert d1_open.probability == pytest.approx(
+            probability_from_fit(3.0, 8760.0)
+        )
+
+    def test_requires_boundary(self):
+        from repro.ssam import ArchitectureBuilder
+
+        builder = ArchitectureBuilder("sys")
+        handle = builder.component("A", fit=10, component_class="Diode")
+        handle.failure_mode("Open", "open", 1.0)
+        with pytest.raises(FtaError, match="boundary"):
+            synthesize_fault_tree(builder.build())
+
+    def test_requires_component(self, psu_ssam):
+        with pytest.raises(FtaError):
+            synthesize_fault_tree(psu_ssam.hazards()[0])
+
+
+class TestFederation:
+    def test_consistency_on_power_supply(self, psu_ssam, psu_reliability):
+        system = psu_ssam.top_components()[0]
+        fmea = run_ssam_fmea(system, psu_reliability)
+        federated = federate_fta_fmea(system, fmea)
+        assert federated.consistent
+        assert federated.fta_single_points == ["D1", "L1", "MC1"]
+        assert federated.top_probability > 0
+        assert federated.disagreements() == {"fta_only": [], "fmea_only": []}
+
+    def test_importance_dominated_by_mcu(self, psu_ssam, psu_reliability):
+        system = psu_ssam.top_components()[0]
+        fmea = run_ssam_fmea(system, psu_reliability)
+        federated = federate_fta_fmea(system, fmea)
+        ranked = max(federated.importance, key=federated.importance.get)
+        assert ranked == "MC1:RAM Failure"  # 300 FIT dwarfs the passives
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    probabilities=st.lists(
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        min_size=1,
+        max_size=5,
+    )
+)
+def test_property_or_probability_matches_closed_form(probabilities):
+    """OR over independent events: P = 1 - prod(1 - p_i)."""
+    tree = FaultTree(
+        "t",
+        OrGate(
+            "g",
+            [BasicEvent(f"e{i}", p) for i, p in enumerate(probabilities)],
+        ),
+    )
+    expected = 1.0
+    for p in probabilities:
+        expected *= 1.0 - p
+    assert top_event_probability(tree) == pytest.approx(
+        1.0 - expected, abs=1e-9
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    p_low=st.floats(min_value=0.0, max_value=0.5, allow_nan=False),
+    bump=st.floats(min_value=0.0, max_value=0.5, allow_nan=False),
+)
+def test_property_top_probability_monotone_in_event_probability(p_low, bump):
+    """Raising any event's probability never lowers the top probability."""
+    base = FaultTree(
+        "t",
+        AndGate(
+            "g",
+            [BasicEvent("a", p_low), BasicEvent("b", 0.3)],
+        ),
+    )
+    raised = FaultTree(
+        "t",
+        AndGate(
+            "g",
+            [BasicEvent("a", min(p_low + bump, 1.0)), BasicEvent("b", 0.3)],
+        ),
+    )
+    assert top_event_probability(raised) >= top_event_probability(base) - 1e-12

@@ -1,0 +1,131 @@
+"""Common-cause failure (beta-factor) tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fta import (
+    AndGate,
+    BasicEvent,
+    FaultTree,
+    FtaError,
+    OrGate,
+    apply_beta_factor,
+    minimal_cut_sets,
+    redundancy_limit,
+    top_event_probability,
+)
+from repro.fta.cutsets import single_points_of_failure
+
+
+def redundant_pair(p=0.01):
+    """TOP = A AND B: a 1oo2 redundant pair."""
+    return FaultTree(
+        "pair",
+        AndGate("top", [BasicEvent("A", p), BasicEvent("B", p)]),
+    )
+
+
+class TestBetaFactor:
+    def test_ccf_event_becomes_single_point(self):
+        transformed = apply_beta_factor(
+            redundant_pair(), {"supply": ["A", "B"]}, beta=0.1
+        )
+        assert single_points_of_failure(transformed) == ["CCF:supply"]
+
+    def test_independent_parts_still_pairwise(self):
+        transformed = apply_beta_factor(
+            redundant_pair(), {"supply": ["A", "B"]}, beta=0.1
+        )
+        cutsets = minimal_cut_sets(transformed)
+        assert frozenset({"A~indep", "B~indep"}) in cutsets
+        assert len(cutsets) == 2
+
+    def test_probabilities_split(self):
+        transformed = apply_beta_factor(
+            redundant_pair(0.02), {"g": ["A", "B"]}, beta=0.25
+        )
+        assert transformed.event("A~indep").probability == pytest.approx(0.015)
+        assert transformed.event("CCF:g").probability == pytest.approx(0.005)
+
+    def test_ccf_raises_top_probability_of_redundant_pair(self):
+        limits = redundancy_limit(
+            redundant_pair(0.01), {"g": ["A", "B"]}, beta=0.1
+        )
+        assert limits["with_ccf"] > limits["independent"]
+        # The floor is roughly beta * p, far above p^2.
+        assert limits["with_ccf"] == pytest.approx(1e-3, rel=0.15)
+
+    def test_events_outside_groups_untouched(self):
+        tree = FaultTree(
+            "t",
+            OrGate(
+                "top",
+                [
+                    AndGate("pair", [BasicEvent("A", 0.01), BasicEvent("B", 0.01)]),
+                    BasicEvent("C", 0.001),
+                ],
+            ),
+        )
+        transformed = apply_beta_factor(tree, {"g": ["A", "B"]}, beta=0.1)
+        assert transformed.event("C").probability == 0.001
+
+    def test_per_group_beta(self):
+        tree = FaultTree(
+            "t",
+            OrGate(
+                "top",
+                [
+                    AndGate("p1", [BasicEvent("A", 0.01), BasicEvent("B", 0.01)]),
+                    AndGate("p2", [BasicEvent("C", 0.01), BasicEvent("D", 0.01)]),
+                ],
+            ),
+        )
+        transformed = apply_beta_factor(
+            tree, {"g1": ["A", "B"], "g2": ["C", "D"]},
+            beta={"g1": 0.1, "g2": 0.5},
+        )
+        assert transformed.event("CCF:g1").probability == pytest.approx(1e-3)
+        assert transformed.event("CCF:g2").probability == pytest.approx(5e-3)
+
+    def test_single_member_group_rejected(self):
+        with pytest.raises(FtaError, match=">= 2 members"):
+            apply_beta_factor(redundant_pair(), {"g": ["A"]})
+
+    def test_overlapping_groups_rejected(self):
+        with pytest.raises(FtaError, match="two CCF groups"):
+            apply_beta_factor(
+                redundant_pair(), {"g1": ["A", "B"], "g2": ["B", "A"]}
+            )
+
+    def test_unknown_event_rejected(self):
+        with pytest.raises(FtaError, match="no basic event"):
+            apply_beta_factor(redundant_pair(), {"g": ["A", "Z"]})
+
+    def test_beta_bounds_checked(self):
+        with pytest.raises(FtaError, match="outside"):
+            apply_beta_factor(redundant_pair(), {"g": ["A", "B"]}, beta=1.5)
+
+    def test_original_tree_unmodified(self):
+        tree = redundant_pair()
+        apply_beta_factor(tree, {"g": ["A", "B"]}, beta=0.1)
+        assert {e.name for e in tree.basic_events()} == {"A", "B"}
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    p=st.floats(min_value=1e-6, max_value=0.2, allow_nan=False),
+    beta=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+)
+def test_property_beta_zero_is_identity_and_monotone(p, beta):
+    """beta=0 leaves P(top) unchanged; P(top) grows with beta for an AND pair."""
+    tree = redundant_pair(p)
+    base = top_event_probability(tree)
+    at_zero = top_event_probability(
+        apply_beta_factor(tree, {"g": ["A", "B"]}, beta=0.0)
+    )
+    assert at_zero == pytest.approx(base, rel=1e-9, abs=1e-15)
+    with_beta = top_event_probability(
+        apply_beta_factor(tree, {"g": ["A", "B"]}, beta=beta)
+    )
+    assert with_beta >= base - 1e-15

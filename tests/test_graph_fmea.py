@@ -1,0 +1,196 @@
+"""Algorithm 1 (graph-based FMEA) tests."""
+
+import pytest
+
+from repro.safety import FmeaError, run_ssam_fmea
+from repro.ssam import ArchitectureBuilder
+from repro.ssam.base import text_of
+
+
+def chain_system(*names):
+    """A serial chain in -> n1 -> n2 -> ... -> out, each with an Open mode."""
+    builder = ArchitectureBuilder("sys", component_type="system")
+    handles = []
+    for name in names:
+        handle = builder.component(name, fit=10, component_class="Diode")
+        handle.failure_mode("Open", "open", 0.3)
+        handle.failure_mode("Short", "short", 0.7)
+        handles.append(handle)
+    builder.entry(handles[0])
+    builder.chain(*handles)
+    builder.exit(handles[-1])
+    return builder
+
+
+class TestSeriesChain:
+    def test_every_chain_member_is_single_point(self):
+        system = chain_system("A", "B", "C").build()
+        result = run_ssam_fmea(system)
+        assert sorted(result.safety_related_components()) == ["A", "B", "C"]
+
+    def test_only_path_breaking_modes_marked(self):
+        system = chain_system("A").build()
+        result = run_ssam_fmea(system)
+        assert result.row("A", "Open").safety_related
+        short = result.row("A", "Short")
+        assert not short.safety_related
+        assert "static path analysis" in short.warning
+
+    def test_mark_model_writes_flags(self):
+        builder = chain_system("A")
+        system = builder.build()
+        run_ssam_fmea(system, mark_model=True)
+        component = system.subcomponents[0]
+        assert component.safetyRelated
+        assert any(fm.safetyRelated for fm in component.failureModes)
+
+    def test_mark_model_false_leaves_model_untouched(self):
+        system = chain_system("A").build()
+        run_ssam_fmea(system, mark_model=False)
+        assert not system.subcomponents[0].safetyRelated
+
+
+class TestParallelRedundancy:
+    def build_parallel(self):
+        builder = ArchitectureBuilder("sys", component_type="system")
+        src = builder.component("SRC", fit=10, component_class="Diode")
+        src.failure_mode("Open", "open", 1.0)
+        a = builder.component("A", fit=10, component_class="Diode")
+        a.failure_mode("Open", "open", 1.0)
+        b = builder.component("B", fit=10, component_class="Diode")
+        b.failure_mode("Open", "open", 1.0)
+        sink = builder.component("SINK", fit=10, component_class="Diode")
+        sink.failure_mode("Open", "open", 1.0)
+        builder.entry(src)
+        builder.wire(src, a)
+        builder.wire(src, b)
+        builder.wire(a, sink)
+        builder.wire(b, sink)
+        builder.exit(sink)
+        return builder.build()
+
+    def test_parallel_members_not_single_point(self):
+        result = run_ssam_fmea(self.build_parallel())
+        assert sorted(result.safety_related_components()) == ["SINK", "SRC"]
+
+    def test_parallel_member_effect_explains(self):
+        result = run_ssam_fmea(self.build_parallel())
+        assert "alternative paths" in result.row("A", "Open").effect
+
+
+class TestAffectedComponents:
+    def test_affected_component_on_path_makes_mode_single_point(self):
+        builder = ArchitectureBuilder("sys", component_type="system")
+        main = builder.component("MAIN", fit=10, component_class="Diode")
+        main.failure_mode("Open", "open", 1.0)
+        # A watchdog off the main path whose failure takes MAIN down with it.
+        side = builder.component("SIDE", fit=5, component_class="MCU")
+        side.failure_mode("RAM Failure", "loss_of_function", 1.0)
+        builder.entry(main)
+        builder.exit(main)
+        builder.wire(side, main)
+        system = builder.build()
+        side_fm = system.subcomponents[1].failureModes[0]
+        side_fm.add("affectedComponents", system.subcomponents[0])
+        result = run_ssam_fmea(system)
+        assert result.row("SIDE", "RAM Failure").safety_related
+
+    def test_unlinked_side_component_not_single_point(self):
+        builder = ArchitectureBuilder("sys", component_type="system")
+        main = builder.component("MAIN", fit=10, component_class="Diode")
+        main.failure_mode("Open", "open", 1.0)
+        side = builder.component("SIDE", fit=5, component_class="MCU")
+        side.failure_mode("RAM Failure", "loss_of_function", 1.0)
+        builder.entry(main)
+        builder.exit(main)
+        builder.wire(side, main)
+        result = run_ssam_fmea(builder.build())
+        assert not result.row("SIDE", "RAM Failure").safety_related
+
+
+class TestRedundantFunctions:
+    def test_1oo2_function_exempts_component(self):
+        builder = chain_system("A", "B")
+        builder["A"].function("f", tolerance="1oo2")
+        result = run_ssam_fmea(builder.build())
+        row = result.row("A", "Open")
+        assert not row.safety_related
+        assert "redundant" in row.effect
+        assert result.row("B", "Open").safety_related
+
+
+class TestBoundaryHandling:
+    def test_no_boundary_yields_warning(self):
+        builder = ArchitectureBuilder("sys", component_type="system")
+        a = builder.component("A", fit=10, component_class="Diode")
+        a.failure_mode("Open", "open", 1.0)
+        result = run_ssam_fmea(builder.build())
+        row = result.row("A", "Open")
+        assert not row.safety_related
+        assert "boundary" in row.warning
+
+    def test_unconnected_component_not_single_point(self):
+        builder = chain_system("A")
+        spare = builder.component("SPARE", fit=1, component_class="Diode")
+        spare.failure_mode("Open", "open", 1.0)
+        result = run_ssam_fmea(builder.build())
+        assert not result.row("SPARE", "Open").safety_related
+
+
+class TestNesting:
+    def test_recursion_into_composite_subcomponents(self):
+        inner = ArchitectureBuilder("Inner")
+        leaf = inner.component("LEAF", fit=10, component_class="Diode")
+        leaf.failure_mode("Open", "open", 1.0)
+        inner.entry(leaf)
+        inner.exit(leaf)
+        outer = ArchitectureBuilder("Outer", component_type="system")
+        sub = outer.subsystem(inner)
+        outer.entry(sub)
+        outer.exit(sub)
+        result = run_ssam_fmea(outer.build())
+        # LEAF is analysed at the inner level (line 14 of Algorithm 1).
+        assert result.row("LEAF", "Open").safety_related
+
+
+class TestInputValidation:
+    def test_non_component_rejected(self, psu_ssam):
+        hazard = psu_ssam.hazards()[0]
+        with pytest.raises(FmeaError, match="Component"):
+            run_ssam_fmea(hazard)
+
+    def test_no_failure_modes_rejected(self):
+        builder = ArchitectureBuilder("sys")
+        builder.component("A")
+        with pytest.raises(FmeaError, match="failure modes"):
+            run_ssam_fmea(builder.build())
+
+    def test_fit_fallback_to_reliability_catalogue(self, psu_reliability):
+        builder = ArchitectureBuilder("sys", component_type="system")
+        a = builder.component("A", fit=0.0, component_class="Diode")
+        a.failure_mode("Open", "open", 1.0)
+        builder.entry(a)
+        builder.exit(a)
+        result = run_ssam_fmea(builder.build(), psu_reliability)
+        assert result.row("A", "Open").fit == 10
+
+
+class TestPaperAgreement:
+    def test_graph_matches_injection_on_power_supply(
+        self, psu_graph_fmea, psu_fmea
+    ):
+        """Both FMEA methods find the same single points on the case study."""
+        assert sorted(psu_graph_fmea.safety_related_components()) == sorted(
+            psu_fmea.safety_related_components()
+        )
+
+    def test_graph_safety_related_modes(self, psu_graph_fmea):
+        related = {
+            (row.component, row.failure_mode)
+            for row in psu_graph_fmea.safety_related_rows()
+        }
+        assert related == {
+            ("D1", "Open"),
+            ("L1", "Open"),
+            ("MC1", "RAM Failure"),
+        }

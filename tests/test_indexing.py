@@ -1,0 +1,100 @@
+"""Model-indexing tests (future work §VIII.3 — the Hawk-like index)."""
+
+import pytest
+
+from repro.casestudies.generators import build_scalability_model
+from repro.metamodel import (
+    MemoryOverflowError,
+    MetamodelError,
+    ModelIndex,
+    ModelResource,
+    build_index,
+    index_model_file,
+)
+from repro.metamodel.indexing import index_is_stale, index_path_for, save_index
+from repro.ssam import SSAMModel
+
+
+class TestBuildIndex:
+    def test_counts_match_model(self, psu_ssam):
+        index = ModelIndex(build_index(psu_ssam.root))
+        assert index.element_count == psu_ssam.element_count()
+        assert index.count("Component") == len(psu_ssam.components())
+        assert index.count("Hazard") == 1
+
+    def test_supertype_kinds_indexed(self, psu_ssam):
+        index = ModelIndex(build_index(psu_ssam.root))
+        # SafetyRequirement records also appear under Requirement.
+        assert index.count("Requirement") >= index.count("SafetyRequirement")
+        assert index.count("SafetyRequirement") == 1
+
+    def test_names_and_scalar_attributes_indexed(self, psu_ssam):
+        index = ModelIndex(build_index(psu_ssam.root))
+        d1 = index.find_one("Component", name="D1")
+        assert d1 is not None
+        assert d1["fit"] == 10
+        assert d1["componentClass"] == "Diode"
+
+    def test_find_with_multiple_criteria(self, psu_ssam):
+        index = ModelIndex(build_index(psu_ssam.root))
+        matches = index.find("Component", componentClass="Capacitor")
+        assert {record["name"] for record in matches} == {"C1", "C2"}
+        assert index.find("Component", name="D1", fit=11) == []
+
+    def test_unknown_kind_is_empty(self, psu_ssam):
+        index = ModelIndex(build_index(psu_ssam.root))
+        assert index.records("Spaceship") == []
+        assert index.count("Spaceship") == 0
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(MetamodelError):
+            ModelIndex({"format": "other"})
+
+
+class TestSidecarWorkflow:
+    def test_index_model_file_and_query(self, tmp_path, psu_ssam):
+        model_path = psu_ssam.save(tmp_path / "psu.json")
+        sidecar = index_model_file(model_path)
+        assert sidecar == index_path_for(model_path)
+        index = ModelIndex.load(sidecar)
+        assert index.find_one("Component", name="MC1")["fit"] == 300
+
+    def test_for_model_file_builds_when_absent(self, tmp_path, psu_ssam):
+        model_path = psu_ssam.save(tmp_path / "psu.json")
+        index = ModelIndex.for_model_file(model_path)
+        assert index.element_count == psu_ssam.element_count()
+        assert index_path_for(model_path).is_file()
+
+    def test_stale_index_rebuilt_on_model_change(self, tmp_path, psu_ssam):
+        model_path = psu_ssam.save(tmp_path / "psu.json")
+        first = ModelIndex.for_model_file(model_path)
+        # Change the model on disk.
+        psu_ssam.find_by_name("D1").set("fit", 99.0)
+        psu_ssam.save(model_path)
+        second = ModelIndex.for_model_file(model_path)
+        assert second.find_one("Component", name="D1")["fit"] == 99.0
+
+    def test_staleness_detection(self, tmp_path, psu_ssam):
+        model_path = psu_ssam.save(tmp_path / "psu.json")
+        sidecar = index_model_file(model_path)
+        index = ModelIndex.load(sidecar)
+        assert not index_is_stale(index._index, model_path)
+        psu_ssam.find_by_name("L1").set("fit", 16.0)
+        psu_ssam.save(model_path)  # changed content: new digest
+        assert index_is_stale(index._index, model_path)
+
+    def test_query_without_loading_beats_memory_budget(self, tmp_path):
+        """The Set5 scenario in miniature: the index answers queries on a
+        model whose eager load would exceed the memory budget."""
+        model = build_scalability_model(5_689, name="budgeted")
+        model_path = model.save(tmp_path / "big.json")
+        index_model_file(model_path)
+
+        tight_budget = 100 * 480  # far below 5 689 elements
+        with pytest.raises(MemoryOverflowError):
+            SSAMModel.load(model_path, memory_budget_bytes=tight_budget)
+
+        index = ModelIndex.for_model_file(model_path)
+        assert index.element_count == 5_689
+        assert index.count("Component") > 900
+        assert index.find_one("Component", name="C0") is not None

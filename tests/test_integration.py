@@ -1,0 +1,192 @@
+"""Cross-module integration tests: the full paper pipeline, end to end."""
+
+import numpy as np
+import pytest
+
+from repro.assurance import (
+    ArtifactReference,
+    Goal,
+    Solution,
+    Strategy,
+    evaluate_case,
+)
+from repro.casestudies.power_supply import (
+    ASSUMED_STABLE,
+    build_power_supply_simulink,
+    build_power_supply_ssam,
+    power_supply_mechanisms,
+    power_supply_reliability,
+)
+from repro.casestudies.systems import build_system_b, system_mechanisms
+from repro.decisive import DecisiveProcess, simulate_manual_fmea
+from repro.fta import federate_fta_fmea
+from repro.monitor import generate_monitor
+from repro.reliability import standard_reliability_model
+from repro.safety import (
+    run_fmeda,
+    run_simulink_fmea,
+    run_ssam_fmea,
+    save_fmeda_workbook,
+    spfm,
+)
+from repro.same import SAME, Workspace
+from repro.ssam.base import text_of
+from repro.transform import simulink_to_ssam, ssam_to_simulink
+
+
+def test_full_paper_pipeline(tmp_path):
+    """Steps 1-5 of DECISIVE, exactly as Section V narrates them."""
+    # Steps 1-2: design + hazard (the case-study builders encode them).
+    simulink = build_power_supply_simulink()
+    reliability = power_supply_reliability()
+
+    # Step 4a: injection FMEA -> 5.38 %.
+    fmea = run_simulink_fmea(
+        simulink, reliability, sensors=["CS1"], assume_stable=ASSUMED_STABLE
+    )
+    assert spfm(fmea) == pytest.approx(0.0538, abs=5e-4)
+
+    # Step 4b: ECC -> 96.77 %, ASIL-B.
+    deployment = power_supply_mechanisms().deploy("MC1", "MCU", "RAM Failure")
+    fmeda = run_fmeda(fmea, [deployment])
+    assert fmeda.asil == "ASIL-B"
+
+    # Step 5 / assurance: the generated FMEDA substantiates the case.
+    save_fmeda_workbook(fmeda, tmp_path / "fmeda")
+    goal = Goal("G1", "design acceptably safe")
+    strategy = goal.add_support(Strategy("S1", "metrics"))
+    sub = strategy.add_goal(Goal("G2", "SPFM >= 90%"))
+    sub.add_support(
+        Solution(
+            "Sn1",
+            "FMEDA",
+            artifact=ArtifactReference(
+                name="fmeda",
+                location="fmeda",
+                driver_type="table",
+                metadata="Summary",
+                query="rows('Summary')[0]['SPFM']",
+                acceptance="result >= 0.90",
+            ),
+        )
+    )
+    assert evaluate_case(goal, base_dir=tmp_path).ok
+
+
+def test_two_fmea_methods_agree_on_case_study():
+    """Ablation A1: graph FMEA vs injection FMEA (same SR set, same SPFM)."""
+    injection = run_simulink_fmea(
+        build_power_supply_simulink(),
+        power_supply_reliability(),
+        sensors=["CS1"],
+        assume_stable=ASSUMED_STABLE,
+    )
+    graph = run_ssam_fmea(
+        build_power_supply_ssam().top_components()[0],
+        power_supply_reliability(),
+    )
+    assert sorted(injection.safety_related_components()) == sorted(
+        graph.safety_related_components()
+    )
+    assert spfm(injection) == pytest.approx(spfm(graph), abs=1e-9)
+
+
+def test_transform_then_analyse_via_workspace(tmp_path):
+    """Fig. 10's working process across the workspace: import, transform,
+    persist, reload, analyse."""
+    workspace = Workspace(tmp_path / "ws")
+    workspace.save_simulink("psu", build_power_supply_simulink())
+
+    same = SAME()
+    same.open_simulink(workspace.path_of("psu"))
+    same.load_reliability(power_supply_reliability())
+    ssam = same.import_simulink()
+    workspace.save_ssam("psu_ssam", ssam)
+
+    reloaded = workspace.load_ssam("psu_ssam")
+    back = ssam_to_simulink(reloaded)
+    assert back.to_dict() == workspace.load_simulink("psu").to_dict()
+
+
+def test_decisive_then_fta_consistency():
+    """After the DECISIVE loop refines System B, FTA and FMEA still agree."""
+    model = build_system_b()
+    process = DecisiveProcess(
+        model,
+        standard_reliability_model(),
+        system_mechanisms(),
+        target_asil="ASIL-B",
+    )
+    log = process.run()
+    assert log.met_target
+    fmea = run_ssam_fmea(model.top_components()[0])
+    federated = federate_fta_fmea(model.top_components()[0], fmea)
+    assert federated.consistent
+
+
+def test_monitor_from_refined_design():
+    """SSAM -> monitor generation end to end after marking CS1 dynamic."""
+    model = build_power_supply_ssam()
+    for component in model.elements_of_kind("Component"):
+        if text_of(component) == "CS1":
+            component.set("dynamic", True)
+    monitor = generate_monitor(model, debounce=2)
+    monitor.observe_series("CS1.I", [0.0436] * 5 + [0.0] * 5, dt=1.0)
+    assert not monitor.healthy
+    assert monitor.violations[0].kind == "below_lower"
+
+
+def test_rq1_protocol_end_to_end():
+    """RQ1: manual-vs-automated comparison on the real analysis output."""
+    truth = run_simulink_fmea(
+        build_power_supply_simulink(),
+        power_supply_reliability(),
+        sensors=["CS1"],
+        assume_stable=ASSUMED_STABLE,
+    )
+    rng = np.random.default_rng(2022)
+    manual, fraction = simulate_manual_fmea(truth, rng)
+    assert 0.0 <= fraction <= 0.25
+    assert sorted(manual.safety_related_components()) == sorted(
+        truth.safety_related_components()
+    )
+
+
+def test_ssam_model_survives_analysis_roundtrip(tmp_path):
+    """Analyse, mark, persist, reload: the marks survive serialisation."""
+    model = build_power_supply_ssam()
+    run_ssam_fmea(model.top_components()[0], power_supply_reliability())
+    path = model.save(tmp_path / "marked.ssam.json")
+
+    from repro.ssam import SSAMModel
+
+    reloaded = SSAMModel.load(path)
+    d1 = reloaded.find_by_name("D1")
+    assert d1.get("safetyRelated")
+    open_mode = [
+        m for m in d1.get("failureModes") if text_of(m) == "Open"
+    ][0]
+    assert open_mode.get("safetyRelated")
+
+
+def test_reliability_from_external_reference_feeds_fmea(tmp_path):
+    """Federation -> analysis: data pulled through drivers drives Algorithm 1."""
+    from repro.federation import (
+        attach_reliability_reference,
+        federate_reliability,
+    )
+    from repro.reliability.sources import save_reliability_table
+
+    save_reliability_table(power_supply_reliability(), tmp_path / "rel.csv")
+    model = build_power_supply_ssam()
+    system = model.top_components()[0]
+    for sub in system.get("subcomponents"):
+        if text_of(sub) in ("D1", "L1", "MC1", "C1", "C2"):
+            sub.set("failureModes", [])
+            sub.set("fit", 0.0)
+            attach_reliability_reference(sub, "rel.csv", "table")
+    report = federate_reliability(model, base_dir=tmp_path)
+    assert report.ok
+    fmea = run_ssam_fmea(system)
+    assert sorted(fmea.safety_related_components()) == ["D1", "L1", "MC1"]
+    assert spfm(fmea) == pytest.approx(0.0538, abs=5e-4)

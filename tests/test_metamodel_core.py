@@ -1,0 +1,296 @@
+"""Unit tests for the metamodel kernel (metaclasses, slots, containment)."""
+
+import pytest
+
+from repro.metamodel import (
+    MetaAttribute,
+    MetaClass,
+    MetaPackage,
+    MetamodelError,
+    TypeCheckError,
+)
+
+
+@pytest.fixture
+def pkg():
+    package = MetaPackage("t")
+    node = package.define("Node")
+    node.attribute("name")
+    node.attribute("weight", "float", default=1.0)
+    node.attribute("count", "int", default=0)
+    node.attribute("active", "bool", default=False)
+    node.attribute("tags", "string", many=True)
+    node.attribute("mode", "enum:a|b|c", default="a")
+    node.reference("children", "Node", containment=True, many=True)
+    node.reference("only", "Node", containment=True)
+    node.reference("friend", "Node")
+    node.reference("friends", "Node", many=True)
+    return package
+
+
+@pytest.fixture
+def node_cls(pkg):
+    return pkg.get("Node")
+
+
+class TestMetaAttribute:
+    def test_unknown_type_rejected(self):
+        with pytest.raises(MetamodelError):
+            MetaAttribute("x", "complex128")
+
+    def test_enum_without_literals_rejected(self):
+        with pytest.raises(MetamodelError):
+            MetaAttribute("x", "enum:")
+
+    def test_enum_literals_accessible(self):
+        attr = MetaAttribute("x", "enum:on|off")
+        assert attr.enum_literals == ("on", "off")
+        assert attr.is_enum
+
+    def test_enum_literals_on_non_enum_raises(self):
+        with pytest.raises(MetamodelError):
+            MetaAttribute("x", "string").enum_literals
+
+    def test_check_value_accepts_none(self):
+        MetaAttribute("x", "int").check_value(None)
+
+    def test_bool_is_not_an_int(self):
+        with pytest.raises(TypeCheckError):
+            MetaAttribute("x", "int").check_value(True)
+
+    def test_int_is_a_float(self):
+        MetaAttribute("x", "float").check_value(3)
+
+    def test_any_accepts_everything(self):
+        MetaAttribute("x", "any").check_value(object())
+
+
+class TestSlotAccess:
+    def test_defaults_returned_before_set(self, node_cls):
+        obj = node_cls.create()
+        assert obj.weight == 1.0
+        assert obj.mode == "a"
+        assert obj.friend is None
+        assert obj.tags == []
+
+    def test_create_kwargs_initialise_slots(self, node_cls):
+        obj = node_cls.create(name="n", weight=2.5)
+        assert obj.name == "n"
+        assert obj.weight == 2.5
+
+    def test_attribute_type_enforced(self, node_cls):
+        obj = node_cls.create()
+        with pytest.raises(TypeCheckError):
+            obj.set("weight", "heavy")
+
+    def test_enum_value_enforced(self, node_cls):
+        obj = node_cls.create()
+        obj.mode = "b"
+        with pytest.raises(TypeCheckError):
+            obj.mode = "z"
+
+    def test_many_attribute_requires_list(self, node_cls):
+        obj = node_cls.create()
+        with pytest.raises(TypeCheckError):
+            obj.set("tags", "solo")
+        obj.set("tags", ["a", "b"])
+        assert obj.tags == ["a", "b"]
+
+    def test_many_attribute_items_type_checked(self, node_cls):
+        obj = node_cls.create()
+        with pytest.raises(TypeCheckError):
+            obj.set("tags", ["ok", 3])
+
+    def test_unknown_feature_raises(self, node_cls):
+        obj = node_cls.create()
+        with pytest.raises(MetamodelError):
+            obj.get("nonexistent")
+        with pytest.raises(AttributeError):
+            obj.nonexistent
+
+    def test_reference_target_class_checked(self, pkg, node_cls):
+        other_cls = pkg.define("Other")
+        obj = node_cls.create()
+        with pytest.raises(TypeCheckError):
+            obj.friend = other_cls.create()
+
+    def test_reference_rejects_non_object(self, node_cls):
+        obj = node_cls.create()
+        with pytest.raises(TypeCheckError):
+            obj.set("friend", 42)
+
+    def test_single_valued_add_rejected(self, node_cls):
+        a, b = node_cls.create(), node_cls.create()
+        with pytest.raises(MetamodelError):
+            a.add("friend", b)
+
+    def test_is_set_tracks_assignment(self, node_cls):
+        obj = node_cls.create()
+        assert not obj.is_set("weight")
+        obj.weight = 3.0
+        assert obj.is_set("weight")
+
+
+class TestContainment:
+    def test_add_sets_container(self, node_cls):
+        parent, child = node_cls.create(), node_cls.create()
+        parent.add("children", child)
+        assert child.container is parent
+        assert child.containing_feature == "children"
+
+    def test_cross_reference_does_not_set_container(self, node_cls):
+        a, b = node_cls.create(), node_cls.create()
+        a.friend = b
+        assert b.container is None
+
+    def test_reparenting_removes_from_old_container(self, node_cls):
+        p1, p2, child = node_cls.create(), node_cls.create(), node_cls.create()
+        p1.add("children", child)
+        p2.add("children", child)
+        assert child.container is p2
+        assert child not in p1.children
+
+    def test_move_between_features(self, node_cls):
+        parent, child = node_cls.create(), node_cls.create()
+        parent.add("children", child)
+        parent.only = child
+        assert child.container is parent
+        assert child.containing_feature == "only"
+        assert child not in parent.children
+
+    def test_single_containment_replacement_detaches_old(self, node_cls):
+        parent, old, new = (node_cls.create() for _ in range(3))
+        parent.only = old
+        parent.only = new
+        assert old.container is None
+        assert new.container is parent
+
+    def test_remove_detaches(self, node_cls):
+        parent, child = node_cls.create(), node_cls.create()
+        parent.add("children", child)
+        parent.remove("children", child)
+        assert child.container is None
+        assert parent.children == []
+
+    def test_remove_from_single_valued_raises(self, node_cls):
+        parent, child = node_cls.create(), node_cls.create()
+        parent.only = child
+        with pytest.raises(MetamodelError):
+            parent.remove("only", child)
+
+    def test_root_walks_to_top(self, node_cls):
+        a, b, c = (node_cls.create() for _ in range(3))
+        a.add("children", b)
+        b.add("children", c)
+        assert c.root() is a
+
+    def test_set_list_detaches_dropped_children(self, node_cls):
+        parent, c1, c2 = (node_cls.create() for _ in range(3))
+        parent.set("children", [c1, c2])
+        parent.set("children", [c2])
+        assert c1.container is None
+        assert c2.container is parent
+
+
+class TestTraversal:
+    def test_contents_only_containment(self, node_cls):
+        parent, child, friend = (node_cls.create() for _ in range(3))
+        parent.add("children", child)
+        parent.friend = friend
+        assert parent.contents() == [child]
+
+    def test_all_contents_depth_first(self, node_cls):
+        a, b, c, d = (node_cls.create(name=n) for n in "abcd")
+        a.add("children", b)
+        b.add("children", c)
+        a.add("children", d)
+        assert [x.name for x in a.all_contents()] == ["b", "c", "d"]
+
+    def test_element_count(self, node_cls):
+        a = node_cls.create()
+        for _ in range(5):
+            a.add("children", node_cls.create())
+        assert a.element_count() == 6
+
+
+class TestInheritance:
+    def test_features_inherited(self):
+        pkg = MetaPackage("inh")
+        base = pkg.define("Base")
+        base.attribute("x", "int", default=1)
+        sub = pkg.define("Sub", supertypes=[base])
+        sub.attribute("y", "int", default=2)
+        obj = sub.create()
+        assert obj.x == 1 and obj.y == 2
+        assert set(sub.all_attributes()) == {"x", "y"}
+
+    def test_subclass_overrides_supertype_feature(self):
+        pkg = MetaPackage("ovr")
+        base = pkg.define("Base")
+        base.attribute("x", "int", default=1)
+        sub = pkg.define("Sub", supertypes=[base])
+        sub.attribute("x", "int", default=9)
+        assert sub.create().x == 9
+
+    def test_diamond_inheritance(self):
+        pkg = MetaPackage("dia")
+        top = pkg.define("Top")
+        top.attribute("t")
+        left = pkg.define("Left", supertypes=[top])
+        right = pkg.define("Right", supertypes=[top])
+        bottom = pkg.define("Bottom", supertypes=[left, right])
+        assert "t" in bottom.all_attributes()
+        assert bottom.is_subtype_of(top)
+
+    def test_is_kind_of_by_name(self):
+        pkg = MetaPackage("kind")
+        base = pkg.define("Base")
+        sub = pkg.define("Sub", supertypes=[base])
+        obj = sub.create()
+        assert obj.is_kind_of("Sub") and obj.is_kind_of("Base")
+        assert not obj.is_kind_of("Other")
+
+    def test_abstract_class_not_instantiable(self):
+        pkg = MetaPackage("abs")
+        abstract = pkg.define("A", abstract=True)
+        with pytest.raises(MetamodelError):
+            abstract.create()
+
+    def test_reference_accepts_subtype(self):
+        pkg = MetaPackage("subref")
+        base = pkg.define("Base")
+        sub = pkg.define("Sub", supertypes=[base])
+        holder = pkg.define("Holder")
+        holder.reference("item", "Base")
+        h = holder.create()
+        h.item = sub.create()
+        assert h.item.is_kind_of("Sub")
+
+
+class TestPackage:
+    def test_duplicate_class_rejected(self):
+        pkg = MetaPackage("dup")
+        pkg.define("X")
+        with pytest.raises(MetamodelError):
+            pkg.define("X")
+
+    def test_duplicate_feature_rejected(self):
+        pkg = MetaPackage("dupf")
+        cls = pkg.define("X")
+        cls.attribute("a")
+        with pytest.raises(MetamodelError):
+            cls.attribute("a")
+        with pytest.raises(MetamodelError):
+            cls.reference("a", "X")
+
+    def test_get_unknown_class(self):
+        with pytest.raises(MetamodelError):
+            MetaPackage("e").get("Nope")
+
+    def test_qualified_name(self, node_cls):
+        assert node_cls.qualified_name() == "t.Node"
+
+    def test_find_feature(self, node_cls):
+        assert node_cls.find_feature("weight").type_name == "float"
+        assert node_cls.find_feature("friend").target == "Node"
+        assert node_cls.find_feature("nope") is None

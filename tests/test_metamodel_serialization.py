@@ -1,0 +1,184 @@
+"""Serialization tests: round trips, cross references, the memory model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metamodel import (
+    MemoryOverflowError,
+    MetamodelError,
+    MetaPackage,
+    ModelResource,
+    PackageRegistry,
+    estimate_element_bytes,
+)
+from repro.metamodel.serialization import BYTES_PER_ELEMENT
+
+
+@pytest.fixture(scope="module")
+def registry():
+    reg = PackageRegistry()
+    pkg = MetaPackage("ser")
+    node = pkg.define("Node")
+    node.attribute("name")
+    node.attribute("weight", "float")
+    node.attribute("tags", "string", many=True)
+    node.reference("children", "Node", containment=True, many=True)
+    node.reference("friend", "Node")
+    node.reference("friends", "Node", many=True)
+    reg.register(pkg)
+    return reg
+
+
+@pytest.fixture(scope="module")
+def node(registry):
+    return registry.package("ser").get("Node")
+
+
+def test_roundtrip_attributes(registry, node):
+    resource = ModelResource(registry)
+    obj = node.create(name="x", weight=2.0, tags=["a", "b"])
+    clone = resource.clone(obj)
+    assert clone.name == "x"
+    assert clone.weight == 2.0
+    assert clone.tags == ["a", "b"]
+
+
+def test_roundtrip_preserves_unset_vs_default(registry, node):
+    resource = ModelResource(registry)
+    obj = node.create(name="x")
+    clone = resource.clone(obj)
+    assert not clone.is_set("weight")
+
+
+def test_cross_reference_resolved_to_clone(registry, node):
+    resource = ModelResource(registry)
+    root = node.create(name="root")
+    a = node.create(name="a")
+    b = node.create(name="b")
+    root.add("children", a)
+    root.add("children", b)
+    a.friend = b
+    b.friends = [a, b]
+    clone = resource.clone(root)
+    ca, cb = clone.children
+    assert ca.friend is cb
+    assert cb.friends[0] is ca and cb.friends[1] is cb
+
+
+def test_clone_is_independent(registry, node):
+    resource = ModelResource(registry)
+    root = node.create(name="root")
+    clone = resource.clone(root)
+    clone.name = "changed"
+    assert root.name == "root"
+
+
+def test_save_load_file(tmp_path, registry, node):
+    resource = ModelResource(registry)
+    root = node.create(name="root")
+    root.add("children", node.create(name="kid"))
+    path = resource.save(root, tmp_path / "model.json")
+    loaded = resource.load(path)
+    assert loaded.children[0].name == "kid"
+
+
+def test_unknown_format_rejected(registry):
+    resource = ModelResource(registry)
+    with pytest.raises(MetamodelError):
+        resource.from_dict({"format": "something-else", "root": {}})
+
+
+def test_dangling_reference_rejected(registry, node):
+    resource = ModelResource(registry)
+    data = {
+        "format": ModelResource.FORMAT,
+        "root": {
+            "class": "ser.Node",
+            "uid": "_1",
+            "references": {"friend": {"$ref": "_nope"}},
+        },
+    }
+    with pytest.raises(MetamodelError, match="dangling"):
+        resource.from_dict(data)
+
+
+def test_unknown_reference_name_rejected(registry):
+    resource = ModelResource(registry)
+    data = {
+        "format": ModelResource.FORMAT,
+        "root": {
+            "class": "ser.Node",
+            "uid": "_1",
+            "references": {"bogus": []},
+        },
+    }
+    with pytest.raises(MetamodelError):
+        resource.from_dict(data)
+
+
+class TestMemoryModel:
+    def test_estimate_scales_linearly(self):
+        assert estimate_element_bytes(10) == 10 * BYTES_PER_ELEMENT
+
+    def test_budget_allows_small_model(self, registry, node):
+        resource = ModelResource(registry, memory_budget_bytes=10 * BYTES_PER_ELEMENT)
+        root = node.create()
+        for _ in range(3):
+            root.add("children", node.create())
+        assert resource.clone(root).element_count() == 4
+
+    def test_budget_rejects_large_model(self, registry, node):
+        resource = ModelResource(registry, memory_budget_bytes=2 * BYTES_PER_ELEMENT)
+        root = node.create()
+        for _ in range(5):
+            root.add("children", node.create())
+        with pytest.raises(MemoryOverflowError):
+            resource.clone(root)
+
+    def test_check_loadable_preflight(self, registry):
+        resource = ModelResource(registry, memory_budget_bytes=1000 * BYTES_PER_ELEMENT)
+        resource.check_loadable(1000)
+        with pytest.raises(MemoryOverflowError) as excinfo:
+            resource.check_loadable(1001)
+        assert excinfo.value.needed_bytes > excinfo.value.budget_bytes
+
+    def test_no_budget_means_no_limit(self, registry):
+        ModelResource(registry).check_loadable(10**12)
+
+
+@st.composite
+def trees(draw, depth=0):
+    name = draw(st.text(min_size=0, max_size=8))
+    weight = draw(
+        st.floats(allow_nan=False, allow_infinity=False, width=32)
+    )
+    n_children = 0 if depth >= 3 else draw(st.integers(0, 3))
+    return (name, float(weight), [draw(trees(depth + 1)) for _ in range(n_children)])
+
+
+def _build(node_cls, spec):
+    name, weight, children = spec
+    obj = node_cls.create(name=name, weight=weight)
+    for child_spec in children:
+        obj.add("children", _build(node_cls, child_spec))
+    return obj
+
+
+def _shape(obj):
+    return (
+        obj.name,
+        obj.weight,
+        [_shape(child) for child in obj.children],
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(spec=trees())
+def test_property_roundtrip_preserves_tree(registry, node, spec):
+    """Any containment tree survives a serialise/deserialise round trip."""
+    resource = ModelResource(registry)
+    original = _build(node, spec)
+    clone = resource.clone(original)
+    assert _shape(clone) == _shape(original)
+    assert clone.element_count() == original.element_count()

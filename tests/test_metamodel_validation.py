@@ -1,0 +1,120 @@
+"""Validation engine tests: required features, constraints, severities."""
+
+import pytest
+
+from repro.metamodel import (
+    Constraint,
+    MetaPackage,
+    Severity,
+    validate,
+)
+
+
+@pytest.fixture
+def pkg():
+    package = MetaPackage("val")
+    cls = package.define("Thing")
+    cls.attribute("name", required=True)
+    cls.attribute("size", "float", default=0.0)
+    cls.reference("parts", "Thing", containment=True, many=True)
+    cls.reference("owner", "Thing", required=True)
+    return package
+
+
+def test_required_attribute_flagged(pkg):
+    thing = pkg.get("Thing").create()
+    thing.owner = thing  # satisfy the reference
+    report = validate(thing)
+    assert not report.ok
+    assert any("name" in d.message for d in report.errors())
+
+
+def test_required_reference_flagged(pkg):
+    thing = pkg.get("Thing").create(name="x")
+    report = validate(thing)
+    assert any("owner" in d.message for d in report.errors())
+
+
+def test_valid_object_passes(pkg):
+    thing = pkg.get("Thing").create(name="x")
+    thing.owner = thing
+    assert validate(thing).ok
+
+
+def test_validation_recurses_into_contents(pkg):
+    parent = pkg.get("Thing").create(name="p")
+    parent.owner = parent
+    child = pkg.get("Thing").create()  # missing name and owner
+    parent.add("parts", child)
+    report = validate(parent)
+    assert len(report.errors()) == 2
+    assert all(d.target is child for d in report.errors())
+
+
+def test_class_level_constraint(pkg):
+    cls = pkg.get("Thing")
+    cls.add_constraint(
+        Constraint(
+            name="positive-size",
+            predicate=lambda obj: obj.get("size") >= 0,
+            message="size must be non-negative",
+        )
+    )
+    thing = cls.create(name="x", size=-1.0)
+    thing.owner = thing
+    report = validate(thing)
+    assert report.by_constraint("positive-size")
+
+
+def test_warning_severity_does_not_fail_report(pkg):
+    cls = pkg.get("Thing")
+    thing = cls.create(name="x", size=1.0)
+    thing.owner = thing
+    report = validate(
+        thing,
+        extra_constraints=[
+            Constraint(
+                "advice",
+                predicate=lambda obj: obj.get("size") > 10,
+                message="small thing",
+                severity=Severity.WARNING,
+            )
+        ],
+    )
+    assert report.ok
+    assert len(report.warnings()) == 1
+
+
+def test_raising_constraint_becomes_error(pkg):
+    thing = pkg.get("Thing").create(name="x")
+    thing.owner = thing
+    report = validate(
+        thing,
+        extra_constraints=[
+            Constraint("boom", predicate=lambda obj: 1 / 0, message="never")
+        ],
+    )
+    assert not report.ok
+    assert "ZeroDivisionError" in report.errors()[0].message
+
+
+def test_extra_constraints_apply_to_all_elements(pkg):
+    parent = pkg.get("Thing").create(name="p")
+    parent.owner = parent
+    child = pkg.get("Thing").create(name="c")
+    child.owner = parent
+    parent.add("parts", child)
+    report = validate(
+        parent,
+        extra_constraints=[
+            Constraint("named", lambda obj: bool(obj.get("name")))
+        ],
+    )
+    assert report.ok
+    assert len(report) == 0
+
+
+def test_report_len_counts_diagnostics(pkg):
+    thing = pkg.get("Thing").create()
+    report = validate(thing)
+    assert len(report) == 2  # name + owner

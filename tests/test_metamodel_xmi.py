@@ -1,0 +1,159 @@
+"""XMI-flavoured XML serialisation tests."""
+
+import pytest
+
+from repro.metamodel import (
+    MetamodelError,
+    MetaPackage,
+    ModelResource,
+    PackageRegistry,
+    XmiResource,
+)
+
+
+@pytest.fixture(scope="module")
+def registry():
+    reg = PackageRegistry()
+    pkg = MetaPackage("xmi_t")
+    node = pkg.define("Node")
+    node.attribute("name")
+    node.attribute("weight", "float")
+    node.attribute("active", "bool", default=False)
+    node.attribute("count", "int")
+    node.attribute("tags", "string", many=True)
+    node.reference("children", "Node", containment=True, many=True)
+    node.reference("single", "Node", containment=True)
+    node.reference("friend", "Node")
+    node.reference("friends", "Node", many=True)
+    reg.register(pkg)
+    return reg
+
+
+@pytest.fixture(scope="module")
+def node(registry):
+    return registry.package("xmi_t").get("Node")
+
+
+def sample_tree(node):
+    root = node.create(name="root", weight=1.5, active=True, count=3)
+    a = node.create(name="a", tags=["x", "y"])
+    b = node.create(name="b")
+    c = node.create(name="c")
+    root.add("children", a)
+    root.add("children", b)
+    root.single = c
+    a.friend = b
+    b.friends = [a, c]
+    return root
+
+
+def _shape(resource, obj):
+    return resource.to_dict(obj)["root"]
+
+
+def _strip_uids(data):
+    if isinstance(data, dict):
+        return {
+            k: _strip_uids(v)
+            for k, v in data.items()
+            if k not in ("uid", "$ref")
+        }
+    if isinstance(data, list):
+        return [_strip_uids(item) for item in data]
+    return data
+
+
+class TestRoundTrip:
+    def test_file_roundtrip(self, tmp_path, registry, node):
+        xmi = XmiResource(registry)
+        json_resource = ModelResource(registry)
+        original = sample_tree(node)
+        path = xmi.write(original, tmp_path / "model.xmi")
+        loaded = xmi.read(path)
+        assert _strip_uids(_shape(json_resource, loaded)) == _strip_uids(
+            _shape(json_resource, original)
+        )
+
+    def test_string_roundtrip(self, registry, node):
+        xmi = XmiResource(registry)
+        original = sample_tree(node)
+        loaded = xmi.from_string(xmi.to_string(original))
+        assert loaded.name == "root"
+        assert loaded.weight == 1.5
+        assert loaded.active is True
+        assert loaded.count == 3
+        assert [child.name for child in loaded.children] == ["a", "b"]
+        assert loaded.single.name == "c"
+
+    def test_cross_references_resolved(self, registry, node):
+        xmi = XmiResource(registry)
+        loaded = xmi.from_string(xmi.to_string(sample_tree(node)))
+        a, b = loaded.children
+        assert a.friend is b
+        assert b.friends[0] is a
+        assert b.friends[1] is loaded.single
+
+    def test_many_attribute_types_preserved(self, registry, node):
+        xmi = XmiResource(registry)
+        loaded = xmi.from_string(xmi.to_string(sample_tree(node)))
+        assert loaded.children[0].tags == ["x", "y"]
+        assert isinstance(loaded.count, int)
+        assert isinstance(loaded.weight, float)
+
+    def test_ssam_model_through_xmi(self, tmp_path, psu_ssam):
+        xmi = XmiResource()
+        path = xmi.write(psu_ssam.root, tmp_path / "psu.xmi")
+        loaded = xmi.read(path)
+        assert loaded.element_count() == psu_ssam.element_count()
+        from repro.ssam import SSAMModel
+        from repro.safety import run_ssam_fmea, spfm
+        from repro.casestudies.power_supply import power_supply_reliability
+
+        model = SSAMModel(root=loaded)
+        fmea = run_ssam_fmea(
+            model.top_components()[0], power_supply_reliability()
+        )
+        assert spfm(fmea) == pytest.approx(0.0538, abs=5e-4)
+
+
+class TestErrors:
+    def test_malformed_xml(self, tmp_path, registry):
+        path = tmp_path / "bad.xmi"
+        path.write_text("<unclosed>")
+        with pytest.raises(MetamodelError, match="malformed"):
+            XmiResource(registry).read(path)
+
+    def test_wrong_document_version(self, registry):
+        with pytest.raises(MetamodelError, match="not a"):
+            XmiResource(registry).from_string("<xmi version='other'/>")
+
+    def test_missing_class_attribute(self, registry):
+        text = "<xmi version='repro-xmi/1'><Node uid='_1'/></xmi>"
+        with pytest.raises(MetamodelError, match="class attribute"):
+            XmiResource(registry).from_string(text)
+
+    def test_unknown_attribute_rejected(self, registry):
+        text = (
+            "<xmi version='repro-xmi/1'>"
+            "<Node class='xmi_t.Node' uid='_1' bogus='1'/></xmi>"
+        )
+        with pytest.raises(MetamodelError, match="no attribute"):
+            XmiResource(registry).from_string(text)
+
+    def test_dangling_reference_rejected(self, registry):
+        text = (
+            "<xmi version='repro-xmi/1'>"
+            "<Node class='xmi_t.Node' uid='_1'>"
+            "<ref name='friend' target='_missing'/></Node></xmi>"
+        )
+        with pytest.raises(MetamodelError, match="dangling"):
+            XmiResource(registry).from_string(text)
+
+    def test_multiple_roots_rejected(self, registry):
+        text = (
+            "<xmi version='repro-xmi/1'>"
+            "<Node class='xmi_t.Node' uid='_1'/>"
+            "<Node class='xmi_t.Node' uid='_2'/></xmi>"
+        )
+        with pytest.raises(MetamodelError, match="exactly one root"):
+            XmiResource(registry).from_string(text)

@@ -1,0 +1,174 @@
+"""Architectural-metric tests: SPFM (Eq. 1), ASIL targets, LFM."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.safety import (
+    ASIL_SPFM_TARGETS,
+    asil_from_spfm,
+    latent_fault_metric,
+    spfm,
+    spfm_meets,
+)
+from repro.safety.fmea import FmeaError, FmeaResult, FmeaRow
+from repro.safety.mechanisms import Deployment
+from repro.safety.metrics import single_point_rates
+
+
+def make_fmea(rows):
+    result = FmeaResult(system="t", method="manual")
+    result.rows.extend(rows)
+    return result
+
+
+def row(component, fit, mode, dist, related, klass="X"):
+    return FmeaRow(
+        component=component,
+        component_class=klass,
+        fit=fit,
+        failure_mode=mode,
+        nature="open",
+        distribution=dist,
+        safety_related=related,
+    )
+
+
+@pytest.fixture
+def table_iv_fmea():
+    """The paper's Table IV inputs."""
+    return make_fmea(
+        [
+            row("D1", 10, "Open", 0.3, True),
+            row("D1", 10, "Short", 0.7, False),
+            row("L1", 15, "Open", 0.3, True),
+            row("L1", 15, "Short", 0.7, False),
+            row("C1", 2, "Open", 0.3, False),
+            row("C1", 2, "Short", 0.7, False),
+            row("MC1", 300, "RAM Failure", 1.0, True),
+        ]
+    )
+
+
+class TestSpfmEquation:
+    def test_paper_value_before_mechanisms(self, table_iv_fmea):
+        assert spfm(table_iv_fmea) == pytest.approx(0.0538, abs=5e-4)
+
+    def test_paper_value_after_ecc(self, table_iv_fmea):
+        ecc = Deployment("MC1", "RAM Failure", "ECC", 0.99, 2.0)
+        assert spfm(table_iv_fmea, [ecc]) == pytest.approx(0.9677, abs=5e-4)
+
+    def test_non_safety_related_components_excluded_from_sums(
+        self, table_iv_fmea
+    ):
+        # C1 (2 FIT) must not appear in either sum: with it the denominator
+        # would be 327 and the metric would differ.
+        value = spfm(table_iv_fmea)
+        assert value == pytest.approx(1 - 307.5 / 325, abs=1e-9)
+
+    def test_single_point_rates_match_table_iv(self, table_iv_fmea):
+        ecc = Deployment("MC1", "RAM Failure", "ECC", 0.99, 2.0)
+        rates = single_point_rates(table_iv_fmea, [ecc])
+        assert rates["D1"] == pytest.approx(3.0)
+        assert rates["L1"] == pytest.approx(4.5)
+        assert rates["MC1"] == pytest.approx(3.0)
+
+    def test_no_single_points_gives_perfect_metric(self):
+        result = make_fmea([row("A", 10, "Open", 1.0, False)])
+        assert spfm(result) == 1.0
+
+    def test_zero_fit_safety_related_rejected(self):
+        result = make_fmea([row("A", 0.0, "Open", 1.0, True)])
+        with pytest.raises(FmeaError, match="zero"):
+            spfm(result)
+
+    def test_multiple_mechanisms_combine_as_independent(self):
+        result = make_fmea([row("A", 100, "Open", 1.0, True)])
+        d1 = Deployment("A", "Open", "M1", 0.9, 0)
+        d2 = Deployment("A", "Open", "M2", 0.9, 0)
+        # residual = 100 * (1-0.9)^2 = 1 FIT -> SPFM = 0.99
+        assert spfm(result, [d1, d2]) == pytest.approx(0.99)
+
+    def test_deployment_on_unrelated_mode_is_inert(self, table_iv_fmea):
+        noop = Deployment("C1", "Short", "M", 0.99, 0)
+        assert spfm(table_iv_fmea, [noop]) == spfm(table_iv_fmea)
+
+
+class TestAsilTargets:
+    def test_iso_targets(self):
+        assert ASIL_SPFM_TARGETS["ASIL-B"] == 0.90
+        assert ASIL_SPFM_TARGETS["ASIL-C"] == 0.97
+        assert ASIL_SPFM_TARGETS["ASIL-D"] == 0.99
+
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (0.05, "ASIL-A"),
+            (0.899999, "ASIL-A"),
+            (0.90, "ASIL-B"),
+            (0.9677, "ASIL-B"),
+            (0.97, "ASIL-C"),
+            (0.99, "ASIL-D"),
+            (1.0, "ASIL-D"),
+        ],
+    )
+    def test_asil_from_spfm(self, value, expected):
+        assert asil_from_spfm(value) == expected
+
+    def test_spfm_meets(self):
+        assert spfm_meets(0.95, "ASIL-B")
+        assert not spfm_meets(0.95, "ASIL-C")
+        with pytest.raises(ValueError, match="unknown ASIL"):
+            spfm_meets(0.95, "ASIL-E")
+
+
+class TestLatentFaultMetric:
+    def test_perfect_when_no_single_points(self):
+        result = make_fmea([row("A", 10, "Open", 1.0, False)])
+        assert latent_fault_metric(result) == 1.0
+
+    def test_uncovered_residual_modes_are_latent(self):
+        result = make_fmea(
+            [
+                row("A", 10, "Open", 0.4, True),
+                row("A", 10, "Short", 0.6, False),
+            ]
+        )
+        assert latent_fault_metric(result) == pytest.approx(0.0)
+        covered = Deployment("A", "Short", "M", 0.8, 0)
+        assert latent_fault_metric(result, [covered]) == pytest.approx(0.8)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    fits=st.lists(
+        st.floats(min_value=1.0, max_value=1e4, allow_nan=False),
+        min_size=1,
+        max_size=6,
+    ),
+    dists=st.lists(
+        st.floats(min_value=0.05, max_value=1.0, allow_nan=False),
+        min_size=1,
+        max_size=6,
+    ),
+    coverages=st.lists(
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        min_size=1,
+        max_size=6,
+    ),
+)
+def test_property_spfm_bounds_and_monotonicity(fits, dists, coverages):
+    """SPFM stays in [0, 1] and never decreases when coverage is added."""
+    n = min(len(fits), len(dists), len(coverages))
+    rows = [
+        row(f"K{i}", fits[i], "Open", dists[i], True) for i in range(n)
+    ]
+    result = make_fmea(rows)
+    bare = spfm(result)
+    assert 0.0 <= bare <= 1.0
+    deployments = [
+        Deployment(f"K{i}", "Open", "M", coverages[i], 0) for i in range(n)
+    ]
+    covered = spfm(result, deployments)
+    assert 0.0 <= covered <= 1.0
+    assert covered >= bare - 1e-12

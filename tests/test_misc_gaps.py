@@ -1,0 +1,157 @@
+"""Gap-filling tests: registry resolution, generators, CLI/driver edges."""
+
+import pytest
+
+from repro.metamodel import MetamodelError, MetaPackage, PackageRegistry
+
+
+class TestRegistry:
+    def make_registry(self):
+        registry = PackageRegistry()
+        alpha = MetaPackage("alpha", "urn:alpha")
+        alpha.define("Shared")
+        alpha.define("OnlyAlpha")
+        beta = MetaPackage("beta", "urn:beta")
+        beta.define("Shared")
+        registry.register(alpha)
+        registry.register(beta)
+        return registry
+
+    def test_qualified_resolution(self):
+        registry = self.make_registry()
+        assert registry.resolve_class("alpha.Shared").package.name == "alpha"
+        assert registry.resolve_class("beta.Shared").package.name == "beta"
+
+    def test_bare_name_unique_resolves(self):
+        registry = self.make_registry()
+        assert registry.resolve_class("OnlyAlpha").name == "OnlyAlpha"
+
+    def test_bare_name_ambiguous_rejected(self):
+        registry = self.make_registry()
+        with pytest.raises(MetamodelError, match="ambiguous"):
+            registry.resolve_class("Shared")
+
+    def test_unknown_class_rejected(self):
+        registry = self.make_registry()
+        with pytest.raises(MetamodelError, match="no registered class"):
+            registry.resolve_class("Ghost")
+        assert registry.find_class("Ghost") is None
+
+    def test_lookup_by_uri(self):
+        registry = self.make_registry()
+        assert registry.package("urn:alpha").name == "alpha"
+
+    def test_conflicting_registration_rejected(self):
+        registry = self.make_registry()
+        with pytest.raises(MetamodelError, match="already registered"):
+            registry.register(MetaPackage("alpha", "urn:other"))
+
+    def test_reregistering_same_package_is_fine(self):
+        registry = PackageRegistry()
+        package = MetaPackage("solo")
+        registry.register(package)
+        registry.register(package)  # idempotent
+
+
+class TestGeneratorsEdges:
+    def test_streamed_evaluation_with_remainder(self):
+        from repro.casestudies.generators import streamed_evaluation_seconds
+
+        # 2500 elements at batch 1000 -> 2 full batches + remainder 500.
+        seconds = streamed_evaluation_seconds(2500, batch_elements=1000)
+        assert seconds > 0
+
+    def test_streamed_evaluation_smaller_than_batch(self):
+        from repro.casestudies.generators import streamed_evaluation_seconds
+
+        assert streamed_evaluation_seconds(500, batch_elements=5000) > 0
+
+
+class TestCliErrors:
+    def test_fta_on_model_without_architecture(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.ssam import SSAMModel
+
+        path = SSAMModel("empty").save(tmp_path / "empty.ssam.json")
+        code = main(["fta", "--ssam", str(path)])
+        assert code == 1
+        assert "no top-level component" in capsys.readouterr().out
+
+    def test_validate_reports_errors(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.ssam import ArchitectureBuilder, SSAMModel
+        from repro.ssam.architecture import component_package
+
+        builder = ArchitectureBuilder("sys")
+        bad = builder.component("A", fit=10, component_class="Diode")
+        bad.failure_mode("Open", "open", 0.9)
+        bad.failure_mode("Short", "short", 0.9)  # sums to 1.8: error
+        model = SSAMModel("bad")
+        package = component_package("arch")
+        package.add("components", builder.build())
+        model.add_component_package(package)
+        path = model.save(tmp_path / "bad.ssam.json")
+        code = main(["validate", "--ssam", str(path)])
+        assert code == 1
+        assert "distribution" in capsys.readouterr().out
+
+
+class TestDriverEdges:
+    def test_table_driver_on_empty_dir(self, tmp_path):
+        from repro.drivers import DriverError, TableDriver
+
+        empty = tmp_path / "wb"
+        empty.mkdir()
+        with pytest.raises(DriverError, match="no .csv"):
+            TableDriver(empty)
+
+    def test_json_driver_scalar_collection(self, tmp_path):
+        import json
+
+        from repro.drivers import JsonDriver
+
+        path = tmp_path / "m.json"
+        path.write_text(json.dumps({"meta": {"v": 1}}))
+        driver = JsonDriver(path)
+        # No list-valued keys: all keys become candidate collections and a
+        # scalar value is wrapped into a single-element list.
+        assert driver.elements("meta") == [{"v": 1}]
+
+    def test_sheet_iteration_protocol(self):
+        from repro.drivers.table import Sheet
+
+        sheet = Sheet("s", [{"a": 1}, {"a": 2}])
+        assert [row["a"] for row in sheet] == [1, 2]
+        assert len(sheet) == 2
+
+
+class TestCircuitEdges:
+    def test_current_source_with_diode(self):
+        from repro.circuit import Netlist, dc_operating_point
+
+        netlist = Netlist("cs_d")
+        netlist.current_source("I1", "0", "a", 0.001)
+        netlist.diode("D1", "a", "0")
+        solution = dc_operating_point(netlist)
+        # 1 mA through a diode: forward voltage in the usual band.
+        assert 0.3 < solution.voltage("a") < 0.8
+
+    def test_switch_in_transient(self):
+        from repro.circuit import Netlist, transient
+
+        netlist = Netlist("sw")
+        netlist.voltage_source("V1", "a", "0", 1.0)
+        netlist.switch("S1", "a", "b", closed=True)
+        netlist.resistor("R1", "b", "0", 100.0)
+        result = transient(netlist, 1e-4, 1e-5)
+        assert result.final_voltage("b") == pytest.approx(1.0, rel=1e-2)
+
+    def test_ammeter_direction_sign(self):
+        from repro.circuit import Netlist, dc_operating_point
+
+        netlist = Netlist("sign")
+        netlist.voltage_source("V1", "a", "0", 5.0)
+        netlist.ammeter("AM", "b", "a")  # reversed orientation
+        netlist.resistor("R1", "b", "0", 100.0)
+        solution = dc_operating_point(netlist)
+        assert solution.current("AM") == pytest.approx(-0.05)

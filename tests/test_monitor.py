@@ -1,0 +1,132 @@
+"""Runtime-monitor tests: channels, debouncing, generation, generated source."""
+
+import pytest
+
+from repro.monitor import (
+    Channel,
+    MonitorError,
+    RuntimeMonitor,
+    generate_monitor,
+    generate_monitor_source,
+)
+from repro.ssam.base import text_of
+
+
+class TestChannel:
+    def test_limits_validated(self):
+        with pytest.raises(MonitorError):
+            Channel("c", lower=1.0, upper=0.5)
+        with pytest.raises(MonitorError):
+            Channel("c", debounce=0)
+
+    def test_below_lower(self):
+        channel = Channel("c", lower=0.0)
+        violation = channel.check(-1.0, 1.0)
+        assert violation.kind == "below_lower"
+        assert violation.limit == 0.0
+
+    def test_above_upper(self):
+        channel = Channel("c", upper=5.0)
+        assert channel.check(6.0, 0.0).kind == "above_upper"
+
+    def test_in_range_is_none(self):
+        channel = Channel("c", lower=0.0, upper=5.0)
+        assert channel.check(2.5, 0.0) is None
+
+    def test_one_sided_channels(self):
+        assert Channel("c", lower=0.0).check(1e9, 0.0) is None
+        assert Channel("c", upper=1.0).check(-1e9, 0.0) is None
+
+    def test_debounce_suppresses_transients(self):
+        channel = Channel("c", upper=1.0, debounce=3)
+        assert channel.check(2.0, 0.0) is None
+        assert channel.check(2.0, 1.0) is None
+        assert channel.check(2.0, 2.0) is not None
+
+    def test_debounce_streak_resets_on_good_value(self):
+        channel = Channel("c", upper=1.0, debounce=2)
+        assert channel.check(2.0, 0.0) is None
+        assert channel.check(0.5, 1.0) is None  # resets
+        assert channel.check(2.0, 2.0) is None  # streak restarts
+        assert channel.check(2.0, 3.0) is not None
+
+
+class TestRuntimeMonitor:
+    def test_duplicate_channel_rejected(self):
+        monitor = RuntimeMonitor()
+        monitor.add_channel(Channel("c"))
+        with pytest.raises(MonitorError):
+            monitor.add_channel(Channel("c"))
+
+    def test_unknown_channel_rejected(self):
+        with pytest.raises(MonitorError, match="no channel"):
+            RuntimeMonitor().observe("ghost", 1.0)
+
+    def test_violations_recorded_and_callbacks_fire(self):
+        monitor = RuntimeMonitor()
+        monitor.add_channel(Channel("c", upper=1.0))
+        seen = []
+        monitor.on_violation(seen.append)
+        monitor.observe("c", 0.5)
+        monitor.observe("c", 2.0, timestamp=7.0)
+        assert len(monitor.violations) == 1
+        assert seen[0].timestamp == 7.0
+        assert not monitor.healthy
+
+    def test_observe_series(self):
+        monitor = RuntimeMonitor()
+        monitor.add_channel(Channel("c", upper=1.0))
+        fired = monitor.observe_series("c", [0.5, 2.0, 0.5, 3.0], dt=0.1)
+        assert len(fired) == 2
+        assert fired[0].timestamp == pytest.approx(0.1)
+
+    def test_violation_str(self):
+        monitor = RuntimeMonitor()
+        monitor.add_channel(Channel("c", lower=1.0))
+        violation = monitor.observe("c", 0.0, 2.0)
+        assert "c" in str(violation) and "<" in str(violation)
+
+
+class TestGeneration:
+    @pytest.fixture
+    def dynamic_psu(self, psu_ssam):
+        for component in psu_ssam.elements_of_kind("Component"):
+            if text_of(component) == "CS1":
+                component.set("dynamic", True)
+        return psu_ssam
+
+    def test_channels_from_dynamic_components(self, dynamic_psu):
+        monitor = generate_monitor(dynamic_psu)
+        (channel,) = monitor.channels()
+        assert channel.name == "CS1.I"
+        assert channel.lower == pytest.approx(0.030)
+        assert channel.upper == pytest.approx(0.060)
+        assert channel.unit == "A"
+
+    def test_non_dynamic_model_rejected(self, psu_ssam):
+        with pytest.raises(MonitorError, match="dynamic"):
+            generate_monitor(psu_ssam)
+
+    def test_nodes_without_limits_skipped(self, dynamic_psu):
+        # MC1 is dynamic but its IO nodes (none) have no limits: CS1 only.
+        for component in dynamic_psu.elements_of_kind("Component"):
+            if text_of(component) == "MC1":
+                component.set("dynamic", True)
+        monitor = generate_monitor(dynamic_psu)
+        assert [c.name for c in monitor.channels()] == ["CS1.I"]
+
+    def test_generated_source_is_executable(self, dynamic_psu):
+        source = generate_monitor_source(dynamic_psu, debounce=2)
+        namespace = {}
+        exec(compile(source, "<generated>", "exec"), namespace)
+        observe = namespace["observe"]
+        assert observe("CS1.I", 0.045) is None  # in range
+        assert observe("CS1.I", 0.001) is None  # debounce 1/2
+        violation = observe("CS1.I", 0.001)  # debounce 2/2
+        assert violation is not None
+        assert not namespace["healthy"]()
+
+    def test_generated_source_mentions_model(self, dynamic_psu):
+        source = generate_monitor_source(dynamic_psu)
+        assert "sensor_power_supply" in source
+        assert "CS1.I" in source

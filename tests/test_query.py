@@ -1,0 +1,151 @@
+"""RQL query-language tests: semantics and the safety envelope."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.drivers import QueryError, evaluate_query
+from repro.drivers.query import build_environment, compile_query
+from repro.drivers.table import Sheet, TableDriver
+
+
+@pytest.fixture
+def table_driver(tmp_path):
+    Sheet(
+        "reliability",
+        [
+            {"Component": "Diode", "FIT": 10, "Failure_Mode": "Open", "Distribution": 0.3},
+            {"Component": "", "FIT": None, "Failure_Mode": "Short", "Distribution": 0.7},
+            {"Component": "MC", "FIT": 300, "Failure_Mode": "RAM Failure", "Distribution": 1.0},
+        ],
+    ).write_csv(tmp_path / "wb" / "reliability.csv")
+    return TableDriver(tmp_path / "wb")
+
+
+class TestSemantics:
+    @pytest.mark.parametrize(
+        "expression,expected",
+        [
+            ("1 + 2 * 3", 7),
+            ("2 ** 10", 1024),
+            ("7 // 2", 3),
+            ("7 % 3", 1),
+            ("-(4)", -4),
+            ("not False", True),
+            ("1 < 2 <= 2", True),
+            ("'a' in 'abc'", True),
+            ("3 if 1 > 2 else 4", 4),
+            ("[1, 2][1]", 2),
+            ("{'k': 5}['k']", 5),
+            ("(1, 2)[0]", 1),
+            ("len({1, 2, 3})", 3),
+            ("sum(x for x in range(4))", 6),
+            ("sorted({'b': 1, 'a': 2})", ["a", "b"]),
+            ("[x for x in range(5) if x % 2 == 0]", [0, 2, 4]),
+            ("{x: x * x for x in range(3)}", {0: 0, 1: 1, 2: 4}),
+            ("max([1, 5, 3])", 5),
+            ("abs(-2.5)", 2.5),
+            ("round(3.14159, 2)", 3.14),
+            ("list(map(lambda v: v + 1, [1, 2]))", [2, 3]),
+            ("list(filter(lambda v: v > 1, [1, 2, 3]))", [2, 3]),
+            ("[1, 2, 3][0:2]", [1, 2]),
+            ("list(zip([1, 2], 'ab'))", [(1, "a"), (2, "b")]),
+            ("[i for i, v in enumerate('xy')]", [0, 1]),
+        ],
+    )
+    def test_expression(self, expression, expected):
+        assert evaluate_query(expression) == expected
+
+    def test_variables_available(self):
+        assert evaluate_query("a + b", variables={"a": 1, "b": 2}) == 3
+
+    def test_prop_helper(self):
+        assert (
+            evaluate_query("prop(rec, 'x', 0)", variables={"rec": {"x": 7}}) == 7
+        )
+
+    def test_rows_over_driver(self, table_driver):
+        result = evaluate_query(
+            "[r['FIT'] for r in rows() if r['Component'] == 'Diode']",
+            table_driver,
+        )
+        assert result == [10]
+
+    def test_collections_over_driver(self, table_driver):
+        assert evaluate_query("collections()", table_driver) == ["reliability"]
+
+    def test_model_object_methods(self, table_driver):
+        result = evaluate_query(
+            "len(model.elements('reliability'))", table_driver
+        )
+        assert result == 3
+
+
+class TestSafety:
+    @pytest.mark.parametrize(
+        "expression",
+        [
+            "__import__('os')",
+            "open('/etc/passwd')",
+            "exec('1')",
+            "eval('1')",
+            "x.__class__",
+            "().__class__.__bases__",
+            "x._hidden",
+            "import os",
+            "x = 1",
+            "lambda: (yield)",
+            "[x := 1]",
+            "f'{1}'",  # f-strings use FormattedValue, not whitelisted
+        ],
+    )
+    def test_disallowed(self, expression):
+        with pytest.raises(QueryError):
+            evaluate_query(expression, variables={"x": object()})
+
+    def test_empty_expression(self):
+        with pytest.raises(QueryError):
+            evaluate_query("   ")
+
+    def test_syntax_error(self):
+        with pytest.raises(QueryError, match="syntax"):
+            evaluate_query("1 +")
+
+    def test_runtime_error_wrapped(self):
+        with pytest.raises(QueryError, match="ZeroDivisionError"):
+            evaluate_query("1 / 0")
+
+    def test_underscore_variable_rejected(self):
+        with pytest.raises(QueryError):
+            build_environment(variables={"_x": 1})
+
+    def test_no_builtins_leak(self):
+        with pytest.raises(QueryError):
+            evaluate_query("globals()")
+
+    def test_unknown_name(self):
+        with pytest.raises(QueryError, match="NameError"):
+            evaluate_query("undefined_name")
+
+
+class TestCompile:
+    def test_compiled_query_reusable(self):
+        run = compile_query("n * 2")
+        assert run(build_environment(variables={"n": 3})) == 6
+        assert run(build_environment(variables={"n": 5})) == 10
+
+
+@given(st.integers(-1000, 1000), st.integers(-1000, 1000))
+def test_property_arithmetic_matches_python(a, b):
+    """RQL arithmetic agrees with Python on integer inputs."""
+    assert evaluate_query("a + b * a - b", variables={"a": a, "b": b}) == (
+        a + b * a - b
+    )
+
+
+@given(st.lists(st.integers(-50, 50), max_size=20))
+def test_property_filter_matches_comprehension(values):
+    result = evaluate_query(
+        "[v for v in values if v > 0]", variables={"values": values}
+    )
+    assert result == [v for v in values if v > 0]

@@ -1,0 +1,264 @@
+"""Reliability model tests: specs, catalogues, loaders, writers."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.reliability import (
+    ComponentReliability,
+    FailureModeSpec,
+    ReliabilityError,
+    ReliabilityModel,
+    load_reliability_json,
+    load_reliability_table,
+    nature_for_mode_name,
+    save_reliability_table,
+    standard_reliability_model,
+)
+
+
+class TestFailureModeSpec:
+    def test_distribution_bounds(self):
+        with pytest.raises(ReliabilityError):
+            FailureModeSpec("Open", 1.5)
+        with pytest.raises(ReliabilityError):
+            FailureModeSpec("Open", -0.1)
+
+    def test_nature_inferred_from_name(self):
+        assert FailureModeSpec("Open", 0.3).nature == "open"
+        assert FailureModeSpec("RAM Failure", 1.0).nature == "loss_of_function"
+        assert FailureModeSpec("Jitter", 0.3).nature == "erroneous"
+        assert FailureModeSpec("Mystery", 0.3).nature == "other"
+
+    def test_explicit_nature_kept(self):
+        assert FailureModeSpec("Open", 0.3, "short").nature == "short"
+
+    def test_rate(self):
+        assert FailureModeSpec("Open", 0.3).rate(10) == pytest.approx(3.0)
+
+    @pytest.mark.parametrize(
+        "name,nature",
+        [
+            ("open", "open"),
+            ("SHORT", "short"),
+            ("Loss of Function", "loss_of_function"),
+            ("lower frequency", "degraded"),
+            ("omission", "omission"),
+        ],
+    )
+    def test_nature_mapping(self, name, nature):
+        assert nature_for_mode_name(name) == nature
+
+
+class TestComponentReliability:
+    def test_negative_fit_rejected(self):
+        with pytest.raises(ReliabilityError):
+            ComponentReliability("X", -1)
+
+    def test_duplicate_mode_names_rejected(self):
+        with pytest.raises(ReliabilityError):
+            ComponentReliability(
+                "X", 10, [FailureModeSpec("Open", 0.5), FailureModeSpec("Open", 0.5)]
+            )
+
+    def test_check_distribution(self):
+        entry = ComponentReliability(
+            "X", 10, [FailureModeSpec("A", 0.4), FailureModeSpec("B", 0.4)]
+        )
+        with pytest.raises(ReliabilityError, match="sum to 0.8"):
+            entry.check_distribution()
+        entry2 = ComponentReliability(
+            "X", 10, [FailureModeSpec("A", 0.4), FailureModeSpec("B", 0.6)]
+        )
+        entry2.check_distribution()
+
+    def test_mode_lookup(self):
+        entry = ComponentReliability("X", 10, [FailureModeSpec("A", 1.0)])
+        assert entry.mode("A").distribution == 1.0
+        with pytest.raises(ReliabilityError):
+            entry.mode("B")
+
+
+class TestReliabilityModel:
+    def test_case_insensitive_lookup(self, psu_reliability):
+        assert psu_reliability.lookup("diode").fit == 10
+        assert psu_reliability.lookup("DIODE").fit == 10
+
+    def test_mc_mcu_synonymy(self, psu_reliability):
+        # Table II says "MC", Table III says "MCU": both must resolve.
+        assert psu_reliability.lookup("MC").fit == 300
+        assert psu_reliability.lookup("MCU").fit == 300
+
+    def test_missing_class_lists_known(self, psu_reliability):
+        with pytest.raises(ReliabilityError, match="known"):
+            psu_reliability.lookup("Transmogrifier")
+
+    def test_get_returns_none(self, psu_reliability):
+        assert psu_reliability.get("Nonexistent") is None
+
+    def test_duplicate_entry_rejected(self):
+        model = ReliabilityModel([ComponentReliability("X", 1)])
+        with pytest.raises(ReliabilityError):
+            model.add(ComponentReliability("x", 2))
+
+    def test_merged_with_overrides(self):
+        base = ReliabilityModel([ComponentReliability("X", 1)])
+        override = ReliabilityModel([ComponentReliability("X", 99)])
+        merged = base.merged_with(override)
+        assert merged.lookup("X").fit == 99
+        assert base.lookup("X").fit == 1  # original untouched
+
+
+class TestTableLoader:
+    TABLE_II = (
+        "Component,FIT,Failure_Mode,Distribution\n"
+        "Diode,10,Open,30%\n"
+        ",,Short,70%\n"
+        "Capacitor,2,Open,30%\n"
+        ",,Short,70%\n"
+        "Inductor,15,Open,30%\n"
+        ",,Short,70%\n"
+        "MC,300,RAM Failure,100%\n"
+    )
+
+    def test_load_table_ii(self, tmp_path):
+        path = tmp_path / "rel.csv"
+        path.write_text(self.TABLE_II)
+        model = load_reliability_table(path)
+        assert len(model) == 4
+        diode = model.lookup("Diode")
+        assert diode.fit == 10
+        assert diode.mode("Open").distribution == pytest.approx(0.3)
+        assert model.lookup("MC").mode("RAM Failure").distribution == 1.0
+
+    def test_continuation_before_component_rejected(self, tmp_path):
+        path = tmp_path / "rel.csv"
+        path.write_text(
+            "Component,FIT,Failure_Mode,Distribution\n,,Open,30%\n"
+        )
+        with pytest.raises(ReliabilityError, match="continuation"):
+            load_reliability_table(path)
+
+    def test_missing_fit_rejected(self, tmp_path):
+        path = tmp_path / "rel.csv"
+        path.write_text("Component,FIT,Failure_Mode,Distribution\nDiode,,Open,100%\n")
+        with pytest.raises(ReliabilityError, match="FIT"):
+            load_reliability_table(path)
+
+    def test_bad_distribution_sum_rejected(self, tmp_path):
+        path = tmp_path / "rel.csv"
+        path.write_text(
+            "Component,FIT,Failure_Mode,Distribution\nDiode,10,Open,30%\n"
+        )
+        with pytest.raises(ReliabilityError, match="sum"):
+            load_reliability_table(path)
+        # …unless checking is disabled.
+        model = load_reliability_table(path, check_distributions=False)
+        assert model.lookup("Diode").mode("Open").distribution == 0.3
+
+    def test_empty_table_rejected(self, tmp_path):
+        path = tmp_path / "rel.csv"
+        path.write_text("Component,FIT,Failure_Mode,Distribution\n")
+        with pytest.raises(ReliabilityError, match="no reliability"):
+            load_reliability_table(path)
+
+    def test_percent_as_plain_number(self, tmp_path):
+        path = tmp_path / "rel.csv"
+        path.write_text(
+            "Component,FIT,Failure_Mode,Distribution\nDiode,10,Open,30\n"
+            ",,Short,70\n"
+        )
+        model = load_reliability_table(path)
+        assert model.lookup("Diode").mode("Open").distribution == pytest.approx(0.3)
+
+    def test_writer_roundtrip(self, tmp_path, psu_reliability):
+        path = save_reliability_table(psu_reliability, tmp_path / "out.csv")
+        loaded = load_reliability_table(path)
+        assert len(loaded) == len(psu_reliability)
+        for entry in psu_reliability.entries():
+            clone = loaded.lookup(entry.component_class)
+            assert clone.fit == entry.fit
+            assert [(m.name, m.distribution) for m in clone.failure_modes] == [
+                (m.name, m.distribution) for m in entry.failure_modes
+            ]
+
+
+class TestJsonLoader:
+    def test_load(self, tmp_path):
+        path = tmp_path / "rel.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "components": [
+                        {
+                            "class": "Diode",
+                            "fit": 10,
+                            "failure_modes": [
+                                {"name": "Open", "distribution": 0.3},
+                                {"name": "Short", "distribution": 0.7},
+                            ],
+                        }
+                    ]
+                }
+            )
+        )
+        model = load_reliability_json(path)
+        assert model.lookup("Diode").mode("Open").nature == "open"
+
+    def test_empty_rejected(self, tmp_path):
+        path = tmp_path / "rel.json"
+        path.write_text(json.dumps({"components": []}))
+        with pytest.raises(ReliabilityError):
+            load_reliability_json(path)
+
+
+class TestStandardCatalogue:
+    def test_all_distributions_sum_to_one(self):
+        for entry in standard_reliability_model().entries():
+            entry.check_distribution()
+
+    def test_common_classes_present(self):
+        model = standard_reliability_model()
+        for name in ("Resistor", "Diode", "MCU", "CPU", "PLL", "SoftwareTask"):
+            assert name in model
+
+    def test_pll_matches_table_i_distributions(self):
+        pll = standard_reliability_model().lookup("PLL")
+        assert pll.mode("Lower Frequency").distribution == pytest.approx(0.401)
+        assert pll.mode("Higher Frequency").distribution == pytest.approx(0.287)
+        assert pll.mode("Jitter").distribution == pytest.approx(0.312)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    splits=st.lists(
+        st.floats(min_value=0.01, max_value=1.0, allow_nan=False),
+        min_size=1,
+        max_size=6,
+    ),
+    fit=st.floats(min_value=0.0, max_value=1e4, allow_nan=False),
+)
+def test_property_table_roundtrip(tmp_path_factory, splits, fit):
+    """Normalised distributions survive a save/load round trip."""
+    total = sum(splits)
+    modes = [
+        FailureModeSpec(f"M{i}", value / total)
+        for i, value in enumerate(splits)
+    ]
+    # Re-normalise the last mode against float error.
+    model = ReliabilityModel(
+        [ComponentReliability("X", fit, modes)]
+    )
+    tmp = tmp_path_factory.mktemp("rel")
+    path = save_reliability_table(model, tmp / "x.csv")
+    loaded = load_reliability_table(path, check_distributions=False)
+    entry = loaded.lookup("X")
+    assert entry.fit == pytest.approx(fit)
+    # The Table II format prints percentages with %g (6 significant
+    # digits), so the round trip is exact to ~1e-6 on the fraction.
+    for original, clone in zip(modes, entry.failure_modes):
+        assert clone.distribution == pytest.approx(
+            original.distribution, abs=1e-6
+        )

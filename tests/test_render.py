@@ -1,0 +1,111 @@
+"""Rendering tests (the textual stand-in for SAME's graphical editors)."""
+
+import pytest
+
+from repro.same import (
+    render_architecture,
+    render_architecture_mermaid,
+    render_hazard_log,
+    render_requirements,
+)
+from repro.ssam import SSAMModel
+
+
+class TestArchitectureText:
+    def test_components_with_annotations(self, psu_ssam):
+        text = render_architecture(psu_ssam)
+        assert "package PowerSupplyArchitecture" in text
+        assert "D1 [Diode, 10 FIT]" in text
+        assert "MC1 [MCU, 300 FIT]" in text
+
+    def test_failure_modes_listed(self, psu_ssam):
+        text = render_architecture(psu_ssam)
+        assert "fm Open (open, 30%)" in text
+        assert "fm RAM Failure (loss_of_function, 100%)" in text
+
+    def test_safety_marks_after_analysis(self, psu_ssam, psu_reliability):
+        from repro.safety import run_ssam_fmea
+
+        run_ssam_fmea(psu_ssam.top_components()[0], psu_reliability)
+        text = render_architecture(psu_ssam)
+        assert "D1 [Diode, 10 FIT, SR]" in text
+        assert "fm!Open" in text  # safety-related mode marked
+
+    def test_wiring_with_boundary_anchors(self, psu_ssam):
+        text = render_architecture(psu_ssam)
+        assert "wire [in] -> DC1" in text
+        assert "wire MC1 -> [out]" in text
+        assert "wire DC1 -> D1 (power)" in text
+
+    def test_io_limits_shown(self, psu_ssam):
+        text = render_architecture(psu_ssam)
+        assert "io I (output) limits=[0.03, 0.06]" in text
+
+    def test_mechanisms_shown(self, psu_ssam):
+        from repro.ssam.architecture import safety_mechanism
+
+        mc1 = psu_ssam.find_by_name("MC1")
+        mech = safety_mechanism("ECC", 0.99, 2.0)
+        mech.set("covers", list(mc1.get("failureModes")))
+        mc1.add("safetyMechanisms", mech)
+        text = render_architecture(psu_ssam)
+        assert "sm ECC (cov 99%, covers RAM Failure)" in text
+
+
+class TestMermaid:
+    def test_flowchart_structure(self, psu_ssam):
+        text = render_architecture_mermaid(psu_ssam)
+        lines = text.splitlines()
+        assert lines[0] == "flowchart LR"
+        assert "  __in__ --> DC1" in lines
+        assert "  MC1 --> __out__" in lines
+        assert "  DC1 --> D1" in lines
+
+    def test_safety_related_shape(self, psu_ssam, psu_reliability):
+        from repro.safety import run_ssam_fmea
+
+        run_ssam_fmea(psu_ssam.top_components()[0], psu_reliability)
+        text = render_architecture_mermaid(psu_ssam)
+        assert "D1{{D1}}" in text  # hexagon for safety-related
+        assert "C1[C1]" in text  # rectangle otherwise
+
+    def test_empty_model(self):
+        text = render_architecture_mermaid(SSAMModel("empty"))
+        assert "no architecture" in text
+
+
+class TestHazardAndRequirements:
+    def test_hazard_log(self, psu_ssam):
+        text = render_hazard_log(psu_ssam)
+        assert "hazard log PowerSupplyHazardLog" in text
+        assert "H1 [ASIL-B]: The power supply fails unexpectedly" in text
+
+    def test_hazard_log_with_situations(self):
+        from repro.decisive import HazardSpec, HazardousEventSpec, perform_hara
+
+        model = SSAMModel("m")
+        perform_hara(
+            model,
+            [
+                HazardSpec(
+                    "H9",
+                    "thing",
+                    [
+                        HazardousEventSpec(
+                            "urban", "S2", "E3", "C3",
+                            causes=["cpu crash"],
+                            control_measures=["watchdog"],
+                        )
+                    ],
+                )
+            ],
+        )
+        text = render_hazard_log(model)
+        assert "situation H9/urban (S=S2, E=E3, C=C3)" in text
+        assert "cause: cpu crash" in text
+        assert "measure: watchdog" in text
+
+    def test_requirements_with_levels_and_relations(self, psu_ssam):
+        text = render_requirements(psu_ssam)
+        assert "SR1 [ASIL-B]:" in text
+        assert "SR1 --derives--> R1" in text

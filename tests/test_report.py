@@ -1,0 +1,120 @@
+"""Report rendering tests: FMEA/FMEDA sheets, workbooks, text tables."""
+
+import pytest
+
+from repro.drivers.table import Workbook
+from repro.safety import (
+    fmea_to_sheet,
+    fmeda_to_sheet,
+    render_text_table,
+    run_fmeda,
+    save_fmea_workbook,
+    save_fmeda_workbook,
+)
+from repro.safety.mechanisms import Deployment
+
+
+@pytest.fixture
+def fmeda(psu_fmea):
+    return run_fmeda(
+        psu_fmea, [Deployment("MC1", "RAM Failure", "ECC", 0.99, 2.0)]
+    )
+
+
+class TestFmeaSheet:
+    def test_schema(self, psu_fmea):
+        sheet = fmea_to_sheet(psu_fmea)
+        assert sheet.header == [
+            "Component",
+            "FIT",
+            "Safety_Related",
+            "Failure_Mode",
+            "Nature",
+            "Distribution",
+            "Effect",
+            "Impact",
+            "Warning",
+        ]
+        assert len(sheet) == len(psu_fmea.rows)
+
+    def test_distribution_formatted_as_percent(self, psu_fmea):
+        sheet = fmea_to_sheet(psu_fmea)
+        assert sheet.rows[0]["Distribution"] == "30%"
+
+
+class TestFmedaSheet:
+    def test_table_iv_schema(self, fmeda):
+        sheet = fmeda_to_sheet(fmeda)
+        assert sheet.header == [
+            "Component",
+            "FIT",
+            "Safety_Related",
+            "Failure_Mode",
+            "Distribution",
+            "Safety_Mechanism",
+            "SM_Coverage",
+            "Single_Point_Failure_Rate",
+        ]
+
+    def test_component_cell_blank_on_continuation_rows(self, fmeda):
+        sheet = fmeda_to_sheet(fmeda)
+        d1_rows = [
+            r for r in sheet.rows if r["Failure_Mode"] in ("Open", "Short")
+        ][:2]
+        assert d1_rows[0]["Component"] == "D1"
+        assert d1_rows[1]["Component"] == ""
+
+    def test_table_iv_values(self, fmeda):
+        sheet = fmeda_to_sheet(fmeda)
+        mc1 = [r for r in sheet.rows if r["Failure_Mode"] == "RAM Failure"][0]
+        assert mc1["Safety_Mechanism"] == "ECC"
+        assert mc1["SM_Coverage"] == "99%"
+        assert mc1["Single_Point_Failure_Rate"] == "3 FIT"
+
+    def test_no_sm_marker(self, fmeda):
+        sheet = fmeda_to_sheet(fmeda)
+        d1 = sheet.rows[0]
+        assert d1["Safety_Mechanism"] == "No SM"
+        assert d1["Single_Point_Failure_Rate"] == "3 FIT"
+
+
+class TestWorkbooks:
+    def test_save_fmea_workbook(self, tmp_path, psu_fmea):
+        path = save_fmea_workbook(psu_fmea, tmp_path / "fmea")
+        workbook = Workbook.load(path)
+        assert workbook.sheet("FMEA").rows
+
+    def test_save_fmeda_workbook_with_summary(self, tmp_path, fmeda):
+        path = save_fmeda_workbook(fmeda, tmp_path / "fmeda")
+        workbook = Workbook.load(path)
+        summary = workbook.sheet("Summary").rows[0]
+        assert summary["SPFM"] == pytest.approx(0.9677, abs=5e-4)
+        assert summary["ASIL"] == "ASIL-B"
+
+    def test_save_fmeda_single_csv(self, tmp_path, fmeda):
+        path = save_fmeda_workbook(fmeda, tmp_path / "fmeda.csv")
+        assert path.is_file()
+        workbook = Workbook.load(path)
+        assert workbook.sheet("fmeda").rows
+
+
+class TestTextTable:
+    def test_columns_aligned(self, fmeda):
+        text = render_text_table(fmeda_to_sheet(fmeda))
+        lines = text.splitlines()
+        assert lines[0].startswith("Component")
+        assert set(lines[1]) <= {"-", " "}
+        # All rows equally wide (padded).
+        assert len({len(line) for line in lines if line.strip()}) <= 2
+
+    def test_booleans_rendered_yes_no(self, psu_fmea):
+        text = render_text_table(fmea_to_sheet(psu_fmea))
+        assert "Yes" in text and "No" in text
+
+    def test_empty_sheet_renders_header_only(self):
+        from repro.drivers.table import Sheet
+
+        sheet = Sheet("empty", [])
+        sheet.rows = []
+        text = render_text_table(Sheet("x", [{"a": 1}]))
+        assert "a" in text

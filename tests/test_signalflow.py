@@ -1,0 +1,120 @@
+"""Signal-flow evaluation tests (the directed half of the Simulink substrate)."""
+
+import pytest
+
+from repro.simulink import (
+    SignalFlowError,
+    SimulinkModel,
+    evaluate_signals,
+    simulate,
+    step_signals,
+)
+
+
+def chain_model():
+    model = SimulinkModel("ctl")
+    model.add_block("ref", "Constant", value=2.0)
+    model.add_block("g", "Gain", gain=3.0)
+    model.add_block("sat", "Saturation", lower=0.0, upper=5.0)
+    model.add_block("scope", "Scope")
+    model.connect("ref", "out", "g", "in")
+    model.connect("g", "out", "sat", "in")
+    model.connect("sat", "out", "scope", "in")
+    return model
+
+
+class TestEvaluation:
+    def test_gain_chain(self):
+        values = evaluate_signals(chain_model())
+        assert values["ctl/g"] == 6.0
+        assert values["ctl/sat"] == 5.0  # saturated
+        assert values["ctl/scope"] == 5.0
+
+    def test_saturation_lower_bound(self):
+        model = chain_model()
+        model.block("ref").set_param("value", -1.0)
+        assert evaluate_signals(model)["ctl/sat"] == 0.0
+
+    def test_inport_values(self):
+        model = SimulinkModel("io")
+        model.add_block("u", "Inport")
+        model.add_block("g", "Gain", gain=2.0)
+        model.add_block("y", "Outport")
+        model.connect("u", "out", "g", "in")
+        model.connect("g", "out", "y", "in")
+        assert evaluate_signals(model, {"u": 4.0})["io/y"] == 8.0
+        assert evaluate_signals(model)["io/y"] == 0.0  # default input
+
+    def test_sum_block(self):
+        model = SimulinkModel("s")
+        model.add_block("a", "Constant", value=1.5)
+        model.add_block("b", "Constant", value=2.5)
+        model.add_block("add", "Sum")
+        model.connect("a", "out", "add", "in1")
+        model.connect("b", "out", "add", "in2")
+        assert evaluate_signals(model)["s/add"] == 4.0
+
+    def test_relay_thresholds(self):
+        model = SimulinkModel("r")
+        model.add_block("u", "Inport")
+        model.add_block("relay", "Relay", threshold=1.0)
+        model.connect("u", "out", "relay", "in")
+        assert evaluate_signals(model, {"u": 2.0})["r/relay"] == 1.0
+        assert evaluate_signals(model, {"u": 0.5})["r/relay"] == 0.0
+
+    def test_unconnected_input_rejected(self):
+        model = SimulinkModel("m")
+        model.add_block("g", "Gain")
+        with pytest.raises(SignalFlowError, match="unconnected"):
+            evaluate_signals(model)
+
+    def test_algebraic_loop_rejected(self):
+        model = SimulinkModel("loop")
+        model.add_block("g1", "Gain")
+        model.add_block("g2", "Gain")
+        model.connect("g1", "out", "g2", "in")
+        model.connect("g2", "out", "g1", "in")
+        with pytest.raises(SignalFlowError, match="algebraic loop"):
+            evaluate_signals(model)
+
+    def test_sensor_needs_electrical_solution(self, psu_simulink):
+        with pytest.raises(SignalFlowError, match="electrical"):
+            evaluate_signals(psu_simulink)
+
+    def test_sensor_feeds_signal_chain(self, psu_simulink):
+        electrical = simulate(psu_simulink)
+        values = evaluate_signals(psu_simulink, electrical=electrical)
+        assert values["sensor_power_supply/Scope1"] == pytest.approx(
+            electrical.current("CS1")
+        )
+
+
+class TestSteppedSimulation:
+    def accumulator(self):
+        model = SimulinkModel("acc")
+        model.add_block("one", "Constant", value=1.0)
+        model.add_block("add", "Sum")
+        model.add_block("z", "UnitDelay")
+        model.add_block("y", "Outport")
+        model.connect("one", "out", "add", "in1")
+        model.connect("z", "out", "add", "in2")
+        model.connect("add", "out", "z", "in")
+        model.connect("add", "out", "y", "in")
+        return model
+
+    def test_unit_delay_breaks_loop_and_accumulates(self):
+        series = step_signals(self.accumulator(), 5)
+        assert [s["acc/y"] for s in series] == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_inputs_per_step(self):
+        model = SimulinkModel("m")
+        model.add_block("u", "Inport")
+        model.add_block("y", "Outport")
+        model.connect("u", "out", "y", "in")
+        series = step_signals(model, 3, [{"u": 1.0}, {"u": 2.0}])
+        # Last inputs entry reused for remaining steps.
+        assert [s["m/y"] for s in series] == [1.0, 2.0, 2.0]
+
+    def test_zero_steps_rejected(self):
+        with pytest.raises(SignalFlowError):
+            step_signals(self.accumulator(), 0)

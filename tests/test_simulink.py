@@ -1,0 +1,256 @@
+"""Simulink substrate tests: library, model structure, electrical flattening."""
+
+import pytest
+
+from repro.circuit import dc_operating_point
+from repro.simulink import (
+    BLOCK_LIBRARY,
+    SimulinkError,
+    SimulinkModel,
+    block_type_info,
+    is_electrical_type,
+    simulate,
+    to_netlist,
+)
+from repro.simulink.model import Block
+from repro.simulink.simulate import scope_readings
+
+
+class TestLibrary:
+    def test_known_types_present(self):
+        for name in (
+            "DCVoltageSource",
+            "Resistor",
+            "Capacitor",
+            "Inductor",
+            "Diode",
+            "MCU",
+            "CurrentSensor",
+            "VoltageSensor",
+            "Ground",
+            "SolverConfiguration",
+            "Scope",
+            "Subsystem",
+            "ConnectionPort",
+            "Gain",
+        ):
+            assert name in BLOCK_LIBRARY
+
+    def test_unknown_type_message_lists_known(self):
+        with pytest.raises(KeyError, match="known"):
+            block_type_info("FluxCapacitor")
+
+    def test_is_electrical(self):
+        assert is_electrical_type("Resistor")
+        assert not is_electrical_type("Scope")
+        assert not is_electrical_type("Nonexistent")
+
+    def test_failure_behaviors_declared(self):
+        diode = block_type_info("Diode")
+        assert set(diode.failure_behaviors) == {"Open", "Short"}
+        assert diode.failure_behaviors["Open"].kind == "open"
+        mcu = block_type_info("MCU")
+        assert mcu.failure_behaviors["RAM Failure"].kind == "resistive"
+
+    def test_capacitor_short_is_leaky(self):
+        behavior = block_type_info("Capacitor").failure_behaviors["Short"]
+        assert behavior.resistance == pytest.approx(200.0)
+        hard = block_type_info("Diode").failure_behaviors["Short"]
+        assert hard.resistance < 1.0
+
+
+class TestModelStructure:
+    def test_defaults_merged_with_parameters(self):
+        block = Block("R1", "Resistor", {"resistance": 42.0})
+        assert block.param("resistance") == 42.0
+        block2 = Block("R2", "Resistor")
+        assert block2.param("resistance") == 1000.0
+
+    def test_duplicate_block_rejected(self):
+        model = SimulinkModel("m")
+        model.add_block("B1", "Resistor")
+        with pytest.raises(SimulinkError):
+            model.add_block("B1", "Resistor")
+
+    def test_connect_unknown_port_rejected(self):
+        model = SimulinkModel("m")
+        model.add_block("R1", "Resistor")
+        model.add_block("R2", "Resistor")
+        with pytest.raises(SimulinkError, match="no.*port"):
+            model.connect("R1", "bogus", "R2", "p")
+
+    def test_block_paths(self):
+        model = SimulinkModel("m")
+        sub = model.add_block("Sub", "Subsystem")
+        inner = sub.subdiagram.add_block(Block("Leaf", "Resistor"))
+        assert inner.path() == "m/Sub/Leaf"
+        assert model.find_block("m/Sub/Leaf") is inner
+        assert model.find_block("Sub/Leaf") is inner
+
+    def test_find_block_errors(self):
+        model = SimulinkModel("m")
+        model.add_block("R1", "Resistor")
+        with pytest.raises(SimulinkError):
+            model.find_block("R1/too/deep")
+        with pytest.raises(SimulinkError):
+            model.find_block("")
+
+    def test_annotated_subsystem_behaves_as_type(self):
+        model = SimulinkModel("m")
+        mcu = model.add_block("MC1", "Subsystem", annotated_type="MCU")
+        assert mcu.effective_type == "MCU"
+        assert mcu.ports() == ["p", "n"]
+
+    def test_plain_subsystem_ports_from_connection_ports(self):
+        model = SimulinkModel("m")
+        sub = model.add_block("Sub", "Subsystem")
+        sub.subdiagram.add_block(
+            Block("cp", "ConnectionPort", {"port_name": "x"})
+        )
+        assert sub.ports() == ["x"]
+
+    def test_remove_block_drops_lines(self):
+        model = SimulinkModel("m")
+        model.add_block("R1", "Resistor")
+        model.add_block("R2", "Resistor")
+        model.connect("R1", "n", "R2", "p")
+        model.root.remove_block("R1")
+        assert model.all_lines() == []
+
+    def test_block_count_recursive(self, psu_simulink):
+        assert psu_simulink.block_count() == 11
+
+    def test_save_load_roundtrip(self, tmp_path, psu_simulink):
+        path = psu_simulink.save(tmp_path / "m.slx.json")
+        loaded = SimulinkModel.load(path)
+        assert loaded.to_dict() == psu_simulink.to_dict()
+
+    def test_load_rejects_unknown_format(self, tmp_path):
+        import json
+
+        path = tmp_path / "m.json"
+        path.write_text(json.dumps({"format": "other", "diagram": {}}))
+        with pytest.raises(SimulinkError):
+            SimulinkModel.load(path)
+
+    def test_line_electrical_detection(self, psu_simulink):
+        lines = psu_simulink.all_lines()
+        electrical = [line for line in lines if line.is_electrical]
+        signal = [line for line in lines if not line.is_electrical]
+        assert len(electrical) == 11
+        assert len(signal) == 2  # CS1.I -> Scope1 / Out1
+
+
+class TestElectricalConversion:
+    def test_psu_netlist_elements(self, psu_simulink):
+        conversion = to_netlist(psu_simulink)
+        names = {element.name for element in conversion.netlist.elements()}
+        assert names == {"DC1", "D1", "L1", "C1", "C2", "CS1", "MC1"}
+
+    def test_ground_net_merged(self, psu_simulink):
+        conversion = to_netlist(psu_simulink)
+        # DC1's negative terminal and MC1's return share the ground net.
+        dc_nets = conversion.nets_of_block["sensor_power_supply/DC1"]
+        mc_nets = conversion.nets_of_block["sensor_power_supply/MC1"]
+        assert dc_nets[1] == "0"
+        assert mc_nets[1] == "0"
+
+    def test_element_name_resolution(self, psu_simulink):
+        conversion = to_netlist(psu_simulink)
+        assert conversion.element_name("D1") == "D1"
+        assert conversion.element_name("sensor_power_supply/D1") == "D1"
+        with pytest.raises(SimulinkError):
+            conversion.element_name("Nonexistent")
+
+    def test_current_sensor_becomes_ammeter(self, psu_simulink):
+        conversion = to_netlist(psu_simulink)
+        assert "sensor_power_supply/CS1" in conversion.current_sensors
+
+    def test_voltage_sensor_tracks_nets_without_element(self):
+        model = SimulinkModel("vs")
+        model.add_block("V", "DCVoltageSource", voltage=3.0)
+        model.add_block("R", "Resistor", resistance=100.0)
+        model.add_block("VS", "VoltageSensor")
+        model.add_block("G", "Ground")
+        model.connect("V", "p", "R", "p")
+        model.connect("R", "n", "G", "p")
+        model.connect("V", "n", "G", "p")
+        model.connect("VS", "p", "R", "p")
+        model.connect("VS", "n", "R", "n")
+        conversion = to_netlist(model)
+        assert "vs/VS" in conversion.voltage_sensors
+        assert "VS" not in {e.name for e in conversion.netlist.elements()}
+        result = simulate(model)
+        assert result.voltage("VS") == pytest.approx(3.0)
+
+    def test_duplicate_block_names_in_subsystems_uniquified(self):
+        model = SimulinkModel("dup")
+        model.add_block("V", "DCVoltageSource", voltage=1.0)
+        model.add_block("G", "Ground")
+        model.add_block("R", "Resistor", resistance=100.0)
+        sub = model.add_block("Sub", "Subsystem")
+        sub.subdiagram.add_block(Block("cp_a", "ConnectionPort", {"port_name": "a"}))
+        sub.subdiagram.add_block(Block("cp_b", "ConnectionPort", {"port_name": "b"}))
+        sub.subdiagram.add_block(Block("R", "Resistor", {"resistance": 100.0}))
+        sub.subdiagram.connect("cp_a", "p", "R", "p")
+        sub.subdiagram.connect("R", "n", "cp_b", "p")
+        model.connect("V", "p", "R", "p")
+        model.connect("R", "n", "Sub", "a")
+        model.connect("Sub", "b", "G", "p")
+        model.connect("V", "n", "G", "p")
+        conversion = to_netlist(model)
+        names = {element.name for element in conversion.netlist.elements()}
+        assert names == {"V", "R", "R_2"}
+        solution = dc_operating_point(conversion.netlist)
+        assert -solution.current("V") == pytest.approx(1.0 / 200)
+
+
+class TestSimulation:
+    def test_psu_operating_point(self, psu_simulink):
+        result = simulate(psu_simulink)
+        assert result.current("CS1") == pytest.approx(0.0436, abs=5e-4)
+
+    def test_readings_keyed_by_path(self, psu_simulink):
+        readings = simulate(psu_simulink).readings()
+        assert "sensor_power_supply/CS1" in readings
+
+    def test_scope_readings_follow_signal_lines(self, psu_simulink):
+        scopes = scope_readings(psu_simulink)
+        assert scopes["sensor_power_supply/Scope1"] == pytest.approx(
+            0.0436, abs=5e-4
+        )
+        assert scopes["sensor_power_supply/Out1"] == scopes[
+            "sensor_power_supply/Scope1"
+        ]
+
+    def test_ambiguous_sensor_name(self):
+        model = SimulinkModel("amb")
+        model.add_block("V", "DCVoltageSource", voltage=1.0)
+        model.add_block("G", "Ground")
+        for name in ("SubA", "SubB"):
+            sub = model.add_block(name, "Subsystem")
+            sub.subdiagram.add_block(
+                Block("cp_a", "ConnectionPort", {"port_name": "a"})
+            )
+            sub.subdiagram.add_block(
+                Block("cp_b", "ConnectionPort", {"port_name": "b"})
+            )
+            sub.subdiagram.add_block(Block("CS", "CurrentSensor"))
+            sub.subdiagram.connect("cp_a", "p", "CS", "p")
+            sub.subdiagram.connect("CS", "n", "cp_b", "p")
+        model.add_block("R", "Resistor", resistance=100.0)
+        model.connect("V", "p", "SubA", "a")
+        model.connect("SubA", "b", "R", "p")
+        model.connect("R", "n", "SubB", "a")
+        model.connect("SubB", "b", "G", "p")
+        model.connect("V", "n", "G", "p")
+        result = simulate(model)
+        with pytest.raises(SimulinkError, match="ambiguous"):
+            result.current("CS")
+        assert result.current("amb/SubA/CS") == pytest.approx(0.01)
+
+    def test_model_without_network_rejected(self):
+        model = SimulinkModel("empty")
+        model.add_block("S", "Scope")
+        with pytest.raises(SimulinkError):
+            simulate(model)

@@ -1,0 +1,266 @@
+"""SSAM metamodel tests: all five modules plus the model facade."""
+
+import pytest
+
+from repro.metamodel import TypeCheckError
+from repro.ssam import SSAMModel, lang_string, text_of
+from repro.ssam import architecture as arch
+from repro.ssam.architecture import (
+    component,
+    component_package,
+    connect,
+    failure_effect,
+    failure_mode,
+    function,
+    io_node,
+    safety_mechanism,
+)
+from repro.ssam.base import (
+    BASE,
+    external_reference,
+    implementation_constraint,
+    set_name,
+)
+from repro.ssam.hazard import (
+    cause,
+    control_measure,
+    hazard,
+    hazard_package,
+    hazardous_situation,
+)
+from repro.ssam.mbsa import (
+    analysis_result,
+    artefact_binding,
+    assurance_query,
+    mbsa_package,
+)
+from repro.ssam.requirements import (
+    relate,
+    requirement,
+    requirement_package,
+    safety_requirement,
+)
+
+
+class TestBaseModule:
+    def test_lang_string(self):
+        ls = lang_string("Hallo", "de")
+        assert ls.value == "Hallo" and ls.lang == "de"
+        assert text_of(ls) == "Hallo"
+
+    def test_text_of_model_element(self):
+        req = requirement("R1", "text")
+        assert text_of(req) == "R1"
+        assert text_of(None) == ""
+
+    def test_set_name_replaces(self):
+        req = requirement("R1", "text")
+        set_name(req, "renamed")
+        assert text_of(req) == "renamed"
+
+    def test_external_reference_with_query(self):
+        ref = external_reference("m.csv", "table", query="rows()")
+        assert ref.location == "m.csv"
+        assert ref.type == "table"
+        assert ref.implementationConstraint.body == "rows()"
+
+    def test_external_reference_without_query(self):
+        ref = external_reference("m.csv", "table")
+        assert ref.implementationConstraint is None
+
+    def test_implementation_constraint(self):
+        constraint = implementation_constraint("1 + 1", description="demo")
+        assert constraint.language == "rql"
+        assert constraint.body == "1 + 1"
+
+    def test_cites_traceability(self):
+        r1, r2 = requirement("R1", "a"), requirement("R2", "b")
+        r1.add("cites", r2)
+        assert r2 in r1.cites
+
+    def test_model_element_is_abstract(self):
+        from repro.metamodel import MetamodelError
+
+        with pytest.raises(MetamodelError):
+            BASE.get("ModelElement").create()
+
+
+class TestRequirementModule:
+    def test_safety_requirement_integrity_level(self):
+        sr = safety_requirement("SR", "must", "ASIL-C")
+        assert sr.integrityLevel == "ASIL-C"
+
+    def test_invalid_integrity_level(self):
+        with pytest.raises(TypeCheckError):
+            safety_requirement("SR", "must", "ASIL-E")
+
+    def test_relationship_links(self):
+        r1, r2 = requirement("R1", "a"), requirement("R2", "b")
+        rel = relate(r1, r2, "refines")
+        assert rel.source is r1 and rel.target is r2
+        assert rel.kind == "refines"
+
+    def test_package_contains_elements(self):
+        pkg = requirement_package("reqs")
+        req = pkg.add("elements", requirement("R1", "x"))
+        assert req.container is pkg
+
+    def test_requirement_status_enum(self):
+        req = requirement("R1", "x")
+        req.status = "approved"
+        with pytest.raises(TypeCheckError):
+            req.status = "maybe"
+
+
+class TestHazardModule:
+    def test_hazard_with_target(self):
+        h = hazard("H1", "fails", "ASIL-B")
+        assert h.integrityTarget == "ASIL-B"
+        assert h.text == "fails"
+
+    def test_hazardous_situation_attributes(self):
+        situation = hazardous_situation("HS1", "S2", 0.1, "E3", "C2")
+        assert situation.severity == "S2"
+        assert situation.probability == 0.1
+
+    def test_situation_contains_causes_and_measures(self):
+        situation = hazardous_situation("HS1")
+        situation.add("causes", cause("voltage spike"))
+        measure = control_measure(
+            "CM1", rationale="why", plan="how", effectiveness=0.8
+        )
+        situation.add("controlMeasures", measure)
+        assert measure.decision.rationale == "why"
+        assert measure.validation.plan == "how"
+        assert measure.effectiveness.effectiveness == 0.8
+
+    def test_hazard_contains_situations(self):
+        h = hazard("H1", "t")
+        situation = h.add("situations", hazardous_situation("HS1"))
+        assert situation.container is h
+
+    def test_package(self):
+        pkg = hazard_package("log")
+        pkg.add("elements", hazard("H1", "t"))
+        assert len(pkg.elements) == 1
+
+
+class TestArchitectureModule:
+    def test_component_defaults(self):
+        comp = component("C1", fit=12.5)
+        assert comp.fit == 12.5
+        assert comp.componentType == "hardware"
+        assert not comp.safetyRelated
+        assert not comp.dynamic
+
+    def test_component_class_defaults_to_name(self):
+        assert component("Diode1").componentClass == "Diode1"
+        assert component("D1", component_class="Diode").componentClass == "Diode"
+
+    def test_io_node_limits(self):
+        node = io_node("I", "output", 0.04, 0.03, 0.06, "A")
+        assert node.lowerLimit == 0.03
+        assert node.upperLimit == 0.06
+        assert node.unit == "A"
+
+    def test_failure_mode_nature_enum(self):
+        fm = failure_mode("Open", "open", 0.3)
+        assert fm.nature == "open"
+        with pytest.raises(TypeCheckError):
+            failure_mode("X", "implodes", 0.1)
+
+    def test_failure_effect_impact(self):
+        effect = failure_effect("boom", "DVF")
+        assert effect.impact == "DVF"
+
+    def test_safety_mechanism_covers(self):
+        comp = component("C")
+        fm = comp.add("failureModes", failure_mode("Open", "open", 1.0))
+        mech = safety_mechanism("ECC", 0.99, 2.0)
+        mech.covers = [fm]
+        comp.add("safetyMechanisms", mech)
+        assert mech.coverage == 0.99
+        assert mech.covers[0] is fm
+
+    def test_function_tolerance(self):
+        func = function("f", "2oo3", True)
+        assert func.tolerance == "2oo3"
+        with pytest.raises(TypeCheckError):
+            function("g", "5oo7")
+
+    def test_connect_creates_contained_relationship(self):
+        parent = component("Sys", component_type="system")
+        a = parent.add("subcomponents", component("A"))
+        b = parent.add("subcomponents", component("B"))
+        rel = connect(parent, a, b, kind="power")
+        assert rel.container is parent
+        assert rel.source is a and rel.target is b
+
+    def test_nested_components(self):
+        outer = component("Outer")
+        inner = outer.add("subcomponents", component("Inner"))
+        leaf = inner.add("subcomponents", component("Leaf"))
+        assert leaf.root() is outer
+
+
+class TestMbsaModule:
+    def test_artefact_binding(self):
+        ref = external_reference("fmeda.csv", "table")
+        binding = artefact_binding("FMEDA", "fmeda_result", ref)
+        assert binding.artefactKind == "fmeda_result"
+        assert binding.externalReference is ref
+
+    def test_assurance_query_over_binding(self):
+        binding = artefact_binding("FMEDA", "fmeda_result")
+        query = assurance_query(
+            "spfm", "rows()[0]['SPFM']", "SPFM >= 90%", binding
+        )
+        assert query.over is binding
+
+    def test_analysis_result(self):
+        query = assurance_query("q", "1")
+        result = analysis_result("spfm", "spfm", "0.9677", query)
+        assert result.analysisKind == "spfm"
+        assert result.derivedBy is query
+
+    def test_package(self):
+        pkg = mbsa_package("assurance")
+        pkg.add("elements", artefact_binding("x", "other"))
+        assert len(pkg.elements) == 1
+
+
+class TestSSAMModelFacade:
+    def test_counts_and_lookup(self, psu_ssam):
+        assert psu_ssam.element_count() > 20
+        assert psu_ssam.find_by_id("H1") is not None
+        assert psu_ssam.find_by_name("D1") is not None
+        assert psu_ssam.find_by_id("missing") is None
+
+    def test_elements_of_kind(self, psu_ssam):
+        names = {text_of(c) for c in psu_ssam.components()}
+        assert {"D1", "L1", "MC1", "C1", "C2"} <= names
+        assert len(psu_ssam.hazards()) == 1
+        assert len(psu_ssam.safety_requirements()) == 1
+
+    def test_top_components(self, psu_ssam):
+        tops = psu_ssam.top_components()
+        assert len(tops) == 1
+        assert text_of(tops[0]) == "sensor_power_supply"
+
+    def test_save_load_roundtrip(self, tmp_path, psu_ssam):
+        path = psu_ssam.save(tmp_path / "psu.ssam.json")
+        loaded = SSAMModel.load(path)
+        assert loaded.element_count() == psu_ssam.element_count()
+        assert text_of(loaded.top_components()[0]) == "sensor_power_supply"
+
+    def test_clone_independent(self, psu_ssam):
+        clone = psu_ssam.clone()
+        clone.find_by_name("D1").set("fit", 999.0)
+        assert psu_ssam.find_by_name("D1").get("fit") == 10
+
+    def test_load_with_memory_budget(self, tmp_path, psu_ssam):
+        from repro.metamodel import MemoryOverflowError
+
+        path = psu_ssam.save(tmp_path / "psu.ssam.json")
+        with pytest.raises(MemoryOverflowError):
+            SSAMModel.load(path, memory_budget_bytes=100)

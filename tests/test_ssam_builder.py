@@ -1,0 +1,140 @@
+"""ArchitectureBuilder tests."""
+
+import pytest
+
+from repro.ssam import ArchitectureBuilder
+from repro.ssam.base import text_of
+
+
+@pytest.fixture
+def builder():
+    return ArchitectureBuilder("Sys", component_type="system")
+
+
+def test_component_returns_handle(builder):
+    handle = builder.component("A", fit=5, component_class="Diode")
+    assert handle.name == "A"
+    assert handle.element.fit == 5
+    assert handle.element.componentClass == "Diode"
+
+
+def test_duplicate_component_rejected(builder):
+    builder.component("A")
+    with pytest.raises(ValueError):
+        builder.component("A")
+
+
+def test_getitem_lookup(builder):
+    builder.component("A")
+    assert builder["A"].name == "A"
+    with pytest.raises(KeyError):
+        builder["B"]
+
+
+def test_io_nodes_fluent(builder):
+    handle = builder.component("A").input("in", 1.0, 0.5, 2.0).output("out")
+    nodes = handle.element.ioNodes
+    assert [text_of(n) for n in nodes] == ["in", "out"]
+    assert nodes[0].direction == "input"
+    assert nodes[0].lowerLimit == 0.5
+
+
+def test_find_io(builder):
+    handle = builder.component("A").input("x")
+    assert text_of(handle.find_io("x")) == "x"
+    with pytest.raises(KeyError):
+        handle.find_io("missing")
+
+
+def test_failure_modes_fluent(builder):
+    handle = builder.component("A")
+    handle.failure_mode("Open", "open", 0.3).failure_mode("Short", "short", 0.7)
+    assert len(handle.element.failureModes) == 2
+
+
+def test_safety_mechanism_covers_all_by_default(builder):
+    handle = builder.component("A")
+    handle.failure_mode("Open", "open", 0.3)
+    handle.failure_mode("Short", "short", 0.7)
+    handle.safety_mechanism("SM", 0.9, 1.0)
+    mech = handle.element.safetyMechanisms[0]
+    assert len(mech.covers) == 2
+
+
+def test_safety_mechanism_selective_covers(builder):
+    handle = builder.component("A")
+    handle.failure_mode("Open", "open", 0.3)
+    handle.failure_mode("Short", "short", 0.7)
+    handle.safety_mechanism("SM", 0.9, covers=["Open"])
+    mech = handle.element.safetyMechanisms[0]
+    assert [text_of(m) for m in mech.covers] == ["Open"]
+
+
+def test_safety_mechanism_unknown_mode_rejected(builder):
+    handle = builder.component("A")
+    with pytest.raises(KeyError):
+        handle.safety_mechanism("SM", 0.9, covers=["Nope"])
+
+
+def test_wire_and_chain(builder):
+    a = builder.component("A")
+    b = builder.component("B")
+    c = builder.component("C")
+    builder.chain(a, b, c)
+    rels = builder.composite.relationships
+    assert len(rels) == 2
+    assert rels[0].source is a.element and rels[0].target is b.element
+
+
+def test_wire_with_pinned_nodes(builder):
+    a = builder.component("A").output("o")
+    b = builder.component("B").input("i")
+    rel = builder.wire(a, b, source_node="o", target_node="i")
+    assert text_of(rel.sourceNode) == "o"
+    assert text_of(rel.targetNode) == "i"
+
+
+def test_entry_exit_anchor_to_composite(builder):
+    a = builder.component("A")
+    entry = builder.entry(a)
+    exit_rel = builder.exit(a)
+    assert entry.source is builder.composite
+    assert exit_rel.target is builder.composite
+
+
+def test_dynamic_flag(builder):
+    handle = builder.component("A").dynamic()
+    assert handle.element.dynamic
+
+
+def test_function_fluent(builder):
+    handle = builder.component("A").function("f", "1oo2", True)
+    func = handle.element.functions[0]
+    assert func.tolerance == "1oo2"
+    assert func.safetyRelated
+
+
+def test_subsystem_nesting():
+    inner = ArchitectureBuilder("Inner")
+    inner.component("leaf")
+    outer = ArchitectureBuilder("Outer")
+    handle = outer.subsystem(inner)
+    assert handle.name == "Inner"
+    assert text_of(handle.element.subcomponents[0]) == "leaf"
+    with pytest.raises(ValueError):
+        outer.subsystem(ArchitectureBuilder("Inner"))
+
+
+def test_boundary_nodes(builder):
+    node_in = builder.boundary_input("vin")
+    node_out = builder.boundary_output("vout")
+    assert node_in.direction == "input"
+    assert node_out.direction == "output"
+    assert len(builder.composite.ioNodes) == 2
+
+
+def test_build_returns_composite(builder):
+    builder.component("A")
+    system = builder.build()
+    assert system.componentType == "system"
+    assert len(system.subcomponents) == 1

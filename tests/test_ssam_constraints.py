@@ -1,0 +1,152 @@
+"""SSAM semantic-validation tests."""
+
+import pytest
+
+from repro.metamodel import Severity
+from repro.ssam import ArchitectureBuilder, SSAMModel, validate_ssam
+from repro.ssam import architecture as arch
+from repro.ssam.architecture import component_package
+from repro.ssam.hazard import hazard, hazard_package
+from repro.ssam.requirements import requirement_package, safety_requirement
+
+
+def wrap(system) -> SSAMModel:
+    model = SSAMModel("t")
+    package = component_package("arch")
+    package.add("components", system)
+    model.add_component_package(package)
+    return model
+
+
+class TestCaseStudyIsClean:
+    def test_power_supply_validates(self, psu_ssam):
+        report = validate_ssam(psu_ssam)
+        assert report.ok, [str(d) for d in report.errors()]
+
+    def test_systems_a_b_validate(self):
+        from repro.casestudies.systems import build_system_a, build_system_b
+
+        for model in (build_system_a(), build_system_b()):
+            report = validate_ssam(model)
+            assert report.ok, [str(d) for d in report.errors()]
+
+
+class TestDistributionRules:
+    def test_overfull_distribution_is_error(self):
+        builder = ArchitectureBuilder("sys")
+        handle = builder.component("A", fit=10, component_class="Diode")
+        handle.failure_mode("Open", "open", 0.7)
+        handle.failure_mode("Short", "short", 0.7)
+        report = validate_ssam(wrap(builder.build()))
+        assert report.by_constraint("component.distribution-total")
+        assert not report.ok
+
+    def test_incomplete_distribution_is_warning(self):
+        builder = ArchitectureBuilder("sys")
+        handle = builder.component("A", fit=10, component_class="Diode")
+        handle.failure_mode("Open", "open", 0.3)
+        report = validate_ssam(wrap(builder.build()))
+        findings = report.by_constraint("component.distribution-complete")
+        assert findings and findings[0].severity == Severity.WARNING
+        assert report.ok  # warnings don't fail the report
+
+    def test_zero_fit_component_not_warned(self):
+        builder = ArchitectureBuilder("sys")
+        handle = builder.component("A", fit=0.0, component_class="Diode")
+        handle.failure_mode("Open", "open", 0.3)
+        report = validate_ssam(wrap(builder.build()))
+        assert not report.by_constraint("component.distribution-complete")
+
+
+class TestMechanismRules:
+    def test_mechanism_covering_foreign_mode_warned(self):
+        builder = ArchitectureBuilder("sys")
+        a = builder.component("A", fit=10, component_class="Diode")
+        a.failure_mode("Open", "open", 1.0)
+        b = builder.component("B", fit=10, component_class="Diode")
+        b.failure_mode("Open", "open", 1.0)
+        mech = arch.safety_mechanism("SM", 0.9)
+        mech.set("covers", list(a.element.get("failureModes")))
+        b.element.add("safetyMechanisms", mech)  # covers A's mode, owned by B
+        report = validate_ssam(wrap(builder.build()))
+        assert report.by_constraint("mechanism.covers-own-modes")
+
+    def test_uncovering_mechanism_warned(self):
+        builder = ArchitectureBuilder("sys")
+        a = builder.component("A", fit=10, component_class="Diode")
+        a.failure_mode("Open", "open", 1.0)
+        a.element.add("safetyMechanisms", arch.safety_mechanism("SM", 0.9))
+        report = validate_ssam(wrap(builder.build()))
+        assert report.by_constraint("mechanism.covers-own-modes")
+
+    def test_proper_mechanism_clean(self):
+        builder = ArchitectureBuilder("sys")
+        a = builder.component("A", fit=10, component_class="Diode")
+        a.failure_mode("Open", "open", 1.0)
+        a.safety_mechanism("SM", 0.9)
+        report = validate_ssam(wrap(builder.build()))
+        assert not report.by_constraint("mechanism.covers-own-modes")
+
+
+class TestStructureRules:
+    def test_cross_level_relationship_is_error(self):
+        inner = ArchitectureBuilder("Inner")
+        leaf = inner.component("LEAF", fit=1, component_class="Diode")
+        outer = ArchitectureBuilder("Outer")
+        sub = outer.subsystem(inner)
+        peer = outer.component("PEER", fit=1, component_class="Diode")
+        # Wire the outer peer to the *nested* leaf: cross-level, invalid.
+        rel = arch.ARCHITECTURE.get("ComponentRelationship").create(
+            source=peer.element, target=leaf.element
+        )
+        outer.composite.add("relationships", rel)
+        report = validate_ssam(wrap(outer.build()))
+        assert report.by_constraint("relationship.endpoints-local")
+
+    def test_disordered_io_limits_is_error(self):
+        builder = ArchitectureBuilder("sys")
+        handle = builder.component("A")
+        handle.element.add(
+            "ioNodes", arch.io_node("I", "output", 0.0, 2.0, 1.0)
+        )
+        report = validate_ssam(wrap(builder.build()))
+        assert report.by_constraint("ionode.limits-ordered")
+
+
+class TestTraceabilityRules:
+    def test_untraceable_safety_requirement_warned(self):
+        model = SSAMModel("t")
+        package = requirement_package("reqs")
+        package.add(
+            "elements",
+            safety_requirement("SR1", "must not fail", "ASIL-B"),
+        )
+        model.add_requirement_package(package)
+        report = validate_ssam(model)
+        assert report.by_constraint("requirement.traceable")
+
+    def test_unjustified_hazard_target_warned(self):
+        model = SSAMModel("t")
+        package = hazard_package("log")
+        package.add("elements", hazard("H1", "boom", "ASIL-C"))
+        model.add_hazard_package(package)
+        report = validate_ssam(model)
+        assert report.by_constraint("hazard.target-justified")
+
+    def test_hara_output_is_justified(self):
+        """Hazard logs built by perform_hara carry their situations."""
+        from repro.decisive import HazardSpec, HazardousEventSpec, perform_hara
+
+        model = SSAMModel("t")
+        perform_hara(
+            model,
+            [
+                HazardSpec(
+                    "H1",
+                    "boom",
+                    [HazardousEventSpec("x", "S3", "E4", "C3")],
+                )
+            ],
+        )
+        report = validate_ssam(model)
+        assert not report.by_constraint("hazard.target-justified")

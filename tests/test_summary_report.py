@@ -1,0 +1,111 @@
+"""Safety summary report tests."""
+
+import pytest
+
+from repro.safety import (
+    render_safety_report,
+    run_fmeda,
+    spfm_uncertainty,
+    write_safety_report,
+)
+from repro.safety.mechanisms import Deployment
+
+
+@pytest.fixture
+def fmeda(psu_fmea):
+    return run_fmeda(
+        psu_fmea, [Deployment("MC1", "RAM Failure", "ECC", 0.99, 2.0)]
+    )
+
+
+class TestRenderReport:
+    def test_headline_sections(self, fmeda):
+        text = render_safety_report(
+            fmeda,
+            target_asil="ASIL-B",
+            hazards=["H1"],
+            requirements=["SR1"],
+        )
+        assert "# Safety summary — sensor_power_supply" in text
+        assert "## Architectural metrics" in text
+        assert "## Deployed safety mechanisms" in text
+        assert "## FMEDA" in text
+
+    def test_metric_verdicts(self, fmeda):
+        text = render_safety_report(fmeda, "ASIL-B")
+        assert "| SPFM | 96.77% | >= 90% | PASS |" in text
+        assert "PMHF" in text and "PASS" in text
+
+    def test_failing_verdict_rendered(self, psu_fmea):
+        bare = run_fmeda(psu_fmea)
+        text = render_safety_report(bare, "ASIL-B")
+        assert "| SPFM | 5.38% | >= 90% | FAIL |" in text
+
+    def test_mechanism_table(self, fmeda):
+        text = render_safety_report(fmeda)
+        assert "| MC1 | RAM Failure | ECC | 99% | 2 h |" in text
+        assert "Total mechanism cost: **2 h**" in text
+
+    def test_no_mechanisms_case(self, psu_fmea):
+        text = render_safety_report(run_fmeda(psu_fmea))
+        assert "None deployed." in text
+
+    def test_fmeda_rows_rendered(self, fmeda):
+        text = render_safety_report(fmeda)
+        assert "| D1 | 10 | yes | Open | 30% | - | - | 3 FIT |" in text
+
+    def test_uncertainty_section(self, psu_fmea, fmeda):
+        robustness = spfm_uncertainty(
+            psu_fmea,
+            [Deployment("MC1", "RAM Failure", "ECC", 0.99, 2.0)],
+            samples=200,
+        )
+        text = render_safety_report(fmeda, uncertainty=robustness)
+        assert "## Verdict robustness (Monte Carlo)" in text
+        assert "ASIL-B verdict holds" in text
+
+    def test_write_to_disk(self, tmp_path, fmeda):
+        path = write_safety_report(tmp_path / "report.md", fmeda)
+        assert path.read_text().startswith("# Safety summary")
+
+
+class TestProcessOverwriteFlag:
+    def test_overwrite_pulls_revised_data(self, psu_mechanisms):
+        from repro.casestudies.power_supply import (
+            build_power_supply_ssam,
+            power_supply_reliability,
+        )
+        from repro.decisive import DecisiveProcess
+        from repro.reliability.derating import OperatingProfile, derate_model
+
+        hot = derate_model(
+            power_supply_reliability(),
+            OperatingProfile(temperature_celsius=85.0),
+        )
+        process = DecisiveProcess(
+            build_power_supply_ssam(),
+            hot,
+            psu_mechanisms,
+            overwrite_reliability=True,
+        )
+        process.step3_aggregate()
+        d1 = process.model.find_by_name("D1")
+        assert d1.get("fit") > 10.0  # derated value replaced the bench value
+
+    def test_default_keeps_hand_modelled_data(self, psu_mechanisms):
+        from repro.casestudies.power_supply import (
+            build_power_supply_ssam,
+            power_supply_reliability,
+        )
+        from repro.decisive import DecisiveProcess
+        from repro.reliability.derating import OperatingProfile, derate_model
+
+        hot = derate_model(
+            power_supply_reliability(),
+            OperatingProfile(temperature_celsius=85.0),
+        )
+        process = DecisiveProcess(
+            build_power_supply_ssam(), hot, psu_mechanisms
+        )
+        process.step3_aggregate()
+        assert process.model.find_by_name("D1").get("fit") == 10.0

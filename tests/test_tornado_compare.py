@@ -1,0 +1,117 @@
+"""Tests for tornado sensitivity analysis and FMEDA comparison."""
+
+import pytest
+
+from repro.safety import (
+    compare_fmeda,
+    run_fmeda,
+    spfm,
+    tornado_analysis,
+)
+from repro.safety.mechanisms import Deployment
+
+
+@pytest.fixture
+def ecc():
+    return Deployment("MC1", "RAM Failure", "ECC", 0.99, 2.0)
+
+
+class TestTornado:
+    def test_bars_sorted_by_swing(self, psu_fmea):
+        bars = tornado_analysis(psu_fmea)
+        swings = [bar.swing for bar in bars]
+        assert swings == sorted(swings, reverse=True)
+
+    def test_mcu_dominates_without_mechanisms(self, psu_fmea):
+        bars = tornado_analysis(psu_fmea)
+        assert bars[0].component == "MC1"  # 300 of 325 FIT
+
+    def test_base_matches_point_estimate(self, psu_fmea):
+        bars = tornado_analysis(psu_fmea)
+        assert bars[0].base == pytest.approx(spfm(psu_fmea))
+
+    def test_covered_component_swing_shrinks(self, psu_fmea, ecc):
+        bare = {b.component: b.swing for b in tornado_analysis(psu_fmea)}
+        covered = {
+            b.component: b.swing
+            for b in tornado_analysis(psu_fmea, [ecc])
+        }
+        assert covered["MC1"] < bare["MC1"]
+
+    def test_non_safety_related_component_has_zero_swing(self, psu_fmea):
+        bars = {b.component: b for b in tornado_analysis(psu_fmea)}
+        # C1/C2 are outside SR_HW: their FIT never enters Eq. 1.
+        assert bars["C1"].swing == pytest.approx(0.0, abs=1e-12)
+
+    def test_every_component_gets_a_bar(self, psu_fmea):
+        bars = tornado_analysis(psu_fmea)
+        assert {b.component for b in bars} == set(psu_fmea.components())
+
+    def test_bad_scale_rejected(self, psu_fmea):
+        with pytest.raises(ValueError):
+            tornado_analysis(psu_fmea, scale=1.0)
+
+    def test_original_untouched(self, psu_fmea):
+        fits = [row.fit for row in psu_fmea.rows]
+        tornado_analysis(psu_fmea)
+        assert [row.fit for row in psu_fmea.rows] == fits
+
+
+class TestCompareFmeda:
+    def test_identical_fmedas_unchanged(self, psu_fmea):
+        a = run_fmeda(psu_fmea)
+        b = run_fmeda(psu_fmea)
+        comparison = compare_fmeda(a, b)
+        assert comparison.unchanged
+        assert not comparison.improved
+
+    def test_mechanism_deployment_detected(self, psu_fmea, ecc):
+        before = run_fmeda(psu_fmea)
+        after = run_fmeda(psu_fmea, [ecc])
+        comparison = compare_fmeda(before, after)
+        assert comparison.improved
+        assert comparison.spfm_delta == pytest.approx(0.9677 - 0.0538, abs=1e-3)
+        assert comparison.after_asil == "ASIL-B"
+        assert comparison.cost_delta == pytest.approx(2.0)
+        (delta,) = comparison.changed_rows
+        assert delta.component == "MC1"
+        assert any("mechanism" in change for change in delta.changes)
+        assert any("residual" in change for change in delta.changes)
+
+    def test_added_and_removed_rows(self, psu_fmea, ecc):
+        import copy
+
+        before = run_fmeda(psu_fmea)
+        shrunk = copy.deepcopy(psu_fmea)
+        removed = shrunk.rows.pop()  # drop MC1/RAM Failure
+        after = run_fmeda(shrunk)
+        comparison = compare_fmeda(before, after)
+        assert (removed.component, removed.failure_mode) in (
+            comparison.removed_rows
+        )
+        reverse = compare_fmeda(after, before)
+        assert (removed.component, removed.failure_mode) in reverse.added_rows
+
+    def test_summary_narrates(self, psu_fmea, ecc):
+        comparison = compare_fmeda(
+            run_fmeda(psu_fmea), run_fmeda(psu_fmea, [ecc])
+        )
+        text = comparison.summary()
+        assert "SPFM" in text and "ASIL-A -> ASIL-B" in text
+        assert "MC1/RAM Failure" in text
+
+    def test_fit_change_detected(self, psu_fmea):
+        import copy
+
+        before = run_fmeda(psu_fmea)
+        revised = copy.deepcopy(psu_fmea)
+        for row in revised.rows:
+            if row.component == "L1":
+                row.fit = 30.0
+        after = run_fmeda(revised)
+        comparison = compare_fmeda(before, after)
+        assert any(
+            delta.component == "L1"
+            and any("FIT 15 -> 30" in change for change in delta.changes)
+            for delta in comparison.changed_rows
+        )

@@ -1,0 +1,200 @@
+"""Transformation tests: engine semantics, lossless round trip, write-back."""
+
+import pytest
+
+from repro.simulink import SimulinkModel
+from repro.simulink.model import Block
+from repro.ssam import SSAMModel
+from repro.ssam.base import text_of
+from repro.transform import (
+    Rule,
+    TransformationEngine,
+    TransformationTrace,
+    TransformError,
+    propagate_mechanisms_to_simulink,
+    simulink_to_ssam,
+    ssam_to_simulink,
+)
+
+
+class TestTrace:
+    def test_record_and_resolve(self):
+        trace = TransformationTrace()
+        trace.record("r", "src", "dst")
+        assert trace.resolve("src") == "dst"
+        assert trace.source_of("dst") == "src"
+        assert trace.has_source("src")
+        assert len(trace) == 1
+
+    def test_unresolved_source_raises(self):
+        trace = TransformationTrace()
+        with pytest.raises(KeyError):
+            trace.resolve("nope")
+        assert trace.try_resolve("nope") is None
+
+    def test_multiple_rules_need_disambiguation(self):
+        trace = TransformationTrace()
+        trace.record("r1", "src", "a")
+        trace.record("r2", "src", "b")
+        with pytest.raises(KeyError, match="several rules"):
+            trace.resolve("src")
+        assert trace.resolve("src", "r2") == "b"
+
+    def test_pairs_iteration(self):
+        trace = TransformationTrace()
+        trace.record("r", 1, "one")
+        trace.record("r", 2, "two")
+        assert list(trace.pairs()) == [("r", 1, "one"), ("r", 2, "two")]
+
+
+class TestEngine:
+    def test_two_phase_binding(self):
+        # Phase 2 can resolve targets created later in phase 1.
+        engine = TransformationEngine()
+        created = {}
+
+        def bind(source, target, context):
+            created[target] = context.resolve(source + 1) if source == 1 else None
+
+        engine.add_rule(
+            Rule(
+                "int2str",
+                guard=lambda s: isinstance(s, int),
+                create=lambda s, ctx: f"t{s}",
+                bind=bind,
+            )
+        )
+        trace = engine.run([1, 2])
+        assert created["t1"] == "t2"  # forward reference resolved
+
+    def test_duplicate_rule_name_rejected(self):
+        engine = TransformationEngine()
+        engine.add_rule(Rule("r", lambda s: True, lambda s, c: s))
+        with pytest.raises(TransformError):
+            engine.add_rule(Rule("r", lambda s: True, lambda s, c: s))
+
+    def test_unresolvable_reference_raises_transform_error(self):
+        engine = TransformationEngine()
+        engine.add_rule(
+            Rule(
+                "r",
+                guard=lambda s: True,
+                create=lambda s, c: f"t{s}",
+                bind=lambda s, t, c: c.resolve("missing"),
+            )
+        )
+        with pytest.raises(TransformError):
+            engine.run([1])
+
+    def test_none_create_skips_recording(self):
+        engine = TransformationEngine()
+        engine.add_rule(
+            Rule("r", lambda s: True, lambda s, c: None)
+        )
+        assert len(engine.run([1, 2])) == 0
+
+
+class TestSimulink2Ssam:
+    def test_roundtrip_lossless(self, psu_simulink):
+        ssam = simulink_to_ssam(psu_simulink)
+        back = ssam_to_simulink(ssam)
+        assert back.to_dict() == psu_simulink.to_dict()
+
+    def test_roundtrip_with_boundaries_still_lossless(self, psu_simulink):
+        ssam = simulink_to_ssam(psu_simulink, anchor_boundaries=True)
+        back = ssam_to_simulink(ssam)
+        assert back.to_dict() == psu_simulink.to_dict()
+
+    def test_nested_subsystem_roundtrip(self):
+        model = SimulinkModel("nested")
+        model.add_block("V", "DCVoltageSource", voltage=1.0)
+        model.add_block("G", "Ground")
+        sub = model.add_block("Filt", "Subsystem")
+        sub.subdiagram.add_block(
+            Block("in_p", "ConnectionPort", {"port_name": "a"})
+        )
+        sub.subdiagram.add_block(
+            Block("out_p", "ConnectionPort", {"port_name": "b"})
+        )
+        sub.subdiagram.add_block(Block("R1", "Resistor", {"resistance": 5.0}))
+        sub.subdiagram.connect("in_p", "p", "R1", "p")
+        sub.subdiagram.connect("R1", "n", "out_p", "p")
+        model.connect("V", "p", "Filt", "a")
+        model.connect("Filt", "b", "G", "p")
+        model.connect("V", "n", "G", "p")
+        back = ssam_to_simulink(simulink_to_ssam(model))
+        assert back.to_dict() == model.to_dict()
+
+    def test_parameters_preserved_verbatim(self, psu_simulink):
+        ssam = simulink_to_ssam(psu_simulink)
+        mc1 = ssam.find_by_name("MC1")
+        constraint = mc1.get("utilities")[0]
+        assert "annotated_type" in constraint.get("body")
+        assert constraint.get("language") == "simulink-parameters"
+
+    def test_component_classes_use_effective_type(self, psu_simulink):
+        ssam = simulink_to_ssam(psu_simulink)
+        assert ssam.find_by_name("MC1").get("componentClass") == "MCU"
+        assert ssam.find_by_name("D1").get("componentClass") == "Diode"
+
+    def test_ports_become_io_nodes(self, psu_simulink):
+        ssam = simulink_to_ssam(psu_simulink)
+        d1 = ssam.find_by_name("D1")
+        nodes = {text_of(n): n.get("direction") for n in d1.get("ioNodes")}
+        assert nodes == {"p": "inout", "n": "inout"}
+        scope = ssam.find_by_name("Scope1")
+        assert {text_of(n): n.get("direction") for n in scope.get("ioNodes")} == {
+            "in": "input"
+        }
+
+    def test_lines_become_relationships_with_nodes(self, psu_simulink):
+        ssam = simulink_to_ssam(psu_simulink)
+        composite = ssam.top_components()[0]
+        rels = composite.get("relationships")
+        assert len(rels) == len(psu_simulink.all_lines())
+        kinds = {rel.get("kind") for rel in rels}
+        assert kinds == {"power", "signal"}
+
+    def test_reliability_enrichment(self, psu_simulink, psu_reliability):
+        ssam = simulink_to_ssam(psu_simulink, psu_reliability)
+        d1 = ssam.find_by_name("D1")
+        assert d1.get("fit") == 10.0
+        assert len(d1.get("failureModes")) == 2
+        # Sensors have no Table II entry: untouched.
+        assert ssam.find_by_name("CS1").get("failureModes") == []
+
+    def test_reverse_requires_parameter_constraint(self):
+        model = SSAMModel("bare")
+        from repro.ssam.architecture import component, component_package
+
+        package = component_package("arch")
+        composite = component("sys")
+        composite.add("subcomponents", component("orphan"))
+        package.add("components", composite)
+        model.add_component_package(package)
+        with pytest.raises(TransformError, match="simulink-parameters"):
+            ssam_to_simulink(model)
+
+    def test_reverse_requires_architecture(self):
+        with pytest.raises(TransformError):
+            ssam_to_simulink(SSAMModel("empty"))
+
+
+class TestChangePropagation:
+    def test_mechanisms_written_back_to_blocks(self, psu_simulink):
+        from repro.ssam import architecture as arch
+
+        ssam = simulink_to_ssam(psu_simulink)
+        mc1 = ssam.find_by_name("MC1")
+        mech = arch.safety_mechanism("ECC", 0.99, 2.0)
+        mc1.add("safetyMechanisms", mech)
+        updated = propagate_mechanisms_to_simulink(ssam, psu_simulink)
+        assert updated == 1
+        annotation = psu_simulink.block("MC1").param("safety_mechanisms")
+        assert annotation == [
+            {"name": "ECC", "coverage": 0.99, "cost": 2.0, "covers": []}
+        ]
+
+    def test_nothing_to_propagate(self, psu_simulink):
+        ssam = simulink_to_ssam(psu_simulink)
+        assert propagate_mechanisms_to_simulink(ssam, psu_simulink) == 0

@@ -1,0 +1,128 @@
+"""Property-based tests: the Simulink↔SSAM round trip on *random* models.
+
+The paper claims the transformation is lossless; the unit tests prove it on
+the case study, these prove it on arbitrary generated models — random block
+mixes, random parameters, random wiring, random subsystem nesting.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulink.model import Block, Diagram, SimulinkModel
+from repro.transform import simulink_to_ssam, ssam_to_simulink
+
+#: Two-terminal electrical types with a numeric parameter to randomise.
+_PARAMETRIC_TYPES = [
+    ("Resistor", "resistance", 1.0, 1e6),
+    ("Capacitor", "capacitance", 1e-9, 1e-3),
+    ("Inductor", "inductance", 1e-6, 1.0),
+    ("DCVoltageSource", "voltage", -48.0, 48.0),
+    ("Load", "resistance", 1.0, 1e4),
+]
+
+
+@st.composite
+def block_specs(draw, index):
+    kind = draw(st.integers(0, len(_PARAMETRIC_TYPES) + 2))
+    name = f"B{index}"
+    if kind < len(_PARAMETRIC_TYPES):
+        type_name, parameter, low, high = _PARAMETRIC_TYPES[kind]
+        value = draw(
+            st.floats(min_value=low, max_value=high, allow_nan=False)
+        )
+        return (name, type_name, {parameter: value})
+    if kind == len(_PARAMETRIC_TYPES):
+        return (name, "Diode", {})
+    if kind == len(_PARAMETRIC_TYPES) + 1:
+        return (name, "Ground", {})
+    return (
+        name,
+        "Subsystem",
+        {"annotated_type": "MCU", "load_resistance": draw(
+            st.floats(min_value=10.0, max_value=1e4, allow_nan=False)
+        )},
+    )
+
+
+@st.composite
+def random_models(draw):
+    model = SimulinkModel("random")
+    n_blocks = draw(st.integers(2, 10))
+    blocks = []
+    for index in range(n_blocks):
+        name, type_name, parameters = draw(block_specs(index))
+        blocks.append(model.add_block(name, type_name, **parameters))
+    # Random wiring between electrical ports of distinct blocks.
+    n_lines = draw(st.integers(0, n_blocks * 2))
+    for _ in range(n_lines):
+        src = blocks[draw(st.integers(0, n_blocks - 1))]
+        dst = blocks[draw(st.integers(0, n_blocks - 1))]
+        if src is dst:
+            continue
+        src_ports = src.effective_info.electrical_ports
+        dst_ports = dst.effective_info.electrical_ports
+        if not src_ports or not dst_ports:
+            continue
+        model.connect(
+            src,
+            src_ports[draw(st.integers(0, len(src_ports) - 1))],
+            dst,
+            dst_ports[draw(st.integers(0, len(dst_ports) - 1))],
+        )
+    # Optionally nest a subsystem with internal content.
+    if draw(st.booleans()):
+        sub = model.add_block("NEST", "Subsystem")
+        sub.subdiagram.add_block(
+            Block("cp_a", "ConnectionPort", {"port_name": "a"})
+        )
+        sub.subdiagram.add_block(
+            Block("inner_r", "Resistor", {"resistance": draw(
+                st.floats(min_value=1.0, max_value=1e5, allow_nan=False)
+            )})
+        )
+        sub.subdiagram.connect("cp_a", "p", "inner_r", "p")
+        first_electrical = next(
+            (b for b in blocks if b.effective_info.electrical_ports), None
+        )
+        if first_electrical is not None:
+            model.connect(
+                first_electrical,
+                first_electrical.effective_info.electrical_ports[0],
+                sub,
+                "a",
+            )
+    return model
+
+
+@settings(max_examples=60, deadline=None)
+@given(model=random_models())
+def test_property_random_model_roundtrip_lossless(model):
+    """simulink -> SSAM -> simulink is the identity on any generated model."""
+    ssam = simulink_to_ssam(model)
+    reconstructed = ssam_to_simulink(ssam)
+    assert reconstructed.to_dict() == model.to_dict()
+
+
+@settings(max_examples=30, deadline=None)
+@given(model=random_models())
+def test_property_transformation_preserves_counts(model):
+    """Every block becomes a component; every line a relationship."""
+    ssam = simulink_to_ssam(model)
+    assert len(ssam.elements_of_kind("Component")) - 1 == len(
+        model.all_blocks()
+    )  # -1: the composite itself
+    composite_rels = sum(
+        len(c.get("relationships"))
+        for c in ssam.elements_of_kind("Component")
+    )
+    assert composite_rels == len(model.all_lines())
+
+
+@settings(max_examples=30, deadline=None)
+@given(model=random_models())
+def test_property_double_roundtrip_stable(model):
+    """A second round trip changes nothing (the mapping is idempotent)."""
+    once = ssam_to_simulink(simulink_to_ssam(model))
+    twice = ssam_to_simulink(simulink_to_ssam(once))
+    assert once.to_dict() == twice.to_dict()

@@ -1,0 +1,182 @@
+"""Tests for SPFM uncertainty propagation and FTA exporters."""
+
+import xml.etree.ElementTree as ET
+
+import numpy as np
+import pytest
+
+from repro.casestudies.power_supply import (
+    build_power_supply_ssam,
+    power_supply_reliability,
+)
+from repro.fta import (
+    AndGate,
+    BasicEvent,
+    FaultTree,
+    KofNGate,
+    OrGate,
+    synthesize_fault_tree,
+    to_dot,
+    to_open_psa,
+)
+from repro.safety import run_ssam_fmea, spfm, spfm_uncertainty
+from repro.safety.mechanisms import Deployment
+
+
+@pytest.fixture(scope="module")
+def fmea():
+    model = build_power_supply_ssam()
+    return run_ssam_fmea(
+        model.top_components()[0], power_supply_reliability(), mark_model=False
+    )
+
+
+@pytest.fixture(scope="module")
+def ecc():
+    return Deployment("MC1", "RAM Failure", "ECC", 0.99, 2.0)
+
+
+class TestUncertainty:
+    def test_samples_bounded(self, fmea, ecc):
+        result = spfm_uncertainty(fmea, [ecc], samples=300)
+        assert np.all(result.samples >= 0.0)
+        assert np.all(result.samples <= 1.0)
+
+    def test_mean_near_point_estimate(self, fmea, ecc):
+        result = spfm_uncertainty(fmea, [ecc], samples=1000)
+        point = spfm(fmea, [ecc])
+        assert result.mean == pytest.approx(point, abs=0.02)
+
+    def test_confidence_high_with_ecc(self, fmea, ecc):
+        result = spfm_uncertainty(fmea, [ecc], "ASIL-B", samples=500)
+        assert result.confidence > 0.95
+
+    def test_confidence_zero_without_mechanisms(self, fmea):
+        result = spfm_uncertainty(fmea, [], "ASIL-B", samples=200)
+        assert result.confidence == 0.0
+
+    def test_interval_brackets_mean(self, fmea, ecc):
+        result = spfm_uncertainty(fmea, [ecc], samples=500)
+        low, high = result.interval(0.90)
+        assert low <= result.mean <= high
+        assert low < high
+
+    def test_deterministic_with_seed(self, fmea, ecc):
+        a = spfm_uncertainty(fmea, [ecc], samples=100, seed=7)
+        b = spfm_uncertainty(fmea, [ecc], samples=100, seed=7)
+        assert np.array_equal(a.samples, b.samples)
+
+    def test_zero_sigma_collapses_to_point(self, fmea, ecc):
+        result = spfm_uncertainty(
+            fmea,
+            [ecc],
+            samples=50,
+            fit_sigma=0.0,
+            distribution_jitter=0.0,
+            coverage_logit_sigma=0.0,
+        )
+        point = spfm(fmea, [ecc])
+        assert np.allclose(result.samples, point, atol=1e-9)
+
+    def test_wider_sigma_wider_interval(self, fmea, ecc):
+        narrow = spfm_uncertainty(fmea, [ecc], samples=500, fit_sigma=0.1)
+        wide = spfm_uncertainty(fmea, [ecc], samples=500, fit_sigma=0.6)
+        n_low, n_high = narrow.interval(0.90)
+        w_low, w_high = wide.interval(0.90)
+        assert (w_high - w_low) > (n_high - n_low)
+
+    def test_bad_samples_rejected(self, fmea):
+        with pytest.raises(ValueError):
+            spfm_uncertainty(fmea, samples=0)
+
+    def test_original_fmea_untouched(self, fmea, ecc):
+        fits_before = [row.fit for row in fmea.rows]
+        spfm_uncertainty(fmea, [ecc], samples=50)
+        assert [row.fit for row in fmea.rows] == fits_before
+
+
+def simple_tree():
+    return FaultTree(
+        "demo",
+        OrGate(
+            "top",
+            [
+                BasicEvent("solo", 0.01),
+                AndGate("pair", [BasicEvent("x", 0.1), BasicEvent("y", 0.1)]),
+                KofNGate(
+                    "voting",
+                    2,
+                    [BasicEvent("a", 0.2), BasicEvent("b", 0.2), BasicEvent("c", 0.2)],
+                ),
+            ],
+        ),
+    )
+
+
+class TestDotExport:
+    def test_structure(self):
+        dot = to_dot(simple_tree())
+        assert dot.startswith('digraph "demo"')
+        assert dot.rstrip().endswith("}")
+        assert "AND\\npair" in dot
+        assert "OR\\ntop" in dot
+        assert "2oo3\\nvoting" in dot
+        assert "p=0.01" in dot
+
+    def test_shared_event_declared_once(self):
+        shared = BasicEvent("s", 0.1)
+        tree = FaultTree(
+            "t",
+            OrGate("top", [AndGate("g1", [shared]), AndGate("g2", [shared])]),
+        )
+        dot = to_dot(tree)
+        assert dot.count('label="s\\n') == 1
+
+    def test_synthesised_tree_exports(self):
+        tree = synthesize_fault_tree(
+            build_power_supply_ssam().top_components()[0]
+        )
+        dot = to_dot(tree)
+        assert "D1_Open" in dot.replace(":", "_") or "D1:Open" in dot
+
+
+class TestOpenPsaExport:
+    def test_valid_xml_with_expected_elements(self):
+        document = ET.fromstring(to_open_psa(simple_tree()))
+        assert document.tag == "opsa-mef"
+        fault_tree = document.find("define-fault-tree")
+        assert fault_tree.get("name") == "demo"
+        gates = {g.get("name") for g in fault_tree.findall("define-gate")}
+        assert {"top", "pair", "voting"} <= gates
+
+    def test_kofn_becomes_atleast(self):
+        document = ET.fromstring(to_open_psa(simple_tree()))
+        voting = [
+            g
+            for g in document.find("define-fault-tree").findall("define-gate")
+            if g.get("name") == "voting"
+        ][0]
+        atleast = voting.find("atleast")
+        assert atleast is not None and atleast.get("min") == "2"
+
+    def test_basic_event_probabilities_in_model_data(self):
+        document = ET.fromstring(to_open_psa(simple_tree()))
+        events = {
+            e.get("name"): float(e.find("float").get("value"))
+            for e in document.find("model-data").findall("define-basic-event")
+        }
+        assert events["solo"] == pytest.approx(0.01)
+        assert len(events) == 6
+
+    def test_psu_tree_round(self):
+        tree = synthesize_fault_tree(
+            build_power_supply_ssam().top_components()[0]
+        )
+        document = ET.fromstring(to_open_psa(tree))
+        names = {
+            e.get("name")
+            for e in document.find("model-data").findall("define-basic-event")
+        }
+        assert "MC1_RAM_Failure" in {n.replace(":", "_") for n in names} or (
+            "MC1:RAM Failure" in names
+        )
