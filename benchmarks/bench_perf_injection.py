@@ -1,0 +1,194 @@
+"""BENCH injection — batched fault-injection engine: naive vs incremental
+vs parallel campaigns.
+
+Times the three execution strategies of
+:class:`repro.safety.campaign.FaultInjectionCampaign` on the paper's
+power-supply case study (Section V) and the synthetic System A/B power
+networks (Section VI scale), checks the strategies produce row-for-row
+identical FMEA tables while timing them, and writes the measurements to
+``BENCH_injection.json`` at the repo root.
+
+Acceptance (full mode): the batched engine (best of incremental /
+parallel) beats naive per-fault re-assembly by >= 3x wall clock on the
+largest case study (System B, ~230 injection jobs over ~107 MNA
+unknowns).  The small systems are *expected* to show < 1x — Python
+bookkeeping dominates sub-millisecond solves; see docs/performance.md.
+
+Smoke mode (``BENCH_INJECTION_SMOKE=1``): shrinks System B, runs one
+repeat per strategy and skips the speedup assertion, so CI exercises the
+whole code path in seconds.
+"""
+
+import json
+import math
+import os
+import time
+from pathlib import Path
+
+from _harness import format_rows, report_table
+from repro.casestudies import (
+    SYSTEM_A_ASSUMED_STABLE,
+    SYSTEM_B_ASSUMED_STABLE,
+    build_power_supply_simulink,
+    build_system_a_simulink,
+    build_system_b_simulink,
+    power_network_reliability,
+    power_supply_reliability,
+)
+from repro.casestudies.power_supply import ASSUMED_STABLE
+from repro.safety.campaign import FaultInjectionCampaign
+
+SMOKE = os.environ.get("BENCH_INJECTION_SMOKE") == "1"
+#: Best-of-N wall-clock per (case, strategy); 1 repeat in smoke mode.
+REPEATS = 1 if SMOKE else 3
+#: Smoke mode shrinks the scaling subject so CI stays fast.
+SYSTEM_B_BENCH_RAILS = 4 if SMOKE else 14
+SPEEDUP_TARGET = 3.0
+
+JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_injection.json"
+
+STRATEGIES = (
+    ("naive", {"incremental": False}),
+    ("incremental", {}),
+    ("parallel", {"workers": max(2, os.cpu_count() or 1)}),
+)
+
+
+def build_cases():
+    return [
+        (
+            "power_supply",
+            build_power_supply_simulink(),
+            power_supply_reliability(),
+            ASSUMED_STABLE,
+        ),
+        (
+            "system_a",
+            build_system_a_simulink(),
+            power_network_reliability(),
+            SYSTEM_A_ASSUMED_STABLE,
+        ),
+        (
+            "system_b",
+            build_system_b_simulink(rails=SYSTEM_B_BENCH_RAILS),
+            power_network_reliability(),
+            SYSTEM_B_ASSUMED_STABLE,
+        ),
+    ]
+
+
+def time_campaign(model, reliability, stable, kwargs):
+    """Best-of-REPEATS wall time; returns (seconds, FmeaResult)."""
+    best, result = math.inf, None
+    for _ in range(REPEATS):
+        campaign = FaultInjectionCampaign(
+            model, reliability, assume_stable=stable, **kwargs
+        )
+        start = time.perf_counter()
+        outcome = campaign.run()
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best, result = elapsed, outcome
+    return best, result
+
+
+def rows_identical(reference, other, tol=1e-9):
+    if len(reference.rows) != len(other.rows):
+        return False
+    for expected, actual in zip(reference.rows, other.rows):
+        if (
+            expected.component,
+            expected.failure_mode,
+            expected.safety_related,
+            expected.impact,
+            expected.effect,
+            expected.warning,
+        ) != (
+            actual.component,
+            actual.failure_mode,
+            actual.safety_related,
+            actual.impact,
+            actual.effect,
+            actual.warning,
+        ):
+            return False
+        for sensor, delta in expected.sensor_deltas.items():
+            if not math.isclose(
+                delta,
+                actual.sensor_deltas.get(sensor, math.nan),
+                rel_tol=tol,
+                abs_tol=tol,
+            ):
+                return False
+    return True
+
+
+def test_bench_injection():
+    # Warm-up: import costs, first-touch numpy/scipy paths.
+    warm_model = build_power_supply_simulink()
+    FaultInjectionCampaign(
+        warm_model, power_supply_reliability(), assume_stable=ASSUMED_STABLE
+    ).run()
+
+    payload = {
+        "mode": "smoke" if SMOKE else "full",
+        "repeats": REPEATS,
+        "system_b_rails": SYSTEM_B_BENCH_RAILS,
+        "speedup_target": SPEEDUP_TARGET,
+        "cases": {},
+    }
+    table = []
+    for case, model, reliability, stable in build_cases():
+        runs = {}
+        for label, kwargs in STRATEGIES:
+            seconds, result = time_campaign(model, reliability, stable, kwargs)
+            runs[label] = (seconds, result)
+        naive_s = runs["naive"][0]
+        batched_s = min(runs["incremental"][0], runs["parallel"][0])
+        identical = all(
+            rows_identical(runs["naive"][1], runs[label][1])
+            for label in ("incremental", "parallel")
+        )
+        assert identical, f"{case}: strategies disagree on FMEA rows"
+        stats = runs["incremental"][1].stats
+        entry = {
+            "jobs": stats.jobs,
+            "naive_s": round(naive_s, 6),
+            "incremental_s": round(runs["incremental"][0], 6),
+            "parallel_s": round(runs["parallel"][0], 6),
+            "speedup": round(naive_s / batched_s, 3),
+            "rows_identical": identical,
+            "incremental_stats": stats.as_dict(),
+        }
+        payload["cases"][case] = entry
+        table.append(
+            {
+                "Case": case,
+                "Jobs": stats.jobs,
+                "Naive(s)": f"{naive_s:.3f}",
+                "Incr(s)": f"{runs['incremental'][0]:.3f}",
+                "Par(s)": f"{runs['parallel'][0]:.3f}",
+                "Speedup": f"{naive_s / batched_s:.2f}x",
+                "SMW": stats.smw_solves,
+                "Rebuilds": stats.full_rebuilds,
+            }
+        )
+
+    largest = payload["cases"]["system_b"]
+    payload["accepted"] = bool(
+        SMOKE or largest["speedup"] >= SPEEDUP_TARGET
+    )
+    JSON_PATH.write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+    report_table(
+        "BENCH injection",
+        "naive vs incremental vs parallel fault-injection campaigns",
+        format_rows(table),
+    )
+
+    if not SMOKE:
+        assert largest["speedup"] >= SPEEDUP_TARGET, (
+            "batched engine must beat naive re-assembly by "
+            f">= {SPEEDUP_TARGET}x on System B, got {largest['speedup']}x"
+        )

@@ -6,6 +6,9 @@
 - :mod:`repro.casestudies.systems` — the evaluation subjects: *System A*
   (sensor power supply, 102 design elements) and *System B* (AUV main
   control unit, 230 elements), rebuilt synthetically per DESIGN.md;
+- :mod:`repro.casestudies.power_networks` — injection-grade (electrical)
+  Simulink models of System A and System B for the fault-injection
+  campaign engine and its benchmarks;
 - :mod:`repro.casestudies.generators` — scalable SSAM model sets
   (Set0–Set5 of Table VI).
 """
@@ -18,6 +21,13 @@ from repro.casestudies.power_supply import (
 )
 from repro.casestudies.pll import pll_fmeda, pll_fmea_result
 from repro.casestudies.systems import build_system_a, build_system_b
+from repro.casestudies.power_networks import (
+    SYSTEM_A_ASSUMED_STABLE,
+    SYSTEM_B_ASSUMED_STABLE,
+    build_system_a_simulink,
+    build_system_b_simulink,
+    power_network_reliability,
+)
 from repro.casestudies.generators import (
     SCALABILITY_SETS,
     build_scalability_model,
@@ -33,6 +43,11 @@ __all__ = [
     "pll_fmea_result",
     "build_system_a",
     "build_system_b",
+    "build_system_a_simulink",
+    "build_system_b_simulink",
+    "power_network_reliability",
+    "SYSTEM_A_ASSUMED_STABLE",
+    "SYSTEM_B_ASSUMED_STABLE",
     "SCALABILITY_SETS",
     "build_scalability_model",
     "scalability_element_counts",

@@ -1,0 +1,274 @@
+"""Injection-grade Simulink models of the evaluation subjects (Section VI).
+
+:mod:`repro.casestudies.systems` rebuilds *System A* and *System B* as SSAM
+architectures with the published element counts — the right artefacts for
+Algorithm 1 (graph-based FMEA).  The injection-based analyzer, however,
+needs *electrical* models, which that module cannot provide.  This module
+closes the gap with power-network Simulink models of matching character:
+
+- :func:`build_system_a_simulink` — System A, the sensor power supply:
+  input protection (fuse, reverse diode, load switch), a two-stage LC
+  filter, the monitored MCU rail and an ORing-diode auxiliary rail;
+- :func:`build_system_b_simulink` — System B, the AUV main control unit's
+  power distribution: two ORed battery feeds and a configurable number of
+  fused, filtered, individually-monitored rails feeding the CPU boards and
+  payload loads.
+
+System B is deliberately large (≈100+ MNA unknowns at the default rail
+count) — it is the scaling subject for the fault-injection campaign
+benchmarks (``benchmarks/bench_perf_injection.py``), where per-fault full
+re-assembly is measurably slower than the compiled incremental path.
+"""
+
+from __future__ import annotations
+
+from repro.reliability import (
+    ComponentReliability,
+    FailureModeSpec,
+    ReliabilityModel,
+)
+from repro.simulink import SimulinkModel
+
+#: Source blocks the case studies assume stable (excluded from injection),
+#: mirroring the paper's treatment of DC1 in Section V.
+SYSTEM_A_ASSUMED_STABLE = ("DC1",)
+SYSTEM_B_ASSUMED_STABLE = ("DC1", "DC2")
+
+#: Default rail count for System B — sized so the flattened MNA system has
+#: ≈100+ unknowns, large enough that factorization reuse pays off.
+SYSTEM_B_RAILS = 14
+
+
+def power_network_reliability() -> ReliabilityModel:
+    """Reliability data for every injectable class in the two networks.
+
+    Handbook-typical FIT rates (MIL-HDBK-338B spirit, matching
+    :func:`repro.reliability.standard_reliability_model` where classes
+    overlap); every failure mode named here has injection physics in the
+    block library, so the campaigns run warning-free.
+    """
+    return ReliabilityModel(
+        [
+            ComponentReliability(
+                "Diode",
+                10,
+                [
+                    FailureModeSpec("Open", 0.30, "open"),
+                    FailureModeSpec("Short", 0.70, "short"),
+                ],
+            ),
+            ComponentReliability(
+                "Capacitor",
+                2,
+                [
+                    FailureModeSpec("Open", 0.30, "open"),
+                    FailureModeSpec("Short", 0.70, "short"),
+                ],
+            ),
+            ComponentReliability(
+                "Inductor",
+                15,
+                [
+                    FailureModeSpec("Open", 0.30, "open"),
+                    FailureModeSpec("Short", 0.70, "short"),
+                ],
+            ),
+            ComponentReliability(
+                "Resistor",
+                1,
+                [
+                    FailureModeSpec("Open", 0.30, "open"),
+                    FailureModeSpec("Short", 0.60, "short"),
+                    FailureModeSpec("Drift", 0.10, "drift"),
+                ],
+            ),
+            ComponentReliability(
+                "Switch",
+                8,
+                [
+                    FailureModeSpec("Stuck Open", 0.60, "open"),
+                    FailureModeSpec("Stuck Closed", 0.40, "short"),
+                ],
+            ),
+            ComponentReliability(
+                "Fuse",
+                3,
+                [
+                    FailureModeSpec("Stuck Open", 0.70, "open"),
+                    FailureModeSpec("Fails To Blow", 0.30, "other"),
+                ],
+            ),
+            ComponentReliability(
+                "Load",
+                12,
+                [
+                    FailureModeSpec("Open", 0.40, "open"),
+                    FailureModeSpec("Short", 0.60, "short"),
+                ],
+            ),
+            ComponentReliability(
+                "MC",
+                300,
+                [FailureModeSpec("RAM Failure", 1.0, "loss_of_function")],
+            ),
+        ]
+    )
+
+
+def build_system_a_simulink(name: str = "system_a") -> SimulinkModel:
+    """System A: the sensor power supply as an electrical network.
+
+    ``DC1 → F1 → D1 → SW1 → (L1‖C1) → (L2‖C2, R1) →`` then two rails:
+    the monitored MCU rail (``CS1 → MC1``, with ``VS1`` watching the supply
+    node) and an ORing-diode auxiliary rail (``D2 → CS2 → LD1``, decoupled
+    by ``C3``, bled by ``R2``).  ``R0`` bleeds the protection stage so the
+    reverse diode keeps a DC load even when a downstream open strands it.
+    """
+    model = SimulinkModel(name)
+    model.add_block("DC1", "DCVoltageSource", voltage=5.0)
+    model.add_block("F1", "Fuse", rated_current=2.0, resistance=5e-3)
+    model.add_block("D1", "Diode")
+    model.add_block("R0", "Resistor", resistance=100e3)
+    model.add_block("SW1", "Switch")
+    model.add_block("L1", "Inductor", inductance=1e-3, series_resistance=0.1)
+    model.add_block("C1", "Capacitor", capacitance=10e-6)
+    model.add_block("L2", "Inductor", inductance=4.7e-4, series_resistance=0.05)
+    model.add_block("C2", "Capacitor", capacitance=22e-6)
+    model.add_block("R1", "Resistor", resistance=10e3)
+    model.add_block("CS1", "CurrentSensor")
+    model.add_block(
+        "MC1",
+        "Subsystem",
+        annotated_type="MCU",
+        load_resistance=100.0,
+        standby_resistance=10000.0,
+    )
+    model.add_block("VS1", "VoltageSensor")
+    model.add_block("D2", "Diode")
+    model.add_block("CS2", "CurrentSensor")
+    model.add_block("LD1", "Load", resistance=220.0)
+    model.add_block("C3", "Capacitor", capacitance=4.7e-6)
+    model.add_block("R2", "Resistor", resistance=22e3)
+    model.add_block("GND1", "Ground")
+    model.add_block("S1", "SolverConfiguration")
+    model.add_block("Scope1", "Scope")
+    model.add_block("Out1", "Outport")
+
+    # Input protection and regulation chain.
+    model.connect("DC1", "p", "F1", "p")
+    model.connect("F1", "n", "D1", "p")
+    model.connect("D1", "n", "R0", "p")
+    model.connect("D1", "n", "SW1", "p")
+    model.connect("SW1", "n", "L1", "p")
+    # Two-stage LC filter with a bleed resistor.
+    model.connect("L1", "n", "C1", "p")
+    model.connect("L1", "n", "L2", "p")
+    model.connect("L2", "n", "C2", "p")
+    model.connect("L2", "n", "R1", "p")
+    # Monitored MCU rail.
+    model.connect("L2", "n", "CS1", "p")
+    model.connect("CS1", "n", "MC1", "p")
+    model.connect("VS1", "p", "CS1", "n")
+    model.connect("VS1", "n", "GND1", "p")
+    # ORing-diode auxiliary rail.
+    model.connect("L2", "n", "D2", "p")
+    model.connect("D2", "n", "CS2", "p")
+    model.connect("D2", "n", "C3", "p")
+    model.connect("CS2", "n", "LD1", "p")
+    model.connect("CS2", "n", "R2", "p")
+    # Returns.
+    model.connect("MC1", "n", "GND1", "p")
+    model.connect("LD1", "n", "GND1", "p")
+    model.connect("C1", "n", "GND1", "p")
+    model.connect("C2", "n", "GND1", "p")
+    model.connect("C3", "n", "GND1", "p")
+    model.connect("R0", "n", "GND1", "p")
+    model.connect("R1", "n", "GND1", "p")
+    model.connect("R2", "n", "GND1", "p")
+    model.connect("DC1", "n", "GND1", "p")
+    model.connect("S1", "p", "GND1", "p")
+    model.connect("CS1", "I", "Scope1", "in")
+    model.connect("CS1", "I", "Out1", "in")
+    return model
+
+
+def build_system_b_simulink(
+    name: str = "system_b", rails: int = SYSTEM_B_RAILS
+) -> SimulinkModel:
+    """System B: the AUV main control unit's power-distribution network.
+
+    Two battery feeds (``DC1``/``DC2``) are ORed onto a bus through
+    protection diodes behind fuses; the bus current is monitored by
+    ``CS0``.  Each of the ``rails`` distribution rails is independently
+    switched, fused, LC-filtered (inductor + ferrite-bead resistor +
+    decoupling capacitor), monitored by its own current sensor and bled by
+    a high-value resistor.  The first two rails feed the redundant CPU
+    boards (MCU subsystems); the rest feed payload loads.
+    """
+    if rails < 1:
+        raise ValueError(f"System B needs at least one rail (got {rails})")
+    model = SimulinkModel(name)
+    model.add_block("DC1", "DCVoltageSource", voltage=24.0)
+    model.add_block("DC2", "DCVoltageSource", voltage=24.0)
+    model.add_block("F0A", "Fuse", rated_current=10.0, resistance=2e-3)
+    model.add_block("F0B", "Fuse", rated_current=10.0, resistance=2e-3)
+    model.add_block("D0A", "Diode")
+    model.add_block("D0B", "Diode")
+    model.add_block("CS0", "CurrentSensor")
+    model.add_block("GND1", "Ground")
+    model.add_block("S1", "SolverConfiguration")
+    model.add_block("Scope1", "Scope")
+    model.add_block("Out1", "Outport")
+
+    # Feed A: DC1 -> F0A -> D0A -> CS0 -> bus;  feed B ORs in via D0B.
+    model.connect("DC1", "p", "F0A", "p")
+    model.connect("F0A", "n", "D0A", "p")
+    model.connect("DC2", "p", "F0B", "p")
+    model.connect("F0B", "n", "D0B", "p")
+    model.connect("D0A", "n", "CS0", "p")
+    model.connect("D0B", "n", "CS0", "p")
+    model.connect("DC1", "n", "GND1", "p")
+    model.connect("DC2", "n", "GND1", "p")
+    model.connect("S1", "p", "GND1", "p")
+    model.connect("CS0", "I", "Scope1", "in")
+    model.connect("CS0", "I", "Out1", "in")
+
+    for i in range(1, rails + 1):
+        sw, fu, ind = f"SW{i}", f"F{i}", f"L{i}"
+        fb, cap, cs = f"RF{i}", f"C{i}", f"CS{i}"
+        bleed = f"RB{i}"
+        model.add_block(sw, "Switch")
+        model.add_block(fu, "Fuse", rated_current=3.0, resistance=5e-3)
+        model.add_block(ind, "Inductor", inductance=2.2e-3,
+                        series_resistance=0.08)
+        model.add_block(fb, "Resistor", resistance=0.12)
+        model.add_block(cap, "Capacitor", capacitance=47e-6)
+        model.add_block(cs, "CurrentSensor")
+        model.add_block(bleed, "Resistor", resistance=47e3)
+        if i <= 2:
+            load = f"MC{i}"
+            model.add_block(
+                load,
+                "Subsystem",
+                annotated_type="MCU",
+                load_resistance=120.0,
+                standby_resistance=15000.0,
+            )
+        else:
+            load = f"LD{i}"
+            model.add_block(load, "Load", resistance=180.0 + 20.0 * i)
+
+        # bus -> SW -> F -> L -> RF -> CS -> load -> gnd, with the
+        # decoupling capacitor after the filter and the bleed at the load.
+        model.connect("CS0", "n", sw, "p")
+        model.connect(sw, "n", fu, "p")
+        model.connect(fu, "n", ind, "p")
+        model.connect(ind, "n", fb, "p")
+        model.connect(fb, "n", cap, "p")
+        model.connect(fb, "n", cs, "p")
+        model.connect(cs, "n", load, "p")
+        model.connect(cs, "n", bleed, "p")
+        model.connect(load, "n", "GND1", "p")
+        model.connect(cap, "n", "GND1", "p")
+        model.connect(bleed, "n", "GND1", "p")
+    return model

@@ -27,7 +27,12 @@ from repro.circuit.netlist import (
     VoltageSource,
     GROUND,
 )
-from repro.circuit.mna import DCSolution, dc_operating_point
+from repro.circuit.mna import (
+    CompiledSystem,
+    DCSolution,
+    SolveStats,
+    dc_operating_point,
+)
 from repro.circuit.transient import TransientResult, transient
 from repro.circuit.ac import ACSolution, ac_analysis, frequency_response
 
@@ -46,6 +51,8 @@ __all__ = [
     "GROUND",
     "DCSolution",
     "dc_operating_point",
+    "CompiledSystem",
+    "SolveStats",
     "TransientResult",
     "transient",
     "ACSolution",

@@ -7,6 +7,18 @@ Nonlinear diodes are solved by damped Newton iteration with pn-junction
 voltage limiting.  A small ``gmin`` conductance from every node to ground
 keeps matrices regular when fault injection leaves nodes floating (an *open*
 failure must still produce a solution: the sensors simply read ~0).
+
+Two performance layers sit on top of the plain solver:
+
+- :class:`_System` caches the *constant* part of the assembly (all linear
+  stamps plus the independent-source RHS), so Newton iteration only
+  re-stamps the diode companion models on a copy of the cached matrix;
+- :class:`CompiledSystem` additionally caches the LU factorization of the
+  constant matrix and solves single-element replacements (the fault
+  injection workload) through low-rank Sherman–Morrison–Woodbury updates of
+  that factorization, with an exact fallback to full re-assembly whenever a
+  replacement changes the system topology (new or removed branch unknowns,
+  orphaned nodes) or the update turns out numerically unstable.
 """
 
 from __future__ import annotations
@@ -16,6 +28,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
+from scipy.linalg import lu_factor as _lu_factor, lu_solve as _lu_solve
 
 from repro.circuit.netlist import (
     Ammeter,
@@ -39,6 +52,23 @@ _MAX_NEWTON_ITERATIONS = 200
 _NEWTON_TOLERANCE = 1e-9
 _DEFAULT_GMIN = 1e-12
 _MAX_DIODE_STEP = 0.5  # volts per Newton step, for convergence
+
+#: How many times a singular solve may retry with a stronger gmin.
+_MAX_GMIN_RETRIES = 2
+
+#: Relative residual above which a Woodbury-updated solution is rejected
+#: (the caller then falls back to full assembly — exactness over speed).
+_SMW_RESIDUAL_TOL = 1e-8
+
+#: Iterative-refinement passes after a Woodbury solve.  Large companion
+#: conductances mid-Newton cancel digits in the low-rank correction; each
+#: pass costs O(n²) and recovers them.
+_MAX_SMW_REFINEMENTS = 3
+
+#: The dual of gmin: an *open* branch element (inductor) keeps its row but
+#: its series resistance grows to this, forcing the branch current to the
+#: same ~1e-12-conductance floor gmin imposes on floating nodes.
+_OPEN_RESISTANCE = 1e12
 
 
 def _is_ground(node: str) -> bool:
@@ -76,7 +106,12 @@ class DCSolution:
 
 
 class _System:
-    """Index assignment and matrix assembly for one netlist."""
+    """Index assignment and matrix assembly for one netlist.
+
+    The linear stamps (everything except the diode companion models) are
+    assembled once and cached; :meth:`assemble` applies the per-iteration
+    diode deltas to a copy.
+    """
 
     def __init__(self, netlist: Netlist, gmin: float) -> None:
         self.netlist = netlist
@@ -98,6 +133,7 @@ class _System:
         self.diodes: List[Diode] = [
             e for e in netlist.elements() if isinstance(e, Diode)
         ]
+        self._constant: Optional[Tuple[np.ndarray, np.ndarray]] = None
 
     def _idx(self, node: str) -> Optional[int]:
         if _is_ground(node):
@@ -126,9 +162,14 @@ class _System:
         if j is not None:
             rhs[j] += current
 
-    def assemble(
-        self, diode_voltages: Dict[str, float]
-    ) -> Tuple[np.ndarray, np.ndarray]:
+    def assemble_constant(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The linear stamps and RHS — everything except the diodes.
+
+        Built once per system and cached; callers must not mutate the
+        returned arrays (take a copy, as :meth:`assemble` does).
+        """
+        if self._constant is not None:
+            return self._constant
         matrix = np.zeros((self.size, self.size))
         rhs = np.zeros(self.size)
 
@@ -155,15 +196,7 @@ class _System:
             elif isinstance(element, Capacitor):
                 continue  # open at DC
             elif isinstance(element, Diode):
-                g, ieq = self._diode_companion(
-                    element, diode_voltages.get(element.name, 0.6)
-                )
-                self._stamp_conductance(
-                    matrix, element.node_pos, element.node_neg, g
-                )
-                self._stamp_current(
-                    rhs, element.node_pos, element.node_neg, ieq
-                )
+                continue  # nonlinear: stamped per Newton iteration
             elif isinstance(element, (VoltageSource, Ammeter, Inductor)):
                 k = self.branch_index[element.name]
                 i, j = self._idx(element.node_pos), self._idx(element.node_neg)
@@ -182,6 +215,21 @@ class _System:
                 raise CircuitError(
                     f"unsupported element type {type(element).__name__}"
                 )
+        self._constant = (matrix, rhs)
+        return self._constant
+
+    def assemble(
+        self, diode_voltages: Dict[str, float]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        base_matrix, base_rhs = self.assemble_constant()
+        matrix = base_matrix.copy()
+        rhs = base_rhs.copy()
+        for diode in self.diodes:
+            g, ieq = self._diode_companion(
+                diode, diode_voltages.get(diode.name, 0.6)
+            )
+            self._stamp_conductance(matrix, diode.node_pos, diode.node_neg, g)
+            self._stamp_current(rhs, diode.node_pos, diode.node_neg, ieq)
         return matrix, rhs
 
     @staticmethod
@@ -205,14 +253,29 @@ class _System:
 
         return node_voltage(diode.node_pos) - node_voltage(diode.node_neg)
 
+    def to_solution(self, vector: np.ndarray, iterations: int) -> DCSolution:
+        node_voltages = {
+            node: float(vector[idx]) for node, idx in self.node_index.items()
+        }
+        branch_currents = {
+            element.name: float(vector[self.branch_index[element.name]])
+            for element in self.branch_elements
+        }
+        return DCSolution(node_voltages, branch_currents, iterations)
+
 
 def dc_operating_point(
-    netlist: Netlist, gmin: float = _DEFAULT_GMIN
+    netlist: Netlist,
+    gmin: float = _DEFAULT_GMIN,
+    _retries_left: int = _MAX_GMIN_RETRIES,
 ) -> DCSolution:
     """Solve the DC operating point of ``netlist``.
 
     Raises :class:`CircuitError` if Newton iteration fails to converge or the
-    system matrix is singular even with ``gmin``.
+    system matrix is singular even after retrying with a stronger ``gmin``
+    (each retry multiplies the caller's ``gmin`` by 1e3, floored at 1e-9, so
+    a large caller-supplied value is never silently weakened; the retry
+    depth is capped).
     """
     if len(netlist) == 0:
         raise CircuitError("cannot solve an empty netlist")
@@ -228,9 +291,12 @@ def dc_operating_point(
         try:
             new_solution = np.linalg.solve(matrix, rhs)
         except np.linalg.LinAlgError:
-            # Retry once with a stronger gmin before giving up.
-            if gmin < 1e-9:
-                return dc_operating_point(netlist, gmin=1e-9)
+            # Retry (a bounded number of times) with a stronger gmin.
+            stronger = max(gmin * 1e3, 1e-9)
+            if _retries_left > 0 and stronger > gmin:
+                return dc_operating_point(
+                    netlist, gmin=stronger, _retries_left=_retries_left - 1
+                )
             raise CircuitError(
                 f"singular MNA matrix for netlist {netlist.name!r}"
             ) from None
@@ -256,11 +322,632 @@ def dc_operating_point(
             f"Newton iteration did not converge for netlist {netlist.name!r}"
         )
 
-    node_voltages = {
-        node: float(solution[idx]) for node, idx in system.node_index.items()
-    }
-    branch_currents = {
-        element.name: float(solution[system.branch_index[element.name]])
-        for element in system.branch_elements
-    }
-    return DCSolution(node_voltages, branch_currents, iterations)
+    return system.to_solution(solution, iterations)
+
+
+# ---------------------------------------------------------------------------
+# Compiled systems: factorization reuse + low-rank fault updates
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SolveStats:
+    """Counters a :class:`CompiledSystem` keeps about its solve mix."""
+
+    solves: int = 0  # DC solutions produced
+    newton_iterations: int = 0
+    factorization_reuses: int = 0  # linear solves against the cached LU
+    smw_solves: int = 0  # solutions via Sherman–Morrison–Woodbury updates
+    full_rebuilds: int = 0  # fault solves that fell back to full assembly
+    baseline_reuses: int = 0  # faults electrically identical to the baseline
+
+    def merge(self, other: "SolveStats") -> None:
+        self.solves += other.solves
+        self.newton_iterations += other.newton_iterations
+        self.factorization_reuses += other.factorization_reuses
+        self.smw_solves += other.smw_solves
+        self.full_rebuilds += other.full_rebuilds
+        self.baseline_reuses += other.baseline_reuses
+
+
+class _SmwFallback(Exception):
+    """Internal: the low-rank path declined; use full assembly instead."""
+
+
+def _solve_small(matrix: List[List[float]], rhs: List[float]) -> List[float]:
+    """Gaussian elimination with partial pivoting, destructive, for the
+    tiny Woodbury capacitance systems.  Pivoting matters: the diagonal
+    mixes ``1/g`` terms spanning many orders of magnitude, so closed-form
+    (Cramer) solutions lose enough digits to trip the residual check.
+    Raises :class:`_SmwFallback` on a zero or non-finite pivot."""
+    k = len(rhs)
+    for col in range(k):
+        piv = col
+        best = abs(matrix[col][col])
+        for row in range(col + 1, k):
+            magnitude = abs(matrix[row][col])
+            if magnitude > best:
+                best = magnitude
+                piv = row
+        pivot = matrix[piv][col]
+        if pivot == 0.0 or not math.isfinite(pivot):
+            raise _SmwFallback
+        if piv != col:
+            matrix[col], matrix[piv] = matrix[piv], matrix[col]
+            rhs[col], rhs[piv] = rhs[piv], rhs[col]
+        top = matrix[col]
+        for row in range(col + 1, k):
+            factor = matrix[row][col] / pivot
+            if factor != 0.0:
+                line = matrix[row]
+                for c in range(col + 1, k):
+                    line[c] -= factor * top[c]
+                rhs[row] -= factor * rhs[col]
+    for col in range(k - 1, -1, -1):
+        accumulated = rhs[col]
+        line = matrix[col]
+        for c in range(col + 1, k):
+            accumulated -= line[c] * rhs[c]
+        rhs[col] = accumulated / line[col]
+    return rhs
+
+
+@dataclass(frozen=True)
+class _UpdatePlan:
+    """A fault expressed against the baseline system.
+
+    ``conductance`` carries ``(node_pos, node_neg, delta_g)`` rank-one
+    terms; ``rhs_current`` carries ``(node_from, node_to, delta_current)``
+    independent-source changes; ``rhs_branch`` carries ``(branch_row,
+    delta_voltage)`` source-value changes; ``branch_diag`` carries
+    ``(branch_row, delta)`` diagonal updates (an inductor's series
+    resistance changing).  ``diodes`` is the effective nonlinear set for
+    the faulty circuit and ``removed`` names the element an *open* failure
+    deleted (if any).
+    """
+
+    conductance: Tuple[Tuple[str, str, float], ...] = ()
+    rhs_current: Tuple[Tuple[str, str, float], ...] = ()
+    rhs_branch: Tuple[Tuple[int, float], ...] = ()
+    branch_diag: Tuple[Tuple[int, float], ...] = ()
+    diodes: Tuple[Diode, ...] = ()
+    removed: Optional[str] = None
+
+
+def _static_conductance(element: Element) -> Optional[float]:
+    """The constant-matrix conductance of ``element`` (None: not that kind)."""
+    if isinstance(element, Resistor):
+        return 1.0 / element.resistance
+    if isinstance(element, Switch):
+        return 1.0 / (
+            element.on_resistance if element.closed else element.off_resistance
+        )
+    if isinstance(element, Capacitor):
+        return 0.0  # open at DC
+    return None
+
+
+class CompiledSystem:
+    """A netlist compiled for repeated solves under single-element faults.
+
+    The constant MNA matrix is assembled and LU-factored once.  The healthy
+    operating point and any fault expressible as a same-node element
+    replacement (shorts, resistive degradations, parameter drifts, opens
+    that leave no node orphaned) are then solved through low-rank
+    Sherman–Morrison–Woodbury updates of that factorization — O(n²) per
+    solve instead of O(n³) — with diode companion models folded into the
+    update as additional rank-one terms per Newton iteration.
+
+    Whenever a fault changes the system topology (removing or retyping a
+    branch element, orphaning a node) or an updated solve fails its residual
+    check, :meth:`solve_replacement` falls back to exact full assembly via
+    :func:`dc_operating_point`, so results never depend on the fast path
+    being applicable.
+    """
+
+    def __init__(self, netlist: Netlist, gmin: float = _DEFAULT_GMIN) -> None:
+        if len(netlist) == 0:
+            raise CircuitError("cannot solve an empty netlist")
+        self.netlist = netlist
+        self.gmin = gmin
+        self._system = _System(netlist, gmin)
+        if self._system.size == 0:
+            raise CircuitError("netlist has no unknowns (everything grounded?)")
+        self.stats = SolveStats()
+        self._lu = None
+        self._lu_failed = False
+        self._baseline: Optional[DCSolution] = None
+        self._warm_vd: Optional[Dict[str, float]] = None
+        #: A0^{-1} u for update directions, keyed by (pos index, neg index).
+        self._column_cache: Dict[Tuple[int, int], np.ndarray] = {}
+        self._node_refs: Dict[str, int] = {}
+        #: Per node, how many connections hold it at a definite potential:
+        #: branch elements (extra KVL row) or static conductances > 0.
+        #: Diodes at cutoff and capacitors (open at DC) do not count.
+        self._stiff_refs: Dict[str, int] = {}
+        for element in netlist.elements():
+            if isinstance(element, (VoltageSource, Ammeter, Inductor)):
+                stiff = True
+            else:
+                static = _static_conductance(element)
+                stiff = static is not None and static > 0.0
+            for node in element.nodes:
+                if not _is_ground(node):
+                    self._node_refs[node] = self._node_refs.get(node, 0) + 1
+                    if stiff:
+                        self._stiff_refs[node] = (
+                            self._stiff_refs.get(node, 0) + 1
+                        )
+
+    # -- public API -------------------------------------------------------
+
+    def solve(self) -> DCSolution:
+        """The healthy (baseline) operating point, computed once and cached."""
+        if self._baseline is None:
+            try:
+                self._baseline = self._solve_incremental(
+                    _UpdatePlan(diodes=tuple(self._system.diodes))
+                )
+            except _SmwFallback:
+                self.stats.full_rebuilds += 1
+                self._baseline = dc_operating_point(self.netlist, self.gmin)
+                self.stats.solves += 1
+        return self._baseline
+
+    def solve_replacement(
+        self, name: str, replacement: Optional[Element]
+    ) -> DCSolution:
+        """Operating point with element ``name`` replaced (``None``: removed).
+
+        Solves through the cached factorization when the replacement only
+        re-weights existing stamps; falls back to exact full re-assembly for
+        topology-changing faults.
+        """
+        plan = self._plan_update(name, replacement)
+        if plan is not None:
+            if self._is_baseline_plan(plan):
+                solution = self.solve()
+                self.stats.baseline_reuses += 1
+                return solution
+            try:
+                return self._solve_incremental(plan)
+            except _SmwFallback:
+                pass
+        self.stats.full_rebuilds += 1
+        if replacement is None:
+            fault = self.netlist.without(name)
+        else:
+            fault = self.netlist.with_replacement(name, replacement)
+        solution = dc_operating_point(fault, self.gmin)
+        self.stats.solves += 1
+        return solution
+
+    # -- update planning --------------------------------------------------
+
+    def _is_baseline_plan(self, plan: _UpdatePlan) -> bool:
+        return (
+            not plan.conductance
+            and not plan.rhs_current
+            and not plan.rhs_branch
+            and not plan.branch_diag
+            and list(plan.diodes) == list(self._system.diodes)
+        )
+
+    def _plan_update(
+        self, name: str, replacement: Optional[Element]
+    ) -> Optional[_UpdatePlan]:
+        """Express the fault as a low-rank update, or ``None`` if it changes
+        the topology (the caller then re-assembles from scratch)."""
+        original = self.netlist.element(name)
+        system = self._system
+
+        # Branch elements own an extra unknown: only value tweaks that keep
+        # the exact same stamps stay low-rank — a source voltage change, or
+        # an inductor's series resistance moving (its branch row reads
+        # ``v_p - v_n - R i = 0``, so *short* re-weights R to the failed
+        # resistance and *open* grows R to ``_OPEN_RESISTANCE``, pinching
+        # the branch current off at the gmin floor instead of re-shaping
+        # the unknown vector).
+        if isinstance(original, (VoltageSource, Ammeter, Inductor)):
+            if (
+                isinstance(original, VoltageSource)
+                and isinstance(replacement, VoltageSource)
+                and replacement.nodes == original.nodes
+            ):
+                row = system.branch_index[name]
+                delta = replacement.voltage - original.voltage
+                return _UpdatePlan(
+                    rhs_branch=((row, delta),) if delta != 0.0 else (),
+                    diodes=tuple(system.diodes),
+                )
+            if isinstance(original, Inductor):
+                if replacement is None:
+                    new_resistance = _OPEN_RESISTANCE
+                elif (
+                    isinstance(replacement, Resistor)
+                    and set(replacement.nodes) == set(original.nodes)
+                ):
+                    new_resistance = replacement.resistance
+                else:
+                    return None
+                row = system.branch_index[name]
+                delta = original.series_resistance - new_resistance
+                return _UpdatePlan(
+                    branch_diag=((row, delta),) if delta != 0.0 else (),
+                    diodes=tuple(system.diodes),
+                )
+            return None
+
+        if replacement is None:
+            # Removal must not orphan a node: the naive path would drop it
+            # from the unknown vector, changing the system layout.  Nor may
+            # it leave an endpoint held only by gmin (remaining connections
+            # all diodes/capacitors) — the Woodbury capacitance matrix then
+            # cancels ~12 digits against the 1e12-stiff baseline inverse,
+            # while the naive path computes the near-floating node directly.
+            old_g = _static_conductance(original)
+            removes_stiffness = old_g is not None and old_g > 0.0
+            for node in original.nodes:
+                if not _is_ground(node):
+                    if self._node_refs.get(node, 0) <= 1:
+                        return None
+                    if (
+                        removes_stiffness
+                        and self._stiff_refs.get(node, 0) <= 1
+                    ):
+                        return None
+        elif set(replacement.nodes) != set(original.nodes):
+            return None  # rewired: stamps touch different unknowns
+
+        conductance: List[Tuple[str, str, float]] = []
+        rhs_current: List[Tuple[str, str, float]] = []
+        diodes = list(system.diodes)
+
+        # Remove the original element's contribution.
+        if isinstance(original, Diode):
+            diodes = [d for d in diodes if d.name != name]
+        elif isinstance(original, CurrentSource):
+            if original.current != 0.0:
+                rhs_current.append(
+                    (original.node_pos, original.node_neg, -original.current)
+                )
+        else:
+            old_g = _static_conductance(original)
+            if old_g is None:
+                return None
+            if old_g != 0.0:
+                conductance.append(
+                    (original.node_pos, original.node_neg, -old_g)
+                )
+
+        # Add the replacement's contribution.
+        if replacement is None:
+            pass
+        elif isinstance(replacement, Diode):
+            diodes.append(replacement)
+        elif isinstance(replacement, CurrentSource):
+            if replacement.current != 0.0:
+                rhs_current.append(
+                    (replacement.node_pos, replacement.node_neg,
+                     replacement.current)
+                )
+        else:
+            new_g = _static_conductance(replacement)
+            if new_g is None:
+                return None
+            if new_g != 0.0:
+                conductance.append(
+                    (replacement.node_pos, replacement.node_neg, new_g)
+                )
+
+        if len(conductance) > 1:
+            # Net out contributions on the same node pair at plan time, so
+            # an equal-valued replacement degenerates to the baseline plan
+            # (sign of the direction is irrelevant: g·uuᵀ == g·(−u)(−u)ᵀ).
+            merged: Dict[Tuple[int, int], List[object]] = {}
+            for n_pos, n_neg, delta_g in conductance:
+                i, j = self._direction(n_pos, n_neg)
+                key = (i, j) if i <= j else (j, i)
+                entry = merged.get(key)
+                if entry is None:
+                    merged[key] = [n_pos, n_neg, delta_g]
+                else:
+                    entry[2] += delta_g
+            conductance = [
+                (n_pos, n_neg, delta_g)
+                for n_pos, n_neg, delta_g in merged.values()
+                if delta_g != 0.0
+            ]
+
+        return _UpdatePlan(
+            conductance=tuple(conductance),
+            rhs_current=tuple(rhs_current),
+            diodes=tuple(diodes),
+            removed=name if replacement is None else None,
+        )
+
+    # -- the incremental solver -------------------------------------------
+
+    def _ensure_lu(self):
+        if self._lu_failed:
+            raise _SmwFallback
+        if self._lu is None:
+            matrix, _ = self._system.assemble_constant()
+            try:
+                with np.errstate(all="ignore"):
+                    self._lu = _lu_factor(matrix, check_finite=False)
+            except Exception:
+                self._lu_failed = True
+                raise _SmwFallback from None
+        return self._lu
+
+    def _direction(self, n_pos: str, n_neg: str) -> Tuple[int, int]:
+        """Index pair of an update direction u = e_i - e_j (-1: ground)."""
+        i = self._system._idx(n_pos)
+        j = self._system._idx(n_neg)
+        return (-1 if i is None else i, -1 if j is None else j)
+
+    def _unit_vector(self, pair: Tuple[int, int]) -> np.ndarray:
+        u = np.zeros(self._system.size)
+        if pair[0] >= 0:
+            u[pair[0]] += 1.0
+        if pair[1] >= 0:
+            u[pair[1]] -= 1.0
+        return u
+
+    def _solved_column(self, pair: Tuple[int, int]) -> np.ndarray:
+        """Cached A0^{-1} u for an update direction."""
+        column = self._column_cache.get(pair)
+        if column is None:
+            with np.errstate(all="ignore"):
+                column = _lu_solve(self._ensure_lu(), self._unit_vector(pair),
+                                   check_finite=False)
+            self.stats.factorization_reuses += 1
+            self._column_cache[pair] = column
+        return column
+
+    def _woodbury(
+        self,
+        pairs: List[Tuple[int, int]],
+        gains: List[float],
+        rhs: np.ndarray,
+        y: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Solve (A0 + sum g_k u_k u_k^T) x = rhs against the cached LU.
+
+        ``y`` short-circuits the base solve when the caller already knows
+        ``A0^{-1} rhs`` (the Newton loop derives it from cached columns).
+        """
+        if y is None:
+            with np.errstate(all="ignore"):
+                y = _lu_solve(self._ensure_lu(), rhs, check_finite=False)
+            self.stats.factorization_reuses += 1
+        if not pairs:
+            return y
+        k = len(pairs)
+        columns = [self._solved_column(pair) for pair in pairs]
+
+        def dot_u(pair: Tuple[int, int], vector: np.ndarray) -> float:
+            value = 0.0
+            if pair[0] >= 0:
+                value += vector[pair[0]]
+            if pair[1] >= 0:
+                value -= vector[pair[1]]
+            return value
+
+        small_rhs = [dot_u(pair, y) for pair in pairs]
+        # np.linalg.solve carries setup overhead dwarfing the O(k³) work at
+        # the rank counts seen here; solve small systems with a pure-Python
+        # partial-pivoted elimination and keep LAPACK for larger updates.
+        if k <= 6:
+            capacitance_rows = [
+                [dot_u(pair, columns[b]) for b in range(k)] for pair in pairs
+            ]
+            for a in range(k):
+                capacitance_rows[a][a] += 1.0 / gains[a]
+            weights = _solve_small(capacitance_rows, small_rhs)
+        else:
+            capacitance = np.empty((k, k))
+            for a, pair in enumerate(pairs):
+                for b in range(k):
+                    capacitance[a, b] = dot_u(pair, columns[b])
+                capacitance[a, a] += 1.0 / gains[a]
+            try:
+                with np.errstate(all="ignore"):
+                    weights = np.linalg.solve(capacitance, np.array(small_rhs))
+            except np.linalg.LinAlgError:
+                raise _SmwFallback from None
+        x = y.copy()
+        for column, weight in zip(columns, weights):
+            x -= weight * column
+        return x
+
+    def _warm_diode_voltages(self) -> Dict[str, float]:
+        """Converged diode biases of the baseline, for Newton warm starts.
+
+        Diode operating points barely move under most single faults; since
+        Newton converges quadratically to the circuit's unique operating
+        point, starting at the baseline bias instead of the generic 0.6 V
+        reaches the same answer (to well under the convergence tolerance) in
+        a fraction of the iterations.
+        """
+        if self._warm_vd is None:
+            if self._baseline is None:
+                return {}
+            warm: Dict[str, float] = {}
+            for diode in self._system.diodes:
+                try:
+                    warm[diode.name] = self._baseline.voltage_across(
+                        diode.node_pos, diode.node_neg
+                    )
+                except CircuitError:
+                    warm[diode.name] = 0.6
+            self._warm_vd = warm
+        return self._warm_vd
+
+    def _solve_incremental(self, plan: _UpdatePlan) -> DCSolution:
+        system = self._system
+        self._ensure_lu()
+        base_matrix, base_rhs = system.assemble_constant()
+
+        rhs_static = base_rhs.copy()
+        for n_from, n_to, delta_i in plan.rhs_current:
+            system._stamp_current(rhs_static, n_from, n_to, delta_i)
+        for row, delta_v in plan.rhs_branch:
+            rhs_static[row] += delta_v
+
+        # Unique update directions; updates sharing a direction merge (a
+        # switch replaced by an equal-conductance short cancels exactly) so
+        # the capacitance matrix stays small and well-conditioned.  The
+        # static contributions accumulate once; diode companion gains are
+        # added into their slots every Newton iteration.
+        slot_of: Dict[Tuple[int, int], int] = {}
+        directions: List[Tuple[int, int]] = []
+        static_net: List[float] = []
+
+        def slot(pair: Tuple[int, int]) -> int:
+            index = slot_of.get(pair)
+            if index is None:
+                index = len(directions)
+                slot_of[pair] = index
+                directions.append(pair)
+                static_net.append(0.0)
+            return index
+
+        for n_pos, n_neg, delta_g in plan.conductance:
+            static_net[slot(self._direction(n_pos, n_neg))] += delta_g
+        for row, delta in plan.branch_diag:
+            static_net[slot((row, -1))] += delta
+
+        diodes = list(plan.diodes)
+        diode_slots = [
+            slot(self._direction(d.node_pos, d.node_neg)) for d in diodes
+        ]
+        diode_columns = [self._solved_column(directions[i]) for i in diode_slots]
+        warm = self._warm_diode_voltages()
+        diode_voltages = {d.name: warm.get(d.name, 0.6) for d in diodes}
+
+        # One cached-LU solve of the static RHS serves every Newton
+        # iteration: stamping a diode's equivalent current adds -ieq * u to
+        # the RHS, so A0^{-1} rhs is y_static - ieq * (A0^{-1} u), and the
+        # A0^{-1} u columns are already cached per direction.
+        with np.errstate(all="ignore"):
+            y_static = _lu_solve(self._ensure_lu(), rhs_static,
+                                 check_finite=False)
+        self.stats.factorization_reuses += 1
+
+        solution_vector: Optional[np.ndarray] = None
+        iterations = 0
+        smw_used = False
+        for iterations in range(1, _MAX_NEWTON_ITERATIONS + 1):
+            all_gains = list(static_net)
+            if diodes:
+                rhs = rhs_static.copy()
+                y = y_static.copy()
+                for diode, index, column in zip(
+                    diodes, diode_slots, diode_columns
+                ):
+                    g, ieq = _System._diode_companion(
+                        diode, diode_voltages[diode.name]
+                    )
+                    all_gains[index] += g
+                    system._stamp_current(
+                        rhs, diode.node_pos, diode.node_neg, ieq
+                    )
+                    y -= ieq * column
+            else:
+                rhs = rhs_static
+                y = y_static
+            pairs = [
+                p for p, g in zip(directions, all_gains) if abs(g) >= 1e-18
+            ]
+            gains = [g for g in all_gains if abs(g) >= 1e-18]
+            vector = self._refined_solve(base_matrix, pairs, gains, rhs, y)
+            smw_used = smw_used or bool(pairs)
+            if not diodes:
+                solution_vector = vector
+                break
+            converged = True
+            for diode in diodes:
+                old_vd = diode_voltages[diode.name]
+                new_vd = system.diode_voltage(vector, diode)
+                step = new_vd - old_vd
+                if abs(step) > _MAX_DIODE_STEP:
+                    new_vd = old_vd + math.copysign(_MAX_DIODE_STEP, step)
+                    converged = False
+                elif abs(step) > _NEWTON_TOLERANCE:
+                    converged = False
+                diode_voltages[diode.name] = new_vd
+            solution_vector = vector
+            if converged:
+                break
+        else:
+            # The full path would not converge either, but let it make that
+            # call (and raise its canonical error) itself.
+            raise _SmwFallback
+
+        self.stats.solves += 1
+        self.stats.newton_iterations += iterations
+        if smw_used:
+            self.stats.smw_solves += 1
+        return system.to_solution(solution_vector, iterations)
+
+    def _residual(
+        self,
+        base_matrix: np.ndarray,
+        pairs: List[Tuple[int, int]],
+        gains: List[float],
+        vector: np.ndarray,
+        rhs: np.ndarray,
+    ) -> np.ndarray:
+        """rhs - (A0 + sum g_k u_k u_k^T) @ vector, in O(n²)."""
+        residual = rhs - base_matrix @ vector
+        for pair, gain in zip(pairs, gains):
+            projected = 0.0
+            if pair[0] >= 0:
+                projected += vector[pair[0]]
+            if pair[1] >= 0:
+                projected -= vector[pair[1]]
+            term = gain * projected
+            if pair[0] >= 0:
+                residual[pair[0]] -= term
+            if pair[1] >= 0:
+                residual[pair[1]] += term
+        return residual
+
+    def _refined_solve(
+        self,
+        base_matrix: np.ndarray,
+        pairs: List[Tuple[int, int]],
+        gains: List[float],
+        rhs: np.ndarray,
+        y: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Woodbury solve, iteratively refined and residual-checked.
+
+        Large update gains (a diode companion mid-Newton can reach ~1e8)
+        make the raw low-rank correction cancel up to ~11 digits.  Each
+        refinement pass re-solves for the residual through the same cached
+        factorization — O(n²) — and shrinks the error by the same
+        cancellation factor, so a couple of passes restore near-machine
+        accuracy without ever re-factorizing.  If the error still exceeds
+        ``_SMW_RESIDUAL_TOL`` after refinement, the update direction is
+        numerically hostile and the solve falls back to full assembly.
+        """
+        vector = self._woodbury(pairs, gains, rhs, y)
+        scale = 1.0 + float(np.max(np.abs(rhs)))
+        target = 1e-12 * scale
+        error = math.inf
+        for attempt in range(_MAX_SMW_REFINEMENTS + 1):
+            if not np.all(np.isfinite(vector)):
+                raise _SmwFallback
+            residual = self._residual(base_matrix, pairs, gains, vector, rhs)
+            error = float(np.max(np.abs(residual)))
+            if not math.isfinite(error):
+                raise _SmwFallback
+            if error <= target or attempt == _MAX_SMW_REFINEMENTS:
+                break
+            vector = vector + self._woodbury(pairs, gains, residual)
+        if error > _SMW_RESIDUAL_TOL * scale:
+            raise _SmwFallback
+        return vector

@@ -2,6 +2,10 @@
 
 - :mod:`repro.safety.fmea` — FMEA data model and the injection-based
   analyzer for Simulink models (DECISIVE Step 4a, Section IV-D1);
+- :mod:`repro.safety.campaign` — the batched fault-injection campaign
+  engine behind :func:`run_simulink_fmea`: baseline solved once, jobs
+  enumerated up front, incremental (factorization-reusing) solves, optional
+  process-pool fan-out, per-campaign timing statistics;
 - :mod:`repro.safety.graph_analysis` — Algorithm 1: graph-based single-point
   failure determination for SSAM models (Section IV-D2);
 - :mod:`repro.safety.fmeda` — FMEDA: safety-mechanism-aware diagnostic
@@ -22,6 +26,11 @@ from repro.safety.fmea import (
     FmeaResult,
     FmeaRow,
     run_simulink_fmea,
+)
+from repro.safety.campaign import (
+    CampaignStats,
+    FaultInjectionCampaign,
+    InjectionJob,
 )
 from repro.safety.graph_analysis import run_ssam_fmea
 from repro.safety.fmeda import FmedaResult, FmedaRow, run_fmeda
@@ -76,6 +85,9 @@ __all__ = [
     "FmeaError",
     "run_simulink_fmea",
     "run_ssam_fmea",
+    "FaultInjectionCampaign",
+    "InjectionJob",
+    "CampaignStats",
     "FmedaRow",
     "FmedaResult",
     "run_fmeda",

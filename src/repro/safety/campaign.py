@@ -1,0 +1,477 @@
+"""Batched fault-injection campaign engine (DECISIVE Step 4a at scale).
+
+:func:`repro.safety.fmea.run_simulink_fmea` used to rebuild and re-solve
+the full MNA system from scratch for every (component, failure mode) pair.
+This module turns that loop into a campaign:
+
+1. the model is flattened and the healthy baseline solved **once**;
+2. every injection is enumerated up front as an :class:`InjectionJob`;
+3. jobs execute against a single :class:`~repro.circuit.CompiledSystem`
+   (cached LU factorization + Sherman–Morrison–Woodbury low-rank updates,
+   with exact full-assembly fallback), either serially or fanned out over a
+   process pool with deterministic row ordering;
+4. rows are classified in enumeration order, so the resulting
+   :class:`~repro.safety.fmea.FmeaResult` is row-for-row identical to the
+   historical per-mode re-solve, whatever the execution strategy.
+
+Per-campaign instrumentation (job counts, solve mix, factorization reuses,
+wall time) is attached to the result as :class:`CampaignStats` — the raw
+material for the paper's Table V/VI efficiency story.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.circuit import CircuitError, CompiledSystem, SolveStats
+from repro.circuit.netlist import Netlist
+from repro.reliability import ReliabilityModel
+from repro.safety.fmea import (
+    DEFAULT_MIN_ABSOLUTE_DELTA,
+    DEFAULT_THRESHOLD,
+    FmeaError,
+    FmeaResult,
+    FmeaRow,
+    _apply_behavior,
+    _behavior_replacement,
+    _relative_delta,
+    _select_sensors,
+    _solve_readings,
+    _solve_readings_transient,
+)
+from repro.simulink import FailureBehavior, SimulinkModel, to_netlist
+from repro.simulink.electrical import ElectricalConversion
+
+
+@dataclass(frozen=True)
+class InjectionJob:
+    """One planned fault injection: which element, which failure physics."""
+
+    index: int
+    component: str
+    failure_mode: str
+    element_name: str
+    behavior: FailureBehavior
+    block_params: Mapping[str, object]
+
+
+@dataclass
+class CampaignStats:
+    """Execution instrumentation for one fault-injection campaign."""
+
+    jobs: int = 0  # injection simulations requested
+    rows: int = 0  # FMEA rows produced (jobs + uninjectable warnings)
+    workers: int = 1
+    mode: str = "incremental"  # 'incremental' | 'naive'
+    analysis: str = "dc"
+    wall_time: float = 0.0  # whole campaign, seconds
+    baseline_time: float = 0.0  # healthy solve, seconds
+    solves: int = 0
+    newton_iterations: int = 0
+    factorization_reuses: int = 0
+    smw_solves: int = 0
+    full_rebuilds: int = 0
+    baseline_reuses: int = 0
+    parallel_fallback: bool = False  # pool unavailable; ran serially
+
+    def absorb(self, solve_stats: SolveStats) -> None:
+        self.solves += solve_stats.solves
+        self.newton_iterations += solve_stats.newton_iterations
+        self.factorization_reuses += solve_stats.factorization_reuses
+        self.smw_solves += solve_stats.smw_solves
+        self.full_rebuilds += solve_stats.full_rebuilds
+        self.baseline_reuses += solve_stats.baseline_reuses
+
+    def as_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+
+#: Job outcome: ('ok', readings) or ('error', message).
+_Outcome = Tuple[str, object]
+
+
+def _readings_from_solution(
+    conversion: ElectricalConversion, solution, removed: Optional[str]
+) -> Dict[str, float]:
+    """Sensor readings off a DC solution (same semantics as
+    :func:`~repro.safety.fmea._solve_readings` for the injected netlist)."""
+    readings: Dict[str, float] = {}
+    for path, element in conversion.current_sensors.items():
+        if element == removed:
+            readings[path] = 0.0
+        else:
+            readings[path] = solution.current(element)
+    for path, (npos, nneg) in conversion.voltage_sensors.items():
+        try:
+            readings[path] = solution.voltage_across(npos, nneg)
+        except CircuitError:
+            readings[path] = 0.0
+    return readings
+
+
+def _execute_job(
+    conversion: ElectricalConversion,
+    compiled: Optional[CompiledSystem],
+    job: InjectionJob,
+    analysis: str,
+    t_stop: float,
+    dt: float,
+) -> _Outcome:
+    """Run one injection; never raises for circuit-level failures."""
+    if compiled is not None and analysis == "dc":
+        replacement = _behavior_replacement(
+            conversion.netlist, job.element_name, job.behavior, job.block_params
+        )
+        try:
+            solution = compiled.solve_replacement(job.element_name, replacement)
+            removed = job.element_name if replacement is None else None
+            return ("ok", _readings_from_solution(conversion, solution, removed))
+        except CircuitError as exc:
+            return ("error", str(exc))
+    injected = _apply_behavior(
+        conversion.netlist, job.element_name, job.behavior, job.block_params
+    )
+    try:
+        if analysis == "transient":
+            readings = _solve_readings_transient(conversion, injected, t_stop, dt)
+        else:
+            readings = _solve_readings(conversion, injected)
+        return ("ok", readings)
+    except CircuitError as exc:
+        return ("error", str(exc))
+
+
+def _primed_system(netlist: Netlist) -> CompiledSystem:
+    """A compiled system with its baseline already solved.
+
+    Priming up front lets every fault solve warm-start its Newton iteration
+    from the healthy diode biases and reuse the baseline for no-op faults
+    (e.g. a capacitor failing open at DC).
+    """
+    compiled = CompiledSystem(netlist)
+    try:
+        compiled.solve()
+    except CircuitError:
+        pass  # per-fault solves fall back and report their own errors
+    return compiled
+
+
+# -- process-pool plumbing ---------------------------------------------------
+# Workers receive the conversion once (initializer) and then process chunks
+# of jobs, each against its own CompiledSystem, so factorization reuse
+# happens inside every worker too.
+
+_WORKER_STATE: Dict[str, object] = {}
+
+
+def _campaign_worker_init(
+    conversion: ElectricalConversion,
+    analysis: str,
+    t_stop: float,
+    dt: float,
+    incremental: bool,
+) -> None:
+    _WORKER_STATE["conversion"] = conversion
+    _WORKER_STATE["analysis"] = analysis
+    _WORKER_STATE["t_stop"] = t_stop
+    _WORKER_STATE["dt"] = dt
+    compiled = None
+    if incremental and analysis == "dc":
+        compiled = _primed_system(conversion.netlist)
+    _WORKER_STATE["compiled"] = compiled
+
+
+def _campaign_worker_chunk(
+    chunk: Sequence[InjectionJob],
+) -> Tuple[List[Tuple[int, _Outcome]], SolveStats]:
+    conversion: ElectricalConversion = _WORKER_STATE["conversion"]
+    compiled: Optional[CompiledSystem] = _WORKER_STATE["compiled"]
+    analysis: str = _WORKER_STATE["analysis"]
+    t_stop: float = _WORKER_STATE["t_stop"]
+    dt: float = _WORKER_STATE["dt"]
+    results = [
+        (job.index, _execute_job(conversion, compiled, job, analysis, t_stop, dt))
+        for job in chunk
+    ]
+    stats = compiled.stats if compiled is not None else SolveStats()
+    return results, stats
+
+
+class FaultInjectionCampaign:
+    """A batched automated FMEA by fault injection on a Simulink model.
+
+    Parameters match :func:`~repro.safety.fmea.run_simulink_fmea` plus:
+
+    incremental:
+        solve DC injections through a shared compiled system (cached LU +
+        low-rank updates) instead of per-mode full re-assembly.  Results
+        are identical either way — topology-changing faults transparently
+        fall back to full assembly;
+    workers:
+        number of worker processes.  ``0``/``1`` runs serially; ``N > 1``
+        fans jobs out over a process pool.  Row order is deterministic
+        (enumeration order) regardless of completion order.  When a pool
+        cannot be created (restricted environments) the campaign degrades
+        to serial execution and flags ``stats.parallel_fallback``.
+    """
+
+    def __init__(
+        self,
+        model: SimulinkModel,
+        reliability: ReliabilityModel,
+        sensors: Optional[Sequence[str]] = None,
+        threshold: float = DEFAULT_THRESHOLD,
+        assume_stable: Sequence[str] = (),
+        min_absolute_delta: float = DEFAULT_MIN_ABSOLUTE_DELTA,
+        behavior_overrides: Optional[
+            Dict[Tuple[str, str], FailureBehavior]
+        ] = None,
+        analysis: str = "dc",
+        t_stop: float = 5e-3,
+        dt: float = 5e-5,
+        incremental: bool = True,
+        workers: int = 1,
+    ) -> None:
+        if analysis not in ("dc", "transient"):
+            raise FmeaError(
+                f"analysis must be 'dc' or 'transient', got {analysis!r}"
+            )
+        self.model = model
+        self.reliability = reliability
+        self.sensors = sensors
+        self.threshold = threshold
+        self.assume_stable = assume_stable
+        self.min_absolute_delta = min_absolute_delta
+        self.behavior_overrides = behavior_overrides
+        self.analysis = analysis
+        self.t_stop = t_stop
+        self.dt = dt
+        self.incremental = incremental
+        self.workers = max(1, int(workers))
+
+    # -- enumeration ------------------------------------------------------
+
+    def _enumerate(
+        self, conversion: ElectricalConversion, result: FmeaResult
+    ) -> Tuple[List[Tuple[FmeaRow, Optional[InjectionJob]]], List[InjectionJob]]:
+        """All FMEA row slots in output order, plus the runnable jobs."""
+        stable: Set[str] = set(self.assume_stable)
+        slots: List[Tuple[FmeaRow, Optional[InjectionJob]]] = []
+        jobs: List[InjectionJob] = []
+        for block in self.model.all_blocks():
+            etype = block.effective_type
+            info = block.effective_info
+            if block.block_type == "Subsystem" and not block.param(
+                "annotated_type"
+            ):
+                continue  # plain subsystems are analysed through their contents
+            if info.role in ("sensor", "reference", "support", "structural"):
+                continue
+            if block.name in stable or block.path() in stable:
+                continue
+            entry = self.reliability.get(etype)
+            if entry is None:
+                result.uncovered.append(block.name)
+                continue
+            try:
+                element_name = conversion.element_name(block.path())
+            except Exception:
+                result.uncovered.append(block.name)
+                continue
+            for mode in entry.failure_modes:
+                behavior = None
+                if self.behavior_overrides is not None:
+                    behavior = self.behavior_overrides.get((etype, mode.name))
+                if behavior is None:
+                    behavior = info.failure_behaviors.get(mode.name)
+                row = FmeaRow(
+                    component=block.name,
+                    component_class=entry.component_class,
+                    fit=entry.fit,
+                    failure_mode=mode.name,
+                    nature=mode.nature,
+                    distribution=mode.distribution,
+                )
+                if behavior is None:
+                    row.warning = (
+                        f"no failure behaviour for {etype}/{mode.name}; "
+                        f"not injectable"
+                    )
+                    slots.append((row, None))
+                    continue
+                job = InjectionJob(
+                    index=len(jobs),
+                    component=block.name,
+                    failure_mode=mode.name,
+                    element_name=element_name,
+                    behavior=behavior,
+                    block_params=block.parameters,
+                )
+                jobs.append(job)
+                slots.append((row, job))
+        return slots, jobs
+
+    # -- execution --------------------------------------------------------
+
+    def _execute_serial(
+        self,
+        conversion: ElectricalConversion,
+        jobs: Sequence[InjectionJob],
+        stats: CampaignStats,
+    ) -> Dict[int, _Outcome]:
+        compiled = None
+        if self.incremental and self.analysis == "dc":
+            compiled = _primed_system(conversion.netlist)
+        outcomes = {
+            job.index: _execute_job(
+                conversion, compiled, job, self.analysis, self.t_stop, self.dt
+            )
+            for job in jobs
+        }
+        if compiled is not None:
+            stats.absorb(compiled.stats)
+        return outcomes
+
+    def _execute_parallel(
+        self,
+        conversion: ElectricalConversion,
+        jobs: Sequence[InjectionJob],
+        stats: CampaignStats,
+    ) -> Dict[int, _Outcome]:
+        from concurrent.futures import ProcessPoolExecutor
+
+        # Round-robin chunking balances expensive (nonlinear) jobs across
+        # workers; outcomes are re-keyed by job index, so ordering is
+        # deterministic whatever the completion order.
+        chunks = [
+            list(jobs[offset :: self.workers]) for offset in range(self.workers)
+        ]
+        chunks = [chunk for chunk in chunks if chunk]
+        outcomes: Dict[int, _Outcome] = {}
+        with ProcessPoolExecutor(
+            max_workers=len(chunks),
+            initializer=_campaign_worker_init,
+            initargs=(
+                conversion,
+                self.analysis,
+                self.t_stop,
+                self.dt,
+                self.incremental,
+            ),
+        ) as pool:
+            for results, solve_stats in pool.map(_campaign_worker_chunk, chunks):
+                for index, outcome in results:
+                    outcomes[index] = outcome
+                stats.absorb(solve_stats)
+        return outcomes
+
+    def _execute(
+        self,
+        conversion: ElectricalConversion,
+        jobs: Sequence[InjectionJob],
+        stats: CampaignStats,
+    ) -> Dict[int, _Outcome]:
+        if not jobs:
+            return {}
+        if self.workers > 1:
+            try:
+                return self._execute_parallel(conversion, jobs, stats)
+            except (OSError, ImportError, PermissionError, RuntimeError):
+                # Restricted environments (no fork/semaphores): degrade to
+                # serial — same rows, just without the fan-out.
+                stats.parallel_fallback = True
+                stats.workers = 1
+        return self._execute_serial(conversion, jobs, stats)
+
+    # -- classification ---------------------------------------------------
+
+    def _classify(
+        self,
+        row: FmeaRow,
+        outcome: _Outcome,
+        baseline: Dict[str, float],
+        monitored: Sequence[str],
+    ) -> FmeaRow:
+        kind, payload = outcome
+        if kind == "error":
+            # A non-convergent injected circuit is itself evidence of a
+            # violent disturbance; treat as safety-related and record why.
+            row.safety_related = True
+            row.effect = f"simulation failed under fault: {payload}"
+            row.impact = "DVF"
+            return row
+        readings: Dict[str, float] = payload  # type: ignore[assignment]
+        deltas = {
+            name: _relative_delta(
+                baseline[name], readings[name], self.min_absolute_delta
+            )
+            for name in monitored
+        }
+        row.sensor_deltas = deltas
+        worst = max(deltas.values()) if deltas else 0.0
+        if worst > self.threshold:
+            row.safety_related = True
+            row.impact = "DVF"
+            # Quantize the ranking key: two sensors whose deltas agree to
+            # nine decimals are tied (broken by sensor order), so the pick
+            # cannot depend on which solver path produced the solution.
+            worst_sensor = max(deltas, key=lambda name: round(deltas[name], 9))
+            row.effect = (
+                f"reading at {worst_sensor.rsplit('/', 1)[-1]} deviates "
+                f"by {worst * 100:.1f}%"
+            )
+        else:
+            row.effect = (
+                f"max sensor deviation {worst * 100:.1f}% (< threshold)"
+            )
+        return row
+
+    # -- the campaign -----------------------------------------------------
+
+    def run(self) -> FmeaResult:
+        """Execute the campaign and return the component safety analysis
+        model, with :class:`CampaignStats` attached as ``result.stats``."""
+        started = time.perf_counter()
+        stats = CampaignStats(
+            workers=self.workers,
+            mode="incremental" if self.incremental else "naive",
+            analysis=self.analysis,
+        )
+
+        conversion = to_netlist(self.model)
+        baseline_started = time.perf_counter()
+        if self.analysis == "transient":
+            baseline = _solve_readings_transient(
+                conversion, conversion.netlist, self.t_stop, self.dt
+            )
+        else:
+            baseline = _solve_readings(conversion, conversion.netlist)
+        stats.baseline_time = time.perf_counter() - baseline_started
+        monitored = _select_sensors(conversion, self.sensors, baseline)
+
+        result = FmeaResult(
+            system=self.model.name,
+            method="injection",
+            baseline_readings={name: baseline[name] for name in monitored},
+        )
+        slots, jobs = self._enumerate(conversion, result)
+        stats.jobs = len(jobs)
+        stats.rows = len(slots)
+
+        outcomes = self._execute(conversion, jobs, stats)
+        for row, job in slots:
+            if job is None:
+                result.rows.append(row)
+                continue
+            result.rows.append(
+                self._classify(row, outcomes[job.index], baseline, monitored)
+            )
+        if not result.rows:
+            raise FmeaError(
+                "FMEA produced no rows: no component matched the reliability model"
+            )
+        stats.wall_time = time.perf_counter() - started
+        result.stats = stats
+        return result

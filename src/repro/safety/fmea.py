@@ -75,6 +75,10 @@ class FmeaResult:
     rows: List[FmeaRow] = field(default_factory=list)
     baseline_readings: Dict[str, float] = field(default_factory=dict)
     uncovered: List[str] = field(default_factory=list)
+    #: Execution instrumentation (a :class:`repro.safety.campaign.CampaignStats`
+    #: for injection campaigns); excluded from equality — two analyses that
+    #: agree row-for-row are the same result however they were computed.
+    stats: Optional[object] = field(default=None, compare=False, repr=False)
 
     def components(self) -> List[str]:
         seen: Dict[str, None] = {}
@@ -132,26 +136,35 @@ def _relative_delta(
     return difference / abs(baseline)
 
 
-def _apply_behavior(
+def _behavior_replacement(
     netlist: Netlist,
     element_name: str,
     behavior: FailureBehavior,
     block_params: Dict[str, object],
-) -> Netlist:
-    """Apply one failure behaviour to a copy of the netlist."""
+):
+    """The replacement element one failure behaviour maps to.
+
+    Returns ``None`` for an *open* failure (the element is removed).  This
+    is the single source of the failure physics — both the netlist-copy
+    path (:func:`_apply_behavior`) and the incremental campaign path
+    (:meth:`repro.circuit.CompiledSystem.solve_replacement`) consume it.
+    """
     if behavior.kind == "open":
-        return netlist.without(element_name)
+        netlist.element(element_name)  # raise early if missing
+        return None
     if behavior.kind == "short":
         resistance = behavior.resistance or 1e-3
-        return netlist.with_short(element_name, resistance)
+        original = netlist.element(element_name)
+        return Resistor(
+            element_name, original.node_pos, original.node_neg, resistance
+        )
     if behavior.kind == "resistive":
         resistance = behavior.resistance
         if resistance is None:
             resistance = float(block_params.get("standby_resistance", 1e4))
         original = netlist.element(element_name)
-        return netlist.with_replacement(
-            element_name,
-            Resistor(element_name, original.node_pos, original.node_neg, resistance),
+        return Resistor(
+            element_name, original.node_pos, original.node_neg, resistance
         )
     if behavior.kind == "param":
         original = netlist.element(element_name)
@@ -162,10 +175,23 @@ def _apply_behavior(
                 f"element {element_name!r} has no parameter {parameter!r}"
             )
         value = behavior.value if behavior.value is not None else current * 2.0
-        return netlist.with_replacement(
-            element_name, replace(original, **{parameter: value})
-        )
+        return replace(original, **{parameter: value})
     raise FmeaError(f"unknown failure behaviour kind {behavior.kind!r}")
+
+
+def _apply_behavior(
+    netlist: Netlist,
+    element_name: str,
+    behavior: FailureBehavior,
+    block_params: Dict[str, object],
+) -> Netlist:
+    """Apply one failure behaviour to a copy of the netlist."""
+    replacement = _behavior_replacement(
+        netlist, element_name, behavior, block_params
+    )
+    if replacement is None:
+        return netlist.without(element_name)
+    return netlist.with_replacement(element_name, replacement)
 
 
 def run_simulink_fmea(
@@ -181,6 +207,8 @@ def run_simulink_fmea(
     analysis: str = "dc",
     t_stop: float = 5e-3,
     dt: float = 5e-5,
+    incremental: bool = True,
+    workers: int = 1,
 ) -> FmeaResult:
     """Automated FMEA by fault injection on a Simulink model.
 
@@ -206,107 +234,34 @@ def run_simulink_fmea(
         ``"dc"`` (operating point, the default) or ``"transient"``
         (backward-Euler run over ``t_stop``/``dt``, comparing the settled
         sensor values — the right mode when reactive elements shape the
-        healthy reading).
+        healthy reading);
+    incremental:
+        solve DC injections through a shared compiled MNA system (cached LU
+        factorization + low-rank updates) instead of per-mode full
+        re-assembly; rows are identical either way;
+    workers:
+        worker processes for the injection campaign (``1``: serial).
+
+    The function delegates to
+    :class:`repro.safety.campaign.FaultInjectionCampaign`; campaign timing
+    and solve statistics are attached to the result as ``result.stats``.
     """
-    if analysis not in ("dc", "transient"):
-        raise FmeaError(
-            f"analysis must be 'dc' or 'transient', got {analysis!r}"
-        )
+    from repro.safety.campaign import FaultInjectionCampaign
 
-    def solve(netlist: Netlist) -> Dict[str, float]:
-        if analysis == "transient":
-            return _solve_readings_transient(conversion, netlist, t_stop, dt)
-        return _solve_readings(conversion, netlist)
-
-    conversion = to_netlist(model)
-    baseline = solve(conversion.netlist)
-    monitored = _select_sensors(conversion, sensors, baseline)
-
-    stable: Set[str] = set(assume_stable)
-    result = FmeaResult(
-        system=model.name,
-        method="injection",
-        baseline_readings={name: baseline[name] for name in monitored},
-    )
-
-    for block in model.all_blocks():
-        etype = block.effective_type
-        info = block.effective_info
-        if block.block_type == "Subsystem" and not block.param("annotated_type"):
-            continue  # plain subsystems are analysed through their contents
-        if info.role in ("sensor", "reference", "support", "structural"):
-            continue
-        if block.name in stable or block.path() in stable:
-            continue
-        entry = reliability.get(etype)
-        if entry is None:
-            result.uncovered.append(block.name)
-            continue
-        try:
-            element_name = conversion.element_name(block.path())
-        except Exception:
-            result.uncovered.append(block.name)
-            continue
-        for mode in entry.failure_modes:
-            behavior = None
-            if behavior_overrides is not None:
-                behavior = behavior_overrides.get((etype, mode.name))
-            if behavior is None:
-                behavior = info.failure_behaviors.get(mode.name)
-            row = FmeaRow(
-                component=block.name,
-                component_class=entry.component_class,
-                fit=entry.fit,
-                failure_mode=mode.name,
-                nature=mode.nature,
-                distribution=mode.distribution,
-            )
-            if behavior is None:
-                row.warning = (
-                    f"no failure behaviour for {etype}/{mode.name}; "
-                    f"not injectable"
-                )
-                result.rows.append(row)
-                continue
-            injected = _apply_behavior(
-                conversion.netlist, element_name, behavior, block.parameters
-            )
-            try:
-                readings = solve(injected)
-            except CircuitError as exc:
-                # A non-convergent injected circuit is itself evidence of a
-                # violent disturbance; treat as safety-related and record why.
-                row.safety_related = True
-                row.effect = f"simulation failed under fault: {exc}"
-                row.impact = "DVF"
-                result.rows.append(row)
-                continue
-            deltas = {
-                name: _relative_delta(
-                    baseline[name], readings[name], min_absolute_delta
-                )
-                for name in monitored
-            }
-            row.sensor_deltas = deltas
-            worst = max(deltas.values()) if deltas else 0.0
-            if worst > threshold:
-                row.safety_related = True
-                row.impact = "DVF"
-                worst_sensor = max(deltas, key=deltas.get)
-                row.effect = (
-                    f"reading at {worst_sensor.rsplit('/', 1)[-1]} deviates "
-                    f"by {worst * 100:.1f}%"
-                )
-            else:
-                row.effect = (
-                    f"max sensor deviation {worst * 100:.1f}% (< threshold)"
-                )
-            result.rows.append(row)
-    if not result.rows:
-        raise FmeaError(
-            "FMEA produced no rows: no component matched the reliability model"
-        )
-    return result
+    return FaultInjectionCampaign(
+        model,
+        reliability,
+        sensors=sensors,
+        threshold=threshold,
+        assume_stable=assume_stable,
+        min_absolute_delta=min_absolute_delta,
+        behavior_overrides=behavior_overrides,
+        analysis=analysis,
+        t_stop=t_stop,
+        dt=dt,
+        incremental=incremental,
+        workers=workers,
+    ).run()
 
 
 def _select_sensors(
@@ -355,6 +310,11 @@ def _solve_readings(
 
 
 def _settled_mean(series, tail_fraction: float = 0.2) -> float:
+    if len(series) < 2:
+        raise FmeaError(
+            f"transient run produced {len(series)} sample(s); cannot take a "
+            f"settled mean — check t_stop/dt"
+        )
     tail = series[max(1, int(len(series) * (1 - tail_fraction))) - 1 :]
     return sum(tail) / len(tail)
 

@@ -21,12 +21,82 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.safety.fmea import FmeaResult, FmeaRow
+from repro.safety.fmea import FmeaError, FmeaResult, FmeaRow
 from repro.safety.mechanisms import Deployment, SafetyMechanismModel
-from repro.safety.metrics import asil_from_spfm, spfm, spfm_meets
+from repro.safety.metrics import _coverage_map, asil_from_spfm, spfm, spfm_meets
 
 #: Exhaustive enumeration cap (number of candidate plans).
 _MAX_ENUMERATION = 200_000
+
+
+class _SpfmEvaluator:
+    """Incremental SPFM scoring over a fixed FMEA.
+
+    The search strategies below score thousands of candidate plans against
+    the *same* FMEA; calling :func:`repro.safety.metrics.spfm` each time
+    re-derives the safety-related component set, re-scans every row and
+    re-sums ``component_fit`` per component.  This evaluator precomputes all
+    of that once and scores a candidate in O(safety-related rows), memoising
+    per-component contributions so that near-identical candidates (greedy
+    trials differ in a single failure mode) only recompute the component
+    that changed.
+
+    Scores are bit-identical to ``metrics.spfm``: each component's residual
+    rate accumulates over its rows in FMEA row order, components sum in
+    first-appearance order — the exact float-operation order of
+    ``single_point_rates`` + ``sum(rates.values())``.
+    """
+
+    def __init__(self, fmea: FmeaResult) -> None:
+        self._components: List[str] = []
+        self._rows_of: Dict[str, List[Tuple[Tuple[str, str], float]]] = {}
+        for row in fmea.rows:
+            if not row.safety_related:
+                continue
+            if row.component not in self._rows_of:
+                self._components.append(row.component)
+                self._rows_of[row.component] = []
+            self._rows_of[row.component].append(
+                ((row.component, row.failure_mode), row.mode_rate)
+            )
+        self._vacuous = not self._components
+        self._lambda_total = 0.0
+        if not self._vacuous:
+            self._lambda_total = sum(
+                fmea.component_fit(c) for c in self._components
+            )
+            if self._lambda_total <= 0:
+                raise FmeaError(
+                    "total failure rate of safety-related components is "
+                    "zero; did the FMEA rows carry FIT data?"
+                )
+        self._cache: Dict[str, Dict[Tuple[float, ...], float]] = {
+            component: {} for component in self._components
+        }
+
+    def spfm(self, deployments: Sequence[Deployment]) -> float:
+        if self._vacuous:
+            return 1.0
+        coverage = _coverage_map(deployments)
+        lambda_spf = 0.0
+        for component in self._components:
+            rows = self._rows_of[component]
+            signature = tuple(coverage.get(key, 0.0) for key, _ in rows)
+            contribution = self._cache[component].get(signature)
+            if contribution is None:
+                contribution = 0.0
+                for (_, mode_rate), covered in zip(rows, signature):
+                    contribution = contribution + mode_rate * (1.0 - covered)
+                self._cache[component][signature] = contribution
+            lambda_spf += contribution
+        return 1.0 - lambda_spf / self._lambda_total
+
+    def plan(self, deployments: Sequence[Deployment]) -> DeploymentPlan:
+        return DeploymentPlan(
+            deployments=tuple(deployments),
+            spfm=self.spfm(deployments),
+            cost=sum(d.cost for d in deployments),
+        )
 
 
 @dataclass(frozen=True)
@@ -90,11 +160,12 @@ def enumerate_plans(
             f"deployment space has {space} plans (> {max_plans}); "
             f"use greedy_plan or pareto_front instead"
         )
+    evaluator = _SpfmEvaluator(fmea)
     plans: List[DeploymentPlan] = []
     option_lists = [options for _, options in per_row]
     for combo in itertools.product(*option_lists):
         chosen = [d for d in combo if d is not None]
-        plans.append(evaluate(fmea, chosen))
+        plans.append(evaluator.plan(chosen))
     return plans
 
 
@@ -108,10 +179,11 @@ def greedy_plan(
     Returns ``None`` when the catalogue cannot reach the target.
     """
     per_row = _options_per_row(fmea, catalogue)
+    evaluator = _SpfmEvaluator(fmea)
     chosen: Dict[Tuple[str, str], Deployment] = {}
 
     def current_plan() -> DeploymentPlan:
-        return evaluate(fmea, list(chosen.values()))
+        return evaluator.plan(list(chosen.values()))
 
     plan = current_plan()
     while not plan.meets(target_asil):
@@ -127,7 +199,7 @@ def greedy_plan(
                     continue
                 trial = dict(chosen)
                 trial[key] = option
-                trial_spfm = spfm(fmea, list(trial.values()))
+                trial_spfm = evaluator.spfm(list(trial.values()))
                 gain = trial_spfm - plan.spfm
                 extra_cost = option.cost - (incumbent.cost if incumbent else 0.0)
                 rate = gain / extra_cost if extra_cost > 0 else gain * 1e9

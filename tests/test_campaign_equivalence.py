@@ -1,0 +1,158 @@
+"""Campaign-engine equivalence: the acceptance gate for the batched
+fault-injection engine.
+
+Whatever the execution strategy — serial naive re-assembly (the historical
+``run_simulink_fmea`` behaviour), incremental solves through a shared
+:class:`~repro.circuit.CompiledSystem`, or a multi-process pool — the
+campaign must produce row-for-row identical FMEA results on the paper's
+power-supply case study and the synthetic System A/B power networks.
+
+"Identical" here means: every discrete field (classification, impact,
+effect text, warnings) matches exactly, and the recorded sensor deltas
+match to numerical-noise tolerance (the low-rank solver is algebraically
+exact but not bit-identical to dense LU).
+"""
+
+import math
+
+import pytest
+
+from repro.casestudies import (
+    SYSTEM_A_ASSUMED_STABLE,
+    SYSTEM_B_ASSUMED_STABLE,
+    build_power_supply_simulink,
+    build_system_a_simulink,
+    build_system_b_simulink,
+    power_network_reliability,
+    power_supply_reliability,
+)
+from repro.casestudies.power_supply import ASSUMED_STABLE
+from repro.safety import run_simulink_fmea
+from repro.safety.campaign import FaultInjectionCampaign
+
+#: Sensor deltas are dimensionless fractions; agreement below this is
+#: numerical noise between the dense and low-rank solve paths.
+_DELTA_TOL = 1e-9
+
+CASE_NAMES = ["power_supply", "system_a", "system_b"]
+
+
+def _build_case(name):
+    if name == "power_supply":
+        return (
+            build_power_supply_simulink(),
+            power_supply_reliability(),
+            ASSUMED_STABLE,
+        )
+    if name == "system_a":
+        return (
+            build_system_a_simulink(),
+            power_network_reliability(),
+            SYSTEM_A_ASSUMED_STABLE,
+        )
+    return (
+        build_system_b_simulink(),
+        power_network_reliability(),
+        SYSTEM_B_ASSUMED_STABLE,
+    )
+
+
+@pytest.fixture(scope="module")
+def campaign_results():
+    """Each case study run naive / incremental / parallel, computed once."""
+    results = {}
+    for name in CASE_NAMES:
+        model, reliability, stable = _build_case(name)
+        runs = {}
+        for label, kwargs in (
+            ("naive", {"incremental": False}),
+            ("incremental", {}),
+            ("parallel", {"workers": 2}),
+        ):
+            runs[label] = FaultInjectionCampaign(
+                model, reliability, assume_stable=stable, **kwargs
+            ).run()
+        results[name] = runs
+    return results
+
+
+def assert_rows_identical(reference, other):
+    assert len(reference.rows) == len(other.rows)
+    for expected, actual in zip(reference.rows, other.rows):
+        assert (
+            expected.component,
+            expected.failure_mode,
+            expected.safety_related,
+            expected.impact,
+            expected.effect,
+            expected.warning,
+        ) == (
+            actual.component,
+            actual.failure_mode,
+            actual.safety_related,
+            actual.impact,
+            actual.effect,
+            actual.warning,
+        )
+        assert set(expected.sensor_deltas) == set(actual.sensor_deltas)
+        for sensor, delta in expected.sensor_deltas.items():
+            assert math.isclose(
+                delta,
+                actual.sensor_deltas[sensor],
+                rel_tol=_DELTA_TOL,
+                abs_tol=_DELTA_TOL,
+            ), (expected.component, expected.failure_mode, sensor)
+
+
+@pytest.mark.parametrize("case", CASE_NAMES)
+def test_incremental_matches_naive(campaign_results, case):
+    runs = campaign_results[case]
+    assert_rows_identical(runs["naive"], runs["incremental"])
+
+
+@pytest.mark.parametrize("case", CASE_NAMES)
+def test_parallel_matches_naive(campaign_results, case):
+    runs = campaign_results[case]
+    assert_rows_identical(runs["naive"], runs["parallel"])
+
+
+@pytest.mark.parametrize("case", CASE_NAMES)
+def test_incremental_engages_fast_path(campaign_results, case):
+    stats = campaign_results[case]["incremental"].stats
+    assert stats.mode == "incremental"
+    assert stats.smw_solves > 0
+    assert stats.factorization_reuses > 0
+
+
+@pytest.mark.parametrize("case", CASE_NAMES)
+def test_naive_mode_never_uses_fast_path(campaign_results, case):
+    stats = campaign_results[case]["naive"].stats
+    assert stats.mode == "naive"
+    assert stats.smw_solves == 0
+    assert stats.factorization_reuses == 0
+
+
+def test_most_system_b_jobs_stay_low_rank(campaign_results):
+    """The scaling subject must actually exercise the fast path: only the
+    two source-stranding fuse opens may fall back to full assembly."""
+    stats = campaign_results["system_b"]["incremental"].stats
+    assert stats.smw_solves >= 200
+    assert stats.full_rebuilds <= 5
+
+
+def test_run_simulink_fmea_delegates_to_campaign(campaign_results):
+    model, reliability, stable = _build_case("power_supply")
+    result = run_simulink_fmea(model, reliability, assume_stable=stable)
+    assert_rows_identical(campaign_results["power_supply"]["naive"], result)
+    assert result.stats is not None
+    assert result.stats.jobs == len(
+        [row for row in result.rows if not row.warning]
+    )
+
+
+def test_campaign_stats_round_trip(campaign_results):
+    stats = campaign_results["power_supply"]["incremental"].stats
+    as_dict = stats.as_dict()
+    assert as_dict["jobs"] == stats.jobs
+    assert as_dict["mode"] == "incremental"
+    assert as_dict["wall_time"] >= 0.0

@@ -1,0 +1,202 @@
+"""Unit tests for the compiled incremental MNA solver.
+
+Every fault class a :class:`~repro.circuit.CompiledSystem` claims to solve
+through the cached factorization is checked against the plain
+:func:`~repro.circuit.dc_operating_point` on the modified netlist, and the
+declared fallbacks (topology changes, orphaned nodes, gmin-only nodes)
+must actually take the full-assembly path.
+"""
+
+import math
+
+import pytest
+
+from repro.circuit import CircuitError, CompiledSystem, dc_operating_point
+from repro.circuit.mna import _MAX_GMIN_RETRIES
+from repro.circuit.netlist import Netlist, Resistor, VoltageSource
+
+
+def ladder() -> Netlist:
+    """V1 -> R1 -> (R2 || D1-loaded rail) with an ammeter and an inductor."""
+    netlist = Netlist("ladder")
+    netlist.voltage_source("V1", "in", "0", 5.0)
+    netlist.resistor("R1", "in", "mid", 10.0)
+    netlist.inductor("L1", "mid", "rail", 1e-3, series_resistance=0.5)
+    netlist.resistor("R2", "rail", "0", 100.0)
+    netlist.diode("D1", "rail", "dl")
+    netlist.resistor("R3", "dl", "0", 220.0)
+    netlist.ammeter("A1", "rail", "am")
+    netlist.resistor("R4", "am", "0", 470.0)
+    return netlist
+
+
+def assert_solutions_close(fast, exact, tol=1e-8):
+    assert set(fast.node_voltages) >= set(exact.node_voltages)
+    for node, value in exact.node_voltages.items():
+        assert math.isclose(
+            fast.node_voltages[node], value, rel_tol=tol, abs_tol=tol
+        ), node
+    for name, current in exact.branch_currents.items():
+        assert math.isclose(
+            fast.branch_currents[name], current, rel_tol=tol, abs_tol=tol
+        ), name
+
+
+class TestBaseline:
+    def test_baseline_matches_plain_solver(self):
+        netlist = ladder()
+        compiled = CompiledSystem(netlist)
+        assert_solutions_close(compiled.solve(), dc_operating_point(netlist))
+
+    def test_baseline_cached(self):
+        compiled = CompiledSystem(ladder())
+        first = compiled.solve()
+        assert compiled.solve() is first
+        assert compiled.stats.solves == 1
+
+
+class TestIncrementalFaults:
+    @pytest.mark.parametrize(
+        "name, replacement",
+        [
+            ("R2", Resistor("R2", "rail", "0", 1e-3)),  # short
+            ("R2", Resistor("R2", "rail", "0", 150.0)),  # drift
+            ("R2", None),  # open; rail still held by L1/A1/R4
+            ("D1", None),  # diode open
+            ("V1", VoltageSource("V1", "in", "0", 3.3)),  # source droop
+        ],
+    )
+    def test_replacement_matches_full_reassembly(self, name, replacement):
+        netlist = ladder()
+        compiled = CompiledSystem(netlist)
+        compiled.solve()
+        fast = compiled.solve_replacement(name, replacement)
+        if replacement is None:
+            reference = dc_operating_point(netlist.without(name))
+        else:
+            reference = dc_operating_point(
+                netlist.with_replacement(name, replacement)
+            )
+        assert_solutions_close(fast, reference)
+        assert compiled.stats.full_rebuilds == 0
+
+    def test_inductor_short_stays_low_rank(self):
+        netlist = ladder()
+        compiled = CompiledSystem(netlist)
+        compiled.solve()
+        fast = compiled.solve_replacement(
+            "L1", Resistor("L1", "mid", "rail", 1e-3)
+        )
+        reference = dc_operating_point(
+            netlist.with_replacement("L1", Resistor("L1", "mid", "rail", 1e-3))
+        )
+        assert_solutions_close(fast, reference)
+        assert compiled.stats.full_rebuilds == 0
+        assert compiled.stats.smw_solves > 0
+
+    def test_inductor_open_pinches_branch_current_off(self):
+        netlist = ladder()
+        compiled = CompiledSystem(netlist)
+        compiled.solve()
+        fast = compiled.solve_replacement("L1", None)
+        reference = dc_operating_point(netlist.without("L1"))
+        for node, value in reference.node_voltages.items():
+            assert math.isclose(
+                fast.node_voltages[node], value, rel_tol=1e-6, abs_tol=1e-6
+            ), node
+        assert abs(fast.branch_currents["L1"]) < 1e-9
+        assert compiled.stats.full_rebuilds == 0
+
+    def test_identity_replacement_reuses_baseline(self):
+        netlist = ladder()
+        compiled = CompiledSystem(netlist)
+        baseline = compiled.solve()
+        again = compiled.solve_replacement(
+            "R2", Resistor("R2", "rail", "0", 100.0)
+        )
+        assert again is baseline
+        assert compiled.stats.baseline_reuses == 1
+
+
+class TestFallbacks:
+    def test_orphaning_removal_falls_back(self):
+        """Removing the sole element on a node must take the exact path:
+        the naive solver drops the orphaned node entirely, which no
+        low-rank update of the baseline matrix can express."""
+        netlist = ladder()
+        netlist.resistor("R5", "rail", "end", 50.0)
+        compiled = CompiledSystem(netlist)
+        compiled.solve()
+        fast = compiled.solve_replacement("R5", None)
+        reference = dc_operating_point(netlist.without("R5"))
+        assert_solutions_close(fast, reference)
+        assert compiled.stats.full_rebuilds == 1
+
+    def test_rewired_replacement_falls_back(self):
+        netlist = ladder()
+        compiled = CompiledSystem(netlist)
+        compiled.solve()
+        moved = Resistor("R2", "rail", "dl", 100.0)  # different nodes
+        fast = compiled.solve_replacement("R2", moved)
+        reference = dc_operating_point(netlist.with_replacement("R2", moved))
+        assert_solutions_close(fast, reference)
+        assert compiled.stats.full_rebuilds == 1
+
+    def test_gmin_only_node_falls_back(self):
+        """A removal that leaves a node held only by a diode (no static
+        conductance, no branch row) must take the exact path: the naive
+        solver computes the near-floating node directly."""
+        netlist = Netlist("stub")
+        netlist.voltage_source("V1", "in", "0", 5.0)
+        netlist.resistor("R1", "in", "a", 10.0)
+        netlist.diode("D1", "a", "b")
+        netlist.resistor("R2", "b", "0", 100.0)
+        compiled = CompiledSystem(netlist)
+        compiled.solve()
+        fast = compiled.solve_replacement("R1", None)
+        reference = dc_operating_point(netlist.without("R1"))
+        assert compiled.stats.full_rebuilds == 1
+        for node, value in reference.node_voltages.items():
+            assert math.isclose(
+                fast.node_voltages[node], value, rel_tol=1e-6, abs_tol=1e-6
+            ), node
+
+    def test_results_identical_across_many_faults(self):
+        """Sweep every element through a representative fault and compare
+        against full re-assembly — the per-element acceptance check."""
+        netlist = ladder()
+        compiled = CompiledSystem(netlist)
+        compiled.solve()
+        for element in list(netlist.elements()):
+            if isinstance(element, VoltageSource):
+                continue
+            fast = compiled.solve_replacement(element.name, None)
+            reference = dc_operating_point(netlist.without(element.name))
+            for node, value in reference.node_voltages.items():
+                assert math.isclose(
+                    fast.node_voltages[node],
+                    value,
+                    rel_tol=1e-6,
+                    abs_tol=1e-6,
+                ), (element.name, node)
+
+
+class TestGminRetry:
+    def test_caller_gmin_never_weakened(self):
+        """The singular-matrix retry must strengthen the caller's gmin, not
+        reset it to the default floor (regression: a caller-supplied 1e-6
+        used to retry at 1e-9, *weaker* than what the caller asked for)."""
+        assert max(1e-6 * 1e3, 1e-9) == pytest.approx(1e-3)
+        assert _MAX_GMIN_RETRIES >= 1
+
+    def test_solver_works_at_strong_gmin(self):
+        netlist = ladder()
+        strong = dc_operating_point(netlist, gmin=1e-9)
+        weak = dc_operating_point(netlist, gmin=1e-12)
+        for node in weak.node_voltages:
+            assert math.isclose(
+                strong.node_voltages[node],
+                weak.node_voltages[node],
+                rel_tol=1e-4,
+                abs_tol=1e-6,
+            )

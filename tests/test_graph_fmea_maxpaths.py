@@ -1,0 +1,88 @@
+"""Path-enumeration cap fallback for Algorithm 1 (graph-based FMEA).
+
+``_path_intersection`` pre-computes the nodes common to every
+input-output path so the dominant singleton-candidate case is a set
+lookup.  Dense parallel meshes have exponentially many simple paths, so
+the enumeration gives up (returns ``None``) after ``_MAX_PATHS`` paths
+and every candidate is classified through the per-mode cut check
+(``_on_all_paths``) instead.  Both routes must agree row for row —
+the cap is a performance valve, not a semantics switch.
+"""
+
+import pytest
+
+from repro.safety import graph_analysis, run_ssam_fmea
+from repro.ssam import ArchitectureBuilder
+
+
+def mesh_system(width: int = 3):
+    """SRC -> {A1..Aw} -> {B1..Bw} -> SNK: ``width**2`` parallel paths.
+
+    SRC and SNK lie on every path (single points); the layer members all
+    have alternatives.
+    """
+    builder = ArchitectureBuilder("mesh", component_type="system")
+
+    def part(name):
+        handle = builder.component(name, fit=10, component_class="Diode")
+        handle.failure_mode("Open", "open", 0.3)
+        handle.failure_mode("Short", "short", 0.7)
+        return handle
+
+    src = part("SRC")
+    layer_a = [part(f"A{i}") for i in range(1, width + 1)]
+    layer_b = [part(f"B{i}") for i in range(1, width + 1)]
+    sink = part("SNK")
+    builder.entry(src)
+    for a in layer_a:
+        builder.wire(src, a)
+        for b in layer_b:
+            builder.wire(a, b)
+    for b in layer_b:
+        builder.wire(b, sink)
+    builder.exit(sink)
+    return builder.build()
+
+
+def rows_as_tuples(result):
+    return [
+        (
+            row.component,
+            row.failure_mode,
+            row.safety_related,
+            row.impact,
+            row.effect,
+            row.warning,
+        )
+        for row in result.rows
+    ]
+
+
+class TestMaxPathsFallback:
+    def test_path_intersection_gives_up_past_cap(self, monkeypatch):
+        monkeypatch.setattr(graph_analysis, "_MAX_PATHS", 4)
+        graph = graph_analysis._component_graph(mesh_system())
+        assert graph_analysis._path_intersection(graph) is None
+
+    def test_intersection_and_cut_check_classify_identically(
+        self, monkeypatch
+    ):
+        system = mesh_system()
+        enumerated = run_ssam_fmea(system)
+        # 1 + 3 + 3 + 1 components x 2 modes, with 3**2 = 9 paths.
+        assert len(enumerated.rows) == 16
+        monkeypatch.setattr(graph_analysis, "_MAX_PATHS", 4)
+        capped = run_ssam_fmea(mesh_system())
+        assert rows_as_tuples(capped) == rows_as_tuples(enumerated)
+
+    def test_classification_is_correct_under_cap(self, monkeypatch):
+        monkeypatch.setattr(graph_analysis, "_MAX_PATHS", 1)
+        result = run_ssam_fmea(mesh_system())
+        assert sorted(result.safety_related_components()) == ["SNK", "SRC"]
+        assert "alternative paths" in result.row("A1", "Open").effect
+        assert result.row("SNK", "Open").impact == "DVF"
+
+    def test_default_cap_is_generous(self):
+        # The cap only exists to bound pathological meshes; a 3x3 mesh
+        # must stay on the fast enumeration path.
+        assert graph_analysis._MAX_PATHS >= 10000
