@@ -17,6 +17,11 @@ bookkeeping dominates sub-millisecond solves; see docs/performance.md.
 Smoke mode (``BENCH_INJECTION_SMOKE=1``): shrinks System B, runs one
 repeat per strategy and skips the speedup assertion, so CI exercises the
 whole code path in seconds.
+
+Tracing (``BENCH_INJECTION_TRACE=/path/to/trace.jsonl``): enables the
+``repro.obs`` layer for the whole benchmark and exports the combined
+span/metric log (Chrome trace JSON instead when the path ends in
+``.json``) — the artifact CI uploads next to ``BENCH_injection.json``.
 """
 
 import json
@@ -39,6 +44,7 @@ from repro.casestudies.power_supply import ASSUMED_STABLE
 from repro.safety.campaign import FaultInjectionCampaign
 
 SMOKE = os.environ.get("BENCH_INJECTION_SMOKE") == "1"
+TRACE_PATH = os.environ.get("BENCH_INJECTION_TRACE") or None
 #: Best-of-N wall-clock per (case, strategy); 1 repeat in smoke mode.
 REPEATS = 1 if SMOKE else 3
 #: Smoke mode shrinks the scaling subject so CI stays fast.
@@ -124,6 +130,12 @@ def rows_identical(reference, other, tol=1e-9):
 
 
 def test_bench_injection():
+    if TRACE_PATH:
+        from repro import obs
+
+        obs.enable()
+        obs.reset()
+
     # Warm-up: import costs, first-touch numpy/scipy paths.
     warm_model = build_power_supply_simulink()
     FaultInjectionCampaign(
@@ -186,6 +198,15 @@ def test_bench_injection():
         "naive vs incremental vs parallel fault-injection campaigns",
         format_rows(table),
     )
+
+    if TRACE_PATH:
+        from repro import obs
+
+        if TRACE_PATH.endswith(".json"):
+            trace_file = obs.export_chrome_trace(TRACE_PATH)
+        else:
+            trace_file = obs.export_jsonl(TRACE_PATH)
+        print(f"\nobservability trace written to {trace_file}")
 
     if not SMOKE:
         assert largest["speedup"] >= SPEEDUP_TARGET, (

@@ -30,6 +30,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 from scipy.linalg import lu_factor as _lu_factor, lu_solve as _lu_solve
 
+from repro import obs
 from repro.circuit.netlist import (
     Ammeter,
     Capacitor,
@@ -286,41 +287,43 @@ def dc_operating_point(
     diode_voltages: Dict[str, float] = {d.name: 0.6 for d in system.diodes}
     solution = np.zeros(system.size)
     iterations = 0
-    for iterations in range(1, _MAX_NEWTON_ITERATIONS + 1):
-        matrix, rhs = system.assemble(diode_voltages)
-        try:
-            new_solution = np.linalg.solve(matrix, rhs)
-        except np.linalg.LinAlgError:
-            # Retry (a bounded number of times) with a stronger gmin.
-            stronger = max(gmin * 1e3, 1e-9)
-            if _retries_left > 0 and stronger > gmin:
-                return dc_operating_point(
-                    netlist, gmin=stronger, _retries_left=_retries_left - 1
-                )
-            raise CircuitError(
-                f"singular MNA matrix for netlist {netlist.name!r}"
-            ) from None
-        if not system.diodes:
+    with obs.span("mna.newton", netlist=netlist.name, size=system.size) as sp:
+        for iterations in range(1, _MAX_NEWTON_ITERATIONS + 1):
+            matrix, rhs = system.assemble(diode_voltages)
+            try:
+                new_solution = np.linalg.solve(matrix, rhs)
+            except np.linalg.LinAlgError:
+                # Retry (a bounded number of times) with a stronger gmin.
+                stronger = max(gmin * 1e3, 1e-9)
+                if _retries_left > 0 and stronger > gmin:
+                    return dc_operating_point(
+                        netlist, gmin=stronger, _retries_left=_retries_left - 1
+                    )
+                raise CircuitError(
+                    f"singular MNA matrix for netlist {netlist.name!r}"
+                ) from None
+            if not system.diodes:
+                solution = new_solution
+                break
+            converged = True
+            for diode in system.diodes:
+                old_vd = diode_voltages[diode.name]
+                new_vd = system.diode_voltage(new_solution, diode)
+                step = new_vd - old_vd
+                if abs(step) > _MAX_DIODE_STEP:
+                    new_vd = old_vd + math.copysign(_MAX_DIODE_STEP, step)
+                    converged = False
+                elif abs(step) > _NEWTON_TOLERANCE:
+                    converged = False
+                diode_voltages[diode.name] = new_vd
             solution = new_solution
-            break
-        converged = True
-        for diode in system.diodes:
-            old_vd = diode_voltages[diode.name]
-            new_vd = system.diode_voltage(new_solution, diode)
-            step = new_vd - old_vd
-            if abs(step) > _MAX_DIODE_STEP:
-                new_vd = old_vd + math.copysign(_MAX_DIODE_STEP, step)
-                converged = False
-            elif abs(step) > _NEWTON_TOLERANCE:
-                converged = False
-            diode_voltages[diode.name] = new_vd
-        solution = new_solution
-        if converged:
-            break
-    else:
-        raise CircuitError(
-            f"Newton iteration did not converge for netlist {netlist.name!r}"
-        )
+            if converged:
+                break
+        else:
+            raise CircuitError(
+                f"Newton iteration did not converge for netlist {netlist.name!r}"
+            )
+        sp.set(iterations=iterations)
 
     return system.to_solution(solution, iterations)
 
@@ -348,6 +351,16 @@ class SolveStats:
         self.smw_solves += other.smw_solves
         self.full_rebuilds += other.full_rebuilds
         self.baseline_reuses += other.baseline_reuses
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "solves": self.solves,
+            "newton_iterations": self.newton_iterations,
+            "factorization_reuses": self.factorization_reuses,
+            "smw_solves": self.smw_solves,
+            "full_rebuilds": self.full_rebuilds,
+            "baseline_reuses": self.baseline_reuses,
+        }
 
 
 class _SmwFallback(Exception):
@@ -514,11 +527,12 @@ class CompiledSystem:
             except _SmwFallback:
                 pass
         self.stats.full_rebuilds += 1
-        if replacement is None:
-            fault = self.netlist.without(name)
-        else:
-            fault = self.netlist.with_replacement(name, replacement)
-        solution = dc_operating_point(fault, self.gmin)
+        with obs.span("mna.full_rebuild", element=name):
+            if replacement is None:
+                fault = self.netlist.without(name)
+            else:
+                fault = self.netlist.with_replacement(name, replacement)
+            solution = dc_operating_point(fault, self.gmin)
         self.stats.solves += 1
         return solution
 
@@ -673,12 +687,13 @@ class CompiledSystem:
             raise _SmwFallback
         if self._lu is None:
             matrix, _ = self._system.assemble_constant()
-            try:
-                with np.errstate(all="ignore"):
-                    self._lu = _lu_factor(matrix, check_finite=False)
-            except Exception:
-                self._lu_failed = True
-                raise _SmwFallback from None
+            with obs.span("mna.factorize", size=self._system.size):
+                try:
+                    with np.errstate(all="ignore"):
+                        self._lu = _lu_factor(matrix, check_finite=False)
+                except Exception:
+                    self._lu_failed = True
+                    raise _SmwFallback from None
         return self._lu
 
     def _direction(self, n_pos: str, n_neg: str) -> Tuple[int, int]:
@@ -786,6 +801,16 @@ class CompiledSystem:
         return self._warm_vd
 
     def _solve_incremental(self, plan: _UpdatePlan) -> DCSolution:
+        if not obs.enabled():
+            return self._solve_incremental_impl(plan)
+        with obs.span(
+            "mna.smw_solve", removed=plan.removed, size=self._system.size
+        ) as sp:
+            solution = self._solve_incremental_impl(plan)
+            sp.set(iterations=solution.iterations)
+            return solution
+
+    def _solve_incremental_impl(self, plan: _UpdatePlan) -> DCSolution:
         system = self._system
         self._ensure_lu()
         base_matrix, base_rhs = system.assemble_constant()

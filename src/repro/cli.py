@@ -17,12 +17,49 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
-from repro.safety.report import fmea_to_sheet, fmeda_to_sheet, render_text_table
+from repro.safety.report import (
+    fmea_to_sheet,
+    fmeda_to_sheet,
+    render_campaign_stats,
+    render_text_table,
+)
+
+
+def _obs_begin(args: argparse.Namespace) -> None:
+    """Enable the observability layer when any obs flag asks for output."""
+    if getattr(args, "trace", None) or getattr(args, "metrics", None):
+        from repro import obs
+
+        obs.enable()
+
+
+def _obs_end(args: argparse.Namespace) -> None:
+    """Export the collected trace/metrics as requested by the obs flags."""
+    if getattr(args, "trace", None):
+        from repro import obs
+
+        if str(args.trace).endswith(".json"):
+            path = obs.export_chrome_trace(args.trace)
+            print(f"Chrome trace written to {path} (open in chrome://tracing)")
+        else:
+            path = obs.export_jsonl(args.trace)
+            print(f"JSONL trace written to {path}")
+    if getattr(args, "metrics", None):
+        from repro import obs
+
+        path = obs.export_prometheus(args.metrics)
+        print(f"Prometheus metrics written to {path}")
+
+
+def _print_stats(result) -> None:
+    print("\n== campaign statistics ==")
+    print(render_campaign_stats(result))
 
 
 def _cmd_fmea(args: argparse.Namespace) -> int:
     from repro.same import SAME
 
+    _obs_begin(args)
     same = SAME()
     same.open_simulink(args.model)
     same.load_reliability(args.reliability)
@@ -34,15 +71,19 @@ def _cmd_fmea(args: argparse.Namespace) -> int:
     print(render_text_table(fmea_to_sheet(result)))
     value, asil = same.calculate_spfm()
     print(f"\nSPFM = {value * 100:.2f}%  (achieves {asil})")
+    if args.stats:
+        _print_stats(result)
     if args.out:
         path = same.export_fmea(args.out)
         print(f"FMEA workbook written to {path}")
+    _obs_end(args)
     return 0
 
 
 def _cmd_fmeda(args: argparse.Namespace) -> int:
     from repro.same import SAME
 
+    _obs_begin(args)
     same = SAME()
     same.open_simulink(args.model)
     same.load_reliability(args.reliability)
@@ -62,9 +103,12 @@ def _cmd_fmeda(args: argparse.Namespace) -> int:
         f"\nSPFM = {result.spfm * 100:.2f}%  achieves {result.asil}  "
         f"(target {args.target}, SM cost {result.total_cost:g})"
     )
+    if args.stats:
+        _print_stats(same.last_fmea)
     if args.out:
         path = same.export_fmeda(args.out)
         print(f"FMEDA workbook written to {path}")
+    _obs_end(args)
     return 0
 
 
@@ -107,6 +151,7 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     )
     from repro.same import SAME
 
+    _obs_begin(args)
     same = SAME()
     same.open_simulink(build_power_supply_simulink())
     same.load_reliability(power_supply_reliability())
@@ -124,12 +169,15 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         f"\nSPFM = {result.spfm * 100:.2f}%  achieves {result.asil} "
         f"(Table IV reproduced)"
     )
+    if args.stats:
+        _print_stats(fmea)
     if args.out:
         out = Path(args.out)
         out.mkdir(parents=True, exist_ok=True)
         same.export_fmea(out / "fmea")
         same.export_fmeda(out / "fmeda")
         print(f"workbooks written under {out}")
+    _obs_end(args)
     return 0
 
 
@@ -220,6 +268,26 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
+    """Observability flags shared by the analysis subcommands."""
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="write a span trace: JSONL event log, or Chrome "
+        "chrome://tracing JSON when PATH ends in .json",
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="PATH",
+        help="write collected metrics in Prometheus text format",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print campaign execution statistics (CampaignStats)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="same",
@@ -234,6 +302,7 @@ def build_parser() -> argparse.ArgumentParser:
     fmea.add_argument("--threshold", type=float, default=0.2)
     fmea.add_argument("--assume-stable", action="append", dest="assume_stable")
     fmea.add_argument("--out")
+    _add_obs_arguments(fmea)
     fmea.set_defaults(func=_cmd_fmea)
 
     fmeda = sub.add_parser("fmeda", help="FMEDA with mechanism search")
@@ -245,6 +314,7 @@ def build_parser() -> argparse.ArgumentParser:
     fmeda.add_argument("--threshold", type=float, default=0.2)
     fmeda.add_argument("--assume-stable", action="append", dest="assume_stable")
     fmeda.add_argument("--out")
+    _add_obs_arguments(fmeda)
     fmeda.set_defaults(func=_cmd_fmeda)
 
     transform = sub.add_parser("transform", help="Simulink -> SSAM")
@@ -260,6 +330,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     demo = sub.add_parser("demo", help="run the paper's case study")
     demo.add_argument("--out")
+    _add_obs_arguments(demo)
     demo.set_defaults(func=_cmd_demo)
 
     fta = sub.add_parser("fta", help="fault-tree analysis federated with FMEA")

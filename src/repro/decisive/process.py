@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
+from repro import obs
 from repro.federation import FederationReport, aggregate_reliability
 from repro.reliability import ReliabilityModel
 from repro.safety import (
@@ -109,20 +110,28 @@ class DecisiveProcess:
 
     def step3_aggregate(self) -> FederationReport:
         """Aggregate reliability data into the design (Step 3)."""
-        return aggregate_reliability(
-            self.model, self.reliability, overwrite=self.overwrite_reliability
-        )
+        with obs.span("decisive.step3_aggregate"):
+            return aggregate_reliability(
+                self.model,
+                self.reliability,
+                overwrite=self.overwrite_reliability,
+            )
 
     def step4a_evaluate(self) -> Tuple[FmeaResult, float, str]:
         """Automated FMEA + architectural metrics (Step 4a)."""
-        fmea = run_ssam_fmea(self._system, self.reliability)
-        value = spfm(fmea, self.deployments)
-        return fmea, value, asil_from_spfm(value)
+        with obs.span("decisive.fmea"):
+            fmea = run_ssam_fmea(self._system, self.reliability)
+        with obs.span("decisive.metric_check") as sp:
+            value = spfm(fmea, self.deployments)
+            asil = asil_from_spfm(value)
+            sp.set(spfm=value, asil=asil)
+        return fmea, value, asil
 
     def step4b_refine(self, fmea: FmeaResult) -> List[Deployment]:
         """Search the mechanism catalogue for a deployment meeting the
         target (Step 4b); returns the *new* deployments (possibly empty)."""
-        plan = search_for_target(fmea, self.mechanisms, self.target_asil)
+        with obs.span("decisive.step4b_refine", target=self.target_asil):
+            plan = search_for_target(fmea, self.mechanisms, self.target_asil)
         if plan is None:
             return []
         existing = {(d.component, d.failure_mode) for d in self.deployments}
@@ -181,26 +190,40 @@ class DecisiveProcess:
         """Iterate Steps 3–4 until the target holds (or iterations run out),
         then synthesise the safety concept."""
         log = ProcessLog(system=self.model.name, target_asil=self.target_asil)
-        self.step3_aggregate()
-        for index in range(1, max_iterations + 1):
-            fmea, value, asil = self.step4a_evaluate()
-            record = IterationRecord(
-                index=index,
-                spfm=value,
-                asil=asil,
-                safety_related=fmea.safety_related_components(),
-                met_target=_meets(value, self.target_asil),
+        with obs.span(
+            "decisive.process",
+            system=self.model.name,
+            target=self.target_asil,
+        ) as process_span:
+            self.step3_aggregate()
+            for index in range(1, max_iterations + 1):
+                with obs.span("decisive.iteration", index=index) as it_span:
+                    fmea, value, asil = self.step4a_evaluate()
+                    record = IterationRecord(
+                        index=index,
+                        spfm=value,
+                        asil=asil,
+                        safety_related=fmea.safety_related_components(),
+                        met_target=_meets(value, self.target_asil),
+                    )
+                    log.iterations.append(record)
+                    it_span.set(
+                        spfm=value, asil=asil, met_target=record.met_target
+                    )
+                    if record.met_target:
+                        break
+                    fresh = self.step4b_refine(fmea)
+                    record.deployments = fresh
+                    it_span.set(new_deployments=len(fresh))
+                    if not fresh:
+                        break  # catalogue exhausted; target unreachable
+            fmea, _, _ = self.step4a_evaluate()
+            with obs.span("decisive.fmeda"):
+                fmeda = run_fmeda(fmea, self.deployments)
+            log.concept = self.step5_safety_concept(fmeda)
+            process_span.set(
+                iterations=len(log.iterations), met_target=log.met_target
             )
-            log.iterations.append(record)
-            if record.met_target:
-                break
-            fresh = self.step4b_refine(fmea)
-            record.deployments = fresh
-            if not fresh:
-                break  # catalogue exhausted; target unreachable
-        fmea, _, _ = self.step4a_evaluate()
-        fmeda = run_fmeda(fmea, self.deployments)
-        log.concept = self.step5_safety_concept(fmeda)
         return log
 
 

@@ -1,0 +1,183 @@
+"""``repro.obs`` — unified tracing + metrics for the whole toolchain.
+
+One dependency-free layer gives every expensive subsystem — the MNA solver,
+fault-injection campaigns, the mechanism optimiser, the DECISIVE loop — a
+shared vocabulary of **spans** (hierarchical timed regions) and **metrics**
+(counters / gauges / histograms), with exporters to JSONL, Prometheus text
+and Chrome ``chrome://tracing`` JSON.  See ``docs/observability.md`` for
+the span taxonomy and metric names.
+
+Usage::
+
+    from repro import obs
+
+    obs.enable()
+    with obs.span("campaign", system="System B") as sp:
+        ...
+        sp.set(jobs=230)
+    obs.counter("campaign_jobs").inc(230)
+    obs.export_jsonl("trace.jsonl")
+
+Disabled (the default), :func:`span` returns a shared no-op singleton and
+instrumented code costs a single module-flag check — the layer is designed
+to stay in the hot paths permanently.
+
+Pool workers trace into their own process-local state;
+:func:`drain_worker_data` (worker side) and :func:`ingest_worker_data`
+(parent side) move spans and metrics across the process boundary with
+deterministic id remapping, so merged traces are reproducible.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.obs.export import (
+    chrome_trace_events,
+    export_chrome_trace as _export_chrome_trace,
+    export_jsonl as _export_jsonl,
+    export_prometheus as _export_prometheus,
+    prometheus_text as _prometheus_text,
+    read_jsonl,
+    span_tree,
+)
+from repro.obs.metrics import (
+    DEFAULT_TIME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+)
+from repro.obs.tracing import NOOP_SPAN, Span, SpanRecord, Tracer
+
+__all__ = [
+    "enable", "disable", "enabled", "reset",
+    "span", "current_span_id", "tracer",
+    "counter", "gauge", "histogram", "registry",
+    "drain_worker_data", "ingest_worker_data",
+    "export_jsonl", "export_prometheus", "export_chrome_trace",
+    "prometheus_text", "read_jsonl", "span_tree", "chrome_trace_events",
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "MetricError",
+    "Span", "SpanRecord", "Tracer", "NOOP_SPAN", "DEFAULT_TIME_BUCKETS",
+]
+
+_ENABLED: bool = False
+_TRACER = Tracer()
+_REGISTRY = MetricsRegistry()
+
+
+def enable() -> None:
+    """Turn tracing + metrics collection on (module-wide)."""
+    global _ENABLED
+    _ENABLED = True
+
+
+def disable() -> None:
+    global _ENABLED
+    _ENABLED = False
+
+
+def enabled() -> bool:
+    return _ENABLED
+
+
+def reset() -> None:
+    """Drop all collected spans and metrics (the enabled flag is kept)."""
+    _TRACER.clear()
+    _REGISTRY.reset()
+
+
+# -- tracing ----------------------------------------------------------------
+
+
+def span(name: str, **attrs: object):
+    """Start a span (context manager).  No-op singleton when disabled."""
+    if not _ENABLED:
+        return NOOP_SPAN
+    return _TRACER.span(name, attrs)
+
+
+def current_span_id() -> Optional[int]:
+    if not _ENABLED:
+        return None
+    return _TRACER.current_span_id()
+
+
+def tracer() -> Tracer:
+    return _TRACER
+
+
+# -- metrics ----------------------------------------------------------------
+
+
+def counter(name: str) -> Counter:
+    return _REGISTRY.counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    return _REGISTRY.gauge(name)
+
+
+def histogram(name: str, buckets: Optional[Sequence[float]] = None) -> Histogram:
+    return _REGISTRY.histogram(name, buckets)
+
+
+def registry() -> MetricsRegistry:
+    return _REGISTRY
+
+
+# -- process-pool plumbing --------------------------------------------------
+
+
+def drain_worker_data() -> Optional[Dict[str, object]]:
+    """Worker side: pop this process's spans + metrics as a picklable blob.
+
+    Returns ``None`` when observability is disabled, so the parent can skip
+    the merge entirely."""
+    if not _ENABLED:
+        return None
+    return {
+        "spans": [record.to_dict() for record in _TRACER.drain()],
+        "metrics": _REGISTRY.snapshot(),
+    }
+
+
+def ingest_worker_data(
+    payload: Optional[Mapping[str, object]],
+    parent_id: Optional[int] = None,
+) -> List[SpanRecord]:
+    """Parent side: merge one worker blob under ``parent_id``."""
+    if payload is None or not _ENABLED:
+        return []
+    records = [
+        SpanRecord.from_dict(item)
+        for item in payload.get("spans", ())  # type: ignore[union-attr]
+    ]
+    merged = _TRACER.ingest(records, parent_id=parent_id)
+    metrics = payload.get("metrics")
+    if metrics:
+        _REGISTRY.merge(metrics)  # type: ignore[arg-type]
+    return merged
+
+
+# -- exporters (bound to the module-level tracer/registry) ------------------
+
+
+def export_jsonl(path: Union[str, Path], include_metrics: bool = True) -> Path:
+    return _export_jsonl(
+        path, _TRACER, _REGISTRY if include_metrics else None
+    )
+
+
+def export_prometheus(path: Union[str, Path]) -> Path:
+    return _export_prometheus(path, _REGISTRY)
+
+
+def export_chrome_trace(path: Union[str, Path]) -> Path:
+    return _export_chrome_trace(path, _TRACER)
+
+
+def prometheus_text() -> str:
+    return _prometheus_text(_REGISTRY)

@@ -1,0 +1,210 @@
+"""Exporters for the observability layer.
+
+Three formats, matched to three consumers:
+
+- **JSONL event log** (:func:`export_jsonl` / :func:`read_jsonl`) — one
+  JSON object per line (``{"type": "span", ...}`` and
+  ``{"type": "metric", ...}``), lossless, grep-able, and round-trippable
+  back into span trees;
+- **Prometheus text** (:func:`prometheus_text` / :func:`export_prometheus`)
+  — the classic exposition format, so campaign counters can be scraped or
+  diffed between runs;
+- **Chrome trace JSON** (:func:`export_chrome_trace`) — complete ``"X"``
+  duration events loadable in ``chrome://tracing`` / Perfetto, one lane
+  per (process, thread).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.tracing import SpanRecord, Tracer
+
+
+# -- JSONL event log --------------------------------------------------------
+
+
+def _metric_events(registry: MetricsRegistry) -> List[Dict[str, object]]:
+    events: List[Dict[str, object]] = []
+    for metric in registry.metrics():
+        if isinstance(metric, Counter):
+            events.append(
+                {"type": "metric", "kind": "counter",
+                 "name": metric.name, "value": metric.value}
+            )
+        elif isinstance(metric, Gauge):
+            events.append(
+                {"type": "metric", "kind": "gauge",
+                 "name": metric.name, "value": metric.value}
+            )
+        elif isinstance(metric, Histogram):
+            events.append(
+                {"type": "metric", "kind": "histogram", "name": metric.name,
+                 "bounds": list(metric.bounds),
+                 "counts": metric.bucket_counts(),
+                 "sum": metric.sum, "count": metric.count}
+            )
+    return events
+
+
+def export_jsonl(
+    path: Union[str, Path],
+    tracer: Tracer,
+    registry: Optional[MetricsRegistry] = None,
+) -> Path:
+    """Write spans (and, optionally, a metrics snapshot) as JSON lines."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    lines: List[str] = []
+    for record in tracer.records():
+        event = record.to_dict()
+        event["type"] = "span"
+        lines.append(json.dumps(event, sort_keys=True))
+    if registry is not None:
+        for event in _metric_events(registry):
+            lines.append(json.dumps(event, sort_keys=True))
+    path.write_text("\n".join(lines) + ("\n" if lines else ""), encoding="utf-8")
+    return path
+
+
+def read_jsonl(
+    path: Union[str, Path],
+) -> Tuple[List[SpanRecord], List[Dict[str, object]]]:
+    """Parse a JSONL event log back into (span records, metric events)."""
+    spans: List[SpanRecord] = []
+    metrics: List[Dict[str, object]] = []
+    for line in Path(path).read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        event = json.loads(line)
+        if event.get("type") == "span":
+            spans.append(SpanRecord.from_dict(event))
+        elif event.get("type") == "metric":
+            metrics.append(event)
+    return spans, metrics
+
+
+def span_tree(records: Sequence[SpanRecord]) -> List[Dict[str, object]]:
+    """Nest span records into ``{"name", "attrs", "span_id", "children"}``
+    dicts.  Roots and children keep *start order* (monotonic within a
+    process), so a tree built from a round-tripped JSONL file compares
+    equal to one built from the in-memory records."""
+    nodes: Dict[int, Dict[str, object]] = {}
+    for record in records:
+        nodes[record.span_id] = {
+            "span_id": record.span_id,
+            "name": record.name,
+            "attrs": dict(record.attrs),
+            "duration_ns": record.duration_ns,
+            "children": [],
+        }
+    roots: List[Tuple[Tuple[int, int], Dict[str, object]]] = []
+    children: Dict[int, List[Tuple[Tuple[int, int], Dict[str, object]]]] = {}
+    for record in records:
+        key = (record.start_ns, record.span_id)
+        if record.parent_id is not None and record.parent_id in nodes:
+            children.setdefault(record.parent_id, []).append(
+                (key, nodes[record.span_id])
+            )
+        else:
+            roots.append((key, nodes[record.span_id]))
+    for parent_id, ordered in children.items():
+        nodes[parent_id]["children"] = [
+            node for _, node in sorted(ordered, key=lambda item: item[0])
+        ]
+    return [node for _, node in sorted(roots, key=lambda item: item[0])]
+
+
+# -- Prometheus exposition format -------------------------------------------
+
+
+def _prom_name(name: str) -> str:
+    out = []
+    for ch in name:
+        out.append(ch if (ch.isalnum() or ch in "_:") else "_")
+    text = "".join(out)
+    return "_" + text if text[:1].isdigit() else text
+
+
+def _prom_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """The registry in Prometheus text exposition format."""
+    lines: List[str] = []
+    for metric in registry.metrics():
+        name = _prom_name(metric.name)
+        if isinstance(metric, Counter):
+            lines.append(f"# TYPE {name} counter")
+            lines.append(f"{name} {_prom_value(metric.value)}")
+        elif isinstance(metric, Gauge):
+            lines.append(f"# TYPE {name} gauge")
+            lines.append(f"{name} {_prom_value(metric.value)}")
+        elif isinstance(metric, Histogram):
+            lines.append(f"# TYPE {name} histogram")
+            for bound, cumulative in metric.cumulative():
+                lines.append(
+                    f'{name}_bucket{{le="{_prom_value(bound)}"}} {cumulative}'
+                )
+            lines.append(f"{name}_sum {repr(metric.sum)}")
+            lines.append(f"{name}_count {metric.count}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def export_prometheus(path: Union[str, Path], registry: MetricsRegistry) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(prometheus_text(registry), encoding="utf-8")
+    return path
+
+
+# -- Chrome trace JSON ------------------------------------------------------
+
+
+def chrome_trace_events(records: Sequence[SpanRecord]) -> List[Dict[str, object]]:
+    """Complete-duration (``"ph": "X"``) events for ``chrome://tracing``.
+
+    Timestamps are microseconds relative to the earliest span's wall-clock
+    epoch, so spans from pool workers land on the same display axis as the
+    parent process; durations stay monotonic-clock exact.
+    """
+    if not records:
+        return []
+    base_epoch = min(r.epoch_ns for r in records)
+    tids: Dict[Tuple[int, str], int] = {}
+    events: List[Dict[str, object]] = []
+    for record in records:
+        key = (record.pid, record.thread)
+        tid = tids.setdefault(key, len(tids) + 1)
+        events.append(
+            {
+                "name": record.name,
+                "cat": record.name.split(".", 1)[0],
+                "ph": "X",
+                "ts": (record.epoch_ns - base_epoch) / 1000.0,
+                "dur": record.duration_ns / 1000.0,
+                "pid": record.pid,
+                "tid": tid,
+                "args": dict(record.attrs),
+            }
+        )
+    events.sort(key=lambda e: (e["ts"], e["pid"], e["tid"]))
+    return events
+
+
+def export_chrome_trace(path: Union[str, Path], tracer: Tracer) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {"traceEvents": chrome_trace_events(tracer.records())}
+    path.write_text(json.dumps(payload, indent=1), encoding="utf-8")
+    return path

@@ -1,0 +1,223 @@
+"""Metrics registry: counters, gauges and fixed-bucket histograms.
+
+The campaign engine's :class:`~repro.safety.campaign.CampaignStats` and the
+solver's :class:`~repro.circuit.SolveStats` stay plain dataclasses on the
+hot path (an int increment is cheaper than any registry lookup); at the end
+of a campaign their counters are *published* into this registry, making
+them first-class metrics that every exporter — Prometheus text, the JSONL
+event log — can see alongside live gauges and histograms.
+
+Histograms are Prometheus-style: a fixed, sorted tuple of upper bounds,
+with cumulative counts materialised at export time.  All mutation is
+lock-protected, and :meth:`MetricsRegistry.merge` folds a snapshot from a
+pool worker into the parent registry (counters add, gauges take the latest
+value, histograms add per-bucket counts).
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+#: Default histogram buckets for durations in seconds (solver and campaign
+#: job times span ~100 µs to seconds).
+DEFAULT_TIME_BUCKETS: Tuple[float, ...] = (
+    1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3,
+    1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+class MetricError(Exception):
+    """Raised on metric-type conflicts or malformed bucket specs."""
+
+
+class Counter:
+    """A monotonically increasing counter."""
+
+    __slots__ = ("name", "_lock", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        if amount < 0:
+            raise MetricError(f"counter {self.name!r} cannot decrease")
+        with self._lock:
+            self._value += amount
+
+
+class Gauge:
+    """A value that can go up and down (last write wins)."""
+
+    __slots__ = ("name", "_lock", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def set(self, value: Union[int, float]) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+
+class Histogram:
+    """Fixed-bucket histogram; bucket ``i`` counts values ``<= bounds[i]``
+    (exclusive of lower bounds, like Prometheus ``le`` semantics); values
+    above the last bound land in the implicit ``+Inf`` bucket."""
+
+    __slots__ = ("name", "bounds", "_lock", "_counts", "_sum", "_count")
+
+    def __init__(self, name: str, buckets: Sequence[float]) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or list(bounds) != sorted(set(bounds)):
+            raise MetricError(
+                f"histogram {name!r} buckets must be a sorted, de-duplicated,"
+                f" non-empty sequence; got {buckets!r}"
+            )
+        self.name = name
+        self.bounds = bounds
+        self._lock = threading.Lock()
+        self._counts = [0] * (len(bounds) + 1)  # last slot: +Inf
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: Union[int, float]) -> None:
+        index = bisect.bisect_left(self.bounds, float(value))
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    def bucket_counts(self) -> List[int]:
+        """Per-bucket (non-cumulative) counts; last entry is ``+Inf``."""
+        with self._lock:
+            return list(self._counts)
+
+    def cumulative(self) -> List[Tuple[float, int]]:
+        """Prometheus-style ``(le, cumulative_count)`` pairs, +Inf last."""
+        with self._lock:
+            counts = list(self._counts)
+        out: List[Tuple[float, int]] = []
+        running = 0
+        for bound, count in zip(self.bounds, counts):
+            running += count
+            out.append((bound, running))
+        out.append((float("inf"), running + counts[-1]))
+        return out
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Name → metric, with get-or-create accessors and worker-merge."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: Dict[str, Metric] = {}
+
+    def _get_or_create(self, name: str, factory) -> Metric:
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = factory()
+                self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str) -> Counter:
+        metric = self._get_or_create(name, lambda: Counter(name))
+        if not isinstance(metric, Counter):
+            raise MetricError(f"{name!r} is already a {type(metric).__name__}")
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._get_or_create(name, lambda: Gauge(name))
+        if not isinstance(metric, Gauge):
+            raise MetricError(f"{name!r} is already a {type(metric).__name__}")
+        return metric
+
+    def histogram(
+        self, name: str, buckets: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        metric = self._get_or_create(
+            name, lambda: Histogram(name, buckets or DEFAULT_TIME_BUCKETS)
+        )
+        if not isinstance(metric, Histogram):
+            raise MetricError(f"{name!r} is already a {type(metric).__name__}")
+        return metric
+
+    def metrics(self) -> List[Metric]:
+        with self._lock:
+            return [self._metrics[name] for name in sorted(self._metrics)]
+
+    def reset(self) -> None:
+        with self._lock:
+            self._metrics = {}
+
+    # -- worker snapshot / merge ------------------------------------------
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """A picklable dump, suitable for shipping out of a pool worker."""
+        out: Dict[str, Dict[str, object]] = {}
+        for metric in self.metrics():
+            if isinstance(metric, Counter):
+                out[metric.name] = {"type": "counter", "value": metric.value}
+            elif isinstance(metric, Gauge):
+                out[metric.name] = {"type": "gauge", "value": metric.value}
+            else:
+                out[metric.name] = {
+                    "type": "histogram",
+                    "bounds": list(metric.bounds),
+                    "counts": metric.bucket_counts(),
+                    "sum": metric.sum,
+                }
+        return out
+
+    def merge(self, snapshot: Mapping[str, Mapping[str, object]]) -> None:
+        """Fold a worker :meth:`snapshot` into this registry."""
+        for name, payload in snapshot.items():
+            kind = payload["type"]
+            if kind == "counter":
+                self.counter(name).inc(payload["value"])  # type: ignore[arg-type]
+            elif kind == "gauge":
+                self.gauge(name).set(payload["value"])  # type: ignore[arg-type]
+            elif kind == "histogram":
+                histogram = self.histogram(name, payload["bounds"])  # type: ignore[arg-type]
+                if list(histogram.bounds) != [
+                    float(b) for b in payload["bounds"]  # type: ignore[union-attr]
+                ]:
+                    raise MetricError(
+                        f"histogram {name!r} bucket mismatch on merge"
+                    )
+                counts: Sequence[int] = payload["counts"]  # type: ignore[assignment]
+                with histogram._lock:
+                    for index, count in enumerate(counts):
+                        histogram._counts[index] += count
+                    histogram._sum += float(payload["sum"])  # type: ignore[arg-type]
+                    histogram._count += sum(counts)
+            else:
+                raise MetricError(f"unknown metric type {kind!r} for {name!r}")

@@ -72,6 +72,8 @@ from repro.safety.optimizer import (
     search_for_target,
 )
 from repro.safety.report import (
+    campaign_stats_sheet,
+    render_campaign_stats,
     fmea_to_sheet,
     fmeda_to_sheet,
     render_text_table,
@@ -126,4 +128,6 @@ __all__ = [
     "save_fmea_workbook",
     "save_fmeda_workbook",
     "render_text_table",
+    "campaign_stats_sheet",
+    "render_campaign_stats",
 ]

@@ -25,6 +25,7 @@ import time
 from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
+from repro import obs
 from repro.circuit import CircuitError, CompiledSystem, SolveStats
 from repro.circuit.netlist import Netlist
 from repro.reliability import ReliabilityModel
@@ -76,6 +77,13 @@ class CampaignStats:
     baseline_reuses: int = 0
     parallel_fallback: bool = False  # pool unavailable; ran serially
 
+    #: Counter fields published to the ``repro.obs`` metrics registry.
+    _COUNTER_FIELDS = (
+        "jobs", "rows", "solves", "newton_iterations",
+        "factorization_reuses", "smw_solves", "full_rebuilds",
+        "baseline_reuses",
+    )
+
     def absorb(self, solve_stats: SolveStats) -> None:
         self.solves += solve_stats.solves
         self.newton_iterations += solve_stats.newton_iterations
@@ -86,6 +94,28 @@ class CampaignStats:
 
     def as_dict(self) -> Dict[str, object]:
         return asdict(self)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Alias of :meth:`as_dict` — the exported-workbook/CLI spelling."""
+        return self.as_dict()
+
+    def publish(self) -> None:
+        """Mirror the counters into the ``repro.obs`` metrics registry as
+        first-class ``campaign_*`` metrics (no-op while obs is disabled).
+
+        The registry values aggregate across campaigns (counters), so one
+        traced session sums its campaigns exactly as the per-campaign
+        ``CampaignStats`` instances do.
+        """
+        if not obs.enabled():
+            return
+        for name in self._COUNTER_FIELDS:
+            obs.counter(f"campaign_{name}").inc(getattr(self, name))
+        obs.gauge("campaign_wall_seconds").set(self.wall_time)
+        obs.gauge("campaign_baseline_seconds").set(self.baseline_time)
+        obs.gauge("campaign_workers").set(self.workers)
+        if self.parallel_fallback:
+            obs.counter("campaign_parallel_fallbacks").inc()
 
 
 #: Job outcome: ('ok', readings) or ('error', message).
@@ -119,7 +149,39 @@ def _execute_job(
     t_stop: float,
     dt: float,
 ) -> _Outcome:
-    """Run one injection; never raises for circuit-level failures."""
+    """Run one injection; never raises for circuit-level failures.
+
+    With observability enabled, each execution is a ``campaign.job`` span
+    (created in whichever process runs the job — the parent merges worker
+    spans afterwards) and feeds the ``campaign_job_seconds`` histogram.
+    """
+    if not obs.enabled():
+        return _execute_job_impl(conversion, compiled, job, analysis, t_stop, dt)
+    with obs.span(
+        "campaign.job",
+        job=job.index,
+        component=job.component,
+        failure_mode=job.failure_mode,
+    ) as sp:
+        started = time.perf_counter()
+        outcome = _execute_job_impl(
+            conversion, compiled, job, analysis, t_stop, dt
+        )
+        obs.histogram("campaign_job_seconds").observe(
+            time.perf_counter() - started
+        )
+        sp.set(outcome=outcome[0])
+        return outcome
+
+
+def _execute_job_impl(
+    conversion: ElectricalConversion,
+    compiled: Optional[CompiledSystem],
+    job: InjectionJob,
+    analysis: str,
+    t_stop: float,
+    dt: float,
+) -> _Outcome:
     if compiled is not None and analysis == "dc":
         replacement = _behavior_replacement(
             conversion.netlist, job.element_name, job.behavior, job.block_params
@@ -172,7 +234,13 @@ def _campaign_worker_init(
     t_stop: float,
     dt: float,
     incremental: bool,
+    trace_enabled: bool = False,
 ) -> None:
+    if trace_enabled:
+        # Trace in the worker too; start from a clean slate (a fork start
+        # method copies the parent's already-recorded spans).
+        obs.enable()
+        obs.reset()
     _WORKER_STATE["conversion"] = conversion
     _WORKER_STATE["analysis"] = analysis
     _WORKER_STATE["t_stop"] = t_stop
@@ -185,7 +253,7 @@ def _campaign_worker_init(
 
 def _campaign_worker_chunk(
     chunk: Sequence[InjectionJob],
-) -> Tuple[List[Tuple[int, _Outcome]], SolveStats]:
+) -> Tuple[List[Tuple[int, _Outcome]], SolveStats, Optional[Dict[str, object]]]:
     conversion: ElectricalConversion = _WORKER_STATE["conversion"]
     compiled: Optional[CompiledSystem] = _WORKER_STATE["compiled"]
     analysis: str = _WORKER_STATE["analysis"]
@@ -195,8 +263,14 @@ def _campaign_worker_chunk(
         (job.index, _execute_job(conversion, compiled, job, analysis, t_stop, dt))
         for job in chunk
     ]
-    stats = compiled.stats if compiled is not None else SolveStats()
-    return results, stats
+    # Report this chunk's *delta*, not the worker's cumulative counters: a
+    # worker serving several chunks would otherwise double-count earlier
+    # chunks in the parent's aggregate.
+    stats = SolveStats()
+    if compiled is not None:
+        stats.merge(compiled.stats)
+        compiled.stats = SolveStats()
+    return results, stats, obs.drain_worker_data()
 
 
 class FaultInjectionCampaign:
@@ -349,7 +423,6 @@ class FaultInjectionCampaign:
             list(jobs[offset :: self.workers]) for offset in range(self.workers)
         ]
         chunks = [chunk for chunk in chunks if chunk]
-        outcomes: Dict[int, _Outcome] = {}
         with ProcessPoolExecutor(
             max_workers=len(chunks),
             initializer=_campaign_worker_init,
@@ -359,12 +432,23 @@ class FaultInjectionCampaign:
                 self.t_stop,
                 self.dt,
                 self.incremental,
+                obs.enabled(),
             ),
         ) as pool:
-            for results, solve_stats in pool.map(_campaign_worker_chunk, chunks):
-                for index, outcome in results:
-                    outcomes[index] = outcome
-                stats.absorb(solve_stats)
+            # Collect everything before mutating `stats`/the tracer: if the
+            # pool dies mid-map and we fall back to serial, partially
+            # absorbed worker counters would double-count the serial re-run.
+            chunk_results = list(pool.map(_campaign_worker_chunk, chunks))
+        outcomes: Dict[int, _Outcome] = {}
+        parent_span = obs.current_span_id()
+        for results, solve_stats, trace_payload in chunk_results:
+            for index, outcome in results:
+                outcomes[index] = outcome
+            stats.absorb(solve_stats)
+            # Merge worker spans in chunk-submission order (pool.map keeps
+            # it), so the combined trace is deterministic for a fixed
+            # worker count.
+            obs.ingest_worker_data(trace_payload, parent_id=parent_span)
         return outcomes
 
     def _execute(
@@ -432,7 +516,15 @@ class FaultInjectionCampaign:
 
     def run(self) -> FmeaResult:
         """Execute the campaign and return the component safety analysis
-        model, with :class:`CampaignStats` attached as ``result.stats``."""
+        model, with :class:`CampaignStats` attached as ``result.stats``.
+
+        With observability enabled the campaign is one ``campaign`` span
+        over ``campaign.baseline`` / ``campaign.enumerate`` /
+        ``campaign.execute`` (parenting one ``campaign.job`` span per
+        executed injection, merged back from pool workers) /
+        ``campaign.classify`` phases, and the final counters are published
+        as ``campaign_*`` metrics.
+        """
         started = time.perf_counter()
         stats = CampaignStats(
             workers=self.workers,
@@ -440,38 +532,59 @@ class FaultInjectionCampaign:
             analysis=self.analysis,
         )
 
-        conversion = to_netlist(self.model)
-        baseline_started = time.perf_counter()
-        if self.analysis == "transient":
-            baseline = _solve_readings_transient(
-                conversion, conversion.netlist, self.t_stop, self.dt
-            )
-        else:
-            baseline = _solve_readings(conversion, conversion.netlist)
-        stats.baseline_time = time.perf_counter() - baseline_started
-        monitored = _select_sensors(conversion, self.sensors, baseline)
-
-        result = FmeaResult(
+        with obs.span(
+            "campaign",
             system=self.model.name,
-            method="injection",
-            baseline_readings={name: baseline[name] for name in monitored},
-        )
-        slots, jobs = self._enumerate(conversion, result)
-        stats.jobs = len(jobs)
-        stats.rows = len(slots)
+            mode=stats.mode,
+            workers=self.workers,
+            analysis=self.analysis,
+        ) as campaign_span:
+            conversion = to_netlist(self.model)
+            baseline_started = time.perf_counter()
+            with obs.span("campaign.baseline", analysis=self.analysis):
+                if self.analysis == "transient":
+                    baseline = _solve_readings_transient(
+                        conversion, conversion.netlist, self.t_stop, self.dt
+                    )
+                else:
+                    baseline = _solve_readings(conversion, conversion.netlist)
+            stats.baseline_time = time.perf_counter() - baseline_started
+            monitored = _select_sensors(conversion, self.sensors, baseline)
 
-        outcomes = self._execute(conversion, jobs, stats)
-        for row, job in slots:
-            if job is None:
-                result.rows.append(row)
-                continue
-            result.rows.append(
-                self._classify(row, outcomes[job.index], baseline, monitored)
+            result = FmeaResult(
+                system=self.model.name,
+                method="injection",
+                baseline_readings={name: baseline[name] for name in monitored},
             )
-        if not result.rows:
-            raise FmeaError(
-                "FMEA produced no rows: no component matched the reliability model"
+            with obs.span("campaign.enumerate") as enumerate_span:
+                slots, jobs = self._enumerate(conversion, result)
+                enumerate_span.set(jobs=len(jobs), rows=len(slots))
+            stats.jobs = len(jobs)
+            stats.rows = len(slots)
+
+            with obs.span("campaign.execute", jobs=len(jobs)):
+                outcomes = self._execute(conversion, jobs, stats)
+            with obs.span("campaign.classify", rows=len(slots)):
+                for row, job in slots:
+                    if job is None:
+                        result.rows.append(row)
+                        continue
+                    result.rows.append(
+                        self._classify(
+                            row, outcomes[job.index], baseline, monitored
+                        )
+                    )
+            if not result.rows:
+                raise FmeaError(
+                    "FMEA produced no rows: no component matched the "
+                    "reliability model"
+                )
+            stats.wall_time = time.perf_counter() - started
+            campaign_span.set(
+                jobs=stats.jobs,
+                rows=stats.rows,
+                parallel_fallback=stats.parallel_fallback,
             )
-        stats.wall_time = time.perf_counter() - started
         result.stats = stats
+        stats.publish()
         return result

@@ -21,6 +21,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.safety.fmea import FmeaError, FmeaResult, FmeaRow
 from repro.safety.mechanisms import Deployment, SafetyMechanismModel
 from repro.safety.metrics import _coverage_map, asil_from_spfm, spfm, spfm_meets
@@ -75,6 +76,8 @@ class _SpfmEvaluator:
         }
 
     def spfm(self, deployments: Sequence[Deployment]) -> float:
+        if obs.enabled():
+            obs.counter("optimizer_spfm_evaluations").inc()
         if self._vacuous:
             return 1.0
         coverage = _coverage_map(deployments)
@@ -88,6 +91,8 @@ class _SpfmEvaluator:
                 for (_, mode_rate), covered in zip(rows, signature):
                     contribution = contribution + mode_rate * (1.0 - covered)
                 self._cache[component][signature] = contribution
+            elif obs.enabled():
+                obs.counter("optimizer_spfm_cache_hits").inc()
             lambda_spf += contribution
         return 1.0 - lambda_spf / self._lambda_total
 
@@ -163,9 +168,11 @@ def enumerate_plans(
     evaluator = _SpfmEvaluator(fmea)
     plans: List[DeploymentPlan] = []
     option_lists = [options for _, options in per_row]
-    for combo in itertools.product(*option_lists):
-        chosen = [d for d in combo if d is not None]
-        plans.append(evaluator.plan(chosen))
+    with obs.span("optimizer.enumerate", space=space) as sp:
+        for combo in itertools.product(*option_lists):
+            chosen = [d for d in combo if d is not None]
+            plans.append(evaluator.plan(chosen))
+        sp.set(plans=len(plans))
     return plans
 
 
@@ -186,6 +193,17 @@ def greedy_plan(
         return evaluator.plan(list(chosen.values()))
 
     plan = current_plan()
+    with obs.span("optimizer.greedy", target=target_asil) as greedy_span:
+        plan = _greedy_loop(
+            per_row, evaluator, chosen, plan, target_asil, current_plan
+        )
+        greedy_span.set(deployments=len(chosen), met=plan is not None)
+    return plan
+
+
+def _greedy_loop(
+    per_row, evaluator, chosen, plan, target_asil, current_plan
+) -> Optional[DeploymentPlan]:
     while not plan.meets(target_asil):
         best_gain_rate = 0.0
         best_deployment: Optional[Deployment] = None
@@ -226,14 +244,17 @@ def search_for_target(
     Exhaustive (optimal) when the option space is small; greedy otherwise.
     Returns ``None`` when the target cannot be met with the catalogue.
     """
-    try:
-        plans = enumerate_plans(fmea, catalogue, max_plans=max_exhaustive)
-    except ValueError:
-        return greedy_plan(fmea, catalogue, target_asil)
-    feasible = [plan for plan in plans if plan.meets(target_asil)]
-    if not feasible:
-        return None
-    return min(feasible, key=lambda plan: (plan.cost, -plan.spfm))
+    with obs.span("optimizer.search", target=target_asil) as sp:
+        try:
+            plans = enumerate_plans(fmea, catalogue, max_plans=max_exhaustive)
+        except ValueError:
+            sp.set(strategy="greedy")
+            return greedy_plan(fmea, catalogue, target_asil)
+        sp.set(strategy="exhaustive", plans=len(plans))
+        feasible = [plan for plan in plans if plan.meets(target_asil)]
+        if not feasible:
+            return None
+        return min(feasible, key=lambda plan: (plan.cost, -plan.spfm))
 
 
 def pareto_front(
@@ -245,12 +266,14 @@ def pareto_front(
 
     Sorted by increasing cost (hence increasing SPFM).
     """
-    plans = enumerate_plans(fmea, catalogue, max_plans=max_plans)
-    plans.sort(key=lambda plan: (plan.cost, -plan.spfm))
-    front: List[DeploymentPlan] = []
-    best_spfm = -1.0
-    for plan in plans:
-        if plan.spfm > best_spfm + 1e-12:
-            front.append(plan)
-            best_spfm = plan.spfm
+    with obs.span("optimizer.pareto") as sp:
+        plans = enumerate_plans(fmea, catalogue, max_plans=max_plans)
+        plans.sort(key=lambda plan: (plan.cost, -plan.spfm))
+        front: List[DeploymentPlan] = []
+        best_spfm = -1.0
+        for plan in plans:
+            if plan.spfm > best_spfm + 1e-12:
+                front.append(plan)
+                best_spfm = plan.spfm
+        sp.set(plans=len(plans), front=len(front))
     return front

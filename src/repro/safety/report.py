@@ -8,7 +8,7 @@ as CSV workbooks) and aligned text tables in Table IV's column layout.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import List, Union
+from typing import List, Optional, Union
 
 from repro.drivers.table import Sheet, Workbook
 from repro.safety.fmea import FmeaResult
@@ -60,10 +60,44 @@ def fmeda_to_sheet(result: FmedaResult, sheet_name: str = "FMEDA") -> Sheet:
     return sheet
 
 
+def campaign_stats_sheet(
+    result: FmeaResult, sheet_name: str = "Campaign_Stats"
+) -> Optional[Sheet]:
+    """The campaign's execution instrumentation as a two-column sheet, or
+    ``None`` when the result carries no stats (graph/manual FMEA)."""
+    stats = getattr(result, "stats", None)
+    if stats is None or not hasattr(stats, "to_dict"):
+        return None
+    sheet = Sheet(sheet_name)
+    for key, value in stats.to_dict().items():
+        sheet.append({"Statistic": key, "Value": value})
+    return sheet
+
+
+def render_campaign_stats(result: FmeaResult) -> str:
+    """The ``--stats`` CLI view of a campaign's instrumentation."""
+    sheet = campaign_stats_sheet(result)
+    if sheet is None:
+        return "(no campaign statistics recorded)"
+    return render_text_table(sheet)
+
+
 def save_fmea_workbook(
     result: FmeaResult, location: Union[str, Path]
 ) -> Path:
-    return Workbook([fmea_to_sheet(result)]).save(location)
+    """Save the FMEA table; workbook-directory saves also carry the
+    campaign's execution statistics as a ``Campaign_Stats`` sheet (a
+    single ``.csv`` location keeps the historical one-sheet layout)."""
+    sheet = fmea_to_sheet(result)
+    path = Path(location)
+    if path.suffix == ".csv":
+        sheet.write_csv(path)
+        return path
+    sheets = [sheet]
+    stats_sheet = campaign_stats_sheet(result)
+    if stats_sheet is not None:
+        sheets.append(stats_sheet)
+    return Workbook(sheets).save(location)
 
 
 def save_fmeda_workbook(

@@ -12,6 +12,7 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
+from repro import obs
 from repro.decisive.process import DecisiveProcess, ProcessLog
 from repro.monitor import RuntimeMonitor, generate_monitor
 from repro.reliability import ReliabilityModel, load_reliability_table
@@ -95,9 +96,10 @@ class SAME:
     def import_simulink(self, anchor_boundaries: bool = False) -> SSAMModel:
         """Transform the open Simulink model to SSAM (the editor's import)."""
         self._require("simulink_model")
-        self.ssam_model = simulink_to_ssam(
-            self.simulink_model, self.reliability, anchor_boundaries
-        )
+        with obs.span("same.transform", model=self.simulink_model.name):
+            self.ssam_model = simulink_to_ssam(
+                self.simulink_model, self.reliability, anchor_boundaries
+            )
         return self.ssam_model
 
     def export_simulink(self) -> SimulinkModel:
@@ -122,13 +124,14 @@ class SAME:
     ) -> FmeaResult:
         self._require("simulink_model")
         self._require("reliability")
-        self.last_fmea = run_simulink_fmea(
-            self.simulink_model,
-            self.reliability,
-            sensors=sensors,
-            threshold=threshold,
-            assume_stable=assume_stable,
-        )
+        with obs.span("same.fmea", method="injection"):
+            self.last_fmea = run_simulink_fmea(
+                self.simulink_model,
+                self.reliability,
+                sensors=sensors,
+                threshold=threshold,
+                assume_stable=assume_stable,
+            )
         return self.last_fmea
 
     def run_fmea_ssam(self, component=None) -> FmeaResult:
@@ -139,17 +142,22 @@ class SAME:
             if not tops:
                 raise ValueError("SSAM model has no top-level component")
             target = tops[0]
-        self.last_fmea = run_ssam_fmea(target, self.reliability)
+        with obs.span("same.fmea", method="graph"):
+            self.last_fmea = run_ssam_fmea(target, self.reliability)
         return self.last_fmea
 
     def calculate_spfm(self) -> Tuple[float, str]:
         self._require("last_fmea")
-        value = spfm(self.last_fmea, self.deployments)
-        return value, asil_from_spfm(value)
+        with obs.span("same.metric_check") as sp:
+            value = spfm(self.last_fmea, self.deployments)
+            asil = asil_from_spfm(value)
+            sp.set(spfm=value, asil=asil)
+        return value, asil
 
     def run_fmeda(self) -> FmedaResult:
         self._require("last_fmea")
-        self.last_fmeda = run_fmeda(self.last_fmea, self.deployments)
+        with obs.span("same.fmeda", deployments=len(self.deployments)):
+            self.last_fmeda = run_fmeda(self.last_fmea, self.deployments)
         return self.last_fmeda
 
     # -- mechanisms ----------------------------------------------------------------
@@ -182,7 +190,10 @@ class SAME:
         """Let SAME determine the solution for the target safety level."""
         self._require("mechanisms")
         self._require("last_fmea")
-        plan = search_for_target(self.last_fmea, self.mechanisms, target_asil)
+        with obs.span("same.search_deployment", target=target_asil):
+            plan = search_for_target(
+                self.last_fmea, self.mechanisms, target_asil
+            )
         if plan is not None:
             self.deployments = list(plan.deployments)
         return plan
@@ -273,7 +284,8 @@ class SAME:
         process = DecisiveProcess(
             self.ssam_model, self.reliability, self.mechanisms, target_asil
         )
-        log = process.run(max_iterations)
+        with obs.span("same.decisive", target=target_asil):
+            log = process.run(max_iterations)
         self.deployments = list(process.deployments)
         self.last_fmea, _, _ = process.step4a_evaluate()
         self.last_fmeda = log.concept.fmeda if log.concept else None
