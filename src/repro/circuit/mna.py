@@ -691,8 +691,21 @@ class CompiledSystem:
                 try:
                     with np.errstate(all="ignore"):
                         self._lu = _lu_factor(matrix, check_finite=False)
-                except Exception:
+                except (np.linalg.LinAlgError, ValueError) as exc:
+                    # LinAlgError: singular constant matrix; ValueError:
+                    # non-finite entries rejected by the factorizer.  Both
+                    # mean "this system has no reusable LU" — latch and let
+                    # every solve take the dense path.  Anything else is a
+                    # programming error and must propagate.
                     self._lu_failed = True
+                    if obs.enabled():
+                        obs.counter("mna_lu_failures").inc()
+                        with obs.span(
+                            "mna.lu_failure",
+                            size=self._system.size,
+                            error=type(exc).__name__,
+                        ):
+                            pass
                     raise _SmwFallback from None
         return self._lu
 

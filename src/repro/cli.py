@@ -67,6 +67,7 @@ def _cmd_fmea(args: argparse.Namespace) -> int:
         sensors=args.sensor or None,
         threshold=args.threshold,
         assume_stable=args.assume_stable or (),
+        **_campaign_kwargs(args),
     )
     print(render_text_table(fmea_to_sheet(result)))
     value, asil = same.calculate_spfm()
@@ -92,6 +93,7 @@ def _cmd_fmeda(args: argparse.Namespace) -> int:
         sensors=args.sensor or None,
         threshold=args.threshold,
         assume_stable=args.assume_stable or (),
+        **_campaign_kwargs(args),
     )
     plan = same.search_deployment(args.target)
     if plan is None:
@@ -156,7 +158,11 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     same.open_simulink(build_power_supply_simulink())
     same.load_reliability(power_supply_reliability())
     same.load_mechanisms(power_supply_mechanisms())
-    fmea = same.run_fmea_simulink(sensors=["CS1"], assume_stable=ASSUMED_STABLE)
+    fmea = same.run_fmea_simulink(
+        sensors=["CS1"],
+        assume_stable=ASSUMED_STABLE,
+        **_campaign_kwargs(args),
+    )
     value, asil = same.calculate_spfm()
     print("== DECISIVE Step 4a: automated FMEA (injection) ==")
     print(render_text_table(fmea_to_sheet(fmea)))
@@ -268,6 +274,50 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_campaign_arguments(parser: argparse.ArgumentParser) -> None:
+    """Fault-tolerance / execution flags shared by the campaign commands."""
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process-pool workers for the injection campaign (default 1)",
+    )
+    parser.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        help="persist completed job outcomes to this JSONL file",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip jobs already recorded in --checkpoint for this model",
+    )
+    parser.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-job wall-clock budget; a job over budget is recorded as "
+        "a failure instead of hanging the campaign",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        help="retry budget for transient job/worker failures (default 2)",
+    )
+
+
+def _campaign_kwargs(args: argparse.Namespace) -> dict:
+    return {
+        "workers": getattr(args, "workers", 1),
+        "max_retries": getattr(args, "max_retries", 2),
+        "job_timeout": getattr(args, "job_timeout", None),
+        "checkpoint": getattr(args, "checkpoint", None),
+        "resume": getattr(args, "resume", False),
+    }
+
+
 def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
     """Observability flags shared by the analysis subcommands."""
     parser.add_argument(
@@ -302,6 +352,7 @@ def build_parser() -> argparse.ArgumentParser:
     fmea.add_argument("--threshold", type=float, default=0.2)
     fmea.add_argument("--assume-stable", action="append", dest="assume_stable")
     fmea.add_argument("--out")
+    _add_campaign_arguments(fmea)
     _add_obs_arguments(fmea)
     fmea.set_defaults(func=_cmd_fmea)
 
@@ -314,6 +365,7 @@ def build_parser() -> argparse.ArgumentParser:
     fmeda.add_argument("--threshold", type=float, default=0.2)
     fmeda.add_argument("--assume-stable", action="append", dest="assume_stable")
     fmeda.add_argument("--out")
+    _add_campaign_arguments(fmeda)
     _add_obs_arguments(fmeda)
     fmeda.set_defaults(func=_cmd_fmeda)
 
@@ -330,6 +382,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     demo = sub.add_parser("demo", help="run the paper's case study")
     demo.add_argument("--out")
+    _add_campaign_arguments(demo)
     _add_obs_arguments(demo)
     demo.set_defaults(func=_cmd_demo)
 

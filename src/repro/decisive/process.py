@@ -12,11 +12,14 @@ mechanism allocations, with traceability into the model.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 from repro import obs
 from repro.federation import FederationReport, aggregate_reliability
+from repro.metamodel import MetamodelError, ModelResource
 from repro.reliability import ReliabilityModel
 from repro.safety import (
     FmeaResult,
@@ -105,6 +108,21 @@ class DecisiveProcess:
         self.overwrite_reliability = overwrite_reliability
         self.deployments: List[Deployment] = []
         self._system = model.top_components()[0]
+        #: (system digest, FMEA) of the latest Step 4a run.  The loop calls
+        #: Step 4a once per iteration plus once for the final FMEDA, but the
+        #: architecture only changes when deployments are written back into
+        #: the model — so unchanged-digest re-evaluations reuse the result.
+        self._fmea_cache: Optional[Tuple[str, FmeaResult]] = None
+
+    def _system_digest(self) -> Optional[str]:
+        """Content hash of the system under analysis, or ``None`` when the
+        model cannot be serialised (caching then simply switches off)."""
+        try:
+            payload = ModelResource().to_dict(self._system)
+            blob = json.dumps(payload, sort_keys=True, default=repr)
+        except (MetamodelError, TypeError, ValueError):
+            return None
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
     # -- steps ------------------------------------------------------------
 
@@ -118,9 +136,27 @@ class DecisiveProcess:
             )
 
     def step4a_evaluate(self) -> Tuple[FmeaResult, float, str]:
-        """Automated FMEA + architectural metrics (Step 4a)."""
-        with obs.span("decisive.fmea"):
-            fmea = run_ssam_fmea(self._system, self.reliability)
+        """Automated FMEA + architectural metrics (Step 4a).
+
+        The FMEA is reused from the previous evaluation while the system's
+        content digest is unchanged (deployment *planning* does not touch
+        the architecture; only :meth:`apply_deployments_to_model` does).
+        """
+        digest = self._system_digest()
+        cached = self._fmea_cache
+        if digest is not None and cached is not None and cached[0] == digest:
+            fmea = cached[1]
+            if obs.enabled():
+                obs.counter("decisive_fmea_reuses").inc()
+        else:
+            with obs.span("decisive.fmea"):
+                fmea = run_ssam_fmea(self._system, self.reliability)
+            # The analysis annotates the model (safetyRelated flags), so
+            # the digest to remember is the *post-run* state: an unchanged
+            # model re-hashes to exactly this value next time.
+            digest = self._system_digest()
+            if digest is not None:
+                self._fmea_cache = (digest, fmea)
         with obs.span("decisive.metric_check") as sp:
             value = spfm(fmea, self.deployments)
             asil = asil_from_spfm(value)

@@ -6,6 +6,9 @@
   engine behind :func:`run_simulink_fmea`: baseline solved once, jobs
   enumerated up front, incremental (factorization-reusing) solves, optional
   process-pool fan-out, per-campaign timing statistics;
+- :mod:`repro.safety.resilience` — fault-tolerance primitives for the
+  campaign engine: structured job failures, bounded retry with backoff,
+  per-job deadlines, checkpoint–resume keyed by a campaign fingerprint;
 - :mod:`repro.safety.graph_analysis` — Algorithm 1: graph-based single-point
   failure determination for SSAM models (Section IV-D2);
 - :mod:`repro.safety.fmeda` — FMEDA: safety-mechanism-aware diagnostic
@@ -31,6 +34,14 @@ from repro.safety.campaign import (
     CampaignStats,
     FaultInjectionCampaign,
     InjectionJob,
+)
+from repro.safety.resilience import (
+    CampaignCheckpoint,
+    CheckpointError,
+    JobFailure,
+    JobTimeoutError,
+    RetryPolicy,
+    campaign_fingerprint,
 )
 from repro.safety.graph_analysis import run_ssam_fmea
 from repro.safety.fmeda import FmedaResult, FmedaRow, run_fmeda
@@ -72,6 +83,7 @@ from repro.safety.optimizer import (
     search_for_target,
 )
 from repro.safety.report import (
+    campaign_failures_sheet,
     campaign_stats_sheet,
     render_campaign_stats,
     fmea_to_sheet,
@@ -90,6 +102,12 @@ __all__ = [
     "FaultInjectionCampaign",
     "InjectionJob",
     "CampaignStats",
+    "JobFailure",
+    "JobTimeoutError",
+    "RetryPolicy",
+    "CampaignCheckpoint",
+    "CheckpointError",
+    "campaign_fingerprint",
     "FmedaRow",
     "FmedaResult",
     "run_fmeda",
@@ -129,5 +147,6 @@ __all__ = [
     "save_fmeda_workbook",
     "render_text_table",
     "campaign_stats_sheet",
+    "campaign_failures_sheet",
     "render_campaign_stats",
 ]

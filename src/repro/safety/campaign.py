@@ -17,13 +17,21 @@ This module turns that loop into a campaign:
 Per-campaign instrumentation (job counts, solve mix, factorization reuses,
 wall time) is attached to the result as :class:`CampaignStats` — the raw
 material for the paper's Table V/VI efficiency story.
+
+Execution is fault tolerant (see :mod:`repro.safety.resilience`): a job
+that raises records a structured :class:`~repro.safety.resilience.JobFailure`
+row instead of aborting the campaign, transient failures are retried with
+exponential backoff, a dead pool worker costs only its chunk (resubmitted
+to a fresh pool, with the offending job bisected out after ``max_retries``),
+and a ``checkpoint`` file lets ``resume`` skip already-completed jobs.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import asdict, dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple, Union
 
 from repro import obs
 from repro.circuit import CircuitError, CompiledSystem, SolveStats
@@ -42,8 +50,20 @@ from repro.safety.fmea import (
     _solve_readings,
     _solve_readings_transient,
 )
-from repro.simulink import FailureBehavior, SimulinkModel, to_netlist
+from repro.safety.resilience import (
+    TRANSIENT_ERRORS,
+    CampaignCheckpoint,
+    JobFailure,
+    JobTimeoutError,
+    RetryPolicy,
+    campaign_fingerprint,
+    job_deadline,
+)
+from repro.simulink import FailureBehavior, SimulinkError, SimulinkModel, to_netlist
 from repro.simulink.electrical import ElectricalConversion
+
+#: Serial campaigns flush the checkpoint every this many completed jobs.
+_CHECKPOINT_EVERY = 25
 
 
 @dataclass(frozen=True)
@@ -64,7 +84,8 @@ class CampaignStats:
 
     jobs: int = 0  # injection simulations requested
     rows: int = 0  # FMEA rows produced (jobs + uninjectable warnings)
-    workers: int = 1
+    workers: int = 1  # workers actually used (1 after a parallel fallback)
+    requested_workers: int = 1  # workers the caller asked for
     mode: str = "incremental"  # 'incremental' | 'naive'
     analysis: str = "dc"
     wall_time: float = 0.0  # whole campaign, seconds
@@ -76,12 +97,17 @@ class CampaignStats:
     full_rebuilds: int = 0
     baseline_reuses: int = 0
     parallel_fallback: bool = False  # pool unavailable; ran serially
+    retries: int = 0  # transient-failure retries (job- and chunk-level)
+    timeouts: int = 0  # jobs killed by the per-job wall-clock budget
+    job_failures: int = 0  # jobs that ended as structured JobFailure rows
+    resumed_jobs: int = 0  # jobs skipped because a checkpoint had them
 
     #: Counter fields published to the ``repro.obs`` metrics registry.
     _COUNTER_FIELDS = (
         "jobs", "rows", "solves", "newton_iterations",
         "factorization_reuses", "smw_solves", "full_rebuilds",
-        "baseline_reuses",
+        "baseline_reuses", "retries", "timeouts", "job_failures",
+        "resumed_jobs",
     )
 
     def absorb(self, solve_stats: SolveStats) -> None:
@@ -114,11 +140,14 @@ class CampaignStats:
         obs.gauge("campaign_wall_seconds").set(self.wall_time)
         obs.gauge("campaign_baseline_seconds").set(self.baseline_time)
         obs.gauge("campaign_workers").set(self.workers)
+        obs.gauge("campaign_requested_workers").set(self.requested_workers)
         if self.parallel_fallback:
             obs.counter("campaign_parallel_fallbacks").inc()
 
 
-#: Job outcome: ('ok', readings) or ('error', message).
+#: Job outcome: ('ok', readings), ('error', message) — a circuit-level
+#: failure, meaningful safety evidence — or ('failed', JobFailure dict) —
+#: a harness-level failure recorded instead of aborting the campaign.
 _Outcome = Tuple[str, object]
 
 
@@ -205,6 +234,58 @@ def _execute_job_impl(
         return ("error", str(exc))
 
 
+def _run_job_isolated(
+    conversion: ElectricalConversion,
+    compiled: Optional[CompiledSystem],
+    job: InjectionJob,
+    analysis: str,
+    t_stop: float,
+    dt: float,
+    policy: RetryPolicy,
+    timeout: Optional[float],
+) -> Tuple[_Outcome, int, int]:
+    """Run one job under the fault-tolerance contract.
+
+    Never raises: circuit-level failures stay ``('error', …)`` outcomes
+    (handled inside :func:`_execute_job`), transient failures are retried
+    with exponential backoff up to ``policy.max_retries``, runaway solves
+    are cut off after ``timeout`` seconds, and anything else becomes a
+    ``('failed', JobFailure dict)`` outcome.  Returns ``(outcome,
+    retries_used, timeouts)`` so the caller can aggregate counters across
+    process boundaries.
+    """
+    attempt = 0
+    while True:
+        try:
+            with job_deadline(timeout):
+                outcome = _execute_job(
+                    conversion, compiled, job, analysis, t_stop, dt
+                )
+            return outcome, attempt, 0
+        except JobTimeoutError as exc:
+            # Deterministic work that ran away once will run away again:
+            # record the timeout, don't burn retries on it.
+            failure = JobFailure.from_exception(
+                job, exc, kind="timeout", retries=attempt
+            )
+            return ("failed", failure.to_dict()), attempt, 1
+        except TRANSIENT_ERRORS as exc:
+            attempt += 1
+            if attempt > policy.max_retries:
+                failure = JobFailure.from_exception(
+                    job, exc, retries=attempt - 1
+                )
+                return ("failed", failure.to_dict()), attempt - 1, 0
+            with obs.span(
+                "campaign.retry", job=job.index, attempt=attempt,
+                error=type(exc).__name__,
+            ):
+                time.sleep(policy.delay(attempt))
+        except Exception as exc:  # noqa: BLE001 — per-job isolation
+            failure = JobFailure.from_exception(job, exc, retries=attempt)
+            return ("failed", failure.to_dict()), attempt, 0
+
+
 def _primed_system(netlist: Netlist) -> CompiledSystem:
     """A compiled system with its baseline already solved.
 
@@ -235,6 +316,8 @@ def _campaign_worker_init(
     dt: float,
     incremental: bool,
     trace_enabled: bool = False,
+    policy: RetryPolicy = RetryPolicy(),
+    job_timeout: Optional[float] = None,
 ) -> None:
     if trace_enabled:
         # Trace in the worker too; start from a clean slate (a fork start
@@ -245,6 +328,8 @@ def _campaign_worker_init(
     _WORKER_STATE["analysis"] = analysis
     _WORKER_STATE["t_stop"] = t_stop
     _WORKER_STATE["dt"] = dt
+    _WORKER_STATE["policy"] = policy
+    _WORKER_STATE["job_timeout"] = job_timeout
     compiled = None
     if incremental and analysis == "dc":
         compiled = _primed_system(conversion.netlist)
@@ -253,16 +338,29 @@ def _campaign_worker_init(
 
 def _campaign_worker_chunk(
     chunk: Sequence[InjectionJob],
-) -> Tuple[List[Tuple[int, _Outcome]], SolveStats, Optional[Dict[str, object]]]:
+) -> Tuple[
+    List[Tuple[int, _Outcome]],
+    SolveStats,
+    Dict[str, int],
+    Optional[Dict[str, object]],
+]:
     conversion: ElectricalConversion = _WORKER_STATE["conversion"]
     compiled: Optional[CompiledSystem] = _WORKER_STATE["compiled"]
     analysis: str = _WORKER_STATE["analysis"]
     t_stop: float = _WORKER_STATE["t_stop"]
     dt: float = _WORKER_STATE["dt"]
-    results = [
-        (job.index, _execute_job(conversion, compiled, job, analysis, t_stop, dt))
-        for job in chunk
-    ]
+    policy: RetryPolicy = _WORKER_STATE.get("policy", RetryPolicy())
+    job_timeout: Optional[float] = _WORKER_STATE.get("job_timeout")
+    results: List[Tuple[int, _Outcome]] = []
+    extras = {"retries": 0, "timeouts": 0}
+    for job in chunk:
+        outcome, retries, timeouts = _run_job_isolated(
+            conversion, compiled, job, analysis, t_stop, dt,
+            policy, job_timeout,
+        )
+        extras["retries"] += retries
+        extras["timeouts"] += timeouts
+        results.append((job.index, outcome))
     # Report this chunk's *delta*, not the worker's cumulative counters: a
     # worker serving several chunks would otherwise double-count earlier
     # chunks in the parent's aggregate.
@@ -270,7 +368,27 @@ def _campaign_worker_chunk(
     if compiled is not None:
         stats.merge(compiled.stats)
         compiled.stats = SolveStats()
-    return results, stats, obs.drain_worker_data()
+    return results, stats, extras, obs.drain_worker_data()
+
+
+class _ParallelUnavailable(RuntimeError):
+    """Internal: the pool layer gave up; ``completed`` holds the outcomes
+    it did produce (their solver stats and spans are already merged), so
+    the serial fallback only needs to run the remainder."""
+
+    def __init__(self, completed: Dict[int, _Outcome], cause: BaseException):
+        super().__init__(str(cause))
+        self.completed = completed
+
+
+@dataclass(frozen=True)
+class _ChunkTask:
+    """One pool submission: ``order`` keeps trace merging deterministic
+    across retries and bisections ((2,) splits into (2, 0) and (2, 1))."""
+
+    order: Tuple[int, ...]
+    jobs: Tuple[InjectionJob, ...]
+    attempt: int = 0
 
 
 class FaultInjectionCampaign:
@@ -288,7 +406,27 @@ class FaultInjectionCampaign:
         fans jobs out over a process pool.  Row order is deterministic
         (enumeration order) regardless of completion order.  When a pool
         cannot be created (restricted environments) the campaign degrades
-        to serial execution and flags ``stats.parallel_fallback``.
+        to serial execution and flags ``stats.parallel_fallback``;
+    max_retries:
+        bounded retry budget for transient failures — both job-level
+        (numerical rejections) and chunk-level (a pool worker dying takes
+        only its chunk, which is resubmitted to a fresh pool; after the
+        budget is spent the chunk is bisected until the poisoned job is
+        isolated and recorded as a :class:`JobFailure`);
+    retry_backoff:
+        base delay (seconds) of the exponential backoff between retries;
+    job_timeout:
+        per-job wall-clock budget in seconds (``None``: unlimited).  A
+        runaway solve is cut off and recorded as a timeout
+        :class:`JobFailure` instead of hanging the campaign;
+    checkpoint:
+        path of a JSONL file where completed job outcomes are persisted
+        (keyed by a content hash of the model + reliability data, so stale
+        entries are ignored automatically);
+    resume:
+        with ``checkpoint``, skip jobs whose outcomes the file already
+        holds (``stats.resumed_jobs`` counts them).  Without ``resume``
+        the checkpoint file is restarted from scratch.
     """
 
     def __init__(
@@ -307,11 +445,22 @@ class FaultInjectionCampaign:
         dt: float = 5e-5,
         incremental: bool = True,
         workers: int = 1,
+        max_retries: int = 2,
+        retry_backoff: float = 0.05,
+        job_timeout: Optional[float] = None,
+        checkpoint: Optional[Union[str, Path]] = None,
+        resume: bool = False,
     ) -> None:
         if analysis not in ("dc", "transient"):
             raise FmeaError(
                 f"analysis must be 'dc' or 'transient', got {analysis!r}"
             )
+        if job_timeout is not None and job_timeout <= 0:
+            raise FmeaError(
+                f"job_timeout must be positive, got {job_timeout!r}"
+            )
+        if resume and checkpoint is None:
+            raise FmeaError("resume=True requires a checkpoint path")
         self.model = model
         self.reliability = reliability
         self.sensors = sensors
@@ -324,6 +473,12 @@ class FaultInjectionCampaign:
         self.dt = dt
         self.incremental = incremental
         self.workers = max(1, int(workers))
+        self.retry_policy = RetryPolicy(
+            max_retries=max(0, int(max_retries)), backoff=retry_backoff
+        )
+        self.job_timeout = job_timeout
+        self.checkpoint = checkpoint
+        self.resume = resume
 
     # -- enumeration ------------------------------------------------------
 
@@ -348,11 +503,18 @@ class FaultInjectionCampaign:
             entry = self.reliability.get(etype)
             if entry is None:
                 result.uncovered.append(block.name)
+                result.uncovered_reasons[block.name] = (
+                    f"no reliability data for component class {etype!r}"
+                )
                 continue
             try:
                 element_name = conversion.element_name(block.path())
-            except Exception:
+            except (SimulinkError, CircuitError, KeyError) as exc:
+                # Only "this block has no electrical element" counts as
+                # uncovered; a programming error must surface, not
+                # masquerade as a coverage gap.
                 result.uncovered.append(block.name)
+                result.uncovered_reasons[block.name] = str(exc)
                 continue
             for mode in entry.failure_modes:
                 behavior = None
@@ -394,37 +556,33 @@ class FaultInjectionCampaign:
         conversion: ElectricalConversion,
         jobs: Sequence[InjectionJob],
         stats: CampaignStats,
+        checkpoint: Optional[CampaignCheckpoint] = None,
     ) -> Dict[int, _Outcome]:
         compiled = None
         if self.incremental and self.analysis == "dc":
             compiled = _primed_system(conversion.netlist)
-        outcomes = {
-            job.index: _execute_job(
-                conversion, compiled, job, self.analysis, self.t_stop, self.dt
+        outcomes: Dict[int, _Outcome] = {}
+        for position, job in enumerate(jobs, start=1):
+            outcome, retries, timeouts = _run_job_isolated(
+                conversion, compiled, job, self.analysis,
+                self.t_stop, self.dt, self.retry_policy, self.job_timeout,
             )
-            for job in jobs
-        }
+            stats.retries += retries
+            stats.timeouts += timeouts
+            outcomes[job.index] = outcome
+            if checkpoint is not None:
+                checkpoint.record(job, outcome)
+                if position % _CHECKPOINT_EVERY == 0:
+                    checkpoint.flush()
         if compiled is not None:
             stats.absorb(compiled.stats)
         return outcomes
 
-    def _execute_parallel(
-        self,
-        conversion: ElectricalConversion,
-        jobs: Sequence[InjectionJob],
-        stats: CampaignStats,
-    ) -> Dict[int, _Outcome]:
+    def _new_pool(self, conversion: ElectricalConversion, size: int):
         from concurrent.futures import ProcessPoolExecutor
 
-        # Round-robin chunking balances expensive (nonlinear) jobs across
-        # workers; outcomes are re-keyed by job index, so ordering is
-        # deterministic whatever the completion order.
-        chunks = [
-            list(jobs[offset :: self.workers]) for offset in range(self.workers)
-        ]
-        chunks = [chunk for chunk in chunks if chunk]
-        with ProcessPoolExecutor(
-            max_workers=len(chunks),
+        return ProcessPoolExecutor(
+            max_workers=max(1, min(self.workers, size)),
             initializer=_campaign_worker_init,
             initargs=(
                 conversion,
@@ -433,41 +591,204 @@ class FaultInjectionCampaign:
                 self.dt,
                 self.incremental,
                 obs.enabled(),
+                self.retry_policy,
+                self.job_timeout,
             ),
-        ) as pool:
-            # Collect everything before mutating `stats`/the tracer: if the
-            # pool dies mid-map and we fall back to serial, partially
-            # absorbed worker counters would double-count the serial re-run.
-            chunk_results = list(pool.map(_campaign_worker_chunk, chunks))
-        outcomes: Dict[int, _Outcome] = {}
+        )
+
+    def _execute_parallel(
+        self,
+        conversion: ElectricalConversion,
+        jobs: Sequence[InjectionJob],
+        stats: CampaignStats,
+        checkpoint: Optional[CampaignCheckpoint] = None,
+    ) -> Dict[int, _Outcome]:
+        """Fan jobs out over a process pool, chunk-granularly recoverable.
+
+        A chunk whose worker dies is resubmitted to a fresh pool up to
+        ``max_retries`` times, then bisected — so one poisoned job cannot
+        take healthy work down with it, and the cost of a crash is one
+        chunk, not the campaign.  Completed chunks are kept (outcomes,
+        solver stats and spans) even when the pool layer later gives up
+        and the campaign degrades to serial for the remainder.
+        """
+        completed: Dict[int, _Outcome] = {}
+        try:
+            self._parallel_rounds(
+                conversion, jobs, stats, completed, checkpoint
+            )
+        except Exception as exc:  # noqa: BLE001 — pool layer must not abort
+            # Restricted environments (no fork/semaphores) or repeated
+            # zero-progress pool deaths: degrade to serial for whatever is
+            # left.  Completed outcomes stay valid — their stats/spans are
+            # already merged and the serial pass will skip them.
+            raise _ParallelUnavailable(completed, exc) from exc
+        return completed
+
+    def _parallel_rounds(
+        self,
+        conversion: ElectricalConversion,
+        jobs: Sequence[InjectionJob],
+        stats: CampaignStats,
+        completed: Dict[int, _Outcome],
+        checkpoint: Optional[CampaignCheckpoint],
+    ) -> None:
+        from concurrent.futures.process import BrokenProcessPool
+
+        # Round-robin chunking balances expensive (nonlinear) jobs across
+        # workers; outcomes are re-keyed by job index, so ordering is
+        # deterministic whatever the completion order.
+        chunks = [
+            tuple(jobs[offset :: self.workers])
+            for offset in range(self.workers)
+        ]
+        pending = [
+            _ChunkTask(order=(i,), jobs=chunk)
+            for i, chunk in enumerate(chunks)
+            if chunk
+        ]
         parent_span = obs.current_span_id()
-        for results, solve_stats, trace_payload in chunk_results:
-            for index, outcome in results:
-                outcomes[index] = outcome
-            stats.absorb(solve_stats)
-            # Merge worker spans in chunk-submission order (pool.map keeps
-            # it), so the combined trace is deterministic for a fixed
-            # worker count.
-            obs.ingest_worker_data(trace_payload, parent_id=parent_span)
-        return outcomes
+        pool = self._new_pool(conversion, len(pending))
+        zero_progress_rounds = 0
+        try:
+            while pending:
+                submitted: List[Tuple[_ChunkTask, object]] = []
+                lost: List[_ChunkTask] = []
+                pool_broken = False
+                for task in pending:
+                    try:
+                        submitted.append(
+                            (task, pool.submit(_campaign_worker_chunk, task.jobs))
+                        )
+                    except BrokenProcessPool:
+                        lost.append(task)
+                        pool_broken = True
+                progressed = 0
+                # Process in submission order so the merged trace is
+                # deterministic for a fixed worker count and loss pattern.
+                for task, future in submitted:
+                    try:
+                        results, solve_stats, extras, payload = future.result()
+                    except BrokenProcessPool:
+                        lost.append(task)
+                        pool_broken = True
+                        continue
+                    except Exception:  # noqa: BLE001 — e.g. pickling errors
+                        lost.append(task)
+                        continue
+                    progressed += 1
+                    for index, outcome in results:
+                        completed[index] = outcome
+                    stats.absorb(solve_stats)
+                    stats.retries += extras.get("retries", 0)
+                    stats.timeouts += extras.get("timeouts", 0)
+                    obs.ingest_worker_data(payload, parent_id=parent_span)
+                    if checkpoint is not None:
+                        by_index = {job.index: job for job in task.jobs}
+                        for index, outcome in results:
+                            checkpoint.record(by_index[index], outcome)
+                        checkpoint.flush()
+                if lost and not progressed:
+                    zero_progress_rounds += 1
+                    if zero_progress_rounds >= 2:
+                        # Nothing survives this environment's pools; let
+                        # the serial fallback take the remainder.
+                        raise RuntimeError(
+                            "process pool made no progress in "
+                            f"{zero_progress_rounds} consecutive rounds"
+                        )
+                else:
+                    zero_progress_rounds = 0
+                pending = self._requeue_lost(lost, stats, completed)
+                if pending and pool_broken:
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    pool = self._new_pool(conversion, len(pending))
+                if pending:
+                    time.sleep(self.retry_policy.delay(1))
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def _requeue_lost(
+        self,
+        lost: Sequence[_ChunkTask],
+        stats: CampaignStats,
+        completed: Dict[int, _Outcome],
+    ) -> List[_ChunkTask]:
+        """Retry, bisect or fail-out the chunks whose workers died."""
+        requeued: List[_ChunkTask] = []
+        for task in lost:
+            attempt = task.attempt + 1
+            if attempt <= self.retry_policy.max_retries:
+                stats.retries += 1
+                with obs.span(
+                    "campaign.retry",
+                    chunk=".".join(map(str, task.order)),
+                    attempt=attempt,
+                    jobs=len(task.jobs),
+                ):
+                    pass
+                requeued.append(
+                    _ChunkTask(task.order, task.jobs, attempt=attempt)
+                )
+            elif len(task.jobs) > 1:
+                # Retry budget spent on the whole chunk: bisect to corner
+                # the poisoned job while the healthy half still completes.
+                middle = len(task.jobs) // 2
+                requeued.append(
+                    _ChunkTask(task.order + (0,), task.jobs[:middle])
+                )
+                requeued.append(
+                    _ChunkTask(task.order + (1,), task.jobs[middle:])
+                )
+            else:
+                job = task.jobs[0]
+                failure = JobFailure(
+                    index=job.index,
+                    component=job.component,
+                    failure_mode=job.failure_mode,
+                    exception="BrokenProcessPool",
+                    message=(
+                        "worker process died repeatedly while executing "
+                        "this job"
+                    ),
+                    kind="worker_lost",
+                    retries=task.attempt,
+                )
+                completed[job.index] = ("failed", failure.to_dict())
+        return requeued
 
     def _execute(
         self,
         conversion: ElectricalConversion,
         jobs: Sequence[InjectionJob],
         stats: CampaignStats,
+        checkpoint: Optional[CampaignCheckpoint] = None,
     ) -> Dict[int, _Outcome]:
         if not jobs:
             return {}
+        outcomes: Dict[int, _Outcome] = {}
+        remaining: Sequence[InjectionJob] = jobs
         if self.workers > 1:
             try:
-                return self._execute_parallel(conversion, jobs, stats)
-            except (OSError, ImportError, PermissionError, RuntimeError):
-                # Restricted environments (no fork/semaphores): degrade to
-                # serial — same rows, just without the fan-out.
+                outcomes = self._execute_parallel(
+                    conversion, jobs, stats, checkpoint
+                )
+                remaining = ()
+            except _ParallelUnavailable as exc:
+                # Degrade to serial — same rows, just without the fan-out.
+                # Chunks that did complete in parallel are kept; only the
+                # remainder re-runs, so nothing is double-counted.
                 stats.parallel_fallback = True
                 stats.workers = 1
-        return self._execute_serial(conversion, jobs, stats)
+                outcomes = exc.completed
+                remaining = [
+                    job for job in jobs if job.index not in outcomes
+                ]
+        if remaining:
+            outcomes.update(
+                self._execute_serial(conversion, remaining, stats, checkpoint)
+            )
+        return outcomes
 
     # -- classification ---------------------------------------------------
 
@@ -479,6 +800,23 @@ class FaultInjectionCampaign:
         monitored: Sequence[str],
     ) -> FmeaRow:
         kind, payload = outcome
+        if kind == "failed":
+            # The harness could not produce a result for this injection.
+            # Conservative call: an unknown effect must be assumed
+            # dangerous, and the structured failure keeps it visible
+            # (result.failures) instead of silently shrinking the FMEA.
+            failure: Mapping[str, object] = payload  # type: ignore[assignment]
+            row.safety_related = True
+            row.impact = "DVF"
+            row.effect = (
+                f"injection failed ({failure['exception']}): "
+                f"{failure['message']}"
+            )
+            row.warning = (
+                f"harness failure after {failure['retries']} retries "
+                f"({failure['kind']}); effect assumed dangerous"
+            )
+            return row
         if kind == "error":
             # A non-convergent injected circuit is itself evidence of a
             # violent disturbance; treat as safety-related and record why.
@@ -528,6 +866,7 @@ class FaultInjectionCampaign:
         started = time.perf_counter()
         stats = CampaignStats(
             workers=self.workers,
+            requested_workers=self.workers,
             mode="incremental" if self.incremental else "naive",
             analysis=self.analysis,
         )
@@ -562,18 +901,48 @@ class FaultInjectionCampaign:
             stats.jobs = len(jobs)
             stats.rows = len(slots)
 
-            with obs.span("campaign.execute", jobs=len(jobs)):
-                outcomes = self._execute(conversion, jobs, stats)
+            checkpoint, preloaded = self._open_checkpoint(jobs, stats)
+            pending = [job for job in jobs if job.index not in preloaded]
+            with obs.span(
+                "campaign.execute", jobs=len(pending), resumed=len(preloaded)
+            ):
+                outcomes = self._execute(conversion, pending, stats, checkpoint)
+            outcomes.update(preloaded)
+            if checkpoint is not None:
+                # Sweep anything the per-chunk/periodic flushes missed
+                # (e.g. outcomes produced by the serial fallback tail).
+                for job in jobs:
+                    if job.index in outcomes:
+                        checkpoint.record(job, outcomes[job.index])
+                checkpoint.flush()
             with obs.span("campaign.classify", rows=len(slots)):
                 for row, job in slots:
                     if job is None:
                         result.rows.append(row)
                         continue
-                    result.rows.append(
-                        self._classify(
-                            row, outcomes[job.index], baseline, monitored
+                    outcome = outcomes.get(job.index)
+                    if outcome is None:
+                        # Defensive: execution must cover every job; a gap
+                        # is a harness bug, reported as a failure row
+                        # rather than a crash.
+                        outcome = (
+                            "failed",
+                            JobFailure(
+                                index=job.index,
+                                component=job.component,
+                                failure_mode=job.failure_mode,
+                                exception="LostOutcome",
+                                message="job produced no outcome",
+                            ).to_dict(),
                         )
+                    if outcome[0] == "failed":
+                        result.failures.append(
+                            JobFailure.from_dict(outcome[1])
+                        )
+                    result.rows.append(
+                        self._classify(row, outcome, baseline, monitored)
                     )
+            stats.job_failures = len(result.failures)
             if not result.rows:
                 raise FmeaError(
                     "FMEA produced no rows: no component matched the "
@@ -584,7 +953,40 @@ class FaultInjectionCampaign:
                 jobs=stats.jobs,
                 rows=stats.rows,
                 parallel_fallback=stats.parallel_fallback,
+                retries=stats.retries,
+                job_failures=stats.job_failures,
+                resumed_jobs=stats.resumed_jobs,
             )
         result.stats = stats
         stats.publish()
         return result
+
+    def _open_checkpoint(
+        self, jobs: Sequence[InjectionJob], stats: CampaignStats
+    ) -> Tuple[Optional[CampaignCheckpoint], Dict[int, _Outcome]]:
+        """Set up checkpointing; with ``resume``, load prior outcomes."""
+        if self.checkpoint is None:
+            return None, {}
+        fingerprint = campaign_fingerprint(
+            self.model,
+            self.reliability,
+            self.analysis,
+            self.t_stop,
+            self.dt,
+            self.behavior_overrides,
+        )
+        checkpoint = CampaignCheckpoint(
+            self.checkpoint, fingerprint, resume=self.resume
+        )
+        if not self.resume:
+            return checkpoint, {}
+        with obs.span("campaign.resume", path=str(self.checkpoint)) as sp:
+            loaded = checkpoint.load()
+            preloaded = {
+                job.index: loaded[job.index]
+                for job in jobs
+                if job.index in loaded and checkpoint.job_matches(job)
+            }
+            stats.resumed_jobs = len(preloaded)
+            sp.set(resumed=len(preloaded), recorded=len(loaded))
+        return checkpoint, preloaded

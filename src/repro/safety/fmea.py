@@ -75,6 +75,18 @@ class FmeaResult:
     rows: List[FmeaRow] = field(default_factory=list)
     baseline_readings: Dict[str, float] = field(default_factory=dict)
     uncovered: List[str] = field(default_factory=list)
+    #: Why each uncovered component could not be analysed (component name
+    #: -> reason).  Diagnostic only, excluded from equality.
+    uncovered_reasons: Dict[str, str] = field(
+        default_factory=dict, compare=False, repr=False
+    )
+    #: Structured :class:`repro.safety.resilience.JobFailure` records for
+    #: injection jobs that could not produce a result (the campaign keeps
+    #: running; the corresponding rows are conservatively classified).
+    #: Execution diagnostics, excluded from equality like ``stats``.
+    failures: List[object] = field(
+        default_factory=list, compare=False, repr=False
+    )
     #: Execution instrumentation (a :class:`repro.safety.campaign.CampaignStats`
     #: for injection campaigns); excluded from equality — two analyses that
     #: agree row-for-row are the same result however they were computed.
@@ -121,6 +133,15 @@ class FmeaResult:
         analysed = len(self.components())
         total = analysed + len(self.uncovered)
         return 1.0 if total == 0 else analysed / total
+
+    def failed_rows(self) -> List[FmeaRow]:
+        """Rows whose injection job ended as a harness failure."""
+        failed = {(f.component, f.failure_mode) for f in self.failures}
+        return [
+            row
+            for row in self.rows
+            if (row.component, row.failure_mode) in failed
+        ]
 
 
 def _relative_delta(
@@ -209,6 +230,11 @@ def run_simulink_fmea(
     dt: float = 5e-5,
     incremental: bool = True,
     workers: int = 1,
+    max_retries: int = 2,
+    retry_backoff: float = 0.05,
+    job_timeout: Optional[float] = None,
+    checkpoint: Optional[object] = None,
+    resume: bool = False,
 ) -> FmeaResult:
     """Automated FMEA by fault injection on a Simulink model.
 
@@ -240,11 +266,16 @@ def run_simulink_fmea(
         factorization + low-rank updates) instead of per-mode full
         re-assembly; rows are identical either way;
     workers:
-        worker processes for the injection campaign (``1``: serial).
+        worker processes for the injection campaign (``1``: serial);
+    max_retries / retry_backoff / job_timeout / checkpoint / resume:
+        fault-tolerance controls — bounded retry with exponential backoff,
+        per-job wall-clock budgets, and checkpoint–resume of completed job
+        outcomes; see :class:`repro.safety.campaign.FaultInjectionCampaign`.
 
     The function delegates to
     :class:`repro.safety.campaign.FaultInjectionCampaign`; campaign timing
-    and solve statistics are attached to the result as ``result.stats``.
+    and solve statistics are attached to the result as ``result.stats``,
+    and harness-level job failures (if any) as ``result.failures``.
     """
     from repro.safety.campaign import FaultInjectionCampaign
 
@@ -261,6 +292,11 @@ def run_simulink_fmea(
         dt=dt,
         incremental=incremental,
         workers=workers,
+        max_retries=max_retries,
+        retry_backoff=retry_backoff,
+        job_timeout=job_timeout,
+        checkpoint=checkpoint,
+        resume=resume,
     ).run()
 
 

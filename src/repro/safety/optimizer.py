@@ -167,12 +167,22 @@ def enumerate_plans(
         )
     evaluator = _SpfmEvaluator(fmea)
     plans: List[DeploymentPlan] = []
+    skipped = 0
     option_lists = [options for _, options in per_row]
     with obs.span("optimizer.enumerate", space=space) as sp:
         for combo in itertools.product(*option_lists):
             chosen = [d for d in combo if d is not None]
-            plans.append(evaluator.plan(chosen))
-        sp.set(plans=len(plans))
+            try:
+                plans.append(evaluator.plan(chosen))
+            except (FmeaError, ArithmeticError) as exc:
+                # One pathological candidate (e.g. degenerate coverage data)
+                # must not void the other 199 999 — skip it and count it.
+                skipped += 1
+                if obs.enabled():
+                    obs.counter("optimizer_trial_failures").inc()
+                if skipped == 1:
+                    sp.set(first_skip=f"{type(exc).__name__}: {exc}")
+        sp.set(plans=len(plans), skipped=skipped)
     return plans
 
 
@@ -204,7 +214,18 @@ def greedy_plan(
 def _greedy_loop(
     per_row, evaluator, chosen, plan, target_asil, current_plan
 ) -> Optional[DeploymentPlan]:
+    # Each accepted move strictly raises one slot's coverage, so the loop
+    # terminates in at most sum(len(options)) iterations.  The explicit
+    # bound is a backstop against a future invariant break turning the
+    # optimiser into an infinite loop mid-campaign.
+    max_iterations = sum(len(options) for _, options in per_row) + 1
+    iterations = 0
     while not plan.meets(target_asil):
+        iterations += 1
+        if iterations > max_iterations:
+            if obs.enabled():
+                obs.counter("optimizer_greedy_bailouts").inc()
+            return None
         best_gain_rate = 0.0
         best_deployment: Optional[Deployment] = None
         for row, options in per_row:
@@ -217,7 +238,14 @@ def _greedy_loop(
                     continue
                 trial = dict(chosen)
                 trial[key] = option
-                trial_spfm = evaluator.spfm(list(trial.values()))
+                try:
+                    trial_spfm = evaluator.spfm(list(trial.values()))
+                except (FmeaError, ArithmeticError):
+                    # A single unscorable trial must not abort the search;
+                    # skip the candidate and keep looking for a valid move.
+                    if obs.enabled():
+                        obs.counter("optimizer_trial_failures").inc()
+                    continue
                 gain = trial_spfm - plan.spfm
                 extra_cost = option.cost - (incumbent.cost if incumbent else 0.0)
                 rate = gain / extra_cost if extra_cost > 0 else gain * 1e9

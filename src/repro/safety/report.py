@@ -74,6 +74,30 @@ def campaign_stats_sheet(
     return sheet
 
 
+def campaign_failures_sheet(
+    result: FmeaResult, sheet_name: str = "Campaign_Failures"
+) -> Optional[Sheet]:
+    """One row per structured :class:`JobFailure` the campaign isolated,
+    or ``None`` when every job produced a result."""
+    failures = getattr(result, "failures", None)
+    if not failures:
+        return None
+    sheet = Sheet(sheet_name)
+    for failure in failures:
+        sheet.append(
+            {
+                "Job": failure.index,
+                "Component": failure.component,
+                "Failure_Mode": failure.failure_mode,
+                "Kind": failure.kind,
+                "Exception": failure.exception,
+                "Message": failure.message,
+                "Retries": failure.retries,
+            }
+        )
+    return sheet
+
+
 def render_campaign_stats(result: FmeaResult) -> str:
     """The ``--stats`` CLI view of a campaign's instrumentation."""
     sheet = campaign_stats_sheet(result)
@@ -86,8 +110,9 @@ def save_fmea_workbook(
     result: FmeaResult, location: Union[str, Path]
 ) -> Path:
     """Save the FMEA table; workbook-directory saves also carry the
-    campaign's execution statistics as a ``Campaign_Stats`` sheet (a
-    single ``.csv`` location keeps the historical one-sheet layout)."""
+    campaign's execution statistics as a ``Campaign_Stats`` sheet and any
+    isolated job failures as a ``Campaign_Failures`` sheet (a single
+    ``.csv`` location keeps the historical one-sheet layout)."""
     sheet = fmea_to_sheet(result)
     path = Path(location)
     if path.suffix == ".csv":
@@ -97,6 +122,9 @@ def save_fmea_workbook(
     stats_sheet = campaign_stats_sheet(result)
     if stats_sheet is not None:
         sheets.append(stats_sheet)
+    failures_sheet = campaign_failures_sheet(result)
+    if failures_sheet is not None:
+        sheets.append(failures_sheet)
     return Workbook(sheets).save(location)
 
 

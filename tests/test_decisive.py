@@ -193,3 +193,32 @@ class TestAnalystCorrectness:
         assert [r.safety_related for r in manual.rows] == [
             r.safety_related for r in psu_fmea.rows
         ]
+
+
+class TestFmeaReuse:
+    """Step 4a reuses the FMEA while the system's content digest is
+    unchanged — the checkpoint–resume idea applied inside the loop."""
+
+    def test_unchanged_model_reuses_fmea(self, process_a):
+        from repro import obs
+
+        process_a.step3_aggregate()
+        obs.enable()
+        obs.reset()
+        try:
+            first, _, _ = process_a.step4a_evaluate()
+            second, _, _ = process_a.step4a_evaluate()
+            assert second is first
+            assert obs.counter("decisive_fmea_reuses").value == 1
+        finally:
+            obs.disable()
+            obs.reset()
+
+    def test_model_change_invalidates_reuse(self, process_a):
+        process_a.step3_aggregate()
+        first, _, _ = process_a.step4a_evaluate()
+        fresh = process_a.step4b_refine(first)
+        assert fresh
+        assert process_a.apply_deployments_to_model() > 0
+        third, _, _ = process_a.step4a_evaluate()
+        assert third is not first
