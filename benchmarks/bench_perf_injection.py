@@ -22,6 +22,16 @@ Tracing (``BENCH_INJECTION_TRACE=/path/to/trace.jsonl``): enables the
 ``repro.obs`` layer for the whole benchmark and exports the combined
 span/metric log (Chrome trace JSON instead when the path ends in
 ``.json``) — the artifact CI uploads next to ``BENCH_injection.json``.
+
+Provenance (``BENCH_INJECTION_LEDGER=/path/to/ledger.jsonl``): records
+each case's incremental campaign as an analysis-ledger entry, so the
+nightly CI job can gate on ``same watch-regressions`` — SPFM drops, new
+single-point faults and wall-time regressions against the previous
+night's entries.
+
+``BENCH_injection.json`` keeps a bounded ``trajectory`` of past runs
+(per-case wall times and speedups) in addition to the latest full
+measurement, so the performance story is a curve, not a point.
 """
 
 import json
@@ -45,6 +55,9 @@ from repro.safety.campaign import FaultInjectionCampaign
 
 SMOKE = os.environ.get("BENCH_INJECTION_SMOKE") == "1"
 TRACE_PATH = os.environ.get("BENCH_INJECTION_TRACE") or None
+LEDGER_PATH = os.environ.get("BENCH_INJECTION_LEDGER") or None
+#: How many trajectory points BENCH_injection.json retains.
+TRAJECTORY_KEEP = 120
 #: Best-of-N wall-clock per (case, strategy); 1 repeat in smoke mode.
 REPEATS = 1 if SMOKE else 3
 #: Smoke mode shrinks the scaling subject so CI stays fast.
@@ -129,6 +142,51 @@ def rows_identical(reference, other, tol=1e-9):
     return True
 
 
+def _extended_trajectory(payload):
+    """Prior trajectory (from the existing JSON, if readable) plus a point
+    for this run, bounded to the most recent TRAJECTORY_KEEP entries."""
+    trajectory = []
+    try:
+        previous = json.loads(JSON_PATH.read_text(encoding="utf-8"))
+        trajectory = list(previous.get("trajectory", []))
+    except (OSError, ValueError):
+        pass
+    point = {"timestamp": time.time(), "mode": payload["mode"]}
+    try:
+        from repro.obs.ledger import git_describe
+
+        point["git"] = git_describe()
+    except Exception:  # noqa: BLE001 — provenance decoration only
+        point["git"] = ""
+    for case, entry in payload["cases"].items():
+        point[case] = {
+            "jobs": entry["jobs"],
+            "incremental_s": entry["incremental_s"],
+            "parallel_s": entry["parallel_s"],
+            "speedup": entry["speedup"],
+        }
+    trajectory.append(point)
+    return trajectory[-TRAJECTORY_KEEP:]
+
+
+def _ledger_record(case, model, reliability, result):
+    """Record one case's incremental campaign in the provenance ledger."""
+    from repro.obs.ledger import AnalysisLedger, record_fmea
+    from repro.safety.metrics import asil_from_spfm, spfm
+
+    value = spfm(result, ())
+    record_fmea(
+        AnalysisLedger(LEDGER_PATH),
+        result,
+        model=model,
+        reliability=reliability,
+        spfm=value,
+        asil=asil_from_spfm(value),
+        config={"bench": case},
+        meta={"bench": "injection", "mode": "smoke" if SMOKE else "full"},
+    )
+
+
 def test_bench_injection():
     if TRACE_PATH:
         from repro import obs
@@ -162,6 +220,8 @@ def test_bench_injection():
             for label in ("incremental", "parallel")
         )
         assert identical, f"{case}: strategies disagree on FMEA rows"
+        if LEDGER_PATH:
+            _ledger_record(case, model, reliability, runs["incremental"][1])
         stats = runs["incremental"][1].stats
         entry = {
             "jobs": stats.jobs,
@@ -190,6 +250,7 @@ def test_bench_injection():
     payload["accepted"] = bool(
         SMOKE or largest["speedup"] >= SPEEDUP_TARGET
     )
+    payload["trajectory"] = _extended_trajectory(payload)
     JSON_PATH.write_text(
         json.dumps(payload, indent=2) + "\n", encoding="utf-8"
     )

@@ -29,7 +29,10 @@ from repro.assurance.gsn import (
 from repro.assurance.sacm import ArtifactReference
 from repro.assurance.evaluation import (
     CaseEvaluation,
+    EvidenceFreshness,
+    FreshnessReport,
     NodeStatus,
+    check_evidence_freshness,
     evaluate_case,
 )
 from repro.assurance.patterns import (
@@ -51,6 +54,9 @@ __all__ = [
     "NodeStatus",
     "CaseEvaluation",
     "evaluate_case",
+    "EvidenceFreshness",
+    "FreshnessReport",
+    "check_evidence_freshness",
     "case_from_safety_concept",
     "spfm_artifact",
     "mechanism_artifact",

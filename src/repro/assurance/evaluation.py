@@ -129,3 +129,126 @@ def _combine(children: List[NodeStatus]) -> NodeStatus:
     if any(status == NodeStatus.UNDEVELOPED for status in children):
         return NodeStatus.UNDEVELOPED
     return NodeStatus.SUPPORTED
+
+
+# -- evidence freshness -------------------------------------------------------
+
+
+@dataclass
+class EvidenceFreshness:
+    """One Solution artifact's provenance status against the ledger."""
+
+    solution: str
+    artifact: str
+    entry: str = ""  # backing ledger entry id ('' when none matched)
+    recorded_digest: str = ""
+    current_digest: str = ""
+
+    @property
+    def status(self) -> str:
+        """``fresh`` | ``stale`` | ``unknown``.
+
+        ``unknown`` means the ledger holds no entry for this artifact (or
+        digests are unavailable) — the evidence cannot be vouched for, but
+        neither is it provably outdated.
+        """
+        if not self.entry or not self.recorded_digest or not self.current_digest:
+            return "unknown"
+        if self.recorded_digest == self.current_digest:
+            return "fresh"
+        return "stale"
+
+
+@dataclass
+class FreshnessReport:
+    """Freshness of every evidence artifact in a goal structure."""
+
+    current_model_digest: str
+    items: List[EvidenceFreshness] = field(default_factory=list)
+
+    @property
+    def stale(self) -> List[EvidenceFreshness]:
+        return [item for item in self.items if item.status == "stale"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.stale
+
+    def summary(self) -> str:
+        if not self.items:
+            return "(case has no evidence artifacts)"
+        lines = []
+        for item in self.items:
+            lines.append(
+                f"{item.status.upper():8s} {item.solution}: {item.artifact}"
+                + (f"  ({item.entry})" if item.entry else "")
+            )
+        return "\n".join(lines)
+
+
+def _solutions(node, seen: set, out: List[Solution]) -> None:
+    if id(node) in seen:
+        return
+    seen.add(id(node))
+    if isinstance(node, Solution) and node.artifact is not None:
+        out.append(node)
+    for child in getattr(node, "supported_by", ()) or ():
+        _solutions(child, seen, out)
+
+
+def _artifact_matches(recorded: str, location: str, base_dir) -> bool:
+    if recorded == location:
+        return True
+    rec, loc = Path(recorded), Path(location)
+    if base_dir is not None and not loc.is_absolute():
+        loc = Path(base_dir) / loc
+    try:
+        if rec.resolve() == loc.resolve():
+            return True
+    except OSError:
+        pass
+    return rec.name == loc.name and rec.name != ""
+
+
+def check_evidence_freshness(
+    root: Goal,
+    ledger,
+    model=None,
+    current_model_digest: Optional[str] = None,
+    base_dir: Optional[Path] = None,
+) -> FreshnessReport:
+    """Which of the case's evidence artifacts are stale against the model?
+
+    For every Solution artifact, the most recent ledger entry that
+    exported that artifact is looked up; evidence whose recorded model
+    digest no longer matches the current design's digest is **stale** —
+    the analysis that produced it predates a design change and must be
+    re-run before the assurance case can be trusted (the paper's §8
+    "re-evaluated on change" obligation, made checkable).
+
+    ``ledger`` is a :class:`repro.obs.ledger.AnalysisLedger`; pass either
+    ``model`` (digested here) or a precomputed ``current_model_digest``.
+    """
+    if current_model_digest is None:
+        from repro.obs.ledger import model_digest
+
+        current_model_digest = model_digest(model)
+    report = FreshnessReport(current_model_digest=current_model_digest)
+    solutions: List[Solution] = []
+    _solutions(root, set(), solutions)
+    entries = ledger.entries()
+    for solution in solutions:
+        item = EvidenceFreshness(
+            solution=solution.identifier,
+            artifact=solution.artifact.location,
+            current_digest=current_model_digest,
+        )
+        for entry in entries:  # later entries win: the latest re-run counts
+            if any(
+                _artifact_matches(recorded, solution.artifact.location, base_dir)
+                for recorded in entry.artifacts
+            ):
+                item.entry = entry.entry_id
+                item.recorded_digest = entry.model_digest
+        report.items.append(item)
+    return report

@@ -8,6 +8,13 @@ Subcommands::
     same validate  --ssam m.ssam.json
     same demo      [--out DIR]      # the paper's power-supply case study
     same monitor   --ssam m.ssam.json --out monitor.py
+
+Observatory verbs over the analysis ledger (``--ledger ledger.jsonl`` on
+any analysis command records provenance entries)::
+
+    same history           --ledger ledger.jsonl [--kind fmeda] [--model m]
+    same diff              --ledger ledger.jsonl @0 @-1 [--json]
+    same watch-regressions --ledger ledger.jsonl [--baseline REF] [--json]
 """
 
 from __future__ import annotations
@@ -56,11 +63,24 @@ def _print_stats(result) -> None:
     print(render_campaign_stats(result))
 
 
+def _maybe_ledger(same, args: argparse.Namespace) -> None:
+    """Attach an analysis ledger to the facade when ``--ledger`` was given."""
+    if getattr(args, "ledger", None):
+        same.set_ledger(args.ledger)
+
+
+def _open_ledger(args: argparse.Namespace):
+    from repro.obs.ledger import AnalysisLedger
+
+    return AnalysisLedger(args.ledger)
+
+
 def _cmd_fmea(args: argparse.Namespace) -> int:
     from repro.same import SAME
 
     _obs_begin(args)
     same = SAME()
+    _maybe_ledger(same, args)
     same.open_simulink(args.model)
     same.load_reliability(args.reliability)
     result = same.run_fmea_simulink(
@@ -86,6 +106,7 @@ def _cmd_fmeda(args: argparse.Namespace) -> int:
 
     _obs_begin(args)
     same = SAME()
+    _maybe_ledger(same, args)
     same.open_simulink(args.model)
     same.load_reliability(args.reliability)
     same.load_mechanisms(args.mechanisms)
@@ -155,6 +176,7 @@ def _cmd_demo(args: argparse.Namespace) -> int:
 
     _obs_begin(args)
     same = SAME()
+    _maybe_ledger(same, args)
     same.open_simulink(build_power_supply_simulink())
     same.load_reliability(power_supply_reliability())
     same.load_mechanisms(power_supply_mechanisms())
@@ -221,7 +243,9 @@ def _cmd_fta(args: argparse.Namespace) -> int:
 def _cmd_decisive(args: argparse.Namespace) -> int:
     from repro.same import SAME
 
+    _obs_begin(args)
     same = SAME()
+    _maybe_ledger(same, args)
     same.open_ssam(args.ssam)
     same.load_reliability(args.reliability)
     same.load_mechanisms(args.mechanisms)
@@ -234,13 +258,138 @@ def _cmd_decisive(args: argparse.Namespace) -> int:
             f"iter {record.index}: SPFM {record.spfm * 100:6.2f}% "
             f"({record.asil})" + (f"  + {deployed}" if deployed else "")
         )
+        if record.ledger_entry:
+            print(f"  ledger: {record.ledger_entry}")
+        if record.diff_summary:
+            for line in record.diff_summary.splitlines():
+                print(f"  | {line}")
     concept = log.concept
     print(
         f"\n{'TARGET MET' if log.met_target else 'TARGET NOT MET'}: "
         f"{concept.achieved_asil} (SPFM {concept.spfm * 100:.2f}%), "
         f"SM cost {concept.fmeda.total_cost:g}"
     )
+    if args.out:
+        from repro.safety.report import save_decisive_workbook
+
+        entries = []
+        if same.ledger is not None:
+            recorded = {r.ledger_entry for r in log.iterations if r.ledger_entry}
+            entries = [
+                entry
+                for entry in same.ledger.entries(kind="decisive-iteration")
+                if entry.entry_id in recorded
+            ]
+        path = save_decisive_workbook(concept.fmeda, entries, args.out)
+        print(f"DECISIVE workbook written to {path}")
+    _obs_end(args)
     return 0 if log.met_target else 1
+
+
+def _cmd_history(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.obs.history import history_rows, render_history, stale_entries
+
+    ledger = _open_ledger(args)
+    entries = ledger.entries(
+        kind=args.kind or None, system=args.system or None
+    )
+    stale_seqs: set = set()
+    if args.model:
+        from repro.obs.ledger import model_digest
+        from repro.simulink import SimulinkModel
+
+        current = model_digest(SimulinkModel.load(args.model))
+        stale_seqs = {
+            entry.seq for entry in stale_entries(ledger, current)
+        }
+    if args.json:
+        rows = history_rows(entries)
+        for row, entry in zip(rows, entries):
+            row["Stale"] = entry.seq in stale_seqs if args.model else None
+        print(_json.dumps(rows, indent=2))
+        return 0
+    if args.model:
+        rows = history_rows(entries)
+        for row, entry in zip(rows, entries):
+            row["Stale"] = "STALE" if entry.seq in stale_seqs else "fresh"
+        from repro.drivers.table import Sheet
+
+        print(render_text_table(Sheet("History", rows)))
+        flagged = sum(1 for entry in entries if entry.seq in stale_seqs)
+        if flagged:
+            print(
+                f"\n{flagged} entr{'y' if flagged == 1 else 'ies'} stale "
+                f"against the current model; re-run the analysis to refresh"
+            )
+        return 0
+    print(render_history(entries))
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.obs.history import diff_entries
+
+    ledger = _open_ledger(args)
+    diff = diff_entries(ledger.resolve(args.a), ledger.resolve(args.b))
+    if args.json:
+        print(_json.dumps(diff.to_dict(), indent=2))
+    else:
+        print(diff.summary())
+    return 0
+
+
+def _cmd_watch_regressions(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.obs.history import baseline_for, diff_entries, watch_regressions
+
+    ledger = _open_ledger(args)
+    candidate = ledger.resolve(args.entry)
+    if args.baseline:
+        baseline = ledger.resolve(args.baseline)
+    else:
+        baseline = baseline_for(ledger, candidate)
+    if baseline is None:
+        # First recorded run of this (kind, system): nothing to regress
+        # against — the gate passes so a fresh trajectory can bootstrap.
+        print(
+            f"no baseline for {candidate.entry_id} "
+            f"({candidate.kind}/{candidate.system}); gate passes"
+        )
+        return 0
+    diff = diff_entries(baseline, candidate)
+    regressions = watch_regressions(
+        diff,
+        max_spfm_drop=args.max_spfm_drop,
+        max_walltime_pct=args.max_walltime_pct,
+    )
+    if args.json:
+        print(
+            _json.dumps(
+                {
+                    "baseline": baseline.entry_id,
+                    "candidate": candidate.entry_id,
+                    "regressions": [
+                        {"kind": r.kind, "message": r.message}
+                        for r in regressions
+                    ],
+                    "diff": diff.to_dict(),
+                },
+                indent=2,
+            )
+        )
+    else:
+        print(f"baseline : {baseline.entry_id}")
+        print(f"candidate: {candidate.entry_id}")
+        if not regressions:
+            print("no regressions")
+        for regression in regressions:
+            print(f"REGRESSION [{regression.kind}] {regression.message}")
+    return 1 if regressions else 0
 
 
 def _cmd_render(args: argparse.Namespace) -> int:
@@ -283,6 +432,15 @@ def _add_campaign_arguments(parser: argparse.ArgumentParser) -> None:
         help="process-pool workers for the injection campaign (default 1)",
     )
     parser.add_argument(
+        "--strategy",
+        choices=["fixed", "serial", "auto"],
+        default="fixed",
+        help="execution strategy: 'fixed' uses --workers as given, "
+        "'serial' forces one worker, 'auto' picks serial incremental "
+        "execution below the measured parallel break-even job count "
+        "and fans out above it",
+    )
+    parser.add_argument(
         "--checkpoint",
         metavar="PATH",
         help="persist completed job outcomes to this JSONL file",
@@ -311,6 +469,7 @@ def _add_campaign_arguments(parser: argparse.ArgumentParser) -> None:
 def _campaign_kwargs(args: argparse.Namespace) -> dict:
     return {
         "workers": getattr(args, "workers", 1),
+        "strategy": getattr(args, "strategy", "fixed"),
         "max_retries": getattr(args, "max_retries", 2),
         "job_timeout": getattr(args, "job_timeout", None),
         "checkpoint": getattr(args, "checkpoint", None),
@@ -335,6 +494,12 @@ def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
         "--stats",
         action="store_true",
         help="print campaign execution statistics (CampaignStats)",
+    )
+    parser.add_argument(
+        "--ledger",
+        metavar="PATH",
+        help="record a provenance entry for each analysis into this "
+        "append-only JSONL ledger (see `same history` / `same diff`)",
     )
 
 
@@ -398,7 +563,69 @@ def build_parser() -> argparse.ArgumentParser:
     decisive.add_argument("--mechanisms", required=True)
     decisive.add_argument("--target", default="ASIL-B")
     decisive.add_argument("--max-iterations", type=int, default=10)
+    decisive.add_argument(
+        "--out",
+        help="save the final FMEDA plus the iteration-timeline sheet as a "
+        "workbook",
+    )
+    _add_obs_arguments(decisive)
     decisive.set_defaults(func=_cmd_decisive)
+
+    history = sub.add_parser(
+        "history", help="list recorded analysis-ledger runs"
+    )
+    history.add_argument("--ledger", required=True)
+    history.add_argument("--kind", help="filter by entry kind (e.g. fmeda)")
+    history.add_argument("--system", help="filter by system name")
+    history.add_argument(
+        "--model",
+        help="flag entries whose recorded model digest no longer matches "
+        "this Simulink model (stale evidence)",
+    )
+    history.add_argument("--json", action="store_true")
+    history.set_defaults(func=_cmd_history)
+
+    diff = sub.add_parser(
+        "diff", help="diff two analysis-ledger entries"
+    )
+    diff.add_argument("--ledger", required=True)
+    diff.add_argument(
+        "a", help="baseline entry: @N, negative index, id prefix, 'latest'"
+    )
+    diff.add_argument("b", help="candidate entry (same reference forms)")
+    diff.add_argument("--json", action="store_true")
+    diff.set_defaults(func=_cmd_diff)
+
+    watch = sub.add_parser(
+        "watch-regressions",
+        help="exit non-zero on SPFM drops, new single-point faults, ASIL "
+        "downgrades or wall-time regressions vs a baseline entry",
+    )
+    watch.add_argument("--ledger", required=True)
+    watch.add_argument(
+        "--entry",
+        default="latest",
+        help="candidate entry to check (default: latest)",
+    )
+    watch.add_argument(
+        "--baseline",
+        help="baseline entry reference (default: previous entry of the "
+        "same kind and system)",
+    )
+    watch.add_argument(
+        "--max-spfm-drop",
+        type=float,
+        default=0.0,
+        help="tolerated absolute SPFM drop (default 0: any drop fails)",
+    )
+    watch.add_argument(
+        "--max-walltime-pct",
+        type=float,
+        default=25.0,
+        help="tolerated wall-time regression in percent (default 25)",
+    )
+    watch.add_argument("--json", action="store_true")
+    watch.set_defaults(func=_cmd_watch_regressions)
 
     render = sub.add_parser("render", help="render SSAM model views")
     render.add_argument("--ssam", required=True)

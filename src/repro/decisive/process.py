@@ -49,6 +49,11 @@ class IterationRecord:
     safety_related: List[str]
     deployments: List[Deployment] = field(default_factory=list)
     met_target: bool = False
+    #: Provenance: the analysis-ledger entry recorded for this iteration
+    #: (empty when the process runs without a ledger) and the human-readable
+    #: delta against the previous iteration's entry.
+    ledger_entry: str = ""
+    diff_summary: str = ""
 
 
 @dataclass
@@ -95,6 +100,7 @@ class DecisiveProcess:
         mechanisms: SafetyMechanismModel,
         target_asil: str = "ASIL-B",
         overwrite_reliability: bool = False,
+        ledger=None,
     ) -> None:
         if not model.component_packages or not model.top_components():
             raise ProcessError("model has no architecture (Step 2 missing)")
@@ -106,6 +112,10 @@ class DecisiveProcess:
         #: catalogue's — the right mode when re-running the process against
         #: revised reliability data (e.g. an environmental derating).
         self.overwrite_reliability = overwrite_reliability
+        #: Optional :class:`repro.obs.ledger.AnalysisLedger`.  When set,
+        #: every iteration records a provenance entry and auto-diffs
+        #: against the previous one (the iteration observatory).
+        self.ledger = ledger
         self.deployments: List[Deployment] = []
         self._system = model.top_components()[0]
         #: (system digest, FMEA) of the latest Step 4a run.  The loop calls
@@ -226,6 +236,7 @@ class DecisiveProcess:
         """Iterate Steps 3–4 until the target holds (or iterations run out),
         then synthesise the safety concept."""
         log = ProcessLog(system=self.model.name, target_asil=self.target_asil)
+        previous_entry = None
         with obs.span(
             "decisive.process",
             system=self.model.name,
@@ -247,20 +258,81 @@ class DecisiveProcess:
                         spfm=value, asil=asil, met_target=record.met_target
                     )
                     if record.met_target:
+                        previous_entry = self._record_iteration(
+                            record, fmea, it_span, previous_entry
+                        )
                         break
                     fresh = self.step4b_refine(fmea)
                     record.deployments = fresh
                     it_span.set(new_deployments=len(fresh))
+                    previous_entry = self._record_iteration(
+                        record, fmea, it_span, previous_entry
+                    )
                     if not fresh:
                         break  # catalogue exhausted; target unreachable
             fmea, _, _ = self.step4a_evaluate()
-            with obs.span("decisive.fmeda"):
+            with obs.span("decisive.fmeda") as fmeda_span:
                 fmeda = run_fmeda(fmea, self.deployments)
+                self._record_fmeda(fmeda, fmeda_span)
             log.concept = self.step5_safety_concept(fmeda)
             process_span.set(
                 iterations=len(log.iterations), met_target=log.met_target
             )
         return log
+
+    # -- provenance --------------------------------------------------------
+
+    def _record_iteration(self, record, fmea, it_span, previous_entry):
+        """Ledger one iteration and auto-diff it against the previous one.
+
+        Returns the appended entry (or ``previous_entry`` unchanged when
+        no ledger is configured).  Never lets provenance bookkeeping abort
+        the safety analysis itself.
+        """
+        if self.ledger is None:
+            return previous_entry
+        from repro.obs.ledger import record_iteration
+
+        try:
+            entry = record_iteration(
+                self.ledger,
+                fmea,
+                index=record.index,
+                spfm=record.spfm,
+                asil=record.asil,
+                deployments=self.deployments,
+                model_digest_value=self._system_digest() or "",
+                reliability=self.reliability,
+                config={"target": self.target_asil},
+                meta={"met_target": record.met_target},
+            )
+        except Exception:  # noqa: BLE001 — provenance must not break the loop
+            return previous_entry
+        record.ledger_entry = entry.entry_id
+        it_span.set(ledger_entry=entry.entry_id)
+        if previous_entry is not None:
+            from repro.obs.history import diff_entries
+
+            record.diff_summary = diff_entries(previous_entry, entry).summary()
+        return entry
+
+    def _record_fmeda(self, fmeda, span) -> None:
+        if self.ledger is None:
+            return
+        from repro.obs.ledger import record_fmeda
+
+        try:
+            entry = record_fmeda(
+                self.ledger,
+                fmeda,
+                model=self._system,
+                reliability=self.reliability,
+                config={"target": self.target_asil},
+                meta={"process": "decisive"},
+            )
+        except Exception:  # noqa: BLE001
+            return
+        span.set(ledger_entry=entry.entry_id)
 
 
 def _meets(value: float, target_asil: str) -> bool:

@@ -38,6 +38,7 @@ from repro.obs.export import (
     export_chrome_trace as _export_chrome_trace,
     export_jsonl as _export_jsonl,
     export_prometheus as _export_prometheus,
+    parse_prometheus_text,
     prometheus_text as _prometheus_text,
     read_jsonl,
     span_tree,
@@ -58,7 +59,8 @@ __all__ = [
     "counter", "gauge", "histogram", "registry",
     "drain_worker_data", "ingest_worker_data",
     "export_jsonl", "export_prometheus", "export_chrome_trace",
-    "prometheus_text", "read_jsonl", "span_tree", "chrome_trace_events",
+    "prometheus_text", "parse_prometheus_text",
+    "read_jsonl", "span_tree", "chrome_trace_events",
     "Counter", "Gauge", "Histogram", "MetricsRegistry", "MetricError",
     "Span", "SpanRecord", "Tracer", "NOOP_SPAN", "DEFAULT_TIME_BUCKETS",
 ]

@@ -139,18 +139,56 @@ def _prom_value(value: float) -> str:
     return repr(value)
 
 
+#: ``# HELP`` text for the metrics the layers publish; anything else gets
+#: a generic line (the exposition format requires HELP/TYPE per family).
+_METRIC_HELP = {
+    "campaign_jobs": "Fault-injection simulations requested.",
+    "campaign_rows": "FMEA rows produced (jobs + uninjectable warnings).",
+    "campaign_solves": "MNA system solves performed.",
+    "campaign_newton_iterations": "Newton iterations across nonlinear solves.",
+    "campaign_factorization_reuses": "LU factorizations reused across faults.",
+    "campaign_smw_solves": "Sherman-Morrison-Woodbury low-rank fault solves.",
+    "campaign_full_rebuilds": "Faults requiring full matrix re-assembly.",
+    "campaign_baseline_reuses": "No-op faults served from the healthy baseline.",
+    "campaign_retries": "Transient-failure retries (job- and chunk-level).",
+    "campaign_timeouts": "Jobs killed by the per-job wall-clock budget.",
+    "campaign_job_failures": "Jobs recorded as structured failures.",
+    "campaign_resumed_jobs": "Jobs skipped thanks to a checkpoint.",
+    "campaign_parallel_fallbacks": "Campaigns degraded from pool to serial.",
+    "campaign_wall_seconds": "Wall time of the last campaign, seconds.",
+    "campaign_baseline_seconds": "Healthy baseline solve time, seconds.",
+    "campaign_workers": "Workers actually used by the last campaign.",
+    "campaign_requested_workers": "Workers requested for the last campaign.",
+    "campaign_job_seconds": "Per-injection execution time, seconds.",
+    "decisive_fmea_reuses": "DECISIVE Step 4a evaluations served from cache.",
+}
+
+
+def _prom_help(name: str) -> str:
+    return _METRIC_HELP.get(name, f"repro.obs metric {name}.")
+
+
 def prometheus_text(registry: MetricsRegistry) -> str:
-    """The registry in Prometheus text exposition format."""
+    """The registry in Prometheus text exposition format.
+
+    Each metric family carries ``# HELP`` and ``# TYPE`` lines; histograms
+    expose cumulative ``_bucket`` series ending in ``le="+Inf"`` whose
+    count equals ``_count``, plus ``_sum`` — the invariants
+    :func:`parse_prometheus_text` checks on the way back in.
+    """
     lines: List[str] = []
     for metric in registry.metrics():
         name = _prom_name(metric.name)
         if isinstance(metric, Counter):
+            lines.append(f"# HELP {name} {_prom_help(metric.name)}")
             lines.append(f"# TYPE {name} counter")
             lines.append(f"{name} {_prom_value(metric.value)}")
         elif isinstance(metric, Gauge):
+            lines.append(f"# HELP {name} {_prom_help(metric.name)}")
             lines.append(f"# TYPE {name} gauge")
             lines.append(f"{name} {_prom_value(metric.value)}")
         elif isinstance(metric, Histogram):
+            lines.append(f"# HELP {name} {_prom_help(metric.name)}")
             lines.append(f"# TYPE {name} histogram")
             for bound, cumulative in metric.cumulative():
                 lines.append(
@@ -159,6 +197,80 @@ def prometheus_text(registry: MetricsRegistry) -> str:
             lines.append(f"{name}_sum {repr(metric.sum)}")
             lines.append(f"{name}_count {metric.count}")
     return "\n".join(lines) + ("\n" if lines else "")
+
+
+def parse_prometheus_text(text: str) -> Dict[str, Dict[str, object]]:
+    """Parse exposition text back into metric families, with validation.
+
+    Returns ``{family: {"type", "help", "value" | ("buckets", "sum",
+    "count")}}``.  Raises ``ValueError`` when the text violates the
+    format's invariants: samples without a preceding ``# TYPE``, histogram
+    buckets that are not cumulative, a missing ``le="+Inf"`` bucket, or an
+    ``+Inf`` bucket disagreeing with ``_count``.
+    """
+    families: Dict[str, Dict[str, object]] = {}
+
+    def family_of(sample: str) -> Optional[str]:
+        for suffix in ("_bucket", "_sum", "_count"):
+            base = sample[: -len(suffix)] if sample.endswith(suffix) else None
+            if base and families.get(base, {}).get("type") == "histogram":
+                return base
+        return sample if sample in families else None
+
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            name, _, help_text = rest.partition(" ")
+            families.setdefault(name, {})["help"] = help_text
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            families.setdefault(name, {})["type"] = kind.strip()
+            continue
+        if line.startswith("#"):
+            continue
+        sample, _, value_text = line.rpartition(" ")
+        labels = ""
+        if "{" in sample:
+            sample, _, labels = sample.partition("{")
+            labels = labels.rstrip("}")
+        family = family_of(sample)
+        if family is None:
+            raise ValueError(f"sample {sample!r} has no # TYPE line")
+        record = families[family]
+        value = float(value_text)
+        if record.get("type") == "histogram":
+            if sample.endswith("_bucket"):
+                le = labels.partition("=")[2].strip('"')
+                bound = math.inf if le == "+Inf" else float(le)
+                buckets = record.setdefault("buckets", [])
+                if buckets and value < buckets[-1][1]:
+                    raise ValueError(
+                        f"{family}: bucket counts not cumulative at le={le}"
+                    )
+                buckets.append((bound, int(value)))
+            elif sample.endswith("_sum"):
+                record["sum"] = value
+            elif sample.endswith("_count"):
+                record["count"] = int(value)
+        else:
+            record["value"] = value
+    for family, record in families.items():
+        if record.get("type") != "histogram":
+            continue
+        buckets = record.get("buckets", [])
+        if not buckets or buckets[-1][0] != math.inf:
+            raise ValueError(f'{family}: missing le="+Inf" bucket')
+        if "count" in record and buckets[-1][1] != record["count"]:
+            raise ValueError(
+                f"{family}: +Inf bucket {buckets[-1][1]} != "
+                f"_count {record['count']}"
+            )
+    return families
 
 
 def export_prometheus(path: Union[str, Path], registry: MetricsRegistry) -> Path:

@@ -1,0 +1,650 @@
+"""The analysis ledger — append-only provenance for every safety analysis.
+
+The paper's end state (§8) has FMEDA results serving as assurance-case
+evidence with machine-executable queries *re-evaluated on change*.  That
+requires knowing, for every analysis result, exactly which model and
+configuration produced it, whether it is stale, and what changed between
+iterations.  This module supplies the storage half of that story:
+
+- :class:`LedgerEntry` — one provenance record: kind of analysis, content
+  digests of the model and reliability data, the campaign fingerprint
+  (reused from :func:`repro.safety.resilience.campaign_fingerprint`), the
+  analysis configuration, per-row outcome digests, the SPFM/ASIL verdict, a
+  snapshot of key execution metrics, the repo's ``git describe``, and a
+  pointer into the trace file when ``--trace`` was on;
+- :class:`AnalysisLedger` — an append-only JSONL store of entries, tolerant
+  of corrupt lines (a crash mid-write must not poison history), with
+  reference resolution (entry id, unique id prefix, ``@N`` sequence,
+  negative indices) and artifact attachment records that link an entry to
+  the workbook exported from it;
+- ``record_fmea`` / ``record_fmeda`` / ``record_optimizer`` /
+  ``record_iteration`` — builders that derive an entry from an analysis
+  result plus its inputs.
+
+Entries are deterministic modulo timestamps: the :attr:`~LedgerEntry.
+content_digest` covers only what the analysis *computed* (digests, config,
+verdicts, per-row outcomes), never when or how fast it ran, so re-running
+the same model + config appends an entry with an identical digest and
+``repro diff`` between the two reports no changes.
+
+Every ``append`` emits a zero-duration ``ledger.record`` span carrying the
+entry id (when observability is enabled), and the entry stores the id of
+the span that was current at record time — a trace file and its ledger
+entry are mutually resolvable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import subprocess
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Union
+
+from repro import obs
+
+#: Ledger line schema version.
+_VERSION = 1
+
+#: Float fields are digested after rounding to this many significant
+#: decimals, so a verdict re-derived through a different (but numerically
+#: equivalent) code path cannot flip the content digest on noise.
+_DIGEST_DECIMALS = 9
+
+
+class LedgerError(Exception):
+    """Raised for unreadable ledgers or unresolvable entry references."""
+
+
+def _canonical(value: object) -> object:
+    """JSON-stable view of digest inputs (sorted keys, primitive types)."""
+    if isinstance(value, Mapping):
+        return {
+            str(k): _canonical(v)
+            for k, v in sorted(value.items(), key=lambda kv: str(kv[0]))
+        }
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    if isinstance(value, float):
+        return round(value, _DIGEST_DECIMALS)
+    if isinstance(value, (str, int, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def content_digest_of(payload: object) -> str:
+    """SHA-256 over the canonical JSON form of ``payload``."""
+    blob = json.dumps(
+        _canonical(payload), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def model_digest(model: object) -> str:
+    """Content hash of a design model, or ``""`` when not serialisable.
+
+    Accepts anything with a ``to_dict`` method (:class:`SimulinkModel`,
+    :class:`SSAMModel`) and falls back to the metamodel serializer for raw
+    SSAM elements — the same notion of identity the DECISIVE loop uses for
+    its FMEA cache.
+    """
+    if model is None:
+        return ""
+    payload = None
+    to_dict = getattr(model, "to_dict", None)
+    if callable(to_dict):
+        try:
+            payload = to_dict()
+        except Exception:  # noqa: BLE001 — digesting must never abort a run
+            payload = None
+    if payload is None:
+        try:
+            from repro.metamodel import MetamodelError, ModelResource
+
+            payload = ModelResource().to_dict(model)
+        except Exception:  # noqa: BLE001
+            return ""
+    try:
+        return content_digest_of(payload)
+    except (TypeError, ValueError):
+        return ""
+
+
+def reliability_digest(reliability: object) -> str:
+    """Content hash of a reliability model's entries, or ``""``."""
+    if reliability is None:
+        return ""
+    try:
+        payload = [
+            {
+                "class": entry.component_class,
+                "fit": entry.fit,
+                "modes": [
+                    (m.name, m.distribution, m.nature)
+                    for m in entry.failure_modes
+                ],
+            }
+            for entry in sorted(
+                reliability.entries(), key=lambda e: e.component_class
+            )
+        ]
+    except Exception:  # noqa: BLE001
+        return ""
+    return content_digest_of(payload)
+
+
+_GIT_DESCRIBE: Optional[str] = None
+
+
+def git_describe() -> str:
+    """``git describe --always --dirty`` of the working tree (cached)."""
+    global _GIT_DESCRIBE
+    if _GIT_DESCRIBE is None:
+        try:
+            out = subprocess.run(
+                ["git", "describe", "--always", "--dirty"],
+                capture_output=True,
+                text=True,
+                timeout=5,
+            )
+            _GIT_DESCRIBE = out.stdout.strip() if out.returncode == 0 else ""
+        except (OSError, subprocess.SubprocessError):
+            _GIT_DESCRIBE = ""
+    return _GIT_DESCRIBE
+
+
+# -- entries -----------------------------------------------------------------
+
+
+@dataclass
+class LedgerEntry:
+    """One provenance record: what produced an analysis result, and what
+    the result was.  ``metrics``, ``timestamp``, ``git``, ``trace`` and
+    ``artifacts`` are execution circumstances and deliberately excluded
+    from the content digest."""
+
+    kind: str  # 'fmea' | 'fmeda' | 'optimizer' | 'decisive-iteration' | ...
+    system: str
+    spfm: Optional[float] = None
+    asil: Optional[str] = None
+    model_digest: str = ""
+    reliability_digest: str = ""
+    fingerprint: str = ""  # campaign fingerprint ('' for graph analyses)
+    config: Dict[str, object] = field(default_factory=dict)
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    row_digests: Dict[str, str] = field(default_factory=dict)
+    metrics: Dict[str, object] = field(default_factory=dict)
+    git: str = ""
+    timestamp: float = 0.0
+    trace: str = ""
+    trace_span: Optional[int] = None
+    artifacts: List[str] = field(default_factory=list)
+    meta: Dict[str, object] = field(default_factory=dict)
+    #: Position in the ledger file; assigned on append/read, not digested.
+    seq: int = -1
+
+    @property
+    def content_digest(self) -> str:
+        """Digest over everything the analysis *determined* (not timing)."""
+        return content_digest_of(
+            {
+                "kind": self.kind,
+                "system": self.system,
+                "spfm": self.spfm,
+                "asil": self.asil,
+                "model": self.model_digest,
+                "reliability": self.reliability_digest,
+                "fingerprint": self.fingerprint,
+                "config": self.config,
+                "row_digests": self.row_digests,
+            }
+        )
+
+    @property
+    def entry_id(self) -> str:
+        return f"{self.kind}-{self.content_digest[:12]}"
+
+    def to_dict(self) -> Dict[str, object]:
+        payload = asdict(self)
+        payload.pop("seq")
+        payload["v"] = _VERSION
+        payload["type"] = "entry"
+        payload["id"] = self.entry_id
+        payload["digest"] = self.content_digest
+        return payload
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object], seq: int = -1) -> "LedgerEntry":
+        fields = {
+            key: data[key]
+            for key in (
+                "kind", "system", "spfm", "asil", "model_digest",
+                "reliability_digest", "fingerprint", "config", "rows",
+                "row_digests", "metrics", "git", "timestamp", "trace",
+                "trace_span", "artifacts", "meta",
+            )
+            if key in data
+        }
+        entry = cls(**fields)  # type: ignore[arg-type]
+        entry.seq = seq
+        return entry
+
+
+def _row_digests(rows: Sequence[Mapping[str, object]]) -> Dict[str, str]:
+    """``component/failure_mode`` -> short digest of the row's outcome."""
+    digests: Dict[str, str] = {}
+    for row in rows:
+        key = f"{row.get('component')}/{row.get('failure_mode')}"
+        digests[key] = content_digest_of(row)[:12]
+    return digests
+
+
+def fmea_rows_payload(result) -> List[Dict[str, object]]:
+    """Compact, diffable row records for an :class:`FmeaResult`."""
+    return [
+        {
+            "component": row.component,
+            "component_class": row.component_class,
+            "failure_mode": row.failure_mode,
+            "fit": row.fit,
+            "distribution": row.distribution,
+            "safety_related": row.safety_related,
+            "impact": row.impact,
+            "effect": row.effect,
+            "warning": row.warning,
+        }
+        for row in result.rows
+    ]
+
+
+def fmeda_rows_payload(result) -> List[Dict[str, object]]:
+    """Compact, diffable row records for an :class:`FmedaResult`."""
+    return [
+        {
+            "component": row.component,
+            "failure_mode": row.failure_mode,
+            "fit": row.fit,
+            "distribution": row.distribution,
+            "safety_related": row.safety_related,
+            "safety_mechanism": row.safety_mechanism,
+            "sm_coverage": row.sm_coverage,
+            "residual_rate": row.residual_rate,
+        }
+        for row in result.rows
+    ]
+
+
+def _stats_metrics(result) -> Dict[str, object]:
+    """Key execution-metric snapshot off ``result.stats`` (may be empty)."""
+    stats = getattr(result, "stats", None)
+    if stats is None:
+        return {}
+    out: Dict[str, object] = {}
+    for name in (
+        "wall_time", "baseline_time", "jobs", "rows", "solves", "workers",
+        "retries", "timeouts", "job_failures", "resumed_jobs",
+    ):
+        value = getattr(stats, name, None)
+        if value is not None:
+            out[name] = value
+    return out
+
+
+# -- the ledger --------------------------------------------------------------
+
+
+class AnalysisLedger:
+    """Append-only JSONL store of :class:`LedgerEntry` records.
+
+    Two line types share the file: ``{"type": "entry", ...}`` (a full
+    provenance record) and ``{"type": "artifact", "entry": <id>, "path":
+    ...}`` (appended when a workbook is exported from an already-recorded
+    result — the append-only discipline means entries are never rewritten).
+    Loading tolerates corrupt or truncated lines.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+
+    # -- writing ----------------------------------------------------------
+
+    def append(self, entry: LedgerEntry) -> LedgerEntry:
+        """Record one entry (stamping time + git) and return it.
+
+        With observability enabled a zero-duration ``ledger.record`` span
+        carrying the entry id is emitted under the current span, and the
+        entry remembers that parent span id — a trace file and the ledger
+        are mutually resolvable.
+        """
+        if not entry.timestamp:
+            entry.timestamp = time.time()
+        if not entry.git:
+            entry.git = git_describe()
+        if entry.trace_span is None:
+            entry.trace_span = obs.current_span_id()
+        entry.seq = self._next_seq()
+        with obs.span(
+            "ledger.record", entry=entry.entry_id, kind=entry.kind
+        ):
+            self._append_line(entry.to_dict())
+        return entry
+
+    def attach_artifact(
+        self, entry: Union[LedgerEntry, str], path: Union[str, Path]
+    ) -> None:
+        """Link an exported artifact (e.g. a workbook) to an entry."""
+        entry_id = entry.entry_id if isinstance(entry, LedgerEntry) else entry
+        self._append_line(
+            {
+                "v": _VERSION,
+                "type": "artifact",
+                "entry": entry_id,
+                "path": str(path),
+            }
+        )
+        if isinstance(entry, LedgerEntry):
+            entry.artifacts.append(str(path))
+
+    def _append_line(self, payload: Mapping[str, object]) -> None:
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write(json.dumps(payload, sort_keys=True) + "\n")
+        except OSError as exc:
+            raise LedgerError(
+                f"cannot write analysis ledger {self.path}: {exc}"
+            ) from exc
+
+    def _next_seq(self) -> int:
+        return sum(1 for _ in self._raw_entries())
+
+    # -- reading ----------------------------------------------------------
+
+    def _raw_lines(self) -> Iterator[Mapping[str, object]]:
+        if not self.path.exists():
+            return
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except (ValueError, TypeError):
+                    continue  # truncated/corrupt line: skip, don't abort
+                if isinstance(record, dict):
+                    yield record
+
+    def _raw_entries(self) -> Iterator[Mapping[str, object]]:
+        for record in self._raw_lines():
+            if record.get("type") == "entry" and "kind" in record:
+                yield record
+
+    def entries(
+        self,
+        kind: Optional[str] = None,
+        system: Optional[str] = None,
+    ) -> List[LedgerEntry]:
+        """All entries in file order, artifact records folded in."""
+        entries: List[LedgerEntry] = []
+        by_id: Dict[str, List[LedgerEntry]] = {}
+        for record in self._raw_lines():
+            if record.get("type") == "entry" and "kind" in record:
+                try:
+                    entry = LedgerEntry.from_dict(record, seq=len(entries))
+                except (TypeError, ValueError, KeyError):
+                    continue
+                entries.append(entry)
+                by_id.setdefault(entry.entry_id, []).append(entry)
+            elif record.get("type") == "artifact":
+                # Attach to the *latest* entry with that id so far.
+                targets = by_id.get(str(record.get("entry")), [])
+                if targets and record.get("path"):
+                    path = str(record["path"])
+                    if path not in targets[-1].artifacts:
+                        targets[-1].artifacts.append(path)
+        return [
+            entry
+            for entry in entries
+            if (kind is None or entry.kind == kind)
+            and (system is None or entry.system == system)
+        ]
+
+    def latest(
+        self,
+        kind: Optional[str] = None,
+        system: Optional[str] = None,
+    ) -> Optional[LedgerEntry]:
+        matching = self.entries(kind=kind, system=system)
+        return matching[-1] if matching else None
+
+    def resolve(self, ref: str) -> LedgerEntry:
+        """Resolve an entry reference.
+
+        Accepted forms: ``@N`` / plain integer (file-order sequence,
+        negatives count from the end), ``latest``/``HEAD``, a full entry
+        id, or a unique id/digest prefix.  When several entries share an
+        identical id (byte-identical re-runs) the latest wins.
+        """
+        entries = self.entries()
+        if not entries:
+            raise LedgerError(f"ledger {self.path} has no entries")
+        text = ref.strip()
+        index_text = text[1:] if text.startswith("@") else text
+        try:
+            index = int(index_text)
+        except ValueError:
+            index = None
+        if index is not None:
+            try:
+                return entries[index]
+            except IndexError:
+                raise LedgerError(
+                    f"entry index {index} out of range "
+                    f"(ledger has {len(entries)} entries)"
+                ) from None
+        if text.lower() in ("latest", "head"):
+            return entries[-1]
+        matches = [
+            entry
+            for entry in entries
+            if entry.entry_id == text
+            or entry.entry_id.startswith(text)
+            or entry.content_digest.startswith(text)
+        ]
+        if not matches:
+            raise LedgerError(f"no ledger entry matches {ref!r}")
+        distinct = {entry.entry_id for entry in matches}
+        if len(distinct) > 1:
+            raise LedgerError(
+                f"ambiguous reference {ref!r}: matches {sorted(distinct)}"
+            )
+        return matches[-1]
+
+
+# -- recorders ---------------------------------------------------------------
+
+
+def _campaign_fingerprint_for(
+    model, reliability, config: Mapping[str, object]
+) -> str:
+    """The campaign fingerprint of an injection analysis, or ``""``.
+
+    Imported lazily: the ledger must stay importable without dragging the
+    whole safety package in (and vice versa).
+    """
+    try:
+        from repro.safety.resilience import campaign_fingerprint
+
+        return campaign_fingerprint(
+            model,
+            reliability,
+            str(config.get("analysis", "dc")),
+            float(config.get("t_stop", 5e-3)),  # type: ignore[arg-type]
+            float(config.get("dt", 5e-5)),  # type: ignore[arg-type]
+            config.get("behavior_overrides"),  # type: ignore[arg-type]
+        )
+    except Exception:  # noqa: BLE001 — provenance must not abort analyses
+        return ""
+
+
+def record_fmea(
+    ledger: AnalysisLedger,
+    result,
+    model=None,
+    reliability=None,
+    spfm: Optional[float] = None,
+    asil: Optional[str] = None,
+    config: Optional[Mapping[str, object]] = None,
+    trace: str = "",
+    meta: Optional[Mapping[str, object]] = None,
+) -> LedgerEntry:
+    """Record an FMEA run (injection or graph) as a ledger entry."""
+    config = dict(config or {})
+    rows = fmea_rows_payload(result)
+    fingerprint = ""
+    if getattr(result, "method", "") == "injection" and model is not None:
+        fingerprint = _campaign_fingerprint_for(model, reliability, config)
+    entry = LedgerEntry(
+        kind="fmea",
+        system=result.system,
+        spfm=spfm,
+        asil=asil,
+        model_digest=model_digest(model),
+        reliability_digest=reliability_digest(reliability),
+        fingerprint=fingerprint,
+        config=config,
+        rows=rows,
+        row_digests=_row_digests(rows),
+        metrics=_stats_metrics(result),
+        trace=trace,
+        meta=dict(meta or {"method": getattr(result, "method", "")}),
+    )
+    return ledger.append(entry)
+
+
+def record_fmeda(
+    ledger: AnalysisLedger,
+    result,
+    model=None,
+    reliability=None,
+    config: Optional[Mapping[str, object]] = None,
+    trace: str = "",
+    meta: Optional[Mapping[str, object]] = None,
+) -> LedgerEntry:
+    """Record an FMEDA (rows + SPFM/ASIL verdict) as a ledger entry."""
+    config = dict(config or {})
+    config.setdefault(
+        "deployments",
+        [
+            {
+                "component": d.component,
+                "failure_mode": d.failure_mode,
+                "mechanism": d.mechanism,
+                "coverage": d.coverage,
+                "cost": d.cost,
+            }
+            for d in result.deployments
+        ],
+    )
+    rows = fmeda_rows_payload(result)
+    entry = LedgerEntry(
+        kind="fmeda",
+        system=result.system,
+        spfm=result.spfm,
+        asil=result.asil,
+        model_digest=model_digest(model),
+        reliability_digest=reliability_digest(reliability),
+        config=config,
+        rows=rows,
+        row_digests=_row_digests(rows),
+        metrics={
+            "total_cost": result.total_cost,
+            "diagnostic_coverage": getattr(
+                result, "diagnostic_coverage", None
+            ),
+        },
+        trace=trace,
+        meta=dict(meta or {}),
+    )
+    return ledger.append(entry)
+
+
+def record_optimizer(
+    ledger: AnalysisLedger,
+    plan,
+    system: str,
+    model=None,
+    reliability=None,
+    config: Optional[Mapping[str, object]] = None,
+    meta: Optional[Mapping[str, object]] = None,
+) -> LedgerEntry:
+    """Record a mechanism-search outcome (a :class:`DeploymentPlan`)."""
+    rows = [
+        {
+            "component": d.component,
+            "failure_mode": d.failure_mode,
+            "mechanism": d.mechanism,
+            "coverage": d.coverage,
+            "cost": d.cost,
+        }
+        for d in plan.deployments
+    ]
+    entry = LedgerEntry(
+        kind="optimizer",
+        system=system,
+        spfm=plan.spfm,
+        asil=plan.asil,
+        model_digest=model_digest(model),
+        reliability_digest=reliability_digest(reliability),
+        config=dict(config or {}),
+        rows=rows,
+        row_digests=_row_digests(rows),
+        metrics={"cost": plan.cost, "deployments": len(plan.deployments)},
+        meta=dict(meta or {}),
+    )
+    return ledger.append(entry)
+
+
+def record_iteration(
+    ledger: AnalysisLedger,
+    fmea,
+    index: int,
+    spfm: float,
+    asil: str,
+    deployments: Sequence[object] = (),
+    model_digest_value: str = "",
+    reliability=None,
+    config: Optional[Mapping[str, object]] = None,
+    meta: Optional[Mapping[str, object]] = None,
+) -> LedgerEntry:
+    """Record one DECISIVE Step 4 iteration as a ledger entry."""
+    config = dict(config or {})
+    config["iteration"] = index
+    config["deployments"] = [
+        {
+            "component": d.component,
+            "failure_mode": d.failure_mode,
+            "mechanism": d.mechanism,
+            "coverage": d.coverage,
+            "cost": d.cost,
+        }
+        for d in deployments
+    ]
+    rows = fmea_rows_payload(fmea)
+    entry = LedgerEntry(
+        kind="decisive-iteration",
+        system=fmea.system,
+        spfm=spfm,
+        asil=asil,
+        model_digest=model_digest_value,
+        reliability_digest=reliability_digest(reliability),
+        config=config,
+        rows=rows,
+        row_digests=_row_digests(rows),
+        metrics=_stats_metrics(fmea),
+        meta=dict(meta or {}),
+    )
+    return ledger.append(entry)

@@ -65,6 +65,14 @@ from repro.simulink.electrical import ElectricalConversion
 #: Serial campaigns flush the checkpoint every this many completed jobs.
 _CHECKPOINT_EVERY = 25
 
+#: ``strategy="auto"`` fans out only at or above this many pending jobs.
+#: Benchmarks (BENCH_injection.json) put parallel execution at 0.39–0.43x
+#: of the incremental serial solve for 9–30-job campaigns — pool start-up
+#: and conversion pickling dwarf the solves — while 200+-job campaigns see
+#: 3–4x.  The break-even sits well above small demo models, so `auto`
+#: stays serial until the fan-out can plausibly amortise its fixed cost.
+AUTO_PARALLEL_MIN_JOBS = 64
+
 
 @dataclass(frozen=True)
 class InjectionJob:
@@ -87,6 +95,7 @@ class CampaignStats:
     workers: int = 1  # workers actually used (1 after a parallel fallback)
     requested_workers: int = 1  # workers the caller asked for
     mode: str = "incremental"  # 'incremental' | 'naive'
+    strategy: str = "fixed"  # 'fixed' | 'serial' | 'auto'
     analysis: str = "dc"
     wall_time: float = 0.0  # whole campaign, seconds
     baseline_time: float = 0.0  # healthy solve, seconds
@@ -407,6 +416,15 @@ class FaultInjectionCampaign:
         (enumeration order) regardless of completion order.  When a pool
         cannot be created (restricted environments) the campaign degrades
         to serial execution and flags ``stats.parallel_fallback``;
+    strategy:
+        how the worker count is chosen.  ``"fixed"`` (default) uses
+        ``workers`` exactly as given; ``"serial"`` forces one worker;
+        ``"auto"`` runs the incremental serial solver below
+        :data:`AUTO_PARALLEL_MIN_JOBS` pending jobs — where measured pool
+        start-up costs exceed the solve time — and fans out above it
+        (using ``workers`` when > 1, else one worker per CPU, capped by
+        the job count).  The decision is recorded in ``stats.strategy``
+        and ``stats.workers``;
     max_retries:
         bounded retry budget for transient failures — both job-level
         (numerical rejections) and chunk-level (a pool worker dying takes
@@ -445,6 +463,7 @@ class FaultInjectionCampaign:
         dt: float = 5e-5,
         incremental: bool = True,
         workers: int = 1,
+        strategy: str = "fixed",
         max_retries: int = 2,
         retry_backoff: float = 0.05,
         job_timeout: Optional[float] = None,
@@ -454,6 +473,11 @@ class FaultInjectionCampaign:
         if analysis not in ("dc", "transient"):
             raise FmeaError(
                 f"analysis must be 'dc' or 'transient', got {analysis!r}"
+            )
+        if strategy not in ("fixed", "serial", "auto"):
+            raise FmeaError(
+                f"strategy must be 'fixed', 'serial' or 'auto', "
+                f"got {strategy!r}"
             )
         if job_timeout is not None and job_timeout <= 0:
             raise FmeaError(
@@ -473,6 +497,7 @@ class FaultInjectionCampaign:
         self.dt = dt
         self.incremental = incremental
         self.workers = max(1, int(workers))
+        self.strategy = strategy
         self.retry_policy = RetryPolicy(
             max_retries=max(0, int(max_retries)), backoff=retry_backoff
         )
@@ -757,6 +782,26 @@ class FaultInjectionCampaign:
                 completed[job.index] = ("failed", failure.to_dict())
         return requeued
 
+    def _effective_workers(self, pending_jobs: int) -> int:
+        """Worker count for this run, given how many jobs remain.
+
+        ``fixed`` honours the requested count, ``serial`` is always one,
+        and ``auto`` fans out only at/above :data:`AUTO_PARALLEL_MIN_JOBS`
+        pending jobs (below that, measured pool start-up cost exceeds the
+        incremental serial solve — see BENCH_injection.json).
+        """
+        if self.strategy == "serial":
+            return 1
+        if self.strategy == "auto":
+            if pending_jobs < AUTO_PARALLEL_MIN_JOBS:
+                return 1
+            if self.workers > 1:
+                return self.workers
+            import os
+
+            return max(1, min(pending_jobs, os.cpu_count() or 1))
+        return self.workers
+
     def _execute(
         self,
         conversion: ElectricalConversion,
@@ -868,6 +913,7 @@ class FaultInjectionCampaign:
             workers=self.workers,
             requested_workers=self.workers,
             mode="incremental" if self.incremental else "naive",
+            strategy=self.strategy,
             analysis=self.analysis,
         )
 
@@ -903,6 +949,12 @@ class FaultInjectionCampaign:
 
             checkpoint, preloaded = self._open_checkpoint(jobs, stats)
             pending = [job for job in jobs if job.index not in preloaded]
+            # The strategy decision happens here, once the *pending* job
+            # count is known — resumed jobs cost nothing, so a mostly
+            # checkpointed campaign rightly stays serial under `auto`.
+            self.workers = self._effective_workers(len(pending))
+            stats.workers = self.workers
+            campaign_span.set(workers=self.workers)
             with obs.span(
                 "campaign.execute", jobs=len(pending), resumed=len(preloaded)
             ):

@@ -1,19 +1,56 @@
-"""FMEDA comparison — what changed between two DECISIVE iterations.
+"""FME(D)A comparison — what changed between two DECISIVE iterations.
 
-The iterative process produces a sequence of FMEDAs; reviewers ask "what
+The iterative process produces a sequence of FME(D)As; reviewers ask "what
 did this iteration actually change?".  :func:`compare_fmeda` answers with a
 row-level and metric-level delta: new/removed rows, safety-relation flips,
 mechanism changes, residual-rate movement and the SPFM/ASIL delta.
+:func:`compare_fmea` is the Step 4a (pre-mechanism) counterpart used by the
+iteration observatory (:mod:`repro.obs.history`) to diff ledger entries.
+
+Numeric comparisons are defensive: reconstructed or hand-built results may
+carry ``None`` or ``NaN`` metric fields (an uncomputed FIT, a failed
+quantification), and a diff must classify those as data changes, never
+crash or — worse — report a NaN-to-NaN transition as a change.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import List, Optional, Tuple
 
+from repro.safety.fmea import FmeaResult, FmeaRow
 from repro.safety.fmeda import FmedaResult, FmedaRow
 
 _Key = Tuple[str, str]
+
+
+def _is_nan(value: object) -> bool:
+    return isinstance(value, float) and math.isnan(value)
+
+
+def numeric_changed(
+    old: Optional[float], new: Optional[float], tol: float = 1e-12
+) -> bool:
+    """Did a numeric field change between two runs?
+
+    ``None``/``None`` and ``NaN``/``NaN`` are *unchanged* (the field was
+    equally absent both times); ``None`` or ``NaN`` on exactly one side is
+    a change; otherwise the values are compared with tolerance ``tol``.
+    """
+    old_missing = old is None or _is_nan(old)
+    new_missing = new is None or _is_nan(new)
+    if old_missing or new_missing:
+        return old_missing != new_missing
+    return abs(float(old) - float(new)) > tol
+
+
+def _fmt(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if _is_nan(value):
+        return "NaN"
+    return f"{value:g}"
 
 
 @dataclass
@@ -40,11 +77,17 @@ class FmedaComparison:
 
     @property
     def spfm_delta(self) -> float:
-        return self.after_spfm - self.before_spfm
+        before = self.before_spfm if self.before_spfm is not None else math.nan
+        after = self.after_spfm if self.after_spfm is not None else math.nan
+        return after - before
 
     @property
     def improved(self) -> bool:
         return self.spfm_delta > 0
+
+    @property
+    def asil_flipped(self) -> bool:
+        return self.before_asil != self.after_asil
 
     @property
     def unchanged(self) -> bool:
@@ -52,13 +95,20 @@ class FmedaComparison:
             not self.added_rows
             and not self.removed_rows
             and not self.changed_rows
-            and abs(self.spfm_delta) < 1e-12
+            and not numeric_changed(self.before_spfm, self.after_spfm)
         )
 
     def summary(self) -> str:
         lines = [
-            f"SPFM  : {self.before_spfm:.2%} -> {self.after_spfm:.2%} "
-            f"({self.spfm_delta:+.2%})",
+            f"SPFM  : {_fmt(self.before_spfm)} -> {_fmt(self.after_spfm)} "
+            f"({_fmt(self.spfm_delta)})"
+            if None in (self.before_spfm, self.after_spfm)
+            or _is_nan(self.before_spfm)
+            or _is_nan(self.after_spfm)
+            else (
+                f"SPFM  : {self.before_spfm:.2%} -> {self.after_spfm:.2%} "
+                f"({self.spfm_delta:+.2%})"
+            ),
             f"ASIL  : {self.before_asil} -> {self.after_asil}",
             f"cost  : {self.cost_delta:+g} h",
         ]
@@ -74,13 +124,59 @@ class FmedaComparison:
         return "\n".join(lines)
 
 
-def _index(result: FmedaResult) -> Dict[_Key, FmedaRow]:
+@dataclass
+class FmeaComparison:
+    """Row-level delta between two FMEAs (DECISIVE Step 4a results).
+
+    Unlike :class:`FmedaComparison` there is no intrinsic SPFM here — an
+    FMEA's metric depends on which mechanisms are deployed, which is the
+    FMEDA's business; callers that track verdicts per run (the analysis
+    ledger) carry them alongside.
+    """
+
+    added_rows: List[_Key] = field(default_factory=list)
+    removed_rows: List[_Key] = field(default_factory=list)
+    changed_rows: List[RowDelta] = field(default_factory=list)
+    #: Keys whose ``safety_related`` flag flipped False -> True (new
+    #: single-point-fault candidates) and True -> False.
+    new_safety_related: List[_Key] = field(default_factory=list)
+    cleared_safety_related: List[_Key] = field(default_factory=list)
+
+    @property
+    def unchanged(self) -> bool:
+        return (
+            not self.added_rows
+            and not self.removed_rows
+            and not self.changed_rows
+        )
+
+    def summary(self) -> str:
+        if self.unchanged:
+            return "no row-level changes"
+        lines: List[str] = []
+        if self.added_rows:
+            lines.append(f"added : {self.added_rows}")
+        if self.removed_rows:
+            lines.append(f"removed: {self.removed_rows}")
+        for delta in self.changed_rows:
+            lines.append(
+                f"changed {delta.component}/{delta.failure_mode}: "
+                f"{'; '.join(delta.changes)}"
+            )
+        return "\n".join(lines)
+
+
+def _index_fmeda(result: FmedaResult) -> dict:
+    return {(row.component, row.failure_mode): row for row in result.rows}
+
+
+def _index_fmea(result: FmeaResult) -> dict:
     return {(row.component, row.failure_mode): row for row in result.rows}
 
 
 def compare_fmeda(before: FmedaResult, after: FmedaResult) -> FmedaComparison:
     """Row- and metric-level delta from ``before`` to ``after``."""
-    a, b = _index(before), _index(after)
+    a, b = _index_fmeda(before), _index_fmeda(after)
     comparison = FmedaComparison(
         before_spfm=before.spfm,
         after_spfm=after.spfm,
@@ -88,7 +184,7 @@ def compare_fmeda(before: FmedaResult, after: FmedaResult) -> FmedaComparison:
         after_asil=after.asil,
         added_rows=sorted(b.keys() - a.keys()),
         removed_rows=sorted(a.keys() - b.keys()),
-        cost_delta=after.total_cost - before.total_cost,
+        cost_delta=(after.total_cost or 0.0) - (before.total_cost or 0.0),
     )
     for key in sorted(a.keys() & b.keys()):
         old, new = a[key], b[key]
@@ -97,23 +193,115 @@ def compare_fmeda(before: FmedaResult, after: FmedaResult) -> FmedaComparison:
             changes.append(
                 f"safety-related {old.safety_related} -> {new.safety_related}"
             )
-        if old.safety_mechanism != new.safety_mechanism:
+        if (old.safety_mechanism or "") != (new.safety_mechanism or ""):
             changes.append(
                 f"mechanism {old.safety_mechanism or '-'} -> "
                 f"{new.safety_mechanism or '-'}"
             )
-        if abs(old.sm_coverage - new.sm_coverage) > 1e-12:
+        if numeric_changed(old.sm_coverage, new.sm_coverage):
             changes.append(
-                f"coverage {old.sm_coverage:.0%} -> {new.sm_coverage:.0%}"
+                f"coverage {_fmt(old.sm_coverage)} -> {_fmt(new.sm_coverage)}"
             )
-        if abs(old.residual_rate - new.residual_rate) > 1e-9:
+        if numeric_changed(old.residual_rate, new.residual_rate, 1e-9):
             changes.append(
-                f"residual {old.residual_rate:g} -> {new.residual_rate:g} FIT"
+                f"residual {_fmt(old.residual_rate)} -> "
+                f"{_fmt(new.residual_rate)} FIT"
             )
-        if abs(old.fit - new.fit) > 1e-9:
-            changes.append(f"FIT {old.fit:g} -> {new.fit:g}")
+        if numeric_changed(old.fit, new.fit, 1e-9):
+            changes.append(f"FIT {_fmt(old.fit)} -> {_fmt(new.fit)}")
         if changes:
             comparison.changed_rows.append(
                 RowDelta(key[0], key[1], changes)
             )
     return comparison
+
+
+def compare_fmea(before: FmeaResult, after: FmeaResult) -> FmeaComparison:
+    """Row-level delta between two FMEA results (Step 4a)."""
+    a, b = _index_fmea(before), _index_fmea(after)
+    comparison = FmeaComparison(
+        added_rows=sorted(b.keys() - a.keys()),
+        removed_rows=sorted(a.keys() - b.keys()),
+    )
+    for key in sorted(a.keys() & b.keys()):
+        old, new = a[key], b[key]
+        changes: List[str] = []
+        if old.safety_related != new.safety_related:
+            changes.append(
+                f"safety-related {old.safety_related} -> {new.safety_related}"
+            )
+            if new.safety_related:
+                comparison.new_safety_related.append(key)
+            else:
+                comparison.cleared_safety_related.append(key)
+        if (old.impact or "none") != (new.impact or "none"):
+            changes.append(f"impact {old.impact} -> {new.impact}")
+        if numeric_changed(old.fit, new.fit, 1e-9):
+            changes.append(f"FIT {_fmt(old.fit)} -> {_fmt(new.fit)}")
+        if numeric_changed(old.distribution, new.distribution, 1e-9):
+            changes.append(
+                f"distribution {_fmt(old.distribution)} -> "
+                f"{_fmt(new.distribution)}"
+            )
+        if (old.effect or "") != (new.effect or ""):
+            changes.append(
+                f"effect {old.effect or '-'!r} -> {new.effect or '-'!r}"
+            )
+        if changes:
+            comparison.changed_rows.append(RowDelta(key[0], key[1], changes))
+    # Rows appearing/disappearing also move the single-point picture.
+    comparison.new_safety_related.extend(
+        key for key in comparison.added_rows if b[key].safety_related
+    )
+    comparison.cleared_safety_related.extend(
+        key for key in comparison.removed_rows if a[key].safety_related
+    )
+    comparison.new_safety_related.sort()
+    comparison.cleared_safety_related.sort()
+    return comparison
+
+
+__all__ = [
+    "FmeaComparison",
+    "FmedaComparison",
+    "RowDelta",
+    "compare_fmea",
+    "compare_fmeda",
+    "numeric_changed",
+]
+
+
+def rows_from_payload_fmea(rows) -> List[FmeaRow]:
+    """Rebuild :class:`FmeaRow` objects from ledger row payloads."""
+    return [
+        FmeaRow(
+            component=str(row.get("component", "")),
+            component_class=str(row.get("component_class", "")),
+            fit=row.get("fit"),  # type: ignore[arg-type]
+            failure_mode=str(row.get("failure_mode", "")),
+            nature=str(row.get("nature", "")),
+            distribution=row.get("distribution"),  # type: ignore[arg-type]
+            safety_related=bool(row.get("safety_related", False)),
+            impact=str(row.get("impact", "none")),
+            effect=str(row.get("effect", "")),
+            warning=str(row.get("warning", "")),
+        )
+        for row in rows
+    ]
+
+
+def rows_from_payload_fmeda(rows) -> List[FmedaRow]:
+    """Rebuild :class:`FmedaRow` objects from ledger row payloads."""
+    return [
+        FmedaRow(
+            component=str(row.get("component", "")),
+            fit=row.get("fit"),  # type: ignore[arg-type]
+            safety_related=bool(row.get("safety_related", False)),
+            failure_mode=str(row.get("failure_mode", "")),
+            distribution=row.get("distribution"),  # type: ignore[arg-type]
+            safety_mechanism=str(row.get("safety_mechanism", "") or ""),
+            sm_coverage=row.get("sm_coverage", 0.0),  # type: ignore[arg-type]
+            residual_rate=row.get("residual_rate", 0.0),  # type: ignore[arg-type]
+        )
+        for row in rows
+    ]

@@ -62,6 +62,21 @@ class FmedaResult:
             row.residual_rate for row in self.rows_for(component)
         )
 
+    @property
+    def diagnostic_coverage(self) -> float:
+        """Fraction of the safety-related failure rate that deployed
+        mechanisms diagnose: ``1 - residual / safety-related rate``.  A
+        design with no safety-related modes is fully covered by vacuity."""
+        dangerous = sum(
+            row.mode_rate for row in self.rows if row.safety_related
+        )
+        if dangerous <= 0.0:
+            return 1.0
+        residual = sum(
+            row.residual_rate for row in self.rows if row.safety_related
+        )
+        return 1.0 - residual / dangerous
+
     def meets(self, asil: str) -> bool:
         from repro.safety.metrics import spfm_meets
 

@@ -98,6 +98,73 @@ def campaign_failures_sheet(
     return sheet
 
 
+def iteration_timeline_sheet(
+    entries, sheet_name: str = "Iteration_Timeline"
+) -> Optional[Sheet]:
+    """One row per analysis-ledger entry: the DECISIVE iteration timeline.
+
+    ``entries`` are :class:`repro.obs.ledger.LedgerEntry` objects (duck
+    typed — this module stays importable without the obs layer).  Returns
+    ``None`` when there is no history to render.
+    """
+    entries = list(entries or ())
+    if not entries:
+        return None
+    sheet = Sheet(sheet_name)
+    previous_spfm: Optional[float] = None
+    for entry in entries:
+        spfm = getattr(entry, "spfm", None)
+        delta = (
+            spfm - previous_spfm
+            if spfm is not None and previous_spfm is not None
+            else None
+        )
+        config = getattr(entry, "config", {}) or {}
+        metrics = getattr(entry, "metrics", {}) or {}
+        sheet.append(
+            {
+                "Seq": getattr(entry, "seq", ""),
+                "Entry": getattr(entry, "entry_id", ""),
+                "Kind": getattr(entry, "kind", ""),
+                "Iteration": config.get("iteration", ""),
+                "SPFM": f"{spfm * 100:.2f}%" if spfm is not None else "",
+                "SPFM_Delta": (
+                    f"{delta * 100:+.2f}%" if delta is not None else ""
+                ),
+                "ASIL": getattr(entry, "asil", "") or "",
+                "Deployments": len(config.get("deployments", []) or []),
+                "Rows": len(getattr(entry, "rows", []) or []),
+                "Wall_s": metrics.get("wall_time", ""),
+                "Model_Digest": (getattr(entry, "model_digest", "") or "")[:12],
+                "Git": getattr(entry, "git", ""),
+            }
+        )
+        if spfm is not None:
+            previous_spfm = spfm
+    return sheet
+
+
+def save_decisive_workbook(
+    result: FmedaResult, entries, location: Union[str, Path]
+) -> Path:
+    """Save the final FMEDA plus the iteration timeline as one workbook."""
+    sheets = [fmeda_to_sheet(result)]
+    summary = Sheet("Summary")
+    summary.append(
+        {
+            "System": result.system,
+            "SPFM": f"{result.spfm * 100:.2f}%",
+            "ASIL": result.asil,
+            "Total_SM_Cost": result.total_cost,
+        }
+    )
+    sheets.append(summary)
+    timeline = iteration_timeline_sheet(entries)
+    if timeline is not None:
+        sheets.append(timeline)
+    return Workbook(sheets).save(location)
+
+
 def render_campaign_stats(result: FmeaResult) -> str:
     """The ``--stats`` CLI view of a campaign's instrumentation."""
     sheet = campaign_stats_sheet(result)

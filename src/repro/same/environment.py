@@ -54,6 +54,22 @@ class SAME:
         self.deployments: List[Deployment] = []
         self.last_fmea: Optional[FmeaResult] = None
         self.last_fmeda: Optional[FmedaResult] = None
+        #: Optional provenance ledger (see :mod:`repro.obs.ledger`): when
+        #: set, every analysis records an entry and every export attaches
+        #: the produced artifact to the entry it came from.
+        self.ledger = None
+        self._ledger_entries: dict = {}
+
+    def set_ledger(self, ledger: Union[str, Path, object]):
+        """Attach an analysis ledger (a path or an ``AnalysisLedger``)."""
+        from repro.obs.ledger import AnalysisLedger
+
+        self.ledger = (
+            ledger
+            if isinstance(ledger, AnalysisLedger)
+            else AnalysisLedger(ledger)
+        )
+        return self.ledger
 
     # -- loading ------------------------------------------------------------
 
@@ -122,6 +138,7 @@ class SAME:
         threshold: float = 0.2,
         assume_stable: Iterable[str] = (),
         workers: int = 1,
+        strategy: str = "fixed",
         max_retries: int = 2,
         job_timeout: Optional[float] = None,
         checkpoint: Optional[str] = None,
@@ -129,14 +146,15 @@ class SAME:
     ) -> FmeaResult:
         """Injection-based FMEA of the Simulink model.
 
-        ``workers``/``max_retries``/``job_timeout``/``checkpoint``/``resume``
-        are forwarded to :class:`~repro.safety.campaign.FaultInjectionCampaign`
-        so iterative SAME workflows get the same fault tolerance and
+        ``workers``/``strategy``/``max_retries``/``job_timeout``/
+        ``checkpoint``/``resume`` are forwarded to
+        :class:`~repro.safety.campaign.FaultInjectionCampaign` so iterative
+        SAME workflows get the same execution strategy, fault tolerance and
         checkpoint–resume behaviour as the CLI.
         """
         self._require("simulink_model")
         self._require("reliability")
-        with obs.span("same.fmea", method="injection"):
+        with obs.span("same.fmea", method="injection") as sp:
             self.last_fmea = run_simulink_fmea(
                 self.simulink_model,
                 self.reliability,
@@ -144,10 +162,17 @@ class SAME:
                 threshold=threshold,
                 assume_stable=assume_stable,
                 workers=workers,
+                strategy=strategy,
                 max_retries=max_retries,
                 job_timeout=job_timeout,
                 checkpoint=checkpoint,
                 resume=resume,
+            )
+            self._ledger_fmea(
+                self.last_fmea,
+                self.simulink_model,
+                sp,
+                config={"threshold": threshold, "strategy": strategy},
             )
         return self.last_fmea
 
@@ -159,8 +184,9 @@ class SAME:
             if not tops:
                 raise ValueError("SSAM model has no top-level component")
             target = tops[0]
-        with obs.span("same.fmea", method="graph"):
+        with obs.span("same.fmea", method="graph") as sp:
             self.last_fmea = run_ssam_fmea(target, self.reliability)
+            self._ledger_fmea(self.last_fmea, target, sp, config={})
         return self.last_fmea
 
     def calculate_spfm(self) -> Tuple[float, str]:
@@ -173,8 +199,20 @@ class SAME:
 
     def run_fmeda(self) -> FmedaResult:
         self._require("last_fmea")
-        with obs.span("same.fmeda", deployments=len(self.deployments)):
+        with obs.span("same.fmeda", deployments=len(self.deployments)) as sp:
             self.last_fmeda = run_fmeda(self.last_fmea, self.deployments)
+            if self.ledger is not None:
+                from repro.obs.ledger import record_fmeda
+
+                entry = record_fmeda(
+                    self.ledger,
+                    self.last_fmeda,
+                    model=self.simulink_model or self.ssam_model,
+                    reliability=self.reliability,
+                    meta={"facade": "same"},
+                )
+                self._ledger_entries["fmeda"] = entry
+                sp.set(ledger_entry=entry.entry_id)
         return self.last_fmeda
 
     # -- mechanisms ----------------------------------------------------------------
@@ -207,10 +245,23 @@ class SAME:
         """Let SAME determine the solution for the target safety level."""
         self._require("mechanisms")
         self._require("last_fmea")
-        with obs.span("same.search_deployment", target=target_asil):
+        with obs.span("same.search_deployment", target=target_asil) as sp:
             plan = search_for_target(
                 self.last_fmea, self.mechanisms, target_asil
             )
+            if plan is not None and self.ledger is not None:
+                from repro.obs.ledger import record_optimizer
+
+                entry = record_optimizer(
+                    self.ledger,
+                    plan,
+                    system=self.last_fmea.system,
+                    model=self.simulink_model or self.ssam_model,
+                    reliability=self.reliability,
+                    config={"target": target_asil},
+                    meta={"facade": "same"},
+                )
+                sp.set(ledger_entry=entry.entry_id)
         if plan is not None:
             self.deployments = list(plan.deployments)
         return plan
@@ -225,12 +276,16 @@ class SAME:
 
     def export_fmea(self, location: Union[str, Path]) -> Path:
         self._require("last_fmea")
-        return save_fmea_workbook(self.last_fmea, location)
+        path = save_fmea_workbook(self.last_fmea, location)
+        self._attach_artifact("fmea", path)
+        return path
 
     def export_fmeda(self, location: Union[str, Path]) -> Path:
         if self.last_fmeda is None:
             self.run_fmeda()
-        return save_fmeda_workbook(self.last_fmeda, location)
+        path = save_fmeda_workbook(self.last_fmeda, location)
+        self._attach_artifact("fmeda", path)
+        return path
 
     def generate_runtime_monitor(self, debounce: int = 1) -> RuntimeMonitor:
         self._require("ssam_model")
@@ -299,7 +354,11 @@ class SAME:
         self._require("reliability")
         self._require("mechanisms")
         process = DecisiveProcess(
-            self.ssam_model, self.reliability, self.mechanisms, target_asil
+            self.ssam_model,
+            self.reliability,
+            self.mechanisms,
+            target_asil,
+            ledger=self.ledger,
         )
         with obs.span("same.decisive", target=target_asil):
             log = process.run(max_iterations)
@@ -309,6 +368,36 @@ class SAME:
         return log
 
     # -- internals ----------------------------------------------------------------------
+
+    def _ledger_fmea(self, result, model, sp, config: dict) -> None:
+        """Record an FMEA run in the attached ledger (no-op without one)."""
+        if self.ledger is None:
+            return
+        from repro.obs.ledger import record_fmea
+
+        value = spfm(result, self.deployments)
+        entry = record_fmea(
+            self.ledger,
+            result,
+            model=model,
+            reliability=self.reliability,
+            spfm=value,
+            asil=asil_from_spfm(value),
+            config=config,
+            meta={"facade": "same", "method": result.method},
+        )
+        self._ledger_entries["fmea"] = entry
+        sp.set(ledger_entry=entry.entry_id)
+
+    def _attach_artifact(self, kind: str, path: Path) -> None:
+        """Link an exported workbook to the entry its analysis recorded."""
+        if self.ledger is None:
+            return
+        entry = self._ledger_entries.get(kind)
+        if entry is None:
+            entry = self.ledger.latest(kind=kind)
+        if entry is not None:
+            self.ledger.attach_artifact(entry, path)
 
     def _require(self, attribute: str) -> None:
         if getattr(self, attribute) is None:

@@ -1,0 +1,114 @@
+"""Campaign execution strategies: fixed / serial / auto worker selection."""
+
+import os
+
+import pytest
+
+from repro.casestudies.power_supply import (
+    ASSUMED_STABLE,
+    build_power_supply_simulink,
+    power_supply_reliability,
+)
+from repro.cli import main
+from repro.safety.campaign import (
+    AUTO_PARALLEL_MIN_JOBS,
+    FaultInjectionCampaign,
+)
+from repro.safety.fmea import FmeaError, run_simulink_fmea
+
+
+@pytest.fixture(scope="module")
+def psu():
+    return build_power_supply_simulink(), power_supply_reliability()
+
+
+def _campaign(psu, **kwargs):
+    model, reliability = psu
+    return FaultInjectionCampaign(
+        model, reliability, assume_stable=ASSUMED_STABLE, **kwargs
+    )
+
+
+class TestEffectiveWorkers:
+    def test_fixed_keeps_requested_workers(self, psu):
+        campaign = _campaign(psu, workers=3)
+        assert campaign._effective_workers(1000) == 3
+        assert campaign._effective_workers(1) == 3
+
+    def test_serial_always_one(self, psu):
+        campaign = _campaign(psu, workers=8, strategy="serial")
+        assert campaign._effective_workers(1000) == 1
+
+    def test_auto_below_threshold_is_serial(self, psu):
+        campaign = _campaign(psu, workers=8, strategy="auto")
+        assert (
+            campaign._effective_workers(AUTO_PARALLEL_MIN_JOBS - 1) == 1
+        )
+        assert campaign._effective_workers(0) == 1
+
+    def test_auto_at_threshold_honours_requested_workers(self, psu):
+        campaign = _campaign(psu, workers=8, strategy="auto")
+        assert (
+            campaign._effective_workers(AUTO_PARALLEL_MIN_JOBS) == 8
+        )
+
+    def test_auto_without_request_sizes_from_cpu_and_jobs(self, psu):
+        campaign = _campaign(psu, strategy="auto")
+        jobs = AUTO_PARALLEL_MIN_JOBS
+        workers = campaign._effective_workers(jobs)
+        assert 1 <= workers <= min(jobs, os.cpu_count() or 1)
+
+    def test_unknown_strategy_rejected(self, psu):
+        with pytest.raises(FmeaError, match="strategy"):
+            _campaign(psu, strategy="turbo")
+
+
+class TestStrategyRuns:
+    def test_auto_small_campaign_runs_serially(self, psu):
+        """The PSU case study has ~9 jobs — far below the fan-out floor,
+        where BENCH_injection.json measured parallel at 0.43x."""
+        campaign = _campaign(psu, workers=4, strategy="auto")
+        result = campaign.run()
+        assert result.stats.strategy == "auto"
+        assert result.stats.workers == 1
+        assert result.stats.requested_workers == 4
+        assert result.stats.jobs < AUTO_PARALLEL_MIN_JOBS
+
+    def test_serial_strategy_matches_fixed_rows(self, psu):
+        fixed = _campaign(psu).run()
+        serial = _campaign(psu, workers=4, strategy="serial").run()
+        assert serial.stats.workers == 1
+        assert [
+            (row.component, row.failure_mode, row.safety_related)
+            for row in serial.rows
+        ] == [
+            (row.component, row.failure_mode, row.safety_related)
+            for row in fixed.rows
+        ]
+
+    def test_default_stats_strategy_is_fixed(self, psu):
+        assert _campaign(psu).run().stats.strategy == "fixed"
+
+    def test_run_simulink_fmea_passthrough(self, psu):
+        model, reliability = psu
+        result = run_simulink_fmea(
+            model,
+            reliability,
+            sensors=["CS1"],
+            assume_stable=ASSUMED_STABLE,
+            workers=4,
+            strategy="auto",
+        )
+        assert result.stats.strategy == "auto"
+        assert result.stats.workers == 1
+
+
+class TestCliStrategy:
+    def test_demo_accepts_strategy_flag(self, capsys):
+        assert main(["demo", "--strategy", "auto", "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "auto" in out
+
+    def test_bad_strategy_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            main(["demo", "--strategy", "turbo"])

@@ -1,0 +1,198 @@
+"""compare.py edge cases: added/removed rows, NaN/None metrics, empty diffs."""
+
+import math
+
+import pytest
+
+from repro.safety.compare import (
+    compare_fmea,
+    compare_fmeda,
+    numeric_changed,
+    rows_from_payload_fmea,
+    rows_from_payload_fmeda,
+)
+from repro.safety.fmea import FmeaResult, FmeaRow
+from repro.safety.fmeda import FmedaResult, FmedaRow
+
+
+def _fmea(*rows):
+    result = FmeaResult(system="S", method="manual")
+    result.rows = list(rows)
+    return result
+
+
+def _fmea_row(component, failure_mode, **kwargs):
+    defaults = dict(
+        component_class="Res",
+        fit=10.0,
+        nature="permanent",
+        distribution=0.5,
+        safety_related=False,
+        impact="none",
+    )
+    defaults.update(kwargs)
+    return FmeaRow(
+        component=component, failure_mode=failure_mode, **defaults
+    )
+
+
+def _fmeda(*rows, spfm=0.9, asil="ASIL-B", cost=0.0):
+    return FmedaResult(
+        system="S", rows=list(rows), spfm=spfm, asil=asil, total_cost=cost
+    )
+
+
+def _fmeda_row(component, failure_mode, **kwargs):
+    defaults = dict(fit=10.0, safety_related=True, distribution=0.5)
+    defaults.update(kwargs)
+    return FmedaRow(
+        component=component, failure_mode=failure_mode, **defaults
+    )
+
+
+class TestNumericChanged:
+    @pytest.mark.parametrize(
+        ("old", "new", "changed"),
+        [
+            (None, None, False),
+            (math.nan, math.nan, False),
+            (None, math.nan, False),  # equally absent either way
+            (None, 1.0, True),
+            (math.nan, 1.0, True),
+            (1.0, None, True),
+            (1.0, math.nan, True),
+            (1.0, 1.0 + 1e-15, False),
+            (1.0, 1.1, True),
+        ],
+    )
+    def test_matrix(self, old, new, changed):
+        assert numeric_changed(old, new) is changed
+
+    def test_tolerance(self):
+        assert not numeric_changed(1.0, 1.5, tol=1.0)
+        assert numeric_changed(1.0, 2.5, tol=1.0)
+
+
+class TestEmptyDiffs:
+    def test_empty_fmea_vs_empty(self):
+        comparison = compare_fmea(_fmea(), _fmea())
+        assert comparison.unchanged
+        assert comparison.summary() == "no row-level changes"
+
+    def test_empty_fmea_vs_populated(self):
+        comparison = compare_fmea(
+            _fmea(), _fmea(_fmea_row("R1", "Open", safety_related=True))
+        )
+        assert comparison.added_rows == [("R1", "Open")]
+        assert comparison.new_safety_related == [("R1", "Open")]
+        assert not comparison.unchanged
+
+    def test_empty_fmeda_vs_empty(self):
+        comparison = compare_fmeda(
+            _fmeda(spfm=0.9), _fmeda(spfm=0.9)
+        )
+        assert comparison.unchanged
+        assert comparison.spfm_delta == pytest.approx(0.0)
+
+
+class TestAddedRemovedComponents:
+    def test_component_swap(self):
+        before = _fmea(
+            _fmea_row("R1", "Open", safety_related=True),
+            _fmea_row("R2", "Short"),
+        )
+        after = _fmea(
+            _fmea_row("R2", "Short"),
+            _fmea_row("R3", "Drift", safety_related=True),
+        )
+        comparison = compare_fmea(before, after)
+        assert comparison.added_rows == [("R3", "Drift")]
+        assert comparison.removed_rows == [("R1", "Open")]
+        # Safety-relation movement tracks rows entering/leaving too.
+        assert comparison.new_safety_related == [("R3", "Drift")]
+        assert comparison.cleared_safety_related == [("R1", "Open")]
+
+    def test_fmeda_component_swap(self):
+        before = _fmeda(_fmeda_row("R1", "Open"))
+        after = _fmeda(_fmeda_row("R9", "Open"))
+        comparison = compare_fmeda(before, after)
+        assert comparison.added_rows == [("R9", "Open")]
+        assert comparison.removed_rows == [("R1", "Open")]
+
+
+class TestNaNAndNoneMetrics:
+    def test_nan_fit_both_sides_not_a_change(self):
+        before = _fmea(_fmea_row("R1", "Open", fit=math.nan))
+        after = _fmea(_fmea_row("R1", "Open", fit=math.nan))
+        assert compare_fmea(before, after).unchanged
+
+    def test_fit_appearing_is_a_change(self):
+        before = _fmea(_fmea_row("R1", "Open", fit=None))
+        after = _fmea(_fmea_row("R1", "Open", fit=12.0))
+        (delta,) = compare_fmea(before, after).changed_rows
+        assert "FIT - -> 12" in "; ".join(delta.changes)
+
+    def test_nan_spfm_summary_does_not_crash(self):
+        before = _fmeda(spfm=math.nan, asil="?")
+        after = _fmeda(spfm=0.9, asil="ASIL-B")
+        comparison = compare_fmeda(before, after)
+        summary = comparison.summary()
+        assert "NaN" in summary and "ASIL-B" in summary
+        assert not comparison.unchanged  # NaN -> value is a data change
+
+    def test_none_coverage_vs_zero(self):
+        before = _fmeda(_fmeda_row("R1", "Open", sm_coverage=None))
+        after = _fmeda(_fmeda_row("R1", "Open", sm_coverage=0.0))
+        (delta,) = compare_fmeda(before, after).changed_rows
+        assert any("coverage" in change for change in delta.changes)
+
+    def test_residual_tolerance(self):
+        before = _fmeda(_fmeda_row("R1", "Open", residual_rate=1.0))
+        after = _fmeda(
+            _fmeda_row("R1", "Open", residual_rate=1.0 + 1e-12)
+        )
+        assert compare_fmeda(before, after).unchanged
+
+
+class TestChangeDetection:
+    def test_impact_effect_and_distribution_changes(self):
+        before = _fmea(
+            _fmea_row("R1", "Open", impact="none", effect="", distribution=0.5)
+        )
+        after = _fmea(
+            _fmea_row(
+                "R1",
+                "Open",
+                impact="DVF",
+                effect="output collapses",
+                distribution=0.7,
+            )
+        )
+        (delta,) = compare_fmea(before, after).changed_rows
+        joined = "; ".join(delta.changes)
+        assert "impact none -> DVF" in joined
+        assert "distribution" in joined and "effect" in joined
+
+    def test_mechanism_change(self):
+        before = _fmeda(
+            _fmeda_row("MC1", "RAM Failure", safety_mechanism="ECC")
+        )
+        after = _fmeda(
+            _fmeda_row("MC1", "RAM Failure", safety_mechanism="Scrub")
+        )
+        (delta,) = compare_fmeda(before, after).changed_rows
+        assert "mechanism ECC -> Scrub" in delta.changes[0]
+
+
+class TestPayloadRoundTrip:
+    def test_fmea_payload_missing_fields_defaulted(self):
+        rows = rows_from_payload_fmea([{"component": "R1"}])
+        assert rows[0].failure_mode == ""
+        assert rows[0].safety_related is False
+        assert rows[0].impact == "none"
+
+    def test_fmeda_payload_missing_fields_defaulted(self):
+        rows = rows_from_payload_fmeda([{"component": "R1"}])
+        assert rows[0].sm_coverage == 0.0
+        assert rows[0].residual_rate == 0.0
+        assert rows[0].safety_mechanism == ""

@@ -296,7 +296,7 @@ def test_prometheus_text_format():
 def test_prometheus_export_writes_file(tmp_path):
     _sample_trace()
     path = obs.export_prometheus(tmp_path / "deep" / "metrics.txt")
-    assert path.read_text().startswith("# TYPE")
+    assert path.read_text().startswith("# HELP")
 
 
 def test_chrome_trace_events_are_valid_and_ordered(tmp_path):

@@ -1,0 +1,148 @@
+"""Prometheus exposition hygiene: HELP/TYPE lines, histogram invariants,
+and the parse round-trip."""
+
+import math
+
+import pytest
+
+from repro import obs
+from repro.obs.export import parse_prometheus_text, prometheus_text
+from repro.obs.metrics import MetricsRegistry
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+@pytest.fixture
+def registry():
+    registry = MetricsRegistry()
+    registry.counter("campaign_jobs").inc(9)
+    registry.gauge("campaign_wall_seconds").set(1.25)
+    histogram = registry.histogram(
+        "campaign_job_seconds", buckets=(0.001, 0.01, 0.1)
+    )
+    for value in (0.0005, 0.005, 0.05, 0.5):
+        histogram.observe(value)
+    return registry
+
+
+class TestExposition:
+    def test_every_family_has_help_and_type(self, registry):
+        text = prometheus_text(registry)
+        for name, kind in (
+            ("campaign_jobs", "counter"),
+            ("campaign_wall_seconds", "gauge"),
+            ("campaign_job_seconds", "histogram"),
+        ):
+            assert f"# TYPE {name} {kind}" in text
+            help_lines = [
+                line
+                for line in text.splitlines()
+                if line.startswith(f"# HELP {name} ")
+            ]
+            assert len(help_lines) == 1
+            # HELP must carry actual text, not a bare name.
+            assert len(help_lines[0].split(" ", 3)[3]) > 0
+
+    def test_known_metrics_have_curated_help(self, registry):
+        text = prometheus_text(registry)
+        help_line = next(
+            line
+            for line in text.splitlines()
+            if line.startswith("# HELP campaign_jobs ")
+        )
+        assert "repro.obs metric" not in help_line  # not the fallback
+
+    def test_unknown_metric_gets_fallback_help(self):
+        registry = MetricsRegistry()
+        registry.counter("my_bespoke_total").inc()
+        assert (
+            "# HELP my_bespoke_total repro.obs metric my_bespoke_total."
+            in prometheus_text(registry)
+        )
+
+    def test_histogram_inf_bucket_equals_count(self, registry):
+        text = prometheus_text(registry)
+        inf_line = next(
+            line
+            for line in text.splitlines()
+            if line.startswith('campaign_job_seconds_bucket{le="+Inf"}')
+        )
+        count_line = next(
+            line
+            for line in text.splitlines()
+            if line.startswith("campaign_job_seconds_count")
+        )
+        assert inf_line.rsplit(" ", 1)[1] == count_line.rsplit(" ", 1)[1] == "4"
+        assert "campaign_job_seconds_sum" in text
+
+
+class TestParseRoundTrip:
+    def test_round_trip(self, registry):
+        families = parse_prometheus_text(prometheus_text(registry))
+        assert families["campaign_jobs"]["type"] == "counter"
+        assert families["campaign_jobs"]["value"] == 9.0
+        assert families["campaign_wall_seconds"]["value"] == 1.25
+        histogram = families["campaign_job_seconds"]
+        assert histogram["type"] == "histogram"
+        assert histogram["count"] == 4
+        assert histogram["sum"] == pytest.approx(0.5555)
+        bounds = [bound for bound, _ in histogram["buckets"]]
+        assert bounds == [0.001, 0.01, 0.1, math.inf]
+        counts = [count for _, count in histogram["buckets"]]
+        assert counts == [1, 2, 3, 4]  # cumulative
+
+    def test_round_trip_of_live_registry(self):
+        obs.enable()
+        obs.counter("campaign_jobs").inc(3)
+        obs.histogram("campaign_job_seconds").observe(0.01)
+        families = parse_prometheus_text(obs.prometheus_text())
+        assert families["campaign_jobs"]["value"] == 3.0
+        assert families["campaign_job_seconds"]["count"] == 1
+
+    def test_empty_text(self):
+        assert parse_prometheus_text("") == {}
+
+
+class TestParseValidation:
+    def test_sample_without_type_rejected(self):
+        with pytest.raises(ValueError, match="no # TYPE"):
+            parse_prometheus_text("campaign_jobs 9\n")
+
+    def test_non_cumulative_buckets_rejected(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1"} 5\n'
+            'h_bucket{le="+Inf"} 3\n'
+            "h_sum 1.0\n"
+            "h_count 3\n"
+        )
+        with pytest.raises(ValueError, match="not cumulative"):
+            parse_prometheus_text(text)
+
+    def test_missing_inf_bucket_rejected(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1"} 5\n'
+            "h_sum 1.0\n"
+            "h_count 5\n"
+        )
+        with pytest.raises(ValueError, match=r"\+Inf"):
+            parse_prometheus_text(text)
+
+    def test_inf_bucket_count_mismatch_rejected(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1"} 5\n'
+            'h_bucket{le="+Inf"} 5\n'
+            "h_sum 1.0\n"
+            "h_count 7\n"
+        )
+        with pytest.raises(ValueError, match="!="):
+            parse_prometheus_text(text)
