@@ -12,21 +12,39 @@ Basic events are named ``<component>:<failure mode>`` and carry mission
 probabilities derived from FIT × distribution.  Components whose function
 tolerance is redundant (1oo2 etc.) are modelled through the path structure
 itself (parallel paths), exactly as in the graph FMEA.
+
+When the composite has more than ``_MAX_PATHS`` boundary-to-boundary paths,
+synthesis no longer fails: it switches to a **dominator-segment
+decomposition**.  Every path passes through the dominator chain
+``__IN__ = d0, d1, …, dk = __OUT__`` in order, and on a DAG full paths are
+exactly the concatenations of independent per-segment subpaths, so::
+
+    TOP = OR ( dominator losses,
+               OR over segments ( AND over d_i→d_{i+1} subpaths
+                                  ( OR over subpath members ) ) )
+
+is logically equivalent to the AND-over-paths form — the distribution of
+AND over the per-segment ORs.  Segments that still exceed the cap are
+approximated by an AND over a minimum node cut (a sound cut set: the cut
+members jointly failing break every subpath).  ``FaultTree.warning``
+records which construction was used.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Union
 
 import networkx as nx
 
 from repro.fta.quantify import HOURS_PER_YEAR, probability_from_fit
-from repro.fta.tree import AndGate, BasicEvent, FaultTree, FtaError, OrGate
+from repro.fta.tree import AndGate, BasicEvent, FaultTree, FtaError, Gate, OrGate
 from repro.metamodel import ModelObject
 from repro.ssam.architecture import PATH_BREAKING_NATURES
 from repro.ssam.base import text_of
 
-#: Path-enumeration cap for synthesis.
+#: Path-enumeration cap per level: full enumeration beyond it falls back to
+#: the dominator-segment decomposition (and per-segment enumeration beyond
+#: it falls back to a minimum-node-cut gate).
 _MAX_PATHS = 5000
 
 
@@ -60,6 +78,76 @@ def _loss_events(
     return events
 
 
+def _enumerate_paths(
+    graph: nx.DiGraph, source: str, target: str, cap: int
+) -> Optional[List[List[str]]]:
+    """Interior node lists of all ``source``→``target`` simple paths, or
+    ``None`` once more than ``cap`` paths exist."""
+    paths: List[List[str]] = []
+    for index, path in enumerate(nx.all_simple_paths(graph, source, target)):
+        if index >= cap:
+            return None
+        paths.append([node for node in path if node not in (source, target)])
+    return paths
+
+
+def _dominator_chain(graph: nx.DiGraph) -> List[str]:
+    """The dominator chain ``__IN__ … __OUT__``: every boundary-to-boundary
+    path visits exactly these nodes, in this order."""
+    idom = nx.immediate_dominators(graph, "__IN__")
+    chain = ["__OUT__"]
+    node = "__OUT__"
+    while node != "__IN__":
+        node = idom[node]
+        chain.append(node)
+    chain.reverse()
+    return chain
+
+
+def _segment_gate(
+    graph: nx.DiGraph,
+    a: str,
+    b: str,
+    index: int,
+    loss_node: Callable[[str], Optional[Union[Gate, BasicEvent]]],
+    notes: List[str],
+) -> Optional[Gate]:
+    """Gate for "every ``a``→``b`` subpath is broken", or ``None`` when the
+    segment cannot break (direct edge / no breakable interior)."""
+    interior = nx.descendants(graph, a) & nx.ancestors(graph, b)
+    sub = graph.subgraph(interior | {a, b})
+    if sub.has_edge(a, b) or not interior:
+        # An interior-free connection survives any interior failure.
+        return None
+    paths = _enumerate_paths(sub, a, b, _MAX_PATHS)
+    if paths is not None:
+        gate = AndGate(f"segment_{index}_broken")
+        for path_index, path in enumerate(paths):
+            path_gate = OrGate(f"segment_{index}_path_{path_index}_broken")
+            for uid in path:
+                node = loss_node(uid)
+                if node is not None:
+                    path_gate.add(node)
+            gate.add(path_gate)
+        return gate
+    # Segment itself is path-explosive: a minimum node cut jointly failing
+    # breaks every subpath — a sound (possibly incomplete) cut set.
+    cut = nx.minimum_node_cut(sub, a, b)
+    gate = AndGate(f"segment_{index}_cut")
+    for uid in sorted(cut):
+        node = loss_node(uid)
+        if node is None:
+            # A cut member with no breakable mode: the cut can never fail
+            # jointly, so the gate would be constant-false — drop it.
+            return None
+        gate.add(node)
+    notes.append(
+        f"segment {index} approximated by a minimum node cut "
+        f"({len(cut)} members)"
+    )
+    return gate
+
+
 def synthesize_fault_tree(
     composite: ModelObject,
     mission_hours: float = HOURS_PER_YEAR,
@@ -82,37 +170,61 @@ def synthesize_fault_tree(
             f"composite {system!r} has no input/output boundary relationships; "
             f"anchor the boundary before synthesis"
         )
-    paths = []
-    for index, path in enumerate(
-        nx.all_simple_paths(graph, "__IN__", "__OUT__")
-    ):
-        if index >= _MAX_PATHS:
-            raise FtaError(
-                f"composite {system!r} has more than {_MAX_PATHS} paths; "
-                f"fault-tree synthesis is infeasible at this level"
-            )
-        paths.append([node for node in path if node not in ("__IN__", "__OUT__")])
 
-    top_name = hazard_name or f"{system} loses its function"
-    top = AndGate(top_name)
     event_cache: Dict[str, List[BasicEvent]] = {}
-    for index, path in enumerate(paths):
-        path_gate = OrGate(f"path_{index}_broken")
-        for uid in path:
+    node_cache: Dict[str, Optional[Union[Gate, BasicEvent]]] = {}
+
+    def loss_node(uid: str) -> Optional[Union[Gate, BasicEvent]]:
+        """The event/gate for "component ``uid`` loses its function", shared
+        across gates (the tree is a DAG), or ``None`` without loss modes."""
+        if uid not in node_cache:
             component = by_uid[uid]
-            if uid not in event_cache:
-                event_cache[uid] = _loss_events(component, mission_hours)
-            events = event_cache[uid]
+            events = event_cache.setdefault(
+                uid, _loss_events(component, mission_hours)
+            )
             if not events:
-                continue
-            if len(events) == 1:
-                path_gate.add(events[0])
+                node_cache[uid] = None
+            elif len(events) == 1:
+                node_cache[uid] = events[0]
             else:
                 comp_gate = OrGate(
                     f"{text_of(component) or component.get('id')}_loss"
                 )
                 for event in events:
                     comp_gate.add(event)
-                path_gate.add(comp_gate)
-        top.add(path_gate)
-    return FaultTree(system, top)
+                node_cache[uid] = comp_gate
+        return node_cache[uid]
+
+    top_name = hazard_name or f"{system} loses its function"
+    paths = _enumerate_paths(graph, "__IN__", "__OUT__", _MAX_PATHS)
+    if paths is not None:
+        top = AndGate(top_name)
+        for index, path in enumerate(paths):
+            path_gate = OrGate(f"path_{index}_broken")
+            for uid in path:
+                node = loss_node(uid)
+                if node is not None:
+                    path_gate.add(node)
+            top.add(path_gate)
+        return FaultTree(system, top)
+
+    # Beyond the cap: dominator-segment decomposition (module docstring).
+    chain = _dominator_chain(graph)
+    notes: List[str] = []
+    top = OrGate(top_name)
+    for uid in chain[1:-1]:
+        node = loss_node(uid)
+        if node is not None:
+            top.add(node)
+    for index, (a, b) in enumerate(zip(chain, chain[1:])):
+        gate = _segment_gate(graph, a, b, index, loss_node, notes)
+        if gate is not None:
+            top.add(gate)
+    warning = (
+        f"more than {_MAX_PATHS} boundary-to-boundary paths; tree built by "
+        f"dominator-segment decomposition "
+        f"({len(chain) - 2} dominators, {len(chain) - 1} segments)"
+    )
+    if notes:
+        warning += "; " + "; ".join(notes)
+    return FaultTree(system, top, warning=warning)

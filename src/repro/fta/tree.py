@@ -98,11 +98,22 @@ class KofNGate(Gate):
 
 
 class FaultTree:
-    """A named tree with a top node."""
+    """A named tree with a top node.
 
-    def __init__(self, name: str, top: Union[Gate, BasicEvent]) -> None:
+    ``warning`` records a non-fatal synthesis caveat — e.g. that the tree
+    was built by dominator-segment decomposition rather than full path
+    enumeration; empty when the construction is the default one.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        top: Union[Gate, BasicEvent],
+        warning: str = "",
+    ) -> None:
         self.name = name
         self.top = top
+        self.warning = warning
         self._check_acyclic()
 
     def _check_acyclic(self) -> None:

@@ -29,15 +29,18 @@ from typing import Dict, List, Optional, Sequence, Set
 
 import networkx as nx
 
+from repro import obs
 from repro.metamodel import ModelObject
 from repro.reliability import ReliabilityModel
 from repro.ssam.architecture import PATH_BREAKING_NATURES
 from repro.ssam.base import text_of
 from repro.safety.fmea import FmeaError, FmeaResult, FmeaRow
 
-#: Path enumeration cap: systems with massive parallelism would otherwise
-#: blow up ``all_simple_paths``; beyond the cap we fall back to the
-#: equivalent (and exact) dominator-based cut check.
+#: Path-enumeration cap for the *legacy* intersection
+#: (:func:`_path_intersection`).  The analysis itself runs on dominator
+#: trees (:func:`_dominator_intersection`) — exact and near-linear, so no
+#: cap is ever hit; the enumeration survives only as the independent
+#: cross-check used by the equivalence tests.
 _MAX_PATHS = 10000
 
 
@@ -66,16 +69,61 @@ def _on_all_paths(graph: nx.DiGraph, candidates: Set[str]) -> bool:
     the failure takes down together) it is the joint-cut criterion — the
     physically correct reading: the mode is single-point when the combined
     outage breaks every path.
+
+    One DFS over the non-candidate nodes — no per-check ``graph.copy()``,
+    so a joint-candidate check costs O(V + E) allocation-free traversal.
     """
+    if obs.enabled():
+        obs.counter("graph_joint_cut_checks").inc()
     if not nx.has_path(graph, "__IN__", "__OUT__"):
         return False
-    pruned = graph.copy()
-    pruned.remove_nodes_from(candidates - {"__IN__", "__OUT__"})
-    return not (
-        pruned.has_node("__IN__")
-        and pruned.has_node("__OUT__")
-        and nx.has_path(pruned, "__IN__", "__OUT__")
+    blocked = set(candidates) - {"__IN__", "__OUT__"}
+    seen = {"__IN__"}
+    stack = ["__IN__"]
+    while stack:
+        node = stack.pop()
+        for successor in graph.successors(node):
+            if successor == "__OUT__":
+                return False  # a candidate-free path survives
+            if successor in blocked or successor in seen:
+                continue
+            seen.add(successor)
+            stack.append(successor)
+    return True
+
+
+def _dominator_intersection(graph: nx.DiGraph) -> Set[str]:
+    """Nodes common to *all* __IN__ → __OUT__ paths, via dominator trees.
+
+    A node lies on every path from the input to the output boundary iff it
+    dominates ``__OUT__`` in the flow graph rooted at ``__IN__`` — walking
+    the immediate-dominator chain up from ``__OUT__`` yields exactly the
+    path intersection, in near-linear time and with no enumeration cap.
+    The reverse-graph dominators of ``__IN__`` (rooted at ``__OUT__``)
+    characterise the same set; intersecting the two chains costs nothing
+    and guards the classification against either traversal's edge cases.
+    """
+    if not graph.has_node("__OUT__") or not nx.has_path(
+        graph, "__IN__", "__OUT__"
+    ):
+        return set()
+    idom = nx.immediate_dominators(graph, "__IN__")
+    forward: Set[str] = set()
+    node = "__OUT__"
+    while node != "__IN__":
+        node = idom[node]
+        if node != "__IN__":
+            forward.add(node)
+    reverse_idom = nx.immediate_dominators(
+        graph.reverse(copy=False), "__OUT__"
     )
+    backward: Set[str] = set()
+    node = "__IN__"
+    while node != "__OUT__":
+        node = reverse_idom[node]
+        if node != "__OUT__":
+            backward.add(node)
+    return forward & backward
 
 
 def _path_intersection(graph: nx.DiGraph) -> Optional[Set[str]]:
@@ -122,7 +170,7 @@ def _analyze_level(
         return
     graph = _component_graph(composite)
     has_boundary = graph.out_degree("__IN__") > 0 and graph.in_degree("__OUT__") > 0
-    intersection = _path_intersection(graph) if has_boundary else set()
+    intersection = _dominator_intersection(graph) if has_boundary else set()
 
     for sub in subcomponents:
         name = text_of(sub) or sub.get("id")
@@ -154,7 +202,7 @@ def _analyze_level(
                     candidates = {sub.uid}
                     for affected in mode.get("affectedComponents"):
                         candidates.add(affected.uid)
-                    if len(candidates) == 1 and intersection is not None:
+                    if len(candidates) == 1:
                         single_point = sub.uid in intersection
                     else:
                         single_point = _on_all_paths(graph, candidates)

@@ -7,27 +7,53 @@ viable (cost, SPFM) trade-offs?*
 
 Strategies:
 
+- :func:`dp_search_for_target` / :func:`dp_pareto_front` — **exact**
+  separable Pareto dynamic program (the default).  SPFM (Eq. 1) is additive
+  over per-failure-mode residual rates, so the search space separates by
+  row: fold rows one at a time, keeping only (cost, residual-rate) states
+  that survive dominance pruning.  Polynomial in rows × options × frontier
+  instead of exponential in rows;
 - :func:`enumerate_plans` — exhaustive enumeration over per-failure-mode
   options (bounded; raises when the space is too large);
 - :func:`greedy_plan` — iteratively deploy the mechanism with the best
   SPFM-gain-per-cost until the target is met;
-- :func:`search_for_target` — exhaustive when feasible, greedy fallback;
-- :func:`pareto_front` — non-dominated (cost, SPFM) plans.
+- :func:`search_for_target` — strategy dispatcher (``dp`` default,
+  ``exhaustive`` and ``greedy`` selectable);
+- :func:`pareto_front` — non-dominated (cost, SPFM) plans (``dp`` default).
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+import math
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro import obs
 from repro.safety.fmea import FmeaError, FmeaResult, FmeaRow
 from repro.safety.mechanisms import Deployment, SafetyMechanismModel
-from repro.safety.metrics import _coverage_map, asil_from_spfm, spfm, spfm_meets
+from repro.safety.metrics import (
+    ASIL_SPFM_TARGETS,
+    _coverage_map,
+    asil_from_spfm,
+    spfm,
+    spfm_meets,
+)
 
 #: Exhaustive enumeration cap (number of candidate plans).
 _MAX_ENUMERATION = 200_000
+
+#: DP frontier bound: when the non-dominated state count of one row fold
+#: exceeds this, epsilon-bucket merging switches on automatically (see
+#: :func:`_dp_frontier`) so near-continuous cost data cannot blow up the
+#: search.  Real catalogues (few distinct costs) stay far below it.
+_MAX_DP_STATES = 200_000
+
+#: Strategies accepted by :func:`search_for_target`.
+SEARCH_STRATEGIES = ("dp", "exhaustive", "greedy")
+
+#: Strategies accepted by :func:`pareto_front` (greedy has no front).
+PARETO_STRATEGIES = ("dp", "exhaustive")
 
 
 class _SpfmEvaluator:
@@ -75,6 +101,34 @@ class _SpfmEvaluator:
             component: {} for component in self._components
         }
 
+    @property
+    def vacuous(self) -> bool:
+        return self._vacuous
+
+    @property
+    def lambda_total(self) -> float:
+        return self._lambda_total
+
+    @property
+    def components(self) -> List[str]:
+        return list(self._components)
+
+    def component_contribution(
+        self, component: str, coverage: Dict[Tuple[str, str], float]
+    ) -> float:
+        """One component's residual single-point rate under ``coverage``."""
+        rows = self._rows_of[component]
+        signature = tuple(coverage.get(key, 0.0) for key, _ in rows)
+        contribution = self._cache[component].get(signature)
+        if contribution is None:
+            contribution = 0.0
+            for (_, mode_rate), covered in zip(rows, signature):
+                contribution = contribution + mode_rate * (1.0 - covered)
+            self._cache[component][signature] = contribution
+        elif obs.enabled():
+            obs.counter("optimizer_spfm_cache_hits").inc()
+        return contribution
+
     def spfm(self, deployments: Sequence[Deployment]) -> float:
         if obs.enabled():
             obs.counter("optimizer_spfm_evaluations").inc()
@@ -83,17 +137,7 @@ class _SpfmEvaluator:
         coverage = _coverage_map(deployments)
         lambda_spf = 0.0
         for component in self._components:
-            rows = self._rows_of[component]
-            signature = tuple(coverage.get(key, 0.0) for key, _ in rows)
-            contribution = self._cache[component].get(signature)
-            if contribution is None:
-                contribution = 0.0
-                for (_, mode_rate), covered in zip(rows, signature):
-                    contribution = contribution + mode_rate * (1.0 - covered)
-                self._cache[component][signature] = contribution
-            elif obs.enabled():
-                obs.counter("optimizer_spfm_cache_hits").inc()
-            lambda_spf += contribution
+            lambda_spf += self.component_contribution(component, coverage)
         return 1.0 - lambda_spf / self._lambda_total
 
     def plan(self, deployments: Sequence[Deployment]) -> DeploymentPlan:
@@ -186,6 +230,227 @@ def enumerate_plans(
     return plans
 
 
+# -- the separable Pareto DP -------------------------------------------------
+
+
+class _DpState:
+    """One surviving (cost, residual-rate) point of the row-fold frontier.
+
+    ``parent``/``deployment`` chain back through the folds, so any state
+    reconstructs its deployment list in row order without storing it.
+    """
+
+    __slots__ = ("cost", "residual", "parent", "deployment")
+
+    def __init__(
+        self,
+        cost: float,
+        residual: float,
+        parent: Optional["_DpState"],
+        deployment: Optional[Deployment],
+    ) -> None:
+        self.cost = cost
+        self.residual = residual
+        self.parent = parent
+        self.deployment = deployment
+
+
+def _dp_deployments(state: _DpState) -> List[Deployment]:
+    """Reconstruct a state's deployments in FMEA row order."""
+    chosen: List[Deployment] = []
+    while state is not None:
+        if state.deployment is not None:
+            chosen.append(state.deployment)
+        state = state.parent
+    chosen.reverse()
+    return chosen
+
+
+def _dp_frontier(
+    per_row: List[Tuple[FmeaRow, List[Optional[Deployment]]]],
+    lambda_total: float,
+    resolution: float,
+    max_states: int,
+) -> Tuple[List[_DpState], Dict[str, float]]:
+    """Fold rows one at a time, keeping non-dominated (cost, residual) states.
+
+    SPFM is ``1 - residual / lambda_total`` with ``residual`` additive over
+    rows (each row contributes ``mode_rate * (1 - coverage)`` for the chosen
+    option, ``mode_rate`` for none), and cost is additive too — so a partial
+    assignment is summarised exactly by its (cost, residual) pair, and any
+    state that is >=-cost and >=-residual of another can never lead to a
+    better completion (every completion adds the same deltas to both).
+
+    Dominance pruning alone keeps the frontier small when costs repeat (real
+    catalogues quote a few distinct costs, so partial sums collide).  On
+    near-continuous cost data the exact frontier can keep growing, so an
+    **epsilon-bucket merge** bounds it: states whose residuals fall in the
+    same bucket of width ``resolution * lambda_total`` are merged, keeping
+    the cheapest.  ``resolution`` is expressed in SPFM units; each fold's
+    merge can raise the surviving residual by at most one bucket, so the
+    achieved SPFM of the returned optimum understates the true optimum by
+    at most ``len(per_row) * resolution``.  ``resolution=0`` (default)
+    disables merging — the frontier is exact — and merging switches on
+    automatically at ``2 / max_states`` only if a fold's exact frontier
+    exceeds ``max_states``.
+
+    Cost and residual accumulate in FMEA row order, matching the float-op
+    order of ``sum(d.cost for d in deployments)`` over row-ordered plans,
+    so surviving states carry bit-identical costs to their enumerated
+    counterparts.
+    """
+    stats: Dict[str, float] = {
+        "candidates": 0,
+        "pruned": 0,
+        "merged": 0,
+        "max_frontier": 1,
+        "auto_resolution": 0.0,
+    }
+    states: List[_DpState] = [_DpState(0.0, 0.0, None, None)]
+    effective = resolution
+    for row, options in per_row:
+        mode_rate = row.mode_rate
+        option_residuals = [
+            mode_rate if option is None else mode_rate * (1.0 - option.coverage)
+            for option in options
+        ]
+        candidates = [
+            _DpState(
+                state.cost if option is None else state.cost + option.cost,
+                state.residual + residual,
+                state,
+                option,
+            )
+            for state in states
+            for option, residual in zip(options, option_residuals)
+        ]
+        stats["candidates"] += len(candidates)
+        candidates.sort(key=lambda s: (s.cost, s.residual))
+        frontier: List[_DpState] = []
+        best = math.inf
+        for state in candidates:
+            if state.residual < best:
+                frontier.append(state)
+                best = state.residual
+        stats["pruned"] += len(candidates) - len(frontier)
+        if len(frontier) > max_states and effective <= 0.0:
+            effective = 2.0 / max_states
+            stats["auto_resolution"] = effective
+        if effective > 0.0 and lambda_total > 0.0:
+            eps = effective * lambda_total
+            merged: List[_DpState] = []
+            last_bucket: Optional[int] = None
+            # Frontier residuals decrease along increasing cost, so equal
+            # buckets are consecutive and the first (cheapest) one wins.
+            for state in frontier:
+                bucket = int(state.residual / eps)
+                if bucket != last_bucket:
+                    merged.append(state)
+                    last_bucket = bucket
+            stats["merged"] += len(frontier) - len(merged)
+            frontier = merged
+        states = frontier
+        stats["max_frontier"] = max(stats["max_frontier"], len(states))
+    stats["resolution"] = effective
+    return states, stats
+
+
+def _publish_dp(sp, stats: Dict[str, float], final_states: int) -> None:
+    candidates = int(stats["candidates"])
+    dropped = int(stats["pruned"] + stats["merged"])
+    sp.set(
+        states=final_states,
+        candidates=candidates,
+        pruned=int(stats["pruned"]),
+        merged=int(stats["merged"]),
+        max_frontier=int(stats["max_frontier"]),
+        prune_ratio=round(dropped / candidates, 4) if candidates else 0.0,
+    )
+    if stats["auto_resolution"]:
+        sp.set(auto_resolution=stats["auto_resolution"])
+    if obs.enabled():
+        obs.counter("optimizer_dp_states").inc(final_states)
+        obs.counter("optimizer_dp_pruned").inc(dropped)
+
+
+def dp_search_for_target(
+    fmea: FmeaResult,
+    catalogue: SafetyMechanismModel,
+    target_asil: str,
+    resolution: float = 0.0,
+    max_states: int = _MAX_DP_STATES,
+) -> Optional[DeploymentPlan]:
+    """Exact minimal-cost plan meeting ``target_asil`` via the Pareto DP.
+
+    Equivalent to enumerating every plan and taking the cheapest feasible
+    one, but polynomial: O(rows x options x frontier).  With the default
+    ``resolution=0`` the result is the exact optimum (bit-equal cost to the
+    enumerated optimum); a positive ``resolution`` bounds the frontier at
+    the price of understating the achieved SPFM by at most
+    ``rows * resolution`` (see :func:`_dp_frontier`).
+
+    Returns ``None`` when no plan in the catalogue reaches the target.
+    """
+    spfm_meets(1.0, target_asil)  # validate the ASIL name up front
+    per_row = _options_per_row(fmea, catalogue)
+    evaluator = _SpfmEvaluator(fmea)
+    with obs.span(
+        "optimizer.dp", target=target_asil, rows=len(per_row)
+    ) as sp:
+        states, stats = _dp_frontier(
+            per_row, evaluator.lambda_total, resolution, max_states
+        )
+        _publish_dp(sp, stats, len(states))
+        # The feasibility threshold in residual-rate units; the tiny slack
+        # covers summation-order float noise between the DP's row-order
+        # residual and the evaluator's per-component grouping.
+        slack = (
+            (1.0 - ASIL_SPFM_TARGETS[target_asil]) * evaluator.lambda_total
+        )
+        for state in states:  # cost-ascending: first feasible is cheapest
+            if state.residual > slack * (1.0 + 1e-9) + 1e-12:
+                continue
+            plan = evaluator.plan(_dp_deployments(state))
+            if plan.meets(target_asil):
+                sp.set(met=True, cost=plan.cost)
+                return plan
+        sp.set(met=False)
+    return None
+
+
+def dp_pareto_front(
+    fmea: FmeaResult,
+    catalogue: SafetyMechanismModel,
+    resolution: float = 0.0,
+    max_states: int = _MAX_DP_STATES,
+) -> List[DeploymentPlan]:
+    """The non-dominated (cost, SPFM) plans via the Pareto DP.
+
+    The DP's final frontier *is* the Pareto front — no enumeration, no
+    plan-count cap.  Sorted by increasing cost (hence increasing SPFM).
+    """
+    per_row = _options_per_row(fmea, catalogue)
+    evaluator = _SpfmEvaluator(fmea)
+    with obs.span("optimizer.dp_pareto", rows=len(per_row)) as sp:
+        states, stats = _dp_frontier(
+            per_row, evaluator.lambda_total, resolution, max_states
+        )
+        _publish_dp(sp, stats, len(states))
+        plans = [evaluator.plan(_dp_deployments(state)) for state in states]
+        plans.sort(key=lambda plan: (plan.cost, -plan.spfm))
+        front: List[DeploymentPlan] = []
+        best_spfm = -1.0
+        for plan in plans:
+            if plan.spfm > best_spfm + 1e-12:
+                front.append(plan)
+                best_spfm = plan.spfm
+        sp.set(front=len(front))
+    return front
+
+
+# -- greedy ------------------------------------------------------------------
+
+
 def greedy_plan(
     fmea: FmeaResult,
     catalogue: SafetyMechanismModel,
@@ -218,47 +483,99 @@ def _greedy_loop(
     # terminates in at most sum(len(options)) iterations.  The explicit
     # bound is a backstop against a future invariant break turning the
     # optimiser into an infinite loop mid-campaign.
+    #
+    # Trials are scored through a per-component delta: deploying on one row
+    # changes only that component's residual contribution, so the trial
+    # SPFM is lambda_SPF minus the component's old contribution plus its
+    # re-derived one — O(component rows) per candidate instead of a full
+    # deployment-dict rebuild and rescore.
+    #
+    # Ranking: a move must improve SPFM by > 1e-12.  Paid moves
+    # (extra_cost > 0) rank by gain per unit cost; free moves
+    # (extra_cost <= 0, e.g. a zero-cost upgrade) always outrank paid ones
+    # and rank among themselves by raw gain.  The key is the tuple
+    # (1, gain) for free moves and (0, gain / extra_cost) for paid ones —
+    # a documented total order (free-move class first, then the scale
+    # value) replacing the old `gain * 1e9` magic factor.
     max_iterations = sum(len(options) for _, options in per_row) + 1
     iterations = 0
+    coverage: Dict[Tuple[str, str], float] = {}
+    contributions: Dict[str, float] = {
+        component: evaluator.component_contribution(component, coverage)
+        for component in evaluator.components
+    }
+    lambda_spf = sum(contributions.values())
+    lambda_total = evaluator.lambda_total
     while not plan.meets(target_asil):
         iterations += 1
         if iterations > max_iterations:
             if obs.enabled():
                 obs.counter("optimizer_greedy_bailouts").inc()
             return None
-        best_gain_rate = 0.0
+        best_key: Optional[Tuple[int, float]] = None
         best_deployment: Optional[Deployment] = None
         for row, options in per_row:
             key = (row.component, row.failure_mode)
             incumbent = chosen.get(key)
+            base_contribution = contributions[row.component]
             for option in options:
                 if option is None:
                     continue
                 if incumbent is not None and option.coverage <= incumbent.coverage:
                     continue
-                trial = dict(chosen)
-                trial[key] = option
+                had_previous = key in coverage
+                previous = coverage.get(key, 0.0)
+                coverage[key] = option.coverage
                 try:
-                    trial_spfm = evaluator.spfm(list(trial.values()))
+                    trial_contribution = evaluator.component_contribution(
+                        row.component, coverage
+                    )
                 except (FmeaError, ArithmeticError):
                     # A single unscorable trial must not abort the search;
                     # skip the candidate and keep looking for a valid move.
                     if obs.enabled():
                         obs.counter("optimizer_trial_failures").inc()
                     continue
+                finally:
+                    if had_previous:
+                        coverage[key] = previous
+                    else:
+                        del coverage[key]
+                if obs.enabled():
+                    obs.counter("optimizer_greedy_delta_evals").inc()
+                trial_spfm = 1.0 - (
+                    lambda_spf - base_contribution + trial_contribution
+                ) / lambda_total
                 gain = trial_spfm - plan.spfm
+                if gain <= 1e-12:
+                    continue
                 extra_cost = option.cost - (incumbent.cost if incumbent else 0.0)
-                rate = gain / extra_cost if extra_cost > 0 else gain * 1e9
-                if gain > 1e-12 and rate > best_gain_rate:
-                    best_gain_rate = rate
+                rank = (1, gain) if extra_cost <= 0 else (0, gain / extra_cost)
+                if best_key is None or rank > best_key:
+                    best_key = rank
                     best_deployment = option
         if best_deployment is None:
             return None  # no improving move left
-        chosen[(best_deployment.component, best_deployment.failure_mode)] = (
-            best_deployment
+        slot = (best_deployment.component, best_deployment.failure_mode)
+        chosen[slot] = best_deployment
+        coverage[slot] = best_deployment.coverage
+        contributions[best_deployment.component] = (
+            evaluator.component_contribution(best_deployment.component, coverage)
         )
+        lambda_spf = sum(contributions.values())
         plan = current_plan()
     return plan
+
+
+# -- dispatchers -------------------------------------------------------------
+
+
+def _check_strategy(strategy: str, allowed: Tuple[str, ...]) -> None:
+    if strategy not in allowed:
+        raise ValueError(
+            f"unknown search strategy {strategy!r}; "
+            f"expected one of {list(allowed)}"
+        )
 
 
 def search_for_target(
@@ -266,19 +583,38 @@ def search_for_target(
     catalogue: SafetyMechanismModel,
     target_asil: str,
     max_exhaustive: int = 20_000,
+    strategy: str = "dp",
+    resolution: float = 0.0,
 ) -> Optional[DeploymentPlan]:
     """Minimal-cost plan meeting ``target_asil``.
 
-    Exhaustive (optimal) when the option space is small; greedy otherwise.
+    ``strategy`` selects the engine:
+
+    - ``"dp"`` (default): the exact separable Pareto DP — optimal on any
+      catalogue size, no enumeration cap;
+    - ``"exhaustive"``: bounded enumeration (up to ``max_exhaustive``
+      plans), with a greedy fallback beyond the bound — the historical
+      behaviour, kept as a reference;
+    - ``"greedy"``: the gain-per-cost heuristic directly.
+
     Returns ``None`` when the target cannot be met with the catalogue.
     """
-    with obs.span("optimizer.search", target=target_asil) as sp:
+    _check_strategy(strategy, SEARCH_STRATEGIES)
+    with obs.span(
+        "optimizer.search", target=target_asil, strategy=strategy
+    ) as sp:
+        if strategy == "dp":
+            return dp_search_for_target(
+                fmea, catalogue, target_asil, resolution=resolution
+            )
+        if strategy == "greedy":
+            return greedy_plan(fmea, catalogue, target_asil)
         try:
             plans = enumerate_plans(fmea, catalogue, max_plans=max_exhaustive)
         except ValueError:
-            sp.set(strategy="greedy")
+            sp.set(fallback="greedy")
             return greedy_plan(fmea, catalogue, target_asil)
-        sp.set(strategy="exhaustive", plans=len(plans))
+        sp.set(plans=len(plans))
         feasible = [plan for plan in plans if plan.meets(target_asil)]
         if not feasible:
             return None
@@ -289,11 +625,19 @@ def pareto_front(
     fmea: FmeaResult,
     catalogue: SafetyMechanismModel,
     max_plans: int = _MAX_ENUMERATION,
+    strategy: str = "dp",
+    resolution: float = 0.0,
 ) -> List[DeploymentPlan]:
     """Non-dominated plans: no other plan has lower cost *and* higher SPFM.
 
-    Sorted by increasing cost (hence increasing SPFM).
+    Sorted by increasing cost (hence increasing SPFM).  With the default
+    ``strategy="dp"`` the front comes out of the Pareto DP directly —
+    catalogues whose plan space exceeds ``max_plans`` (where
+    ``strategy="exhaustive"`` raises) are fine.
     """
+    _check_strategy(strategy, PARETO_STRATEGIES)
+    if strategy == "dp":
+        return dp_pareto_front(fmea, catalogue, resolution=resolution)
     with obs.span("optimizer.pareto") as sp:
         plans = enumerate_plans(fmea, catalogue, max_plans=max_plans)
         plans.sort(key=lambda plan: (plan.cost, -plan.spfm))

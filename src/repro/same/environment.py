@@ -241,13 +241,23 @@ class SAME:
         self.deployments.append(deployment)
         return deployment
 
-    def search_deployment(self, target_asil: str) -> Optional[DeploymentPlan]:
-        """Let SAME determine the solution for the target safety level."""
+    def search_deployment(
+        self, target_asil: str, strategy: str = "dp"
+    ) -> Optional[DeploymentPlan]:
+        """Let SAME determine the solution for the target safety level.
+
+        ``strategy`` selects the optimizer backend: the exact separable
+        Pareto DP (default), ``"greedy"``, or the legacy bounded
+        ``"exhaustive"`` enumeration.
+        """
         self._require("mechanisms")
         self._require("last_fmea")
-        with obs.span("same.search_deployment", target=target_asil) as sp:
+        with obs.span(
+            "same.search_deployment", target=target_asil, strategy=strategy
+        ) as sp:
             plan = search_for_target(
-                self.last_fmea, self.mechanisms, target_asil
+                self.last_fmea, self.mechanisms, target_asil,
+                strategy=strategy,
             )
             if plan is not None and self.ledger is not None:
                 from repro.obs.ledger import record_optimizer
@@ -258,7 +268,7 @@ class SAME:
                     system=self.last_fmea.system,
                     model=self.simulink_model or self.ssam_model,
                     reliability=self.reliability,
-                    config={"target": target_asil},
+                    config={"target": target_asil, "strategy": strategy},
                     meta={"facade": "same"},
                 )
                 sp.set(ledger_entry=entry.entry_id)
@@ -266,11 +276,11 @@ class SAME:
             self.deployments = list(plan.deployments)
         return plan
 
-    def pareto(self) -> List[DeploymentPlan]:
+    def pareto(self, strategy: str = "dp") -> List[DeploymentPlan]:
         """The Pareto front of (cost, SPFM) deployment trade-offs."""
         self._require("mechanisms")
         self._require("last_fmea")
-        return pareto_front(self.last_fmea, self.mechanisms)
+        return pareto_front(self.last_fmea, self.mechanisms, strategy=strategy)
 
     # -- outputs ------------------------------------------------------------------
 
@@ -348,7 +358,10 @@ class SAME:
     # -- the whole methodology -------------------------------------------------------
 
     def run_decisive(
-        self, target_asil: str = "ASIL-B", max_iterations: int = 10
+        self,
+        target_asil: str = "ASIL-B",
+        max_iterations: int = 10,
+        search_strategy: str = "dp",
     ) -> ProcessLog:
         self._require("ssam_model")
         self._require("reliability")
@@ -359,6 +372,7 @@ class SAME:
             self.mechanisms,
             target_asil,
             ledger=self.ledger,
+            search_strategy=search_strategy,
         )
         with obs.span("same.decisive", target=target_asil):
             log = process.run(max_iterations)

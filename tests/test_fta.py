@@ -209,6 +209,113 @@ class TestSynthesis:
         with pytest.raises(FtaError):
             synthesize_fault_tree(psu_ssam.hazards()[0])
 
+    def test_default_construction_carries_no_warning(self, psu_ssam):
+        tree = synthesize_fault_tree(psu_ssam.top_components()[0])
+        assert tree.warning == ""
+
+
+def mesh_system(width, layers):
+    """SRC -> layers of ``width`` parallel parts -> SNK: ``width**layers``
+    boundary-to-boundary paths."""
+    from repro.ssam import ArchitectureBuilder
+
+    builder = ArchitectureBuilder("mesh", component_type="system")
+
+    def part(name):
+        handle = builder.component(name, fit=10, component_class="Diode")
+        handle.failure_mode("Open", "open", 0.3)
+        handle.failure_mode("Short", "short", 0.7)
+        return handle
+
+    source = part("SRC")
+    builder.entry(source)
+    previous = [source]
+    for layer in range(layers):
+        current = [part(f"L{layer}N{i}") for i in range(width)]
+        for upstream in previous:
+            for downstream in current:
+                builder.wire(upstream, downstream)
+        previous = current
+    sink = part("SNK")
+    for upstream in previous:
+        builder.wire(upstream, sink)
+    builder.exit(sink)
+    return builder.build()
+
+
+class TestLargeCompositeSynthesis:
+    """The `_MAX_PATHS`-exceeded path no longer raises: synthesis falls
+    back to the dominator-segment decomposition (module docstring of
+    :mod:`repro.fta.synthesis`)."""
+
+    def test_beyond_cap_synthesizes_instead_of_raising(self):
+        from repro.fta import synthesis
+
+        system = mesh_system(5, 6)  # 5**6 = 15625 paths > the 5000 cap
+        tree = synthesize_fault_tree(system)
+        assert "dominator-segment decomposition" in tree.warning
+        cutsets = minimal_cut_sets(tree)
+        # SRC and SNK dominate every path: they must be single points.
+        singles = {next(iter(cs)) for cs in cutsets if len(cs) == 1}
+        assert {"SRC:Open", "SNK:Open"} <= singles
+        event_names = {event.name for event in tree.basic_events()}
+        assert all(cs <= event_names for cs in cutsets)
+
+    @staticmethod
+    def serial_diamonds():
+        """SRC -> {A1,A2} -> M -> {B1,B2} -> SNK: 4 full paths, but each
+        dominator segment holds only 2 subpaths."""
+        from repro.ssam import ArchitectureBuilder
+
+        builder = ArchitectureBuilder("diamonds", component_type="system")
+
+        def part(name):
+            handle = builder.component(name, fit=10, component_class="Diode")
+            handle.failure_mode("Open", "open", 1.0)
+            return handle
+
+        source, mid, sink = part("SRC"), part("M"), part("SNK")
+        builder.entry(source)
+        for name in ("A1", "A2"):
+            fork = part(name)
+            builder.wire(source, fork)
+            builder.wire(fork, mid)
+        for name in ("B1", "B2"):
+            fork = part(name)
+            builder.wire(mid, fork)
+            builder.wire(fork, sink)
+        builder.exit(sink)
+        return builder.build()
+
+    def test_forced_fallback_preserves_exact_cut_sets(self, monkeypatch):
+        # When each dominator segment stays under the cap individually, the
+        # decomposition must reproduce the enumeration's cut sets exactly.
+        from repro.fta import synthesis
+
+        reference = set(
+            minimal_cut_sets(synthesize_fault_tree(self.serial_diamonds()))
+        )
+        assert frozenset({"A1:Open", "A2:Open"}) in reference
+        monkeypatch.setattr(synthesis, "_MAX_PATHS", 3)
+        decomposed = synthesize_fault_tree(self.serial_diamonds())
+        assert "dominator-segment decomposition" in decomposed.warning
+        assert "minimum node cut" not in decomposed.warning
+        assert set(minimal_cut_sets(decomposed)) == reference
+
+    def test_min_cut_fallback_is_sound(self, monkeypatch):
+        # Segments past the cap degrade to a minimum-node-cut AND gate: a
+        # subset of the true cut sets, flagged in the warning.
+        from repro.fta import synthesis
+
+        system = mesh_system(3, 2)  # 9 paths in the single SRC->SNK segment
+        reference = set(minimal_cut_sets(synthesize_fault_tree(system)))
+        monkeypatch.setattr(synthesis, "_MAX_PATHS", 4)
+        approximated = synthesize_fault_tree(mesh_system(3, 2))
+        assert "minimum node cut" in approximated.warning
+        approx_sets = set(minimal_cut_sets(approximated))
+        assert approx_sets <= reference
+        assert approx_sets  # never empty: SRC/SNK singles survive
+
 
 class TestFederation:
     def test_consistency_on_power_supply(self, psu_ssam, psu_reliability):

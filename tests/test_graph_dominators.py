@@ -1,0 +1,145 @@
+"""Dominator-based path intersection vs simple-path enumeration.
+
+``_dominator_intersection`` must return exactly the nodes that
+``_path_intersection`` (the legacy ``all_simple_paths`` enumeration)
+finds, on every graph shape Algorithm 1 can see: random DAGs, graphs
+with cycles, disconnected boundaries, and single chains.  The dominator
+route is the one the analysis uses; the enumeration survives only to
+back these equivalence checks.
+"""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.safety.graph_analysis import (
+    _dominator_intersection,
+    _on_all_paths,
+    _path_intersection,
+)
+
+
+def anchored(edges):
+    """A digraph over string nodes with __IN__/__OUT__ anchors added."""
+    graph = nx.DiGraph()
+    graph.add_node("__IN__")
+    graph.add_node("__OUT__")
+    graph.add_edges_from(edges)
+    return graph
+
+
+def random_dag(rng, nodes, edge_probability):
+    """Random anchored DAG: edges only go from lower to higher index,
+    __IN__ feeds a random prefix, a random suffix feeds __OUT__."""
+    names = [f"n{i}" for i in range(nodes)]
+    edges = []
+    for i in range(nodes):
+        for j in range(i + 1, nodes):
+            if rng.random() < edge_probability:
+                edges.append((names[i], names[j]))
+    for name in names[: max(1, nodes // 3)]:
+        if rng.random() < 0.6:
+            edges.append(("__IN__", name))
+    for name in names[-max(1, nodes // 3):]:
+        if rng.random() < 0.6:
+            edges.append((name, "__OUT__"))
+    if not any(source == "__IN__" for source, _ in edges):
+        edges.append(("__IN__", names[0]))
+    if not any(target == "__OUT__" for _, target in edges):
+        edges.append((names[-1], "__OUT__"))
+    return anchored(edges)
+
+
+def with_random_back_edges(rng, graph, count):
+    """The same graph plus ``count`` random back edges (cycles)."""
+    cyclic = graph.copy()
+    interior = [n for n in graph if n not in ("__IN__", "__OUT__")]
+    for _ in range(count):
+        if len(interior) < 2:
+            break
+        a, b = rng.sample(interior, 2)
+        cyclic.add_edge(a, b)
+    return cyclic
+
+
+class TestEquivalence:
+    def test_single_chain(self):
+        graph = anchored(
+            [("__IN__", "a"), ("a", "b"), ("b", "c"), ("c", "__OUT__")]
+        )
+        assert _dominator_intersection(graph) == {"a", "b", "c"}
+        assert _dominator_intersection(graph) == _path_intersection(graph)
+
+    def test_diamond_has_empty_interior_intersection(self):
+        graph = anchored(
+            [
+                ("__IN__", "a"),
+                ("a", "b1"),
+                ("a", "b2"),
+                ("b1", "c"),
+                ("b2", "c"),
+                ("c", "__OUT__"),
+            ]
+        )
+        assert _dominator_intersection(graph) == {"a", "c"}
+        assert _dominator_intersection(graph) == _path_intersection(graph)
+
+    def test_disconnected_boundary_is_empty(self):
+        graph = anchored([("__IN__", "a"), ("b", "__OUT__")])
+        assert _dominator_intersection(graph) == set()
+        # The enumeration convention for no-path graphs is the empty set
+        # too (no path constrains nothing).
+        assert _path_intersection(graph) == set()
+
+    @pytest.mark.parametrize("seed", range(40))
+    def test_random_dags(self, seed):
+        rng = random.Random(seed)
+        graph = random_dag(
+            rng, rng.randint(3, 12), rng.choice([0.2, 0.35, 0.5])
+        )
+        enumerated = _path_intersection(graph)
+        assert enumerated is not None, "test DAGs must stay under the cap"
+        assert _dominator_intersection(graph) == enumerated
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_random_cyclic_graphs(self, seed):
+        # Dominators are defined on arbitrary flowgraphs; a node is on
+        # every simple __IN__→__OUT__ path iff it is on every walk, so the
+        # equivalence must survive back edges.
+        rng = random.Random(1000 + seed)
+        dag = random_dag(rng, rng.randint(3, 9), 0.35)
+        graph = with_random_back_edges(rng, dag, rng.randint(1, 3))
+        enumerated = _path_intersection(graph)
+        if enumerated is None:
+            pytest.skip("cycle made enumeration exceed the cap")
+        assert _dominator_intersection(graph) == enumerated
+
+
+class TestOnAllPaths:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_singleton_cut_agrees_with_intersection(self, seed):
+        # For singleton candidate sets the joint-cut check and membership
+        # in the path intersection are the same predicate.
+        rng = random.Random(2000 + seed)
+        graph = random_dag(rng, rng.randint(3, 10), 0.35)
+        intersection = _dominator_intersection(graph)
+        for node in graph:
+            if node in ("__IN__", "__OUT__"):
+                continue
+            assert _on_all_paths(graph, {node}) == (node in intersection)
+
+    def test_joint_candidates(self):
+        graph = anchored(
+            [
+                ("__IN__", "a"),
+                ("a", "b1"),
+                ("a", "b2"),
+                ("b1", "c"),
+                ("b2", "c"),
+                ("c", "__OUT__"),
+            ]
+        )
+        assert not _on_all_paths(graph, {"b1"})
+        assert _on_all_paths(graph, {"b1", "b2"})
+        assert _on_all_paths(graph, {"a"})

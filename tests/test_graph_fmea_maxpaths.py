@@ -1,12 +1,11 @@
-"""Path-enumeration cap fallback for Algorithm 1 (graph-based FMEA).
+"""Path-intersection routes for Algorithm 1 (graph-based FMEA).
 
-``_path_intersection`` pre-computes the nodes common to every
-input-output path so the dominant singleton-candidate case is a set
-lookup.  Dense parallel meshes have exponentially many simple paths, so
-the enumeration gives up (returns ``None``) after ``_MAX_PATHS`` paths
-and every candidate is classified through the per-mode cut check
-(``_on_all_paths``) instead.  Both routes must agree row for row —
-the cap is a performance valve, not a semantics switch.
+The analysis classifies singleton candidates through the dominator-tree
+intersection (``_dominator_intersection``) — exact and near-linear, with
+no enumeration cap.  The legacy ``_path_intersection`` enumeration (and
+its ``_MAX_PATHS`` valve) survives only as the independent cross-check:
+both routes must agree node for node, and ``run_ssam_fmea`` must be
+completely insensitive to the cap.
 """
 
 import pytest
@@ -64,25 +63,31 @@ class TestMaxPathsFallback:
         graph = graph_analysis._component_graph(mesh_system())
         assert graph_analysis._path_intersection(graph) is None
 
-    def test_intersection_and_cut_check_classify_identically(
-        self, monkeypatch
-    ):
-        system = mesh_system()
-        enumerated = run_ssam_fmea(system)
-        # 1 + 3 + 3 + 1 components x 2 modes, with 3**2 = 9 paths.
-        assert len(enumerated.rows) == 16
-        monkeypatch.setattr(graph_analysis, "_MAX_PATHS", 4)
-        capped = run_ssam_fmea(mesh_system())
-        assert rows_as_tuples(capped) == rows_as_tuples(enumerated)
+    def test_dominators_agree_with_enumeration_on_mesh(self):
+        graph = graph_analysis._component_graph(mesh_system())
+        assert graph_analysis._dominator_intersection(
+            graph
+        ) == graph_analysis._path_intersection(graph)
 
-    def test_classification_is_correct_under_cap(self, monkeypatch):
+    def test_analysis_is_insensitive_to_the_legacy_cap(self, monkeypatch):
+        system = mesh_system()
+        baseline = run_ssam_fmea(system)
+        # 1 + 3 + 3 + 1 components x 2 modes, with 3**2 = 9 paths.
+        assert len(baseline.rows) == 16
+        # Choking the legacy enumeration must change *nothing*: the
+        # analysis runs on dominators, so no _MAX_PATHS bailout is
+        # reachable from run_ssam_fmea.
         monkeypatch.setattr(graph_analysis, "_MAX_PATHS", 1)
+        capped = run_ssam_fmea(mesh_system())
+        assert rows_as_tuples(capped) == rows_as_tuples(baseline)
+
+    def test_classification_is_correct(self):
         result = run_ssam_fmea(mesh_system())
         assert sorted(result.safety_related_components()) == ["SNK", "SRC"]
         assert "alternative paths" in result.row("A1", "Open").effect
         assert result.row("SNK", "Open").impact == "DVF"
 
     def test_default_cap_is_generous(self):
-        # The cap only exists to bound pathological meshes; a 3x3 mesh
-        # must stay on the fast enumeration path.
+        # The legacy cross-check cap only exists to bound pathological
+        # meshes during equivalence testing.
         assert graph_analysis._MAX_PATHS >= 10000

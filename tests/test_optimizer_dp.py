@@ -1,0 +1,212 @@
+"""Separable Pareto DP: exactness, bounds, resolution, dispatch.
+
+The DP must be *bit-equal* to exhaustive enumeration wherever enumeration
+is feasible — same optimal cost and same SPFM for the target search, and
+a plan-for-plan identical Pareto front — while scaling to spaces where
+enumeration raises.  Seeded-random catalogues keep the checks
+property-style without a hypothesis dependency in the hot loop.
+"""
+
+import random
+
+import pytest
+
+from repro.safety.fmea import FmeaResult, FmeaRow
+from repro.safety.mechanisms import MechanismSpec, SafetyMechanismModel
+from repro.safety.optimizer import (
+    _dp_frontier,
+    _options_per_row,
+    _SpfmEvaluator,
+    dp_pareto_front,
+    dp_search_for_target,
+    enumerate_plans,
+    greedy_plan,
+    pareto_front,
+    search_for_target,
+)
+
+TARGETS = ("ASIL-B", "ASIL-C", "ASIL-D")
+
+
+def synth_case(rng, rows, max_specs=3):
+    fmea = FmeaResult(system="dp", method="manual")
+    specs = []
+    for index in range(rows):
+        fmea.rows.append(
+            FmeaRow(
+                component=f"C{index}",
+                component_class=f"K{index}",
+                fit=rng.choice((10.0, 25.0, 50.0, 100.0, 200.0)),
+                failure_mode="Open",
+                nature="open",
+                distribution=1.0,
+                safety_related=True,
+            )
+        )
+        for option in range(rng.randint(0, max_specs)):
+            specs.append(
+                MechanismSpec(
+                    f"K{index}",
+                    "Open",
+                    f"m{index}_{option}",
+                    rng.choice((0.6, 0.9, 0.97, 0.99)),
+                    rng.choice((0.5, 1.0, 2.0, 3.0, 5.0)),
+                )
+            )
+    return fmea, SafetyMechanismModel(specs)
+
+
+def exhaustive_optimum(fmea, catalogue, target):
+    plans = enumerate_plans(fmea, catalogue, max_plans=50_000)
+    feasible = [plan for plan in plans if plan.meets(target)]
+    if not feasible:
+        return None
+    return min(feasible, key=lambda plan: (plan.cost, -plan.spfm))
+
+
+class TestExactness:
+    @pytest.mark.parametrize("seed", range(30))
+    def test_dp_bit_equal_to_enumeration(self, seed):
+        rng = random.Random(seed)
+        fmea, catalogue = synth_case(rng, rng.randint(1, 7))
+        for target in TARGETS:
+            best = exhaustive_optimum(fmea, catalogue, target)
+            plan = dp_search_for_target(fmea, catalogue, target)
+            assert (plan is None) == (best is None), (seed, target)
+            if best is not None:
+                assert plan.cost == best.cost, (seed, target)
+                assert plan.spfm == best.spfm, (seed, target)
+
+    @pytest.mark.parametrize("seed", range(30))
+    def test_dp_pareto_equals_enumerated_front(self, seed):
+        rng = random.Random(100 + seed)
+        fmea, catalogue = synth_case(rng, rng.randint(1, 7))
+        dp_front = dp_pareto_front(fmea, catalogue)
+        enum_front = pareto_front(
+            fmea, catalogue, max_plans=50_000, strategy="exhaustive"
+        )
+        assert [(p.cost, p.spfm) for p in dp_front] == [
+            (p.cost, p.spfm) for p in enum_front
+        ], seed
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_dp_never_costlier_than_greedy(self, seed):
+        rng = random.Random(200 + seed)
+        fmea, catalogue = synth_case(rng, rng.randint(1, 8))
+        for target in TARGETS:
+            greedy = greedy_plan(fmea, catalogue, target)
+            if greedy is None:
+                continue
+            plan = dp_search_for_target(fmea, catalogue, target)
+            assert plan is not None, (seed, target)
+            assert plan.cost <= greedy.cost + 1e-9, (seed, target)
+
+
+class TestScale:
+    def test_pareto_succeeds_beyond_enumeration_cap(self):
+        rng = random.Random(7)
+        fmea, catalogue = synth_case(rng, 30, max_specs=3)
+        # Force a space comfortably past the enumeration cap.
+        with pytest.raises(ValueError):
+            enumerate_plans(fmea, catalogue)
+        front = dp_pareto_front(fmea, catalogue)
+        assert front
+        costs = [plan.cost for plan in front]
+        spfms = [plan.spfm for plan in front]
+        assert costs == sorted(costs)
+        assert spfms == sorted(spfms)
+
+    def test_search_succeeds_beyond_enumeration_cap(self):
+        rng = random.Random(8)
+        fmea, catalogue = synth_case(rng, 30, max_specs=3)
+        plan = search_for_target(fmea, catalogue, "ASIL-B")
+        greedy = greedy_plan(fmea, catalogue, "ASIL-B")
+        if plan is None:
+            assert greedy is None
+        elif greedy is not None:
+            assert plan.cost <= greedy.cost + 1e-9
+
+
+class TestResolution:
+    def test_resolution_bounds_spfm_understatement(self):
+        rng = random.Random(9)
+        fmea, catalogue = synth_case(rng, 6, max_specs=3)
+        rows = len(fmea.safety_related_rows())
+        resolution = 0.002
+        exact = dp_search_for_target(fmea, catalogue, "ASIL-B")
+        merged = dp_search_for_target(
+            fmea, catalogue, "ASIL-B", resolution=resolution
+        )
+        if exact is None:
+            return
+        assert merged is not None
+        # The merged optimum may pay more or cover less, but its SPFM can
+        # understate the exact optimum by at most rows * resolution.
+        assert merged.spfm >= exact.spfm - rows * resolution - 1e-12
+
+    def test_auto_resolution_engages_on_tiny_state_budget(self):
+        rng = random.Random(10)
+        # Near-continuous costs so the exact frontier grows quickly.
+        fmea = FmeaResult(system="dp", method="manual")
+        specs = []
+        for index in range(12):
+            fmea.rows.append(
+                FmeaRow(
+                    component=f"C{index}",
+                    component_class=f"K{index}",
+                    fit=50.0 + index,
+                    failure_mode="Open",
+                    nature="open",
+                    distribution=1.0,
+                    safety_related=True,
+                )
+            )
+            for option in range(2):
+                specs.append(
+                    MechanismSpec(
+                        f"K{index}",
+                        "Open",
+                        f"m{index}_{option}",
+                        0.5 + rng.random() * 0.49,
+                        rng.random() * 10.0,
+                    )
+                )
+        catalogue = SafetyMechanismModel(specs)
+        per_row = _options_per_row(fmea, catalogue)
+        evaluator = _SpfmEvaluator(fmea)
+        states, stats = _dp_frontier(
+            per_row, evaluator.lambda_total, 0.0, max_states=16
+        )
+        assert stats["auto_resolution"] > 0.0
+        assert stats["merged"] > 0
+        assert len(states) <= 16 + 1  # one bucket per state plus boundary
+
+
+class TestDispatch:
+    def test_unknown_strategy_rejected(self):
+        rng = random.Random(11)
+        fmea, catalogue = synth_case(rng, 2)
+        with pytest.raises(ValueError, match="unknown search strategy"):
+            search_for_target(fmea, catalogue, "ASIL-B", strategy="magic")
+        with pytest.raises(ValueError, match="unknown search strategy"):
+            pareto_front(fmea, catalogue, strategy="greedy")
+
+    def test_bad_asil_rejected_up_front(self):
+        rng = random.Random(12)
+        fmea, catalogue = synth_case(rng, 2)
+        with pytest.raises(Exception):
+            dp_search_for_target(fmea, catalogue, "ASIL-Z")
+
+    def test_strategies_agree_on_feasibility(self):
+        rng = random.Random(13)
+        fmea, catalogue = synth_case(rng, 4)
+        for target in TARGETS:
+            via_dp = search_for_target(
+                fmea, catalogue, target, strategy="dp"
+            )
+            via_exhaustive = search_for_target(
+                fmea, catalogue, target, strategy="exhaustive"
+            )
+            assert (via_dp is None) == (via_exhaustive is None)
+            if via_dp is not None:
+                assert via_dp.cost == via_exhaustive.cost
