@@ -22,10 +22,13 @@ from repro.casestudies.power_supply import (
 from repro.casestudies.pll import pll_fmeda, pll_fmea_result
 from repro.casestudies.systems import build_system_a, build_system_b
 from repro.casestudies.power_networks import (
+    POWER_GRID_ASSUMED_STABLE,
     SYSTEM_A_ASSUMED_STABLE,
     SYSTEM_B_ASSUMED_STABLE,
+    build_power_grid_simulink,
     build_system_a_simulink,
     build_system_b_simulink,
+    power_grid_injection_sample,
     power_network_reliability,
 )
 from repro.casestudies.generators import (
@@ -45,9 +48,12 @@ __all__ = [
     "build_system_b",
     "build_system_a_simulink",
     "build_system_b_simulink",
+    "build_power_grid_simulink",
+    "power_grid_injection_sample",
     "power_network_reliability",
     "SYSTEM_A_ASSUMED_STABLE",
     "SYSTEM_B_ASSUMED_STABLE",
+    "POWER_GRID_ASSUMED_STABLE",
     "SCALABILITY_SETS",
     "build_scalability_model",
     "scalability_element_counts",

@@ -12,15 +12,25 @@ closes the gap with power-network Simulink models of matching character:
 - :func:`build_system_b_simulink` — System B, the AUV main control unit's
   power distribution: two ORed battery feeds and a configurable number of
   fused, filtered, individually-monitored rails feeding the CPU boards and
-  payload loads.
+  payload loads;
+- :func:`build_power_grid_simulink` — a parameterized DC distribution grid
+  (feeders × trunk sections, 1k–10k blocks) whose MNA system is large
+  enough (thousands of unknowns) to exercise the sparse solver backend;
+  :func:`power_grid_injection_sample` draws a seeded, reproducible subset
+  of its components into injection scope so campaigns stay bounded.
 
 System B is deliberately large (≈100+ MNA unknowns at the default rail
 count) — it is the scaling subject for the fault-injection campaign
 benchmarks (``benchmarks/bench_perf_injection.py``), where per-fault full
-re-assembly is measurably slower than the compiled incremental path.
+re-assembly is measurably slower than the compiled incremental path.  The
+power grid goes two orders of magnitude further and is the subject of the
+benchmarks' sparse-vs-dense backend tier.
 """
 
 from __future__ import annotations
+
+import random
+from typing import Sequence, Tuple
 
 from repro.reliability import (
     ComponentReliability,
@@ -33,6 +43,13 @@ from repro.simulink import SimulinkModel
 #: mirroring the paper's treatment of DC1 in Section V.
 SYSTEM_A_ASSUMED_STABLE = ("DC1",)
 SYSTEM_B_ASSUMED_STABLE = ("DC1", "DC2")
+POWER_GRID_ASSUMED_STABLE = ("DC1",)
+
+#: Default power-grid dimensions: 8 feeders × 300 trunk sections ≈ 5.2k
+#: blocks ≈ 2.5k MNA unknowns — comfortably past the sparse backend's
+#: auto-crossover (:data:`repro.circuit.SPARSE_AUTO_MIN_SIZE`).
+POWER_GRID_FEEDERS = 8
+POWER_GRID_SECTIONS = 300
 
 #: Default rail count for System B — sized so the flattened MNA system has
 #: ≈100+ unknowns, large enough that factorization reuse pays off.
@@ -272,3 +289,110 @@ def build_system_b_simulink(
         model.connect(cap, "n", "GND1", "p")
         model.connect(bleed, "n", "GND1", "p")
     return model
+
+
+def build_power_grid_simulink(
+    name: str = "power_grid",
+    feeders: int = POWER_GRID_FEEDERS,
+    sections_per_feeder: int = POWER_GRID_SECTIONS,
+) -> SimulinkModel:
+    """A parameterized DC distribution grid at sparse-backend scale.
+
+    One 400 V source feeds ``feeders`` radial feeders through a monitored
+    bus.  Each feeder head is protected (switch, fuse, blocking diode,
+    smoothing inductor) and monitored by its own current sensor; behind it
+    a trunk of ``sections_per_feeder`` sections, each a short trunk
+    resistance plus a tap load to ground, with a decoupling capacitor
+    every sixth section.
+
+    Block count ≈ ``feeders * (2 * sections + sections/6 + 5)`` — the
+    defaults give ≈5.2k blocks flattening to ≈2.5k MNA unknowns, past
+    :data:`repro.circuit.SPARSE_AUTO_MIN_SIZE`, so ``auto`` picks the
+    sparse backend.  ``feeders=4, sections_per_feeder=120`` gives a ≈1k
+    block grid; ``feeders=10, sections_per_feeder=450`` ≈10k.
+    """
+    if feeders < 1 or sections_per_feeder < 1:
+        raise ValueError(
+            f"grid needs >= 1 feeder and >= 1 section "
+            f"(got {feeders}, {sections_per_feeder})"
+        )
+    model = SimulinkModel(name)
+    model.add_block("DC1", "DCVoltageSource", voltage=400.0)
+    model.add_block("CS0", "CurrentSensor")
+    model.add_block("GND1", "Ground")
+    model.add_block("S1", "SolverConfiguration")
+    model.add_block("Scope1", "Scope")
+    model.add_block("Out1", "Outport")
+    model.connect("DC1", "p", "CS0", "p")
+    model.connect("DC1", "n", "GND1", "p")
+    model.connect("S1", "p", "GND1", "p")
+    model.connect("CS0", "I", "Scope1", "in")
+    model.connect("CS0", "I", "Out1", "in")
+
+    for f in range(1, feeders + 1):
+        sw, fuse, diode = f"SW{f}", f"F{f}", f"D{f}"
+        inductor, sensor = f"L{f}", f"CS{f}"
+        model.add_block(sw, "Switch")
+        model.add_block(fuse, "Fuse", rated_current=63.0, resistance=1e-3)
+        model.add_block(diode, "Diode")
+        model.add_block(
+            inductor, "Inductor", inductance=5e-4, series_resistance=0.02
+        )
+        model.add_block(sensor, "CurrentSensor")
+        model.connect("CS0", "n", sw, "p")
+        model.connect(sw, "n", fuse, "p")
+        model.connect(fuse, "n", diode, "p")
+        model.connect(diode, "n", inductor, "p")
+        model.connect(inductor, "n", sensor, "p")
+        previous = sensor
+        for s in range(1, sections_per_feeder + 1):
+            trunk, load = f"RT{f}_{s}", f"LD{f}_{s}"
+            model.add_block(trunk, "Resistor", resistance=0.05)
+            # Deterministically varied loads keep sensor deltas
+            # non-degenerate across injection sites.
+            model.add_block(
+                load, "Load", resistance=1000.0 + 50.0 * ((f + 7 * s) % 40)
+            )
+            model.connect(previous, "n", trunk, "p")
+            model.connect(trunk, "n", load, "p")
+            model.connect(load, "n", "GND1", "p")
+            if s % 6 == 0:
+                cap = f"C{f}_{s}"
+                model.add_block(cap, "Capacitor", capacitance=10e-6)
+                model.connect(trunk, "n", cap, "p")
+                model.connect(cap, "n", "GND1", "p")
+            previous = trunk
+    return model
+
+
+#: Grid block types the sampler may draw into injection scope (everything
+#: with reliability data in :func:`power_network_reliability` and failure
+#: physics in the block library).
+_GRID_INJECTABLE_TYPES = (
+    "Switch", "Fuse", "Diode", "Inductor", "Resistor", "Capacitor", "Load",
+)
+
+
+def power_grid_injection_sample(
+    model: SimulinkModel, k: int = 24, seed: int = 0
+) -> Tuple[str, ...]:
+    """An ``assume_stable`` tuple leaving exactly ``k`` grid components in
+    injection scope, sampled reproducibly by ``seed``.
+
+    Injecting every component of a 5k-block grid means ~10k jobs — days of
+    naive solving.  Campaign benchmarks and parity tests instead bound the
+    scope to a seeded sample (~2.4 failure modes per component, so ``k=24``
+    yields ≈60 jobs) while the *system* stays full-size: every solve still
+    factorizes the complete grid.
+    """
+    injectable: Sequence[str] = [
+        block.name
+        for block in model.all_blocks()
+        if block.block_type in _GRID_INJECTABLE_TYPES
+    ]
+    if k >= len(injectable):
+        return POWER_GRID_ASSUMED_STABLE
+    keep = set(random.Random(seed).sample(list(injectable), k))
+    return POWER_GRID_ASSUMED_STABLE + tuple(
+        name for name in injectable if name not in keep
+    )

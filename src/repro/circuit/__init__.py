@@ -27,11 +27,21 @@ from repro.circuit.netlist import (
     VoltageSource,
     GROUND,
 )
+from repro.circuit.backends import (
+    BACKENDS,
+    SPARSE_AUTO_MIN_SIZE,
+    FactorizationCache,
+    FactorizationError,
+    default_backend,
+    resolve_backend,
+    set_default_backend,
+)
 from repro.circuit.mna import (
     CompiledSystem,
     DCSolution,
     SolveStats,
     dc_operating_point,
+    system_size,
 )
 from repro.circuit.transient import TransientResult, transient
 from repro.circuit.ac import ACSolution, ac_analysis, frequency_response
@@ -51,8 +61,16 @@ __all__ = [
     "GROUND",
     "DCSolution",
     "dc_operating_point",
+    "system_size",
     "CompiledSystem",
     "SolveStats",
+    "BACKENDS",
+    "SPARSE_AUTO_MIN_SIZE",
+    "FactorizationCache",
+    "FactorizationError",
+    "default_backend",
+    "resolve_backend",
+    "set_default_backend",
     "TransientResult",
     "transient",
     "ACSolution",

@@ -20,6 +20,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.circuit import backends as _backends
 from repro.circuit.mna import DCSolution, _is_ground, dc_operating_point
 from repro.circuit.netlist import (
     Ammeter,
@@ -73,12 +74,19 @@ def ac_analysis(
     ac_sources: Optional[Dict[str, float]] = None,
     operating_point: Optional[DCSolution] = None,
     gmin: float = 1e-12,
+    backend: Optional[str] = None,
+    _cache: Optional[_backends.FactorizationCache] = None,
 ) -> ACSolution:
     """Small-signal solution at ``frequency`` (Hz).
 
     ``ac_sources`` maps voltage-source names to AC magnitudes (default: the
     first voltage source at 1 V, everything else 0 — i.e. a standard
     single-input transfer-function setup).
+
+    ``backend`` picks the linear-solver engine (``None``: process default);
+    ``_cache`` is a :class:`~repro.circuit.backends.FactorizationCache`
+    keyed by frequency — :func:`frequency_response` shares one across a
+    sweep so revisited frequencies skip the factorization entirely.
     """
     if frequency < 0:
         raise CircuitError("frequency must be >= 0")
@@ -187,9 +195,13 @@ def ac_analysis(
                 f"unsupported element type {type(element).__name__}"
             )
 
+    resolved = _backends.resolve_backend(backend, size)
     try:
-        solution = np.linalg.solve(matrix, rhs)
-    except np.linalg.LinAlgError:
+        if _cache is not None:
+            solution = _cache.solve(frequency, lambda: matrix, rhs, resolved)
+        else:
+            solution = _backends.factorize(matrix, resolved).solve(rhs)
+    except _backends.FactorizationError:
         raise CircuitError("singular AC system matrix") from None
 
     return ACSolution(
@@ -209,12 +221,19 @@ def frequency_response(
     node: str,
     frequencies: List[float],
     ac_sources: Optional[Dict[str, float]] = None,
+    backend: Optional[str] = None,
 ) -> List[complex]:
-    """The transfer ``V(node)`` over a frequency list (shared DC solve)."""
+    """The transfer ``V(node)`` over a frequency list (shared DC solve +
+    shared factorization cache: repeated frequencies solve without
+    re-factorizing)."""
     operating_point = None
     if any(isinstance(e, Diode) for e in netlist.elements()):
         operating_point = dc_operating_point(netlist)
+    cache = _backends.FactorizationCache(maxsize=8)
     return [
-        ac_analysis(netlist, f, ac_sources, operating_point).voltage(node)
+        ac_analysis(
+            netlist, f, ac_sources, operating_point,
+            backend=backend, _cache=cache,
+        ).voltage(node)
         for f in frequencies
     ]

@@ -28,9 +28,10 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
-from scipy.linalg import lu_factor as _lu_factor, lu_solve as _lu_solve
+from scipy.linalg import lu_factor as _lu_factor
 
 from repro import obs
+from repro.circuit import backends as _backends
 from repro.circuit.netlist import (
     Ammeter,
     Capacitor,
@@ -70,6 +71,14 @@ _MAX_SMW_REFINEMENTS = 3
 #: its series resistance grows to this, forcing the branch current to the
 #: same ~1e-12-conductance floor gmin imposes on floating nodes.
 _OPEN_RESISTANCE = 1e12
+
+#: At or below this many unknowns a dense-backend fault solve skips the
+#: Woodbury machinery entirely: delta-stamping a copy of the cached constant
+#: matrix and calling LAPACK directly beats the Python-side low-rank
+#: bookkeeping (capacitance system, residual checks, refinement passes),
+#: which is why BENCH_injection.json used to show incremental at 0.4x of
+#: naive on the small case studies.
+_DIRECT_MAX_SIZE = 48
 
 
 def _is_ground(node: str) -> bool:
@@ -134,7 +143,9 @@ class _System:
         self.diodes: List[Diode] = [
             e for e in netlist.elements() if isinstance(e, Diode)
         ]
+        self._parts: Optional[Tuple[_backends.Triplets, np.ndarray]] = None
         self._constant: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        self._constant_csc = None
 
     def _idx(self, node: str) -> Optional[int]:
         if _is_ground(node):
@@ -163,32 +174,52 @@ class _System:
         if j is not None:
             rhs[j] += current
 
-    def assemble_constant(self) -> Tuple[np.ndarray, np.ndarray]:
-        """The linear stamps and RHS — everything except the diodes.
+    def _constant_parts(self) -> Tuple[_backends.Triplets, np.ndarray]:
+        """Triplet stamps and RHS of the linear (non-diode) system.
 
-        Built once per system and cached; callers must not mutate the
-        returned arrays (take a copy, as :meth:`assemble` does).
+        The stamps are emitted in exactly the historical sequential
+        assembly order, so the dense materialisation (unbuffered
+        ``np.add.at``) reproduces the old in-place assembly bit for bit,
+        while the sparse backend builds its CSC matrix from the very same
+        stream — both backends factorize the numerically identical system.
         """
-        if self._constant is not None:
-            return self._constant
-        matrix = np.zeros((self.size, self.size))
+        if self._parts is not None:
+            return self._parts
+        rows: List[int] = []
+        cols: List[int] = []
+        vals: List[float] = []
         rhs = np.zeros(self.size)
 
+        def stamp(row: int, col: int, value: float) -> None:
+            rows.append(row)
+            cols.append(col)
+            vals.append(value)
+
+        def stamp_conductance(n1: str, n2: str, conductance: float) -> None:
+            i, j = self._idx(n1), self._idx(n2)
+            if i is not None:
+                stamp(i, i, conductance)
+            if j is not None:
+                stamp(j, j, conductance)
+            if i is not None and j is not None:
+                stamp(i, j, -conductance)
+                stamp(j, i, -conductance)
+
         for node_idx in self.node_index.values():
-            matrix[node_idx, node_idx] += self.gmin
+            stamp(node_idx, node_idx, self.gmin)
 
         for element in self.netlist.elements():
             if isinstance(element, Resistor):
-                self._stamp_conductance(
-                    matrix, element.node_pos, element.node_neg,
+                stamp_conductance(
+                    element.node_pos, element.node_neg,
                     1.0 / element.resistance,
                 )
             elif isinstance(element, Switch):
                 resistance = (
                     element.on_resistance if element.closed else element.off_resistance
                 )
-                self._stamp_conductance(
-                    matrix, element.node_pos, element.node_neg, 1.0 / resistance
+                stamp_conductance(
+                    element.node_pos, element.node_neg, 1.0 / resistance
                 )
             elif isinstance(element, CurrentSource):
                 self._stamp_current(
@@ -202,22 +233,48 @@ class _System:
                 k = self.branch_index[element.name]
                 i, j = self._idx(element.node_pos), self._idx(element.node_neg)
                 if i is not None:
-                    matrix[i, k] += 1.0
-                    matrix[k, i] += 1.0
+                    stamp(i, k, 1.0)
+                    stamp(k, i, 1.0)
                 if j is not None:
-                    matrix[j, k] -= 1.0
-                    matrix[k, j] -= 1.0
+                    stamp(j, k, -1.0)
+                    stamp(k, j, -1.0)
                 if isinstance(element, VoltageSource):
                     rhs[k] += element.voltage
                 elif isinstance(element, Inductor):
                     # DC: v = i * R_series (0 V branch when R_series == 0)
-                    matrix[k, k] -= element.series_resistance
+                    stamp(k, k, -element.series_resistance)
             else:  # pragma: no cover - guarded by Netlist.add
                 raise CircuitError(
                     f"unsupported element type {type(element).__name__}"
                 )
-        self._constant = (matrix, rhs)
+        self._parts = ((rows, cols, vals), rhs)
+        return self._parts
+
+    def constant_rhs(self) -> np.ndarray:
+        """The cached constant RHS (callers must not mutate it)."""
+        return self._constant_parts()[1]
+
+    def assemble_constant(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The linear stamps and RHS — everything except the diodes.
+
+        Built once per system and cached; callers must not mutate the
+        returned arrays (take a copy, as :meth:`assemble` does).
+        """
+        if self._constant is None:
+            triplets, rhs = self._constant_parts()
+            self._constant = (
+                _backends.triplets_to_dense(self.size, triplets), rhs
+            )
         return self._constant
+
+    def assemble_constant_csc(self):
+        """The constant matrix as CSC, for the sparse backend (cached)."""
+        if self._constant_csc is None:
+            triplets, _ = self._constant_parts()
+            self._constant_csc = _backends.triplets_to_csc(
+                self.size, triplets
+            )
+        return self._constant_csc
 
     def assemble(
         self, diode_voltages: Dict[str, float]
@@ -265,12 +322,71 @@ class _System:
         return DCSolution(node_voltages, branch_currents, iterations)
 
 
+def system_size(netlist: Netlist) -> int:
+    """Number of MNA unknowns ``netlist`` solves for (0 for an empty one).
+
+    Cheap (index assignment only, no assembly) — callers use it to pick
+    solver backends and execution strategies before committing to a solve.
+    """
+    if len(netlist) == 0:
+        return 0
+    return _System(netlist, _DEFAULT_GMIN).size
+
+
+def _assemble_sparse(
+    system: _System, diode_voltages: Dict[str, float]
+) -> Tuple[object, np.ndarray]:
+    """CSC matrix + RHS with diode companions folded in (sparse backend).
+
+    The constant CSC is cached on the system; each Newton iteration only
+    adds the handful of diode companion stamps as a second sparse term.
+    """
+    matrix = system.assemble_constant_csc()
+    rhs = system.constant_rhs().copy()
+    if system.diodes:
+        rows: List[int] = []
+        cols: List[int] = []
+        vals: List[float] = []
+        for diode in system.diodes:
+            g, ieq = system._diode_companion(
+                diode, diode_voltages.get(diode.name, 0.6)
+            )
+            i, j = system._idx(diode.node_pos), system._idx(diode.node_neg)
+            if i is not None:
+                rows.append(i)
+                cols.append(i)
+                vals.append(g)
+            if j is not None:
+                rows.append(j)
+                cols.append(j)
+                vals.append(g)
+            if i is not None and j is not None:
+                rows.append(i)
+                cols.append(j)
+                vals.append(-g)
+                rows.append(j)
+                cols.append(i)
+                vals.append(-g)
+            system._stamp_current(rhs, diode.node_pos, diode.node_neg, ieq)
+        matrix = matrix + _backends.triplets_to_csc(
+            system.size, (rows, cols, vals)
+        )
+    return matrix, rhs
+
+
 def dc_operating_point(
     netlist: Netlist,
     gmin: float = _DEFAULT_GMIN,
+    backend: Optional[str] = None,
     _retries_left: int = _MAX_GMIN_RETRIES,
 ) -> DCSolution:
     """Solve the DC operating point of ``netlist``.
+
+    ``backend`` picks the linear-solver engine (see
+    :mod:`repro.circuit.backends`): ``None`` uses the process default
+    (``auto``: dense LAPACK below
+    :data:`~repro.circuit.backends.SPARSE_AUTO_MIN_SIZE` unknowns, sparse
+    SuperLU at or above it).
 
     Raises :class:`CircuitError` if Newton iteration fails to converge or the
     system matrix is singular even after retrying with a stronger ``gmin``
@@ -283,21 +399,34 @@ def dc_operating_point(
     system = _System(netlist, gmin)
     if system.size == 0:
         raise CircuitError("netlist has no unknowns (everything grounded?)")
+    resolved = _backends.resolve_backend(backend, system.size)
 
     diode_voltages: Dict[str, float] = {d.name: 0.6 for d in system.diodes}
     solution = np.zeros(system.size)
     iterations = 0
-    with obs.span("mna.newton", netlist=netlist.name, size=system.size) as sp:
+    with obs.span(
+        "mna.newton",
+        netlist=netlist.name,
+        size=system.size,
+        **{"solver.backend": resolved},
+    ) as sp:
         for iterations in range(1, _MAX_NEWTON_ITERATIONS + 1):
-            matrix, rhs = system.assemble(diode_voltages)
             try:
-                new_solution = np.linalg.solve(matrix, rhs)
-            except np.linalg.LinAlgError:
+                if resolved == "sparse":
+                    matrix, rhs = _assemble_sparse(system, diode_voltages)
+                    new_solution = _backends.factorize(
+                        matrix, "sparse"
+                    ).solve(rhs)
+                else:
+                    matrix, rhs = system.assemble(diode_voltages)
+                    new_solution = np.linalg.solve(matrix, rhs)
+            except (np.linalg.LinAlgError, _backends.FactorizationError):
                 # Retry (a bounded number of times) with a stronger gmin.
                 stronger = max(gmin * 1e3, 1e-9)
                 if _retries_left > 0 and stronger > gmin:
                     return dc_operating_point(
-                        netlist, gmin=stronger, _retries_left=_retries_left - 1
+                        netlist, gmin=stronger, backend=backend,
+                        _retries_left=_retries_left - 1,
                     )
                 raise CircuitError(
                     f"singular MNA matrix for netlist {netlist.name!r}"
@@ -339,10 +468,12 @@ class SolveStats:
 
     solves: int = 0  # DC solutions produced
     newton_iterations: int = 0
-    factorization_reuses: int = 0  # linear solves against the cached LU
+    factorization_reuses: int = 0  # linear solves against the cached factors
     smw_solves: int = 0  # solutions via Sherman–Morrison–Woodbury updates
     full_rebuilds: int = 0  # fault solves that fell back to full assembly
     baseline_reuses: int = 0  # faults electrically identical to the baseline
+    direct_solves: int = 0  # small-system faults solved by direct delta-stamp
+    batched_columns: int = 0  # RHS columns solved through multi-RHS blocks
 
     def merge(self, other: "SolveStats") -> None:
         self.solves += other.solves
@@ -351,6 +482,8 @@ class SolveStats:
         self.smw_solves += other.smw_solves
         self.full_rebuilds += other.full_rebuilds
         self.baseline_reuses += other.baseline_reuses
+        self.direct_solves += other.direct_solves
+        self.batched_columns += other.batched_columns
 
     def to_dict(self) -> Dict[str, int]:
         return {
@@ -360,6 +493,8 @@ class SolveStats:
             "smw_solves": self.smw_solves,
             "full_rebuilds": self.full_rebuilds,
             "baseline_reuses": self.baseline_reuses,
+            "direct_solves": self.direct_solves,
+            "batched_columns": self.batched_columns,
         }
 
 
@@ -458,7 +593,12 @@ class CompiledSystem:
     being applicable.
     """
 
-    def __init__(self, netlist: Netlist, gmin: float = _DEFAULT_GMIN) -> None:
+    def __init__(
+        self,
+        netlist: Netlist,
+        gmin: float = _DEFAULT_GMIN,
+        backend: Optional[str] = None,
+    ) -> None:
         if len(netlist) == 0:
             raise CircuitError("cannot solve an empty netlist")
         self.netlist = netlist
@@ -466,8 +606,12 @@ class CompiledSystem:
         self._system = _System(netlist, gmin)
         if self._system.size == 0:
             raise CircuitError("netlist has no unknowns (everything grounded?)")
+        #: Concrete solver backend ('dense' | 'sparse') for this system.
+        self.backend = _backends.resolve_backend(backend, self._system.size)
         self.stats = SolveStats()
         self._lu = None
+        self._dense_solve = None
+        self._sparse_factor: Optional[_backends.Factorization] = None
         self._lu_failed = False
         self._baseline: Optional[DCSolution] = None
         self._warm_vd: Optional[Dict[str, float]] = None
@@ -497,13 +641,23 @@ class CompiledSystem:
     def solve(self) -> DCSolution:
         """The healthy (baseline) operating point, computed once and cached."""
         if self._baseline is None:
+            plan = _UpdatePlan(diodes=tuple(self._system.diodes))
             try:
-                self._baseline = self._solve_incremental(
-                    _UpdatePlan(diodes=tuple(self._system.diodes))
-                )
+                if (
+                    self.backend == "dense"
+                    and self._system.size <= _DIRECT_MAX_SIZE
+                ):
+                    # Small systems: Newton on the delta-stamped constant
+                    # matrix directly — the SMW bookkeeping (and even the
+                    # LU factorization) is pure overhead at this size.
+                    self._baseline = self._solve_direct(plan)
+                else:
+                    self._baseline = self._solve_incremental(plan)
             except _SmwFallback:
                 self.stats.full_rebuilds += 1
-                self._baseline = dc_operating_point(self.netlist, self.gmin)
+                self._baseline = dc_operating_point(
+                    self.netlist, self.gmin, backend=self.backend
+                )
                 self.stats.solves += 1
         return self._baseline
 
@@ -523,6 +677,11 @@ class CompiledSystem:
                 self.stats.baseline_reuses += 1
                 return solution
             try:
+                if (
+                    self.backend == "dense"
+                    and self._system.size <= _DIRECT_MAX_SIZE
+                ):
+                    return self._solve_direct(plan)
                 return self._solve_incremental(plan)
             except _SmwFallback:
                 pass
@@ -532,7 +691,7 @@ class CompiledSystem:
                 fault = self.netlist.without(name)
             else:
                 fault = self.netlist.with_replacement(name, replacement)
-            solution = dc_operating_point(fault, self.gmin)
+            solution = dc_operating_point(fault, self.gmin, backend=self.backend)
         self.stats.solves += 1
         return solution
 
@@ -687,7 +846,11 @@ class CompiledSystem:
             raise _SmwFallback
         if self._lu is None:
             matrix, _ = self._system.assemble_constant()
-            with obs.span("mna.factorize", size=self._system.size):
+            with obs.span(
+                "mna.factorize",
+                size=self._system.size,
+                **{"solver.backend": "dense"},
+            ):
                 try:
                     with np.errstate(all="ignore"):
                         self._lu = _lu_factor(matrix, check_finite=False)
@@ -697,17 +860,66 @@ class CompiledSystem:
                     # mean "this system has no reusable LU" — latch and let
                     # every solve take the dense path.  Anything else is a
                     # programming error and must propagate.
-                    self._lu_failed = True
-                    if obs.enabled():
-                        obs.counter("mna_lu_failures").inc()
-                        with obs.span(
-                            "mna.lu_failure",
-                            size=self._system.size,
-                            error=type(exc).__name__,
-                        ):
-                            pass
+                    self._factorization_failed(exc)
                     raise _SmwFallback from None
+                if obs.enabled():
+                    obs.counter("mna_dense_factorizations").inc()
         return self._lu
+
+    def _factorization_failed(self, exc: BaseException) -> None:
+        """Latch the no-reusable-factorization state and count it."""
+        self._lu_failed = True
+        if obs.enabled():
+            obs.counter("mna_lu_failures").inc()
+            with obs.span(
+                "mna.lu_failure",
+                size=self._system.size,
+                error=type(exc).__name__,
+            ):
+                pass
+
+    def _ensure_sparse(self) -> _backends.Factorization:
+        """The cached SuperLU factorization of the constant CSC matrix."""
+        if self._lu_failed:
+            raise _SmwFallback
+        if self._sparse_factor is None:
+            matrix = self._system.assemble_constant_csc()
+            with obs.span(
+                "mna.factorize",
+                size=self._system.size,
+                **{"solver.backend": "sparse"},
+            ):
+                try:
+                    self._sparse_factor = _backends.factorize(matrix, "sparse")
+                except _backends.FactorizationError as exc:
+                    self._factorization_failed(exc)
+                    raise _SmwFallback from None
+        return self._sparse_factor
+
+    def _ensure_factorized(self) -> None:
+        """Factorize the constant matrix with this system's backend."""
+        if self.backend == "sparse":
+            self._ensure_sparse()
+        else:
+            self._ensure_lu()
+
+    def _base_solve(self, rhs: np.ndarray) -> np.ndarray:
+        """``A0⁻¹ rhs`` through the cached factorization.
+
+        ``rhs`` may be a vector or a 2-D column block — the multi-RHS form:
+        one factorization, all columns solved in a single backend call.
+        """
+        if self.backend == "sparse":
+            try:
+                return self._ensure_sparse().solve(rhs)
+            except _backends.FactorizationError:
+                raise _SmwFallback from None
+        if self._dense_solve is None:
+            self._dense_solve = _backends.getrs_solver(*self._ensure_lu())
+        try:
+            return self._dense_solve(rhs)
+        except _backends.FactorizationError:
+            raise _SmwFallback from None
 
     def _direction(self, n_pos: str, n_neg: str) -> Tuple[int, int]:
         """Index pair of an update direction u = e_i - e_j (-1: ground)."""
@@ -727,12 +939,42 @@ class CompiledSystem:
         """Cached A0^{-1} u for an update direction."""
         column = self._column_cache.get(pair)
         if column is None:
-            with np.errstate(all="ignore"):
-                column = _lu_solve(self._ensure_lu(), self._unit_vector(pair),
-                                   check_finite=False)
-            self.stats.factorization_reuses += 1
-            self._column_cache[pair] = column
+            column = self._solved_columns([pair])[0]
         return column
+
+    def _solved_columns(
+        self, pairs: List[Tuple[int, int]]
+    ) -> List[np.ndarray]:
+        """Cached ``A0⁻¹ u`` columns for update directions, batched.
+
+        All uncached directions are solved as ONE multi-RHS block — a
+        matrix whose columns are the unit-difference vectors, handed to the
+        backend in a single solve call — instead of one factorized solve
+        per direction.
+        """
+        missing: List[Tuple[int, int]] = []
+        seen = set()
+        for pair in pairs:
+            if pair not in self._column_cache and pair not in seen:
+                seen.add(pair)
+                missing.append(pair)
+        if missing:
+            block = np.zeros((self._system.size, len(missing)))
+            for col, pair in enumerate(missing):
+                if pair[0] >= 0:
+                    block[pair[0], col] += 1.0
+                if pair[1] >= 0:
+                    block[pair[1], col] -= 1.0
+            solved = self._base_solve(block)
+            for col, pair in enumerate(missing):
+                self._column_cache[pair] = np.ascontiguousarray(
+                    solved[:, col]
+                )
+            self.stats.factorization_reuses += len(missing)
+            self.stats.batched_columns += len(missing)
+            if obs.enabled():
+                obs.counter("mna_batched_rhs_columns").inc(len(missing))
+        return [self._column_cache[pair] for pair in pairs]
 
     def _woodbury(
         self,
@@ -747,13 +989,12 @@ class CompiledSystem:
         ``A0^{-1} rhs`` (the Newton loop derives it from cached columns).
         """
         if y is None:
-            with np.errstate(all="ignore"):
-                y = _lu_solve(self._ensure_lu(), rhs, check_finite=False)
+            y = self._base_solve(rhs)
             self.stats.factorization_reuses += 1
         if not pairs:
             return y
         k = len(pairs)
-        columns = [self._solved_column(pair) for pair in pairs]
+        columns = self._solved_columns(pairs)
 
         def dot_u(pair: Tuple[int, int], vector: np.ndarray) -> float:
             value = 0.0
@@ -817,16 +1058,122 @@ class CompiledSystem:
         if not obs.enabled():
             return self._solve_incremental_impl(plan)
         with obs.span(
-            "mna.smw_solve", removed=plan.removed, size=self._system.size
+            "mna.smw_solve",
+            removed=plan.removed,
+            size=self._system.size,
+            **{"solver.backend": self.backend},
         ) as sp:
             solution = self._solve_incremental_impl(plan)
             sp.set(iterations=solution.iterations)
             return solution
 
+    # -- the direct small-system solver -----------------------------------
+
+    def _solve_direct(self, plan: _UpdatePlan) -> DCSolution:
+        if not obs.enabled():
+            return self._solve_direct_impl(plan)
+        with obs.span(
+            "mna.direct_solve",
+            removed=plan.removed,
+            size=self._system.size,
+            **{"solver.backend": self.backend},
+        ) as sp:
+            solution = self._solve_direct_impl(plan)
+            sp.set(iterations=solution.iterations)
+            return solution
+
+    def _solve_direct_impl(self, plan: _UpdatePlan) -> DCSolution:
+        """Delta-stamp the cached constant matrix and solve densely.
+
+        For systems of at most :data:`_DIRECT_MAX_SIZE` unknowns the
+        Woodbury bookkeeping (capacitance system, residual check,
+        refinement passes) costs more Python time than one tiny LAPACK
+        solve per Newton iteration.  The plan's deltas are applied to a
+        copy of the cached assembly — so the per-fault cost is a small
+        matrix copy plus ``np.linalg.solve``, with no netlist rebuild and
+        a warm-started Newton iteration — while exactness still comes from
+        solving the fully-assembled faulty system.
+        """
+        system = self._system
+        base_matrix, base_rhs = system.assemble_constant()
+        matrix_static = base_matrix.copy()
+        rhs_static = base_rhs.copy()
+        for n_pos, n_neg, delta_g in plan.conductance:
+            system._stamp_conductance(matrix_static, n_pos, n_neg, delta_g)
+        for n_from, n_to, delta_i in plan.rhs_current:
+            system._stamp_current(rhs_static, n_from, n_to, delta_i)
+        for row, delta_v in plan.rhs_branch:
+            rhs_static[row] += delta_v
+        for row, delta in plan.branch_diag:
+            matrix_static[row, row] += delta
+
+        diodes = list(plan.diodes)
+        warm = self._warm_diode_voltages()
+        diode_voltages = {d.name: warm.get(d.name, 0.6) for d in diodes}
+
+        solution_vector: Optional[np.ndarray] = None
+        iterations = 0
+        for iterations in range(1, _MAX_NEWTON_ITERATIONS + 1):
+            if diodes:
+                matrix = matrix_static.copy()
+                rhs = rhs_static.copy()
+                for diode in diodes:
+                    g, ieq = _System._diode_companion(
+                        diode, diode_voltages[diode.name]
+                    )
+                    system._stamp_conductance(
+                        matrix, diode.node_pos, diode.node_neg, g
+                    )
+                    system._stamp_current(
+                        rhs, diode.node_pos, diode.node_neg, ieq
+                    )
+            else:
+                matrix = matrix_static
+                rhs = rhs_static
+            try:
+                with np.errstate(all="ignore"):
+                    vector = np.linalg.solve(matrix, rhs)
+            except np.linalg.LinAlgError:
+                raise _SmwFallback from None
+            if not np.all(np.isfinite(vector)):
+                raise _SmwFallback
+            if not diodes:
+                solution_vector = vector
+                break
+            converged = True
+            for diode in diodes:
+                old_vd = diode_voltages[diode.name]
+                new_vd = system.diode_voltage(vector, diode)
+                step = new_vd - old_vd
+                if abs(step) > _MAX_DIODE_STEP:
+                    new_vd = old_vd + math.copysign(_MAX_DIODE_STEP, step)
+                    converged = False
+                elif abs(step) > _NEWTON_TOLERANCE:
+                    converged = False
+                diode_voltages[diode.name] = new_vd
+            solution_vector = vector
+            if converged:
+                break
+        else:
+            # The full path would not converge either, but let it make that
+            # call (and raise its canonical error) itself.
+            raise _SmwFallback
+
+        self.stats.solves += 1
+        self.stats.newton_iterations += iterations
+        self.stats.direct_solves += 1
+        return system.to_solution(solution_vector, iterations)
+
     def _solve_incremental_impl(self, plan: _UpdatePlan) -> DCSolution:
         system = self._system
-        self._ensure_lu()
-        base_matrix, base_rhs = system.assemble_constant()
+        self._ensure_factorized()
+        base_rhs = system.constant_rhs()
+        if self.backend == "sparse":
+            # Residual checks only need `A0 @ v`; the CSC form keeps large
+            # systems from ever materialising the dense constant matrix.
+            base_matrix = system.assemble_constant_csc()
+        else:
+            base_matrix, _ = system.assemble_constant()
 
         rhs_static = base_rhs.copy()
         for n_from, n_to, delta_i in plan.rhs_current:
@@ -861,17 +1208,17 @@ class CompiledSystem:
         diode_slots = [
             slot(self._direction(d.node_pos, d.node_neg)) for d in diodes
         ]
-        diode_columns = [self._solved_column(directions[i]) for i in diode_slots]
+        diode_columns = self._solved_columns(
+            [directions[i] for i in diode_slots]
+        )
         warm = self._warm_diode_voltages()
         diode_voltages = {d.name: warm.get(d.name, 0.6) for d in diodes}
 
-        # One cached-LU solve of the static RHS serves every Newton
+        # One factorized solve of the static RHS serves every Newton
         # iteration: stamping a diode's equivalent current adds -ieq * u to
         # the RHS, so A0^{-1} rhs is y_static - ieq * (A0^{-1} u), and the
         # A0^{-1} u columns are already cached per direction.
-        with np.errstate(all="ignore"):
-            y_static = _lu_solve(self._ensure_lu(), rhs_static,
-                                 check_finite=False)
+        y_static = self._base_solve(rhs_static)
         self.stats.factorization_reuses += 1
 
         solution_vector: Optional[np.ndarray] = None

@@ -16,10 +16,11 @@ use the FMEA engine makes of it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.circuit import backends as _backends
 from repro.circuit.mna import _System, _is_ground
 from repro.circuit.netlist import (
     Capacitor,
@@ -28,6 +29,13 @@ from repro.circuit.netlist import (
     Netlist,
     VoltageSource,
 )
+
+#: Factorizations kept per transient run.  The step matrix depends only on
+#: the diode bias vector (the C/L companion conductances are fixed for a
+#: fixed ``dt``), so a settled circuit re-solves the same matrix every
+#: step — a deep cache is pointless, a few slots catch the steady state
+#: plus the last transients.
+_TRANSIENT_CACHE_SLOTS = 8
 
 
 @dataclass
@@ -67,12 +75,20 @@ def transient(
     dt: float,
     sources: Optional[Dict[str, Callable[[float], float]]] = None,
     gmin: float = 1e-12,
+    backend: Optional[str] = None,
 ) -> TransientResult:
     """Integrate the netlist from 0 to ``t_stop`` with fixed step ``dt``.
 
     ``sources`` optionally maps voltage-source names to ``v(t)`` waveforms;
     unlisted sources keep their DC value.  Initial conditions are zero state
     (capacitors discharged, inductors currentless).
+
+    ``backend`` picks the linear-solver engine (``None``: the process
+    default, ``auto``).  The step matrix depends only on the diode bias
+    vector — the C/L companion conductances are fixed for a fixed ``dt`` —
+    so factorizations are cached per bias vector and a circuit without
+    diodes (or one that has settled) factorizes **once** for the whole run
+    instead of re-solving an identical matrix from scratch every step.
     """
     if dt <= 0 or t_stop <= 0:
         raise CircuitError("t_stop and dt must be positive")
@@ -82,6 +98,7 @@ def transient(
     system = _System(netlist, gmin)
     capacitors = [e for e in netlist.elements() if isinstance(e, Capacitor)]
     inductors = [e for e in netlist.elements() if isinstance(e, Inductor)]
+    resolved = _backends.resolve_backend(backend, system.size)
 
     cap_voltage = {c.name: 0.0 for c in capacitors}
     ind_current = {l.name: 0.0 for l in inductors}
@@ -92,31 +109,105 @@ def transient(
         e.name: [] for e in system.branch_elements
     }
 
+    # The step-constant part of the matrix: linear stamps plus the C/L
+    # companion conductances (fixed for a fixed dt).  Only the RHS (source
+    # waveforms, companion history currents) and the diode linearisation
+    # change from step to step.
+    comp_triplets: Tuple[List[int], List[int], List[float]] = ([], [], [])
+
+    def stamp_companion(n1: str, n2: str, conductance: float) -> None:
+        i, j = system._idx(n1), system._idx(n2)
+        rows, cols, vals = comp_triplets
+        if i is not None:
+            rows.append(i)
+            cols.append(i)
+            vals.append(conductance)
+        if j is not None:
+            rows.append(j)
+            cols.append(j)
+            vals.append(conductance)
+        if i is not None and j is not None:
+            rows.extend((i, j))
+            cols.extend((j, i))
+            vals.extend((-conductance, -conductance))
+
+    for cap in capacitors:
+        stamp_companion(cap.node_pos, cap.node_neg, cap.capacitance / dt)
+    for ind in inductors:
+        k = system.branch_index[ind.name]
+        # assemble() contributed v - R_s*i = 0; extend to
+        # v - R_s*i - (L/dt)*i = -(L/dt)*i_prev
+        comp_triplets[0].append(k)
+        comp_triplets[1].append(k)
+        comp_triplets[2].append(-ind.inductance / dt)
+
+    if resolved == "sparse":
+        static_matrix = system.assemble_constant_csc()
+        if comp_triplets[0]:
+            static_matrix = static_matrix + _backends.triplets_to_csc(
+                system.size, comp_triplets
+            )
+    else:
+        static_matrix = system.assemble_constant()[0].copy()
+        rows, cols, vals = comp_triplets
+        if rows:
+            np.add.at(static_matrix, (rows, cols), vals)
+
+    def diode_matrix(companions: List[Tuple[float, float]]):
+        """Step matrix with the given per-diode (g, ieq) companions
+        stamped in — only built on a factorization-cache miss."""
+        if resolved == "sparse":
+            rows: List[int] = []
+            cols: List[int] = []
+            vals: List[float] = []
+            for diode, (g, _) in zip(system.diodes, companions):
+                i = system._idx(diode.node_pos)
+                j = system._idx(diode.node_neg)
+                if i is not None:
+                    rows.append(i)
+                    cols.append(i)
+                    vals.append(g)
+                if j is not None:
+                    rows.append(j)
+                    cols.append(j)
+                    vals.append(g)
+                if i is not None and j is not None:
+                    rows.extend((i, j))
+                    cols.extend((j, i))
+                    vals.extend((-g, -g))
+            matrix = static_matrix + _backends.triplets_to_csc(
+                system.size, (rows, cols, vals)
+            )
+        else:
+            matrix = static_matrix.copy()
+            for diode, (g, _) in zip(system.diodes, companions):
+                system._stamp_conductance(
+                    matrix, diode.node_pos, diode.node_neg, g
+                )
+        return matrix
+
+    cache = _backends.FactorizationCache(maxsize=_TRANSIENT_CACHE_SLOTS)
+    base_rhs = system.constant_rhs()
+
     steps = int(round(t_stop / dt))
     solution = np.zeros(system.size)
     for step in range(1, steps + 1):
         t = step * dt
-        matrix, rhs = system.assemble(
-            {d.name: 0.6 for d in system.diodes}
-        )
+        rhs = base_rhs.copy()
         # Override: time-varying sources.
         for element in system.branch_elements:
             if isinstance(element, VoltageSource) and element.name in sources:
                 k = system.branch_index[element.name]
                 rhs[k] = sources[element.name](t)
-        # Companion models replace the static treatment of C (open) and
-        # L (0 V branch): re-stamp their dynamic contributions.
+        # Companion history currents of C (voltage memory) and L (current
+        # memory) — the step-varying half of the companion models.
         for cap in capacitors:
             g = cap.capacitance / dt
-            system._stamp_conductance(matrix, cap.node_pos, cap.node_neg, g)
             system._stamp_current(
                 rhs, cap.node_neg, cap.node_pos, g * cap_voltage[cap.name]
             )
         for ind in inductors:
             k = system.branch_index[ind.name]
-            # assemble() contributed v - R_s*i = 0; extend to
-            # v - R_s*i - (L/dt)*i = -(L/dt)*i_prev
-            matrix[k, k] -= ind.inductance / dt
             rhs[k] -= (ind.inductance / dt) * ind_current[ind.name]
 
         # Newton loop for diodes within the step.
@@ -126,32 +217,26 @@ def transient(
                 for d in system.diodes
             }
             for _ in range(100):
-                step_matrix = matrix.copy()
+                key = tuple(
+                    diode_voltages[d.name] for d in system.diodes
+                )
+                companions = [
+                    _System._diode_companion(d, diode_voltages[d.name])
+                    for d in system.diodes
+                ]
                 step_rhs = rhs.copy()
-                # assemble() stamped diodes at 0.6 V; re-linearise at the
-                # current estimate by removing the old stamp and adding the new.
-                # Simpler and robust: rebuild from scratch each inner iteration.
-                step_matrix, step_rhs = system.assemble(diode_voltages)
-                for element in system.branch_elements:
-                    if isinstance(element, VoltageSource) and element.name in sources:
-                        k = system.branch_index[element.name]
-                        step_rhs[k] = sources[element.name](t)
-                for cap in capacitors:
-                    g = cap.capacitance / dt
-                    system._stamp_conductance(
-                        step_matrix, cap.node_pos, cap.node_neg, g
-                    )
+                for diode, (_, ieq) in zip(system.diodes, companions):
                     system._stamp_current(
-                        step_rhs, cap.node_neg, cap.node_pos,
-                        g * cap_voltage[cap.name],
+                        step_rhs, diode.node_pos, diode.node_neg, ieq
                     )
-                for ind in inductors:
-                    k = system.branch_index[ind.name]
-                    step_matrix[k, k] -= ind.inductance / dt
-                    step_rhs[k] -= (ind.inductance / dt) * ind_current[ind.name]
                 try:
-                    candidate = np.linalg.solve(step_matrix, step_rhs)
-                except np.linalg.LinAlgError:
+                    candidate = cache.solve(
+                        key,
+                        lambda: diode_matrix(companions),
+                        step_rhs,
+                        resolved,
+                    )
+                except _backends.FactorizationError:
                     raise CircuitError(
                         f"singular transient matrix at t={t:.3e}"
                     ) from None
@@ -175,8 +260,10 @@ def transient(
                 )
         else:
             try:
-                solution = np.linalg.solve(matrix, rhs)
-            except np.linalg.LinAlgError:
+                solution = cache.solve(
+                    (), lambda: static_matrix, rhs, resolved
+                )
+            except _backends.FactorizationError:
                 raise CircuitError(
                     f"singular transient matrix at t={t:.3e}"
                 ) from None

@@ -460,6 +460,14 @@ def _add_campaign_arguments(parser: argparse.ArgumentParser) -> None:
         "and fans out above it",
     )
     parser.add_argument(
+        "--solver-backend",
+        choices=["auto", "dense", "sparse"],
+        default=None,
+        help="MNA linear-solver backend for the campaign: 'dense' LAPACK "
+        "LU, 'sparse' CSC/SuperLU, or 'auto' to pick by system size "
+        "(default: the process-wide default backend)",
+    )
+    parser.add_argument(
         "--checkpoint",
         metavar="PATH",
         help="persist completed job outcomes to this JSONL file",
@@ -489,6 +497,7 @@ def _campaign_kwargs(args: argparse.Namespace) -> dict:
     return {
         "workers": getattr(args, "workers", 1),
         "strategy": getattr(args, "strategy", "fixed"),
+        "solver_backend": getattr(args, "solver_backend", None),
         "max_retries": getattr(args, "max_retries", 2),
         "job_timeout": getattr(args, "job_timeout", None),
         "checkpoint": getattr(args, "checkpoint", None),

@@ -137,12 +137,17 @@ def drain_worker_data() -> Optional[Dict[str, object]]:
     """Worker side: pop this process's spans + metrics as a picklable blob.
 
     Returns ``None`` when observability is disabled, so the parent can skip
-    the merge entirely."""
+    the merge entirely.  Draining *clears* both stores: a long-lived worker
+    (the warm campaign pool serves many chunks, possibly across campaigns)
+    must hand each chunk's delta to the parent exactly once, never its
+    cumulative history."""
     if not _ENABLED:
         return None
+    snapshot = _REGISTRY.snapshot()
+    _REGISTRY.reset()
     return {
         "spans": [record.to_dict() for record in _TRACER.drain()],
-        "metrics": _REGISTRY.snapshot(),
+        "metrics": snapshot,
     }
 
 

@@ -285,8 +285,21 @@ def diff_entries(before: LedgerEntry, after: LedgerEntry) -> LedgerDiff:
 class Regression:
     """One detected regression between a baseline and a candidate entry."""
 
-    kind: str  # 'spfm' | 'single-point' | 'wall-time' | 'asil'
+    kind: str  # 'spfm' | 'single-point' | 'wall-time' | 'asil' | 'strategy'
     message: str
+
+
+def _strategy_timings(entry: LedgerEntry) -> Dict[str, float]:
+    """Per-strategy wall times recorded by the injection benchmark
+    (``meta.timings`` — e.g. ``{"naive": ..., "parallel": ...}``)."""
+    timings = entry.meta.get("timings")
+    if not isinstance(timings, dict):
+        return {}
+    return {
+        str(label): float(value)
+        for label, value in timings.items()
+        if isinstance(value, (int, float))
+    }
 
 
 def watch_regressions(
@@ -297,9 +310,12 @@ def watch_regressions(
     """Regressions in ``diff``, for the ``repro watch-regressions`` gate.
 
     Flags an SPFM drop beyond ``max_spfm_drop`` (absolute, default: any
-    drop), a downgraded ASIL verdict, any new single-point fault, and a
+    drop), a downgraded ASIL verdict, any new single-point fault, a
     wall-time regression beyond ``max_walltime_pct`` percent of the
-    baseline (``None`` disables the timing gate).
+    baseline (``None`` disables the timing gate), and a strategy
+    inversion — the candidate entry's recorded per-strategy timings
+    (``meta.timings``, written by the injection benchmark) showing a
+    batched strategy running slower than naive re-assembly.
     """
     regressions: List[Regression] = []
     delta = diff.spfm_delta
@@ -341,6 +357,19 @@ def watch_regressions(
                 f"(budget {max_walltime_pct:g}%)",
             )
         )
+    timings = _strategy_timings(diff.after)
+    naive = timings.get("naive")
+    if naive:
+        for label in ("incremental", "parallel"):
+            batched = timings.get(label)
+            if batched is not None and batched > naive:
+                regressions.append(
+                    Regression(
+                        "strategy",
+                        f"{label} strategy slower than naive "
+                        f"({batched:.3f}s vs {naive:.3f}s)",
+                    )
+                )
     return regressions
 
 

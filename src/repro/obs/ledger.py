@@ -285,6 +285,7 @@ def _stats_metrics(result) -> Dict[str, object]:
     for name in (
         "wall_time", "baseline_time", "jobs", "rows", "solves", "workers",
         "retries", "timeouts", "job_failures", "resumed_jobs",
+        "solver_backend", "direct_solves", "batched_columns", "pool_reused",
     ):
         value = getattr(stats, name, None)
         if value is not None:

@@ -34,8 +34,17 @@ from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple, Union
 
 from repro import obs
-from repro.circuit import CircuitError, CompiledSystem, SolveStats
+from repro.circuit import (
+    BACKENDS,
+    CircuitError,
+    CompiledSystem,
+    SolveStats,
+    default_backend,
+    set_default_backend,
+    system_size,
+)
 from repro.circuit.netlist import Netlist
+from repro.safety import pool as _warm_pool
 from repro.reliability import ReliabilityModel
 from repro.safety.fmea import (
     DEFAULT_MIN_ABSOLUTE_DELTA,
@@ -73,6 +82,17 @@ _CHECKPOINT_EVERY = 25
 #: stays serial until the fan-out can plausibly amortise its fixed cost.
 AUTO_PARALLEL_MIN_JOBS = 64
 
+#: ``auto`` also fans out *below* :data:`AUTO_PARALLEL_MIN_JOBS` when the
+#: per-job solve itself is heavy.  A factorized solve costs ~O(size²) per
+#: RHS, so ``jobs * size**2`` estimates total campaign work; above this
+#: budget the solves dominate pool start-up even for a handful of jobs
+#: (e.g. a 60-job campaign on a ~2500-unknown grid).  Small demo models
+#: (size < ~50) can never reach it with fewer than 64 jobs.
+AUTO_PARALLEL_MIN_COST = 1e8
+
+#: Cost-based fan-out still needs enough jobs to share between workers.
+_AUTO_COST_MIN_JOBS = 4
+
 
 @dataclass(frozen=True)
 class InjectionJob:
@@ -97,6 +117,8 @@ class CampaignStats:
     mode: str = "incremental"  # 'incremental' | 'naive'
     strategy: str = "fixed"  # 'fixed' | 'serial' | 'auto'
     analysis: str = "dc"
+    solver_backend: str = "auto"  # requested backend spec ('auto' if unset)
+    pool_reused: bool = False  # warm worker pool reused from a prior campaign
     wall_time: float = 0.0  # whole campaign, seconds
     baseline_time: float = 0.0  # healthy solve, seconds
     solves: int = 0
@@ -105,6 +127,8 @@ class CampaignStats:
     smw_solves: int = 0
     full_rebuilds: int = 0
     baseline_reuses: int = 0
+    direct_solves: int = 0  # small-system dense-direct fault solves
+    batched_columns: int = 0  # SMW columns solved as multi-RHS blocks
     parallel_fallback: bool = False  # pool unavailable; ran serially
     retries: int = 0  # transient-failure retries (job- and chunk-level)
     timeouts: int = 0  # jobs killed by the per-job wall-clock budget
@@ -116,7 +140,7 @@ class CampaignStats:
         "jobs", "rows", "solves", "newton_iterations",
         "factorization_reuses", "smw_solves", "full_rebuilds",
         "baseline_reuses", "retries", "timeouts", "job_failures",
-        "resumed_jobs",
+        "resumed_jobs", "direct_solves", "batched_columns",
     )
 
     def absorb(self, solve_stats: SolveStats) -> None:
@@ -126,6 +150,8 @@ class CampaignStats:
         self.smw_solves += solve_stats.smw_solves
         self.full_rebuilds += solve_stats.full_rebuilds
         self.baseline_reuses += solve_stats.baseline_reuses
+        self.direct_solves += solve_stats.direct_solves
+        self.batched_columns += solve_stats.batched_columns
 
     def as_dict(self) -> Dict[str, object]:
         return asdict(self)
@@ -150,6 +176,7 @@ class CampaignStats:
         obs.gauge("campaign_baseline_seconds").set(self.baseline_time)
         obs.gauge("campaign_workers").set(self.workers)
         obs.gauge("campaign_requested_workers").set(self.requested_workers)
+        obs.gauge("campaign_pool_reuse").set(1.0 if self.pool_reused else 0.0)
         if self.parallel_fallback:
             obs.counter("campaign_parallel_fallbacks").inc()
 
@@ -295,14 +322,16 @@ def _run_job_isolated(
             return ("failed", failure.to_dict()), attempt, 0
 
 
-def _primed_system(netlist: Netlist) -> CompiledSystem:
+def _primed_system(
+    netlist: Netlist, backend: Optional[str] = None
+) -> CompiledSystem:
     """A compiled system with its baseline already solved.
 
     Priming up front lets every fault solve warm-start its Newton iteration
     from the healthy diode biases and reuse the baseline for no-op faults
     (e.g. a capacitor failing open at DC).
     """
-    compiled = CompiledSystem(netlist)
+    compiled = CompiledSystem(netlist, backend=backend)
     try:
         compiled.solve()
     except CircuitError:
@@ -327,12 +356,19 @@ def _campaign_worker_init(
     trace_enabled: bool = False,
     policy: RetryPolicy = RetryPolicy(),
     job_timeout: Optional[float] = None,
+    solver_backend: Optional[str] = None,
 ) -> None:
     if trace_enabled:
         # Trace in the worker too; start from a clean slate (a fork start
         # method copies the parent's already-recorded spans).
         obs.enable()
         obs.reset()
+    if solver_backend is not None:
+        # Campaign-wide backend: the naive/transient paths solve through
+        # module-level functions that read the process default, and this
+        # worker process exists only to serve this campaign configuration
+        # (the warm-pool token includes the backend).
+        set_default_backend(solver_backend)
     _WORKER_STATE["conversion"] = conversion
     _WORKER_STATE["analysis"] = analysis
     _WORKER_STATE["t_stop"] = t_stop
@@ -341,7 +377,7 @@ def _campaign_worker_init(
     _WORKER_STATE["job_timeout"] = job_timeout
     compiled = None
     if incremental and analysis == "dc":
-        compiled = _primed_system(conversion.netlist)
+        compiled = _primed_system(conversion.netlist, backend=solver_backend)
     _WORKER_STATE["compiled"] = compiled
 
 
@@ -419,12 +455,19 @@ class FaultInjectionCampaign:
     strategy:
         how the worker count is chosen.  ``"fixed"`` (default) uses
         ``workers`` exactly as given; ``"serial"`` forces one worker;
-        ``"auto"`` runs the incremental serial solver below
-        :data:`AUTO_PARALLEL_MIN_JOBS` pending jobs — where measured pool
-        start-up costs exceed the solve time — and fans out above it
-        (using ``workers`` when > 1, else one worker per CPU, capped by
-        the job count).  The decision is recorded in ``stats.strategy``
-        and ``stats.workers``;
+        ``"auto"`` runs the incremental serial solver below a measured
+        crossover — :data:`AUTO_PARALLEL_MIN_JOBS` pending jobs, *or*
+        fewer jobs whose estimated solve work ``jobs * size**2`` exceeds
+        :data:`AUTO_PARALLEL_MIN_COST` (large MNA systems amortise pool
+        start-up with far fewer jobs than demo-sized ones) — and fans
+        out above it (using ``workers`` when > 1, else one worker per
+        CPU, capped by the job count).  The decision is recorded in
+        ``stats.strategy`` and ``stats.workers``;
+    solver_backend:
+        linear-solver engine for every MNA solve in the campaign
+        (baseline, incremental fault solves, workers): ``"dense"``
+        (LAPACK LU), ``"sparse"`` (CSC + SuperLU) or ``"auto"``
+        (size-based pick).  ``None`` defers to the process default;
     max_retries:
         bounded retry budget for transient failures — both job-level
         (numerical rejections) and chunk-level (a pool worker dying takes
@@ -469,6 +512,7 @@ class FaultInjectionCampaign:
         job_timeout: Optional[float] = None,
         checkpoint: Optional[Union[str, Path]] = None,
         resume: bool = False,
+        solver_backend: Optional[str] = None,
     ) -> None:
         if analysis not in ("dc", "transient"):
             raise FmeaError(
@@ -482,6 +526,11 @@ class FaultInjectionCampaign:
         if job_timeout is not None and job_timeout <= 0:
             raise FmeaError(
                 f"job_timeout must be positive, got {job_timeout!r}"
+            )
+        if solver_backend is not None and solver_backend not in BACKENDS:
+            raise FmeaError(
+                f"solver_backend must be one of {BACKENDS}, "
+                f"got {solver_backend!r}"
             )
         if resume and checkpoint is None:
             raise FmeaError("resume=True requires a checkpoint path")
@@ -504,6 +553,10 @@ class FaultInjectionCampaign:
         self.job_timeout = job_timeout
         self.checkpoint = checkpoint
         self.resume = resume
+        self.solver_backend = solver_backend
+        self._pool_reused = False
+        self._fingerprint: Optional[str] = None
+        self._shared_compiled: Optional[CompiledSystem] = None
 
     # -- enumeration ------------------------------------------------------
 
@@ -585,7 +638,9 @@ class FaultInjectionCampaign:
     ) -> Dict[int, _Outcome]:
         compiled = None
         if self.incremental and self.analysis == "dc":
-            compiled = _primed_system(conversion.netlist)
+            compiled = self._shared_compiled or _primed_system(
+                conversion.netlist, backend=self.solver_backend
+            )
         outcomes: Dict[int, _Outcome] = {}
         for position, job in enumerate(jobs, start=1):
             outcome, retries, timeouts = _run_job_isolated(
@@ -603,13 +658,43 @@ class FaultInjectionCampaign:
             stats.absorb(compiled.stats)
         return outcomes
 
-    def _new_pool(self, conversion: ElectricalConversion, size: int):
-        from concurrent.futures import ProcessPoolExecutor
+    def _campaign_token(self) -> str:
+        """Content hash identifying this campaign's worker configuration
+        (cached — :func:`campaign_fingerprint` hashes the whole model)."""
+        if self._fingerprint is None:
+            self._fingerprint = campaign_fingerprint(
+                self.model,
+                self.reliability,
+                self.analysis,
+                self.t_stop,
+                self.dt,
+                self.behavior_overrides,
+            )
+        return self._fingerprint
 
-        return ProcessPoolExecutor(
-            max_workers=max(1, min(self.workers, size)),
-            initializer=_campaign_worker_init,
-            initargs=(
+    def _new_pool(self, conversion: ElectricalConversion, size: int):
+        """Acquire the warm worker pool (or a fresh one on token mismatch).
+
+        The token captures everything ``_campaign_worker_init`` bakes into
+        the workers; an exact match means the cached pool's workers are
+        already initialised identically and can serve this campaign with
+        zero start-up cost.
+        """
+        max_workers = max(1, min(self.workers, size))
+        token = (
+            self._campaign_token(),
+            max_workers,
+            self.incremental,
+            obs.enabled(),
+            self.retry_policy,
+            self.job_timeout,
+            self.solver_backend,
+        )
+        executor, reused = _warm_pool.acquire(
+            token,
+            max_workers,
+            _campaign_worker_init,
+            (
                 conversion,
                 self.analysis,
                 self.t_stop,
@@ -618,8 +703,12 @@ class FaultInjectionCampaign:
                 obs.enabled(),
                 self.retry_policy,
                 self.job_timeout,
+                self.solver_backend,
             ),
         )
+        if reused:
+            self._pool_reused = True
+        return executor
 
     def _execute_parallel(
         self,
@@ -725,13 +814,19 @@ class FaultInjectionCampaign:
                 else:
                     zero_progress_rounds = 0
                 pending = self._requeue_lost(lost, stats, completed)
-                if pending and pool_broken:
-                    pool.shutdown(wait=False, cancel_futures=True)
-                    pool = self._new_pool(conversion, len(pending))
+                if pool_broken:
+                    # A broken executor can never serve again — evict it
+                    # from the warm cache even when nothing is pending.
+                    _warm_pool.discard(pool)
+                    if pending:
+                        pool = self._new_pool(conversion, len(pending))
                 if pending:
                     time.sleep(self.retry_policy.delay(1))
         finally:
-            pool.shutdown(wait=False, cancel_futures=True)
+            # Keeps the healthy warm pool alive for the next campaign;
+            # shuts down anything else (including already-discarded pools —
+            # idempotent).
+            _warm_pool.release(pool)
 
     def _requeue_lost(
         self,
@@ -782,18 +877,29 @@ class FaultInjectionCampaign:
                 completed[job.index] = ("failed", failure.to_dict())
         return requeued
 
-    def _effective_workers(self, pending_jobs: int) -> int:
+    def _effective_workers(
+        self, pending_jobs: int, size: Optional[int] = None
+    ) -> int:
         """Worker count for this run, given how many jobs remain.
 
         ``fixed`` honours the requested count, ``serial`` is always one,
-        and ``auto`` fans out only at/above :data:`AUTO_PARALLEL_MIN_JOBS`
-        pending jobs (below that, measured pool start-up cost exceeds the
-        incremental serial solve — see BENCH_injection.json).
+        and ``auto`` fans out only past a measured crossover: at/above
+        :data:`AUTO_PARALLEL_MIN_JOBS` pending jobs, or — when ``size``
+        (the MNA system dimension) is known — whenever the estimated
+        solve work ``jobs * size**2`` reaches
+        :data:`AUTO_PARALLEL_MIN_COST`.  Below both bounds, measured pool
+        start-up cost exceeds the incremental serial solve (see
+        BENCH_injection.json).
         """
         if self.strategy == "serial":
             return 1
         if self.strategy == "auto":
-            if pending_jobs < AUTO_PARALLEL_MIN_JOBS:
+            heavy = (
+                size is not None
+                and pending_jobs >= _AUTO_COST_MIN_JOBS
+                and pending_jobs * float(size) ** 2 >= AUTO_PARALLEL_MIN_COST
+            )
+            if pending_jobs < AUTO_PARALLEL_MIN_JOBS and not heavy:
                 return 1
             if self.workers > 1:
                 return self.workers
@@ -908,13 +1014,29 @@ class FaultInjectionCampaign:
         ``campaign.classify`` phases, and the final counters are published
         as ``campaign_*`` metrics.
         """
+        if self.solver_backend is None:
+            return self._run_campaign()
+        # Campaign-wide backend: the naive/transient/baseline paths solve
+        # through module-level functions that read the process default, so
+        # pin it for the duration of the run (workers pin their own copy in
+        # the pool initializer).
+        previous = default_backend()
+        set_default_backend(self.solver_backend)
+        try:
+            return self._run_campaign()
+        finally:
+            set_default_backend(previous)
+
+    def _run_campaign(self) -> FmeaResult:
         started = time.perf_counter()
+        self._pool_reused = False
         stats = CampaignStats(
             workers=self.workers,
             requested_workers=self.workers,
             mode="incremental" if self.incremental else "naive",
             strategy=self.strategy,
             analysis=self.analysis,
+            solver_backend=self.solver_backend or "auto",
         )
 
         with obs.span(
@@ -925,12 +1047,31 @@ class FaultInjectionCampaign:
             analysis=self.analysis,
         ) as campaign_span:
             conversion = to_netlist(self.model)
+            self._shared_compiled = None
             baseline_started = time.perf_counter()
             with obs.span("campaign.baseline", analysis=self.analysis):
                 if self.analysis == "transient":
                     baseline = _solve_readings_transient(
                         conversion, conversion.netlist, self.t_stop, self.dt
                     )
+                elif self.incremental:
+                    # Read the healthy baseline off the shared compiled
+                    # system: one Newton solve serves both the baseline
+                    # readings and the warm start of every serial fault
+                    # solve, instead of paying it twice (which is what
+                    # used to put tiny incremental campaigns behind
+                    # naive ones).
+                    self._shared_compiled = _primed_system(
+                        conversion.netlist, backend=self.solver_backend
+                    )
+                    try:
+                        baseline = _readings_from_solution(
+                            conversion, self._shared_compiled.solve(), None
+                        )
+                    except CircuitError:
+                        baseline = _solve_readings(
+                            conversion, conversion.netlist
+                        )
                 else:
                     baseline = _solve_readings(conversion, conversion.netlist)
             stats.baseline_time = time.perf_counter() - baseline_started
@@ -952,7 +1093,11 @@ class FaultInjectionCampaign:
             # The strategy decision happens here, once the *pending* job
             # count is known — resumed jobs cost nothing, so a mostly
             # checkpointed campaign rightly stays serial under `auto`.
-            self.workers = self._effective_workers(len(pending))
+            # The MNA dimension feeds the cost-model crossover: large
+            # systems justify fan-out with far fewer jobs.
+            self.workers = self._effective_workers(
+                len(pending), size=system_size(conversion.netlist)
+            )
             stats.workers = self.workers
             campaign_span.set(workers=self.workers)
             with obs.span(
@@ -995,6 +1140,7 @@ class FaultInjectionCampaign:
                         self._classify(row, outcome, baseline, monitored)
                     )
             stats.job_failures = len(result.failures)
+            stats.pool_reused = self._pool_reused
             if not result.rows:
                 raise FmeaError(
                     "FMEA produced no rows: no component matched the "

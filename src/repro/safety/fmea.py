@@ -236,6 +236,7 @@ def run_simulink_fmea(
     job_timeout: Optional[float] = None,
     checkpoint: Optional[object] = None,
     resume: bool = False,
+    solver_backend: Optional[str] = None,
 ) -> FmeaResult:
     """Automated FMEA by fault injection on a Simulink model.
 
@@ -275,7 +276,10 @@ def run_simulink_fmea(
     max_retries / retry_backoff / job_timeout / checkpoint / resume:
         fault-tolerance controls — bounded retry with exponential backoff,
         per-job wall-clock budgets, and checkpoint–resume of completed job
-        outcomes; see :class:`repro.safety.campaign.FaultInjectionCampaign`.
+        outcomes; see :class:`repro.safety.campaign.FaultInjectionCampaign`;
+    solver_backend:
+        linear-solver engine for every MNA solve — ``"dense"``,
+        ``"sparse"`` or ``"auto"`` (``None``: process default).
 
     The function delegates to
     :class:`repro.safety.campaign.FaultInjectionCampaign`; campaign timing
@@ -303,6 +307,7 @@ def run_simulink_fmea(
         job_timeout=job_timeout,
         checkpoint=checkpoint,
         resume=resume,
+        solver_backend=solver_backend,
     ).run()
 
 

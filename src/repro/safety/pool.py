@@ -1,0 +1,107 @@
+"""Persistent warm process pool for fault-injection campaigns.
+
+Spinning up a ``ProcessPoolExecutor`` costs fork + interpreter warm-up +
+pickling the conversion into every worker — BENCH_injection.json measured
+that fixed cost at more than the entire solve time of the small case
+studies, which is how ``parallel_s`` lost to serial on every case.  This
+module keeps ONE pool alive across campaigns within the process:
+
+- :func:`acquire` returns the cached executor when the request *token*
+  matches the cached one exactly (same campaign fingerprint, worker count,
+  solver backend, tracing mode, retry policy, …) — the workers are already
+  initialised with identical ``initargs``, so re-running the initializer
+  would be a no-op;
+- any token mismatch discards the cached pool and starts a fresh one (the
+  initializer protocol is unchanged — workers are configured once, at pool
+  construction);
+- :func:`discard` is for broken pools (a ``BrokenProcessPool`` poisons the
+  executor permanently); :func:`release` keeps a healthy cached pool warm
+  and shuts down anything else.
+
+Reuse is visible as the ``campaign_pool_reuses`` counter / the
+``campaign_pool_reuse`` gauge (see ``repro.obs``) and as
+``CampaignStats.pool_reused``.
+"""
+
+from __future__ import annotations
+
+import atexit
+from typing import Optional, Tuple
+
+from repro import obs
+
+__all__ = ["acquire", "release", "discard", "shutdown_all"]
+
+#: The single cached warm pool: ``(token, executor)`` or ``None``.
+_CACHED: Optional[Tuple[object, object]] = None
+
+
+def _shutdown(executor) -> None:
+    try:
+        executor.shutdown(wait=False, cancel_futures=True)
+    except Exception:  # noqa: BLE001 — teardown must never propagate
+        pass
+
+
+def _broken(executor) -> bool:
+    """Whether the executor has latched its broken state."""
+    return bool(getattr(executor, "_broken", False))
+
+
+def acquire(token, max_workers: int, initializer, initargs):
+    """``(executor, reused)`` — the warm pool on an exact token match,
+    else a fresh ``ProcessPoolExecutor`` (the old one is discarded).
+
+    ``token`` must capture everything that shapes worker behaviour: the
+    campaign fingerprint, worker count, analysis parameters, solver
+    backend, tracing mode and retry policy all belong in it, because a
+    reused pool never re-runs its initializer.
+    """
+    global _CACHED
+    from concurrent.futures import ProcessPoolExecutor
+
+    if _CACHED is not None:
+        cached_token, executor = _CACHED
+        if cached_token == token and not _broken(executor):
+            if obs.enabled():
+                obs.counter("campaign_pool_reuses").inc()
+            return executor, True
+        _CACHED = None
+        _shutdown(executor)
+    executor = ProcessPoolExecutor(
+        max_workers=max_workers,
+        initializer=initializer,
+        initargs=initargs,
+    )
+    _CACHED = (token, executor)
+    return executor, False
+
+
+def release(executor) -> None:
+    """End-of-campaign hand-back: the cached warm pool stays alive for the
+    next campaign; anything else is shut down."""
+    if _CACHED is not None and _CACHED[1] is executor:
+        return
+    _shutdown(executor)
+
+
+def discard(executor) -> None:
+    """Shut ``executor`` down and forget it if it was the cached pool —
+    for broken executors, which can never be reused."""
+    global _CACHED
+    if _CACHED is not None and _CACHED[1] is executor:
+        _CACHED = None
+    _shutdown(executor)
+
+
+def shutdown_all() -> None:
+    """Drop and shut down the cached warm pool (atexit hook; also used by
+    tests that need a cold-pool baseline)."""
+    global _CACHED
+    if _CACHED is not None:
+        _, executor = _CACHED
+        _CACHED = None
+        _shutdown(executor)
+
+
+atexit.register(shutdown_all)

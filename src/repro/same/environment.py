@@ -143,14 +143,15 @@ class SAME:
         job_timeout: Optional[float] = None,
         checkpoint: Optional[str] = None,
         resume: bool = False,
+        solver_backend: Optional[str] = None,
     ) -> FmeaResult:
         """Injection-based FMEA of the Simulink model.
 
         ``workers``/``strategy``/``max_retries``/``job_timeout``/
-        ``checkpoint``/``resume`` are forwarded to
+        ``checkpoint``/``resume``/``solver_backend`` are forwarded to
         :class:`~repro.safety.campaign.FaultInjectionCampaign` so iterative
-        SAME workflows get the same execution strategy, fault tolerance and
-        checkpoint–resume behaviour as the CLI.
+        SAME workflows get the same execution strategy, fault tolerance,
+        checkpoint–resume behaviour and solver backend as the CLI.
         """
         self._require("simulink_model")
         self._require("reliability")
@@ -167,6 +168,7 @@ class SAME:
                 job_timeout=job_timeout,
                 checkpoint=checkpoint,
                 resume=resume,
+                solver_backend=solver_backend,
             )
             self._ledger_fmea(
                 self.last_fmea,

@@ -118,10 +118,13 @@ def test_parallel_matches_naive(campaign_results, case):
 
 @pytest.mark.parametrize("case", CASE_NAMES)
 def test_incremental_engages_fast_path(campaign_results, case):
+    """Every incremental campaign solves through a fast path: low-rank SMW
+    updates against the shared factorization, or the dense-direct
+    delta-stamp path on small systems."""
     stats = campaign_results[case]["incremental"].stats
     assert stats.mode == "incremental"
-    assert stats.smw_solves > 0
-    assert stats.factorization_reuses > 0
+    assert stats.smw_solves + stats.direct_solves > 0
+    assert stats.factorization_reuses + stats.direct_solves > 0
 
 
 @pytest.mark.parametrize("case", CASE_NAMES)
@@ -130,6 +133,8 @@ def test_naive_mode_never_uses_fast_path(campaign_results, case):
     assert stats.mode == "naive"
     assert stats.smw_solves == 0
     assert stats.factorization_reuses == 0
+    assert stats.direct_solves == 0
+    assert stats.batched_columns == 0
 
 
 def test_most_system_b_jobs_stay_low_rank(campaign_results):

@@ -92,7 +92,7 @@ class TestIncrementalFaults:
         )
         assert_solutions_close(fast, reference)
         assert compiled.stats.full_rebuilds == 0
-        assert compiled.stats.smw_solves > 0
+        assert compiled.stats.smw_solves + compiled.stats.direct_solves > 0
 
     def test_inductor_open_pinches_branch_current_off(self):
         netlist = ladder()

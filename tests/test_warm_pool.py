@@ -1,0 +1,149 @@
+"""The persistent warm worker pool (:mod:`repro.safety.pool`).
+
+Unit-level: acquire/release/discard token semantics against a fake
+executor class (no real processes).  Integration-level: two parallel
+campaigns in a row reuse one real pool, the second reports
+``stats.pool_reused`` and still produces identical FMEA rows.
+"""
+
+import concurrent.futures
+
+import pytest
+
+from repro.casestudies import (
+    build_power_supply_simulink,
+    power_supply_reliability,
+)
+from repro.casestudies.power_supply import ASSUMED_STABLE
+from repro.safety import pool
+from repro.safety.campaign import FaultInjectionCampaign
+
+
+class _FakeExecutor:
+    """Stands in for ProcessPoolExecutor: records construction/shutdown."""
+
+    instances = []
+
+    def __init__(self, max_workers=None, initializer=None, initargs=()):
+        self.max_workers = max_workers
+        self.initializer = initializer
+        self.initargs = initargs
+        self.shut_down = False
+        self._broken = False
+        _FakeExecutor.instances.append(self)
+
+    def shutdown(self, wait=True, cancel_futures=False):
+        self.shut_down = True
+
+
+@pytest.fixture
+def fake_pool(monkeypatch):
+    """Cold pool cache + ProcessPoolExecutor replaced by _FakeExecutor."""
+    pool.shutdown_all()
+    _FakeExecutor.instances = []
+    monkeypatch.setattr(
+        concurrent.futures, "ProcessPoolExecutor", _FakeExecutor
+    )
+    yield
+    pool.shutdown_all()
+
+
+def _init():
+    pass
+
+
+class TestTokenSemantics:
+    def test_same_token_reuses_executor(self, fake_pool):
+        first, reused = pool.acquire(("t", 2), 2, _init, ())
+        pool.release(first)
+        second, reused_again = pool.acquire(("t", 2), 2, _init, ())
+        assert not reused
+        assert reused_again
+        assert second is first
+        assert len(_FakeExecutor.instances) == 1
+
+    def test_token_mismatch_discards_cached_pool(self, fake_pool):
+        first, _ = pool.acquire(("t", 2), 2, _init, ())
+        pool.release(first)
+        second, reused = pool.acquire(("t", 4), 4, _init, ())
+        assert not reused
+        assert second is not first
+        assert first.shut_down
+
+    def test_release_keeps_cached_shuts_down_foreign(self, fake_pool):
+        cached, _ = pool.acquire(("t", 2), 2, _init, ())
+        foreign = _FakeExecutor(max_workers=1)
+        pool.release(cached)
+        pool.release(foreign)
+        assert not cached.shut_down
+        assert foreign.shut_down
+
+    def test_discard_forces_fresh_pool_next_time(self, fake_pool):
+        first, _ = pool.acquire(("t", 2), 2, _init, ())
+        pool.discard(first)
+        assert first.shut_down
+        second, reused = pool.acquire(("t", 2), 2, _init, ())
+        assert not reused
+        assert second is not first
+
+    def test_broken_executor_never_reused(self, fake_pool):
+        first, _ = pool.acquire(("t", 2), 2, _init, ())
+        first._broken = True
+        pool.release(first)
+        second, reused = pool.acquire(("t", 2), 2, _init, ())
+        assert not reused
+        assert second is not first
+        assert first.shut_down
+
+    def test_shutdown_all_clears_cache(self, fake_pool):
+        first, _ = pool.acquire(("t", 2), 2, _init, ())
+        pool.shutdown_all()
+        assert first.shut_down
+        second, reused = pool.acquire(("t", 2), 2, _init, ())
+        assert not reused
+        assert second is not first
+
+    def test_initargs_reach_the_executor(self, fake_pool):
+        executor, _ = pool.acquire(("t", 3), 3, _init, ("a", 1))
+        assert executor.max_workers == 3
+        assert executor.initializer is _init
+        assert executor.initargs == ("a", 1)
+
+
+class TestCampaignIntegration:
+    def test_back_to_back_campaigns_reuse_one_pool(self):
+        pool.shutdown_all()
+        model = build_power_supply_simulink()
+        reliability = power_supply_reliability()
+        try:
+            first = FaultInjectionCampaign(
+                model, reliability, assume_stable=ASSUMED_STABLE, workers=2
+            ).run()
+            second = FaultInjectionCampaign(
+                model, reliability, assume_stable=ASSUMED_STABLE, workers=2
+            ).run()
+        finally:
+            pool.shutdown_all()
+        assert not first.stats.pool_reused
+        assert second.stats.pool_reused
+        assert [row.component for row in first.rows] == [
+            row.component for row in second.rows
+        ]
+        assert [row.impact for row in first.rows] == [
+            row.impact for row in second.rows
+        ]
+
+    def test_different_worker_count_gets_fresh_pool(self):
+        pool.shutdown_all()
+        model = build_power_supply_simulink()
+        reliability = power_supply_reliability()
+        try:
+            FaultInjectionCampaign(
+                model, reliability, assume_stable=ASSUMED_STABLE, workers=2
+            ).run()
+            other = FaultInjectionCampaign(
+                model, reliability, assume_stable=ASSUMED_STABLE, workers=3
+            ).run()
+        finally:
+            pool.shutdown_all()
+        assert not other.stats.pool_reused
