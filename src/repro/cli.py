@@ -32,16 +32,95 @@ from repro.safety.report import (
 )
 
 
-def _obs_begin(args: argparse.Namespace) -> None:
-    """Enable the observability layer when any obs flag asks for output."""
-    if getattr(args, "trace", None) or getattr(args, "metrics", None):
-        from repro import obs
+def _parse_serve(spec: str) -> tuple:
+    """``HOST:PORT`` → ``(host, port)``; bare ``PORT`` binds localhost."""
+    host, _, port_text = str(spec).rpartition(":")
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise SystemExit(
+            f"--serve expects HOST:PORT (or just PORT), got {spec!r}"
+        )
+    return (host or "127.0.0.1", port)
 
+
+def _obs_begin(args: argparse.Namespace) -> dict:
+    """Arm the observability planes the flags ask for.
+
+    Returns a session dict carrying everything :func:`_obs_end` must tear
+    down: the live HTTP server (``--serve``), the console renderer
+    (``--progress``), the JSONL event sink (``--events``) and the sampling
+    profiler (``--profile``).  ``--serve`` turns on both tracing (so
+    ``/metrics`` has live content) and the event bus (so ``/events``
+    streams); ``--progress``/``--events`` need only the event bus.
+    """
+    session: dict = {}
+    serve = getattr(args, "serve", None)
+    progress = bool(getattr(args, "progress", False))
+    events_path = getattr(args, "events", None)
+    profile_path = getattr(args, "profile", None)
+    wants_trace = bool(
+        getattr(args, "trace", None) or getattr(args, "metrics", None) or serve
+    )
+    wants_events = bool(serve or progress or events_path)
+    if not (wants_trace or wants_events or profile_path):
+        return session
+    from repro import obs
+
+    if wants_trace and not obs.enabled():
         obs.enable()
+        session["disable_tracing"] = True
+    if wants_events and not obs.events_enabled():
+        obs.enable_events()
+        session["disable_events"] = True
+    if events_path:
+        session["events_path"] = obs.event_bus().attach_jsonl(events_path)
+    if progress:
+        renderer = obs.ConsoleProgress()
+        obs.event_bus().add_callback(renderer)
+        session["renderer"] = renderer
+    if serve:
+        host, port = _parse_serve(serve)
+        server = obs.serve_live(host, port)
+        session["server"] = server
+        print(
+            f"live telemetry at {server.url}  "
+            f"(GET /metrics /healthz /events)",
+            file=sys.stderr,
+        )
+    if profile_path:
+        from repro.obs.profile import SamplingProfiler
+
+        profiler = SamplingProfiler()
+        if profiler.start():
+            session["profiler"] = profiler
+            session["profile_path"] = profile_path
+        else:
+            print(
+                "profiling unavailable (not the main thread?); "
+                "--profile ignored",
+                file=sys.stderr,
+            )
+    return session
 
 
-def _obs_end(args: argparse.Namespace) -> None:
-    """Export the collected trace/metrics as requested by the obs flags."""
+def _obs_end(
+    args: argparse.Namespace, session: Optional[dict] = None, same=None
+) -> None:
+    """Export trace/metrics, stop the live plane, and link every artifact
+    written here to the run's latest ledger entry (when one exists) so
+    provenance covers the live telemetry too."""
+    session = session or {}
+    artifacts: List[tuple] = []  # (kind, path)
+    profiler = session.get("profiler")
+    if profiler is not None:
+        profiler.stop()
+        path = profiler.write_folded(session["profile_path"])
+        print(
+            f"profile written to {path} "
+            f"({profiler.samples} samples, collapsed stacks)"
+        )
+        artifacts.append(("profile", path))
     if getattr(args, "trace", None):
         from repro import obs
 
@@ -51,11 +130,42 @@ def _obs_end(args: argparse.Namespace) -> None:
         else:
             path = obs.export_jsonl(args.trace)
             print(f"JSONL trace written to {path}")
+        artifacts.append(("trace", path))
     if getattr(args, "metrics", None):
         from repro import obs
 
         path = obs.export_prometheus(args.metrics)
         print(f"Prometheus metrics written to {path}")
+        artifacts.append(("metrics", path))
+    if session.get("events_path") is not None:
+        from repro import obs
+
+        obs.event_bus().detach_jsonl()
+        path = session["events_path"]
+        print(f"event log written to {path}")
+        artifacts.append(("events", path))
+    if session.get("renderer") is not None:
+        from repro import obs
+
+        obs.event_bus().remove_callback(session["renderer"])
+    if session.get("server") is not None:
+        session["server"].stop()
+    if session.get("disable_events") or session.get("disable_tracing"):
+        from repro import obs
+
+        if session.get("disable_events"):
+            obs.disable_events()
+        if session.get("disable_tracing"):
+            obs.disable()
+    ledger = getattr(same, "ledger", None) if same is not None else None
+    if ledger is not None and artifacts:
+        try:
+            entry = ledger.latest()
+            if entry is not None:
+                for kind, path in artifacts:
+                    ledger.attach_artifact(entry, path, kind=f"obs-{kind}")
+        except Exception:  # noqa: BLE001 — provenance must not fail the run
+            pass
 
 
 def _print_stats(result) -> None:
@@ -78,7 +188,7 @@ def _open_ledger(args: argparse.Namespace):
 def _cmd_fmea(args: argparse.Namespace) -> int:
     from repro.same import SAME
 
-    _obs_begin(args)
+    session = _obs_begin(args)
     same = SAME()
     _maybe_ledger(same, args)
     same.open_simulink(args.model)
@@ -97,14 +207,14 @@ def _cmd_fmea(args: argparse.Namespace) -> int:
     if args.out:
         path = same.export_fmea(args.out)
         print(f"FMEA workbook written to {path}")
-    _obs_end(args)
+    _obs_end(args, session, same)
     return 0
 
 
 def _cmd_fmeda(args: argparse.Namespace) -> int:
     from repro.same import SAME
 
-    _obs_begin(args)
+    session = _obs_begin(args)
     same = SAME()
     _maybe_ledger(same, args)
     same.open_simulink(args.model)
@@ -119,6 +229,7 @@ def _cmd_fmeda(args: argparse.Namespace) -> int:
     plan = same.search_deployment(args.target, strategy=args.search_strategy)
     if plan is None:
         print(f"no deployment in the catalogue reaches {args.target}")
+        _obs_end(args, session, same)
         return 1
     result = same.run_fmeda()
     print(render_text_table(fmeda_to_sheet(result)))
@@ -131,7 +242,7 @@ def _cmd_fmeda(args: argparse.Namespace) -> int:
     if args.out:
         path = same.export_fmeda(args.out)
         print(f"FMEDA workbook written to {path}")
-    _obs_end(args)
+    _obs_end(args, session, same)
     return 0
 
 
@@ -174,7 +285,7 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     )
     from repro.same import SAME
 
-    _obs_begin(args)
+    session = _obs_begin(args)
     same = SAME()
     _maybe_ledger(same, args)
     same.open_simulink(build_power_supply_simulink())
@@ -205,7 +316,7 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         same.export_fmea(out / "fmea")
         same.export_fmeda(out / "fmeda")
         print(f"workbooks written under {out}")
-    _obs_end(args)
+    _obs_end(args, session, same)
     return 0
 
 
@@ -243,7 +354,7 @@ def _cmd_fta(args: argparse.Namespace) -> int:
 def _cmd_decisive(args: argparse.Namespace) -> int:
     from repro.same import SAME
 
-    _obs_begin(args)
+    session = _obs_begin(args)
     same = SAME()
     _maybe_ledger(same, args)
     same.open_ssam(args.ssam)
@@ -284,7 +395,7 @@ def _cmd_decisive(args: argparse.Namespace) -> int:
             ]
         path = save_decisive_workbook(concept.fmeda, entries, args.out)
         print(f"DECISIVE workbook written to {path}")
-    _obs_end(args)
+    _obs_end(args, session, same)
     return 0 if log.met_target else 1
 
 
@@ -528,6 +639,30 @@ def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
         metavar="PATH",
         help="record a provenance entry for each analysis into this "
         "append-only JSONL ledger (see `same history` / `same diff`)",
+    )
+    parser.add_argument(
+        "--serve",
+        metavar="HOST:PORT",
+        help="serve live telemetry over HTTP while the analysis runs: "
+        "GET /metrics (Prometheus), /healthz (JSON liveness), "
+        "/events (SSE progress stream); port 0 picks a free port",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="render live progress events (chunk completions, retries, "
+        "ETA) on stderr",
+    )
+    parser.add_argument(
+        "--events",
+        metavar="PATH",
+        help="append every progress event to this JSONL file",
+    )
+    parser.add_argument(
+        "--profile",
+        metavar="PATH",
+        help="sample the analysis with a SIGPROF profiler and write "
+        "collapsed stacks (flamegraph.pl / speedscope format) to PATH",
     )
 
 

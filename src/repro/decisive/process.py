@@ -272,6 +272,7 @@ class DecisiveProcess:
                         previous_entry = self._record_iteration(
                             record, fmea, it_span, previous_entry
                         )
+                        self._emit_iteration(record)
                         break
                     fresh = self.step4b_refine(fmea)
                     record.deployments = fresh
@@ -279,6 +280,7 @@ class DecisiveProcess:
                     previous_entry = self._record_iteration(
                         record, fmea, it_span, previous_entry
                     )
+                    self._emit_iteration(record)
                     if not fresh:
                         break  # catalogue exhausted; target unreachable
             fmea, _, _ = self.step4a_evaluate()
@@ -290,6 +292,19 @@ class DecisiveProcess:
                 iterations=len(log.iterations), met_target=log.met_target
             )
         return log
+
+    def _emit_iteration(self, record) -> None:
+        """One ``iteration_finished`` progress event per Step 3–4 turn
+        (no-op while the event plane is disabled)."""
+        obs.emit_event(
+            "iteration_finished",
+            system=self.model.name,
+            index=record.index,
+            spfm=record.spfm,
+            asil=record.asil,
+            met_target=record.met_target,
+            new_deployments=len(record.deployments),
+        )
 
     # -- provenance --------------------------------------------------------
 

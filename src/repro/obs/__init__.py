@@ -26,6 +26,13 @@ Pool workers trace into their own process-local state;
 :func:`drain_worker_data` (worker side) and :func:`ingest_worker_data`
 (parent side) move spans and metrics across the process boundary with
 deterministic id remapping, so merged traces are reproducible.
+
+A second, independently-switched plane carries **live telemetry**: a typed
+progress :class:`~repro.obs.events.EventBus` (:func:`enable_events` /
+:func:`emit_event`), an HTTP server exposing ``/metrics`` ``/healthz``
+``/events`` (:func:`serve_live`), and a sampling profiler
+(``repro.obs.profile``).  Worker events ride the same
+``drain_worker_data`` / ``ingest_worker_data`` delta path as spans.
 """
 
 from __future__ import annotations
@@ -51,11 +58,14 @@ from repro.obs.metrics import (
     MetricError,
     MetricsRegistry,
 )
+from repro.obs.events import ConsoleProgress, Event, EventBus
 from repro.obs.tracing import NOOP_SPAN, Span, SpanRecord, Tracer
 
 __all__ = [
     "enable", "disable", "enabled", "reset",
-    "span", "current_span_id", "tracer",
+    "enable_events", "disable_events", "events_enabled",
+    "emit_event", "event_bus", "serve_live",
+    "span", "current_span_id", "current_span_name", "tracer",
     "counter", "gauge", "histogram", "registry",
     "drain_worker_data", "ingest_worker_data",
     "export_jsonl", "export_prometheus", "export_chrome_trace",
@@ -63,11 +73,14 @@ __all__ = [
     "read_jsonl", "span_tree", "chrome_trace_events",
     "Counter", "Gauge", "Histogram", "MetricsRegistry", "MetricError",
     "Span", "SpanRecord", "Tracer", "NOOP_SPAN", "DEFAULT_TIME_BUCKETS",
+    "Event", "EventBus", "ConsoleProgress",
 ]
 
 _ENABLED: bool = False
+_EVENTS_ENABLED: bool = False
 _TRACER = Tracer()
 _REGISTRY = MetricsRegistry()
+_BUS = EventBus()
 
 
 def enable() -> None:
@@ -86,9 +99,52 @@ def enabled() -> bool:
 
 
 def reset() -> None:
-    """Drop all collected spans and metrics (the enabled flag is kept)."""
+    """Drop all collected spans, metrics and buffered events (the enabled
+    flags are kept)."""
     _TRACER.clear()
     _REGISTRY.reset()
+    _BUS.clear()
+
+
+# -- the live-telemetry plane (events; independently switched) --------------
+
+
+def enable_events() -> None:
+    """Turn the progress event bus on (module-wide, independent of
+    :func:`enable` — tracing without events and events without tracing are
+    both valid configurations)."""
+    global _EVENTS_ENABLED
+    _EVENTS_ENABLED = True
+
+
+def disable_events() -> None:
+    global _EVENTS_ENABLED
+    _EVENTS_ENABLED = False
+
+
+def events_enabled() -> bool:
+    return _EVENTS_ENABLED
+
+
+def emit_event(type_: str, **payload: object):
+    """Publish one typed progress event; ``None`` (one flag check) when the
+    event bus is disabled — same hot-path discipline as :func:`span`."""
+    if not _EVENTS_ENABLED:
+        return None
+    return _BUS.emit(type_, payload)
+
+
+def event_bus() -> EventBus:
+    return _BUS
+
+
+def serve_live(host: str = "127.0.0.1", port: int = 0):
+    """Start the live telemetry HTTP server (``/metrics`` ``/healthz``
+    ``/events``) on a daemon thread and return it.  Lazy import: the
+    stdlib ``http.server`` machinery is only paid for when serving."""
+    from repro.obs.live import LiveTelemetryServer
+
+    return LiveTelemetryServer(host, port).start()
 
 
 # -- tracing ----------------------------------------------------------------
@@ -105,6 +161,13 @@ def current_span_id() -> Optional[int]:
     if not _ENABLED:
         return None
     return _TRACER.current_span_id()
+
+
+def current_span_name() -> Optional[str]:
+    """Name of the innermost active span on this thread (profiler hook)."""
+    if not _ENABLED:
+        return None
+    return _TRACER.current_span_name()
 
 
 def tracer() -> Tracer:
@@ -134,38 +197,53 @@ def registry() -> MetricsRegistry:
 
 
 def drain_worker_data() -> Optional[Dict[str, object]]:
-    """Worker side: pop this process's spans + metrics as a picklable blob.
+    """Worker side: pop this process's spans + metrics (+ events) as a
+    picklable blob.
 
-    Returns ``None`` when observability is disabled, so the parent can skip
-    the merge entirely.  Draining *clears* both stores: a long-lived worker
+    Returns ``None`` when observability is entirely disabled, so the parent
+    can skip the merge.  Draining *clears* the stores: a long-lived worker
     (the warm campaign pool serves many chunks, possibly across campaigns)
     must hand each chunk's delta to the parent exactly once, never its
     cumulative history."""
-    if not _ENABLED:
+    if not _ENABLED and not _EVENTS_ENABLED:
         return None
-    snapshot = _REGISTRY.snapshot()
-    _REGISTRY.reset()
-    return {
-        "spans": [record.to_dict() for record in _TRACER.drain()],
-        "metrics": snapshot,
-    }
+    payload: Dict[str, object] = {}
+    if _ENABLED:
+        snapshot = _REGISTRY.snapshot()
+        _REGISTRY.reset()
+        payload["spans"] = [record.to_dict() for record in _TRACER.drain()]
+        payload["metrics"] = snapshot
+    if _EVENTS_ENABLED:
+        payload["events"] = _BUS.drain_dicts()
+    return payload
 
 
 def ingest_worker_data(
     payload: Optional[Mapping[str, object]],
     parent_id: Optional[int] = None,
 ) -> List[SpanRecord]:
-    """Parent side: merge one worker blob under ``parent_id``."""
-    if payload is None or not _ENABLED:
+    """Parent side: merge one worker blob under ``parent_id``.
+
+    Spans/metrics merge when tracing is enabled; drained worker events are
+    re-sequenced onto the parent bus when the event plane is enabled — each
+    plane honours its own flag, so a parent with only ``--progress`` does
+    not silently accumulate trace state."""
+    if payload is None:
         return []
-    records = [
-        SpanRecord.from_dict(item)
-        for item in payload.get("spans", ())  # type: ignore[union-attr]
-    ]
-    merged = _TRACER.ingest(records, parent_id=parent_id)
-    metrics = payload.get("metrics")
-    if metrics:
-        _REGISTRY.merge(metrics)  # type: ignore[arg-type]
+    merged: List[SpanRecord] = []
+    if _ENABLED:
+        records = [
+            SpanRecord.from_dict(item)
+            for item in payload.get("spans", ())  # type: ignore[union-attr]
+        ]
+        merged = _TRACER.ingest(records, parent_id=parent_id)
+        metrics = payload.get("metrics")
+        if metrics:
+            _REGISTRY.merge(metrics)  # type: ignore[arg-type]
+    if _EVENTS_ENABLED:
+        events = payload.get("events")
+        if events:
+            _BUS.ingest(events)  # type: ignore[arg-type]
     return merged
 
 

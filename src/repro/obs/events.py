@@ -1,0 +1,362 @@
+"""Structured progress events (the ``repro.obs`` live-telemetry substrate).
+
+Spans and metrics answer "what happened" after a run; the event bus answers
+"what is happening" *during* one.  Producers — the campaign engine, the warm
+worker pool, the recovery ladder, the DECISIVE loop — emit small typed
+events through :func:`repro.obs.emit_event`; consumers attach in four ways:
+
+- a **JSONL sink** (:meth:`EventBus.attach_jsonl`) appends one line per
+  event, flushed immediately, so ``tail -f`` works mid-campaign;
+- **callback subscribers** (:meth:`EventBus.add_callback`) drive the
+  ``--progress`` console renderer in-process;
+- **queue subscribers** (:meth:`EventBus.subscribe`) feed the ``/events``
+  SSE endpoint, with bounded-buffer replay via ``?since=SEQ``;
+- **worker draining** (:meth:`EventBus.drain_dicts` /
+  :meth:`EventBus.ingest`) ships events out of pool workers on the same
+  per-chunk delta path as spans and metrics, re-sequenced deterministically
+  on the parent (chunk-submission order), preserving origin pid/timestamp.
+
+The event taxonomy (see ``docs/observability.md`` for the payload schema):
+``campaign_started``, ``chunk_completed``, ``job_retried``,
+``pool_worker_lost``, ``pool_acquired``, ``worker_heartbeat``,
+``checkpoint_written``, ``campaign_finished``, ``iteration_finished``.
+
+Everything here is dependency-free and lock-protected; with events disabled
+(the default) producers pay a single module-flag check in
+:func:`repro.obs.emit_event` and never reach this module.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import queue
+import sys
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Mapping, Optional, Union
+
+__all__ = ["Event", "EventBus", "ConsoleProgress", "DEFAULT_BUFFER"]
+
+#: Replay-buffer depth: enough for the whole event stream of any test-sized
+#: campaign, bounded so week-long service runs cannot grow without limit.
+DEFAULT_BUFFER = 1024
+
+
+@dataclass
+class Event:
+    """One typed progress event."""
+
+    seq: int
+    type: str
+    ts: float  # wall clock (time.time) at emit, for humans and ETAs
+    pid: int
+    payload: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "seq": self.seq,
+            "type": self.type,
+            "ts": self.ts,
+            "pid": self.pid,
+            "payload": dict(self.payload),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "Event":
+        return cls(
+            seq=int(data.get("seq", 0)),
+            type=str(data["type"]),
+            ts=float(data.get("ts", 0.0)),
+            pid=int(data.get("pid", 0)),
+            payload=dict(data.get("payload", {})),  # type: ignore[arg-type]
+        )
+
+
+class EventBus:
+    """Thread-safe fan-out of :class:`Event` objects with bounded replay.
+
+    A single bus instance lives per process (module singleton in
+    ``repro.obs``); pool workers emit into their own process-local bus and
+    the parent re-sequences their drained events with :meth:`ingest`.
+    """
+
+    def __init__(self, buffer: int = DEFAULT_BUFFER) -> None:
+        self._lock = threading.Lock()
+        self._seq = 0
+        self._buffer: "deque[Event]" = deque(maxlen=buffer)
+        self._queues: List["queue.Queue[Event]"] = []
+        self._callbacks: List[Callable[[Event], None]] = []
+        self._sink = None
+        self._sink_path: Optional[Path] = None
+        self._status: Dict[str, object] = {}
+
+    # -- producing ---------------------------------------------------------
+
+    def emit(self, type_: str, payload: Optional[Mapping[str, object]] = None) -> Event:
+        """Publish one event (allocating the next sequence number)."""
+        return self._publish(type_, time.time(), os.getpid(), dict(payload or {}))
+
+    def _publish(
+        self, type_: str, ts: float, pid: int, payload: Dict[str, object]
+    ) -> Event:
+        with self._lock:
+            self._seq += 1
+            event = Event(seq=self._seq, type=type_, ts=ts, pid=pid, payload=payload)
+            self._buffer.append(event)
+            self._track_status(event)
+            if self._sink is not None:
+                try:
+                    self._sink.write(json.dumps(event.to_dict(), sort_keys=True) + "\n")
+                    self._sink.flush()
+                except (OSError, ValueError):
+                    self._sink = None  # dead sink: stop writing, keep emitting
+            queues = list(self._queues)
+            callbacks = list(self._callbacks)
+        for q in queues:
+            q.put(event)
+        # Callbacks run outside the lock: a slow console renderer must not
+        # serialize producers, and a callback that emits would deadlock.
+        for callback in callbacks:
+            try:
+                callback(event)
+            except Exception:  # noqa: BLE001 — rendering must never kill a run
+                pass
+        return event
+
+    def _track_status(self, event: Event) -> None:
+        """Maintain the `/healthz` campaign summary (caller holds the lock)."""
+        self._status["last_seq"] = event.seq
+        self._status["last_type"] = event.type
+        self._status["last_ts"] = event.ts
+        p = event.payload
+        if event.type == "campaign_started":
+            self._status["campaign"] = {
+                "active": True,
+                "system": p.get("system"),
+                "jobs_total": p.get("jobs"),
+                "jobs_done": p.get("resumed", 0),
+                "eta_seconds": None,
+            }
+        elif event.type == "chunk_completed":
+            campaign = self._status.setdefault("campaign", {"active": True})
+            campaign["jobs_done"] = p.get("done")  # type: ignore[index]
+            campaign["jobs_total"] = p.get("total")  # type: ignore[index]
+            campaign["eta_seconds"] = p.get("eta_seconds")  # type: ignore[index]
+        elif event.type == "campaign_finished":
+            campaign = self._status.setdefault("campaign", {})
+            campaign["active"] = False  # type: ignore[index]
+            campaign["eta_seconds"] = 0.0  # type: ignore[index]
+
+    # -- consuming ---------------------------------------------------------
+
+    def subscribe(self, since: int = 0) -> "queue.Queue[Event]":
+        """A queue receiving every future event, pre-loaded with the
+        buffered events whose ``seq`` is greater than ``since``."""
+        q: "queue.Queue[Event]" = queue.Queue()
+        with self._lock:
+            for event in self._buffer:
+                if event.seq > since:
+                    q.put(event)
+            self._queues.append(q)
+        return q
+
+    def unsubscribe(self, q: "queue.Queue[Event]") -> None:
+        with self._lock:
+            if q in self._queues:
+                self._queues.remove(q)
+
+    def add_callback(self, callback: Callable[[Event], None]) -> None:
+        with self._lock:
+            self._callbacks.append(callback)
+
+    def remove_callback(self, callback: Callable[[Event], None]) -> None:
+        with self._lock:
+            if callback in self._callbacks:
+                self._callbacks.remove(callback)
+
+    def attach_jsonl(self, path: Union[str, Path]) -> Path:
+        """Append every event (including the buffered backlog) to ``path``
+        as JSON lines, flushed per event."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        handle = open(path, "a", encoding="utf-8")
+        with self._lock:
+            if self._sink is not None:
+                try:
+                    self._sink.close()
+                except OSError:
+                    pass
+            for event in self._buffer:
+                handle.write(json.dumps(event.to_dict(), sort_keys=True) + "\n")
+            handle.flush()
+            self._sink = handle
+            self._sink_path = path
+        return path
+
+    def detach_jsonl(self) -> Optional[Path]:
+        with self._lock:
+            path, self._sink_path = self._sink_path, None
+            sink, self._sink = self._sink, None
+        if sink is not None:
+            try:
+                sink.close()
+            except OSError:
+                pass
+        return path
+
+    # -- worker shipping ---------------------------------------------------
+
+    def drain_dicts(self) -> List[Dict[str, object]]:
+        """Worker side: pop buffered events as picklable dicts.
+
+        Like :func:`repro.obs.drain_worker_data`, draining clears the
+        buffer — a warm-pool worker hands each chunk's events to the parent
+        exactly once, never its cumulative history."""
+        with self._lock:
+            events = [event.to_dict() for event in self._buffer]
+            self._buffer.clear()
+        return events
+
+    def ingest(self, events: List[Mapping[str, object]]) -> List[Event]:
+        """Parent side: re-publish drained worker events in order.
+
+        Sequence numbers are reallocated on this bus (worker-local seqs are
+        meaningless across processes); origin ``ts`` and ``pid`` are kept,
+        so heartbeats still identify which worker they came from."""
+        merged: List[Event] = []
+        for data in events:
+            try:
+                event = Event.from_dict(data)
+            except (KeyError, TypeError, ValueError):
+                continue
+            merged.append(
+                self._publish(event.type, event.ts, event.pid, dict(event.payload))
+            )
+        return merged
+
+    # -- inspection / lifecycle -------------------------------------------
+
+    def events(self, since: int = 0) -> List[Event]:
+        """Buffered events with ``seq`` greater than ``since`` (replay)."""
+        with self._lock:
+            return [event for event in self._buffer if event.seq > since]
+
+    def last_seq(self) -> int:
+        with self._lock:
+            return self._seq
+
+    def status(self) -> Dict[str, object]:
+        """A summary for `/healthz`: last event + campaign progress."""
+        with self._lock:
+            out = dict(self._status)
+            campaign = out.get("campaign")
+            if isinstance(campaign, dict):
+                out["campaign"] = dict(campaign)
+            return out
+
+    def clear(self) -> None:
+        """Drop buffered events, status and the sequence counter.
+
+        Subscribers, callbacks and an attached sink survive — ``clear`` is
+        the per-run reset (`obs.reset`), not a teardown."""
+        with self._lock:
+            self._buffer.clear()
+            self._seq = 0
+            self._status = {}
+
+
+class ConsoleProgress:
+    """An :class:`EventBus` callback rendering progress lines to a stream.
+
+    ``chunk_completed`` lines are throttled (default two per second) except
+    for the final one; heartbeats are skipped entirely.  Attach with
+    ``bus.add_callback(ConsoleProgress())``; the CLI wires this behind
+    ``--progress``.
+    """
+
+    #: Event types rendered; anything else (heartbeats, pool chatter) is
+    #: visible in the JSONL stream / SSE feed but too noisy for a console.
+    RENDERED = (
+        "campaign_started",
+        "chunk_completed",
+        "job_retried",
+        "pool_worker_lost",
+        "checkpoint_written",
+        "campaign_finished",
+        "iteration_finished",
+    )
+
+    def __init__(self, stream=None, min_interval: float = 0.5) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self.min_interval = min_interval
+        self._last_progress = 0.0
+
+    def __call__(self, event: Event) -> None:
+        if event.type not in self.RENDERED:
+            return
+        p = event.payload
+        if event.type == "chunk_completed":
+            done, total = p.get("done"), p.get("total")
+            final = done is not None and done == total
+            now = time.monotonic()
+            if not final and now - self._last_progress < self.min_interval:
+                return
+            self._last_progress = now
+            eta = p.get("eta_seconds")
+            eta_text = f" eta={eta:.1f}s" if isinstance(eta, (int, float)) else ""
+            self._write(f"progress {done}/{total}{eta_text}")
+        elif event.type == "campaign_started":
+            self._write(
+                "campaign started: system={system} analysis={analysis} "
+                "jobs={jobs} workers={workers} strategy={strategy}".format(
+                    system=p.get("system"), analysis=p.get("analysis"),
+                    jobs=p.get("jobs"), workers=p.get("workers"),
+                    strategy=p.get("strategy"),
+                )
+            )
+        elif event.type == "campaign_finished":
+            self._write(
+                "campaign finished: jobs={jobs} rows={rows} "
+                "wall={wall:.2f}s".format(
+                    jobs=p.get("jobs"), rows=p.get("rows"),
+                    wall=float(p.get("wall_seconds") or 0.0),
+                )
+            )
+        elif event.type == "iteration_finished":
+            self._write(
+                "iteration {index}: spfm={spfm} asil={asil} met_target={met}".format(
+                    index=p.get("index"), spfm=p.get("spfm"),
+                    asil=p.get("asil"), met=p.get("met_target"),
+                )
+            )
+        elif event.type == "job_retried":
+            self._write(
+                "retry job={job} attempt={attempt} error={error}".format(
+                    job=p.get("job"), attempt=p.get("attempt"),
+                    error=p.get("error"),
+                )
+            )
+        elif event.type == "pool_worker_lost":
+            self._write(
+                "worker lost: chunk={chunk} jobs={jobs} attempt={attempt}".format(
+                    chunk=p.get("chunk"), jobs=p.get("jobs"),
+                    attempt=p.get("attempt"),
+                )
+            )
+        elif event.type == "checkpoint_written":
+            self._write(
+                "checkpoint: +{written} outcomes -> {path}".format(
+                    written=p.get("written"), path=p.get("path"),
+                )
+            )
+
+    def _write(self, text: str) -> None:
+        try:
+            self.stream.write(f"[same] {text}\n")
+            self.stream.flush()
+        except (OSError, ValueError):
+            pass

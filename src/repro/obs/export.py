@@ -42,11 +42,11 @@ def _metric_events(registry: MetricsRegistry) -> List[Dict[str, object]]:
                  "name": metric.name, "value": metric.value}
             )
         elif isinstance(metric, Histogram):
+            dump = metric.snapshot()  # one lock: counts/sum/count coherent
             events.append(
                 {"type": "metric", "kind": "histogram", "name": metric.name,
-                 "bounds": list(metric.bounds),
-                 "counts": metric.bucket_counts(),
-                 "sum": metric.sum, "count": metric.count}
+                 "bounds": dump["bounds"], "counts": dump["counts"],
+                 "sum": dump["sum"], "count": dump["count"]}
             )
     return events
 
@@ -160,6 +160,10 @@ _METRIC_HELP = {
     "campaign_workers": "Workers actually used by the last campaign.",
     "campaign_requested_workers": "Workers requested for the last campaign.",
     "campaign_job_seconds": "Per-injection execution time, seconds.",
+    "campaign_job_wall_seconds":
+        "Per-job wall time including retries and backoff, seconds.",
+    "campaign_pool_reuses": "Campaigns served by the warm worker pool.",
+    "campaign_pool_reuse": "Whether the last campaign reused the warm pool.",
     "decisive_fmea_reuses": "DECISIVE Step 4a evaluations served from cache.",
 }
 
@@ -190,12 +194,21 @@ def prometheus_text(registry: MetricsRegistry) -> str:
         elif isinstance(metric, Histogram):
             lines.append(f"# HELP {name} {_prom_help(metric.name)}")
             lines.append(f"# TYPE {name} histogram")
-            for bound, cumulative in metric.cumulative():
+            # One atomic snapshot per histogram: buckets, _sum and _count
+            # come from the same instant, so a live scrape racing observe()
+            # still satisfies the +Inf == _count invariant.
+            dump = metric.snapshot()
+            running = 0
+            for bound, count in zip(dump["bounds"], dump["counts"]):
+                running += count
                 lines.append(
-                    f'{name}_bucket{{le="{_prom_value(bound)}"}} {cumulative}'
+                    f'{name}_bucket{{le="{_prom_value(bound)}"}} {running}'
                 )
-            lines.append(f"{name}_sum {repr(metric.sum)}")
-            lines.append(f"{name}_count {metric.count}")
+            lines.append(
+                f'{name}_bucket{{le="+Inf"}} {dump["count"]}'
+            )
+            lines.append(f"{name}_sum {repr(dump['sum'])}")
+            lines.append(f"{name}_count {dump['count']}")
     return "\n".join(lines) + ("\n" if lines else "")
 
 

@@ -333,18 +333,23 @@ class AnalysisLedger:
         return entry
 
     def attach_artifact(
-        self, entry: Union[LedgerEntry, str], path: Union[str, Path]
+        self,
+        entry: Union[LedgerEntry, str],
+        path: Union[str, Path],
+        kind: Optional[str] = None,
     ) -> None:
-        """Link an exported artifact (e.g. a workbook) to an entry."""
+        """Link an exported artifact (e.g. a workbook, an event log or a
+        profile) to an entry; ``kind`` tags what the artifact is."""
         entry_id = entry.entry_id if isinstance(entry, LedgerEntry) else entry
-        self._append_line(
-            {
-                "v": _VERSION,
-                "type": "artifact",
-                "entry": entry_id,
-                "path": str(path),
-            }
-        )
+        record = {
+            "v": _VERSION,
+            "type": "artifact",
+            "entry": entry_id,
+            "path": str(path),
+        }
+        if kind:
+            record["kind"] = kind
+        self._append_line(record)
         if isinstance(entry, LedgerEntry):
             entry.artifacts.append(str(path))
 

@@ -1,0 +1,223 @@
+"""Live telemetry HTTP server: ``/metrics``, ``/healthz``, ``/events``.
+
+A dependency-free, threaded stdlib server that makes a running analysis
+inspectable while it executes — the substrate for the always-on SAME
+service (ROADMAP item 1).  Three endpoints:
+
+- ``GET /metrics`` — the :class:`~repro.obs.metrics.MetricsRegistry`
+  rendered live as Prometheus text exposition (the same bytes
+  ``obs.prometheus_text()`` produces post-run; histogram reads are atomic,
+  so a mid-campaign scrape still satisfies ``parse_prometheus_text``);
+- ``GET /healthz`` — JSON liveness: process uptime, observability flags,
+  solver backend, warm-pool state, and the event bus's campaign summary
+  (jobs done/total + ETA);
+- ``GET /events`` — Server-Sent Events stream of the
+  :class:`~repro.obs.events.EventBus`.  ``?since=SEQ`` replays the bounded
+  buffer from a sequence number (reconnect support); ``?limit=N`` closes
+  the stream after N events (curl/test friendly).  Idle keepalive comments
+  every few seconds hold proxies open.
+
+The server runs daemon-threaded next to the analysis (`--serve HOST:PORT`
+on the CLI, or :func:`repro.obs.serve_live` programmatically); ``port=0``
+binds an ephemeral port, reported by :attr:`LiveTelemetryServer.address`.
+Handlers only *read* shared state — all mutation stays with the analysis
+thread, so serving adds no locking to the hot path.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+__all__ = ["LiveTelemetryServer"]
+
+#: Seconds between SSE keepalive comments while no events arrive.
+_KEEPALIVE_SECONDS = 5.0
+
+
+def _pool_status() -> Dict[str, object]:
+    try:
+        from repro.safety import pool
+        return pool.status()
+    except Exception:  # noqa: BLE001 — health must degrade, not 500
+        return {"warm": False}
+
+
+def _backend_status() -> Dict[str, object]:
+    try:
+        from repro.circuit.backends import BACKENDS, default_backend
+        return {"default": default_backend(), "available": list(BACKENDS)}
+    except Exception:  # noqa: BLE001
+        return {}
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server_version = "same-live/1"
+
+    # The ThreadingHTTPServer instance carries a backref to the telemetry
+    # server object (set in LiveTelemetryServer.start).
+    @property
+    def telemetry(self) -> "LiveTelemetryServer":
+        return self.server.telemetry  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args: object) -> None:  # noqa: A002
+        pass  # scrapes every few seconds must not spam the console
+
+    def do_GET(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler API
+        parsed = urlparse(self.path)
+        try:
+            if parsed.path == "/metrics":
+                self._serve_metrics()
+            elif parsed.path == "/healthz":
+                self._serve_healthz()
+            elif parsed.path == "/events":
+                self._serve_events(parse_qs(parsed.query))
+            else:
+                self._respond(404, "text/plain; charset=utf-8", b"not found\n")
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away mid-response; nothing to clean up
+
+    def _respond(self, status: int, content_type: str, body: bytes) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _serve_metrics(self) -> None:
+        from repro import obs
+        body = obs.prometheus_text().encode("utf-8")
+        self._respond(200, "text/plain; version=0.0.4; charset=utf-8", body)
+
+    def _serve_healthz(self) -> None:
+        from repro import obs
+        telemetry = self.telemetry
+        body = json.dumps(
+            {
+                "status": "ok",
+                "uptime_seconds": round(time.time() - telemetry.started_at, 3),
+                "pid": telemetry.pid,
+                "observability": {
+                    "tracing": obs.enabled(),
+                    "events": obs.events_enabled(),
+                },
+                "solver_backend": _backend_status(),
+                "pool": _pool_status(),
+                "events": obs.event_bus().status(),
+            },
+            sort_keys=True,
+        ).encode("utf-8")
+        self._respond(200, "application/json", body)
+
+    def _serve_events(self, query: Dict[str, list]) -> None:
+        from repro import obs
+
+        def _int_param(name: str, default: int) -> int:
+            try:
+                return int(query.get(name, [default])[0])
+            except (TypeError, ValueError):
+                return default
+
+        since = _int_param("since", 0)
+        limit = _int_param("limit", 0)  # 0 = stream until disconnect/stop
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream")
+        self.send_header("Cache-Control", "no-cache")
+        # SSE is unbounded: no Content-Length, so close delimits the body.
+        self.send_header("Connection", "close")
+        self.end_headers()
+        bus = obs.event_bus()
+        subscription = bus.subscribe(since=since)
+        sent = 0
+        try:
+            while not self.telemetry.stopping:
+                try:
+                    event = subscription.get(timeout=_KEEPALIVE_SECONDS)
+                except Exception:  # queue.Empty
+                    self.wfile.write(b": keepalive\n\n")
+                    self.wfile.flush()
+                    continue
+                data = json.dumps(event.to_dict(), sort_keys=True)
+                frame = f"id: {event.seq}\nevent: {event.type}\ndata: {data}\n\n"
+                self.wfile.write(frame.encode("utf-8"))
+                self.wfile.flush()
+                sent += 1
+                if limit and sent >= limit:
+                    break
+        finally:
+            bus.unsubscribe(subscription)
+
+
+class LiveTelemetryServer:
+    """The threaded live-telemetry endpoint; start/stop or context-manage.
+
+    ::
+
+        server = LiveTelemetryServer("127.0.0.1", 0)
+        server.start()
+        print(server.url)        # http://127.0.0.1:<port>
+        ...
+        server.stop()
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.host = host
+        self.port = port
+        self.started_at = time.time()
+        self.stopping = False
+        import os
+        self.pid = os.getpid()
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """``(host, port)`` actually bound (resolves ``port=0``)."""
+        if self._httpd is None:
+            return (self.host, self.port)
+        return self._httpd.server_address[:2]  # type: ignore[return-value]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "LiveTelemetryServer":
+        if self._httpd is not None:
+            return self
+        self.started_at = time.time()
+        self.stopping = False
+        httpd = ThreadingHTTPServer((self.host, self.port), _Handler)
+        httpd.daemon_threads = True
+        httpd.telemetry = self  # type: ignore[attr-defined]
+        self._httpd = httpd
+        self._thread = threading.Thread(
+            target=httpd.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            name="same-live-telemetry",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self.stopping = True
+        httpd, self._httpd = self._httpd, None
+        thread, self._thread = self._thread, None
+        if httpd is not None:
+            httpd.shutdown()
+            httpd.server_close()
+        if thread is not None:
+            thread.join(timeout=2.0)
+
+    def __enter__(self) -> "LiveTelemetryServer":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> bool:
+        self.stop()
+        return False

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import bisect
 import threading
+import time
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 #: Default histogram buckets for durations in seconds (solver and campaign
@@ -54,26 +55,54 @@ class Counter:
 
 
 class Gauge:
-    """A value that can go up and down (last write wins)."""
+    """A value that can go up and down (last write wins).
 
-    __slots__ = ("name", "_lock", "_value")
+    Every write stamps a wall-clock ``updated_ns``; :meth:`restore` applies
+    a (value, stamp) pair only when the stamp is not older than the current
+    one.  That makes cross-process merges genuinely *last-write*-wins: a
+    warm-pool worker re-shipping a stale snapshot after the parent already
+    recorded a newer value cannot clobber it (and, unlike summing, re-merge
+    of the same snapshot is idempotent)."""
+
+    __slots__ = ("name", "_lock", "_value", "_updated_ns")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self._lock = threading.Lock()
         self._value = 0.0
+        self._updated_ns = 0
 
     @property
     def value(self) -> float:
         return self._value
 
+    @property
+    def updated_ns(self) -> int:
+        """Wall-clock ``time_ns`` of the last write (0: never written)."""
+        return self._updated_ns
+
     def set(self, value: Union[int, float]) -> None:
         with self._lock:
             self._value = float(value)
+            self._updated_ns = time.time_ns()
 
     def inc(self, amount: Union[int, float] = 1) -> None:
         with self._lock:
             self._value += amount
+            self._updated_ns = time.time_ns()
+
+    def restore(self, value: Union[int, float], updated_ns: Optional[int]) -> None:
+        """Merge-side write: apply ``value`` unless our stamp is newer.
+
+        ``updated_ns=None`` (a snapshot predating stamps) applies
+        unconditionally, stamped now — the old merge behaviour."""
+        if updated_ns is None:
+            self.set(value)
+            return
+        with self._lock:
+            if int(updated_ns) >= self._updated_ns:
+                self._value = float(value)
+                self._updated_ns = int(updated_ns)
 
 
 class Histogram:
@@ -116,6 +145,19 @@ class Histogram:
         """Per-bucket (non-cumulative) counts; last entry is ``+Inf``."""
         with self._lock:
             return list(self._counts)
+
+    def snapshot(self) -> Dict[str, object]:
+        """Bounds, per-bucket counts, sum and count — read under ONE lock
+        acquisition, so a concurrent :meth:`observe` can never produce a
+        snapshot whose ``+Inf`` cumulative count disagrees with ``count``
+        (the invariant a live ``/metrics`` scrape is validated against)."""
+        with self._lock:
+            return {
+                "bounds": list(self.bounds),
+                "counts": list(self._counts),
+                "sum": self._sum,
+                "count": self._count,
+            }
 
     def cumulative(self) -> List[Tuple[float, int]]:
         """Prometheus-style ``(le, cumulative_count)`` pairs, +Inf last."""
@@ -187,13 +229,18 @@ class MetricsRegistry:
             if isinstance(metric, Counter):
                 out[metric.name] = {"type": "counter", "value": metric.value}
             elif isinstance(metric, Gauge):
-                out[metric.name] = {"type": "gauge", "value": metric.value}
+                out[metric.name] = {
+                    "type": "gauge",
+                    "value": metric.value,
+                    "updated_ns": metric.updated_ns,
+                }
             else:
+                dump = metric.snapshot()
                 out[metric.name] = {
                     "type": "histogram",
-                    "bounds": list(metric.bounds),
-                    "counts": metric.bucket_counts(),
-                    "sum": metric.sum,
+                    "bounds": dump["bounds"],
+                    "counts": dump["counts"],
+                    "sum": dump["sum"],
                 }
         return out
 
@@ -204,7 +251,10 @@ class MetricsRegistry:
             if kind == "counter":
                 self.counter(name).inc(payload["value"])  # type: ignore[arg-type]
             elif kind == "gauge":
-                self.gauge(name).set(payload["value"])  # type: ignore[arg-type]
+                self.gauge(name).restore(
+                    payload["value"],  # type: ignore[arg-type]
+                    payload.get("updated_ns"),  # type: ignore[arg-type]
+                )
             elif kind == "histogram":
                 histogram = self.histogram(name, payload["bounds"])  # type: ignore[arg-type]
                 if list(histogram.bounds) != [

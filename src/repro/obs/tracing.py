@@ -25,7 +25,7 @@ import os
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 
 @dataclass
@@ -119,8 +119,8 @@ class Span:
     def __enter__(self) -> "Span":
         record = self.record
         stack = self._tracer._stack()
-        record.parent_id = stack[-1] if stack else None
-        stack.append(record.span_id)
+        record.parent_id = stack[-1][0] if stack else None
+        stack.append((record.span_id, record.name))
         record.epoch_ns = time.time_ns()
         record.start_ns = time.perf_counter_ns()
         return self
@@ -147,8 +147,11 @@ class Tracer:
         self._local = threading.local()
 
     # -- the thread-local active-span stack -------------------------------
+    # Entries are ``(span_id, name)`` tuples: the id drives parenting and
+    # the ledger's trace_span linkage; the name lets the sampling profiler
+    # label stacks without a lock or a record lookup from a signal handler.
 
-    def _stack(self) -> List[int]:
+    def _stack(self) -> List[Tuple[int, str]]:
         stack = getattr(self._local, "stack", None)
         if stack is None:
             stack = []
@@ -166,19 +169,26 @@ class Tracer:
 
     def current_span_id(self) -> Optional[int]:
         stack = self._stack()
-        return stack[-1] if stack else None
+        return stack[-1][0] if stack else None
 
-    def _push(self, span_id: int) -> None:
-        self._stack().append(span_id)
+    def current_span_name(self) -> Optional[str]:
+        stack = self._stack()
+        return stack[-1][1] if stack else None
+
+    def _push(self, span_id: int, name: str = "") -> None:
+        self._stack().append((span_id, name))
 
     def _pop(self, span_id: int) -> None:
         stack = self._stack()
         # Tolerate exotic exits (generators suspended across spans): pop the
         # id wherever it is, rather than corrupting the stack.
-        if stack and stack[-1] == span_id:
+        if stack and stack[-1][0] == span_id:
             stack.pop()
-        elif span_id in stack:
-            stack.remove(span_id)
+        else:
+            for index in range(len(stack) - 1, -1, -1):
+                if stack[index][0] == span_id:
+                    del stack[index]
+                    break
 
     # -- span lifecycle ---------------------------------------------------
 

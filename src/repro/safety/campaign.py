@@ -134,6 +134,11 @@ class CampaignStats:
     timeouts: int = 0  # jobs killed by the per-job wall-clock budget
     job_failures: int = 0  # jobs that ended as structured JobFailure rows
     resumed_jobs: int = 0  # jobs skipped because a checkpoint had them
+    # Per-job wall-time distribution (all attempts + backoff, seconds);
+    # 0.0 when no job executed this run (e.g. fully resumed).
+    job_wall_p50: float = 0.0
+    job_wall_p95: float = 0.0
+    job_wall_p99: float = 0.0
 
     #: Counter fields published to the ``repro.obs`` metrics registry.
     _COUNTER_FIELDS = (
@@ -185,6 +190,20 @@ class CampaignStats:
 #: failure, meaningful safety evidence — or ('failed', JobFailure dict) —
 #: a harness-level failure recorded instead of aborting the campaign.
 _Outcome = Tuple[str, object]
+
+
+def _percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Linear-interpolated quantile ``q`` of an ascending sequence."""
+    if not sorted_values:
+        return 0.0
+    position = q * (len(sorted_values) - 1)
+    lower = int(position)
+    upper = min(lower + 1, len(sorted_values) - 1)
+    fraction = position - lower
+    return (
+        sorted_values[lower] * (1.0 - fraction)
+        + sorted_values[upper] * fraction
+    )
 
 
 def _readings_from_solution(
@@ -279,7 +298,7 @@ def _run_job_isolated(
     dt: float,
     policy: RetryPolicy,
     timeout: Optional[float],
-) -> Tuple[_Outcome, int, int]:
+) -> Tuple[_Outcome, int, int, float]:
     """Run one job under the fault-tolerance contract.
 
     Never raises: circuit-level failures stay ``('error', …)`` outcomes
@@ -287,9 +306,33 @@ def _run_job_isolated(
     with exponential backoff up to ``policy.max_retries``, runaway solves
     are cut off after ``timeout`` seconds, and anything else becomes a
     ``('failed', JobFailure dict)`` outcome.  Returns ``(outcome,
-    retries_used, timeouts)`` so the caller can aggregate counters across
-    process boundaries.
+    retries_used, timeouts, wall_seconds)`` so the caller can aggregate
+    counters — and the end-to-end per-job wall time (all attempts plus
+    backoff sleeps, feeding ``campaign_job_wall_seconds`` and the
+    ``--stats`` percentiles; ``campaign_job_seconds`` stays the
+    per-*attempt* execution time) — across process boundaries.
     """
+    started = time.perf_counter()
+    outcome, retries, timeouts = _attempt_job(
+        conversion, compiled, job, analysis, t_stop, dt, policy, timeout
+    )
+    wall = time.perf_counter() - started
+    if obs.enabled():
+        obs.histogram("campaign_job_wall_seconds").observe(wall)
+    return outcome, retries, timeouts, wall
+
+
+def _attempt_job(
+    conversion: ElectricalConversion,
+    compiled: Optional[CompiledSystem],
+    job: InjectionJob,
+    analysis: str,
+    t_stop: float,
+    dt: float,
+    policy: RetryPolicy,
+    timeout: Optional[float],
+) -> Tuple[_Outcome, int, int]:
+    """The retry loop behind :func:`_run_job_isolated`."""
     attempt = 0
     while True:
         try:
@@ -312,6 +355,10 @@ def _run_job_isolated(
                     job, exc, retries=attempt - 1
                 )
                 return ("failed", failure.to_dict()), attempt - 1, 0
+            obs.emit_event(
+                "job_retried", job=job.index, component=job.component,
+                attempt=attempt, error=type(exc).__name__,
+            )
             with obs.span(
                 "campaign.retry", job=job.index, attempt=attempt,
                 error=type(exc).__name__,
@@ -357,11 +404,17 @@ def _campaign_worker_init(
     policy: RetryPolicy = RetryPolicy(),
     job_timeout: Optional[float] = None,
     solver_backend: Optional[str] = None,
+    events_enabled: bool = False,
 ) -> None:
     if trace_enabled:
         # Trace in the worker too; start from a clean slate (a fork start
         # method copies the parent's already-recorded spans).
         obs.enable()
+    if events_enabled:
+        # The event plane switches independently of tracing (a --progress
+        # run without --trace still needs worker heartbeats).
+        obs.enable_events()
+    if trace_enabled or events_enabled:
         obs.reset()
     if solver_backend is not None:
         # Campaign-wide backend: the naive/transient paths solve through
@@ -397,14 +450,22 @@ def _campaign_worker_chunk(
     policy: RetryPolicy = _WORKER_STATE.get("policy", RetryPolicy())
     job_timeout: Optional[float] = _WORKER_STATE.get("job_timeout")
     results: List[Tuple[int, _Outcome]] = []
-    extras = {"retries": 0, "timeouts": 0}
+    job_wall_times: List[float] = []
+    extras: Dict[str, object] = {
+        "retries": 0, "timeouts": 0, "job_wall_times": job_wall_times,
+    }
+    # One heartbeat per chunk: the event's pid identifies this worker, so
+    # the parent (and /events subscribers) can see which warm-pool workers
+    # are actually serving — it rides home in the drained payload below.
+    obs.emit_event("worker_heartbeat", chunk_jobs=len(chunk))
     for job in chunk:
-        outcome, retries, timeouts = _run_job_isolated(
+        outcome, retries, timeouts, wall = _run_job_isolated(
             conversion, compiled, job, analysis, t_stop, dt,
             policy, job_timeout,
         )
-        extras["retries"] += retries
-        extras["timeouts"] += timeouts
+        extras["retries"] += retries  # type: ignore[operator]
+        extras["timeouts"] += timeouts  # type: ignore[operator]
+        job_wall_times.append(wall)
         results.append((job.index, outcome))
     # Report this chunk's *delta*, not the worker's cumulative counters: a
     # worker serving several chunks would otherwise double-count earlier
@@ -557,6 +618,42 @@ class FaultInjectionCampaign:
         self._pool_reused = False
         self._fingerprint: Optional[str] = None
         self._shared_compiled: Optional[CompiledSystem] = None
+        self._job_wall_times: List[float] = []
+        self._progress_total = 0
+        self._progress_done = 0
+        self._progress_resumed = 0
+        self._progress_t0 = 0.0
+
+    # -- progress events ---------------------------------------------------
+
+    def _emit_progress(self, newly_done: int, chunk: Optional[str] = None) -> None:
+        """One ``chunk_completed`` event advancing the done counter.
+
+        The ETA extrapolates the measured per-job wall time of the jobs
+        *executed this run* (resumed jobs were free, so they are excluded
+        from the rate) over the jobs still pending.  No-op (one flag
+        check) while the event plane is disabled."""
+        if not obs.events_enabled():
+            return
+        self._progress_done += newly_done
+        executed = self._progress_done - self._progress_resumed
+        remaining = self._progress_total - self._progress_done
+        eta: Optional[float]
+        if remaining <= 0:
+            eta = 0.0
+        elif executed > 0:
+            elapsed = time.perf_counter() - self._progress_t0
+            eta = elapsed / executed * remaining
+        else:
+            eta = None  # nothing executed yet: no rate to extrapolate
+        payload: Dict[str, object] = {
+            "done": self._progress_done,
+            "total": self._progress_total,
+            "eta_seconds": eta,
+        }
+        if chunk is not None:
+            payload["chunk"] = chunk
+        obs.emit_event("chunk_completed", **payload)
 
     # -- enumeration ------------------------------------------------------
 
@@ -642,18 +739,25 @@ class FaultInjectionCampaign:
                 conversion.netlist, backend=self.solver_backend
             )
         outcomes: Dict[int, _Outcome] = {}
+        emitted_at = 0
         for position, job in enumerate(jobs, start=1):
-            outcome, retries, timeouts = _run_job_isolated(
+            outcome, retries, timeouts, wall = _run_job_isolated(
                 conversion, compiled, job, self.analysis,
                 self.t_stop, self.dt, self.retry_policy, self.job_timeout,
             )
             stats.retries += retries
             stats.timeouts += timeouts
+            self._job_wall_times.append(wall)
             outcomes[job.index] = outcome
             if checkpoint is not None:
                 checkpoint.record(job, outcome)
                 if position % _CHECKPOINT_EVERY == 0:
                     checkpoint.flush()
+            if position % _CHECKPOINT_EVERY == 0 or position == len(jobs):
+                # Serial progress ticks at checkpoint granularity — cheap
+                # enough to stay in the loop, frequent enough for an ETA.
+                self._emit_progress(position - emitted_at)
+                emitted_at = position
         if compiled is not None:
             stats.absorb(compiled.stats)
         return outcomes
@@ -686,6 +790,7 @@ class FaultInjectionCampaign:
             max_workers,
             self.incremental,
             obs.enabled(),
+            obs.events_enabled(),
             self.retry_policy,
             self.job_timeout,
             self.solver_backend,
@@ -704,6 +809,7 @@ class FaultInjectionCampaign:
                 self.retry_policy,
                 self.job_timeout,
                 self.solver_backend,
+                obs.events_enabled(),
             ),
         )
         if reused:
@@ -796,7 +902,13 @@ class FaultInjectionCampaign:
                     stats.absorb(solve_stats)
                     stats.retries += extras.get("retries", 0)
                     stats.timeouts += extras.get("timeouts", 0)
+                    self._job_wall_times.extend(
+                        extras.get("job_wall_times", ())
+                    )
                     obs.ingest_worker_data(payload, parent_id=parent_span)
+                    self._emit_progress(
+                        len(results), chunk=".".join(map(str, task.order))
+                    )
                     if checkpoint is not None:
                         by_index = {job.index: job for job in task.jobs}
                         for index, outcome in results:
@@ -838,6 +950,12 @@ class FaultInjectionCampaign:
         requeued: List[_ChunkTask] = []
         for task in lost:
             attempt = task.attempt + 1
+            obs.emit_event(
+                "pool_worker_lost",
+                chunk=".".join(map(str, task.order)),
+                jobs=len(task.jobs),
+                attempt=attempt,
+            )
             if attempt <= self.retry_policy.max_retries:
                 stats.retries += 1
                 with obs.span(
@@ -1100,11 +1218,35 @@ class FaultInjectionCampaign:
             )
             stats.workers = self.workers
             campaign_span.set(workers=self.workers)
+            self._job_wall_times = []
+            self._progress_total = stats.jobs
+            self._progress_done = len(preloaded)
+            self._progress_resumed = len(preloaded)
+            self._progress_t0 = time.perf_counter()
+            obs.emit_event(
+                "campaign_started",
+                system=self.model.name,
+                analysis=self.analysis,
+                jobs=stats.jobs,
+                rows=stats.rows,
+                workers=self.workers,
+                strategy=self.strategy,
+                mode=stats.mode,
+                resumed=len(preloaded),
+            )
             with obs.span(
                 "campaign.execute", jobs=len(pending), resumed=len(preloaded)
             ):
                 outcomes = self._execute(conversion, pending, stats, checkpoint)
             outcomes.update(preloaded)
+            if self._progress_done < self._progress_total:
+                # Jobs that never produced a chunk_completed tick (e.g.
+                # bisected-out worker_lost failures written straight into
+                # `completed`): one closing event keeps the sequence's
+                # final done count equal to stats.jobs.
+                self._emit_progress(
+                    self._progress_total - self._progress_done
+                )
             if checkpoint is not None:
                 # Sweep anything the per-chunk/periodic flushes missed
                 # (e.g. outcomes produced by the serial fallback tail).
@@ -1146,6 +1288,11 @@ class FaultInjectionCampaign:
                     "FMEA produced no rows: no component matched the "
                     "reliability model"
                 )
+            if self._job_wall_times:
+                walls = sorted(self._job_wall_times)
+                stats.job_wall_p50 = _percentile(walls, 0.50)
+                stats.job_wall_p95 = _percentile(walls, 0.95)
+                stats.job_wall_p99 = _percentile(walls, 0.99)
             stats.wall_time = time.perf_counter() - started
             campaign_span.set(
                 jobs=stats.jobs,
@@ -1157,6 +1304,17 @@ class FaultInjectionCampaign:
             )
         result.stats = stats
         stats.publish()
+        obs.emit_event(
+            "campaign_finished",
+            system=self.model.name,
+            jobs=stats.jobs,
+            rows=stats.rows,
+            wall_seconds=stats.wall_time,
+            retries=stats.retries,
+            job_failures=stats.job_failures,
+            pool_reused=stats.pool_reused,
+            parallel_fallback=stats.parallel_fallback,
+        )
         return result
 
     def _open_checkpoint(

@@ -26,11 +26,11 @@ Reuse is visible as the ``campaign_pool_reuses`` counter / the
 from __future__ import annotations
 
 import atexit
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro import obs
 
-__all__ = ["acquire", "release", "discard", "shutdown_all"]
+__all__ = ["acquire", "release", "discard", "shutdown_all", "status"]
 
 #: The single cached warm pool: ``(token, executor)`` or ``None``.
 _CACHED: Optional[Tuple[object, object]] = None
@@ -65,6 +65,7 @@ def acquire(token, max_workers: int, initializer, initargs):
         if cached_token == token and not _broken(executor):
             if obs.enabled():
                 obs.counter("campaign_pool_reuses").inc()
+            obs.emit_event("pool_acquired", reused=True, workers=max_workers)
             return executor, True
         _CACHED = None
         _shutdown(executor)
@@ -74,6 +75,7 @@ def acquire(token, max_workers: int, initializer, initargs):
         initargs=initargs,
     )
     _CACHED = (token, executor)
+    obs.emit_event("pool_acquired", reused=False, workers=max_workers)
     return executor, False
 
 
@@ -92,6 +94,19 @@ def discard(executor) -> None:
     if _CACHED is not None and _CACHED[1] is executor:
         _CACHED = None
     _shutdown(executor)
+
+
+def status() -> Dict[str, object]:
+    """Warm-pool liveness for the `/healthz` endpoint (read-only)."""
+    cached = _CACHED
+    if cached is None:
+        return {"warm": False}
+    _, executor = cached
+    return {
+        "warm": True,
+        "broken": _broken(executor),
+        "max_workers": getattr(executor, "_max_workers", None),
+    }
 
 
 def shutdown_all() -> None:

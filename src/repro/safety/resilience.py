@@ -36,6 +36,8 @@ from typing import Dict, Iterator, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
+from repro import obs
+
 #: Exception types worth retrying: they can be caused by transient
 #: numerical state (warm-start residue in a shared compiled system) or by
 #: infrastructure, not by the injected fault itself.
@@ -330,4 +332,10 @@ class CampaignCheckpoint:
             ) from exc
         written = len(self._pending)
         self._pending = []
+        obs.emit_event(
+            "checkpoint_written",
+            path=str(self.path),
+            written=written,
+            recorded=len(self._seen),
+        )
         return written

@@ -243,6 +243,44 @@ def test_registry_snapshot_merge_adds_counters_and_histograms():
         mismatched.merge(snap)
 
 
+def test_gauge_merge_is_last_write_wins_not_summing():
+    """Re-merging the same worker snapshot must be idempotent for gauges
+    (they are instantaneous readings, not cumulative counters)."""
+    worker = MetricsRegistry()
+    worker.gauge("campaign_workers").set(4)
+    snap = worker.snapshot()
+
+    parent = MetricsRegistry()
+    parent.merge(snap)
+    parent.merge(snap)
+    assert parent.gauge("campaign_workers").value == 4
+
+
+def test_gauge_merge_keeps_newer_local_write_over_stale_snapshot():
+    """A snapshot drained *before* the parent's own write must not clobber
+    the newer value when it is merged late (out-of-order worker delta)."""
+    worker = MetricsRegistry()
+    worker.gauge("campaign_pool_reuse").set(0)
+    stale = worker.snapshot()  # drained first ...
+
+    parent = MetricsRegistry()
+    parent.gauge("campaign_pool_reuse").set(1)  # ... written after
+    parent.merge(stale)
+    assert parent.gauge("campaign_pool_reuse").value == 1
+
+    # A genuinely newer snapshot still wins over the older local write.
+    worker.gauge("campaign_pool_reuse").set(0)
+    parent.merge(worker.snapshot())
+    assert parent.gauge("campaign_pool_reuse").value == 0
+
+
+def test_gauge_restore_without_timestamp_applies_unconditionally():
+    gauge = MetricsRegistry().gauge("legacy")
+    gauge.set(7)
+    gauge.restore(3, None)  # pre-timestamp snapshot format
+    assert gauge.value == 3
+
+
 # -- exporters ---------------------------------------------------------------
 
 
