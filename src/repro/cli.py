@@ -8,6 +8,7 @@ Subcommands::
     same validate  --ssam m.ssam.json
     same demo      [--out DIR]      # the paper's power-supply case study
     same monitor   --ssam m.ssam.json --out monitor.py
+    same serve-analysis --ledger ledger.jsonl [--bind HOST:PORT]
 
 Observatory verbs over the analysis ledger (``--ledger ledger.jsonl`` on
 any analysis command records provenance entries)::
@@ -505,6 +506,47 @@ def _cmd_watch_regressions(args: argparse.Namespace) -> int:
     return 1 if regressions else 0
 
 
+def _cmd_serve_analysis(args: argparse.Namespace) -> int:
+    import time
+
+    from repro import obs
+    from repro.obs.ledger import AnalysisLedger
+    from repro.service import AnalysisService, AnalysisServiceServer
+
+    # The service plane wants both metrics (/metrics has live content) and
+    # the event bus (/events streams job lifecycle, /healthz aggregates it).
+    if not obs.enabled():
+        obs.enable()
+    if not obs.events_enabled():
+        obs.enable_events()
+
+    host, port = _parse_serve(args.bind)
+    ledger = AnalysisLedger(args.ledger)
+    service = AnalysisService(
+        ledger,
+        workers=args.service_workers,
+        checkpoint_dir=args.checkpoint_dir,
+    )
+    server = AnalysisServiceServer(service, host, port).start()
+    print(
+        f"analysis service at {server.url}  "
+        f"(POST /jobs; GET /jobs /jobs/<id> /metrics /healthz /events)",
+        flush=True,
+    )
+    deadline = (
+        time.monotonic() + args.max_seconds if args.max_seconds else None
+    )
+    try:
+        while deadline is None or time.monotonic() < deadline:
+            time.sleep(0.2)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+    print("analysis service stopped", flush=True)
+    return 0
+
+
 def _cmd_render(args: argparse.Namespace) -> int:
     from repro.same import (
         render_architecture,
@@ -806,6 +848,39 @@ def build_parser() -> argparse.ArgumentParser:
     monitor.add_argument("--out", required=True)
     monitor.add_argument("--debounce", type=int, default=1)
     monitor.set_defaults(func=_cmd_monitor)
+
+    serve = sub.add_parser(
+        "serve-analysis",
+        help="run the always-on analysis service (async jobs + result cache)",
+    )
+    serve.add_argument(
+        "--bind",
+        default="127.0.0.1:0",
+        help="HOST:PORT to listen on (port 0 picks a free port)",
+    )
+    serve.add_argument(
+        "--ledger",
+        required=True,
+        help="analysis ledger JSONL backing the result cache",
+    )
+    serve.add_argument(
+        "--service-workers",
+        type=int,
+        default=2,
+        help="analysis worker threads draining the job queue",
+    )
+    serve.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="directory for per-fingerprint campaign checkpoints",
+    )
+    serve.add_argument(
+        "--max-seconds",
+        type=float,
+        default=0.0,
+        help="stop after this many seconds (0: run until interrupted)",
+    )
+    serve.set_defaults(func=_cmd_serve_analysis)
 
     return parser
 

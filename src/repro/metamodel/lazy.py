@@ -1,0 +1,297 @@
+"""Lazy/partial model loading — resolve elements on reference.
+
+:class:`~repro.metamodel.serialization.ModelResource` deliberately
+reproduces EMF's *load-everything* behaviour: every element of the
+containment tree is materialised before the first query can run, which is
+the Table VI scalability cliff (``Set5 → N/A``) and the reason a long-lived
+analysis service cannot hold many tenant models with the eager resource.
+
+:class:`LazyModelResource` keeps the *same on-disk format* but materialises
+nothing up front.  ``load`` performs one cheap pass over the raw JSON tree
+to index elements by ``uid`` (plain dicts — no :class:`ModelObject` is
+created), then hands back a :class:`LazyElement` facade over the root.
+Elements come into existence only when a reference is traversed:
+
+- attribute reads come straight off the raw record (with metaclass
+  defaults), costing nothing beyond the facade object;
+- containment references yield child :class:`LazyElement` facades, created
+  and counted on first access, memoised after;
+- cross references resolve through the uid index to the target's facade —
+  wherever it lives in the tree, without touching the path down to it.
+
+``loaded_element_count`` / ``total_element_count`` expose the accounting
+(the acceptance surface: a point query on the grid case study must touch a
+small fraction of the model), and ``memory_budget_bytes`` bounds the
+*resident* set rather than the whole model — a model far past the eager
+budget loads fine as long as queries stay narrow.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Union
+
+from repro.metamodel.core import MetaClass, MetamodelError, ModelObject
+from repro.metamodel.registry import PackageRegistry, global_registry
+from repro.metamodel.serialization import (
+    BYTES_PER_ELEMENT,
+    MemoryOverflowError,
+    ModelResource,
+)
+
+__all__ = ["LazyElement", "LazyModelResource"]
+
+
+class LazyElement:
+    """A façade over one raw (not yet materialised) model element.
+
+    Mirrors the read surface of :class:`ModelObject` — ``get``, attribute
+    sugar, ``contents`` / ``all_contents``, ``uid``, ``metaclass``,
+    ``is_kind_of`` — but holds only the raw JSON record plus memoised child
+    facades.  Writes are not supported: lazy resources serve *analysis*
+    reads; mutate via a materialised :class:`ModelObject` tree instead.
+    """
+
+    __slots__ = ("_resource", "_raw", "_metaclass", "_children")
+
+    def __init__(
+        self,
+        resource: "LazyModelResource",
+        raw: Dict[str, Any],
+        metaclass: MetaClass,
+    ) -> None:
+        self._resource = resource
+        self._raw = raw
+        self._metaclass = metaclass
+        self._children: Dict[str, Any] = {}  # feature -> facade(s), memoised
+
+    # -- metadata ---------------------------------------------------------
+
+    @property
+    def uid(self) -> str:
+        return str(self._raw.get("uid", ""))
+
+    @property
+    def metaclass(self) -> MetaClass:
+        return self._metaclass
+
+    def is_kind_of(self, class_name: str) -> bool:
+        if self._metaclass.name == class_name:
+            return True
+        return any(
+            cls.name == class_name
+            for cls in self._metaclass.all_supertypes()
+        )
+
+    # -- reads ------------------------------------------------------------
+
+    def get(self, feature_name: str) -> Any:
+        """Reflective read; resolves references on demand."""
+        cls = self._metaclass
+        attr = cls.all_attributes().get(feature_name)
+        if attr is not None:
+            attrs = self._raw.get("attributes", {})
+            if feature_name in attrs:
+                return attrs[feature_name]
+            return [] if attr.many else attr.default
+        ref = cls.all_references().get(feature_name)
+        if ref is not None:
+            if feature_name in self._children:
+                return self._children[feature_name]
+            refs = self._raw.get("references", {})
+            value = refs.get(feature_name)
+            resolved = self._resolve_reference(ref, value)
+            self._children[feature_name] = resolved
+            return resolved
+        raise MetamodelError(
+            f"class {cls.name!r} has no feature {feature_name!r}"
+        )
+
+    def _resolve_reference(self, ref, value: Any) -> Any:
+        resource = self._resource
+        if value is None:
+            return [] if ref.many else None
+        if ref.containment:
+            if ref.many:
+                return [resource._element_for(item) for item in value]
+            return resource._element_for(value)
+        if ref.many:
+            return [resource._element_for_uid(item["$ref"]) for item in value]
+        return resource._element_for_uid(value["$ref"])
+
+    def __getattr__(self, name: str) -> Any:
+        if name.startswith("_"):
+            raise AttributeError(name)
+        cls = self._metaclass
+        # Only a genuinely unknown feature becomes AttributeError; errors
+        # from resolving a known feature (e.g. a dangling cross reference)
+        # must surface as MetamodelError, not be swallowed here.
+        if name in cls.all_attributes() or name in cls.all_references():
+            return self.get(name)
+        raise AttributeError(
+            f"{cls.name!r} element has no feature {name!r}"
+        )
+
+    # -- traversal --------------------------------------------------------
+
+    def contents(self) -> List["LazyElement"]:
+        """Directly contained elements (materialising their facades)."""
+        out: List[LazyElement] = []
+        for name, ref in self._metaclass.all_references().items():
+            if not ref.containment:
+                continue
+            value = self.get(name)
+            if isinstance(value, list):
+                out.extend(value)
+            elif value is not None:
+                out.append(value)
+        return out
+
+    def all_contents(self) -> Iterator["LazyElement"]:
+        """All transitively contained elements, depth-first — note that
+        iterating this fully defeats laziness, exactly as ``eAllContents``
+        does; it exists for parity and for tests."""
+        for child in self.contents():
+            yield child
+            yield from child.all_contents()
+
+    def materialize(self) -> ModelObject:
+        """Eagerly materialise this element's *whole subtree* as real
+        :class:`ModelObject` instances (cross references must stay inside
+        the subtree).  The usual escape hatch is materialising the root —
+        equivalent to an eager load, budget-checked as one."""
+        return self._resource._materialize(self._raw)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"<lazy {self._metaclass.name} {self.uid}>"
+
+
+class LazyModelResource:
+    """Load a :class:`ModelResource`-format document without materialising
+    the model; see the module docstring for semantics.
+
+    Parameters
+    ----------
+    registry:
+        metaclass registry used to resolve ``class`` names (defaults to the
+        process-global registry, like the eager resource);
+    memory_budget_bytes:
+        optional cap on the *resident* (touched) element set, using the
+        same :data:`BYTES_PER_ELEMENT` cost model as the eager resource.
+        Exceeding it raises :class:`MemoryOverflowError` at the access that
+        crosses the line — the whole model's size is irrelevant.
+    """
+
+    FORMAT = ModelResource.FORMAT
+
+    def __init__(
+        self,
+        registry: Optional[PackageRegistry] = None,
+        memory_budget_bytes: Optional[int] = None,
+    ) -> None:
+        self.registry = registry or global_registry()
+        self.memory_budget_bytes = memory_budget_bytes
+        self._uid_index: Dict[str, Dict[str, Any]] = {}
+        self._elements: Dict[int, LazyElement] = {}  # id(raw) -> facade
+        self._total = 0
+        self._root_raw: Optional[Dict[str, Any]] = None
+
+    # -- loading ----------------------------------------------------------
+
+    def load(self, path: Union[str, Path]) -> LazyElement:
+        with open(path, encoding="utf-8") as handle:
+            return self.from_dict(json.load(handle))
+
+    def from_dict(self, data: Dict[str, Any]) -> LazyElement:
+        if data.get("format") != self.FORMAT:
+            raise MetamodelError(
+                f"unsupported model format {data.get('format')!r}"
+            )
+        self._uid_index.clear()
+        self._elements.clear()
+        self._total = 0
+        self._root_raw = data["root"]
+        self._index(self._root_raw)
+        return self._element_for(self._root_raw)
+
+    def _index(self, raw: Dict[str, Any]) -> None:
+        """One pass over the raw dict tree: count elements, map uids.
+
+        Deliberately touches only plain parsed-JSON dicts — the index costs
+        a few machine words per element, not :data:`BYTES_PER_ELEMENT`.
+        """
+        stack = [raw]
+        while stack:
+            node = stack.pop()
+            self._total += 1
+            uid = node.get("uid")
+            if uid:
+                self._uid_index[str(uid)] = node
+            for value in node.get("references", {}).values():
+                if isinstance(value, list):
+                    stack.extend(
+                        item for item in value
+                        if isinstance(item, dict) and "$ref" not in item
+                    )
+                elif isinstance(value, dict) and "$ref" not in value:
+                    stack.append(value)
+
+    # -- accounting -------------------------------------------------------
+
+    @property
+    def total_element_count(self) -> int:
+        """Elements in the document (counted from the raw index pass)."""
+        return self._total
+
+    @property
+    def loaded_element_count(self) -> int:
+        """Elements actually materialised as :class:`LazyElement` facades."""
+        return len(self._elements)
+
+    def loaded_fraction(self) -> float:
+        if self._total == 0:
+            return 0.0
+        return self.loaded_element_count / self._total
+
+    def estimated_resident_bytes(self) -> int:
+        return self.loaded_element_count * BYTES_PER_ELEMENT
+
+    # -- element construction --------------------------------------------
+
+    def _element_for(self, raw: Dict[str, Any]) -> LazyElement:
+        key = id(raw)
+        element = self._elements.get(key)
+        if element is not None:
+            return element
+        if self.memory_budget_bytes is not None:
+            needed = (self.loaded_element_count + 1) * BYTES_PER_ELEMENT
+            if needed > self.memory_budget_bytes:
+                raise MemoryOverflowError(needed, self.memory_budget_bytes)
+        cls = self.registry.resolve_class(raw["class"])
+        element = LazyElement(self, raw, cls)
+        self._elements[key] = element
+        return element
+
+    def _element_for_uid(self, uid: str) -> LazyElement:
+        try:
+            raw = self._uid_index[str(uid)]
+        except KeyError:
+            raise MetamodelError(
+                f"dangling cross reference to {uid!r}"
+            ) from None
+        return self._element_for(raw)
+
+    def find_by_uid(self, uid: str) -> Optional[LazyElement]:
+        """Point lookup by ``uid`` — the lazy resource's headline ability:
+        resolve one element of a huge model without walking to it."""
+        if str(uid) not in self._uid_index:
+            return None
+        return self._element_for_uid(uid)
+
+    def _materialize(self, raw: Dict[str, Any]) -> ModelObject:
+        eager = ModelResource(
+            registry=self.registry,
+            memory_budget_bytes=self.memory_budget_bytes,
+        )
+        return eager.from_dict({"format": self.FORMAT, "root": raw})

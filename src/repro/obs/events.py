@@ -150,6 +150,23 @@ class EventBus:
             campaign = self._status.setdefault("campaign", {})
             campaign["active"] = False  # type: ignore[index]
             campaign["eta_seconds"] = 0.0  # type: ignore[index]
+        elif event.type in ("job_submitted", "job_started", "job_finished"):
+            # Analysis-service job lifecycle (repro.service): running
+            # totals so `/healthz` summarises the queue without reaching
+            # into the service object.
+            service = self._status.setdefault(
+                "service_jobs",
+                {"submitted": 0, "finished": 0, "failed": 0, "cached": 0},
+            )
+            if event.type == "job_submitted":
+                service["submitted"] += 1  # type: ignore[index]
+            elif event.type == "job_finished":
+                service["finished"] += 1  # type: ignore[index]
+                if p.get("state") == "failed":
+                    service["failed"] += 1  # type: ignore[index]
+                if p.get("cached"):
+                    service["cached"] += 1  # type: ignore[index]
+            service["last_job"] = p.get("job")  # type: ignore[index]
 
     # -- consuming ---------------------------------------------------------
 

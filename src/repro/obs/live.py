@@ -97,34 +97,56 @@ class _Handler(BaseHTTPRequestHandler):
     def _serve_healthz(self) -> None:
         from repro import obs
         telemetry = self.telemetry
-        body = json.dumps(
-            {
-                "status": "ok",
-                "uptime_seconds": round(time.time() - telemetry.started_at, 3),
-                "pid": telemetry.pid,
-                "observability": {
-                    "tracing": obs.enabled(),
-                    "events": obs.events_enabled(),
-                },
-                "solver_backend": _backend_status(),
-                "pool": _pool_status(),
-                "events": obs.event_bus().status(),
+        payload = {
+            "status": "ok",
+            "uptime_seconds": round(time.time() - telemetry.started_at, 3),
+            "pid": telemetry.pid,
+            "observability": {
+                "tracing": obs.enabled(),
+                "events": obs.events_enabled(),
             },
-            sort_keys=True,
-        ).encode("utf-8")
+            "solver_backend": _backend_status(),
+            "pool": _pool_status(),
+            "events": obs.event_bus().status(),
+        }
+        payload.update(telemetry.healthz_extra())
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
         self._respond(200, "application/json", body)
+
+    def _int_param(
+        self, query: Dict[str, list], name: str, default: int
+    ) -> int:
+        """Non-negative integer query parameter.
+
+        Missing → ``default``; negative → clamped to 0 (a negative ``since``
+        would replay the whole buffer and a negative ``limit`` would stream
+        forever, neither of which the client meant); non-integer garbage →
+        :class:`ValueError`, which the caller turns into a 400 *before* any
+        response bytes are committed.
+        """
+        raw = query.get(name, [default])[0]
+        try:
+            value = int(raw)
+        except (TypeError, ValueError):
+            raise ValueError(
+                f"query parameter {name!r} must be an integer, got {raw!r}"
+            ) from None
+        return max(0, value)
 
     def _serve_events(self, query: Dict[str, list]) -> None:
         from repro import obs
 
-        def _int_param(name: str, default: int) -> int:
-            try:
-                return int(query.get(name, [default])[0])
-            except (TypeError, ValueError):
-                return default
-
-        since = _int_param("since", 0)
-        limit = _int_param("limit", 0)  # 0 = stream until disconnect/stop
+        # Validate before committing the 200/SSE headers: garbage must be
+        # rejected as a 400, not leak into EventBus.subscribe or the send
+        # loop as a bogus replay cursor / stream bound.
+        try:
+            since = self._int_param(query, "since", 0)
+            limit = self._int_param(query, "limit", 0)  # 0 = stream on
+        except ValueError as exc:
+            self._respond(
+                400, "text/plain; charset=utf-8", f"{exc}\n".encode("utf-8")
+            )
+            return
         self.send_response(200)
         self.send_header("Content-Type", "text/event-stream")
         self.send_header("Cache-Control", "no-cache")
@@ -163,7 +185,14 @@ class LiveTelemetryServer:
         print(server.url)        # http://127.0.0.1:<port>
         ...
         server.stop()
+
+    Subclasses may override :attr:`handler_class` to extend the endpoint
+    surface (the analysis service adds ``/jobs``) and
+    :meth:`healthz_extra` to enrich the ``/healthz`` document.
     """
+
+    #: The request handler the server threads run; subclass hook.
+    handler_class = _Handler
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
         self.host = host
@@ -187,12 +216,16 @@ class LiveTelemetryServer:
         host, port = self.address
         return f"http://{host}:{port}"
 
+    def healthz_extra(self) -> Dict[str, object]:
+        """Additional top-level ``/healthz`` fields; subclass hook."""
+        return {}
+
     def start(self) -> "LiveTelemetryServer":
         if self._httpd is not None:
             return self
         self.started_at = time.time()
         self.stopping = False
-        httpd = ThreadingHTTPServer((self.host, self.port), _Handler)
+        httpd = ThreadingHTTPServer((self.host, self.port), self.handler_class)
         httpd.daemon_threads = True
         httpd.telemetry = self  # type: ignore[attr-defined]
         self._httpd = httpd

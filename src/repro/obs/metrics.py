@@ -159,6 +159,33 @@ class Histogram:
                 "count": self._count,
             }
 
+    def quantile(self, q: float) -> float:
+        """Bucket-interpolated quantile estimate (Prometheus
+        ``histogram_quantile`` semantics): the target rank is located in
+        its bucket and linearly interpolated between the bucket's bounds.
+        Ranks landing in the ``+Inf`` bucket return the last finite bound
+        (the estimate is clamped, not extrapolated); an empty histogram
+        returns 0.0.  Powers the analysis service's latency summary
+        without retaining raw samples."""
+        if not 0.0 <= q <= 1.0:
+            raise MetricError(f"quantile must be in [0, 1], got {q!r}")
+        with self._lock:
+            counts = list(self._counts)
+            total = self._count
+        if total == 0:
+            return 0.0
+        rank = q * total
+        running = 0.0
+        for index, count in enumerate(counts[:-1]):
+            previous = running
+            running += count
+            if running >= rank and count > 0:
+                lower = self.bounds[index - 1] if index > 0 else 0.0
+                upper = self.bounds[index]
+                fraction = (rank - previous) / count
+                return lower + (upper - lower) * fraction
+        return self.bounds[-1]
+
     def cumulative(self) -> List[Tuple[float, int]]:
         """Prometheus-style ``(le, cumulative_count)`` pairs, +Inf last."""
         with self._lock:

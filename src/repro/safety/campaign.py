@@ -763,8 +763,16 @@ class FaultInjectionCampaign:
         return outcomes
 
     def _campaign_token(self) -> str:
-        """Content hash identifying this campaign's worker configuration
-        (cached — :func:`campaign_fingerprint` hashes the whole model)."""
+        """Content hash identifying this campaign's worker configuration.
+
+        Cached for the duration of ONE run only (:func:`campaign_fingerprint`
+        hashes the whole model, so chunk-recovery pool rebuilds must not pay
+        it repeatedly) — ``_run_campaign`` invalidates the cache at entry,
+        because the iterate-and-rerun workflows (DECISIVE, service tenants)
+        mutate the model or config between runs and a stale fingerprint
+        would match the warm pool and checkpoint/cache keys of the *old*
+        model state.
+        """
         if self._fingerprint is None:
             self._fingerprint = campaign_fingerprint(
                 self.model,
@@ -1148,6 +1156,10 @@ class FaultInjectionCampaign:
     def _run_campaign(self) -> FmeaResult:
         started = time.perf_counter()
         self._pool_reused = False
+        # The model/config may have been mutated since the previous run of
+        # this campaign object; recompute the fingerprint per run so warm-
+        # pool tokens and checkpoint keys always reflect current content.
+        self._fingerprint = None
         stats = CampaignStats(
             workers=self.workers,
             requested_workers=self.workers,
@@ -1323,14 +1335,9 @@ class FaultInjectionCampaign:
         """Set up checkpointing; with ``resume``, load prior outcomes."""
         if self.checkpoint is None:
             return None, {}
-        fingerprint = campaign_fingerprint(
-            self.model,
-            self.reliability,
-            self.analysis,
-            self.t_stop,
-            self.dt,
-            self.behavior_overrides,
-        )
+        # Same per-run fingerprint as the warm-pool token — one whole-model
+        # hash per run keys both the checkpoint file and the pool.
+        fingerprint = self._campaign_token()
         checkpoint = CampaignCheckpoint(
             self.checkpoint, fingerprint, resume=self.resume
         )

@@ -26,6 +26,7 @@ Reuse is visible as the ``campaign_pool_reuses`` counter / the
 from __future__ import annotations
 
 import atexit
+import threading
 from typing import Dict, Optional, Tuple
 
 from repro import obs
@@ -34,6 +35,13 @@ __all__ = ["acquire", "release", "discard", "shutdown_all", "status"]
 
 #: The single cached warm pool: ``(token, executor)`` or ``None``.
 _CACHED: Optional[Tuple[object, object]] = None
+
+#: Guards every read-modify-write of :data:`_CACHED`.  Campaigns used to be
+#: strictly sequential within a process, but the analysis service runs them
+#: from concurrent server threads — two unsynchronised ``acquire`` calls
+#: could both read the same cached pool, or ``shutdown_all``/``status``
+#: could observe a half-swapped cache.
+_LOCK = threading.Lock()
 
 
 def _shutdown(executor) -> None:
@@ -60,21 +68,28 @@ def acquire(token, max_workers: int, initializer, initargs):
     global _CACHED
     from concurrent.futures import ProcessPoolExecutor
 
-    if _CACHED is not None:
-        cached_token, executor = _CACHED
-        if cached_token == token and not _broken(executor):
-            if obs.enabled():
+    with _LOCK:
+        if _CACHED is not None:
+            cached_token, executor = _CACHED
+            if cached_token == token and not _broken(executor):
+                # The counter increments unconditionally, like the event
+                # emit below (which self-gates on the event plane): reuse
+                # accounting must not depend on which observability plane
+                # happens to be switched on — the live `/metrics` scrape
+                # of the analysis service reads the registry directly.
                 obs.counter("campaign_pool_reuses").inc()
-            obs.emit_event("pool_acquired", reused=True, workers=max_workers)
-            return executor, True
-        _CACHED = None
-        _shutdown(executor)
-    executor = ProcessPoolExecutor(
-        max_workers=max_workers,
-        initializer=initializer,
-        initargs=initargs,
-    )
-    _CACHED = (token, executor)
+                obs.emit_event(
+                    "pool_acquired", reused=True, workers=max_workers
+                )
+                return executor, True
+            _CACHED = None
+            _shutdown(executor)
+        executor = ProcessPoolExecutor(
+            max_workers=max_workers,
+            initializer=initializer,
+            initargs=initargs,
+        )
+        _CACHED = (token, executor)
     obs.emit_event("pool_acquired", reused=False, workers=max_workers)
     return executor, False
 
@@ -82,8 +97,9 @@ def acquire(token, max_workers: int, initializer, initargs):
 def release(executor) -> None:
     """End-of-campaign hand-back: the cached warm pool stays alive for the
     next campaign; anything else is shut down."""
-    if _CACHED is not None and _CACHED[1] is executor:
-        return
+    with _LOCK:
+        if _CACHED is not None and _CACHED[1] is executor:
+            return
     _shutdown(executor)
 
 
@@ -91,14 +107,16 @@ def discard(executor) -> None:
     """Shut ``executor`` down and forget it if it was the cached pool —
     for broken executors, which can never be reused."""
     global _CACHED
-    if _CACHED is not None and _CACHED[1] is executor:
-        _CACHED = None
+    with _LOCK:
+        if _CACHED is not None and _CACHED[1] is executor:
+            _CACHED = None
     _shutdown(executor)
 
 
 def status() -> Dict[str, object]:
     """Warm-pool liveness for the `/healthz` endpoint (read-only)."""
-    cached = _CACHED
+    with _LOCK:
+        cached = _CACHED
     if cached is None:
         return {"warm": False}
     _, executor = cached
@@ -113,10 +131,12 @@ def shutdown_all() -> None:
     """Drop and shut down the cached warm pool (atexit hook; also used by
     tests that need a cold-pool baseline)."""
     global _CACHED
-    if _CACHED is not None:
+    with _LOCK:
+        if _CACHED is None:
+            return
         _, executor = _CACHED
         _CACHED = None
-        _shutdown(executor)
+    _shutdown(executor)
 
 
 atexit.register(shutdown_all)

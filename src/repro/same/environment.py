@@ -357,6 +357,31 @@ class SAME:
 
         return case_from_safety_concept(concept, fmeda_location)
 
+    # -- the analysis service --------------------------------------------------------
+
+    def serve_analysis(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 2,
+        checkpoint_dir: Optional[Union[str, Path]] = None,
+    ):
+        """Start the always-on analysis service over this workbench's
+        ledger (``set_ledger`` first) and return the running
+        :class:`~repro.service.AnalysisServiceServer`.
+
+        The service shares the ledger with the facade: analyses recorded
+        here (``run_fmea_simulink`` etc.) seed the service's result cache,
+        and service-computed entries show up in ``history``/``diff``.
+        """
+        self._require("ledger")
+        from repro.service import AnalysisService, AnalysisServiceServer
+
+        service = AnalysisService(
+            self.ledger, workers=workers, checkpoint_dir=checkpoint_dir
+        )
+        return AnalysisServiceServer(service, host, port).start()
+
     # -- the whole methodology -------------------------------------------------------
 
     def run_decisive(

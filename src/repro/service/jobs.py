@@ -1,0 +1,694 @@
+"""The always-on analysis engine: async job queue + fingerprint cache.
+
+Every analysis used to be a cold CLI run: load the whole model, compute,
+exit.  :class:`AnalysisService` is the long-lived shape (ROADMAP item 1):
+
+- **submit** an :class:`AnalysisRequest` (fmea / fmeda / search) and get an
+  :class:`AnalysisJob` back immediately; a pool of worker *threads* drains
+  the queue, dispatching into :class:`FaultInjectionCampaign` with the
+  full retry/checkpoint machinery and the process-wide warm worker pool;
+- results are **cached against the analysis ledger**, keyed by the
+  campaign fingerprint (content hash of model + reliability + solver
+  config) combined with the classification/deployment config — an
+  identical submission is served straight from the ledger, bit-identical
+  to the computed rows, without constructing the model at all;
+- ``service_*`` counters/gauges/histograms land in the ``repro.obs``
+  metrics registry (scraped live via ``GET /metrics``), and job lifecycle
+  events (``job_submitted`` / ``job_started`` / ``job_finished``) ride the
+  event bus into ``GET /events`` and the ``/healthz`` summary.
+
+Requests carry models as *payloads* (the ``repro-simulink/1`` dict format)
+rather than live objects: fingerprinting hashes the raw payload without
+materialising a :class:`SimulinkModel`, so a cache hit costs one ledger
+scan — the model-access analogue of :class:`LazyModelResource`'s
+load-on-reference semantics.  Materialised models are kept in a small
+digest-keyed LRU so concurrent tenants re-computing over the same model
+parse it once.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import queue
+import threading
+import time
+import uuid
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+from repro import obs
+
+__all__ = [
+    "AnalysisRequest",
+    "AnalysisJob",
+    "AnalysisService",
+    "ServiceError",
+    "reliability_payload",
+    "reliability_from_payload",
+]
+
+_KINDS = ("fmea", "fmeda", "search")
+
+#: Materialised models kept warm, by model-payload digest.
+_MODEL_CACHE_SIZE = 16
+
+
+class ServiceError(Exception):
+    """Malformed request or unknown job."""
+
+
+# -- request --------------------------------------------------------------
+
+
+def reliability_payload(reliability) -> List[Dict[str, object]]:
+    """Serialise a :class:`ReliabilityModel` for an HTTP request body."""
+    return [
+        {
+            "component_class": entry.component_class,
+            "fit": entry.fit,
+            "failure_modes": [
+                {
+                    "name": mode.name,
+                    "distribution": mode.distribution,
+                    "nature": mode.nature,
+                }
+                for mode in entry.failure_modes
+            ],
+        }
+        for entry in reliability.entries()
+    ]
+
+
+def reliability_from_payload(payload: Sequence[Mapping[str, object]]):
+    """The inverse of :func:`reliability_payload`."""
+    from repro.reliability import ReliabilityModel
+    from repro.reliability.model import ComponentReliability, FailureModeSpec
+
+    model = ReliabilityModel()
+    for entry in payload:
+        model.add(
+            ComponentReliability(
+                component_class=str(entry["component_class"]),
+                # fit/distribution pass through uncoerced: the campaign
+                # fingerprint hashes them verbatim, and float(2) != 2 in
+                # JSON — coercing here would make a payload round-trip
+                # fingerprint differently from the original model.
+                fit=entry["fit"],  # type: ignore[arg-type]
+                failure_modes=[
+                    FailureModeSpec(
+                        name=str(mode["name"]),
+                        distribution=mode["distribution"],  # type: ignore[arg-type]
+                        nature=str(mode.get("nature", "")),
+                    )
+                    for mode in entry.get("failure_modes", [])  # type: ignore[union-attr]
+                ],
+            )
+        )
+    return model
+
+
+class _PayloadModel:
+    """Duck-typed stand-in for :class:`SimulinkModel` during fingerprinting.
+
+    :func:`campaign_fingerprint` only calls ``to_dict()``; handing it the
+    raw request payload hashes exactly what a materialised model would
+    serialise back to, without building a single block object.
+    """
+
+    __slots__ = ("_payload",)
+
+    def __init__(self, payload: Mapping[str, object]) -> None:
+        self._payload = payload
+
+    def to_dict(self) -> Mapping[str, object]:
+        return self._payload
+
+    @property
+    def name(self) -> str:
+        return str(self._payload.get("name", "model"))
+
+
+@dataclass
+class AnalysisRequest:
+    """One analysis submission.
+
+    ``model`` is a ``repro-simulink/1`` payload dict (what
+    ``SimulinkModel.to_dict()`` produces); ``reliability`` is the
+    :func:`reliability_payload` list form.  ``config`` carries campaign
+    and classification parameters (``threshold``, ``sensors``,
+    ``assume_stable``, ``min_absolute_delta``, ``analysis``, ``t_stop``,
+    ``dt``, ``workers``, ``strategy``, ``solver_backend``,
+    ``job_timeout``, ``max_retries``).  ``deployments`` (fmeda) and
+    ``mechanisms`` + ``target_asil`` (search) extend the base FMEA.
+    """
+
+    kind: str
+    model: Mapping[str, object]
+    reliability: List[Dict[str, object]]
+    config: Dict[str, object] = field(default_factory=dict)
+    deployments: List[Dict[str, object]] = field(default_factory=list)
+    mechanisms: List[Dict[str, object]] = field(default_factory=list)
+    target_asil: str = ""
+    tenant: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ServiceError(
+                f"kind must be one of {_KINDS}, got {self.kind!r}"
+            )
+        if not isinstance(self.model, Mapping) or "diagram" not in self.model:
+            raise ServiceError(
+                "model must be a repro-simulink/1 payload dict "
+                "(SimulinkModel.to_dict())"
+            )
+        if not isinstance(self.reliability, (list, tuple)):
+            raise ServiceError("reliability must be a list of entry dicts")
+        if self.kind == "search" and not self.mechanisms:
+            raise ServiceError("search requests need a mechanisms catalogue")
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, object]) -> "AnalysisRequest":
+        if not isinstance(payload, Mapping):
+            raise ServiceError("request body must be a JSON object")
+        try:
+            return cls(
+                kind=str(payload.get("kind", "fmea")),
+                model=payload["model"],  # type: ignore[arg-type]
+                reliability=list(payload.get("reliability", [])),  # type: ignore[arg-type]
+                config=dict(payload.get("config", {})),  # type: ignore[arg-type]
+                deployments=list(payload.get("deployments", [])),  # type: ignore[arg-type]
+                mechanisms=list(payload.get("mechanisms", [])),  # type: ignore[arg-type]
+                target_asil=str(payload.get("target_asil", "")),
+                tenant=str(payload.get("tenant", "")),
+            )
+        except KeyError as exc:
+            raise ServiceError(f"request missing field {exc.args[0]!r}") from None
+        except TypeError as exc:
+            raise ServiceError(f"malformed request: {exc}") from None
+
+    # -- keys -------------------------------------------------------------
+
+    def fingerprint(self) -> str:
+        """The campaign fingerprint, computed off the raw payloads."""
+        from repro.safety.resilience import campaign_fingerprint
+
+        return campaign_fingerprint(
+            _PayloadModel(self.model),
+            reliability_from_payload(self.reliability),
+            str(self.config.get("analysis", "dc")),
+            float(self.config.get("t_stop", 5e-3)),  # type: ignore[arg-type]
+            float(self.config.get("dt", 5e-5)),  # type: ignore[arg-type]
+            None,
+        )
+
+    def cache_key(self, fingerprint: Optional[str] = None) -> str:
+        """Ledger cache key: fingerprint ⊕ everything else that shapes rows.
+
+        The campaign fingerprint deliberately excludes classification
+        thresholds (checkpointed raw outcomes stay valid across them), but
+        the *rows* a client receives do depend on them — so the cache key
+        folds in the classification config, the deployment set and the
+        search target on top of the fingerprint.
+        """
+        payload = {
+            "fingerprint": fingerprint or self.fingerprint(),
+            "kind": self.kind,
+            "threshold": self.config.get("threshold", 0.2),
+            "min_absolute_delta": self.config.get("min_absolute_delta"),
+            "sensors": self.config.get("sensors"),
+            "assume_stable": sorted(
+                str(s) for s in self.config.get("assume_stable", [])  # type: ignore[union-attr]
+            ),
+            "deployments": self.deployments,
+            "mechanisms": self.mechanisms,
+            "target_asil": self.target_asil,
+        }
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    def model_digest(self) -> str:
+        blob = json.dumps(self.model, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+# -- job ------------------------------------------------------------------
+
+
+@dataclass
+class AnalysisJob:
+    """Lifecycle record of one submission: queued → running → done|failed."""
+
+    id: str
+    kind: str
+    system: str
+    tenant: str = ""
+    state: str = "queued"
+    cached: bool = False
+    fingerprint: str = ""
+    cache_key: str = ""
+    submitted_at: float = 0.0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    error: str = ""
+    result: Optional[Dict[str, object]] = None
+    #: The request travels with the job internally; never serialised out
+    #: (model payloads can be megabytes).
+    request: Optional[AnalysisRequest] = None
+    done_event: threading.Event = field(default_factory=threading.Event)
+
+    @property
+    def wall_seconds(self) -> Optional[float]:
+        if self.finished_at is None:
+            return None
+        return self.finished_at - self.submitted_at
+
+    def to_dict(self, include_result: bool = True) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "id": self.id,
+            "kind": self.kind,
+            "system": self.system,
+            "tenant": self.tenant,
+            "state": self.state,
+            "cached": self.cached,
+            "fingerprint": self.fingerprint,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "wall_seconds": self.wall_seconds,
+            "error": self.error,
+        }
+        if include_result:
+            out["result"] = self.result
+        return out
+
+
+# -- service --------------------------------------------------------------
+
+
+class AnalysisService:
+    """Async job queue over :class:`FaultInjectionCampaign` with a
+    ledger-backed, fingerprint-keyed result cache.
+
+    Parameters
+    ----------
+    ledger:
+        an :class:`~repro.obs.ledger.AnalysisLedger` (or a path to one);
+        doubles as the result cache and the provenance record — every
+        computed job appends an entry, every cache hit is served from one;
+    workers:
+        worker *threads* draining the queue.  Each campaign may itself fan
+        out over the process-wide warm pool, so a handful of threads
+        saturates the machine;
+    checkpoint_dir:
+        when set, every campaign checkpoints to
+        ``<dir>/<fingerprint>.jsonl`` with ``resume=True`` — a job retried
+        after a crash (or a near-identical tenant model) skips completed
+        injections;
+    history:
+        completed jobs kept in memory for ``GET /jobs`` (bounded).
+    """
+
+    def __init__(
+        self,
+        ledger,
+        workers: int = 2,
+        checkpoint_dir: Optional[Union[str, Path]] = None,
+        history: int = 256,
+    ) -> None:
+        from repro.obs.ledger import AnalysisLedger
+
+        self.ledger = (
+            ledger if isinstance(ledger, AnalysisLedger)
+            else AnalysisLedger(ledger)
+        )
+        self.worker_count = max(1, int(workers))
+        self.checkpoint_dir = (
+            Path(checkpoint_dir) if checkpoint_dir is not None else None
+        )
+        self.history = max(8, int(history))
+        self._queue: "queue.Queue[Optional[str]]" = queue.Queue()
+        self._jobs: "OrderedDict[str, AnalysisJob]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._ledger_lock = threading.Lock()
+        self._model_cache: "OrderedDict[str, object]" = OrderedDict()
+        self._model_cache_lock = threading.Lock()
+        self._threads: List[threading.Thread] = []
+        self._stopping = False
+
+    # -- lifecycle --------------------------------------------------------
+
+    def start(self) -> "AnalysisService":
+        if self._threads:
+            return self
+        self._stopping = False
+        obs.gauge("service_workers").set(self.worker_count)
+        for index in range(self.worker_count):
+            thread = threading.Thread(
+                target=self._worker_loop,
+                name=f"same-analysis-worker-{index}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+        return self
+
+    def stop(self, timeout: float = 5.0) -> None:
+        self._stopping = True
+        for _ in self._threads:
+            self._queue.put(None)
+        for thread in self._threads:
+            thread.join(timeout=timeout)
+        self._threads = []
+
+    def __enter__(self) -> "AnalysisService":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> bool:
+        self.stop()
+        return False
+
+    # -- submission -------------------------------------------------------
+
+    def submit(
+        self, request: Union[AnalysisRequest, Mapping[str, object]]
+    ) -> AnalysisJob:
+        """Enqueue one analysis; returns the job record immediately."""
+        if not isinstance(request, AnalysisRequest):
+            request = AnalysisRequest.from_payload(request)
+        if self._stopping or not self._threads:
+            raise ServiceError("service is not running; call start()")
+        job = AnalysisJob(
+            id=uuid.uuid4().hex[:12],
+            kind=request.kind,
+            system=_PayloadModel(request.model).name,
+            tenant=request.tenant,
+            submitted_at=time.time(),
+            request=request,
+        )
+        with self._lock:
+            self._jobs[job.id] = job
+            self._trim_history()
+        obs.counter("service_jobs_submitted").inc()
+        self._queue.put(job.id)
+        obs.gauge("service_queue_depth").set(self._queue.qsize())
+        obs.emit_event(
+            "job_submitted", job=job.id, kind=job.kind, system=job.system
+        )
+        return job
+
+    def _trim_history(self) -> None:
+        """Drop the oldest *finished* jobs past the history bound
+        (caller holds the lock)."""
+        finished = [
+            job_id for job_id, job in self._jobs.items()
+            if job.state in ("done", "failed")
+        ]
+        excess = len(self._jobs) - self.history
+        for job_id in finished[:max(0, excess)]:
+            del self._jobs[job_id]
+
+    # -- inspection -------------------------------------------------------
+
+    def job(self, job_id: str) -> AnalysisJob:
+        with self._lock:
+            try:
+                return self._jobs[job_id]
+            except KeyError:
+                raise ServiceError(f"unknown job {job_id!r}") from None
+
+    def jobs(self) -> List[AnalysisJob]:
+        with self._lock:
+            return list(self._jobs.values())
+
+    def wait(self, job_id: str, timeout: Optional[float] = None) -> AnalysisJob:
+        """Block until the job finishes (or the timeout lapses)."""
+        job = self.job(job_id)
+        job.done_event.wait(timeout)
+        return job
+
+    def status(self) -> Dict[str, object]:
+        """Service summary for ``/healthz`` and ``GET /jobs``."""
+        with self._lock:
+            states: Dict[str, int] = {}
+            for job in self._jobs.values():
+                states[job.state] = states.get(job.state, 0) + 1
+        wall = obs.histogram("service_job_wall_seconds")
+        return {
+            "running": bool(self._threads) and not self._stopping,
+            "workers": self.worker_count,
+            "queue_depth": self._queue.qsize(),
+            "jobs": states,
+            "cache_hits": int(obs.counter("service_cache_hits").value),
+            "cache_misses": int(obs.counter("service_cache_misses").value),
+            "job_wall_p50": round(wall.quantile(0.50), 6),
+            "job_wall_p99": round(wall.quantile(0.99), 6),
+        }
+
+    # -- execution --------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            job_id = self._queue.get()
+            if job_id is None:
+                return
+            obs.gauge("service_queue_depth").set(self._queue.qsize())
+            try:
+                job = self.job(job_id)
+            except ServiceError:
+                continue  # evicted from history before a worker got to it
+            self._run_job(job)
+
+    def _run_job(self, job: AnalysisJob) -> None:
+        job.state = "running"
+        job.started_at = time.time()
+        obs.emit_event("job_started", job=job.id, kind=job.kind)
+        try:
+            request = job.request
+            assert request is not None
+            job.fingerprint = request.fingerprint()
+            job.cache_key = request.cache_key(job.fingerprint)
+            cached = self._cache_lookup(job.cache_key)
+            if cached is not None:
+                job.result = cached
+                job.cached = True
+                obs.counter("service_cache_hits").inc()
+            else:
+                obs.counter("service_cache_misses").inc()
+                job.result = self._compute(request, job)
+            job.state = "done"
+            obs.counter("service_jobs_completed").inc()
+        except Exception as exc:  # noqa: BLE001 — a bad job must not kill a worker
+            job.error = f"{type(exc).__name__}: {exc}"
+            job.state = "failed"
+            obs.counter("service_jobs_failed").inc()
+        finally:
+            job.finished_at = time.time()
+            job.request = None  # free the (possibly large) payload
+            obs.histogram("service_job_wall_seconds").observe(
+                job.finished_at - job.submitted_at
+            )
+            obs.emit_event(
+                "job_finished",
+                job=job.id,
+                kind=job.kind,
+                state=job.state,
+                cached=job.cached,
+                wall_seconds=round(job.finished_at - job.submitted_at, 6),
+            )
+            job.done_event.set()
+
+    # -- cache ------------------------------------------------------------
+
+    def _cache_lookup(self, cache_key: str) -> Optional[Dict[str, object]]:
+        """Serve an identical prior submission from the ledger, or None.
+
+        Entries carry their cache key in ``meta.service_cache_key``; the
+        rows stored in the entry are exactly the payload recorded when the
+        result was computed, so a hit is bit-identical to the original.
+        """
+        with self._ledger_lock:
+            entries = self.ledger.entries()
+        for entry in reversed(entries):
+            if entry.meta.get("service_cache_key") != cache_key:
+                continue
+            return {
+                "rows": entry.rows,
+                "spfm": entry.spfm,
+                "asil": entry.asil,
+                "entry": entry.entry_id,
+                "metrics": entry.metrics,
+                "from_cache": True,
+            }
+        return None
+
+    # -- computation ------------------------------------------------------
+
+    def _materialize_model(self, request: AnalysisRequest):
+        """The payload as a :class:`SimulinkModel`, via the digest LRU."""
+        from repro.simulink import SimulinkModel
+
+        digest = request.model_digest()
+        with self._model_cache_lock:
+            model = self._model_cache.get(digest)
+            if model is not None:
+                self._model_cache.move_to_end(digest)
+                obs.counter("service_model_cache_hits").inc()
+                return model
+        model = SimulinkModel.from_dict(dict(request.model))
+        with self._model_cache_lock:
+            self._model_cache[digest] = model
+            while len(self._model_cache) > _MODEL_CACHE_SIZE:
+                self._model_cache.popitem(last=False)
+        return model
+
+    def _campaign(self, request: AnalysisRequest, fingerprint: str):
+        from repro.safety.campaign import FaultInjectionCampaign
+
+        config = request.config
+        checkpoint = None
+        resume = False
+        if self.checkpoint_dir is not None:
+            checkpoint = self.checkpoint_dir / f"{fingerprint[:16]}.jsonl"
+            resume = True
+        kwargs: Dict[str, object] = {}
+        for key in (
+            "threshold", "min_absolute_delta", "analysis", "t_stop", "dt",
+            "workers", "strategy", "max_retries", "job_timeout",
+            "solver_backend",
+        ):
+            if key in config and config[key] is not None:
+                kwargs[key] = config[key]
+        sensors = config.get("sensors")
+        assume_stable = config.get("assume_stable", ())
+        return FaultInjectionCampaign(
+            self._materialize_model(request),
+            reliability_from_payload(request.reliability),
+            sensors=sensors,  # type: ignore[arg-type]
+            assume_stable=tuple(assume_stable),  # type: ignore[arg-type]
+            checkpoint=checkpoint,
+            resume=resume,
+            **kwargs,  # type: ignore[arg-type]
+        )
+
+    def _compute(
+        self, request: AnalysisRequest, job: AnalysisJob
+    ) -> Dict[str, object]:
+        from repro.obs.ledger import (
+            fmea_rows_payload,
+            fmeda_rows_payload,
+            record_fmea,
+            record_fmeda,
+            record_optimizer,
+        )
+        from repro.safety.metrics import asil_from_spfm, spfm
+
+        meta = {
+            "service": True,
+            "service_cache_key": job.cache_key,
+            "service_job": job.id,
+        }
+        if request.tenant:
+            meta["tenant"] = request.tenant
+        fmea = self._campaign(request, job.fingerprint).run()
+        reliability = reliability_from_payload(request.reliability)
+        model = self._materialize_model(request)
+        config = {
+            "analysis": request.config.get("analysis", "dc"),
+            "t_stop": request.config.get("t_stop", 5e-3),
+            "dt": request.config.get("dt", 5e-5),
+            "threshold": request.config.get("threshold", 0.2),
+        }
+
+        if request.kind == "fmea":
+            value = spfm(fmea, [])
+            with self._ledger_lock:
+                entry = record_fmea(
+                    self.ledger, fmea, model=model, reliability=reliability,
+                    spfm=value, asil=asil_from_spfm(value), config=config,
+                    meta=meta,
+                )
+            return {
+                "rows": fmea_rows_payload(fmea),
+                "spfm": value,
+                "asil": asil_from_spfm(value),
+                "entry": entry.entry_id,
+                "metrics": entry.metrics,
+                "from_cache": False,
+            }
+
+        if request.kind == "fmeda":
+            from repro.safety import run_fmeda
+            from repro.safety.mechanisms import Deployment
+
+            deployments = [
+                Deployment(
+                    component=str(d["component"]),
+                    failure_mode=str(d["failure_mode"]),
+                    mechanism=str(d.get("mechanism", "")),
+                    coverage=float(d.get("coverage", 0.0)),  # type: ignore[arg-type]
+                    cost=float(d.get("cost", 0.0)),  # type: ignore[arg-type]
+                )
+                for d in request.deployments
+            ]
+            fmeda = run_fmeda(fmea, deployments)
+            with self._ledger_lock:
+                entry = record_fmeda(
+                    self.ledger, fmeda, model=model,
+                    reliability=reliability, config=config, meta=meta,
+                )
+            return {
+                "rows": fmeda_rows_payload(fmeda),
+                "spfm": fmeda.spfm,
+                "asil": fmeda.asil,
+                "total_cost": fmeda.total_cost,
+                "entry": entry.entry_id,
+                "metrics": entry.metrics,
+                "from_cache": False,
+            }
+
+        # kind == "search"
+        from repro.safety import search_for_target
+        from repro.safety.mechanisms import MechanismSpec, SafetyMechanismModel
+
+        catalogue = SafetyMechanismModel(
+            MechanismSpec(
+                component_class=str(m["component_class"]),
+                failure_mode=str(m["failure_mode"]),
+                name=str(m["name"]),
+                coverage=float(m.get("coverage", 0.0)),  # type: ignore[arg-type]
+                cost=float(m.get("cost", 0.0)),  # type: ignore[arg-type]
+            )
+            for m in request.mechanisms
+        )
+        strategy = str(request.config.get("search_strategy", "dp"))
+        plan = search_for_target(
+            fmea, catalogue, request.target_asil, strategy=strategy
+        )
+        if plan is None:
+            # No deployment meets the target: a real answer, but not a
+            # cacheable ledger entry (record_optimizer needs a plan).
+            return {
+                "plan": None,
+                "target_asil": request.target_asil,
+                "from_cache": False,
+            }
+        with self._ledger_lock:
+            entry = record_optimizer(
+                self.ledger, plan, system=fmea.system, model=model,
+                reliability=reliability,
+                config={**config, "target": request.target_asil,
+                        "strategy": strategy},
+                meta=meta,
+            )
+        return {
+            "rows": entry.rows,
+            "spfm": plan.spfm,
+            "asil": plan.asil,
+            "cost": plan.cost,
+            "entry": entry.entry_id,
+            "target_asil": request.target_asil,
+            "from_cache": False,
+        }

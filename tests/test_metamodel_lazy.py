@@ -1,0 +1,240 @@
+"""Lazy/partial model loading (:mod:`repro.metamodel.lazy`).
+
+The acceptance surface for the service PR's lazy-loading half: the lazy
+resource reads the *same on-disk format* as the eager
+:class:`ModelResource`, returns identical values for every feature, counts
+loaded elements honestly, and — the point — serves narrow queries on a
+model whose *total* size is far past the eager memory budget, because the
+budget applies to the touched set only (the Table VI contrast: eager
+``Set5 → N/A`` while a point query stays cheap).
+"""
+
+import json
+
+import pytest
+
+from repro.casestudies import (
+    build_power_grid_simulink,
+    power_network_reliability,
+)
+from repro.metamodel import (
+    LazyElement,
+    LazyModelResource,
+    MemoryOverflowError,
+    MetamodelError,
+    MetaPackage,
+    ModelResource,
+    PackageRegistry,
+)
+from repro.metamodel.serialization import BYTES_PER_ELEMENT
+from repro.transform import simulink_to_ssam
+
+
+@pytest.fixture(scope="module")
+def registry():
+    reg = PackageRegistry()
+    pkg = MetaPackage("lazy")
+    node = pkg.define("Node")
+    node.attribute("name")
+    node.attribute("weight", "float", default=1.5)
+    node.attribute("tags", "string", many=True)
+    node.reference("children", "Node", containment=True, many=True)
+    node.reference("friend", "Node")
+    reg.register(pkg)
+    return reg
+
+
+@pytest.fixture(scope="module")
+def node(registry):
+    return registry.package("lazy").get("Node")
+
+
+def _chain(node, depth):
+    """root -> c0 -> c1 -> ... a containment chain with one cross ref."""
+    root = node.create(name="root", tags=["r"])
+    current = root
+    children = []
+    for index in range(depth):
+        child = node.create(name=f"c{index}", weight=float(index))
+        current.add("children", child)
+        children.append(child)
+        current = child
+    # Cross reference from the root to the deepest element.
+    root.friend = children[-1]
+    return root
+
+
+@pytest.fixture
+def document(registry, node):
+    return ModelResource(registry).to_dict(_chain(node, 10))
+
+
+class TestLazyReads:
+    def test_rejects_foreign_format(self, registry):
+        with pytest.raises(MetamodelError, match="format"):
+            LazyModelResource(registry).from_dict({"format": "nope"})
+
+    def test_values_match_eager_load(self, registry, document):
+        eager = ModelResource(registry).from_dict(json.loads(json.dumps(document)))
+        lazy = LazyModelResource(registry).from_dict(document)
+        assert lazy.name == eager.name
+        assert lazy.tags == eager.tags
+        assert lazy.weight == eager.weight  # unset -> metaclass default
+        eager_child, lazy_child = eager.children[0], lazy.children[0]
+        for _ in range(9):
+            assert lazy_child.name == eager_child.name
+            assert lazy_child.weight == eager_child.weight
+            eager_list, lazy_list = eager_child.children, lazy_child.children
+            if not eager_list:
+                break
+            eager_child, lazy_child = eager_list[0], lazy_list[0]
+
+    def test_repeated_access_memoises_the_facade(self, registry, document):
+        lazy = LazyModelResource(registry)
+        root = lazy.from_dict(document)
+        assert root.children[0] is root.children[0]
+        assert lazy.loaded_element_count == 2
+
+    def test_unknown_feature_raises(self, registry, document):
+        root = LazyModelResource(registry).from_dict(document)
+        with pytest.raises(MetamodelError, match="no feature"):
+            root.get("nope")
+        with pytest.raises(AttributeError):
+            root.nope
+
+    def test_is_kind_of(self, registry, document):
+        root = LazyModelResource(registry).from_dict(document)
+        assert root.is_kind_of("Node")
+        assert not root.is_kind_of("Edge")
+
+    def test_cross_reference_resolves_without_walking(self, registry, document):
+        lazy = LazyModelResource(registry)
+        root = lazy.from_dict(document)
+        # Resolving root.friend jumps straight to the deepest element via
+        # the uid index: 2 loaded facades, not 11.
+        assert root.friend.name == "c9"
+        assert lazy.loaded_element_count == 2
+
+    def test_dangling_cross_reference_raises(self, registry, document):
+        broken = json.loads(json.dumps(document))
+        broken["root"]["references"]["friend"] = {"$ref": "no-such-uid"}
+        root = LazyModelResource(registry).from_dict(broken)
+        with pytest.raises(MetamodelError, match="dangling"):
+            root.friend
+
+
+class TestAccounting:
+    def test_total_counted_loaded_starts_at_root(self, registry, document):
+        lazy = LazyModelResource(registry)
+        lazy.from_dict(document)
+        assert lazy.total_element_count == 11
+        assert lazy.loaded_element_count == 1
+        assert lazy.loaded_fraction() == pytest.approx(1 / 11)
+        assert lazy.estimated_resident_bytes() == BYTES_PER_ELEMENT
+
+    def test_full_traversal_loads_everything(self, registry, document):
+        lazy = LazyModelResource(registry)
+        root = lazy.from_dict(document)
+        walked = sum(1 for _ in root.all_contents())
+        assert walked == 10
+        assert lazy.loaded_element_count == lazy.total_element_count
+
+    def test_find_by_uid_is_a_point_load(self, registry, document):
+        lazy = LazyModelResource(registry)
+        root = lazy.from_dict(document)
+        deep_uid = document["root"]["references"]["friend"]["$ref"]
+        element = lazy.find_by_uid(deep_uid)
+        assert element is not None
+        assert element.name == "c9"
+        assert lazy.loaded_element_count == 2
+        assert lazy.find_by_uid("missing") is None
+        assert root.friend is element
+
+
+class TestBudget:
+    def test_eager_overflows_lazy_serves_the_same_query(
+        self, registry, node
+    ):
+        document = ModelResource(registry).to_dict(_chain(node, 50))
+        budget = 5 * BYTES_PER_ELEMENT  # model is 51 elements
+        with pytest.raises(MemoryOverflowError):
+            ModelResource(registry, memory_budget_bytes=budget).from_dict(
+                json.loads(json.dumps(document))
+            )
+        lazy = LazyModelResource(registry, memory_budget_bytes=budget)
+        root = lazy.from_dict(document)
+        # The narrow query fits: root + 3 children resident = 4 elements.
+        child = root
+        for _ in range(3):
+            child = child.children[0]
+        assert child.name == "c2"
+        assert lazy.estimated_resident_bytes() <= budget
+
+    def test_budget_bounds_the_resident_set_not_the_document(
+        self, registry, node
+    ):
+        document = ModelResource(registry).to_dict(_chain(node, 50))
+        lazy = LazyModelResource(
+            registry, memory_budget_bytes=5 * BYTES_PER_ELEMENT
+        )
+        root = lazy.from_dict(document)
+        with pytest.raises(MemoryOverflowError):
+            for _ in root.all_contents():
+                pass
+
+    def test_materialize_subtree(self, registry, document):
+        lazy = LazyModelResource(registry)
+        root = lazy.from_dict(document)
+        deep = root.children[0].children[0]
+        subtree = deep.materialize()
+        assert subtree.name == "c1"
+        assert subtree.children[0].name == "c2"
+        # Materialising the root is equivalent to an eager load: the clone
+        # serialises back to the original document (modulo regenerated
+        # uids — materialisation creates fresh objects).
+        clone = ModelResource(lazy.registry).to_dict(root.materialize())
+
+        def strip_uids(node):
+            if isinstance(node, dict):
+                return {
+                    key: strip_uids(value)
+                    for key, value in node.items()
+                    if key not in ("uid", "$ref")
+                }
+            if isinstance(node, list):
+                return [strip_uids(item) for item in node]
+            return node
+
+        assert strip_uids(clone) == strip_uids(document)
+
+
+class TestGridCaseStudy:
+    """The paper-scale check: a point query on the grid model touches a
+    small fraction of the elements the eager resource would build."""
+
+    def test_point_query_loads_a_fraction(self, tmp_path):
+        grid = build_power_grid_simulink(
+            "grid", feeders=4, sections_per_feeder=4
+        )
+        ssam = simulink_to_ssam(grid, power_network_reliability())
+        path = ssam.save(tmp_path / "grid.ssam.json")
+
+        lazy = LazyModelResource()
+        root = lazy.load(path)
+        assert lazy.total_element_count > 100
+        assert lazy.loaded_element_count == 1
+
+        # Drill to one component's failure modes — the FMEA-row-shaped
+        # point query a long-lived service answers per tenant request.
+        package = root.get("componentPackages")[0]
+        assert package.is_kind_of("ComponentPackage")
+        component = package.get("components")[0]
+        component.get("failureModes")
+
+        assert lazy.loaded_element_count < lazy.total_element_count * 0.25
+        assert 0.0 < lazy.loaded_fraction() < 0.25
+
+        # Eager comparison: the same document materialises every element.
+        eager_root = ModelResource().load(path)
+        eager_total = 1 + sum(1 for _ in eager_root.all_contents())
+        assert eager_total == lazy.total_element_count

@@ -210,6 +210,29 @@ def test_histogram_bucket_boundaries_follow_le_semantics():
     assert histogram.sum == pytest.approx(0.5 + 1.0 + 1.5 + 2.0 + 5.0 + 7.0)
 
 
+def test_histogram_quantile_interpolates_within_buckets():
+    histogram = Histogram("t", (1.0, 2.0, 5.0))
+    for value in (0.5, 1.0, 1.5, 2.0):
+        histogram.observe(value)
+    # rank 2 of 4 lands at the top of the (0, 1.0] bucket
+    assert histogram.quantile(0.5) == pytest.approx(1.0)
+    # rank 4 of 4 lands at the top of the (1.0, 2.0] bucket
+    assert histogram.quantile(1.0) == pytest.approx(2.0)
+    assert histogram.quantile(0.25) == pytest.approx(0.5)
+
+
+def test_histogram_quantile_edge_cases():
+    histogram = Histogram("t", (1.0, 2.0))
+    assert histogram.quantile(0.5) == 0.0  # empty
+    histogram.observe(10.0)  # +Inf bucket only
+    # Ranks in the +Inf bucket clamp to the last finite bound.
+    assert histogram.quantile(0.99) == 2.0
+    with pytest.raises(MetricError):
+        histogram.quantile(1.5)
+    with pytest.raises(MetricError):
+        histogram.quantile(-0.1)
+
+
 def test_histogram_rejects_unsorted_or_empty_buckets():
     with pytest.raises(MetricError):
         Histogram("bad", ())

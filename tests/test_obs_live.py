@@ -311,6 +311,41 @@ class TestLiveServer:
             assert lines[2].startswith("data: ")
             json.loads(lines[2][len("data: "):])  # data payload is JSON
 
+    def test_events_rejects_non_integer_params(self):
+        """Garbage ``?since``/``?limit`` must be a 400 *before* the SSE
+        headers commit — not a half-open stream or a 500."""
+        obs.enable_events()
+        obs.emit_event("campaign_started", jobs=1)
+        with LiveTelemetryServer() as server:
+            host, port = server.address
+            # (a blank "since=" is dropped by parse_qs and falls back to
+            # the default — only present-but-garbage values are 400s)
+            for query in ("since=abc", "limit=abc", "since=1.5",
+                          "since=1&limit=x"):
+                status, headers, body = _http_get(
+                    host, port, f"/events?{query}"
+                )
+                assert status == 400, query
+                assert headers["Content-Type"].startswith("text/plain")
+                assert b"integer" in body
+
+    def test_events_clamps_negative_params(self):
+        """Negative ``since``/``limit`` clamp to 0 instead of erroring:
+        since=-1 means 'from the beginning', limit=-5 means 'no cap'."""
+        obs.enable_events()
+        obs.emit_event("campaign_started", jobs=1)
+        obs.emit_event("chunk_completed", done=1, total=1)
+        with LiveTelemetryServer() as server:
+            host, port = server.address
+            status, headers, body = _http_get(
+                host, port, "/events?since=-10&limit=2"
+            )
+            assert status == 200
+            frames = [
+                f for f in body.decode("utf-8").split("\n\n") if f.strip()
+            ]
+            assert len(frames) == 2  # clamped since=0 → replay from start
+
     def test_unknown_path_is_404(self):
         with LiveTelemetryServer() as server:
             host, port = server.address

@@ -1,0 +1,530 @@
+"""The always-on analysis service (:mod:`repro.service`).
+
+Acceptance surface from the service PR: resubmitting an identical model +
+config must be served from the ledger — no recompute, the
+``service_cache_hits`` counter increments, and the rows are bit-identical
+to the computed ones.  Plus the multi-tenant shape: concurrent clients
+hammering fmea/fmeda jobs over overlapping models see the expected
+cache-hit rate and a bounded cache-hit latency, and the HTTP surface
+(``POST /jobs`` / ``GET /jobs[/<id>]``) validates inputs.
+"""
+
+import http.client
+import json
+import threading
+
+import pytest
+
+from repro import obs
+from repro.casestudies.power_supply import ASSUMED_STABLE
+from repro.obs.ledger import AnalysisLedger
+from repro.service import (
+    AnalysisRequest,
+    AnalysisService,
+    AnalysisServiceServer,
+    ServiceError,
+    reliability_from_payload,
+    reliability_payload,
+)
+
+JOB_TIMEOUT = 120.0
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    obs.disable()
+    obs.disable_events()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.disable_events()
+    obs.reset()
+
+
+def _payload(model, reliability, kind="fmea", **extra):
+    payload = {
+        "kind": kind,
+        "model": model.to_dict(),
+        "reliability": reliability_payload(reliability),
+        "config": {
+            "sensors": ["CS1"],
+            "assume_stable": list(ASSUMED_STABLE),
+        },
+    }
+    payload.update(extra)
+    return payload
+
+
+@pytest.fixture
+def fmea_payload(psu_simulink, psu_reliability):
+    return _payload(psu_simulink, psu_reliability)
+
+
+@pytest.fixture
+def service(tmp_path):
+    with AnalysisService(tmp_path / "ledger.jsonl", workers=2) as svc:
+        yield svc
+
+
+def _finish(service, job, timeout=JOB_TIMEOUT):
+    service.wait(job.id, timeout)
+    assert job.state in ("done", "failed"), job.state
+    return job
+
+
+# -- request validation ------------------------------------------------------
+
+
+class TestRequestValidation:
+    def test_unknown_kind_rejected(self, fmea_payload):
+        bad = dict(fmea_payload, kind="fmeca")
+        with pytest.raises(ServiceError, match="kind"):
+            AnalysisRequest.from_payload(bad)
+
+    def test_model_must_be_simulink_payload(self, fmea_payload):
+        with pytest.raises(ServiceError, match="repro-simulink"):
+            AnalysisRequest.from_payload(dict(fmea_payload, model={"x": 1}))
+        with pytest.raises(ServiceError, match="repro-simulink"):
+            AnalysisRequest.from_payload(dict(fmea_payload, model="m.json"))
+
+    def test_search_needs_catalogue(self, fmea_payload):
+        with pytest.raises(ServiceError, match="mechanisms"):
+            AnalysisRequest.from_payload(dict(fmea_payload, kind="search"))
+
+    def test_reliability_roundtrip(self, psu_reliability):
+        payload = reliability_payload(psu_reliability)
+        clone = reliability_from_payload(payload)
+        assert reliability_payload(clone) == payload
+
+    def test_fingerprint_matches_materialised_model(
+        self, fmea_payload, psu_simulink, psu_reliability
+    ):
+        from repro.safety.resilience import campaign_fingerprint
+
+        request = AnalysisRequest.from_payload(fmea_payload)
+        expected = campaign_fingerprint(
+            psu_simulink, psu_reliability, "dc", 5e-3, 5e-5, None
+        )
+        assert request.fingerprint() == expected
+
+    def test_cache_key_folds_in_classification_config(self, fmea_payload):
+        base = AnalysisRequest.from_payload(fmea_payload)
+        tweaked_payload = json.loads(json.dumps(fmea_payload))
+        tweaked_payload["config"]["threshold"] = 0.5
+        tweaked = AnalysisRequest.from_payload(tweaked_payload)
+        # The campaign fingerprint deliberately ignores the classification
+        # threshold; the service cache key must not.
+        assert base.fingerprint() == tweaked.fingerprint()
+        assert base.cache_key() != tweaked.cache_key()
+
+
+# -- lifecycle ---------------------------------------------------------------
+
+
+class TestLifecycle:
+    def test_submit_requires_running_service(self, tmp_path, fmea_payload):
+        svc = AnalysisService(tmp_path / "ledger.jsonl")
+        with pytest.raises(ServiceError, match="not running"):
+            svc.submit(fmea_payload)
+
+    def test_unknown_job_raises(self, service):
+        with pytest.raises(ServiceError, match="unknown job"):
+            service.job("nope")
+
+    def test_status_shape(self, service):
+        status = service.status()
+        assert status["running"] is True
+        assert status["workers"] == 2
+        assert status["cache_hits"] == 0
+        assert "job_wall_p99" in status
+
+
+# -- compute + cache ---------------------------------------------------------
+
+
+class TestComputeAndCache:
+    def test_resubmission_served_from_ledger_bit_identical(
+        self, service, fmea_payload
+    ):
+        first = _finish(service, service.submit(fmea_payload))
+        assert first.state == "done"
+        assert first.cached is False
+        assert first.result["from_cache"] is False
+        assert first.result["rows"]
+        assert first.result["spfm"] > 0
+
+        second = _finish(service, service.submit(fmea_payload))
+        assert second.state == "done"
+        assert second.cached is True
+        assert second.result["from_cache"] is True
+        # Bit-identical: the cached rows ARE the recorded rows.
+        assert second.result["rows"] == first.result["rows"]
+        assert second.result["spfm"] == first.result["spfm"]
+        assert second.result["asil"] == first.result["asil"]
+        assert second.result["entry"] == first.result["entry"]
+        assert second.fingerprint == first.fingerprint
+
+        assert int(obs.counter("service_cache_hits").value) == 1
+        assert int(obs.counter("service_cache_misses").value) == 1
+        # Exactly ONE ledger entry: the hit appended nothing.
+        entries = service.ledger.entries()
+        assert len(entries) == 1
+        assert entries[0].meta["service"] is True
+        assert entries[0].meta["service_cache_key"] == first.cache_key
+
+    def test_threshold_change_recomputes(self, service, fmea_payload):
+        _finish(service, service.submit(fmea_payload))
+        tweaked = json.loads(json.dumps(fmea_payload))
+        tweaked["config"]["threshold"] = 0.9
+        job = _finish(service, service.submit(tweaked))
+        assert job.state == "done"
+        assert job.cached is False
+        assert int(obs.counter("service_cache_misses").value) == 2
+
+    def test_model_mutation_recomputes(
+        self, service, fmea_payload, psu_simulink, psu_reliability
+    ):
+        _finish(service, service.submit(fmea_payload))
+        mutated = psu_simulink.to_dict()
+        mutated["diagram"]["blocks"][0]["parameters"] = dict(
+            mutated["diagram"]["blocks"][0].get("parameters", {}),
+            service_test_marker=1.0,
+        )
+        payload = {
+            "kind": "fmea",
+            "model": mutated,
+            "reliability": reliability_payload(psu_reliability),
+            "config": {
+                "sensors": ["CS1"],
+                "assume_stable": list(ASSUMED_STABLE),
+            },
+        }
+        job = _finish(service, service.submit(payload))
+        assert job.cached is False
+        assert int(obs.counter("service_cache_hits").value) == 0
+
+    def test_fmeda_job(self, service, fmea_payload, psu_fmea):
+        row = next(r for r in psu_fmea.rows if r.safety_related)
+        fmeda_payload = dict(
+            fmea_payload,
+            kind="fmeda",
+            deployments=[{
+                "component": row.component,
+                "failure_mode": row.failure_mode,
+                "mechanism": "SM-test",
+                "coverage": 0.9,
+                "cost": 1.0,
+            }],
+        )
+        job = _finish(service, service.submit(fmeda_payload))
+        assert job.state == "done", job.error
+        assert job.result["rows"]
+        assert job.result["asil"]
+        again = _finish(service, service.submit(fmeda_payload))
+        assert again.cached is True
+        assert again.result["rows"] == job.result["rows"]
+        # fmea and fmeda over the same model never share a cache entry.
+        plain = _finish(service, service.submit(fmea_payload))
+        assert plain.cached is False
+
+    def test_search_job(self, service, fmea_payload, psu_mechanisms):
+        mechanisms = [
+            {
+                "component_class": spec.component_class,
+                "failure_mode": spec.failure_mode,
+                "name": spec.name,
+                "coverage": spec.coverage,
+                "cost": spec.cost,
+            }
+            for spec in psu_mechanisms.specs()
+        ]
+        search_payload = dict(
+            fmea_payload,
+            kind="search",
+            mechanisms=mechanisms,
+            target_asil="ASIL-A",
+        )
+        job = _finish(service, service.submit(search_payload))
+        assert job.state == "done", job.error
+        assert job.result["target_asil"] == "ASIL-A"
+        assert "asil" in job.result
+        again = _finish(service, service.submit(search_payload))
+        assert again.cached is True
+        # An unreachable target is a real (but uncacheable) answer.
+        unreachable = dict(search_payload, target_asil="ASIL-D",
+                           mechanisms=mechanisms[:1])
+        job = _finish(service, service.submit(unreachable))
+        assert job.state == "done", job.error
+        if job.result.get("plan", "") is None:
+            assert job.cached is False
+
+    def test_failed_job_reports_error(self, service, fmea_payload):
+        bad = dict(fmea_payload, model={"format": "repro-simulink/1",
+                                        "name": "broken",
+                                        "diagram": {"blocks": "garbage"}})
+        job = _finish(service, service.submit(bad))
+        assert job.state == "failed"
+        assert job.error
+        assert int(obs.counter("service_jobs_failed").value) == 1
+
+    def test_job_events_ride_the_bus(self, service, fmea_payload):
+        obs.enable_events()
+        types = []
+        obs.event_bus().add_callback(lambda e: types.append(e.type))
+        _finish(service, service.submit(fmea_payload))
+        assert "job_submitted" in types
+        assert "job_started" in types
+        assert "job_finished" in types
+
+
+# -- multi-tenant concurrency (the satellite acceptance test) ----------------
+
+
+def _http_request(host, port, method, path, body=None, timeout=30.0):
+    conn = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        headers = {}
+        if body is not None:
+            body = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        conn.request(method, path, body=body, headers=headers)
+        response = conn.getresponse()
+        raw = response.read()
+        try:
+            payload = json.loads(raw)
+        except ValueError:
+            payload = raw
+        return response.status, payload
+    finally:
+        conn.close()
+
+
+def _poll_done(host, port, job_id, timeout=JOB_TIMEOUT):
+    import time as _time
+
+    deadline = _time.monotonic() + timeout
+    while _time.monotonic() < deadline:
+        status, payload = _http_request(host, port, "GET", f"/jobs/{job_id}")
+        assert status == 200
+        if payload["state"] in ("done", "failed"):
+            return payload
+        _time.sleep(0.02)
+    raise AssertionError(f"job {job_id} did not finish")
+
+
+@pytest.fixture
+def server(tmp_path):
+    service = AnalysisService(tmp_path / "ledger.jsonl", workers=3)
+    srv = AnalysisServiceServer(service, "127.0.0.1", 0).start()
+    yield srv
+    srv.stop()
+
+
+class TestMultiTenantConcurrency:
+    CLIENTS = 6
+
+    def test_overlapping_tenants_hit_the_cache(
+        self, server, psu_simulink, psu_reliability, psu_fmea
+    ):
+        host, port = server.address
+
+        model_a = psu_simulink.to_dict()
+        model_b = psu_simulink.to_dict()
+        model_b["name"] = "psu-tenant-b"
+        row = next(r for r in psu_fmea.rows if r.safety_related)
+        payloads = [
+            _payload(psu_simulink, psu_reliability) | {"model": model_a},
+            _payload(psu_simulink, psu_reliability) | {"model": model_b},
+            _payload(psu_simulink, psu_reliability) | {
+                "model": model_a,
+                "kind": "fmeda",
+                "deployments": [{
+                    "component": row.component,
+                    "failure_mode": row.failure_mode,
+                    "mechanism": "SM-test",
+                    "coverage": 0.9,
+                }],
+            },
+        ]
+
+        # Seed: compute each distinct analysis once.
+        seeds = []
+        for payload in payloads:
+            status, accepted = _http_request(
+                host, port, "POST", "/jobs", payload
+            )
+            assert status == 202
+            seeds.append(_poll_done(host, port, accepted["id"]))
+        assert all(seed["state"] == "done" for seed in seeds)
+        assert all(seed["cached"] is False for seed in seeds)
+
+        # Hammer: CLIENTS threads × all payloads, concurrently.
+        results = []
+        results_lock = threading.Lock()
+        errors = []
+
+        def client(index):
+            try:
+                mine = []
+                for offset in range(len(payloads)):
+                    payload = dict(
+                        payloads[(index + offset) % len(payloads)],
+                        tenant=f"tenant-{index}",
+                    )
+                    status, accepted = _http_request(
+                        host, port, "POST", "/jobs", payload
+                    )
+                    assert status == 202
+                    mine.append(accepted["id"])
+                finished = [
+                    _poll_done(host, port, job_id) for job_id in mine
+                ]
+                with results_lock:
+                    results.extend(finished)
+            except Exception as exc:  # noqa: BLE001 — surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=client, args=(i,))
+            for i in range(self.CLIENTS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=JOB_TIMEOUT)
+        assert not errors, errors
+
+        total = self.CLIENTS * len(payloads)
+        assert len(results) == total
+        assert all(job["state"] == "done" for job in results)
+        # Cache-hit rate: every hammered job was seeded, so every one is a
+        # cache hit — no recompute happened anywhere.
+        assert all(job["cached"] is True for job in results)
+        assert int(obs.counter("service_cache_hits").value) == total
+        assert int(obs.counter("service_cache_misses").value) == len(payloads)
+
+        # Bit-identical: every cached result matches its seed, per key.
+        by_fingerprint = {}
+        for seed in seeds:
+            key = (seed["fingerprint"], seed["kind"])
+            by_fingerprint[key] = seed["result"]["rows"]
+        for job in results:
+            key = (job["fingerprint"], job["kind"])
+            assert job["result"]["rows"] == by_fingerprint[key]
+
+        # p99 latency bound on cache hits: a hit is a ledger scan, not a
+        # campaign; even with queueing it stays well under a compute.
+        walls = sorted(job["wall_seconds"] for job in results)
+        p99 = walls[min(len(walls) - 1, int(0.99 * len(walls)))]
+        assert p99 < 5.0, f"cache-hit p99 {p99:.3f}s"
+        status = server.service.status()
+        assert status["job_wall_p99"] >= 0.0
+
+        # The ledger gained nothing beyond the seeds.
+        assert len(server.service.ledger.entries()) == len(payloads)
+
+
+# -- HTTP surface ------------------------------------------------------------
+
+
+class TestHTTPEndpoints:
+    def test_submit_poll_and_list(self, server, fmea_payload):
+        host, port = server.address
+        status, accepted = _http_request(
+            host, port, "POST", "/jobs", fmea_payload
+        )
+        assert status == 202
+        assert accepted["url"] == f"/jobs/{accepted['id']}"
+        done = _poll_done(host, port, accepted["id"])
+        assert done["state"] == "done"
+        assert done["result"]["rows"]
+
+        status, listing = _http_request(host, port, "GET", "/jobs")
+        assert status == 200
+        assert listing["service"]["workers"] == 3
+        summaries = {job["id"]: job for job in listing["jobs"]}
+        assert accepted["id"] in summaries
+        # The listing carries summaries, not result payloads.
+        assert "result" not in summaries[accepted["id"]]
+
+    def test_healthz_and_metrics_carry_service_state(
+        self, server, fmea_payload
+    ):
+        host, port = server.address
+        _, accepted = _http_request(host, port, "POST", "/jobs", fmea_payload)
+        _poll_done(host, port, accepted["id"])
+        _, accepted = _http_request(host, port, "POST", "/jobs", fmea_payload)
+        _poll_done(host, port, accepted["id"])
+
+        status, health = _http_request(host, port, "GET", "/healthz")
+        assert status == 200
+        assert health["service"]["cache_hits"] == 1
+        assert health["service"]["jobs"]["done"] == 2
+
+        status, metrics = _http_request(host, port, "GET", "/metrics")
+        assert status == 200
+        text = metrics.decode("utf-8")
+        assert "service_cache_hits 1" in text
+        assert "service_jobs_submitted 2" in text
+        assert "service_job_wall_seconds_count 2" in text
+
+    def test_invalid_json_is_400(self, server):
+        conn = http.client.HTTPConnection(*server.address, timeout=10)
+        try:
+            conn.request(
+                "POST", "/jobs", body=b"{not json",
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            payload = json.loads(response.read())
+        finally:
+            conn.close()
+        assert response.status == 400
+        assert "error" in payload
+
+    def test_bad_request_is_400(self, server, fmea_payload):
+        status, payload = _http_request(
+            *server.address, "POST", "/jobs",
+            dict(fmea_payload, kind="nope"),
+        )
+        assert status == 400
+        assert "kind" in payload["error"]
+
+    def test_unknown_job_is_404(self, server):
+        status, payload = _http_request(
+            *server.address, "GET", "/jobs/ffffffffffff"
+        )
+        assert status == 404
+        assert "error" in payload
+
+    def test_unknown_post_path_is_404(self, server):
+        status, _ = _http_request(
+            *server.address, "POST", "/nope", {"x": 1}
+        )
+        assert status == 404
+
+
+# -- facade ------------------------------------------------------------------
+
+
+class TestSameFacade:
+    def test_serve_analysis_shares_the_ledger(self, tmp_path, fmea_payload):
+        from repro.same import SAME
+
+        same = SAME()
+        same.set_ledger(tmp_path / "ledger.jsonl")
+        server = same.serve_analysis()
+        try:
+            job = server.service.submit(fmea_payload)
+            server.service.wait(job.id, JOB_TIMEOUT)
+            assert job.state == "done", job.error
+        finally:
+            server.stop()
+        # The service recorded into the facade's ledger.
+        assert same.ledger.entries()
+
+    def test_serve_analysis_requires_ledger(self):
+        from repro.same import SAME
+
+        with pytest.raises(Exception, match="ledger"):
+            SAME().serve_analysis()

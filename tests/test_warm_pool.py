@@ -147,3 +147,128 @@ class TestCampaignIntegration:
         finally:
             pool.shutdown_all()
         assert not other.stats.pool_reused
+
+
+class TestFingerprintStaleness:
+    """Regression: the campaign fingerprint used to be cached forever on
+    the campaign object, so mutating the model between ``run()`` calls
+    (the DECISIVE / service-tenant workflow) kept matching the OLD model's
+    warm pool and checkpoint keys."""
+
+    def test_fingerprint_recomputed_per_run(self):
+        model = build_power_supply_simulink()
+        campaign = FaultInjectionCampaign(
+            model, power_supply_reliability(),
+            assume_stable=ASSUMED_STABLE,
+        )
+        campaign.run()
+        first = campaign._campaign_token()
+        model.block("DC1").set_param("voltage", 6.0)
+        campaign.run()
+        second = campaign._campaign_token()
+        assert first != second
+
+    def test_unmutated_rerun_keeps_the_token(self):
+        campaign = FaultInjectionCampaign(
+            build_power_supply_simulink(), power_supply_reliability(),
+            assume_stable=ASSUMED_STABLE,
+        )
+        campaign.run()
+        first = campaign._campaign_token()
+        campaign.run()
+        assert campaign._campaign_token() == first
+
+    def test_mutated_model_does_not_reuse_the_pool(self, fake_pool):
+        model = build_power_supply_simulink()
+        campaign = FaultInjectionCampaign(
+            model, power_supply_reliability(),
+            assume_stable=ASSUMED_STABLE, workers=2,
+        )
+        token = campaign._campaign_token()
+        executor, reused = pool.acquire(
+            (token, 2, campaign.incremental, False, False,
+             campaign.retry_policy, campaign.job_timeout,
+             campaign.solver_backend),
+            2, _init, (),
+        )
+        assert not reused
+        pool.release(executor)
+
+        model.block("DC1").set_param("voltage", 6.0)
+        campaign._fingerprint = None  # what _run_campaign does at entry
+        stale = campaign._campaign_token()
+        assert stale != token
+        executor2, reused2 = pool.acquire(
+            (stale, 2, campaign.incremental, False, False,
+             campaign.retry_policy, campaign.job_timeout,
+             campaign.solver_backend),
+            2, _init, (),
+        )
+        assert not reused2  # token mismatch discarded the stale pool
+        assert executor.shut_down
+
+
+class TestPoolLocking:
+    """The module-global ``_CACHED`` is mutated from the service's
+    concurrent worker threads; every read-modify-write must hold the
+    module lock and reuse accounting must stay exact."""
+
+    def test_concurrent_acquire_release_same_token(self, fake_pool):
+        import threading
+
+        from repro import obs
+
+        obs.reset()
+        reuses = []
+        lock = threading.Lock()
+
+        def worker():
+            for _ in range(20):
+                executor, reused = pool.acquire(("T",), 2, _init, ())
+                with lock:
+                    reuses.append(reused)
+                executor_is_cached = pool.status()["warm"]
+                assert executor_is_cached in (True, False)
+                pool.release(executor)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        # Same token throughout: exactly ONE construction ever happens,
+        # every other acquire is a reuse — under the lock the counter and
+        # the returned flags agree exactly.
+        assert len(_FakeExecutor.instances) == 1
+        assert sum(1 for r in reuses if not r) == 1
+        assert int(obs.counter("campaign_pool_reuses").value) == (
+            len(reuses) - 1
+        )
+
+    def test_concurrent_mixed_tokens_never_deadlock(self, fake_pool):
+        import threading
+
+        errors = []
+
+        def worker(token):
+            try:
+                for _ in range(10):
+                    executor, _ = pool.acquire((token,), 2, _init, ())
+                    pool.release(executor)
+                    pool.status()
+            except Exception as exc:  # noqa: BLE001 — surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(name,))
+            for name in ("a", "b", "a", "b")
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not errors, errors
+        assert not any(thread.is_alive() for thread in threads)
+        pool.shutdown_all()
+        assert pool.status()["warm"] is False
