@@ -16,6 +16,7 @@ any analysis command records provenance entries)::
     same history           --ledger ledger.jsonl [--kind fmeda] [--model m]
     same diff              --ledger ledger.jsonl @0 @-1 [--json]
     same watch-regressions --ledger ledger.jsonl [--baseline REF] [--json]
+    same slo               --url http://HOST:PORT [--ledger ledger.jsonl]
 """
 
 from __future__ import annotations
@@ -50,30 +51,43 @@ def _obs_begin(args: argparse.Namespace) -> dict:
 
     Returns a session dict carrying everything :func:`_obs_end` must tear
     down: the live HTTP server (``--serve``), the console renderer
-    (``--progress``), the JSONL event sink (``--events``) and the sampling
-    profiler (``--profile``).  ``--serve`` turns on both tracing (so
-    ``/metrics`` has live content) and the event bus (so ``/events``
-    streams); ``--progress``/``--events`` need only the event bus.
+    (``--progress``), the JSONL event sink (``--events``), the structured
+    log plane (``--logs``) and the sampling profiler (``--profile``).
+    ``--serve`` turns on both tracing (so ``/metrics`` has live content)
+    and the event bus (so ``/events`` streams); ``--progress``/``--events``
+    need only the event bus.
+
+    Whenever any plane is armed, the invocation also mints a correlation
+    id and installs it process-wide, so every span, event and log record
+    the run produces — pool workers included — carries the same id.
     """
     session: dict = {}
     serve = getattr(args, "serve", None)
     progress = bool(getattr(args, "progress", False))
     events_path = getattr(args, "events", None)
+    logs_path = getattr(args, "logs", None)
     profile_path = getattr(args, "profile", None)
     wants_trace = bool(
         getattr(args, "trace", None) or getattr(args, "metrics", None) or serve
     )
     wants_events = bool(serve or progress or events_path)
-    if not (wants_trace or wants_events or profile_path):
+    if not (wants_trace or wants_events or logs_path or profile_path):
         return session
     from repro import obs
 
+    session["cid"] = obs.mint_correlation_id()
+    obs.set_correlation_id(session["cid"])
     if wants_trace and not obs.enabled():
         obs.enable()
         session["disable_tracing"] = True
     if wants_events and not obs.events_enabled():
         obs.enable_events()
         session["disable_events"] = True
+    if logs_path and not obs.logs_enabled():
+        obs.enable_logs()
+        session["disable_logs"] = True
+    if logs_path:
+        session["logs_path"] = logs_path
     if events_path:
         session["events_path"] = obs.event_bus().attach_jsonl(events_path)
     if progress:
@@ -145,19 +159,34 @@ def _obs_end(
         path = session["events_path"]
         print(f"event log written to {path}")
         artifacts.append(("events", path))
+    if session.get("logs_path") is not None:
+        from repro import obs
+
+        path = obs.log_plane().write_jsonl(session["logs_path"])
+        print(f"structured log written to {path}")
+        artifacts.append(("log", path))
     if session.get("renderer") is not None:
         from repro import obs
 
         obs.event_bus().remove_callback(session["renderer"])
     if session.get("server") is not None:
         session["server"].stop()
-    if session.get("disable_events") or session.get("disable_tracing"):
+    if (
+        session.get("disable_events")
+        or session.get("disable_tracing")
+        or session.get("disable_logs")
+        or session.get("cid")
+    ):
         from repro import obs
 
         if session.get("disable_events"):
             obs.disable_events()
         if session.get("disable_tracing"):
             obs.disable()
+        if session.get("disable_logs"):
+            obs.disable_logs()
+        if session.get("cid"):
+            obs.set_correlation_id(None)
     ledger = getattr(same, "ledger", None) if same is not None else None
     if ledger is not None and artifacts:
         try:
@@ -506,6 +535,53 @@ def _cmd_watch_regressions(args: argparse.Namespace) -> int:
     return 1 if regressions else 0
 
 
+def _cmd_slo(args: argparse.Namespace) -> int:
+    """``same slo`` — the SLO gate: live burn rates from a running
+    service and/or the SLO verdict stamped on a recorded ledger entry.
+    Exits non-zero when anything is breached."""
+    import json as _json
+
+    from repro.obs.slo import render_report
+
+    if not args.url and not args.ledger:
+        raise SystemExit("same slo needs --url and/or --ledger")
+    rank = {"ok": 0, "warning": 1, "breached": 2}
+    worst = "ok"
+    if args.url:
+        from urllib.request import urlopen
+
+        url = args.url.rstrip("/") + "/healthz"
+        with urlopen(url, timeout=10.0) as response:
+            health = _json.loads(response.read().decode("utf-8"))
+        report = health.get("slo")
+        if not isinstance(report, dict):
+            raise SystemExit(f"{url} exposes no slo section")
+        if args.json:
+            print(_json.dumps(report, indent=2, sort_keys=True))
+        else:
+            print(render_report(report))
+        status = str(report.get("status", "ok"))
+        worst = max(worst, status, key=lambda s: rank.get(s, 0))
+    if args.ledger:
+        ledger = _open_ledger(args)
+        entry = ledger.resolve(args.entry)
+        slo = entry.meta.get("slo")
+        if not isinstance(slo, dict):
+            print(f"{entry.entry_id}: no SLO verdict recorded")
+        else:
+            status = str(slo.get("status", "ok"))
+            line = f"{entry.entry_id}: slo {status}"
+            breached = [str(name) for name in slo.get("breached", [])]
+            warning = [str(name) for name in slo.get("warning", [])]
+            if breached:
+                line += f" (breached: {', '.join(breached)})"
+            if warning:
+                line += f" (warning: {', '.join(warning)})"
+            print(line)
+            worst = max(worst, status, key=lambda s: rank.get(s, 0))
+    return 1 if worst == "breached" else 0
+
+
 def _cmd_serve_analysis(args: argparse.Namespace) -> int:
     import time
 
@@ -513,12 +589,25 @@ def _cmd_serve_analysis(args: argparse.Namespace) -> int:
     from repro.obs.ledger import AnalysisLedger
     from repro.service import AnalysisService, AnalysisServiceServer
 
-    # The service plane wants both metrics (/metrics has live content) and
-    # the event bus (/events streams job lifecycle, /healthz aggregates it).
+    # The service plane wants metrics (/metrics has live content), the
+    # event bus (/events streams job lifecycle, /healthz aggregates it)
+    # and the log plane (per-job structured logs become ledger artifacts).
     if not obs.enabled():
         obs.enable()
     if not obs.events_enabled():
         obs.enable_events()
+    if not obs.logs_enabled():
+        obs.enable_logs()
+
+    slo_objectives = None
+    if args.slo:
+        import json as _json
+
+        from repro.obs.slo import objectives_from_config
+
+        slo_objectives = objectives_from_config(
+            _json.loads(Path(args.slo).read_text(encoding="utf-8"))
+        )
 
     host, port = _parse_serve(args.bind)
     ledger = AnalysisLedger(args.ledger)
@@ -526,11 +615,13 @@ def _cmd_serve_analysis(args: argparse.Namespace) -> int:
         ledger,
         workers=args.service_workers,
         checkpoint_dir=args.checkpoint_dir,
+        slo_objectives=slo_objectives,
     )
     server = AnalysisServiceServer(service, host, port).start()
     print(
         f"analysis service at {server.url}  "
-        f"(POST /jobs; GET /jobs /jobs/<id> /metrics /healthz /events)",
+        f"(POST /jobs; GET /jobs /jobs/<id> /jobs/<id>/events "
+        f"/metrics /healthz /events)",
         flush=True,
     )
     deadline = (
@@ -701,6 +792,12 @@ def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
         help="append every progress event to this JSONL file",
     )
     parser.add_argument(
+        "--logs",
+        metavar="PATH",
+        help="write structured JSONL logs (leveled records carrying the "
+        "invocation's correlation id) to PATH",
+    )
+    parser.add_argument(
         "--profile",
         metavar="PATH",
         help="sample the analysis with a SIGPROF profiler and write "
@@ -834,6 +931,28 @@ def build_parser() -> argparse.ArgumentParser:
     watch.add_argument("--json", action="store_true")
     watch.set_defaults(func=_cmd_watch_regressions)
 
+    slo = sub.add_parser(
+        "slo",
+        help="inspect service-level objectives: live burn rates from a "
+        "running analysis service and/or the SLO verdict recorded on a "
+        "ledger entry; exits non-zero when breached",
+    )
+    slo.add_argument(
+        "--url",
+        help="base URL of a running analysis service (reads /healthz)",
+    )
+    slo.add_argument(
+        "--ledger",
+        help="analysis ledger JSONL to check a recorded entry's verdict",
+    )
+    slo.add_argument(
+        "--entry",
+        default="latest",
+        help="ledger entry reference (default: latest)",
+    )
+    slo.add_argument("--json", action="store_true")
+    slo.set_defaults(func=_cmd_slo)
+
     render = sub.add_parser("render", help="render SSAM model views")
     render.add_argument("--ssam", required=True)
     render.add_argument(
@@ -873,6 +992,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--checkpoint-dir",
         default=None,
         help="directory for per-fingerprint campaign checkpoints",
+    )
+    serve.add_argument(
+        "--slo",
+        metavar="CONFIG.json",
+        default=None,
+        help="JSON list of SLO objective dicts replacing the default "
+        "objectives (fields as in repro.obs.slo.Objective)",
     )
     serve.add_argument(
         "--max-seconds",

@@ -33,12 +33,28 @@ progress :class:`~repro.obs.events.EventBus` (:func:`enable_events` /
 ``/events`` (:func:`serve_live`), and a sampling profiler
 (``repro.obs.profile``).  Worker events ride the same
 ``drain_worker_data`` / ``ingest_worker_data`` delta path as spans.
+
+A third plane carries **structured logs** (:func:`enable_logs` /
+:func:`log`, ``repro.obs.logs``): leveled JSONL records for service
+operators, again independently switched and worker-drained.
+
+Cutting across all three planes is the **correlation context**: the
+analysis service mints a ``correlation_id`` per job (the CLI per
+invocation), installs it with :func:`correlation` /
+:func:`set_correlation_id`, and every event, span attribute, log record
+and ledger entry emitted underneath carries it — including from pool
+workers, which receive the id through their initargs.  That is what makes
+``/jobs/<id>/events`` per-job streams and per-job log artifacts possible
+on a multi-tenant service.
 """
 
 from __future__ import annotations
 
+import threading
+import uuid
+from contextlib import contextmanager
 from pathlib import Path
-from typing import Dict, List, Mapping, Optional, Sequence, Union
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Union
 
 from repro.obs.export import (
     chrome_trace_events,
@@ -59,12 +75,16 @@ from repro.obs.metrics import (
     MetricsRegistry,
 )
 from repro.obs.events import ConsoleProgress, Event, EventBus
+from repro.obs.logs import LogRecord, StructuredLog
 from repro.obs.tracing import NOOP_SPAN, Span, SpanRecord, Tracer
 
 __all__ = [
     "enable", "disable", "enabled", "reset",
     "enable_events", "disable_events", "events_enabled",
     "emit_event", "event_bus", "serve_live",
+    "enable_logs", "disable_logs", "logs_enabled", "log", "log_plane",
+    "mint_correlation_id", "set_correlation_id", "correlation_id",
+    "correlation",
     "span", "current_span_id", "current_span_name", "tracer",
     "counter", "gauge", "histogram", "registry",
     "drain_worker_data", "ingest_worker_data",
@@ -74,13 +94,67 @@ __all__ = [
     "Counter", "Gauge", "Histogram", "MetricsRegistry", "MetricError",
     "Span", "SpanRecord", "Tracer", "NOOP_SPAN", "DEFAULT_TIME_BUCKETS",
     "Event", "EventBus", "ConsoleProgress",
+    "LogRecord", "StructuredLog",
 ]
 
 _ENABLED: bool = False
 _EVENTS_ENABLED: bool = False
+_LOGS_ENABLED: bool = False
 _TRACER = Tracer()
 _REGISTRY = MetricsRegistry()
 _BUS = EventBus()
+_LOG = StructuredLog()
+
+# -- correlation context ----------------------------------------------------
+# Thread-local stack over a process-global default: the service's worker
+# threads each run a different job concurrently (thread-local wins), while
+# pool worker *processes* are single-job at a time and get the id installed
+# once via initargs (the global default).
+
+_CID_LOCAL = threading.local()
+_CID_GLOBAL: Optional[str] = None
+
+
+def mint_correlation_id() -> str:
+    """A fresh 16-hex-char correlation id (collision-safe per service)."""
+    return uuid.uuid4().hex[:16]
+
+
+def set_correlation_id(cid: Optional[str]) -> None:
+    """Install ``cid`` as the process-global default correlation id
+    (``None`` clears it).  Pool workers call this from their initializer;
+    the CLI calls it once per invocation."""
+    global _CID_GLOBAL
+    _CID_GLOBAL = None if cid is None else str(cid)
+
+
+def correlation_id() -> Optional[str]:
+    """The ambient correlation id: innermost :func:`correlation` scope on
+    this thread, else the process-global default, else ``None``."""
+    stack = getattr(_CID_LOCAL, "stack", None)
+    if stack:
+        return stack[-1]
+    return _CID_GLOBAL
+
+
+@contextmanager
+def correlation(cid: Optional[str]) -> Iterator[Optional[str]]:
+    """Scope ``cid`` as this thread's correlation id.  ``None`` is a
+    no-op passthrough, so callers can thread an optional id untested."""
+    if cid is None:
+        yield None
+        return
+    stack = getattr(_CID_LOCAL, "stack", None)
+    if stack is None:
+        stack = []
+        _CID_LOCAL.stack = stack
+    stack.append(str(cid))
+    try:
+        yield str(cid)
+    finally:
+        stack.pop()
+
+_TRACER.cid_provider = correlation_id
 
 
 def enable() -> None:
@@ -99,11 +173,14 @@ def enabled() -> bool:
 
 
 def reset() -> None:
-    """Drop all collected spans, metrics and buffered events (the enabled
-    flags are kept)."""
+    """Drop all collected spans, metrics, buffered events and log records
+    (the enabled flags are kept; the correlation context is cleared)."""
+    global _CID_GLOBAL
     _TRACER.clear()
     _REGISTRY.reset()
     _BUS.clear()
+    _LOG.clear()
+    _CID_GLOBAL = None
 
 
 # -- the live-telemetry plane (events; independently switched) --------------
@@ -127,11 +204,12 @@ def events_enabled() -> bool:
 
 
 def emit_event(type_: str, **payload: object):
-    """Publish one typed progress event; ``None`` (one flag check) when the
-    event bus is disabled — same hot-path discipline as :func:`span`."""
+    """Publish one typed progress event stamped with the ambient
+    correlation id; ``None`` (one flag check) when the event bus is
+    disabled — same hot-path discipline as :func:`span`."""
     if not _EVENTS_ENABLED:
         return None
-    return _BUS.emit(type_, payload)
+    return _BUS.emit(type_, payload, cid=correlation_id())
 
 
 def event_bus() -> EventBus:
@@ -145,6 +223,37 @@ def serve_live(host: str = "127.0.0.1", port: int = 0):
     from repro.obs.live import LiveTelemetryServer
 
     return LiveTelemetryServer(host, port).start()
+
+
+# -- the structured-log plane (independently switched) -----------------------
+
+
+def enable_logs() -> None:
+    """Turn the structured log plane on (module-wide, independent of
+    :func:`enable` and :func:`enable_events`)."""
+    global _LOGS_ENABLED
+    _LOGS_ENABLED = True
+
+
+def disable_logs() -> None:
+    global _LOGS_ENABLED
+    _LOGS_ENABLED = False
+
+
+def logs_enabled() -> bool:
+    return _LOGS_ENABLED
+
+
+def log(level: str, message: str, **fields: object):
+    """Append one structured log record stamped with the ambient
+    correlation id; ``None`` (one flag check) when the plane is off."""
+    if not _LOGS_ENABLED:
+        return None
+    return _LOG.log(level, message, cid=correlation_id(), **fields)
+
+
+def log_plane() -> StructuredLog:
+    return _LOG
 
 
 # -- tracing ----------------------------------------------------------------
@@ -205,7 +314,7 @@ def drain_worker_data() -> Optional[Dict[str, object]]:
     (the warm campaign pool serves many chunks, possibly across campaigns)
     must hand each chunk's delta to the parent exactly once, never its
     cumulative history."""
-    if not _ENABLED and not _EVENTS_ENABLED:
+    if not _ENABLED and not _EVENTS_ENABLED and not _LOGS_ENABLED:
         return None
     payload: Dict[str, object] = {}
     if _ENABLED:
@@ -215,6 +324,8 @@ def drain_worker_data() -> Optional[Dict[str, object]]:
         payload["metrics"] = snapshot
     if _EVENTS_ENABLED:
         payload["events"] = _BUS.drain_dicts()
+    if _LOGS_ENABLED:
+        payload["logs"] = _LOG.drain_dicts()
     return payload
 
 
@@ -244,6 +355,10 @@ def ingest_worker_data(
         events = payload.get("events")
         if events:
             _BUS.ingest(events)  # type: ignore[arg-type]
+    if _LOGS_ENABLED:
+        records = payload.get("logs")
+        if records:
+            _LOG.ingest(records)  # type: ignore[arg-type]
     return merged
 
 

@@ -29,6 +29,7 @@ Everything here is dependency-free and lock-protected; with events disabled
 from __future__ import annotations
 
 import json
+import math
 import os
 import queue
 import sys
@@ -48,31 +49,42 @@ DEFAULT_BUFFER = 1024
 
 @dataclass
 class Event:
-    """One typed progress event."""
+    """One typed progress event.
+
+    ``cid`` is the correlation id of the job/invocation the event belongs
+    to (``None`` for uncorrelated emitters); it survives the worker
+    drain/ingest round-trip so per-job streams include pool-worker events.
+    """
 
     seq: int
     type: str
     ts: float  # wall clock (time.time) at emit, for humans and ETAs
     pid: int
     payload: Dict[str, object] = field(default_factory=dict)
+    cid: Optional[str] = None
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        out: Dict[str, object] = {
             "seq": self.seq,
             "type": self.type,
             "ts": self.ts,
             "pid": self.pid,
             "payload": dict(self.payload),
         }
+        if self.cid is not None:
+            out["cid"] = self.cid
+        return out
 
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "Event":
+        cid = data.get("cid")
         return cls(
             seq=int(data.get("seq", 0)),
             type=str(data["type"]),
             ts=float(data.get("ts", 0.0)),
             pid=int(data.get("pid", 0)),
             payload=dict(data.get("payload", {})),  # type: ignore[arg-type]
+            cid=None if cid is None else str(cid),
         )
 
 
@@ -88,7 +100,11 @@ class EventBus:
         self._lock = threading.Lock()
         self._seq = 0
         self._buffer: "deque[Event]" = deque(maxlen=buffer)
-        self._queues: List["queue.Queue[Event]"] = []
+        #: Correlation-id index over ``_buffer``: per-stream replay without
+        #: scanning the whole ring.  Entries share the Event objects with
+        #: ``_buffer`` and are trimmed as the ring evicts.
+        self._by_cid: Dict[str, "deque[Event]"] = {}
+        self._queues: List["tuple[queue.Queue[Event], Optional[str]]"] = []
         self._callbacks: List[Callable[[Event], None]] = []
         self._sink = None
         self._sink_path: Optional[Path] = None
@@ -96,17 +112,45 @@ class EventBus:
 
     # -- producing ---------------------------------------------------------
 
-    def emit(self, type_: str, payload: Optional[Mapping[str, object]] = None) -> Event:
+    def emit(
+        self,
+        type_: str,
+        payload: Optional[Mapping[str, object]] = None,
+        cid: Optional[str] = None,
+    ) -> Event:
         """Publish one event (allocating the next sequence number)."""
-        return self._publish(type_, time.time(), os.getpid(), dict(payload or {}))
+        return self._publish(
+            type_, time.time(), os.getpid(), dict(payload or {}), cid
+        )
 
     def _publish(
-        self, type_: str, ts: float, pid: int, payload: Dict[str, object]
+        self,
+        type_: str,
+        ts: float,
+        pid: int,
+        payload: Dict[str, object],
+        cid: Optional[str] = None,
     ) -> Event:
         with self._lock:
             self._seq += 1
-            event = Event(seq=self._seq, type=type_, ts=ts, pid=pid, payload=payload)
+            event = Event(
+                seq=self._seq, type=type_, ts=ts, pid=pid, payload=payload, cid=cid
+            )
+            if (
+                self._buffer.maxlen is not None
+                and len(self._buffer) == self._buffer.maxlen
+                and self._buffer
+            ):
+                evicted = self._buffer[0]
+                if evicted.cid is not None:
+                    view = self._by_cid.get(evicted.cid)
+                    if view and view[0].seq == evicted.seq:
+                        view.popleft()
+                    if not view:
+                        self._by_cid.pop(evicted.cid, None)
             self._buffer.append(event)
+            if cid is not None:
+                self._by_cid.setdefault(cid, deque()).append(event)
             self._track_status(event)
             if self._sink is not None:
                 try:
@@ -114,7 +158,9 @@ class EventBus:
                     self._sink.flush()
                 except (OSError, ValueError):
                     self._sink = None  # dead sink: stop writing, keep emitting
-            queues = list(self._queues)
+            queues = [
+                q for q, want in self._queues if want is None or want == cid
+            ]
             callbacks = list(self._callbacks)
         for q in queues:
             q.put(event)
@@ -127,29 +173,64 @@ class EventBus:
                 pass
         return event
 
+    #: Bound on the per-campaign `/healthz` progress map: finished entries
+    #: are evicted oldest-first past this, so week-long service runs with
+    #: thousands of campaigns keep a constant-size health payload.
+    MAX_TRACKED_CAMPAIGNS = 16
+
+    @staticmethod
+    def _campaign_key(event: Event) -> str:
+        """Identity of the campaign a progress event belongs to.
+
+        Campaign events carry the campaign fingerprint; the correlation id
+        disambiguates identical campaigns run for different jobs.  Legacy
+        emitters with neither collapse onto one shared slot (the pre-keyed
+        behaviour)."""
+        fingerprint = event.payload.get("fingerprint")
+        if event.cid is not None and fingerprint:
+            return f"{fingerprint}/{event.cid}"
+        if fingerprint:
+            return str(fingerprint)
+        return event.cid or "-"
+
     def _track_status(self, event: Event) -> None:
-        """Maintain the `/healthz` campaign summary (caller holds the lock)."""
+        """Maintain the `/healthz` campaign summary (caller holds the lock).
+
+        Progress is tracked **per campaign** under ``campaigns`` (keyed by
+        fingerprint/correlation id, so two campaigns running concurrently
+        under the service do not clobber each other); the legacy
+        ``campaign`` key aliases the most recently *started* campaign's
+        entry."""
         self._status["last_seq"] = event.seq
         self._status["last_type"] = event.type
         self._status["last_ts"] = event.ts
         p = event.payload
         if event.type == "campaign_started":
-            self._status["campaign"] = {
+            info: Dict[str, object] = {
                 "active": True,
                 "system": p.get("system"),
                 "jobs_total": p.get("jobs"),
                 "jobs_done": p.get("resumed", 0),
                 "eta_seconds": None,
             }
+            if p.get("fingerprint"):
+                info["fingerprint"] = p.get("fingerprint")
+            if event.cid is not None:
+                info["correlation_id"] = event.cid
+            campaigns = self._status.setdefault("campaigns", {})
+            campaigns.pop(self._campaign_key(event), None)  # restart resets
+            campaigns[self._campaign_key(event)] = info  # type: ignore[index]
+            self._evict_campaigns(campaigns)  # type: ignore[arg-type]
+            self._status["campaign"] = info
         elif event.type == "chunk_completed":
-            campaign = self._status.setdefault("campaign", {"active": True})
-            campaign["jobs_done"] = p.get("done")  # type: ignore[index]
-            campaign["jobs_total"] = p.get("total")  # type: ignore[index]
-            campaign["eta_seconds"] = p.get("eta_seconds")  # type: ignore[index]
+            campaign = self._campaign_entry(event)
+            campaign["jobs_done"] = p.get("done")
+            campaign["jobs_total"] = p.get("total")
+            campaign["eta_seconds"] = p.get("eta_seconds")
         elif event.type == "campaign_finished":
-            campaign = self._status.setdefault("campaign", {})
-            campaign["active"] = False  # type: ignore[index]
-            campaign["eta_seconds"] = 0.0  # type: ignore[index]
+            campaign = self._campaign_entry(event)
+            campaign["active"] = False
+            campaign["eta_seconds"] = 0.0
         elif event.type in ("job_submitted", "job_started", "job_finished"):
             # Analysis-service job lifecycle (repro.service): running
             # totals so `/healthz` summarises the queue without reaching
@@ -168,23 +249,49 @@ class EventBus:
                     service["cached"] += 1  # type: ignore[index]
             service["last_job"] = p.get("job")  # type: ignore[index]
 
+    def _campaign_entry(self, event: Event) -> Dict[str, object]:
+        """The keyed progress entry for ``event``'s campaign (lock held)."""
+        campaigns = self._status.setdefault("campaigns", {})
+        entry = campaigns.setdefault(  # type: ignore[union-attr]
+            self._campaign_key(event), {"active": True}
+        )
+        if not isinstance(self._status.get("campaign"), dict):
+            self._status["campaign"] = entry
+        return entry  # type: ignore[return-value]
+
+    @classmethod
+    def _evict_campaigns(cls, campaigns: Dict[str, object]) -> None:
+        while len(campaigns) > cls.MAX_TRACKED_CAMPAIGNS:
+            for key, info in campaigns.items():
+                if not (isinstance(info, dict) and info.get("active")):
+                    campaigns.pop(key)
+                    break
+            else:  # all active: drop the oldest
+                campaigns.pop(next(iter(campaigns)))
+
     # -- consuming ---------------------------------------------------------
 
-    def subscribe(self, since: int = 0) -> "queue.Queue[Event]":
+    def subscribe(
+        self, since: int = 0, cid: Optional[str] = None
+    ) -> "queue.Queue[Event]":
         """A queue receiving every future event, pre-loaded with the
-        buffered events whose ``seq`` is greater than ``since``."""
+        buffered events whose ``seq`` is greater than ``since``.
+
+        With ``cid``, the subscription is a **per-stream view**: only
+        events carrying that correlation id are replayed (via the
+        id-indexed buffer view) and delivered."""
         q: "queue.Queue[Event]" = queue.Queue()
         with self._lock:
-            for event in self._buffer:
+            source = self._buffer if cid is None else self._by_cid.get(cid, ())
+            for event in source:
                 if event.seq > since:
                     q.put(event)
-            self._queues.append(q)
+            self._queues.append((q, cid))
         return q
 
     def unsubscribe(self, q: "queue.Queue[Event]") -> None:
         with self._lock:
-            if q in self._queues:
-                self._queues.remove(q)
+            self._queues = [pair for pair in self._queues if pair[0] is not q]
 
     def add_callback(self, callback: Callable[[Event], None]) -> None:
         with self._lock:
@@ -236,14 +343,16 @@ class EventBus:
         with self._lock:
             events = [event.to_dict() for event in self._buffer]
             self._buffer.clear()
+            self._by_cid.clear()
         return events
 
     def ingest(self, events: List[Mapping[str, object]]) -> List[Event]:
         """Parent side: re-publish drained worker events in order.
 
         Sequence numbers are reallocated on this bus (worker-local seqs are
-        meaningless across processes); origin ``ts`` and ``pid`` are kept,
-        so heartbeats still identify which worker they came from."""
+        meaningless across processes); origin ``ts``, ``pid`` and ``cid``
+        are kept, so heartbeats still identify which worker they came from
+        and per-job streams include worker-side events."""
         merged: List[Event] = []
         for data in events:
             try:
@@ -251,16 +360,20 @@ class EventBus:
             except (KeyError, TypeError, ValueError):
                 continue
             merged.append(
-                self._publish(event.type, event.ts, event.pid, dict(event.payload))
+                self._publish(
+                    event.type, event.ts, event.pid, dict(event.payload), event.cid
+                )
             )
         return merged
 
     # -- inspection / lifecycle -------------------------------------------
 
-    def events(self, since: int = 0) -> List[Event]:
-        """Buffered events with ``seq`` greater than ``since`` (replay)."""
+    def events(self, since: int = 0, cid: Optional[str] = None) -> List[Event]:
+        """Buffered events with ``seq`` greater than ``since`` (replay);
+        with ``cid``, only the events of that correlation stream."""
         with self._lock:
-            return [event for event in self._buffer if event.seq > since]
+            source = self._buffer if cid is None else self._by_cid.get(cid, ())
+            return [event for event in source if event.seq > since]
 
     def last_seq(self) -> int:
         with self._lock:
@@ -273,6 +386,12 @@ class EventBus:
             campaign = out.get("campaign")
             if isinstance(campaign, dict):
                 out["campaign"] = dict(campaign)
+            campaigns = out.get("campaigns")
+            if isinstance(campaigns, dict):
+                out["campaigns"] = {
+                    key: dict(info) if isinstance(info, dict) else info
+                    for key, info in campaigns.items()
+                }
             return out
 
     def clear(self) -> None:
@@ -282,6 +401,7 @@ class EventBus:
         the per-run reset (`obs.reset`), not a teardown."""
         with self._lock:
             self._buffer.clear()
+            self._by_cid.clear()
             self._seq = 0
             self._status = {}
 
@@ -311,6 +431,7 @@ class ConsoleProgress:
         self.stream = stream if stream is not None else sys.stderr
         self.min_interval = min_interval
         self._last_progress = 0.0
+        self._chunks_seen = 0
 
     def __call__(self, event: Event) -> None:
         if event.type not in self.RENDERED:
@@ -319,14 +440,27 @@ class ConsoleProgress:
         if event.type == "chunk_completed":
             done, total = p.get("done"), p.get("total")
             final = done is not None and done == total
+            self._chunks_seen += 1
             now = time.monotonic()
             if not final and now - self._last_progress < self.min_interval:
                 return
             self._last_progress = now
             eta = p.get("eta_seconds")
-            eta_text = f" eta={eta:.1f}s" if isinstance(eta, (int, float)) else ""
+            # One completed chunk is not a rate: zero- and single-job
+            # campaigns (and the first chunk of any campaign) render a
+            # placeholder instead of a division-derived 0.0/inf ETA.
+            if (
+                self._chunks_seen < 2
+                or not isinstance(eta, (int, float))
+                or isinstance(eta, bool)
+                or not math.isfinite(float(eta))
+            ):
+                eta_text = " eta=--:--"
+            else:
+                eta_text = f" eta={eta:.1f}s"
             self._write(f"progress {done}/{total}{eta_text}")
         elif event.type == "campaign_started":
+            self._chunks_seen = 0
             self._write(
                 "campaign started: system={system} analysis={analysis} "
                 "jobs={jobs} workers={workers} strategy={strategy}".format(

@@ -285,7 +285,7 @@ def diff_entries(before: LedgerEntry, after: LedgerEntry) -> LedgerDiff:
 class Regression:
     """One detected regression between a baseline and a candidate entry."""
 
-    kind: str  # 'spfm' | 'single-point' | 'wall-time' | 'asil' | 'strategy'
+    kind: str  # 'spfm'|'single-point'|'wall-time'|'asil'|'strategy'|'slo'
     message: str
 
 
@@ -312,10 +312,13 @@ def watch_regressions(
     Flags an SPFM drop beyond ``max_spfm_drop`` (absolute, default: any
     drop), a downgraded ASIL verdict, any new single-point fault, a
     wall-time regression beyond ``max_walltime_pct`` percent of the
-    baseline (``None`` disables the timing gate), and a strategy
+    baseline (``None`` disables the timing gate), a strategy
     inversion — the candidate entry's recorded per-strategy timings
     (``meta.timings``, written by the injection benchmark) showing a
-    batched strategy running slower than naive re-assembly.
+    batched strategy running slower than naive re-assembly — and an SLO
+    breach: the candidate was recorded by the analysis service while its
+    error budget was burning (``meta.slo``, stamped at record time by
+    :class:`~repro.service.jobs.AnalysisService`).
     """
     regressions: List[Regression] = []
     delta = diff.spfm_delta
@@ -370,6 +373,16 @@ def watch_regressions(
                         f"({batched:.3f}s vs {naive:.3f}s)",
                     )
                 )
+    slo = diff.after.meta.get("slo")
+    if isinstance(slo, dict) and slo.get("status") == "breached":
+        breached = [str(name) for name in slo.get("breached", [])]
+        regressions.append(
+            Regression(
+                "slo",
+                "candidate recorded while service SLOs were breached"
+                + (f" ({', '.join(breached)})" if breached else ""),
+            )
+        )
     return regressions
 
 

@@ -325,6 +325,12 @@ class AnalysisLedger:
             entry.git = git_describe()
         if entry.trace_span is None:
             entry.trace_span = obs.current_span_id()
+        # Provenance, like trace_span/timestamp: which run produced this
+        # entry.  Lives in meta, which the content digest excludes, so
+        # identical analyses still dedupe/diff as identical.
+        cid = obs.correlation_id()
+        if cid is not None:
+            entry.meta.setdefault("correlation_id", cid)
         entry.seq = self._next_seq()
         with obs.span(
             "ledger.record", entry=entry.entry_id, kind=entry.kind

@@ -12,10 +12,12 @@ service (ROADMAP item 1).  Three endpoints:
   solver backend, warm-pool state, and the event bus's campaign summary
   (jobs done/total + ETA);
 - ``GET /events`` — Server-Sent Events stream of the
-  :class:`~repro.obs.events.EventBus`.  ``?since=SEQ`` replays the bounded
-  buffer from a sequence number (reconnect support); ``?limit=N`` closes
-  the stream after N events (curl/test friendly).  Idle keepalive comments
-  every few seconds hold proxies open.
+  :class:`~repro.obs.events.EventBus`.  ``?since=SEQ`` (or the standard
+  ``Last-Event-ID`` request header an ``EventSource`` sends on reconnect;
+  the query parameter wins when both are present) replays the bounded
+  buffer from a sequence number; ``?limit=N`` closes the stream after N
+  events (curl/test friendly).  Idle keepalive comments every few seconds
+  hold proxies open.
 
 The server runs daemon-threaded next to the analysis (`--serve HOST:PORT`
 on the CLI, or :func:`repro.obs.serve_live` programmatically); ``port=0``
@@ -104,6 +106,7 @@ class _Handler(BaseHTTPRequestHandler):
             "observability": {
                 "tracing": obs.enabled(),
                 "events": obs.events_enabled(),
+                "logs": obs.logs_enabled(),
             },
             "solver_backend": _backend_status(),
             "pool": _pool_status(),
@@ -133,14 +136,29 @@ class _Handler(BaseHTTPRequestHandler):
             ) from None
         return max(0, value)
 
-    def _serve_events(self, query: Dict[str, list]) -> None:
+    def _since_param(self, query: Dict[str, list]) -> int:
+        """The replay cursor: ``?since=SEQ``, else the standard
+        ``Last-Event-ID`` header (what an ``EventSource`` client sends on
+        reconnect, echoing the last SSE ``id:`` field), else 0.  The header
+        value is validated exactly like ``?since`` — non-integer garbage
+        raises (→ 400), negatives clamp to 0."""
+        if "since" in query:
+            return self._int_param(query, "since", 0)
+        header = self.headers.get("Last-Event-ID")
+        if header is None:
+            return 0
+        return self._int_param({"since": [header.strip()]}, "since", 0)
+
+    def _serve_events(
+        self, query: Dict[str, list], cid: Optional[str] = None
+    ) -> None:
         from repro import obs
 
         # Validate before committing the 200/SSE headers: garbage must be
         # rejected as a 400, not leak into EventBus.subscribe or the send
         # loop as a bogus replay cursor / stream bound.
         try:
-            since = self._int_param(query, "since", 0)
+            since = self._since_param(query)
             limit = self._int_param(query, "limit", 0)  # 0 = stream on
         except ValueError as exc:
             self._respond(
@@ -154,7 +172,7 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_header("Connection", "close")
         self.end_headers()
         bus = obs.event_bus()
-        subscription = bus.subscribe(since=since)
+        subscription = bus.subscribe(since=since, cid=cid)
         sent = 0
         try:
             while not self.telemetry.stopping:

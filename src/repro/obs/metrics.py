@@ -163,10 +163,24 @@ class Histogram:
         """Bucket-interpolated quantile estimate (Prometheus
         ``histogram_quantile`` semantics): the target rank is located in
         its bucket and linearly interpolated between the bucket's bounds.
-        Ranks landing in the ``+Inf`` bucket return the last finite bound
-        (the estimate is clamped, not extrapolated); an empty histogram
-        returns 0.0.  Powers the analysis service's latency summary
-        without retaining raw samples."""
+        Powers the analysis service's latency summary without retaining
+        raw samples.
+
+        The interpolation contract (pinned by
+        ``tests/test_obs.py::test_histogram_quantile_*``):
+
+        - an **empty** histogram returns ``0.0`` for every ``q``;
+        - the first bucket interpolates from an implicit lower edge of
+          ``0.0`` — all mass in the first bucket means ``quantile(1.0)``
+          is its upper bound and ``quantile(0.0)`` is ``0.0``;
+        - ``q=0`` returns the lower edge of the first *occupied* bucket
+          (empty leading buckets are skipped, not interpolated across);
+        - ``q=1`` returns the upper bound of the last occupied finite
+          bucket;
+        - ranks landing in the ``+Inf`` bucket are **clamped** to the last
+          finite bound, never extrapolated — a histogram whose mass sits
+          entirely above its bounds still answers with ``bounds[-1]``;
+        - ``q`` outside ``[0, 1]`` raises :class:`MetricError`."""
         if not 0.0 <= q <= 1.0:
             raise MetricError(f"quantile must be in [0, 1], got {q!r}")
         with self._lock:

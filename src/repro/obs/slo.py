@@ -1,0 +1,355 @@
+"""Declarative SLOs with multi-window burn-rate alerting.
+
+The analysis service gates *analysis* quality with ``watch-regressions``;
+this module gates *service* health.  An :class:`Objective` declares either
+a **ratio** SLO (good/bad counter pair — e.g. job success rate) or a
+**latency** SLO (a histogram plus a threshold — "p99 of cache-hit latency
+stays under 250 ms" is "at most 1% of observations exceed 250 ms", i.e. a
+ratio SLO over bucket counts).  :class:`SLOEngine` evaluates objectives
+against the live :class:`~repro.obs.metrics.MetricsRegistry` using the
+SRE multi-window burn-rate recipe:
+
+- every evaluation snapshots each objective's (good, bad) totals;
+- the **burn rate** over a window is the window's error ratio divided by
+  the error budget (``1 - target``) — burn 1.0 spends the budget exactly
+  at the end of the SLO period, burn 14.4 spends a 30-day budget in 2 days;
+- an objective is ``breached`` when both the short *and* long window burn
+  above ``fast_burn`` (sustained fast burn, not a single blip), ``warning``
+  when both exceed ``slow_burn``, else ``ok``;
+- an objective with no traffic in the window is ``ok`` — an idle service
+  is healthy, not failing.
+
+The engine publishes ``service_slo_*`` metrics on every evaluation and its
+report feeds the ``/healthz`` ``slo`` section, the ``same slo`` CLI verb
+and the per-entry ``meta["slo"]`` stamp that the ``watch-regressions``
+``slo`` rule checks.  Everything here is dependency-free; windows diff
+snapshots, so evaluation never needs per-request timestamps.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+__all__ = [
+    "Objective",
+    "SLOEngine",
+    "DEFAULT_OBJECTIVES",
+    "objectives_from_config",
+    "render_report",
+    "summarize",
+]
+
+#: Burn-rate thresholds from the SRE workbook's 30-day multi-window
+#: policy: 14.4 consumes a month's budget in two days (page-worthy),
+#: 6.0 in five days (ticket-worthy).
+FAST_BURN = 14.4
+SLOW_BURN = 6.0
+
+
+@dataclass(frozen=True)
+class Objective:
+    """One declarative service-level objective.
+
+    ``kind='ratio'``: ``good``/``bad`` name counters; the SLO holds while
+    ``good / (good + bad) >= target``.
+
+    ``kind='latency'``: ``histogram`` names a histogram and ``threshold``
+    is the latency bound in seconds; observations above the threshold are
+    the "bad" events, so ``target=0.99`` reads "p99 <= threshold".
+    """
+
+    name: str
+    kind: str  # 'ratio' | 'latency'
+    target: float = 0.99  # required good fraction in [0, 1)
+    good: str = ""  # counter name (ratio)
+    bad: str = ""  # counter name (ratio)
+    histogram: str = ""  # histogram name (latency)
+    threshold: float = 0.0  # seconds (latency)
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("ratio", "latency"):
+            raise ValueError(f"objective kind must be ratio|latency, got {self.kind!r}")
+        if not 0.0 <= self.target < 1.0:
+            raise ValueError(f"objective target must be in [0, 1), got {self.target!r}")
+        if self.kind == "ratio" and not (self.good and self.bad):
+            raise ValueError(f"ratio objective {self.name!r} needs good+bad counters")
+        if self.kind == "latency" and not self.histogram:
+            raise ValueError(f"latency objective {self.name!r} needs a histogram")
+
+    @property
+    def budget(self) -> float:
+        return 1.0 - self.target
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "name": self.name, "kind": self.kind, "target": self.target,
+        }
+        if self.kind == "ratio":
+            out["good"] = self.good
+            out["bad"] = self.bad
+        else:
+            out["histogram"] = self.histogram
+            out["threshold"] = self.threshold
+        if self.description:
+            out["description"] = self.description
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "Objective":
+        return cls(
+            name=str(data["name"]),
+            kind=str(data.get("kind", "ratio")),
+            target=float(data.get("target", 0.99)),
+            good=str(data.get("good", "")),
+            bad=str(data.get("bad", "")),
+            histogram=str(data.get("histogram", "")),
+            threshold=float(data.get("threshold", 0.0)),
+            description=str(data.get("description", "")),
+        )
+
+
+#: The analysis service's stock objectives (see ``docs/observability.md``
+#: for the declarative config schema that overrides them).
+DEFAULT_OBJECTIVES: Tuple[Objective, ...] = (
+    Objective(
+        name="job_success_rate",
+        kind="ratio",
+        target=0.95,
+        good="service_jobs_completed",
+        bad="service_jobs_failed",
+        description="at least 95% of analysis jobs complete",
+    ),
+    Objective(
+        name="cache_hit_latency_p99",
+        kind="latency",
+        target=0.99,
+        histogram="service_cache_hit_wall_seconds",
+        threshold=0.25,
+        description="p99 of cache-hit job latency stays under 250ms",
+    ),
+    Objective(
+        name="queue_wait_p95",
+        kind="latency",
+        target=0.95,
+        histogram="service_queue_wait_seconds",
+        threshold=2.5,
+        description="p95 of queue wait stays under 2.5s",
+    ),
+)
+
+
+def objectives_from_config(
+    config: Sequence[Mapping[str, object]],
+) -> Tuple[Objective, ...]:
+    """Parse a declarative objective list (e.g. ``--slo config.json``)."""
+    return tuple(Objective.from_dict(item) for item in config)
+
+
+@dataclass
+class _Snapshot:
+    ts: float
+    counts: Dict[str, Tuple[float, float]] = field(default_factory=dict)
+
+
+class SLOEngine:
+    """Evaluates objectives against a registry with burn-rate windows."""
+
+    def __init__(
+        self,
+        objectives: Optional[Sequence[Objective]] = None,
+        registry: Optional[MetricsRegistry] = None,
+        short_window: float = 300.0,
+        long_window: float = 3600.0,
+        fast_burn: float = FAST_BURN,
+        slow_burn: float = SLOW_BURN,
+        max_snapshots: int = 512,
+    ) -> None:
+        self.objectives: Tuple[Objective, ...] = tuple(
+            objectives if objectives is not None else DEFAULT_OBJECTIVES
+        )
+        if registry is None:
+            from repro import obs
+
+            registry = obs.registry()
+        self.registry = registry
+        self.short_window = float(short_window)
+        self.long_window = float(long_window)
+        self.fast_burn = float(fast_burn)
+        self.slow_burn = float(slow_burn)
+        self._lock = threading.Lock()
+        self._snapshots: "deque[_Snapshot]" = deque(maxlen=max_snapshots)
+
+    # -- counting ----------------------------------------------------------
+
+    def _counts(self, objective: Objective) -> Tuple[float, float]:
+        """Cumulative (good, bad) event totals for one objective."""
+        if objective.kind == "ratio":
+            return (
+                self.registry.counter(objective.good).value,
+                self.registry.counter(objective.bad).value,
+            )
+        histogram = self.registry.histogram(objective.histogram)
+        return self._latency_counts(histogram, objective.threshold)
+
+    @staticmethod
+    def _latency_counts(histogram: Histogram, threshold: float) -> Tuple[float, float]:
+        """Good = observations at or under ``threshold`` (by bucket upper
+        bound, conservative when the threshold falls inside a bucket)."""
+        dump = histogram.snapshot()
+        counts: List[int] = dump["counts"]  # type: ignore[assignment]
+        bounds: List[float] = dump["bounds"]  # type: ignore[assignment]
+        total = float(dump["count"])  # type: ignore[arg-type]
+        good = float(
+            sum(
+                count
+                for bound, count in zip(bounds, counts)
+                if bound <= threshold
+            )
+        )
+        return good, total - good
+
+    def observe(self, now: Optional[float] = None) -> None:
+        """Record one timestamped snapshot of every objective's totals.
+
+        Call after state changes (the service snapshots at start and after
+        every job) — windows can only be as fine as the snapshot cadence."""
+        snapshot = _Snapshot(ts=time.time() if now is None else float(now))
+        for objective in self.objectives:
+            snapshot.counts[objective.name] = self._counts(objective)
+        with self._lock:
+            self._snapshots.append(snapshot)
+
+    # -- evaluation --------------------------------------------------------
+
+    def _baseline(self, name: str, horizon: float) -> Tuple[float, float]:
+        """The newest snapshot at or before ``horizon`` (falling back to
+        the oldest retained one — a young engine's windows span its whole
+        life), as that objective's (good, bad) totals."""
+        baseline: Optional[_Snapshot] = None
+        for snapshot in self._snapshots:
+            if snapshot.ts <= horizon:
+                baseline = snapshot
+            else:
+                break
+        if baseline is None and self._snapshots:
+            baseline = self._snapshots[0]
+        if baseline is None:
+            return (0.0, 0.0)
+        return baseline.counts.get(name, (0.0, 0.0))
+
+    @staticmethod
+    def _burn(
+        current: Tuple[float, float], base: Tuple[float, float], budget: float
+    ) -> Tuple[float, float]:
+        """(burn_rate, window_total) between two cumulative snapshots."""
+        good = max(0.0, current[0] - base[0])
+        bad = max(0.0, current[1] - base[1])
+        total = good + bad
+        if total <= 0.0:
+            return 0.0, 0.0
+        error_ratio = bad / total
+        return error_ratio / max(budget, 1e-9), total
+
+    def evaluate(self, now: Optional[float] = None) -> Dict[str, object]:
+        """Snapshot, evaluate every objective, publish ``service_slo_*``
+        metrics, and return the report rendered on ``/healthz``."""
+        ts = time.time() if now is None else float(now)
+        self.observe(now=ts)
+        objectives: List[Dict[str, object]] = []
+        with self._lock:
+            for objective in self.objectives:
+                current = self._counts(objective)
+                short = self._burn(
+                    current,
+                    self._baseline(objective.name, ts - self.short_window),
+                    objective.budget,
+                )
+                long = self._burn(
+                    current,
+                    self._baseline(objective.name, ts - self.long_window),
+                    objective.budget,
+                )
+                if short[1] and long[1] and min(short[0], long[0]) >= self.fast_burn:
+                    status = "breached"
+                elif short[1] and long[1] and min(short[0], long[0]) >= self.slow_burn:
+                    status = "warning"
+                else:
+                    status = "ok"
+                objectives.append(
+                    {
+                        "name": objective.name,
+                        "kind": objective.kind,
+                        "status": status,
+                        "target": objective.target,
+                        "budget": objective.budget,
+                        "burn_short": round(short[0], 4),
+                        "burn_long": round(long[0], 4),
+                        "window_events": short[1],
+                        "good": current[0],
+                        "bad": current[1],
+                        "description": objective.description,
+                    }
+                )
+        order = ("ok", "warning", "breached")
+        overall = max(
+            (str(item["status"]) for item in objectives),
+            key=order.index,
+            default="ok",
+        )
+        report: Dict[str, object] = {
+            "status": overall,
+            "objectives": objectives,
+            "windows": {"short": self.short_window, "long": self.long_window},
+        }
+        self.registry.counter("service_slo_evaluations").inc()
+        self.registry.gauge("service_slo_objectives").set(len(objectives))
+        self.registry.gauge("service_slo_breached").set(
+            sum(1 for item in objectives if item["status"] == "breached")
+        )
+        self.registry.gauge("service_slo_warning").set(
+            sum(1 for item in objectives if item["status"] == "warning")
+        )
+        return report
+
+
+def summarize(report: Mapping[str, object]) -> Dict[str, object]:
+    """The compact form stamped into ledger ``meta["slo"]``."""
+    objectives = report.get("objectives", ())
+    return {
+        "status": report.get("status", "ok"),
+        "breached": [
+            str(item["name"])
+            for item in objectives  # type: ignore[union-attr]
+            if item.get("status") == "breached"
+        ],
+        "warning": [
+            str(item["name"])
+            for item in objectives  # type: ignore[union-attr]
+            if item.get("status") == "warning"
+        ],
+    }
+
+
+def render_report(report: Mapping[str, object]) -> str:
+    """Human-readable rendering for the ``same slo`` CLI verb."""
+    lines = [f"slo status: {report.get('status', 'ok')}"]
+    for item in report.get("objectives", ()):  # type: ignore[union-attr]
+        lines.append(
+            "  {name:<24} {status:<8} burn(short={short}, long={long})"
+            " target={target} events={events:g}".format(
+                name=item.get("name"),
+                status=item.get("status"),
+                short=item.get("burn_short"),
+                long=item.get("burn_long"),
+                target=item.get("target"),
+                events=float(item.get("window_events", 0) or 0),
+            )
+        )
+    return "\n".join(lines)

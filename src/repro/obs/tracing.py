@@ -25,7 +25,7 @@ import os
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 
 @dataclass
@@ -145,6 +145,12 @@ class Tracer:
         # on the span hot path needs no lock.
         self._ids = itertools.count(1)
         self._local = threading.local()
+        #: Optional zero-arg callable returning the ambient correlation id
+        #: (``repro.obs`` wires its correlation context here).  When set and
+        #: returning a value, spans carry a ``correlation_id`` attribute —
+        #: stored in ``attrs``, so it survives the worker drain/ingest
+        #: re-sequencing like any other attribute.
+        self.cid_provider: Optional[Callable[[], Optional[str]]] = None
 
     # -- the thread-local active-span stack -------------------------------
     # Entries are ``(span_id, name)`` tuples: the id drives parenting and
@@ -195,6 +201,12 @@ class Tracer:
     def span(self, name: str, attrs: Optional[Dict[str, object]] = None) -> Span:
         # The attrs dict is taken over, not copied: the facade builds it
         # fresh from keyword arguments on every call.
+        if self.cid_provider is not None:
+            cid = self.cid_provider()
+            if cid is not None:
+                if attrs is None:
+                    attrs = {}
+                attrs.setdefault("correlation_id", cid)
         record = SpanRecord(
             span_id=next(self._ids),
             parent_id=None,

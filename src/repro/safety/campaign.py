@@ -359,6 +359,11 @@ def _attempt_job(
                 "job_retried", job=job.index, component=job.component,
                 attempt=attempt, error=type(exc).__name__,
             )
+            obs.log(
+                "warning", "job retried", job=job.index,
+                component=job.component, attempt=attempt,
+                error=type(exc).__name__,
+            )
             with obs.span(
                 "campaign.retry", job=job.index, attempt=attempt,
                 error=type(exc).__name__,
@@ -405,6 +410,8 @@ def _campaign_worker_init(
     job_timeout: Optional[float] = None,
     solver_backend: Optional[str] = None,
     events_enabled: bool = False,
+    logs_enabled: bool = False,
+    correlation_id: Optional[str] = None,
 ) -> None:
     if trace_enabled:
         # Trace in the worker too; start from a clean slate (a fork start
@@ -414,8 +421,15 @@ def _campaign_worker_init(
         # The event plane switches independently of tracing (a --progress
         # run without --trace still needs worker heartbeats).
         obs.enable_events()
-    if trace_enabled or events_enabled:
+    if logs_enabled:
+        obs.enable_logs()
+    if trace_enabled or events_enabled or logs_enabled:
         obs.reset()
+    # After reset (which clears the correlation context): a worker process
+    # serves exactly one campaign configuration, so the job's id is its
+    # process-global default — every worker-side event/span/log carries it
+    # home through the drain/ingest delta path.
+    obs.set_correlation_id(correlation_id)
     if solver_backend is not None:
         # Campaign-wide backend: the naive/transient paths solve through
         # module-level functions that read the process default, and this
@@ -574,6 +588,7 @@ class FaultInjectionCampaign:
         checkpoint: Optional[Union[str, Path]] = None,
         resume: bool = False,
         solver_backend: Optional[str] = None,
+        correlation_id: Optional[str] = None,
     ) -> None:
         if analysis not in ("dc", "transient"):
             raise FmeaError(
@@ -615,6 +630,10 @@ class FaultInjectionCampaign:
         self.checkpoint = checkpoint
         self.resume = resume
         self.solver_backend = solver_backend
+        #: Correlation id scoped over the whole run (events, spans, logs,
+        #: pool workers).  ``None`` inherits whatever ambient id the caller
+        #: installed (the service wraps ``run()`` in its job's id anyway).
+        self.correlation_id = correlation_id
         self._pool_reused = False
         self._fingerprint: Optional[str] = None
         self._shared_compiled: Optional[CompiledSystem] = None
@@ -625,6 +644,11 @@ class FaultInjectionCampaign:
         self._progress_t0 = 0.0
 
     # -- progress events ---------------------------------------------------
+
+    def _short_fingerprint(self) -> str:
+        """The campaign fingerprint truncated for event payloads — enough
+        to key `/healthz` per-campaign progress, cheap to repeat."""
+        return self._campaign_token()[:16]
 
     def _emit_progress(self, newly_done: int, chunk: Optional[str] = None) -> None:
         """One ``chunk_completed`` event advancing the done counter.
@@ -650,6 +674,7 @@ class FaultInjectionCampaign:
             "done": self._progress_done,
             "total": self._progress_total,
             "eta_seconds": eta,
+            "fingerprint": self._short_fingerprint(),
         }
         if chunk is not None:
             payload["chunk"] = chunk
@@ -793,15 +818,22 @@ class FaultInjectionCampaign:
         zero start-up cost.
         """
         max_workers = max(1, min(self.workers, size))
+        # The ambient correlation id is baked into the worker initargs (so
+        # worker-side events/spans/logs carry it) and therefore into the
+        # token: a pool initialised for another job's id must not serve
+        # this one.  Uncorrelated campaigns (cid None) keep full reuse.
+        cid = obs.correlation_id()
         token = (
             self._campaign_token(),
             max_workers,
             self.incremental,
             obs.enabled(),
             obs.events_enabled(),
+            obs.logs_enabled(),
             self.retry_policy,
             self.job_timeout,
             self.solver_backend,
+            cid,
         )
         executor, reused = _warm_pool.acquire(
             token,
@@ -818,6 +850,8 @@ class FaultInjectionCampaign:
                 self.job_timeout,
                 self.solver_backend,
                 obs.events_enabled(),
+                obs.logs_enabled(),
+                cid,
             ),
         )
         if reused:
@@ -963,6 +997,11 @@ class FaultInjectionCampaign:
                 chunk=".".join(map(str, task.order)),
                 jobs=len(task.jobs),
                 attempt=attempt,
+            )
+            obs.log(
+                "warning", "pool worker lost",
+                chunk=".".join(map(str, task.order)),
+                jobs=len(task.jobs), attempt=attempt,
             )
             if attempt <= self.retry_policy.max_retries:
                 stats.retries += 1
@@ -1139,19 +1178,24 @@ class FaultInjectionCampaign:
         executed injection, merged back from pool workers) /
         ``campaign.classify`` phases, and the final counters are published
         as ``campaign_*`` metrics.
+
+        The whole run executes under this campaign's correlation id (when
+        one was given): every event, span, log record and pool-worker
+        delta it produces carries the id.
         """
-        if self.solver_backend is None:
-            return self._run_campaign()
-        # Campaign-wide backend: the naive/transient/baseline paths solve
-        # through module-level functions that read the process default, so
-        # pin it for the duration of the run (workers pin their own copy in
-        # the pool initializer).
-        previous = default_backend()
-        set_default_backend(self.solver_backend)
-        try:
-            return self._run_campaign()
-        finally:
-            set_default_backend(previous)
+        with obs.correlation(self.correlation_id):
+            if self.solver_backend is None:
+                return self._run_campaign()
+            # Campaign-wide backend: the naive/transient/baseline paths
+            # solve through module-level functions that read the process
+            # default, so pin it for the duration of the run (workers pin
+            # their own copy in the pool initializer).
+            previous = default_backend()
+            set_default_backend(self.solver_backend)
+            try:
+                return self._run_campaign()
+            finally:
+                set_default_backend(previous)
 
     def _run_campaign(self) -> FmeaResult:
         started = time.perf_counter()
@@ -1235,17 +1279,26 @@ class FaultInjectionCampaign:
             self._progress_done = len(preloaded)
             self._progress_resumed = len(preloaded)
             self._progress_t0 = time.perf_counter()
-            obs.emit_event(
-                "campaign_started",
-                system=self.model.name,
-                analysis=self.analysis,
-                jobs=stats.jobs,
-                rows=stats.rows,
-                workers=self.workers,
-                strategy=self.strategy,
-                mode=stats.mode,
-                resumed=len(preloaded),
-            )
+            if obs.events_enabled() or obs.logs_enabled():
+                fingerprint = self._short_fingerprint()
+                obs.emit_event(
+                    "campaign_started",
+                    system=self.model.name,
+                    analysis=self.analysis,
+                    jobs=stats.jobs,
+                    rows=stats.rows,
+                    workers=self.workers,
+                    strategy=self.strategy,
+                    mode=stats.mode,
+                    resumed=len(preloaded),
+                    fingerprint=fingerprint,
+                )
+                obs.log(
+                    "info", "campaign started",
+                    system=self.model.name, analysis=self.analysis,
+                    jobs=stats.jobs, workers=self.workers,
+                    fingerprint=fingerprint,
+                )
             with obs.span(
                 "campaign.execute", jobs=len(pending), resumed=len(preloaded)
             ):
@@ -1316,17 +1369,26 @@ class FaultInjectionCampaign:
             )
         result.stats = stats
         stats.publish()
-        obs.emit_event(
-            "campaign_finished",
-            system=self.model.name,
-            jobs=stats.jobs,
-            rows=stats.rows,
-            wall_seconds=stats.wall_time,
-            retries=stats.retries,
-            job_failures=stats.job_failures,
-            pool_reused=stats.pool_reused,
-            parallel_fallback=stats.parallel_fallback,
-        )
+        if obs.events_enabled() or obs.logs_enabled():
+            fingerprint = self._short_fingerprint()
+            obs.emit_event(
+                "campaign_finished",
+                system=self.model.name,
+                jobs=stats.jobs,
+                rows=stats.rows,
+                wall_seconds=stats.wall_time,
+                retries=stats.retries,
+                job_failures=stats.job_failures,
+                pool_reused=stats.pool_reused,
+                parallel_fallback=stats.parallel_fallback,
+                fingerprint=fingerprint,
+            )
+            obs.log(
+                "info", "campaign finished",
+                system=self.model.name, jobs=stats.jobs, rows=stats.rows,
+                wall_seconds=round(stats.wall_time, 4),
+                job_failures=stats.job_failures, fingerprint=fingerprint,
+            )
         return result
 
     def _open_checkpoint(

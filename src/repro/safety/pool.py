@@ -81,9 +81,14 @@ def acquire(token, max_workers: int, initializer, initargs):
                 obs.emit_event(
                     "pool_acquired", reused=True, workers=max_workers
                 )
+                obs.log("debug", "warm pool reused", workers=max_workers)
                 return executor, True
             _CACHED = None
             _shutdown(executor)
+            obs.log(
+                "info", "warm pool discarded (token mismatch)",
+                workers=max_workers,
+            )
         executor = ProcessPoolExecutor(
             max_workers=max_workers,
             initializer=initializer,
@@ -91,6 +96,7 @@ def acquire(token, max_workers: int, initializer, initargs):
         )
         _CACHED = (token, executor)
     obs.emit_event("pool_acquired", reused=False, workers=max_workers)
+    obs.log("info", "warm pool started", workers=max_workers)
     return executor, False
 
 
@@ -111,6 +117,7 @@ def discard(executor) -> None:
         if _CACHED is not None and _CACHED[1] is executor:
             _CACHED = None
     _shutdown(executor)
+    obs.log("warning", "broken pool discarded")
 
 
 def status() -> Dict[str, object]:

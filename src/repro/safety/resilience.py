@@ -85,6 +85,11 @@ class JobFailure:
     def from_exception(
         cls, job, exc: BaseException, kind: str = "exception", retries: int = 0
     ) -> "JobFailure":
+        obs.log(
+            "error", "injection job failed",
+            job=job.index, component=job.component, kind=kind,
+            error=type(exc).__name__, retries=retries,
+        )
         return cls(
             index=job.index,
             component=job.component,
@@ -337,5 +342,9 @@ class CampaignCheckpoint:
             path=str(self.path),
             written=written,
             recorded=len(self._seen),
+        )
+        obs.log(
+            "debug", "checkpoint flushed",
+            path=str(self.path), written=written, recorded=len(self._seen),
         )
         return written

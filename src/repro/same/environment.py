@@ -59,6 +59,15 @@ class SAME:
         #: the produced artifact to the entry it came from.
         self.ledger = None
         self._ledger_entries: dict = {}
+        #: Workbench-scoped correlation id: stamped on every span, event,
+        #: log record and ledger entry an analysis on this workbench
+        #: produces when no ambient id is installed (a service job or a
+        #: CLI invocation installs its own, which wins).
+        self.correlation_id = obs.mint_correlation_id()
+
+    def _correlated(self):
+        """Correlation scope for one analysis run on this workbench."""
+        return obs.correlation(obs.correlation_id() or self.correlation_id)
 
     def set_ledger(self, ledger: Union[str, Path, object]):
         """Attach an analysis ledger (a path or an ``AnalysisLedger``)."""
@@ -155,7 +164,9 @@ class SAME:
         """
         self._require("simulink_model")
         self._require("reliability")
-        with obs.span("same.fmea", method="injection") as sp:
+        with self._correlated(), obs.span(
+            "same.fmea", method="injection"
+        ) as sp:
             self.last_fmea = run_simulink_fmea(
                 self.simulink_model,
                 self.reliability,
@@ -186,7 +197,7 @@ class SAME:
             if not tops:
                 raise ValueError("SSAM model has no top-level component")
             target = tops[0]
-        with obs.span("same.fmea", method="graph") as sp:
+        with self._correlated(), obs.span("same.fmea", method="graph") as sp:
             self.last_fmea = run_ssam_fmea(target, self.reliability)
             self._ledger_fmea(self.last_fmea, target, sp, config={})
         return self.last_fmea
@@ -201,7 +212,9 @@ class SAME:
 
     def run_fmeda(self) -> FmedaResult:
         self._require("last_fmea")
-        with obs.span("same.fmeda", deployments=len(self.deployments)) as sp:
+        with self._correlated(), obs.span(
+            "same.fmeda", deployments=len(self.deployments)
+        ) as sp:
             self.last_fmeda = run_fmeda(self.last_fmea, self.deployments)
             if self.ledger is not None:
                 from repro.obs.ledger import record_fmeda
@@ -254,7 +267,7 @@ class SAME:
         """
         self._require("mechanisms")
         self._require("last_fmea")
-        with obs.span(
+        with self._correlated(), obs.span(
             "same.search_deployment", target=target_asil, strategy=strategy
         ) as sp:
             plan = search_for_target(
@@ -401,7 +414,7 @@ class SAME:
             ledger=self.ledger,
             search_strategy=search_strategy,
         )
-        with obs.span("same.decisive", target=target_asil):
+        with self._correlated(), obs.span("same.decisive", target=target_asil):
             log = process.run(max_iterations)
         self.deployments = list(process.deployments)
         self.last_fmea, _, _ = process.step4a_evaluate()

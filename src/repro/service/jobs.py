@@ -249,6 +249,10 @@ class AnalysisJob:
     cached: bool = False
     fingerprint: str = ""
     cache_key: str = ""
+    #: Minted at submit; stamps every event/span/log/ledger entry the job
+    #: produces (including inside pool workers) and keys the job's
+    #: ``/jobs/<id>/events`` stream.
+    correlation_id: str = ""
     submitted_at: float = 0.0
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
@@ -274,6 +278,7 @@ class AnalysisJob:
             "state": self.state,
             "cached": self.cached,
             "fingerprint": self.fingerprint,
+            "correlation_id": self.correlation_id,
             "submitted_at": self.submitted_at,
             "started_at": self.started_at,
             "finished_at": self.finished_at,
@@ -308,7 +313,13 @@ class AnalysisService:
         after a crash (or a near-identical tenant model) skips completed
         injections;
     history:
-        completed jobs kept in memory for ``GET /jobs`` (bounded).
+        completed jobs kept in memory for ``GET /jobs`` (bounded);
+    slo_objectives:
+        service-level objectives evaluated by the built-in
+        :class:`~repro.obs.slo.SLOEngine` — a sequence of
+        :class:`~repro.obs.slo.Objective` objects or declarative dicts
+        (see ``docs/observability.md``); ``None`` uses the stock
+        job-success-rate / cache-hit-latency / queue-wait objectives.
     """
 
     def __init__(
@@ -317,13 +328,18 @@ class AnalysisService:
         workers: int = 2,
         checkpoint_dir: Optional[Union[str, Path]] = None,
         history: int = 256,
+        slo_objectives=None,
     ) -> None:
         from repro.obs.ledger import AnalysisLedger
+        from repro.obs.slo import SLOEngine, objectives_from_config
 
         self.ledger = (
             ledger if isinstance(ledger, AnalysisLedger)
             else AnalysisLedger(ledger)
         )
+        if slo_objectives and not hasattr(slo_objectives[0], "budget"):
+            slo_objectives = objectives_from_config(slo_objectives)
+        self.slo = SLOEngine(objectives=slo_objectives)
         self.worker_count = max(1, int(workers))
         self.checkpoint_dir = (
             Path(checkpoint_dir) if checkpoint_dir is not None else None
@@ -345,6 +361,10 @@ class AnalysisService:
             return self
         self._stopping = False
         obs.gauge("service_workers").set(self.worker_count)
+        # Baseline SLO snapshot: burn-rate windows need a "before" to diff
+        # against, and a young service's windows span its whole life.
+        self.slo.observe()
+        obs.log("info", "analysis service started", workers=self.worker_count)
         for index in range(self.worker_count):
             thread = threading.Thread(
                 target=self._worker_loop,
@@ -387,6 +407,7 @@ class AnalysisService:
             tenant=request.tenant,
             submitted_at=time.time(),
             request=request,
+            correlation_id=obs.mint_correlation_id(),
         )
         with self._lock:
             self._jobs[job.id] = job
@@ -394,9 +415,14 @@ class AnalysisService:
         obs.counter("service_jobs_submitted").inc()
         self._queue.put(job.id)
         obs.gauge("service_queue_depth").set(self._queue.qsize())
-        obs.emit_event(
-            "job_submitted", job=job.id, kind=job.kind, system=job.system
-        )
+        with obs.correlation(job.correlation_id):
+            obs.emit_event(
+                "job_submitted", job=job.id, kind=job.kind, system=job.system
+            )
+            obs.log(
+                "info", "job submitted", job=job.id, kind=job.kind,
+                system=job.system, tenant=job.tenant or None,
+            )
         return job
 
     def _trim_history(self) -> None:
@@ -445,6 +471,7 @@ class AnalysisService:
             "cache_misses": int(obs.counter("service_cache_misses").value),
             "job_wall_p50": round(wall.quantile(0.50), 6),
             "job_wall_p99": round(wall.quantile(0.99), 6),
+            "slo": self.slo.evaluate(),
         }
 
     # -- execution --------------------------------------------------------
@@ -462,9 +489,19 @@ class AnalysisService:
             self._run_job(job)
 
     def _run_job(self, job: AnalysisJob) -> None:
+        # The whole job — campaign, pool workers, ledger append, every
+        # event/span/log — runs under the job's correlation id.
+        with obs.correlation(job.correlation_id or None):
+            self._run_job_correlated(job)
+
+    def _run_job_correlated(self, job: AnalysisJob) -> None:
         job.state = "running"
         job.started_at = time.time()
+        obs.histogram("service_queue_wait_seconds").observe(
+            job.started_at - job.submitted_at
+        )
         obs.emit_event("job_started", job=job.id, kind=job.kind)
+        obs.log("info", "job started", job=job.id, kind=job.kind)
         try:
             request = job.request
             assert request is not None
@@ -484,21 +521,55 @@ class AnalysisService:
             job.error = f"{type(exc).__name__}: {exc}"
             job.state = "failed"
             obs.counter("service_jobs_failed").inc()
+            obs.log("error", "job failed", job=job.id, error=job.error)
         finally:
             job.finished_at = time.time()
             job.request = None  # free the (possibly large) payload
-            obs.histogram("service_job_wall_seconds").observe(
-                job.finished_at - job.submitted_at
-            )
+            wall = job.finished_at - job.submitted_at
+            obs.histogram("service_job_wall_seconds").observe(wall)
+            if job.cached:
+                # The cache-hit latency SLO watches this one: a hit that
+                # took as long as a compute means the ledger scan degraded.
+                obs.histogram("service_cache_hit_wall_seconds").observe(wall)
             obs.emit_event(
                 "job_finished",
                 job=job.id,
                 kind=job.kind,
                 state=job.state,
                 cached=job.cached,
-                wall_seconds=round(job.finished_at - job.submitted_at, 6),
+                wall_seconds=round(wall, 6),
             )
+            obs.log(
+                "info", "job finished", job=job.id, state=job.state,
+                cached=job.cached, wall_seconds=round(wall, 6),
+            )
+            # Post-job SLO snapshot: gives the burn-rate windows their
+            # cadence (failure bursts become visible on the next evaluate).
+            self.slo.observe()
+            self._export_job_log(job)
             job.done_event.set()
+
+    def _export_job_log(self, job: AnalysisJob) -> None:
+        """Attach the job's structured-log slice to its ledger entry.
+
+        Only for computed jobs (cache hits made no entry of their own) and
+        only when the log plane is on; export failures are swallowed — an
+        artifact is telemetry, not part of the result."""
+        if not obs.logs_enabled() or not job.correlation_id or job.cached:
+            return
+        result = job.result if isinstance(job.result, dict) else None
+        entry_id = result.get("entry") if result else None
+        if not entry_id:
+            return
+        try:
+            path = self.ledger.path.parent / "logs" / f"{job.id}.jsonl"
+            obs.log_plane().write_jsonl(path, cid=job.correlation_id)
+            with self._ledger_lock:
+                self.ledger.attach_artifact(
+                    str(entry_id), path, kind="service-log"
+                )
+        except Exception:  # noqa: BLE001 — never fail the job over telemetry
+            pass
 
     # -- cache ------------------------------------------------------------
 
@@ -544,7 +615,12 @@ class AnalysisService:
                 self._model_cache.popitem(last=False)
         return model
 
-    def _campaign(self, request: AnalysisRequest, fingerprint: str):
+    def _campaign(
+        self,
+        request: AnalysisRequest,
+        fingerprint: str,
+        correlation_id: Optional[str] = None,
+    ):
         from repro.safety.campaign import FaultInjectionCampaign
 
         config = request.config
@@ -570,6 +646,7 @@ class AnalysisService:
             assume_stable=tuple(assume_stable),  # type: ignore[arg-type]
             checkpoint=checkpoint,
             resume=resume,
+            correlation_id=correlation_id,
             **kwargs,  # type: ignore[arg-type]
         )
 
@@ -585,14 +662,23 @@ class AnalysisService:
         )
         from repro.safety.metrics import asil_from_spfm, spfm
 
+        from repro.obs.slo import summarize
+
         meta = {
             "service": True,
             "service_cache_key": job.cache_key,
             "service_job": job.id,
+            "correlation_id": job.correlation_id,
         }
         if request.tenant:
             meta["tenant"] = request.tenant
-        fmea = self._campaign(request, job.fingerprint).run()
+        fmea = self._campaign(
+            request, job.fingerprint, correlation_id=job.correlation_id
+        ).run()
+        # SLO state at record time: a run recorded while the service was
+        # burning its error budget carries the breach in its provenance,
+        # which is what the `watch-regressions` slo rule checks.
+        meta["slo"] = summarize(self.slo.evaluate())
         reliability = reliability_from_payload(request.reliability)
         model = self._materialize_model(request)
         config = {

@@ -11,10 +11,18 @@ with the job endpoints:
   job id and its polling URL;
 - ``GET /jobs`` — queue state: the service summary plus every job the
   bounded history holds (without result bodies);
-- ``GET /jobs/<id>`` — one job's full record, result included once done.
+- ``GET /jobs/<id>`` — one job's full record, result included once done;
+- ``GET /jobs/<id>/events`` — the job's own SSE stream: the ``/events``
+  machinery filtered to the job's ``correlation_id``, so one tenant
+  watches exactly their campaign's events (pool-worker events included)
+  while another tenant's concurrent job streams elsewhere.  Replay,
+  ``?since=``/``Last-Event-ID`` resume and ``?limit=`` behave exactly
+  like ``/events``.
 
 ``/healthz`` gains a ``service`` section (queue depth, per-state job
-counts, cache hit/miss totals) via the :meth:`healthz_extra` hook, and the
+counts, cache hit/miss totals) and an ``slo`` section (the
+:class:`~repro.obs.slo.SLOEngine` report: overall ``ok|warning|breached``
+plus per-objective burn rates) via the :meth:`healthz_extra` hook, and the
 ``service_*`` metrics land on the existing ``/metrics`` scrape, so one
 server answers both "is it alive" and "what is it doing".
 """
@@ -46,12 +54,18 @@ class _ServiceHandler(_Handler):
         self._respond(status, "application/json", body)
 
     def do_GET(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler API
-        from urllib.parse import urlparse
+        from urllib.parse import parse_qs, urlparse
 
-        path = urlparse(self.path).path
+        parsed = urlparse(self.path)
+        path = parsed.path
         try:
             if path == "/jobs":
                 self._serve_jobs()
+            elif path.startswith("/jobs/") and path.endswith("/events"):
+                self._serve_job_events(
+                    path[len("/jobs/"):-len("/events")],
+                    parse_qs(parsed.query),
+                )
             elif path.startswith("/jobs/"):
                 self._serve_job(path[len("/jobs/"):])
             else:
@@ -92,6 +106,22 @@ class _ServiceHandler(_Handler):
             self._json(404, {"error": f"unknown job {job_id!r}"})
             return
         self._json(200, job.to_dict())
+
+    def _serve_job_events(self, job_id: str, query: Dict[str, list]) -> None:
+        """The job's per-stream SSE view: the shared ``/events`` loop,
+        subscribed with the job's correlation id so replay (the id-indexed
+        buffer view) and live delivery carry only this job's events."""
+        try:
+            job = self.service.job(job_id)
+        except ServiceError:
+            self._json(404, {"error": f"unknown job {job_id!r}"})
+            return
+        if not job.correlation_id:
+            self._json(
+                409, {"error": f"job {job_id!r} has no correlation id"}
+            )
+            return
+        self._serve_events(query, cid=job.correlation_id)
 
     def _read_body(self) -> bytes:
         try:
@@ -154,7 +184,10 @@ class AnalysisServiceServer(LiveTelemetryServer):
         self.service = service
 
     def healthz_extra(self) -> Dict[str, object]:
-        return {"service": self.service.status()}
+        status = self.service.status()
+        # The SLO report is surfaced top-level too: health probes check
+        # `healthz["slo"]["status"]` without knowing the service schema.
+        return {"service": status, "slo": status.get("slo")}
 
     def start(self) -> "AnalysisServiceServer":
         self.service.start()
@@ -172,9 +205,11 @@ def serve_analysis(
     port: int = 0,
     workers: int = 2,
     checkpoint_dir: Optional[str] = None,
+    slo_objectives=None,
 ) -> AnalysisServiceServer:
     """One-call start: build the service over ``ledger`` and serve it."""
     service = AnalysisService(
-        ledger, workers=workers, checkpoint_dir=checkpoint_dir
+        ledger, workers=workers, checkpoint_dir=checkpoint_dir,
+        slo_objectives=slo_objectives,
     )
     return AnalysisServiceServer(service, host, port).start()

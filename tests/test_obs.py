@@ -233,6 +233,36 @@ def test_histogram_quantile_edge_cases():
         histogram.quantile(-0.1)
 
 
+def test_histogram_quantile_first_bucket_interpolates_from_zero():
+    # All mass in the first bucket: the implicit lower edge is 0.0, not
+    # the smallest observation.
+    histogram = Histogram("t", (4.0, 8.0))
+    for _ in range(4):
+        histogram.observe(3.0)
+    assert histogram.quantile(0.0) == pytest.approx(0.0)
+    assert histogram.quantile(0.5) == pytest.approx(2.0)
+    assert histogram.quantile(1.0) == pytest.approx(4.0)
+
+
+def test_histogram_quantile_q0_skips_empty_leading_buckets():
+    # q=0 answers the lower edge of the first *occupied* bucket rather
+    # than interpolating across empty leading buckets.
+    histogram = Histogram("t", (1.0, 2.0, 5.0))
+    histogram.observe(3.0)  # lands in (2.0, 5.0]
+    assert histogram.quantile(0.0) == pytest.approx(2.0)
+    assert histogram.quantile(1.0) == pytest.approx(5.0)
+
+
+def test_histogram_quantile_q1_ignores_inf_tail():
+    # q=1 is the upper bound of the last occupied *finite* bucket; mass
+    # in the +Inf bucket clamps every rank it owns to bounds[-1].
+    histogram = Histogram("t", (1.0, 2.0))
+    histogram.observe(0.5)
+    histogram.observe(9.0)  # +Inf bucket
+    assert histogram.quantile(0.5) == pytest.approx(1.0)
+    assert histogram.quantile(1.0) == pytest.approx(2.0)
+
+
 def test_histogram_rejects_unsorted_or_empty_buckets():
     with pytest.raises(MetricError):
         Histogram("bad", ())

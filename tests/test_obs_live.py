@@ -284,7 +284,9 @@ class TestLiveServer:
         assert status == 200
         health = json.loads(body)
         assert health["status"] == "ok"
-        assert health["observability"] == {"tracing": True, "events": True}
+        assert health["observability"] == {
+            "tracing": True, "events": True, "logs": False,
+        }
         assert "warm" in health["pool"]
         assert health["solver_backend"]["default"]
         campaign = health["events"]["campaign"]

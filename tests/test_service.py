@@ -34,10 +34,12 @@ JOB_TIMEOUT = 120.0
 def clean_obs():
     obs.disable()
     obs.disable_events()
+    obs.disable_logs()
     obs.reset()
     yield
     obs.disable()
     obs.disable_events()
+    obs.disable_logs()
     obs.reset()
 
 
@@ -137,6 +139,22 @@ class TestLifecycle:
         assert status["workers"] == 2
         assert status["cache_hits"] == 0
         assert "job_wall_p99" in status
+        # The SLO report rides along: quiet service, everything ok.
+        assert status["slo"]["status"] == "ok"
+        names = {o["name"] for o in status["slo"]["objectives"]}
+        assert "job_success_rate" in names
+
+    def test_jobs_are_minted_distinct_correlation_ids(
+        self, service, fmea_payload
+    ):
+        first = _finish(service, service.submit(fmea_payload))
+        second = _finish(service, service.submit(fmea_payload))
+        assert first.correlation_id and second.correlation_id
+        assert first.correlation_id != second.correlation_id
+        assert first.to_dict()["correlation_id"] == first.correlation_id
+        # The cached job still gets its own id even though it recomputes
+        # nothing.
+        assert second.cached is True
 
 
 # -- compute + cache ---------------------------------------------------------
