@@ -1,0 +1,386 @@
+"""BENCH service — O(1) indexed cache-hit latency + single-flight coalescing.
+
+Times the analysis-service cache-hit path against ledgers of growing
+history (100 / 1k / 10k entries): the sidecar byte-offset index must keep
+the end-to-end cache-hit p99 flat while the scan baseline grows linearly.
+Then hammers one service with N identical concurrent submissions and
+checks single-flight coalescing collapses them onto one campaign
+computation with bit-identical rows for every client.  Measurements go to
+``BENCH_service.json`` at the repo root.
+
+Acceptance (full mode):
+
+- cache-hit p99 grows <= ``SCALING_BUDGET`` (1.5x) from the smallest to
+  the largest ledger — both the raw ``latest_by_cache_key`` seek and the
+  full service round-trip;
+- ``CLIENTS`` identical concurrent submissions trigger exactly 1
+  campaign computation (1 cache miss, 1 ledger entry) and all clients
+  receive bit-identical rows.
+
+Smoke mode (``BENCH_SERVICE_SMOKE=1``): shrinks the ledgers and repeat
+counts and skips the scaling assertion, so CI exercises the whole path in
+seconds.
+
+Provenance (``BENCH_SERVICE_LEDGER=/path/to/ledger.jsonl``): records a
+``service-bench`` entry whose ``meta.scaling`` carries the measured
+ratio/budget pairs, so the nightly ``same watch-regressions`` gate flags
+cache-hit-latency scaling regressions (the ``scaling`` rule).
+
+``BENCH_service.json`` keeps a bounded ``trajectory`` of past runs.
+"""
+
+import json
+import os
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+from _harness import format_rows, report_table
+from repro import obs
+from repro.casestudies.power_supply import (
+    ASSUMED_STABLE,
+    build_power_supply_simulink,
+    power_supply_reliability,
+)
+from repro.obs.ledger import AnalysisLedger, LedgerEntry
+from repro.service import AnalysisRequest, AnalysisService, reliability_payload
+
+SMOKE = os.environ.get("BENCH_SERVICE_SMOKE") == "1"
+LEDGER_PATH = os.environ.get("BENCH_SERVICE_LEDGER") or None
+#: How many trajectory points BENCH_service.json retains.
+TRAJECTORY_KEEP = 120
+#: Ledger history sizes the cache-hit probe sweeps.
+SIZES = [50, 200] if SMOKE else [100, 1000, 10000]
+#: Raw index seeks per size (p99 needs a population).
+LOOKUPS = 50 if SMOKE else 300
+#: Full-file scan lookups per size (the linear baseline; kept small).
+SCAN_LOOKUPS = 3 if SMOKE else 5
+#: End-to-end service cache-hit jobs per batch; best-of-REPEATS batch
+#: p99s is reported, so one scheduler hiccup can't fake a regression.
+HIT_JOBS = 10 if SMOKE else 25
+REPEATS = 1 if SMOKE else 3
+#: Concurrent identical submissions for the coalescing probe.
+CLIENTS = 8
+#: Tolerated cache-hit p99 growth from the smallest to the largest ledger.
+SCALING_BUDGET = 1.5
+JOB_TIMEOUT = 300.0
+
+JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+
+
+def _payload(tenant=""):
+    model = build_power_supply_simulink()
+    return {
+        "kind": "fmea",
+        "model": model.to_dict(),
+        "reliability": reliability_payload(power_supply_reliability()),
+        "config": {
+            "sensors": ["CS1"],
+            "assume_stable": list(ASSUMED_STABLE),
+        },
+        "tenant": tenant,
+    }
+
+
+def _cache_key(payload):
+    request = AnalysisRequest.from_payload(payload)
+    return request.cache_key(request.fingerprint())
+
+
+def _seed_ledger(path, count, hit_key, hit_rows):
+    """``count`` entries; the *oldest* carries ``hit_key`` — the worst
+    case for the reverse scan, a single seek for the index."""
+    ledger = AnalysisLedger(path)
+    ledger.append(
+        LedgerEntry(
+            kind="fmea",
+            system="power_supply",
+            spfm=0.95,
+            asil="ASIL-B",
+            rows=list(hit_rows),
+            metrics={"wall_time": 0.5},
+            meta={"service": True, "service_cache_key": hit_key},
+        )
+    )
+    for i in range(count - 1):
+        ledger.append(
+            LedgerEntry(
+                kind="fmea",
+                system="power_supply",
+                spfm=0.90,
+                asil="ASIL-B",
+                rows=[{"component": f"C{i}", "failure_mode": "Open"}],
+                meta={"service_cache_key": f"filler-{i:06d}"},
+            )
+        )
+    return ledger
+
+
+def _p99(samples):
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1, int(0.99 * (len(ordered) - 1)))]
+
+
+def _hit_rows():
+    return [
+        {
+            "component": "RECT1",
+            "failure_mode": "Open",
+            "fit": 10.0,
+            "safety_related": True,
+        }
+    ]
+
+
+def _finish(job, timeout=JOB_TIMEOUT):
+    assert job.done_event.wait(timeout), f"job {job.id} did not finish"
+    return job
+
+
+def probe_size(tmp, size, payload, key):
+    """Cache-hit latency at one ledger size: raw seeks + service jobs."""
+    path = Path(tmp) / f"ledger-{size}.jsonl"
+    _seed_ledger(path, size, key, _hit_rows())
+
+    indexed = AnalysisLedger(path)
+    assert indexed.latest_by_cache_key(key) is not None  # warm the index
+    seeks = []
+    for _ in range(LOOKUPS):
+        start = time.perf_counter()
+        entry = indexed.latest_by_cache_key(key)
+        seeks.append((time.perf_counter() - start) * 1e6)
+        assert entry is not None
+
+    scan = AnalysisLedger(path, use_index=False)
+    scans = []
+    for _ in range(SCAN_LOOKUPS):
+        start = time.perf_counter()
+        entry = scan.latest_by_cache_key(key)
+        scans.append((time.perf_counter() - start) * 1e6)
+        assert entry is not None
+
+    batch_p99s = []
+    with AnalysisService(path, workers=2) as svc:
+        for batch in range(REPEATS):
+            walls = []
+            for i in range(HIT_JOBS):
+                job = _finish(
+                    svc.submit(dict(payload, tenant=f"probe-{batch}-{i}"))
+                )
+                assert job.state == "done", job.error
+                assert job.cached is True, (
+                    f"size {size}: expected a cache hit, got a compute"
+                )
+                assert job.result["rows"] == _hit_rows()
+                walls.append((job.finished_at - job.submitted_at) * 1e3)
+            batch_p99s.append(_p99(walls))
+
+    return {
+        "entries": size,
+        "seek_p99_us": round(_p99(seeks), 2),
+        "scan_p99_us": round(_p99(scans), 2),
+        "hit_p99_ms": round(min(batch_p99s), 3),
+        "hit_jobs": HIT_JOBS * REPEATS,
+    }
+
+
+def probe_coalescing(tmp, payload):
+    """N identical concurrent submissions -> exactly one computation.
+
+    The PSU campaign computes in milliseconds — faster than the other
+    workers can even dequeue — so the leader is held at the compute gate
+    until every other client has parked behind it (or a generous
+    deadline passes).  What's measured is the real coalescing path, not
+    a race against the scheduler; the computation itself is untouched.
+    """
+    obs.reset()
+    path = Path(tmp) / "coalesce.jsonl"
+    start = time.perf_counter()
+    with AnalysisService(path, workers=CLIENTS) as svc:
+        real = svc._compute
+        release = threading.Event()
+
+        def gated(request, job):
+            release.wait(JOB_TIMEOUT)
+            return real(request, job)
+
+        svc._compute = gated
+        jobs = [
+            svc.submit(dict(payload, tenant=f"client-{i}"))
+            for i in range(CLIENTS)
+        ]
+        deadline = time.perf_counter() + 30.0
+        while (
+            int(obs.counter("service_coalesced_jobs").value) < CLIENTS - 1
+            and time.perf_counter() < deadline
+        ):
+            time.sleep(0.002)
+        release.set()
+        finished = [_finish(job) for job in jobs]
+    elapsed = time.perf_counter() - start
+
+    assert all(job.state == "done" for job in finished), [
+        job.error for job in finished
+    ]
+    computations = int(obs.counter("service_cache_misses").value)
+    coalesced = int(obs.counter("service_coalesced_jobs").value)
+    entries = AnalysisLedger(path).entries()
+    rows = finished[0].result["rows"]
+    assert computations == 1, (
+        f"{CLIENTS} identical submissions ran {computations} computations"
+    )
+    assert len(entries) == 1, f"expected 1 ledger entry, got {len(entries)}"
+    assert all(job.result["rows"] == rows for job in finished), (
+        "coalesced clients must receive bit-identical rows"
+    )
+    assert coalesced == CLIENTS - 1, (
+        f"expected {CLIENTS - 1} coalesced followers, got {coalesced}"
+    )
+    return {
+        "clients": CLIENTS,
+        "computations": computations,
+        "coalesced": coalesced,
+        "cache_hits": int(obs.counter("service_cache_hits").value),
+        "wall_s": round(elapsed, 3),
+    }
+
+
+def _extended_trajectory(payload):
+    """Prior trajectory plus a point for this run, bounded."""
+    trajectory = []
+    try:
+        previous = json.loads(JSON_PATH.read_text(encoding="utf-8"))
+        trajectory = list(previous.get("trajectory", []))
+    except (OSError, ValueError):
+        pass
+    point = {"timestamp": time.time(), "mode": payload["mode"]}
+    try:
+        from repro.obs.ledger import git_describe
+
+        point["git"] = git_describe()
+    except Exception:  # noqa: BLE001 — provenance decoration only
+        point["git"] = ""
+    for size in payload["sizes"]:
+        point[str(size["entries"])] = {
+            "seek_p99_us": size["seek_p99_us"],
+            "scan_p99_us": size["scan_p99_us"],
+            "hit_p99_ms": size["hit_p99_ms"],
+        }
+    point["hit_scaling"] = payload["scaling"]["cache_hit_p99"]["ratio"]
+    point["coalesced"] = payload["coalescing"]["coalesced"]
+    trajectory.append(point)
+    return trajectory[-TRAJECTORY_KEEP:]
+
+
+def _ledger_record(payload):
+    """Stamp the measured scaling ratios for the nightly gate."""
+    AnalysisLedger(LEDGER_PATH).append(
+        LedgerEntry(
+            kind="service-bench",
+            system="power_supply",
+            spfm=0.95,
+            asil="ASIL-B",
+            rows=[],
+            # No wall_time metric on purpose: the coalescing wall is
+            # milliseconds of scheduler noise and would trip the generic
+            # wall-time rule run to run. The scaling probes are the gate.
+            metrics={},
+            config={"bench": "service", "sizes": SIZES},
+            meta={
+                "bench": "service",
+                "mode": payload["mode"],
+                "scaling": payload["scaling"],
+                "coalescing": payload["coalescing"],
+            },
+        )
+    )
+
+
+def test_bench_service():
+    payload = {
+        "mode": "smoke" if SMOKE else "full",
+        "scaling_budget": SCALING_BUDGET,
+        "sizes": [],
+        "coalescing": {},
+    }
+    request_payload = _payload()
+    key = _cache_key(request_payload)
+    with tempfile.TemporaryDirectory(prefix="bench-service-") as tmp:
+        for size in SIZES:
+            obs.reset()
+            payload["sizes"].append(
+                probe_size(tmp, size, request_payload, key)
+            )
+        payload["coalescing"] = probe_coalescing(tmp, request_payload)
+
+    smallest, largest = payload["sizes"][0], payload["sizes"][-1]
+    hit_ratio = (
+        largest["hit_p99_ms"] / smallest["hit_p99_ms"]
+        if smallest["hit_p99_ms"]
+        else 1.0
+    )
+    seek_ratio = (
+        largest["seek_p99_us"] / smallest["seek_p99_us"]
+        if smallest["seek_p99_us"]
+        else 1.0
+    )
+    scan_ratio = (
+        largest["scan_p99_us"] / smallest["scan_p99_us"]
+        if smallest["scan_p99_us"]
+        else 1.0
+    )
+    payload["scaling"] = {
+        "cache_hit_p99": {
+            "ratio": round(hit_ratio, 3),
+            "budget": SCALING_BUDGET,
+        },
+        "index_seek_p99": {
+            "ratio": round(seek_ratio, 3),
+            "budget": SCALING_BUDGET,
+        },
+        # The scan baseline is *expected* to grow ~linearly with history;
+        # reported for contrast, never gated.
+        "scan_baseline": {"ratio": round(scan_ratio, 3)},
+    }
+    payload["accepted"] = bool(SMOKE or hit_ratio <= SCALING_BUDGET)
+    payload["trajectory"] = _extended_trajectory(payload)
+    JSON_PATH.write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+
+    table = [
+        {
+            "Entries": size["entries"],
+            "Seek p99(us)": f"{size['seek_p99_us']:.1f}",
+            "Scan p99(us)": f"{size['scan_p99_us']:.1f}",
+            "Hit p99(ms)": f"{size['hit_p99_ms']:.2f}",
+        }
+        for size in payload["sizes"]
+    ]
+    table.append(
+        {
+            "Entries": f"coalesce x{CLIENTS}",
+            "Seek p99(us)": "-",
+            "Scan p99(us)": "-",
+            "Hit p99(ms)": (
+                f"{payload['coalescing']['computations']} compute / "
+                f"{payload['coalescing']['coalesced']} coalesced"
+            ),
+        }
+    )
+    report_table(
+        "BENCH service",
+        "indexed cache-hit latency vs ledger size + request coalescing",
+        format_rows(table),
+    )
+
+    if LEDGER_PATH:
+        _ledger_record(payload)
+
+    if not SMOKE:
+        assert hit_ratio <= SCALING_BUDGET, (
+            f"cache-hit p99 grew {hit_ratio:.2f}x from "
+            f"{smallest['entries']} to {largest['entries']} entries "
+            f"(budget {SCALING_BUDGET}x; scan baseline {scan_ratio:.2f}x)"
+        )

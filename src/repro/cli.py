@@ -535,6 +535,33 @@ def _cmd_watch_regressions(args: argparse.Namespace) -> int:
     return 1 if regressions else 0
 
 
+def _cmd_ledger_index(args: argparse.Namespace) -> int:
+    """``same ledger-index`` — inspect or rebuild the ledger's sidecar
+    byte-offset index (``<ledger>.idx``)."""
+    import json as _json
+
+    ledger = _open_ledger(args)
+    if args.rebuild:
+        status = ledger.rebuild_index()
+    else:
+        status = ledger.index_status()
+    if args.json:
+        print(_json.dumps(status, indent=2, sort_keys=True))
+        return 0 if status.get("enabled") else 1
+    if not status.get("enabled"):
+        print(f"{status['path']}: sidecar index disabled (scan fallback)")
+        return 1
+    print(f"sidecar      : {status['sidecar']}")
+    print(f"lines indexed: {status['lines']}")
+    print(f"entries      : {status['entries']}")
+    print(f"artifacts    : {status['artifacts']}")
+    print(f"cache keys   : {status['cache_keys']}")
+    print(f"bytes covered: {status['bytes_covered']}")
+    if status.get("tail_open"):
+        print("tail         : unterminated (healed on next append)")
+    return 0
+
+
 def _cmd_slo(args: argparse.Namespace) -> int:
     """``same slo`` — the SLO gate: live burn rates from a running
     service and/or the SLO verdict stamped on a recorded ledger entry.
@@ -930,6 +957,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     watch.add_argument("--json", action="store_true")
     watch.set_defaults(func=_cmd_watch_regressions)
+
+    ledger_index = sub.add_parser(
+        "ledger-index",
+        help="inspect or rebuild the ledger's sidecar byte-offset index",
+    )
+    ledger_index.add_argument("--ledger", required=True)
+    ledger_index.add_argument(
+        "--rebuild",
+        action="store_true",
+        help="force a full rebuild of the sidecar index",
+    )
+    ledger_index.add_argument("--json", action="store_true")
+    ledger_index.set_defaults(func=_cmd_ledger_index)
 
     slo = sub.add_parser(
         "slo",

@@ -285,7 +285,7 @@ def diff_entries(before: LedgerEntry, after: LedgerEntry) -> LedgerDiff:
 class Regression:
     """One detected regression between a baseline and a candidate entry."""
 
-    kind: str  # 'spfm'|'single-point'|'wall-time'|'asil'|'strategy'|'slo'
+    kind: str  # 'spfm'|'single-point'|'wall-time'|'asil'|'strategy'|'slo'|'scaling'
     message: str
 
 
@@ -315,9 +315,13 @@ def watch_regressions(
     baseline (``None`` disables the timing gate), a strategy
     inversion — the candidate entry's recorded per-strategy timings
     (``meta.timings``, written by the injection benchmark) showing a
-    batched strategy running slower than naive re-assembly — and an SLO
-    breach: the candidate was recorded by the analysis service while its
-    error budget was burning (``meta.slo``, stamped at record time by
+    batched strategy running slower than naive re-assembly — a
+    latency-scaling bust: the candidate's recorded scaling probes
+    (``meta.scaling``, written by the service benchmark as
+    ``{name: {"ratio": ..., "budget": ...}}``) showing a ratio above its
+    budget — and an SLO breach: the candidate was recorded by the
+    analysis service while its error budget was burning (``meta.slo``,
+    stamped at record time by
     :class:`~repro.service.jobs.AnalysisService`).
     """
     regressions: List[Regression] = []
@@ -371,6 +375,29 @@ def watch_regressions(
                         "strategy",
                         f"{label} strategy slower than naive "
                         f"({batched:.3f}s vs {naive:.3f}s)",
+                    )
+                )
+    scaling = diff.after.meta.get("scaling")
+    if isinstance(scaling, dict):
+        # Written by the service benchmark: per-probe latency-scaling
+        # ratios with their budgets, e.g. cache-hit p99 at a 10k-entry
+        # ledger over a 100-entry one. Ratio above budget means a lookup
+        # path went super-constant again.
+        for name in sorted(scaling):
+            probe = scaling[name]
+            if not isinstance(probe, dict):
+                continue
+            try:
+                ratio = float(probe["ratio"])
+                budget = float(probe["budget"])
+            except (KeyError, TypeError, ValueError):
+                continue
+            if ratio > budget:
+                regressions.append(
+                    Regression(
+                        "scaling",
+                        f"{name} latency scaling {ratio:.2f}x exceeds "
+                        f"budget {budget:g}x",
                     )
                 )
     slo = diff.after.meta.get("slo")

@@ -17,6 +17,12 @@ iterations.  This module supplies the storage half of that story:
   reference resolution (entry id, unique id prefix, ``@N`` sequence,
   negative indices) and artifact attachment records that link an entry to
   the workbook exported from it;
+- :class:`LedgerIndex` — a persistent sidecar index (``<ledger>.idx``) of
+  byte offsets keyed by entry id, ``meta.service_cache_key`` and
+  ``(kind, system)``, appended incrementally on every write and validated
+  against a (size, line-count, tail-digest) stamp on load — so lookups
+  seek straight to the lines they need instead of re-parsing the whole
+  history, and the cost of a cache hit stays O(1) as the ledger grows;
 - ``record_fmea`` / ``record_fmeda`` / ``record_optimizer`` /
   ``record_iteration`` — builders that derive an entry from an analysis
   result plus its inputs.
@@ -37,11 +43,22 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import subprocess
+import threading
 import time
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
-from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Union
+from typing import (
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro import obs
 
@@ -293,6 +310,342 @@ def _stats_metrics(result) -> Dict[str, object]:
     return out
 
 
+# -- the sidecar index -------------------------------------------------------
+
+
+#: Short digest of a ledger line's raw bytes, stamped on its index record.
+def _line_digest(raw: bytes) -> str:
+    return hashlib.sha256(raw).hexdigest()[:12]
+
+
+class LedgerIndex:
+    """Persistent byte-offset index over a ledger file (``<ledger>.idx``).
+
+    The sidecar holds one compact JSONL record per ledger line, carrying
+    the line's byte offset and length plus the keys lookups need — entry
+    id, content digest, kind, system and ``meta.service_cache_key`` — so
+    ``entries(kind=...)``, ``latest()``, ``resolve()``, cache-key lookups
+    and artifact folding seek straight to the lines that matter instead
+    of re-parsing the whole history.  Artifact records are resolved to
+    their target entry *at index time* (the latest entry with that id so
+    far, exactly the fold rule the scan applies), so folding costs no
+    file reads at all.
+
+    Every record doubles as a stamp: it stores the ledger size after its
+    line (``z``) and a digest of the line's bytes (``d``); the line count
+    is the record count.  On load the last record's stamp is checked
+    against the ledger file — size shrunk or tail bytes changed means the
+    ledger was rewritten and the index **rebuilds** from scratch; size
+    grown means another process appended and the index **extends**
+    incrementally, parsing only the new tail.  A corrupt or truncated
+    sidecar also rebuilds.  The ledger file itself is never trusted less
+    than before: the scan path remains intact as a differential fallback.
+
+    Record keys (kept one or two characters to bound sidecar growth):
+    ``o`` offset, ``n`` length, ``t`` line type (``e`` entry / ``a``
+    artifact / ``x`` junk), ``z``/``d``/``u`` the stamp (size after,
+    line digest, unterminated-tail flag), and for entries ``id``, ``g``
+    (content digest), ``k`` (kind), ``s`` (system), ``c`` (service cache
+    key), ``q`` (entry sequence number); for artifacts ``tq`` (resolved
+    target entry sequence), ``p`` (path), ``ak`` (artifact kind).
+    """
+
+    def __init__(self, ledger_path: Union[str, Path]) -> None:
+        self.ledger_path = Path(ledger_path)
+        self.sidecar = Path(str(ledger_path) + ".idx")
+        self.loaded = False
+        #: Sidecar size as of our last write/load; -1 = unknown.  Appends
+        #: land only when the file is where we left it — another writer
+        #: moving it triggers an atomic full rewrite instead, so two
+        #: ledger handles over one file never interleave duplicates.
+        self._sidecar_bytes = -1
+        self._clear()
+
+    # -- in-memory state ---------------------------------------------------
+
+    def _clear(self) -> None:
+        #: One record per ledger line, in file order.
+        self.records: List[Dict[str, object]] = []
+        #: Entry records only; position == entry sequence number.
+        self.entries: List[Dict[str, object]] = []
+        self.by_id: Dict[str, List[int]] = {}
+        self.by_cache_key: Dict[str, List[int]] = {}
+        self.by_kind: Dict[str, List[int]] = {}
+        self.by_system: Dict[str, List[int]] = {}
+        self.by_kind_system: Dict[Tuple[str, str], List[int]] = {}
+        #: entry seq -> artifact paths folded into it, in file order.
+        self.artifacts_by_seq: Dict[int, List[str]] = {}
+        #: Ledger bytes covered by the index.
+        self.size = 0
+        #: The last indexed line had no trailing newline (interrupted
+        #: write): its length may still grow, so any ledger growth forces
+        #: a rebuild instead of an extend.
+        self.tail_open = False
+
+    def _register(self, record: Dict[str, object]) -> None:
+        self.records.append(record)
+        kind = record["t"]
+        if kind == "e":
+            seq = int(record["q"])  # type: ignore[arg-type]
+            self.entries.append(record)
+            self.by_id.setdefault(str(record["id"]), []).append(seq)
+            cache_key = record.get("c")
+            if cache_key:
+                self.by_cache_key.setdefault(str(cache_key), []).append(seq)
+            self.by_kind.setdefault(str(record["k"]), []).append(seq)
+            self.by_system.setdefault(str(record["s"]), []).append(seq)
+            self.by_kind_system.setdefault(
+                (str(record["k"]), str(record["s"])), []
+            ).append(seq)
+        elif kind == "a":
+            self.artifacts_by_seq.setdefault(
+                int(record["tq"]), []  # type: ignore[arg-type]
+            ).append(str(record["p"]))
+
+    # -- classification ----------------------------------------------------
+
+    def _index_line(
+        self,
+        raw: bytes,
+        offset: int,
+        payload: Optional[Mapping[str, object]] = None,
+    ) -> Dict[str, object]:
+        """The index record for one raw ledger line.
+
+        Classification mirrors the scan exactly: an entry line must parse,
+        be ``type == "entry"`` with a ``kind``, and round-trip through
+        :meth:`LedgerEntry.from_dict`; an artifact line must name a known
+        entry and a path — anything else is junk (``x``) and only its
+        offsets are kept.  The content digest is *recomputed* from the
+        payload (never trusted from the line) so indexed ``resolve()``
+        matches the scan even on hand-written lines.
+        """
+        record: Dict[str, object] = {
+            "o": offset,
+            "n": len(raw),
+            "t": "x",
+            "z": offset + len(raw),
+            "d": _line_digest(raw),
+        }
+        if not raw.endswith(b"\n"):
+            record["u"] = 1
+        if payload is None:
+            try:
+                decoded = json.loads(raw.decode("utf-8").strip() or "null")
+            except (ValueError, UnicodeDecodeError):
+                decoded = None
+            payload = decoded if isinstance(decoded, dict) else None
+        if payload is None:
+            return record
+        if payload.get("type") == "entry" and "kind" in payload:
+            try:
+                entry = LedgerEntry.from_dict(payload)
+            except (TypeError, ValueError, KeyError):
+                return record
+            record.update(
+                t="e",
+                id=entry.entry_id,
+                g=entry.content_digest,
+                k=entry.kind,
+                s=entry.system,
+                q=len(self.entries),
+            )
+            meta = payload.get("meta")
+            cache_key = (
+                meta.get("service_cache_key")
+                if isinstance(meta, Mapping)
+                else None
+            )
+            if isinstance(cache_key, str) and cache_key:
+                record["c"] = cache_key
+        elif payload.get("type") == "artifact" and payload.get("path"):
+            targets = self.by_id.get(str(payload.get("entry")), [])
+            if targets:
+                record.update(t="a", tq=targets[-1], p=str(payload["path"]))
+                if payload.get("kind"):
+                    record["ak"] = str(payload["kind"])
+        return record
+
+    # -- persistence -------------------------------------------------------
+
+    def _ledger_size(self) -> int:
+        try:
+            return self.ledger_path.stat().st_size
+        except OSError:
+            return 0
+
+    def _persist_append(self, records: Sequence[Mapping[str, object]]) -> None:
+        if not records:
+            return
+        blob = b"".join(
+            json.dumps(record, sort_keys=True).encode("utf-8") + b"\n"
+            for record in records
+        )
+        try:
+            actual = self.sidecar.stat().st_size
+        except OSError:
+            actual = 0 if not self.sidecar.exists() else -2
+        if actual != self._sidecar_bytes:
+            # Another handle wrote the sidecar since we last did; our
+            # in-memory state (which already includes ``records``) is the
+            # freshest view — replace the file wholesale, atomically.
+            self._rewrite_sidecar()
+            return
+        with open(self.sidecar, "ab") as handle:
+            handle.write(blob)
+        self._sidecar_bytes += len(blob)
+
+    def _rewrite_sidecar(self) -> None:
+        tmp = self.sidecar.with_name(self.sidecar.name + ".tmp")
+        blob = b"".join(
+            json.dumps(record, sort_keys=True).encode("utf-8") + b"\n"
+            for record in self.records
+        )
+        with open(tmp, "wb") as handle:
+            handle.write(blob)
+        os.replace(tmp, self.sidecar)
+        self._sidecar_bytes = len(blob)
+
+    def _load_sidecar(self) -> bool:
+        """Adopt the on-disk sidecar if its stamp matches the ledger."""
+        self._clear()
+        if not self.sidecar.exists():
+            return self._ledger_size() == 0
+        try:
+            data = self.sidecar.read_bytes()
+            text = data.decode("utf-8")
+        except (OSError, UnicodeDecodeError):
+            return False
+        records: List[Dict[str, object]] = []
+        for line in text.splitlines():
+            try:
+                record = json.loads(line)
+            except ValueError:
+                return False
+            if (
+                not isinstance(record, dict)
+                or not all(key in record for key in ("o", "n", "t", "z", "d"))
+            ):
+                return False
+            records.append(record)
+        size = self._ledger_size()
+        if not records:
+            return size == 0
+        last = records[-1]
+        end = int(last["z"])  # type: ignore[arg-type]
+        if end > size:
+            return False  # ledger truncated or rewritten shorter
+        try:
+            with open(self.ledger_path, "rb") as handle:
+                handle.seek(int(last["o"]))  # type: ignore[arg-type]
+                raw = handle.read(int(last["n"]))  # type: ignore[arg-type]
+        except OSError:
+            return False
+        if _line_digest(raw) != last["d"]:
+            return False  # tail rewritten in place
+        for record in records:
+            if record["t"] == "e" and record.get("q") != len(self.entries):
+                self._clear()
+                return False  # sequence numbering corrupted
+            self._register(record)
+        self.size = end
+        self.tail_open = bool(last.get("u"))
+        self._sidecar_bytes = len(data)
+        if size > end:
+            if self.tail_open:
+                self._clear()
+                return False  # the open tail line may have grown: reparse
+            self._extend()
+        return True
+
+    def _parse_region(self, start: int) -> List[Dict[str, object]]:
+        """Index every ledger line from byte ``start`` to EOF."""
+        records: List[Dict[str, object]] = []
+        with open(self.ledger_path, "rb") as handle:
+            handle.seek(start)
+            offset = start
+            for raw in iter(handle.readline, b""):
+                record = self._index_line(raw, offset)
+                self._register(record)
+                records.append(record)
+                offset += len(raw)
+        self.size = offset if records else start
+        self.tail_open = bool(records and records[-1].get("u"))
+        return records
+
+    def _extend(self) -> None:
+        """Catch up with lines another writer appended past our stamp.
+
+        The last indexed line is re-digested first: growth caused by a
+        rewrite rather than an append fails the stamp and rebuilds."""
+        if self.records:
+            last = self.records[-1]
+            with open(self.ledger_path, "rb") as handle:
+                handle.seek(int(last["o"]))  # type: ignore[arg-type]
+                raw = handle.read(int(last["n"]))  # type: ignore[arg-type]
+            if _line_digest(raw) != last["d"]:
+                self._rebuild()
+                return
+        added = self._parse_region(self.size)
+        self._persist_append(added)
+        obs.counter("ledger_index_extensions").inc()
+
+    def _rebuild(self) -> None:
+        """Re-derive the whole index from the ledger file."""
+        self._clear()
+        if self.ledger_path.exists():
+            self._parse_region(0)
+        self._rewrite_sidecar()
+        obs.counter("ledger_index_rebuilds").inc()
+
+    # -- the sync protocol -------------------------------------------------
+
+    def sync(self) -> "LedgerIndex":
+        """Make the in-memory index current; the caller holds the lock.
+
+        First use loads the sidecar (or rebuilds it); afterwards a single
+        ``stat`` validates per call — same size means nothing to do, grown
+        means an incremental extend, shrunk (or growth past an
+        unterminated tail line) means a rebuild.
+        """
+        if not self.loaded:
+            self.loaded = True
+            if not self._load_sidecar():
+                self._rebuild()
+            return self
+        size = self._ledger_size()
+        if size == self.size:
+            return self
+        if size < self.size or self.tail_open:
+            self._rebuild()
+        else:
+            self._extend()
+        return self
+
+    def note_line(
+        self, raw: bytes, offset: int, payload: Mapping[str, object]
+    ) -> None:
+        """Index one line this process just appended (no re-parse)."""
+        record = self._index_line(raw, offset, payload=payload)
+        self._register(record)
+        self._persist_append([record])
+        self.size = offset + len(raw)
+        self.tail_open = False
+
+    def status(self) -> Dict[str, object]:
+        return {
+            "sidecar": str(self.sidecar),
+            "lines": len(self.records),
+            "entries": len(self.entries),
+            "artifacts": sum(
+                len(paths) for paths in self.artifacts_by_seq.values()
+            ),
+            "cache_keys": len(self.by_cache_key),
+            "bytes_covered": self.size,
+            "tail_open": self.tail_open,
+        }
+
+
 # -- the ledger --------------------------------------------------------------
 
 
@@ -304,10 +657,106 @@ class AnalysisLedger:
     ...}`` (appended when a workbook is exported from an already-recorded
     result — the append-only discipline means entries are never rewritten).
     Loading tolerates corrupt or truncated lines.
+
+    Reads go through the :class:`LedgerIndex` sidecar by default, making
+    ``latest()``, ``resolve()``, ``latest_by_cache_key()`` and filtered
+    ``entries()`` O(1) in history size (one dict lookup + one line seek)
+    instead of a full-file parse.  ``use_index=False`` keeps the original
+    scan semantics — the differential reference the index is tested
+    against — and any index failure (unwritable sidecar, races with an
+    external rewrite mid-read) transparently falls back to the scan.
+    All mutation and index access is serialised by an internal lock, so
+    concurrent appends and lookups from service worker threads are safe.
     """
 
-    def __init__(self, path: Union[str, Path]) -> None:
+    def __init__(self, path: Union[str, Path], use_index: bool = True) -> None:
         self.path = Path(path)
+        self._use_index = bool(use_index)
+        self._index: Optional[LedgerIndex] = None
+        self._lock = threading.RLock()
+
+    # -- index plumbing ----------------------------------------------------
+
+    def _indexed(self) -> Optional["LedgerIndex"]:
+        """The synced index, or ``None`` when disabled or broken.
+
+        A failure to build or persist the index permanently disables it
+        for this ledger object (counted by ``ledger_index_fallbacks``) —
+        the scan path serves every later read, never an exception.
+        """
+        if not self._use_index:
+            return None
+        try:
+            if self._index is None:
+                self._index = LedgerIndex(self.path)
+            return self._index.sync()
+        except (OSError, ValueError, KeyError, TypeError):
+            obs.counter("ledger_index_fallbacks").inc()
+            self._index = None
+            self._use_index = False
+            return None
+
+    def _materialize(
+        self, index: "LedgerIndex", seq: int, handle=None
+    ) -> LedgerEntry:
+        """Parse the single ledger line behind entry ``seq`` and fold its
+        index-resolved artifacts in."""
+        record = index.entries[seq]
+        if handle is None:
+            with open(self.path, "rb") as own:
+                own.seek(int(record["o"]))  # type: ignore[arg-type]
+                raw = own.read(int(record["n"]))  # type: ignore[arg-type]
+        else:
+            handle.seek(int(record["o"]))  # type: ignore[arg-type]
+            raw = handle.read(int(record["n"]))  # type: ignore[arg-type]
+        entry = LedgerEntry.from_dict(
+            json.loads(raw.decode("utf-8")), seq=seq
+        )
+        for path in index.artifacts_by_seq.get(seq, ()):
+            if path not in entry.artifacts:
+                entry.artifacts.append(path)
+        obs.counter("ledger_index_seeks").inc()
+        return entry
+
+    def _entry_seqs(
+        self,
+        index: "LedgerIndex",
+        kind: Optional[str],
+        system: Optional[str],
+    ) -> Sequence[int]:
+        if kind is not None and system is not None:
+            return index.by_kind_system.get((kind, system), [])
+        if kind is not None:
+            return index.by_kind.get(kind, [])
+        if system is not None:
+            return index.by_system.get(system, [])
+        return range(len(index.entries))
+
+    def index_status(self) -> Dict[str, object]:
+        """Sidecar-index health for ``same ledger-index``."""
+        with self._lock:
+            index = self._indexed()
+            if index is None:
+                return {"enabled": False, "path": str(self.path)}
+            status = index.status()
+        status.update(enabled=True, path=str(self.path))
+        return status
+
+    def rebuild_index(self) -> Dict[str, object]:
+        """Force a from-scratch rebuild of the sidecar index."""
+        with self._lock:
+            if not self._use_index:
+                return {"enabled": False, "path": str(self.path)}
+            if self._index is None:
+                self._index = LedgerIndex(self.path)
+            try:
+                self._index._rebuild()
+                self._index.loaded = True
+            except OSError as exc:
+                raise LedgerError(
+                    f"cannot rebuild ledger index for {self.path}: {exc}"
+                ) from exc
+        return self.index_status()
 
     # -- writing ----------------------------------------------------------
 
@@ -331,11 +780,12 @@ class AnalysisLedger:
         cid = obs.correlation_id()
         if cid is not None:
             entry.meta.setdefault("correlation_id", cid)
-        entry.seq = self._next_seq()
-        with obs.span(
-            "ledger.record", entry=entry.entry_id, kind=entry.kind
-        ):
-            self._append_line(entry.to_dict())
+        with self._lock:
+            entry.seq = self._next_seq()
+            with obs.span(
+                "ledger.record", entry=entry.entry_id, kind=entry.kind
+            ):
+                self._append_line(entry.to_dict())
         return entry
 
     def attach_artifact(
@@ -355,21 +805,50 @@ class AnalysisLedger:
         }
         if kind:
             record["kind"] = kind
-        self._append_line(record)
+        with self._lock:
+            self._append_line(record)
         if isinstance(entry, LedgerEntry):
             entry.artifacts.append(str(path))
 
     def _append_line(self, payload: Mapping[str, object]) -> None:
+        """Write one line and index it; the caller holds the lock.
+
+        The index is synced *before* the write (catching any external
+        append so offsets stay truthful) and told about the new line
+        afterwards, so an append costs one stat + two small writes — no
+        re-scan.  When the file ends in an interrupted, unterminated line
+        a newline is healed in first, keeping line boundaries exactly
+        where the index recorded them.  Index persistence failures
+        degrade to scan mode; they never lose the ledger line itself.
+        """
+        index = self._indexed()
         try:
             self.path.parent.mkdir(parents=True, exist_ok=True)
-            with open(self.path, "a", encoding="utf-8") as handle:
-                handle.write(json.dumps(payload, sort_keys=True) + "\n")
+            raw = (
+                json.dumps(payload, sort_keys=True) + "\n"
+            ).encode("utf-8")
+            with open(self.path, "ab") as handle:
+                if index is not None and index.tail_open:
+                    handle.write(b"\n")
+                offset = handle.tell()
+                handle.write(raw)
         except OSError as exc:
             raise LedgerError(
                 f"cannot write analysis ledger {self.path}: {exc}"
             ) from exc
+        if index is not None:
+            try:
+                index.note_line(raw, offset, payload)
+            except (OSError, ValueError, KeyError, TypeError):
+                obs.counter("ledger_index_fallbacks").inc()
+                self._index = None
+                self._use_index = False
 
     def _next_seq(self) -> int:
+        with self._lock:
+            index = self._indexed()
+            if index is not None:
+                return len(index.entries)
         return sum(1 for _ in self._raw_entries())
 
     # -- reading ----------------------------------------------------------
@@ -399,7 +878,34 @@ class AnalysisLedger:
         kind: Optional[str] = None,
         system: Optional[str] = None,
     ) -> List[LedgerEntry]:
-        """All entries in file order, artifact records folded in."""
+        """Entries in file order, artifact records folded in.
+
+        With the index, a filtered query parses only the matching lines
+        (seq numbers stay global, as the scan assigns them); without it,
+        the original full scan runs.
+        """
+        with self._lock:
+            index = self._indexed()
+            if index is not None:
+                try:
+                    seqs = list(self._entry_seqs(index, kind, system))
+                    if not seqs:
+                        return []
+                    with open(self.path, "rb") as handle:
+                        return [
+                            self._materialize(index, seq, handle)
+                            for seq in seqs
+                        ]
+                except (OSError, ValueError, KeyError, TypeError):
+                    obs.counter("ledger_index_fallbacks").inc()
+        return self._entries_scan(kind, system)
+
+    def _entries_scan(
+        self,
+        kind: Optional[str] = None,
+        system: Optional[str] = None,
+    ) -> List[LedgerEntry]:
+        """The index-free reference read: parse every line, fold, filter."""
         entries: List[LedgerEntry] = []
         by_id: Dict[str, List[LedgerEntry]] = {}
         for record in self._raw_lines():
@@ -429,8 +935,43 @@ class AnalysisLedger:
         kind: Optional[str] = None,
         system: Optional[str] = None,
     ) -> Optional[LedgerEntry]:
-        matching = self.entries(kind=kind, system=system)
+        """The most recent matching entry — one index lookup + one seek."""
+        with self._lock:
+            index = self._indexed()
+            if index is not None:
+                try:
+                    seqs = self._entry_seqs(index, kind, system)
+                    if not seqs:
+                        return None
+                    return self._materialize(index, seqs[-1])
+                except (OSError, ValueError, KeyError, TypeError):
+                    obs.counter("ledger_index_fallbacks").inc()
+        matching = self._entries_scan(kind=kind, system=system)
         return matching[-1] if matching else None
+
+    def latest_by_cache_key(self, cache_key: str) -> Optional[LedgerEntry]:
+        """The newest entry whose ``meta.service_cache_key`` matches.
+
+        The analysis service's cache hit: a dict lookup plus one line
+        seek, O(1) in ledger size.  Without the index this degrades to
+        the reverse scan the service originally performed.
+        """
+        if not cache_key:
+            return None
+        with self._lock:
+            index = self._indexed()
+            if index is not None:
+                try:
+                    seqs = index.by_cache_key.get(cache_key, [])
+                    if not seqs:
+                        return None
+                    return self._materialize(index, seqs[-1])
+                except (OSError, ValueError, KeyError, TypeError):
+                    obs.counter("ledger_index_fallbacks").inc()
+        for entry in reversed(self._entries_scan()):
+            if entry.meta.get("service_cache_key") == cache_key:
+                return entry
+        return None
 
     def resolve(self, ref: str) -> LedgerEntry:
         """Resolve an entry reference.
@@ -438,17 +979,66 @@ class AnalysisLedger:
         Accepted forms: ``@N`` / plain integer (file-order sequence,
         negatives count from the end), ``latest``/``HEAD``, a full entry
         id, or a unique id/digest prefix.  When several entries share an
-        identical id (byte-identical re-runs) the latest wins.
+        identical id (byte-identical re-runs) the latest wins.  With the
+        index, id and digest matching runs over the in-memory key maps
+        and only the winning entry's line is parsed.
         """
-        entries = self.entries()
-        if not entries:
-            raise LedgerError(f"ledger {self.path} has no entries")
+        with self._lock:
+            index = self._indexed()
+            if index is not None:
+                try:
+                    return self._resolve_indexed(index, ref)
+                except LedgerError:
+                    raise
+                except (OSError, ValueError, KeyError, TypeError):
+                    obs.counter("ledger_index_fallbacks").inc()
+        return self._resolve_scan(ref)
+
+    @staticmethod
+    def _parse_ref(ref: str) -> Tuple[str, Optional[int]]:
         text = ref.strip()
         index_text = text[1:] if text.startswith("@") else text
         try:
-            index = int(index_text)
+            return text, int(index_text)
         except ValueError:
-            index = None
+            return text, None
+
+    def _resolve_indexed(self, index: "LedgerIndex", ref: str) -> LedgerEntry:
+        count = len(index.entries)
+        if not count:
+            raise LedgerError(f"ledger {self.path} has no entries")
+        text, position = self._parse_ref(ref)
+        if position is not None:
+            seq = position if position >= 0 else count + position
+            if not 0 <= seq < count:
+                raise LedgerError(
+                    f"entry index {position} out of range "
+                    f"(ledger has {count} entries)"
+                )
+            return self._materialize(index, seq)
+        if text.lower() in ("latest", "head"):
+            return self._materialize(index, count - 1)
+        matches = [
+            record
+            for record in index.entries
+            if record["id"] == text
+            or str(record["id"]).startswith(text)
+            or str(record["g"]).startswith(text)
+        ]
+        if not matches:
+            raise LedgerError(f"no ledger entry matches {ref!r}")
+        distinct = {str(record["id"]) for record in matches}
+        if len(distinct) > 1:
+            raise LedgerError(
+                f"ambiguous reference {ref!r}: matches {sorted(distinct)}"
+            )
+        return self._materialize(index, int(matches[-1]["q"]))  # type: ignore[arg-type]
+
+    def _resolve_scan(self, ref: str) -> LedgerEntry:
+        entries = self._entries_scan()
+        if not entries:
+            raise LedgerError(f"ledger {self.path} has no entries")
+        text, index = self._parse_ref(ref)
         if index is not None:
             try:
                 return entries[index]

@@ -11,7 +11,16 @@ exit.  :class:`AnalysisService` is the long-lived shape (ROADMAP item 1):
   campaign fingerprint (content hash of model + reliability + solver
   config) combined with the classification/deployment config — an
   identical submission is served straight from the ledger, bit-identical
-  to the computed rows, without constructing the model at all;
+  to the computed rows, without constructing the model at all.  Lookups
+  go through the ledger's persistent cache-key index
+  (:class:`~repro.obs.ledger.LedgerIndex`): one dict hit plus one line
+  seek, O(1) in history size, under a lock held only for the seek;
+- identical submissions arriving while one is already computing are
+  **coalesced single-flight**: the first becomes the leader, every later
+  one attaches to its in-flight computation and receives the same rows
+  bit-identically (``coalesced: true`` plus the leader's correlation id
+  in ``GET /jobs/<id>``) — N clients asking the same question cost one
+  campaign (dogpile suppression);
 - ``service_*`` counters/gauges/histograms land in the ``repro.obs``
   metrics registry (scraped live via ``GET /metrics``), and job lifecycle
   events (``job_submitted`` / ``job_started`` / ``job_finished``) ride the
@@ -247,6 +256,12 @@ class AnalysisJob:
     tenant: str = ""
     state: str = "queued"
     cached: bool = False
+    #: True when this job attached to another job's in-flight computation
+    #: instead of running its own campaign; ``coalesced_with`` carries the
+    #: leader's correlation id so the shared computation's event stream,
+    #: logs and ledger entry are one hop away.
+    coalesced: bool = False
+    coalesced_with: str = ""
     fingerprint: str = ""
     cache_key: str = ""
     #: Minted at submit; stamps every event/span/log/ledger entry the job
@@ -277,6 +292,8 @@ class AnalysisJob:
             "tenant": self.tenant,
             "state": self.state,
             "cached": self.cached,
+            "coalesced": self.coalesced,
+            "coalesced_with": self.coalesced_with,
             "fingerprint": self.fingerprint,
             "correlation_id": self.correlation_id,
             "submitted_at": self.submitted_at,
@@ -349,6 +366,11 @@ class AnalysisService:
         self._jobs: "OrderedDict[str, AnalysisJob]" = OrderedDict()
         self._lock = threading.Lock()
         self._ledger_lock = threading.Lock()
+        #: Single-flight registry: cache key -> the job currently
+        #: computing that key.  Later identical submissions attach to the
+        #: leader instead of starting their own campaign.
+        self._inflight: Dict[str, AnalysisJob] = {}
+        self._inflight_lock = threading.Lock()
         self._model_cache: "OrderedDict[str, object]" = OrderedDict()
         self._model_cache_lock = threading.Lock()
         self._threads: List[threading.Thread] = []
@@ -469,6 +491,10 @@ class AnalysisService:
             "jobs": states,
             "cache_hits": int(obs.counter("service_cache_hits").value),
             "cache_misses": int(obs.counter("service_cache_misses").value),
+            "inflight": len(self._inflight),
+            "coalesced_jobs": int(
+                obs.counter("service_coalesced_jobs").value
+            ),
             "job_wall_p50": round(wall.quantile(0.50), 6),
             "job_wall_p99": round(wall.quantile(0.99), 6),
             "slo": self.slo.evaluate(),
@@ -507,14 +533,7 @@ class AnalysisService:
             assert request is not None
             job.fingerprint = request.fingerprint()
             job.cache_key = request.cache_key(job.fingerprint)
-            cached = self._cache_lookup(job.cache_key)
-            if cached is not None:
-                job.result = cached
-                job.cached = True
-                obs.counter("service_cache_hits").inc()
-            else:
-                obs.counter("service_cache_misses").inc()
-                job.result = self._compute(request, job)
+            self._resolve(job, request)
             job.state = "done"
             obs.counter("service_jobs_completed").inc()
         except Exception as exc:  # noqa: BLE001 — a bad job must not kill a worker
@@ -579,21 +598,100 @@ class AnalysisService:
         Entries carry their cache key in ``meta.service_cache_key``; the
         rows stored in the entry are exactly the payload recorded when the
         result was computed, so a hit is bit-identical to the original.
+        The lock only covers the index seek — one `latest_by_cache_key`
+        lookup — so a lookup can no longer stall concurrent appends for
+        the duration of a full-file parse.
         """
         with self._ledger_lock:
-            entries = self.ledger.entries()
-        for entry in reversed(entries):
-            if entry.meta.get("service_cache_key") != cache_key:
-                continue
-            return {
-                "rows": entry.rows,
-                "spfm": entry.spfm,
-                "asil": entry.asil,
-                "entry": entry.entry_id,
-                "metrics": entry.metrics,
-                "from_cache": True,
-            }
+            entry = self.ledger.latest_by_cache_key(cache_key)
+        if entry is None:
+            return None
+        return {
+            "rows": entry.rows,
+            "spfm": entry.spfm,
+            "asil": entry.asil,
+            "entry": entry.entry_id,
+            "metrics": entry.metrics,
+            "from_cache": True,
+        }
+
+    # -- single-flight coalescing -----------------------------------------
+
+    def _acquire_flight(self, job: AnalysisJob) -> Optional[AnalysisJob]:
+        """Register *job* as the in-flight leader for its cache key.
+
+        Returns ``None`` when the job became the leader, or the current
+        leader job when an identical computation is already running (the
+        caller then waits on the leader instead of recomputing).
+        """
+        with self._inflight_lock:
+            leader = self._inflight.get(job.cache_key)
+            if leader is not None and leader is not job:
+                return leader
+            self._inflight[job.cache_key] = job
+            obs.gauge("service_inflight_jobs").set(len(self._inflight))
         return None
+
+    def _release_flight(self, job: AnalysisJob) -> None:
+        with self._inflight_lock:
+            if self._inflight.get(job.cache_key) is job:
+                del self._inflight[job.cache_key]
+            obs.gauge("service_inflight_jobs").set(len(self._inflight))
+
+    def _resolve(self, job: AnalysisJob, request: AnalysisRequest) -> None:
+        """Produce ``job.result`` — from cache, coalesced, or computed.
+
+        Order matters: the ledger cache is consulted first (a landed
+        result beats everything), then the in-flight registry.  A job
+        that loses the registry race waits on the leader's completion and
+        copies its result dict — the ``rows`` list is the leader's own
+        object, so followers are bit-identical by construction.  If the
+        leader fails, the follower retries from the top (the leader's
+        failure is its own; an identical submission deserves a fresh
+        attempt, which will find the flight slot free).
+        """
+        while True:
+            cached = self._cache_lookup(job.cache_key)
+            if cached is not None:
+                job.result = cached
+                job.cached = True
+                obs.counter("service_cache_hits").inc()
+                return
+            leader = self._acquire_flight(job)
+            if leader is None:
+                try:
+                    # Double-check under leadership: a previous leader may
+                    # have landed its entry between our lookup and the
+                    # registry acquisition.
+                    cached = self._cache_lookup(job.cache_key)
+                    if cached is not None:
+                        job.result = cached
+                        job.cached = True
+                        obs.counter("service_cache_hits").inc()
+                        return
+                    obs.counter("service_cache_misses").inc()
+                    job.result = self._compute(request, job)
+                    return
+                finally:
+                    self._release_flight(job)
+            job.coalesced = True
+            job.coalesced_with = leader.correlation_id
+            obs.counter("service_coalesced_jobs").inc()
+            obs.emit_event("job_coalesced", job=job.id, leader=leader.id)
+            obs.log(
+                "info", "job coalesced", job=job.id,
+                leader=leader.id, cache_key=job.cache_key[:16],
+            )
+            leader.done_event.wait()
+            if leader.state == "done" and isinstance(leader.result, dict):
+                result = dict(leader.result)
+                result["coalesced"] = True
+                job.result = result
+                return
+            # Leader failed or was evicted mid-flight: this job is on its
+            # own again. Reset the coalescing markers and retry.
+            job.coalesced = False
+            job.coalesced_with = ""
 
     # -- computation ------------------------------------------------------
 

@@ -12,6 +12,10 @@ with the job endpoints:
 - ``GET /jobs`` — queue state: the service summary plus every job the
   bounded history holds (without result bodies);
 - ``GET /jobs/<id>`` — one job's full record, result included once done;
+  jobs that attached to another job's in-flight computation report
+  ``coalesced: true`` with the leader's correlation id in
+  ``coalesced_with`` (see single-flight coalescing in
+  :mod:`repro.service.jobs`);
 - ``GET /jobs/<id>/events`` — the job's own SSE stream: the ``/events``
   machinery filtered to the job's ``correlation_id``, so one tenant
   watches exactly their campaign's events (pool-worker events included)
@@ -20,7 +24,8 @@ with the job endpoints:
   like ``/events``.
 
 ``/healthz`` gains a ``service`` section (queue depth, per-state job
-counts, cache hit/miss totals) and an ``slo`` section (the
+counts, cache hit/miss totals, in-flight registry size and coalesced-job
+total) and an ``slo`` section (the
 :class:`~repro.obs.slo.SLOEngine` report: overall ``ok|warning|breached``
 plus per-objective burn rates) via the :meth:`healthz_extra` hook, and the
 ``service_*`` metrics land on the existing ``/metrics`` scrape, so one

@@ -1,0 +1,361 @@
+"""Sidecar byte-offset index: staleness, recovery, and scan parity.
+
+The index (`<ledger>.idx`) is pure acceleration — every test here pins
+that down by breaking it in some way (external appends, truncation,
+corruption, stamp mismatches) and asserting reads come back identical to
+the scan path, plus a randomized differential test over mixed
+entry/artifact/junk ledgers.
+"""
+
+import json
+import random
+import threading
+
+import pytest
+
+import repro.obs as obs
+from repro.obs.ledger import (
+    AnalysisLedger,
+    LedgerEntry,
+    LedgerError,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+def _entry(i, kind="fmea", system="S", cache_key=None):
+    meta = {}
+    if cache_key is not None:
+        meta["service_cache_key"] = cache_key
+    return LedgerEntry(
+        kind=kind,
+        system=system,
+        spfm=0.90 + (i % 7) / 100.0,
+        asil="ASIL-B",
+        rows=[{"component": f"C{i}", "failure_mode": "Open", "fit": float(i)}],
+        metrics={"wall_time": 0.1 * i},
+        meta=meta,
+    )
+
+
+def _seed(ledger, count=5, **kwargs):
+    return [ledger.append(_entry(i, **kwargs)) for i in range(count)]
+
+
+def _raw_append(path, payload, terminate=True):
+    """Append a line the way a foreign process would — no index updates."""
+    blob = json.dumps(payload, sort_keys=True).encode("utf-8")
+    if terminate:
+        blob += b"\n"
+    with open(path, "ab") as handle:
+        handle.write(blob)
+
+
+def _rebuilds():
+    return int(obs.counter("ledger_index_rebuilds").value)
+
+
+def _extensions():
+    return int(obs.counter("ledger_index_extensions").value)
+
+
+class TestSidecarLifecycle:
+    def test_sidecar_tracks_every_line(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        ledger = AnalysisLedger(path)
+        recorded = _seed(ledger, 4)
+        ledger.attach_artifact(recorded[1].entry_id, tmp_path / "wb.xlsx")
+        sidecar = tmp_path / "ledger.jsonl.idx"
+        assert sidecar.exists()
+        idx_lines = sidecar.read_text().splitlines()
+        ledger_lines = path.read_text().splitlines()
+        assert len(idx_lines) == len(ledger_lines) == 5
+        status = ledger.index_status()
+        assert status["enabled"] is True
+        assert status["entries"] == 4
+        assert status["artifacts"] == 1
+        assert status["bytes_covered"] == path.stat().st_size
+
+    def test_reopen_adopts_sidecar_without_rebuild(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        _seed(AnalysisLedger(path), 6)
+        reopened = AnalysisLedger(path)
+        entries = reopened.entries()
+        assert [e.entry_id for e in entries] == [
+            e.entry_id for e in AnalysisLedger(path, use_index=False).entries()
+        ]
+        assert _rebuilds() == 0
+
+    def test_disabled_index_writes_no_sidecar(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        ledger = AnalysisLedger(path, use_index=False)
+        _seed(ledger, 3)
+        assert not (tmp_path / "ledger.jsonl.idx").exists()
+        assert len(ledger.entries()) == 3
+        assert ledger.index_status() == {
+            "enabled": False,
+            "path": str(path),
+        }
+
+
+class TestStalenessRecovery:
+    def test_second_handle_append_is_picked_up(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        first = AnalysisLedger(path)
+        _seed(first, 3)
+        second = AnalysisLedger(path)
+        appended = second.append(_entry(99, cache_key="fresh"))
+        seen = first.entries()
+        assert len(seen) == 4
+        assert seen[-1].entry_id == appended.entry_id
+        hit = first.latest_by_cache_key("fresh")
+        assert hit is not None and hit.entry_id == appended.entry_id
+
+    def test_foreign_process_append_extends(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        ledger = AnalysisLedger(path)
+        _seed(ledger, 3)
+        assert len(ledger.entries()) == 3  # index now loaded and current
+        _raw_append(
+            path,
+            _entry(7, kind="fmeda", cache_key="foreign").to_dict(),
+        )
+        entries = ledger.entries()
+        assert len(entries) == 4
+        assert entries[-1].kind == "fmeda"
+        assert _extensions() >= 1
+        assert _rebuilds() == 0
+        hit = ledger.latest_by_cache_key("foreign")
+        assert hit is not None and hit.seq == 3
+
+    def test_ledger_truncation_rebuilds(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        ledger = AnalysisLedger(path)
+        _seed(ledger, 5)
+        assert len(ledger.entries()) == 5
+        lines = path.read_text().splitlines(keepends=True)
+        path.write_text("".join(lines[:3]))
+        assert len(ledger.entries()) == 3
+        assert _rebuilds() >= 1
+
+    def test_in_place_rewrite_same_size_growth_rebuilds(self, tmp_path):
+        # A rewrite that *grows* the file looks like an append by size
+        # alone; the tail-digest stamp catches it and forces a rebuild.
+        path = tmp_path / "ledger.jsonl"
+        ledger = AnalysisLedger(path)
+        _seed(ledger, 3)
+        assert len(ledger.entries()) == 3
+        replacement = [
+            json.dumps(_entry(i + 50, kind="fmeda").to_dict(), sort_keys=True)
+            for i in range(4)
+        ]
+        path.write_text("\n".join(replacement) + "\n")
+        entries = ledger.entries()
+        assert len(entries) == 4
+        assert all(e.kind == "fmeda" for e in entries)
+        assert _rebuilds() >= 1
+
+    def test_truncated_sidecar_rebuilds_on_open(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        _seed(AnalysisLedger(path), 5)
+        sidecar = tmp_path / "ledger.jsonl.idx"
+        blob = sidecar.read_bytes()
+        sidecar.write_bytes(blob[: len(blob) // 2])
+        reopened = AnalysisLedger(path)
+        assert len(reopened.entries()) == 5
+        assert _rebuilds() >= 1
+        # The rebuild repaired the sidecar on disk, not just in memory.
+        assert len(sidecar.read_text().splitlines()) == 5
+
+    def test_garbage_sidecar_rebuilds_on_open(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        _seed(AnalysisLedger(path), 4)
+        (tmp_path / "ledger.jsonl.idx").write_bytes(b"not json at all\n")
+        reopened = AnalysisLedger(path)
+        assert len(reopened.entries()) == 4
+        assert _rebuilds() >= 1
+
+    def test_stale_sidecar_stamp_mismatch_rebuilds(self, tmp_path):
+        # Sidecar from a previous life of the ledger file: offsets are
+        # plausible but the tail digest no longer matches.
+        path = tmp_path / "ledger.jsonl"
+        _seed(AnalysisLedger(path), 4)
+        sidecar = tmp_path / "ledger.jsonl.idx"
+        stale = sidecar.read_bytes()
+        path.unlink()
+        sidecar.unlink()
+        fresh = AnalysisLedger(path)
+        _seed(fresh, 4, kind="fmeda")
+        sidecar.write_bytes(stale)
+        reopened = AnalysisLedger(path)
+        entries = reopened.entries()
+        assert len(entries) == 4
+        assert all(e.kind == "fmeda" for e in entries)
+        assert _rebuilds() >= 1
+
+    def test_unterminated_tail_is_healed_on_append(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        ledger = AnalysisLedger(path)
+        _seed(ledger, 2)
+        _raw_append(path, _entry(8).to_dict(), terminate=False)
+        assert len(ledger.entries()) == 3  # partial line still parses
+        ledger.append(_entry(9))
+        assert path.read_bytes().endswith(b"\n")
+        assert len(ledger.entries()) == 4
+        assert [e.seq for e in ledger.entries()] == [0, 1, 2, 3]
+
+    def test_corrupt_ledger_lines_are_junk_in_both_paths(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        ledger = AnalysisLedger(path)
+        _seed(ledger, 2)
+        with open(path, "ab") as handle:
+            handle.write(b"{ not json\n")
+            handle.write(b'{"type": "artifact", "entry": "nope"}\n')
+        _raw_append(path, _entry(3).to_dict())
+        indexed = ledger.entries()
+        scanned = AnalysisLedger(path, use_index=False).entries()
+        assert [e.to_dict() for e in indexed] == [
+            e.to_dict() for e in scanned
+        ]
+        assert [e.seq for e in indexed] == [0, 1, 2]
+
+
+class TestIndexedReads:
+    def test_latest_by_cache_key_picks_newest(self, tmp_path):
+        ledger = AnalysisLedger(tmp_path / "ledger.jsonl")
+        ledger.append(_entry(0, cache_key="k"))
+        ledger.append(_entry(1, cache_key="other"))
+        newest = ledger.append(_entry(2, cache_key="k"))
+        hit = ledger.latest_by_cache_key("k")
+        assert hit is not None and hit.entry_id == newest.entry_id
+        assert ledger.latest_by_cache_key("absent") is None
+
+    def test_artifact_folding_matches_scan(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        ledger = AnalysisLedger(path)
+        recorded = _seed(ledger, 3)
+        ledger.attach_artifact(recorded[0].entry_id, tmp_path / "a.xlsx")
+        ledger.attach_artifact(recorded[0].entry_id, tmp_path / "b.xlsx")
+        ledger.attach_artifact(recorded[0].entry_id, tmp_path / "a.xlsx")
+        indexed = ledger.entries()[0].artifacts
+        scanned = AnalysisLedger(path, use_index=False).entries()[0].artifacts
+        assert indexed == scanned
+        assert len(indexed) == 2  # re-attaching the same path dedups
+
+    def test_next_seq_from_index(self, tmp_path):
+        ledger = AnalysisLedger(tmp_path / "ledger.jsonl")
+        recorded = _seed(ledger, 4)
+        assert [e.seq for e in recorded] == [0, 1, 2, 3]
+        assert ledger.append(_entry(4)).seq == 4
+
+    def test_concurrent_appends_stay_sequenced(self, tmp_path):
+        ledger = AnalysisLedger(tmp_path / "ledger.jsonl")
+        errors = []
+
+        def writer(base):
+            try:
+                for i in range(10):
+                    ledger.append(_entry(base * 100 + i))
+            except Exception as exc:  # noqa: BLE001 — surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=writer, args=(t,)) for t in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors, errors
+        entries = ledger.entries()
+        assert [e.seq for e in entries] == list(range(40))
+        sidecar = tmp_path / "ledger.jsonl.idx"
+        assert len(sidecar.read_text().splitlines()) == 40
+
+
+class TestDifferential:
+    """Indexed and scan-based reads must agree on randomized ledgers."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_indexed_equals_scan(self, tmp_path, seed):
+        rng = random.Random(seed)
+        path = tmp_path / "ledger.jsonl"
+        writer = AnalysisLedger(path)
+        kinds = ["fmea", "fmeda", "optimizer"]
+        systems = ["psu", "grid", "pll"]
+        recorded = []
+        for i in range(rng.randint(20, 40)):
+            roll = rng.random()
+            if roll < 0.60 or not recorded:
+                cache_key = (
+                    f"key-{rng.randint(0, 5)}" if rng.random() < 0.5 else None
+                )
+                recorded.append(
+                    writer.append(
+                        _entry(
+                            i,
+                            kind=rng.choice(kinds),
+                            system=rng.choice(systems),
+                            cache_key=cache_key,
+                        )
+                    )
+                )
+            elif roll < 0.75:
+                target = rng.choice(recorded)
+                writer.attach_artifact(
+                    target.entry_id, tmp_path / f"art-{i}.xlsx"
+                )
+            elif roll < 0.85:
+                # Foreign append: a valid entry the writer didn't index
+                # synchronously.
+                _raw_append(
+                    path,
+                    _entry(
+                        1000 + i,
+                        kind=rng.choice(kinds),
+                        system=rng.choice(systems),
+                    ).to_dict(),
+                )
+            else:
+                with open(path, "ab") as handle:
+                    handle.write(b"%% corrupt line %%\n")
+
+        indexed = AnalysisLedger(path)
+        scan = AnalysisLedger(path, use_index=False)
+
+        assert [e.to_dict() for e in indexed.entries()] == [
+            e.to_dict() for e in scan.entries()
+        ]
+        for kind in kinds + [None]:
+            for system in systems + [None]:
+                left = indexed.entries(kind=kind, system=system)
+                right = scan.entries(kind=kind, system=system)
+                assert [e.to_dict() for e in left] == [
+                    e.to_dict() for e in right
+                ]
+                latest_i = indexed.latest(kind=kind, system=system)
+                latest_s = scan.latest(kind=kind, system=system)
+                assert (latest_i is None) == (latest_s is None)
+                if latest_i is not None:
+                    assert latest_i.to_dict() == latest_s.to_dict()
+
+        total = len(scan.entries())
+        refs = ["latest", "HEAD", "@0", f"@{total - 1}", "@-1", f"@-{total}"]
+        refs += [e.entry_id[:10] for e in scan.entries()[:3]]
+        refs += ["@999", "zzzz-no-such-prefix"]
+        for ref in refs:
+            try:
+                want = scan.resolve(ref).to_dict()
+            except LedgerError as exc:
+                with pytest.raises(LedgerError) as caught:
+                    indexed.resolve(ref)
+                assert str(caught.value) == str(exc)
+            else:
+                assert indexed.resolve(ref).to_dict() == want

@@ -180,6 +180,29 @@ class TestWatchRegressions:
         diff = diff_entries(_fmeda_entry(), _fmeda_entry())
         assert watch_regressions(diff) == []
 
+    def test_scaling_probe_over_budget_flagged(self):
+        """The service benchmark stamps latency-scaling ratios on its
+        ledger entry; a ratio past its budget means a lookup path went
+        super-constant again."""
+        after = _fmeda_entry()
+        after.meta["scaling"] = {
+            "cache_hit_p99": {"ratio": 3.2, "budget": 1.5},
+            "coalescing": {"ratio": 1.0, "budget": 1.5},
+        }
+        regressions = watch_regressions(diff_entries(_fmeda_entry(), after))
+        assert [r.kind for r in regressions] == ["scaling"]
+        assert "cache_hit_p99" in regressions[0].message
+        assert "3.2" in regressions[0].message
+
+    def test_scaling_within_budget_or_malformed_pass(self):
+        after = _fmeda_entry()
+        after.meta["scaling"] = {
+            "cache_hit_p99": {"ratio": 1.2, "budget": 1.5},
+            "junk": "not-a-probe",
+            "no_ratio": {"budget": 2.0},
+        }
+        assert watch_regressions(diff_entries(_fmeda_entry(), after)) == []
+
     def test_baseline_for_matches_kind_and_system(self, ledger):
         first = ledger.append(_fmeda_entry(spfm=0.9))
         ledger.append(

@@ -12,6 +12,7 @@ cache-hit rate and a bounded cache-hit latency, and the HTTP surface
 import http.client
 import json
 import threading
+import time
 
 import pytest
 
@@ -293,6 +294,133 @@ class TestComputeAndCache:
         assert "job_submitted" in types
         assert "job_started" in types
         assert "job_finished" in types
+
+
+# -- single-flight coalescing -------------------------------------------------
+
+
+class TestCoalescing:
+    """Identical concurrent submissions share one computation."""
+
+    CLIENTS = 8
+
+    def _gated_compute(self, svc):
+        """Wrap the service's compute so the test controls when the
+        leader finishes — guaranteeing the other submissions are in
+        flight while it runs."""
+        real = svc._compute
+        entered = threading.Event()
+        release = threading.Event()
+
+        def gated(request, job):
+            entered.set()
+            assert release.wait(JOB_TIMEOUT), "test never released compute"
+            return real(request, job)
+
+        svc._compute = gated
+        return entered, release
+
+    def test_identical_submissions_compute_once(self, tmp_path, fmea_payload):
+        with AnalysisService(
+            tmp_path / "ledger.jsonl", workers=self.CLIENTS
+        ) as svc:
+            entered, release = self._gated_compute(svc)
+            jobs = [
+                svc.submit(dict(fmea_payload, tenant=f"t{i}"))
+                for i in range(self.CLIENTS)
+            ]
+            assert entered.wait(JOB_TIMEOUT)
+            # Every other job must reach the flight registry and park
+            # behind the (blocked) leader before we let it finish.
+            deadline = time.monotonic() + JOB_TIMEOUT
+            while (
+                int(obs.counter("service_coalesced_jobs").value)
+                < self.CLIENTS - 1
+            ):
+                assert time.monotonic() < deadline, "followers never parked"
+                time.sleep(0.01)
+            assert svc.status()["inflight"] == 1
+            release.set()
+            finished = [_finish(svc, job) for job in jobs]
+
+            assert all(job.state == "done" for job in finished), [
+                job.error for job in finished
+            ]
+            leaders = [job for job in finished if not job.coalesced]
+            followers = [job for job in finished if job.coalesced]
+            assert len(leaders) == 1
+            assert len(followers) == self.CLIENTS - 1
+            leader = leaders[0]
+            # Exactly one computation: one miss, one ledger entry, and
+            # nobody counted as a cache hit.
+            assert int(obs.counter("service_cache_misses").value) == 1
+            assert int(obs.counter("service_cache_hits").value) == 0
+            assert (
+                int(obs.counter("service_coalesced_jobs").value)
+                == self.CLIENTS - 1
+            )
+            assert len(svc.ledger.entries()) == 1
+            for job in followers:
+                assert job.coalesced_with == leader.correlation_id
+                assert job.result["rows"] == leader.result["rows"]
+                assert job.result["coalesced"] is True
+                assert job.to_dict()["coalesced"] is True
+                assert job.to_dict()["coalesced_with"] == leader.correlation_id
+            assert "coalesced" not in leader.result
+            assert svc.status()["inflight"] == 0
+            assert svc.status()["coalesced_jobs"] == self.CLIENTS - 1
+
+    def test_follower_retries_when_leader_fails(self, tmp_path, fmea_payload):
+        with AnalysisService(tmp_path / "ledger.jsonl", workers=2) as svc:
+            real = svc._compute
+            entered = threading.Event()
+            release = threading.Event()
+            calls = []
+            calls_lock = threading.Lock()
+
+            def flaky(request, job):
+                with calls_lock:
+                    first = not calls
+                    calls.append(job.id)
+                if first:
+                    entered.set()
+                    assert release.wait(JOB_TIMEOUT)
+                    raise RuntimeError("leader lost its checkpoint")
+                return real(request, job)
+
+            svc._compute = flaky
+            first = svc.submit(dict(fmea_payload, tenant="a"))
+            assert entered.wait(JOB_TIMEOUT)
+            second = svc.submit(dict(fmea_payload, tenant="b"))
+            deadline = time.monotonic() + JOB_TIMEOUT
+            while int(obs.counter("service_coalesced_jobs").value) < 1:
+                assert time.monotonic() < deadline, "follower never parked"
+                time.sleep(0.01)
+            release.set()
+            first = _finish(svc, first)
+            second = _finish(svc, second)
+
+            assert first.state == "failed"
+            assert "leader lost its checkpoint" in first.error
+            # The follower did not inherit the failure: it retried,
+            # led its own flight, and computed.
+            assert second.state == "done", second.error
+            assert second.coalesced is False
+            assert second.coalesced_with == ""
+            assert second.result["rows"]
+            assert len(calls) == 2
+            assert len(svc.ledger.entries()) == 1
+
+    def test_different_payloads_do_not_coalesce(self, tmp_path, fmea_payload):
+        with AnalysisService(tmp_path / "ledger.jsonl", workers=2) as svc:
+            tweaked = json.loads(json.dumps(fmea_payload))
+            tweaked["config"]["threshold"] = 0.9
+            a = _finish(svc, svc.submit(fmea_payload))
+            b = _finish(svc, svc.submit(tweaked))
+            assert a.state == b.state == "done"
+            assert not a.coalesced and not b.coalesced
+            assert int(obs.counter("service_coalesced_jobs").value) == 0
+            assert len(svc.ledger.entries()) == 2
 
 
 # -- multi-tenant concurrency (the satellite acceptance test) ----------------
